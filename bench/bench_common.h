@@ -1,0 +1,58 @@
+// Shared helpers for the figure-reproduction binaries.
+#ifndef HOSTSIM_BENCH_BENCH_COMMON_H
+#define HOSTSIM_BENCH_BENCH_COMMON_H
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace hostsim::bench {
+
+/// Runs `pattern` for each flow count and prints the fig. 5/6/7/8-style
+/// summary table.  Returns the metrics in flow-count order.
+inline std::vector<Metrics> flows_sweep(Pattern pattern,
+                                        const std::vector<int>& flow_counts,
+                                        ExperimentConfig base = {}) {
+  Table table({"flows", "total (Gbps)", "tput/core (Gbps)",
+               "tput/snd-core (Gbps)", "snd cores", "rcv cores", "rx miss",
+               "mean skb (KB)"});
+  std::vector<Metrics> results;
+  for (int flows : flow_counts) {
+    ExperimentConfig config = base;
+    config.traffic.pattern = pattern;
+    config.traffic.flows = flows;
+    const Metrics metrics = run_experiment(config);
+    results.push_back(metrics);
+    table.add_row({std::to_string(flows), Table::num(metrics.total_gbps),
+                   Table::num(metrics.throughput_per_core_gbps),
+                   Table::num(metrics.throughput_per_sender_core_gbps),
+                   Table::num(metrics.sender_cores_used, 2),
+                   Table::num(metrics.receiver_cores_used, 2),
+                   Table::percent(metrics.rx_copy_miss_rate),
+                   Table::num(metrics.mean_skb_bytes / 1024.0)});
+  }
+  table.print();
+  return results;
+}
+
+/// Prints receiver- or sender-side Table-1 breakdowns per flow count.
+inline void breakdown_table(const std::vector<int>& flow_counts,
+                            const std::vector<Metrics>& results,
+                            bool sender_side) {
+  std::vector<std::string> headers = breakdown_headers();
+  headers.insert(headers.begin(), "flows");
+  Table table(headers);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    std::vector<std::string> cells = breakdown_cells(
+        sender_side ? results[i].sender_cycles : results[i].receiver_cycles);
+    cells.insert(cells.begin(), std::to_string(flow_counts[i]));
+    table.add_row(std::move(cells));
+  }
+  table.print();
+}
+
+}  // namespace hostsim::bench
+
+#endif  // HOSTSIM_BENCH_BENCH_COMMON_H

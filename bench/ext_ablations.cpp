@@ -1,0 +1,137 @@
+// Ablations of the design choices DESIGN.md calls out: each row removes
+// one load-bearing mechanism of the model and shows which paper result
+// breaks without it.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace hostsim;
+
+Metrics run_single(const ExperimentConfig& config) {
+  return run_experiment(config);
+}
+
+}  // namespace
+
+int main() {
+  using namespace hostsim;
+
+  print_section("Ablation 1: DDIO way-partition (fig. 3 cache behaviour)");
+  {
+    Table table({"cache model", "tput/core (Gbps)", "rx miss"});
+    ExperimentConfig partitioned;
+    const Metrics with = run_single(partitioned);
+    ExperimentConfig open;
+    open.llc.ddio_ways = open.llc.ways;  // DMA may allocate anywhere
+    const Metrics without = run_single(open);
+    table.add_row({"DDIO limited to 5/18 ways", Table::num(with.throughput_per_core_gbps),
+                   Table::percent(with.rx_copy_miss_rate)});
+    table.add_row({"DMA may use all 18 ways", Table::num(without.throughput_per_core_gbps),
+                   Table::percent(without.rx_copy_miss_rate)});
+    table.print();
+    std::printf(
+        "  (without the partition the whole LLC absorbs the standing\n"
+        "   queue and the paper's single-flow ~49%% miss rate disappears)\n");
+  }
+
+  print_section("Ablation 2: GRO (per-skb costs, figs. 3/8)");
+  {
+    Table table({"config", "flows", "tput/core (Gbps)", "mean skb (KB)"});
+    for (bool gro : {true, false}) {
+      for (int flows : {1, 16}) {
+        ExperimentConfig config;
+        config.stack.gro = gro;
+        config.traffic.pattern =
+            flows == 1 ? Pattern::single_flow : Pattern::one_to_one;
+        config.traffic.flows = flows;
+        config.warmup = 20 * kMillisecond;
+        const Metrics metrics = run_single(config);
+        table.add_row({gro ? "GRO on" : "GRO off", std::to_string(flows),
+                       Table::num(metrics.throughput_per_core_gbps),
+                       Table::num(metrics.mean_skb_bytes / 1024.0)});
+      }
+    }
+    table.print();
+  }
+
+  print_section("Ablation 3: pageset batching (fig. 5(c) memory effect)");
+  {
+    Table table({"pageset batch", "tput/core (Gbps)", "rcv mem share"});
+    for (int batch : {64, 1}) {
+      ExperimentConfig config;
+      config.cost.pageset_batch = batch;
+      const Metrics metrics = run_single(config);
+      table.add_row({std::to_string(batch),
+                     Table::num(metrics.throughput_per_core_gbps),
+                     Table::percent(
+                         metrics.receiver_fraction(CpuCategory::memory))});
+    }
+    table.print();
+    std::printf(
+        "  (batch=1 turns every pageset refill into a per-page global\n"
+        "   allocator round trip, inflating the memory share)\n");
+  }
+
+  print_section("Ablation 4: IRQ moderation (per-frame IRQ costs)");
+  {
+    // Moderation is a NIC config; expose via the cost model's irq cost
+    // sensitivity instead: compare the default against 4x IRQ pricing.
+    Table table({"irq_entry cycles", "tput/core (Gbps)", "rcv etc share"});
+    for (Cycles irq : {Cycles{2600}, Cycles{10400}}) {
+      ExperimentConfig config;
+      config.cost.irq_entry = irq;
+      config.traffic.pattern = Pattern::one_to_one;
+      config.traffic.flows = 8;
+      config.warmup = 20 * kMillisecond;
+      const Metrics metrics = run_single(config);
+      table.add_row({std::to_string(irq),
+                     Table::num(metrics.throughput_per_core_gbps),
+                     Table::percent(
+                         metrics.receiver_fraction(CpuCategory::etc))});
+    }
+    table.print();
+  }
+
+  print_section("Ablation 5: cold-start inflation (fig. 5 decline)");
+  {
+    Table table({"cold penalty", "one-to-one 24-flow tput/core (Gbps)",
+                 "rcv cores"});
+    for (double penalty : {1.0, 3.0}) {
+      ExperimentConfig config;
+      config.cost.cold_penalty_max = penalty;
+      config.traffic.pattern = Pattern::one_to_one;
+      config.traffic.flows = 24;
+      config.warmup = 25 * kMillisecond;
+      const Metrics metrics = run_single(config);
+      table.add_row({Table::num(penalty, 1),
+                     Table::num(metrics.throughput_per_core_gbps),
+                     Table::num(metrics.receiver_cores_used, 2)});
+    }
+    table.print();
+    std::printf(
+        "  (without cold-start inflation, per-core efficiency barely\n"
+        "   degrades with flow count — the paper's fig. 5 disappears)\n");
+  }
+
+  print_section("Ablation 6: socket-lock contention (no-aRFS lock share)");
+  {
+    Table table({"contended lock cost", "NoArfs tput/core (Gbps)",
+                 "rcv lock share"});
+    for (Cycles contended : {Cycles{700}, Cycles{45}}) {
+      ExperimentConfig config;
+      config.stack.arfs = false;
+      config.cost.lock_contended = contended;
+      const Metrics metrics = run_single(config);
+      table.add_row({std::to_string(contended),
+                     Table::num(metrics.throughput_per_core_gbps),
+                     Table::percent(
+                         metrics.receiver_fraction(CpuCategory::lock))});
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Reproduces paper fig. 3(a)-(d): single-flow throughput-per-core as
+// optimizations are enabled incrementally, sender/receiver CPU
+// utilization, and both CPU breakdowns.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/paper.h"
+#include "core/report.h"
+
+int main() {
+  using namespace hostsim;
+
+  print_section("Fig 3(a,b): single flow, incremental optimizations");
+  Table summary({"config", "tput (Gbps)", "tput/core (Gbps)", "snd cores",
+                 "rcv cores", "rx miss"});
+  std::vector<Metrics> results;
+  std::vector<std::string> labels;
+  for (int level = 0; level <= 3; ++level) {
+    ExperimentConfig config;
+    config.stack = StackConfig::opt_level(level);
+    config.traffic.pattern = Pattern::single_flow;
+    const Metrics metrics = run_experiment(config);
+    results.push_back(metrics);
+    labels.push_back(config.stack.label());
+    summary.add_row({config.stack.label(), Table::num(metrics.total_gbps),
+                     Table::num(metrics.throughput_per_core_gbps),
+                     Table::num(metrics.sender_cores_used, 2),
+                     Table::num(metrics.receiver_cores_used, 2),
+                     Table::percent(metrics.rx_copy_miss_rate)});
+  }
+  summary.print();
+  print_paper_line("all-optimizations throughput-per-core",
+                   results.back().throughput_per_core_gbps, "Gbps", "~42");
+  print_paper_line("receiver data-copy fraction",
+                   results.back().receiver_fraction(CpuCategory::data_copy) *
+                       100,
+                   "%", "~49%");
+  print_paper_line("receiver LLC miss rate",
+                   results.back().rx_copy_miss_rate * 100, "%", "~49%");
+
+  print_section("Fig 3(c): sender CPU breakdown");
+  {
+    std::vector<std::string> headers = breakdown_headers();
+    headers.insert(headers.begin(), "config");
+    Table table(headers);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::vector<std::string> cells = breakdown_cells(results[i].sender_cycles);
+      cells.insert(cells.begin(), labels[i]);
+      table.add_row(std::move(cells));
+    }
+    table.print();
+  }
+
+  print_section("Fig 3(d): receiver CPU breakdown");
+  {
+    std::vector<std::string> headers = breakdown_headers();
+    headers.insert(headers.begin(), "config");
+    Table table(headers);
+    for (std::size_t i = 0; i < results.size(); ++i) {
+      std::vector<std::string> cells =
+          breakdown_cells(results[i].receiver_cycles);
+      cells.insert(cells.begin(), labels[i]);
+      table.add_row(std::move(cells));
+    }
+    table.print();
+  }
+  return 0;
+}

@@ -1,0 +1,32 @@
+// Reproduces paper fig. 4: single-flow throughput-per-core and receiver
+// LLC miss rate with the application on the NIC-local vs a NIC-remote
+// NUMA node.  Paper: ~20% throughput-per-core drop, much higher misses,
+// because DCA cannot push DMA writes into a remote node's LLC.
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "core/paper.h"
+#include "core/report.h"
+
+int main() {
+  using namespace hostsim;
+
+  print_section("Fig 4: NIC-local vs NIC-remote NUMA placement");
+  Table table({"placement", "tput/core (Gbps)", "rx miss"});
+  Metrics local;
+  Metrics remote;
+  for (bool is_remote : {false, true}) {
+    ExperimentConfig config;
+    config.traffic.receiver_app_remote_numa = is_remote;
+    const Metrics metrics = run_experiment(config);
+    (is_remote ? remote : local) = metrics;
+    table.add_row({is_remote ? "NIC-remote NUMA" : "NIC-local NUMA",
+                   Table::num(metrics.throughput_per_core_gbps),
+                   Table::percent(metrics.rx_copy_miss_rate)});
+  }
+  table.print();
+  const double drop =
+      1.0 - remote.throughput_per_core_gbps / local.throughput_per_core_gbps;
+  print_paper_line("throughput-per-core drop", drop * 100, "%", "~20%");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Reproduces paper fig. 9: single flow under in-network random drops
+// (loss rates 0, 1.5e-4, 1.5e-3, 1.5e-2).  Paper: throughput-per-core
+// falls ~24% at 1.5e-2; total throughput falls below throughput-per-core
+// (the receiver idles); TCP/netdev/etc shares rise at both ends as ACK
+// processing and retransmissions eat into copy cycles.
+//
+// Loss equilibria take CUBIC hundreds of milliseconds to reach, so this
+// bench uses long windows (the simulator runs ~100x real time here).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/paper.h"
+
+int main() {
+  using namespace hostsim;
+  const std::vector<double> rates = {0.0, 1.5e-4, 1.5e-3, 1.5e-2};
+
+  print_section("Fig 9(a,b): single flow under in-network loss");
+  Table table({"loss rate", "total (Gbps)", "tput/core (Gbps)", "snd cores",
+               "rcv cores", "retransmits", "dup acks"});
+  std::vector<Metrics> results;
+  for (double rate : rates) {
+    ExperimentConfig config;
+    config.loss_rate = rate;
+    config.warmup = 150 * kMillisecond;
+    config.duration = 250 * kMillisecond;
+    const Metrics metrics = run_experiment(config);
+    results.push_back(metrics);
+    char label[32];
+    std::snprintf(label, sizeof label, "%.1e", rate);
+    table.add_row({rate == 0 ? "0" : label, Table::num(metrics.total_gbps),
+                   Table::num(metrics.throughput_per_core_gbps),
+                   Table::num(metrics.sender_cores_used, 2),
+                   Table::num(metrics.receiver_cores_used, 2),
+                   std::to_string(metrics.retransmits),
+                   std::to_string(metrics.dup_acks_received)});
+  }
+  table.print();
+  print_paper_line(
+      "throughput-per-core drop at 1.5e-2",
+      (1.0 - results.back().throughput_per_core_gbps /
+                 results.front().throughput_per_core_gbps) *
+          100,
+      "%", "~24%");
+
+  const std::vector<int> labels = {0, 1, 2, 3};
+  print_section("Fig 9(c): sender CPU breakdown (rows: loss rates above)");
+  bench::breakdown_table(labels, results, /*sender_side=*/true);
+  print_section("Fig 9(d): receiver CPU breakdown");
+  bench::breakdown_table(labels, results, /*sender_side=*/false);
+  std::printf(
+      "  (paper: TCP/IP + netdev + etc shares grow with loss at both ends,\n"
+      "   squeezing data copy)\n");
+  return 0;
+}

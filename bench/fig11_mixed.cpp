@@ -1,0 +1,48 @@
+// Reproduces paper fig. 11: one long flow mixed with a varying number of
+// 4KB ping-pong RPCs, all sharing a single core on each side.  Paper:
+// aggregate throughput-per-core falls ~43% from 0 to 16 short flows, and
+// both classes suffer (long: 42 -> ~20Gbps; shorts: ~6.15 -> ~2.6Gbps
+// versus isolation).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/paper.h"
+
+int main() {
+  using namespace hostsim;
+
+  print_section("Fig 11(a): long flow + n short RPC flows on one core");
+  Table table({"short flows", "total (Gbps)", "long flow (Gbps)",
+               "rpc (Gbps)", "rcv core busy"});
+  std::vector<Metrics> results;
+  const std::vector<int> counts = {0, 1, 4, 16};
+  for (int n : counts) {
+    ExperimentConfig config;
+    config.traffic.pattern = Pattern::mixed;
+    config.traffic.flows = n;
+    const Metrics metrics = run_experiment(config);
+    results.push_back(metrics);
+    // Flow 0 is the long flow; everything else is the RPC mix.
+    const double long_gbps =
+        metrics.flows.empty() ? 0.0 : metrics.flows.front().gbps;
+    table.add_row({std::to_string(n), Table::num(metrics.total_gbps),
+                   Table::num(long_gbps),
+                   Table::num(metrics.total_gbps - long_gbps),
+                   Table::num(metrics.receiver_cores_used, 2)});
+  }
+  table.print();
+  print_paper_line(
+      "throughput-per-core drop 0 -> 16 short flows",
+      (1.0 - results.back().throughput_per_core_gbps /
+                 results.front().throughput_per_core_gbps) *
+          100,
+      "%", "~43%");
+
+  print_section("Fig 11(b): receiver CPU breakdown");
+  bench::breakdown_table(counts, results, /*sender_side=*/false);
+  std::printf(
+      "  (paper: copy still dominates, but TCP/IP and scheduling start to\n"
+      "   consume significant cycles as short flows are added)\n");
+  return 0;
+}

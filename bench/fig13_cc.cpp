@@ -1,0 +1,45 @@
+// Reproduces paper fig. 13: impact of the congestion control algorithm
+// (CUBIC, DCTCP, BBR) on the single-flow baseline.  Paper: all three are
+// sender-driven, the receiver stays the bottleneck, so throughput-per-
+// core barely changes; BBR's qdisc pacing raises sender-side scheduling
+// overhead.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/paper.h"
+
+int main() {
+  using namespace hostsim;
+  const std::vector<CcAlgo> algos = {CcAlgo::cubic, CcAlgo::dctcp,
+                                     CcAlgo::bbr};
+
+  print_section("Fig 13(a): congestion control comparison, single flow");
+  Table table({"algorithm", "total (Gbps)", "tput/core (Gbps)", "snd cores",
+               "rcv cores", "snd sched share"});
+  std::vector<Metrics> results;
+  for (CcAlgo algo : algos) {
+    ExperimentConfig config;
+    config.stack.cc = algo;
+    const Metrics metrics = run_experiment(config);
+    results.push_back(metrics);
+    table.add_row({std::string(to_string(algo)),
+                   Table::num(metrics.total_gbps),
+                   Table::num(metrics.throughput_per_core_gbps),
+                   Table::num(metrics.sender_cores_used, 2),
+                   Table::num(metrics.receiver_cores_used, 2),
+                   Table::percent(metrics.sender_fraction(CpuCategory::sched))});
+  }
+  table.print();
+  std::printf(
+      "  (paper: no significant tput/core difference across protocols; BBR\n"
+      "   shows higher sender-side scheduling overhead from pacing)\n");
+
+  const std::vector<int> rows = {0, 1, 2};
+  print_section("Fig 13(b): sender CPU breakdown (cubic / dctcp / bbr)");
+  bench::breakdown_table(rows, results, /*sender_side=*/true);
+  print_section("Fig 13(c): receiver CPU breakdown");
+  bench::breakdown_table(rows, results, /*sender_side=*/false);
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the simulator's hot paths:
+// event loop throughput, LLC model operations, GRO coalescing, and
+// end-to-end simulated-time per wall-second.
+#include <benchmark/benchmark.h>
+
+#include "core/experiment.h"
+#include "hw/llc_model.h"
+#include "mem/page_allocator.h"
+#include "net/gro.h"
+#include "sim/event_loop.h"
+#include "sim/stats.h"
+
+namespace hostsim {
+namespace {
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventLoop loop;
+    int sink = 0;
+    for (int i = 0; i < 1000; ++i) {
+      loop.schedule_at(i, [&sink] { ++sink; });
+    }
+    loop.run_to_completion();
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_EventLoopSelfScheduling(benchmark::State& state) {
+  for (auto _ : state) {
+    EventLoop loop;
+    int remaining = 10000;
+    std::function<void()> tick = [&] {
+      if (--remaining > 0) loop.schedule_after(1, tick);
+    };
+    loop.schedule_after(0, tick);
+    loop.run_to_completion();
+    benchmark::DoNotOptimize(remaining);
+  }
+  state.SetItemsProcessed(state.iterations() * 10000);
+}
+BENCHMARK(BM_EventLoopSelfScheduling);
+
+void BM_LlcDmaWriteRead(benchmark::State& state) {
+  LlcModel llc;
+  PageId page = 1;
+  for (auto _ : state) {
+    llc.dma_write(page);
+    benchmark::DoNotOptimize(llc.touch_read(page));
+    ++page;
+  }
+  state.SetItemsProcessed(state.iterations() * 2);
+}
+BENCHMARK(BM_LlcDmaWriteRead);
+
+void BM_GroFeedMerge(benchmark::State& state) {
+  Gro gro(true);
+  std::int64_t seq = 0;
+  for (auto _ : state) {
+    Skb skb;
+    skb.flow = 0;
+    skb.seq = seq;
+    skb.len = 9000;
+    seq += 9000;
+    benchmark::DoNotOptimize(gro.feed(std::move(skb)));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_GroFeedMerge);
+
+void BM_PageAllocatorCycle(benchmark::State& state) {
+  EventLoop loop;
+  CostModel cost;
+  Core core(loop, cost, 0, 0);
+  PageAllocator allocator(1, 1);
+  Context ctx{"bench", false};
+  for (auto _ : state) {
+    core.post(ctx, [&](Core& c) {
+      Page* page = allocator.alloc(c);
+      page->refs = 1;
+      allocator.release(c, page);
+    });
+    loop.run_to_completion();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PageAllocatorCycle);
+
+void BM_HistogramRecordPercentile(benchmark::State& state) {
+  Histogram histogram;
+  std::int64_t x = 1;
+  for (auto _ : state) {
+    histogram.record(x);
+    x = x * 6364136223846793005ll + 1442695040888963407ll;
+    x = (x < 0 ? -x : x) % 1'000'000;
+    benchmark::DoNotOptimize(histogram.percentile(0.99));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramRecordPercentile);
+
+/// End-to-end: how many simulated milliseconds of the single-flow
+/// baseline run per wall-clock second.
+void BM_EndToEndSingleFlowMs(benchmark::State& state) {
+  for (auto _ : state) {
+    ExperimentConfig config;
+    config.warmup = 2 * kMillisecond;
+    config.duration = 8 * kMillisecond;
+    benchmark::DoNotOptimize(run_experiment(config));
+  }
+  state.SetItemsProcessed(state.iterations() * 10);  // simulated ms
+}
+BENCHMARK(BM_EndToEndSingleFlowMs);
+
+}  // namespace
+}  // namespace hostsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,49 @@
+// Congestion-control laboratory: CUBIC vs DCTCP vs BBR under increasing
+// in-network loss, on the single-flow 100Gbps baseline.  Shows the
+// paper's §3.10 point (the receiver-side bottleneck makes the CC choice
+// almost irrelevant when the network is clean) and how that changes once
+// the network drops packets.
+//
+//   $ ./congestion_lab
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/report.h"
+
+int main() {
+  using namespace hostsim;
+  const std::vector<CcAlgo> algos = {CcAlgo::cubic, CcAlgo::dctcp,
+                                     CcAlgo::bbr};
+  const std::vector<double> losses = {0.0, 1.5e-4, 1.5e-3};
+
+  print_section("Total throughput (Gbps): congestion control x loss rate");
+  Table table({"algorithm", "loss 0", "loss 1.5e-4", "loss 1.5e-3",
+               "sender sched share (clean)"});
+  for (CcAlgo algo : algos) {
+    std::vector<std::string> cells = {std::string(to_string(algo))};
+    double clean_sched = 0;
+    for (double loss : losses) {
+      ExperimentConfig config;
+      config.stack.cc = algo;
+      config.loss_rate = loss;
+      config.warmup = 40 * kMillisecond;
+      config.duration = 60 * kMillisecond;
+      const Metrics metrics = run_experiment(config);
+      if (loss == 0.0) {
+        clean_sched = metrics.sender_fraction(CpuCategory::sched);
+      }
+      cells.push_back(Table::num(metrics.total_gbps));
+    }
+    cells.push_back(Table::percent(clean_sched));
+    table.add_row(std::move(cells));
+  }
+  table.print();
+  std::printf(
+      "\nOn a clean network all three pin the receiver core at the same\n"
+      "~42Gbps; BBR pays extra sender-side scheduling for pacing.  Loss\n"
+      "separates them: BBR's rate estimate shrugs off random drops, while\n"
+      "the window-halving protocols give up throughput.\n");
+  return 0;
+}

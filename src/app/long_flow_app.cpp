@@ -1,0 +1,25 @@
+#include "app/long_flow_app.h"
+
+namespace hostsim {
+
+LongFlowSender::LongFlowSender(Core& core, TcpSocket& socket, Bytes chunk)
+    : socket_(&socket), chunk_(chunk), thread_(core, "iperf-tx") {
+  socket_->set_tx_waiter(&thread_);
+  thread_.set_body([this](Core& c, Thread& thread) {
+    const Bytes sent = socket_->send(c, chunk_);
+    // A short write means the send buffer filled: block until the ACK
+    // path frees space and notifies us.
+    thread.finish_quantum(/*more_work=*/sent == chunk_);
+  });
+}
+
+LongFlowReceiver::LongFlowReceiver(Core& core, TcpSocket& socket, Bytes chunk)
+    : socket_(&socket), chunk_(chunk), thread_(core, "iperf-rx") {
+  socket_->set_rx_waiter(&thread_);
+  thread_.set_body([this](Core& c, Thread& thread) {
+    socket_->recv(c, chunk_);
+    thread.finish_quantum(/*more_work=*/socket_->readable() > 0);
+  });
+}
+
+}  // namespace hostsim

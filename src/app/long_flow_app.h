@@ -1,0 +1,45 @@
+// iPerf-like long-flow applications.
+//
+// The sender writes fixed-size chunks as fast as the socket accepts them
+// and blocks on a full send buffer; the receiver reads fixed-size chunks
+// and blocks on an empty receive queue.  Like iPerf, neither does any
+// application-level processing (paper §2.2).
+#ifndef HOSTSIM_APP_LONG_FLOW_APP_H
+#define HOSTSIM_APP_LONG_FLOW_APP_H
+
+#include "cpu/scheduler.h"
+#include "net/tcp_socket.h"
+
+namespace hostsim {
+
+class LongFlowSender {
+ public:
+  LongFlowSender(Core& core, TcpSocket& socket, Bytes chunk = 128 * kKiB);
+
+  /// Begins streaming (schedules the first quantum).
+  void start() { thread_.notify(); }
+
+  Thread& thread() { return thread_; }
+
+ private:
+  TcpSocket* socket_;
+  Bytes chunk_;
+  Thread thread_;
+};
+
+class LongFlowReceiver {
+ public:
+  LongFlowReceiver(Core& core, TcpSocket& socket, Bytes chunk = 32 * kKiB);
+
+  Thread& thread() { return thread_; }
+  Bytes received() const { return socket_->delivered_to_app(); }
+
+ private:
+  TcpSocket* socket_;
+  Bytes chunk_;
+  Thread thread_;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_APP_LONG_FLOW_APP_H

@@ -1,0 +1,66 @@
+#include "app/rpc_app.h"
+
+#include <algorithm>
+
+namespace hostsim {
+
+RpcClient::RpcClient(Core& core, TcpSocket& socket, Bytes rpc_size)
+    : socket_(&socket), rpc_size_(rpc_size), thread_(core, "rpc-client") {
+  socket_->set_rx_waiter(&thread_);
+  socket_->set_tx_waiter(&thread_);
+  thread_.set_body([this](Core& c, Thread& thread) {
+    // Finish sending a partially accepted request first.
+    if (request_pending_ > 0) {
+      request_pending_ -= socket_->send(c, request_pending_);
+      thread.finish_quantum(/*more_work=*/false);
+      return;
+    }
+    if (response_pending_ == 0) {
+      // Issue the next request.
+      response_pending_ = rpc_size_;
+      issued_at_ = c.loop().now();
+      request_pending_ = rpc_size_ - socket_->send(c, rpc_size_);
+      thread.finish_quantum(/*more_work=*/false);
+      return;
+    }
+    const Bytes copied = socket_->recv(c, response_pending_);
+    response_pending_ -= std::min(copied, response_pending_);
+    if (response_pending_ == 0) {
+      ++completed_;
+      latency_.record(c.loop().now() - issued_at_);
+      // Ping-pong: immediately send the next request.
+      thread.finish_quantum(/*more_work=*/true);
+    } else {
+      thread.finish_quantum(/*more_work=*/socket_->readable() > 0);
+    }
+  });
+}
+
+RpcServer::RpcServer(Core& core, TcpSocket& socket, Bytes rpc_size)
+    : socket_(&socket), rpc_size_(rpc_size), thread_(core, "rpc-server") {
+  socket_->set_rx_waiter(&thread_);
+  socket_->set_tx_waiter(&thread_);
+  thread_.set_body([this](Core& c, Thread& thread) {
+    // Flush a response blocked on send-buffer space.
+    if (response_pending_ > 0) {
+      response_pending_ -= socket_->send(c, response_pending_);
+      if (response_pending_ > 0) {
+        thread.finish_quantum(/*more_work=*/false);
+        return;
+      }
+    }
+    if (socket_->readable() > 0) {
+      request_received_ += socket_->recv(c, rpc_size_);
+    }
+    bool more = false;
+    if (request_received_ >= rpc_size_) {
+      request_received_ -= rpc_size_;
+      ++served_;
+      response_pending_ = rpc_size_ - socket_->send(c, rpc_size_);
+      more = request_received_ >= rpc_size_ || socket_->readable() > 0;
+    }
+    thread.finish_quantum(more);
+  });
+}
+
+}  // namespace hostsim

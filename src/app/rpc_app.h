@@ -1,0 +1,67 @@
+// netperf-like ping-pong RPC applications over long-lived connections.
+//
+// A client sends a request of `rpc_size` bytes and waits for an equally
+// sized response before sending the next request (netperf TCP_RR with
+// equal request/response sizes, paper §3.7).  Server side follows
+// netperf's process-per-connection model: every connection is served by
+// its own thread, so colocated connections pay a scheduler wake/switch
+// per transaction — exactly the short-flow scheduling overhead the paper
+// measures (figs. 10 and 11).
+#ifndef HOSTSIM_APP_RPC_APP_H
+#define HOSTSIM_APP_RPC_APP_H
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "cpu/scheduler.h"
+#include "net/tcp_socket.h"
+
+namespace hostsim {
+
+class RpcClient {
+ public:
+  RpcClient(Core& core, TcpSocket& socket, Bytes rpc_size);
+
+  /// Issues the first request.
+  void start() { thread_.notify(); }
+
+  Thread& thread() { return thread_; }
+  std::uint64_t completed() const { return completed_; }
+
+  /// Per-transaction latency (request issued -> response fully read).
+  const Histogram& latency() const { return latency_; }
+  void reset_latency() { latency_.clear(); }
+
+ private:
+  TcpSocket* socket_;
+  Bytes rpc_size_;
+  Bytes response_pending_ = 0;  ///< response bytes still expected
+  Bytes request_pending_ = 0;   ///< request bytes not yet accepted
+  Nanos issued_at_ = 0;         ///< timestamp of the outstanding request
+  Thread thread_;
+  std::uint64_t completed_ = 0;
+  Histogram latency_;
+};
+
+/// One server process (thread) bound to one connection, echoing each
+/// complete request with an equally sized response.
+class RpcServer {
+ public:
+  RpcServer(Core& core, TcpSocket& socket, Bytes rpc_size);
+
+  Thread& thread() { return thread_; }
+  std::uint64_t served() const { return served_; }
+
+ private:
+  TcpSocket* socket_;
+  Bytes rpc_size_;
+  Bytes request_received_ = 0;
+  Bytes response_pending_ = 0;  ///< response bytes not yet accepted
+  Thread thread_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_APP_RPC_APP_H

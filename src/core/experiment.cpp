@@ -1,0 +1,199 @@
+#include "core/experiment.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "core/patterns.h"
+#include "core/testbed.h"
+#include "sim/contract.h"
+
+namespace hostsim {
+namespace {
+
+struct HostSnapshot {
+  std::vector<CycleAccount> core_accounts;
+  std::vector<Nanos> core_busy;
+  Bytes delivered = 0;
+  std::map<int, Bytes> per_flow_delivered;
+  std::uint64_t pageset_hits = 0;
+  std::uint64_t pageset_misses = 0;
+};
+
+HostSnapshot snapshot(Host& host) {
+  HostSnapshot snap;
+  for (int id = 0; id < host.num_cores(); ++id) {
+    snap.core_accounts.push_back(host.core(id).account());
+    snap.core_busy.push_back(host.core(id).busy_time());
+  }
+  snap.delivered = host.stack().total_delivered_to_app();
+  for (int flow : host.stack().flow_ids()) {
+    snap.per_flow_delivered[flow] =
+        host.stack().socket(flow).delivered_to_app();
+  }
+  snap.pageset_hits = host.allocator().pageset_stats().hits();
+  snap.pageset_misses = host.allocator().pageset_stats().misses();
+  return snap;
+}
+
+double cores_used(Host& host, const HostSnapshot& before, Nanos window,
+                  double* peak = nullptr) {
+  double used = 0.0;
+  if (peak != nullptr) *peak = 0.0;
+  for (int id = 0; id < host.num_cores(); ++id) {
+    const Nanos busy =
+        host.core(id).busy_time() - before.core_busy[static_cast<std::size_t>(id)];
+    const double util = static_cast<double>(busy) / static_cast<double>(window);
+    used += util;
+    if (peak != nullptr && util > *peak) *peak = util;
+  }
+  return used;
+}
+
+CycleAccount cycles_delta(Host& host, const HostSnapshot& before) {
+  CycleAccount total;
+  for (int id = 0; id < host.num_cores(); ++id) {
+    total.merge(host.core(id).account().delta_since(
+        before.core_accounts[static_cast<std::size_t>(id)]));
+  }
+  return total;
+}
+
+double pageset_miss_delta(Host& host, const HostSnapshot& before) {
+  const HitRate& now = host.allocator().pageset_stats();
+  const std::uint64_t hits = now.hits() - before.pageset_hits;
+  const std::uint64_t misses = now.misses() - before.pageset_misses;
+  const std::uint64_t total = hits + misses;
+  return total ? static_cast<double>(misses) / static_cast<double>(total)
+               : 0.0;
+}
+
+}  // namespace
+
+Metrics Experiment::run() {
+  require(config_.warmup >= 0 && config_.duration > 0,
+          "warmup/duration must be sane");
+  Testbed testbed(config_);
+  Workload workload = build_workload(testbed, config_.traffic);
+  workload.start();
+
+  testbed.loop().run_until(config_.warmup);
+  const HostSnapshot sender_before = snapshot(testbed.sender());
+  const HostSnapshot receiver_before = snapshot(testbed.receiver());
+  const std::uint64_t rpc_before = workload.rpc_transactions();
+  const std::uint64_t drops_before = testbed.wire().dropped();
+  workload.reset_rpc_latency();
+  testbed.sender().stack().begin_measurement();
+  testbed.receiver().stack().begin_measurement();
+
+  testbed.loop().run_until(config_.warmup + config_.duration);
+
+  Metrics metrics;
+  metrics.window = config_.duration;
+  const Bytes delivered_sender = testbed.sender().stack().total_delivered_to_app() -
+                                 sender_before.delivered;
+  const Bytes delivered_receiver =
+      testbed.receiver().stack().total_delivered_to_app() -
+      receiver_before.delivered;
+  metrics.app_bytes = delivered_sender + delivered_receiver;
+  metrics.total_gbps = to_gbps(metrics.app_bytes, metrics.window);
+
+  metrics.sender_cores_used =
+      cores_used(testbed.sender(), sender_before, metrics.window,
+                 &metrics.sender_peak_core_util);
+  metrics.receiver_cores_used =
+      cores_used(testbed.receiver(), receiver_before, metrics.window,
+                 &metrics.receiver_peak_core_util);
+
+  // The paper's throughput-per-core divides total throughput by the CPU
+  // utilization of the bottleneck side — the side whose busiest core is
+  // most saturated (an outcast's one pegged sender core is the
+  // bottleneck even if 24 lightly-loaded receiver cores sum to more).
+  const double bottleneck =
+      metrics.sender_peak_core_util > metrics.receiver_peak_core_util
+          ? metrics.sender_cores_used
+          : metrics.receiver_cores_used;
+  if (bottleneck > 0) {
+    metrics.throughput_per_core_gbps = metrics.total_gbps / bottleneck;
+  }
+  if (metrics.sender_cores_used > 0) {
+    metrics.throughput_per_sender_core_gbps =
+        metrics.total_gbps / metrics.sender_cores_used;
+  }
+  if (metrics.receiver_cores_used > 0) {
+    metrics.throughput_per_receiver_core_gbps =
+        metrics.total_gbps / metrics.receiver_cores_used;
+  }
+
+  metrics.sender_cycles = cycles_delta(testbed.sender(), sender_before);
+  metrics.receiver_cycles = cycles_delta(testbed.receiver(), receiver_before);
+
+  const HostStats& rx_stats = testbed.receiver().stack().stats();
+  const HostStats& tx_stats = testbed.sender().stack().stats();
+  metrics.rx_copy_miss_rate = rx_stats.copy_reads.miss_rate();
+  metrics.tx_copy_miss_rate = tx_stats.sender_copy.miss_rate();
+  metrics.napi_to_copy_avg =
+      static_cast<Nanos>(rx_stats.napi_to_copy.mean());
+  metrics.napi_to_copy_p99 = rx_stats.napi_to_copy.percentile(0.99);
+  metrics.mean_skb_bytes = rx_stats.skb_sizes.mean();
+  metrics.skb_64kb_fraction = rx_stats.skb_sizes.fraction_at_least(60 * kKiB);
+
+  metrics.retransmits = tx_stats.retransmits;
+  metrics.dup_acks_received = tx_stats.dup_acks;
+  metrics.acks_received = tx_stats.acks_received;
+  metrics.wire_drops = testbed.wire().dropped() - drops_before;
+
+  metrics.sender_pageset_miss =
+      pageset_miss_delta(testbed.sender(), sender_before);
+  metrics.receiver_pageset_miss =
+      pageset_miss_delta(testbed.receiver(), receiver_before);
+
+  metrics.rpc_transactions = workload.rpc_transactions() - rpc_before;
+  metrics.rpc_transactions_per_sec =
+      static_cast<double>(metrics.rpc_transactions) / to_seconds(metrics.window);
+  const Histogram rpc_latency = workload.rpc_latency();
+  metrics.rpc_latency_p50 = rpc_latency.percentile(0.5);
+  metrics.rpc_latency_p99 = rpc_latency.percentile(0.99);
+
+  // Per-flow accounting: bytes the flow delivered to applications on
+  // either host during the window (responses count at the sender host).
+  for (int flow : testbed.receiver().stack().flow_ids()) {
+    Metrics::FlowMetrics fm;
+    fm.flow = flow;
+    auto before_it = receiver_before.per_flow_delivered.find(flow);
+    const Bytes rcv_before =
+        before_it != receiver_before.per_flow_delivered.end()
+            ? before_it->second
+            : 0;
+    fm.delivered =
+        testbed.receiver().stack().socket(flow).delivered_to_app() -
+        rcv_before;
+    auto snd_it = sender_before.per_flow_delivered.find(flow);
+    if (snd_it != sender_before.per_flow_delivered.end()) {
+      fm.delivered +=
+          testbed.sender().stack().socket(flow).delivered_to_app() -
+          snd_it->second;
+    }
+    fm.gbps = to_gbps(fm.delivered, metrics.window);
+    metrics.flows.push_back(fm);
+  }
+
+  if (config_.stack.trace_capacity > 0) {
+    metrics.trace = testbed.sender().stack().tracer().snapshot();
+    const auto receiver_trace =
+        testbed.receiver().stack().tracer().snapshot();
+    metrics.trace.insert(metrics.trace.end(), receiver_trace.begin(),
+                         receiver_trace.end());
+    std::stable_sort(metrics.trace.begin(), metrics.trace.end(),
+              [](const TraceRecord& a, const TraceRecord& b) {
+                return a.at < b.at;
+              });
+  }
+  return metrics;
+}
+
+Metrics run_experiment(const ExperimentConfig& config) {
+  return Experiment(config).run();
+}
+
+}  // namespace hostsim

@@ -1,0 +1,30 @@
+// Experiment driver: builds a testbed and workload from a configuration,
+// runs warmup + measurement windows, and computes Metrics.
+#ifndef HOSTSIM_CORE_EXPERIMENT_H
+#define HOSTSIM_CORE_EXPERIMENT_H
+
+#include "core/config.h"
+#include "core/metrics.h"
+
+namespace hostsim {
+
+class Experiment {
+ public:
+  explicit Experiment(ExperimentConfig config) : config_(std::move(config)) {}
+
+  /// Runs the experiment to completion and returns its measurements.
+  /// Deterministic: same configuration and seed, same Metrics.
+  Metrics run();
+
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  ExperimentConfig config_;
+};
+
+/// Convenience one-shot runner.
+Metrics run_experiment(const ExperimentConfig& config);
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_CORE_EXPERIMENT_H

@@ -1,0 +1,52 @@
+// One simulated server: cores, per-node LLCs, page allocator, IOMMU, NIC
+// and the network stack, assembled from an ExperimentConfig.
+#ifndef HOSTSIM_CORE_HOST_H
+#define HOSTSIM_CORE_HOST_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "cpu/core.h"
+#include "hw/llc_model.h"
+#include "hw/nic.h"
+#include "hw/wire.h"
+#include "mem/iommu.h"
+#include "mem/page_allocator.h"
+#include "net/stack.h"
+
+namespace hostsim {
+
+class Host {
+ public:
+  Host(EventLoop& loop, const ExperimentConfig& config, Wire& wire,
+       Wire::Side side, std::string name);
+
+  Host(const Host&) = delete;
+  Host& operator=(const Host&) = delete;
+
+  const std::string& name() const { return name_; }
+  Core& core(int id) { return *cores_.at(static_cast<std::size_t>(id)); }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+  LlcModel& llc(int node) { return *llcs_.at(static_cast<std::size_t>(node)); }
+  Nic& nic() { return *nic_; }
+  Stack& stack() { return *stack_; }
+  PageAllocator& allocator() { return *allocator_; }
+  const NumaTopology& topo() const { return topo_; }
+
+ private:
+  std::string name_;
+  CostModel cost_;
+  NumaTopology topo_;
+  std::vector<std::unique_ptr<Core>> cores_;
+  std::vector<std::unique_ptr<LlcModel>> llcs_;
+  std::unique_ptr<PageAllocator> allocator_;
+  std::unique_ptr<Iommu> iommu_;
+  std::unique_ptr<Nic> nic_;
+  std::unique_ptr<Stack> stack_;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_CORE_HOST_H

@@ -1,0 +1,18 @@
+#include "core/metrics.h"
+
+namespace hostsim {
+
+double Metrics::flow_fairness() const {
+  if (flows.empty()) return 0.0;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (const FlowMetrics& flow : flows) {
+    sum += flow.gbps;
+    sum_sq += flow.gbps * flow.gbps;
+  }
+  if (sum_sq <= 0.0) return 0.0;
+  const double n = static_cast<double>(flows.size());
+  return (sum * sum) / (n * sum_sq);
+}
+
+}  // namespace hostsim

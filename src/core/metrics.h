@@ -1,0 +1,96 @@
+// Measurement results of one experiment run — the quantities the paper
+// plots: throughput, throughput-per-core, per-category CPU breakdowns,
+// cache miss rates, host latency, and skb size statistics.
+#ifndef HOSTSIM_CORE_METRICS_H
+#define HOSTSIM_CORE_METRICS_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "cpu/cycle_account.h"
+#include "sim/trace.h"
+#include "sim/units.h"
+
+namespace hostsim {
+
+struct Metrics {
+  Nanos window = 0;
+
+  // Throughput (application-level goodput, both hosts).
+  Bytes app_bytes = 0;
+  double total_gbps = 0.0;
+
+  // CPU utilization, in cores (sum of per-core busy fractions).
+  double sender_cores_used = 0.0;
+  double receiver_cores_used = 0.0;
+  // Busiest single core on each side — identifies the bottleneck side.
+  double sender_peak_core_util = 0.0;
+  double receiver_peak_core_util = 0.0;
+
+  // The paper's headline metric: total throughput over total CPU
+  // utilization at the bottleneck side.
+  double throughput_per_core_gbps = 0.0;
+  double throughput_per_sender_core_gbps = 0.0;    ///< outcast (§3.4)
+  double throughput_per_receiver_core_gbps = 0.0;
+
+  // Table-1 cycle breakdowns, aggregated over each host's cores.
+  CycleAccount sender_cycles;
+  CycleAccount receiver_cycles;
+
+  // Cache behaviour.
+  double rx_copy_miss_rate = 0.0;  ///< receiver data-copy LLC miss rate
+  double tx_copy_miss_rate = 0.0;  ///< sender copy destination residency
+
+  // Host processing latency, NAPI to start of data copy (fig. 3(f)).
+  Nanos napi_to_copy_avg = 0;
+  Nanos napi_to_copy_p99 = 0;
+
+  // Post-GRO skb sizes at the receiver (fig. 8(c)).
+  double mean_skb_bytes = 0.0;
+  double skb_64kb_fraction = 0.0;
+
+  // Protocol events (sender side unless noted).
+  std::uint64_t retransmits = 0;
+  std::uint64_t dup_acks_received = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t wire_drops = 0;
+
+  // Memory subsystem.
+  double sender_pageset_miss = 0.0;
+  double receiver_pageset_miss = 0.0;
+
+  // RPC workloads.
+  std::uint64_t rpc_transactions = 0;
+  double rpc_transactions_per_sec = 0.0;
+  Nanos rpc_latency_p50 = 0;
+  Nanos rpc_latency_p99 = 0;
+
+  // Per-flow accounting (application-level bytes received at each
+  // endpoint during the measurement window, receiver host first).
+  struct FlowMetrics {
+    int flow = 0;
+    Bytes delivered = 0;
+    double gbps = 0.0;
+  };
+  std::vector<FlowMetrics> flows;
+
+  /// Jain's fairness index over per-flow throughput (1.0 = perfectly
+  /// fair); 0 when there are no flows.
+  double flow_fairness() const;
+
+  /// Merged flight-recorder trace from both hosts (empty unless
+  /// StackConfig::trace_capacity was set), time-ordered.
+  std::vector<TraceRecord> trace;
+
+  double sender_fraction(CpuCategory category) const {
+    return sender_cycles.fraction(category);
+  }
+  double receiver_fraction(CpuCategory category) const {
+    return receiver_cycles.fraction(category);
+  }
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_CORE_METRICS_H

@@ -1,0 +1,4 @@
+#include "core/paper.h"
+
+// Constants only; this translation unit anchors the header.
+namespace hostsim::paper {}  // namespace hostsim::paper

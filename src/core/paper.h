@@ -1,0 +1,52 @@
+// Reference values digitized from the paper's figures, used by the bench
+// binaries to print paper-vs-measured rows and by the calibration tests
+// to assert that the reproduction holds in shape.
+//
+// Values are approximate readings of the published plots; tolerances in
+// the tests are correspondingly wide.  EXPERIMENTS.md records the full
+// comparison.
+#ifndef HOSTSIM_CORE_PAPER_H
+#define HOSTSIM_CORE_PAPER_H
+
+namespace hostsim::paper {
+
+// --- §3.1 single flow (fig. 3) ---
+inline constexpr double kSingleFlowTpcGbps = 42.0;     // all optimizations
+inline constexpr double kSingleFlowCopyFraction = 0.49;  // receiver cycles
+inline constexpr double kSingleFlowMissRate = 0.49;      // receiver LLC
+inline constexpr double kTunedPeakTpcGbps = 55.0;        // fig. 3(e) best
+
+// --- fig. 4 NIC-remote NUMA ---
+inline constexpr double kRemoteNumaTpcDrop = 0.20;  // ~20% drop
+
+// --- §3.2 one-to-one (fig. 5) ---
+inline constexpr double kOneToOne24TpcDrop = 0.64;  // 42 -> ~15 Gbps
+inline constexpr double kOneToOne24TpcGbps = 15.0;
+
+// --- §3.3 incast (fig. 6) ---
+inline constexpr double kIncast8TpcDrop = 0.19;
+inline constexpr double kIncast8MissRate = 0.78;  // 48% -> 78%
+
+// --- §3.4 outcast (fig. 7) ---
+inline constexpr double kOutcastPeakSenderGbps = 89.0;
+inline constexpr double kOutcastSenderMissRate24 = 0.11;
+
+// --- §3.5 all-to-all (fig. 8) ---
+inline constexpr double kAllToAll24TpcDrop = 0.67;
+
+// --- §3.6 loss (fig. 9) ---
+inline constexpr double kLossTpcDropAt1_5e2 = 0.24;
+
+// --- §3.7 flow sizes (figs. 10, 11) ---
+inline constexpr double kMixedTpcDrop = 0.43;        // 0 -> 16 short flows
+inline constexpr double kMixedLongGbps = 20.0;       // long flow when mixed
+inline constexpr double kShortIsolationGbps = 6.15;  // 16 RPCs alone
+
+// --- §3.8 / §3.9 DCA and IOMMU (fig. 12) ---
+inline constexpr double kDcaOffTpcDrop = 0.19;
+inline constexpr double kIommuTpcDrop = 0.26;
+inline constexpr double kIommuRxMemFraction = 0.30;
+
+}  // namespace hostsim::paper
+
+#endif  // HOSTSIM_CORE_PAPER_H

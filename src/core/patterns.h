@@ -1,0 +1,43 @@
+// Workload builders for the paper's traffic patterns (fig. 2) and the
+// §3.7 flow-size mixes.
+#ifndef HOSTSIM_CORE_PATTERNS_H
+#define HOSTSIM_CORE_PATTERNS_H
+
+#include <memory>
+#include <vector>
+
+#include "app/long_flow_app.h"
+#include "app/rpc_app.h"
+#include "core/testbed.h"
+
+namespace hostsim {
+
+/// Owns every application object of a running workload.
+struct Workload {
+  std::vector<std::unique_ptr<LongFlowSender>> long_senders;
+  std::vector<std::unique_ptr<LongFlowReceiver>> long_receivers;
+  std::vector<std::unique_ptr<RpcClient>> rpc_clients;
+  std::vector<std::unique_ptr<RpcServer>> rpc_servers;
+
+  /// Kicks off every application.
+  void start();
+
+  /// Completed RPC transactions across all clients.
+  std::uint64_t rpc_transactions() const;
+
+  /// Merged per-transaction latency histogram across all clients.
+  Histogram rpc_latency() const;
+  /// Clears client latency records (start of a measurement window).
+  void reset_rpc_latency();
+};
+
+/// Builds the applications and flows for `traffic` on `testbed`.
+/// Placement follows the paper: cores are used in id order, so the first
+/// `cores_per_node` flows land on the NIC-local NUMA node;
+/// `receiver_app_remote_numa` pins receiver-side applications to a
+/// NIC-remote node instead (figs. 4 and 10(c)).
+Workload build_workload(Testbed& testbed, const TrafficConfig& traffic);
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_CORE_PATTERNS_H

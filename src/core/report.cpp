@@ -1,0 +1,126 @@
+#include "core/report.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <iostream>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  require(cells.size() == headers_.size(), "row width must match headers");
+  rows_.push_back(std::move(cells));
+}
+
+void Table::print(std::ostream& out) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) {
+    widths[i] = headers_[i].size();
+    for (const auto& row : rows_) widths[i] = std::max(widths[i], row[i].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out << "  " << row[i];
+      for (std::size_t pad = row[i].size(); pad < widths[i]; ++pad) out << ' ';
+    }
+    out << '\n';
+  };
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t w : widths) rule += "  " + std::string(w, '-');
+  out << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+void Table::print() const { print(std::cout); }
+
+std::string Table::num(double value, int precision) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof buffer, "%.*f", precision, value);
+  return buffer;
+}
+
+std::string Table::percent(double fraction, int precision) {
+  return num(fraction * 100.0, precision) + "%";
+}
+
+std::vector<std::string> breakdown_headers() {
+  std::vector<std::string> headers;
+  for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
+    headers.emplace_back(to_string(static_cast<CpuCategory>(i)));
+  }
+  return headers;
+}
+
+std::vector<std::string> breakdown_cells(const CycleAccount& account) {
+  std::vector<std::string> cells;
+  for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
+    cells.push_back(
+        Table::percent(account.fraction(static_cast<CpuCategory>(i))));
+  }
+  return cells;
+}
+
+void print_section(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+void print_paper_line(const std::string& what, double measured,
+                      const std::string& unit,
+                      const std::string& paper_note) {
+  std::cout << "  " << what << ": " << Table::num(measured) << " " << unit
+            << "   (paper: " << paper_note << ")\n";
+}
+
+std::string metrics_csv_header() {
+  std::string header =
+      "total_gbps,tput_per_core_gbps,tput_per_sender_core_gbps,"
+      "tput_per_receiver_core_gbps,sender_cores,receiver_cores,"
+      "rx_miss_rate,tx_miss_rate,napi_to_copy_avg_ns,napi_to_copy_p99_ns,"
+      "mean_skb_bytes,skb_64kb_fraction,retransmits,dup_acks,wire_drops,"
+      "rpc_tps";
+  for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
+    header += ",snd_" + std::string(to_string(static_cast<CpuCategory>(i)));
+  }
+  for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
+    header += ",rcv_" + std::string(to_string(static_cast<CpuCategory>(i)));
+  }
+  return header;
+}
+
+std::string metrics_csv_row(const Metrics& m) {
+  std::string row;
+  auto add = [&row](const std::string& cell) {
+    if (!row.empty()) row += ",";
+    row += cell;
+  };
+  add(Table::num(m.total_gbps, 3));
+  add(Table::num(m.throughput_per_core_gbps, 3));
+  add(Table::num(m.throughput_per_sender_core_gbps, 3));
+  add(Table::num(m.throughput_per_receiver_core_gbps, 3));
+  add(Table::num(m.sender_cores_used, 3));
+  add(Table::num(m.receiver_cores_used, 3));
+  add(Table::num(m.rx_copy_miss_rate, 4));
+  add(Table::num(m.tx_copy_miss_rate, 4));
+  add(std::to_string(m.napi_to_copy_avg));
+  add(std::to_string(m.napi_to_copy_p99));
+  add(Table::num(m.mean_skb_bytes, 1));
+  add(Table::num(m.skb_64kb_fraction, 4));
+  add(std::to_string(m.retransmits));
+  add(std::to_string(m.dup_acks_received));
+  add(std::to_string(m.wire_drops));
+  add(Table::num(m.rpc_transactions_per_sec, 1));
+  for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
+    add(Table::num(m.sender_fraction(static_cast<CpuCategory>(i)), 4));
+  }
+  for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
+    add(Table::num(m.receiver_fraction(static_cast<CpuCategory>(i)), 4));
+  }
+  return row;
+}
+
+}  // namespace hostsim

@@ -1,0 +1,51 @@
+// Plain-text reporting: aligned tables and CPU-breakdown rows for the
+// bench binaries that regenerate the paper's figures.
+#ifndef HOSTSIM_CORE_REPORT_H
+#define HOSTSIM_CORE_REPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace hostsim {
+
+/// Minimal fixed-width text table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& out) const;
+  void print() const;  ///< to stdout
+
+  /// Formats a double with `precision` decimals.
+  static std::string num(double value, int precision = 1);
+  /// Formats a percentage ("49.3%").
+  static std::string percent(double fraction, int precision = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// One row per Table-1 category, as fractions of total cycles.
+std::vector<std::string> breakdown_cells(const CycleAccount& account);
+std::vector<std::string> breakdown_headers();
+
+/// Prints a titled section separator.
+void print_section(const std::string& title);
+
+/// Prints a measured-vs-paper line ("throughput-per-core: 41.8 Gbps
+/// (paper ~42)").
+void print_paper_line(const std::string& what, double measured,
+                      const std::string& unit, const std::string& paper_note);
+
+/// CSV export of Metrics (for spreadsheets / plotting scripts).
+std::string metrics_csv_header();
+std::string metrics_csv_row(const Metrics& metrics);
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_CORE_REPORT_H

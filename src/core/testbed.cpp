@@ -1,0 +1,48 @@
+#include "core/testbed.h"
+
+namespace hostsim {
+
+Testbed::Testbed(const ExperimentConfig& config) : config_(config) {
+  loop_ = std::make_unique<EventLoop>(config.seed);
+  Wire::Config wire_config;
+  wire_config.gbps = config.link_gbps;
+  wire_config.propagation = config.wire_propagation;
+  wire_config.loss_rate = config.loss_rate;
+  wire_config.ecn_threshold = config.ecn_threshold;
+  wire_ = std::make_unique<Wire>(*loop_, wire_config);
+  sender_ = std::make_unique<Host>(*loop_, config, *wire_, Wire::Side::a,
+                                   "sender");
+  receiver_ = std::make_unique<Host>(*loop_, config, *wire_, Wire::Side::b,
+                                     "receiver");
+}
+
+Testbed::FlowEndpoints Testbed::make_flow(int sender_core, int receiver_core,
+                                          bool explicit_irq_mapping) {
+  const int flow = next_flow_++;
+  FlowEndpoints endpoints;
+  endpoints.at_sender = &sender_->stack().create_socket(flow, sender_core);
+  endpoints.at_receiver =
+      &receiver_->stack().create_socket(flow, receiver_core);
+
+  if (config_.stack.arfs) {
+    // aRFS: the NIC steers each flow's IRQs to the core where the
+    // consuming application runs (both directions: data at the receiver,
+    // ACKs at the sender).
+    sender_->nic().steer_flow(flow, sender_core);
+    receiver_->nic().steer_flow(flow, receiver_core);
+  } else if (config_.stack.fallback_steering == SteeringMode::rss &&
+             explicit_irq_mapping) {
+    // Paper methodology (§3.1): without aRFS, deterministically map each
+    // flow's IRQs to a unique core on a NIC-remote NUMA node (the RSS
+    // worst case).
+    const int remote = next_remote_irq_++;
+    sender_->nic().steer_flow(flow, sender_->topo().remote_core(remote));
+    receiver_->nic().steer_flow(flow, receiver_->topo().remote_core(remote));
+  }
+  // Otherwise: no steering entry — the NIC hashes the flow to a queue
+  // (plain RSS, also the IRQ placement under software RPS/RFS, which
+  // then requeue protocol processing in the stack).
+  return endpoints;
+}
+
+}  // namespace hostsim

@@ -1,0 +1,58 @@
+// The paper's two-server testbed: sender host, receiver host, 100Gbps
+// wire, and flow plumbing (socket pairs + IRQ steering policy).
+#ifndef HOSTSIM_CORE_TESTBED_H
+#define HOSTSIM_CORE_TESTBED_H
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/host.h"
+#include "hw/wire.h"
+#include "net/tcp_socket.h"
+#include "sim/event_loop.h"
+
+namespace hostsim {
+
+class Testbed {
+ public:
+  explicit Testbed(const ExperimentConfig& config);
+
+  Testbed(const Testbed&) = delete;
+  Testbed& operator=(const Testbed&) = delete;
+
+  EventLoop& loop() { return *loop_; }
+  Host& sender() { return *sender_; }
+  Host& receiver() { return *receiver_; }
+  Wire& wire() { return *wire_; }
+  const ExperimentConfig& config() const { return config_; }
+
+  /// Endpoints of one established flow.
+  struct FlowEndpoints {
+    TcpSocket* at_sender;
+    TcpSocket* at_receiver;
+  };
+
+  /// Creates both endpoints of a flow and installs IRQ steering:
+  /// with aRFS, each NIC steers to the local application's core; without
+  /// it, steering follows the paper's methodology — a deterministic
+  /// NIC-remote core per flow (`explicit_irq_mapping`, §3.1), or the
+  /// hash fallback when the steering table would not fit (§3.5).
+  FlowEndpoints make_flow(int sender_core, int receiver_core,
+                          bool explicit_irq_mapping = true);
+
+  int flows_created() const { return next_flow_; }
+
+ private:
+  ExperimentConfig config_;
+  std::unique_ptr<EventLoop> loop_;
+  std::unique_ptr<Wire> wire_;
+  std::unique_ptr<Host> sender_;
+  std::unique_ptr<Host> receiver_;
+  int next_flow_ = 0;
+  int next_remote_irq_ = 0;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_CORE_TESTBED_H

@@ -1,0 +1,80 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+
+#include <utility>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+
+void Core::post(Context& context, TaskFn fn) {
+  require(static_cast<bool>(fn), "task function must be callable");
+  auto& queue = context.kernel ? kernel_queue_ : user_queue_;
+  queue.push_back(Task{&context, std::move(fn)});
+  if (!busy_) dispatch();
+}
+
+void Core::charge(CpuCategory category, Cycles cycles) {
+  require(in_task_, "charge() outside of a running task");
+  require(cycles >= 0, "cannot charge negative cycles");
+  cycles = static_cast<Cycles>(static_cast<double>(cycles) * cold_scale_);
+  account_.add(category, cycles);
+  task_cycles_ += cycles;
+}
+
+void Core::defer(Action action) {
+  require(in_task_, "defer() outside of a running task");
+  require(static_cast<bool>(action), "deferred action must be callable");
+  deferred_.push_back(std::move(action));
+}
+
+void Core::dispatch() {
+  require(!busy_, "dispatch while busy");
+  auto& queue = !kernel_queue_.empty() ? kernel_queue_ : user_queue_;
+  if (queue.empty()) return;
+  Task task = std::move(queue.front());
+  queue.pop_front();
+
+  busy_ = true;
+  in_task_ = true;
+  task_cycles_ = 0;
+  ++tasks_run_;
+  // Cold microarchitectural state after an idle gap inflates this
+  // task's costs, ramping with the gap length (see CostModel::cold_gap).
+  const Nanos gap = loop_->now() - last_active_;
+  if (gap <= cost_->cold_gap) {
+    cold_scale_ = 1.0;
+  } else {
+    const double ramp =
+        std::min(1.0, static_cast<double>(gap - cost_->cold_gap) /
+                          static_cast<double>(cost_->cold_ramp));
+    cold_scale_ = 1.0 + ramp * (cost_->cold_penalty_max - 1.0);
+  }
+
+  if (last_context_ != nullptr && last_context_ != task.context) {
+    ++context_switches_;
+    charge(CpuCategory::sched, cost_->context_switch);
+  }
+  last_context_ = task.context;
+
+  task.fn(*this);
+  in_task_ = false;
+
+  const Nanos busy = cost_->nanos(task_cycles_);
+  loop_->schedule_after(busy, [this, busy] { complete(busy); });
+}
+
+void Core::complete(Nanos busy) {
+  busy_time_ += busy;
+  busy_ = false;
+  last_active_ = loop_->now();
+  // Deferred cross-resource handoffs run before picking the next task so
+  // that anything they post lands in this dispatch round.
+  std::vector<Action> deferred = std::move(deferred_);
+  deferred_.clear();
+  for (Action& action : deferred) action();
+  if (!busy_) dispatch();
+}
+
+}  // namespace hostsim

@@ -1,0 +1,118 @@
+// Simulated CPU core: a serial resource with two-priority dispatch and
+// exact per-category cycle accounting.
+//
+// Execution model: work arrives as *tasks* bound to a *context* (an app
+// thread, or the softirq context).  A task's function runs logically at
+// dispatch time; it performs model updates and calls charge() to account
+// the cycles it consumes.  The core then stays busy for the charged time
+// and dispatches the next task afterwards.  Kernel-context tasks (IRQ,
+// softirq) are dispatched before user-context tasks, mirroring softirq
+// priority over user threads in Linux; tasks are not preempted, which is
+// accurate enough because every task is a small quantum (one NAPI batch,
+// one recv chunk, ...).
+#ifndef HOSTSIM_CPU_CORE_H
+#define HOSTSIM_CPU_CORE_H
+
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cpu/cost_model.h"
+#include "cpu/cycle_account.h"
+#include "sim/event_loop.h"
+#include "sim/units.h"
+
+namespace hostsim {
+
+/// An execution context (thread or softirq) that tasks belong to.  The
+/// core charges a context switch whenever consecutive tasks belong to
+/// different contexts.
+struct Context {
+  std::string name;
+  bool kernel = false;  ///< kernel contexts dispatch before user contexts
+};
+
+class Core {
+ public:
+  using TaskFn = std::function<void(Core&)>;
+  using Action = std::function<void()>;
+
+  Core(EventLoop& loop, const CostModel& cost, int id, int numa_node)
+      : loop_(&loop), cost_(&cost), id_(id), numa_node_(numa_node) {}
+
+  Core(const Core&) = delete;
+  Core& operator=(const Core&) = delete;
+
+  int id() const { return id_; }
+  int numa_node() const { return numa_node_; }
+  EventLoop& loop() { return *loop_; }
+  const CostModel& cost() const { return *cost_; }
+
+  /// Enqueues a task; it runs when the core becomes free (kernel-context
+  /// tasks first).  Safe to call from within a running task.
+  void post(Context& context, TaskFn fn);
+
+  /// Charges cycles to `category`.  Only valid from within a running
+  /// task; the core stays busy for the accumulated time.
+  void charge(CpuCategory category, Cycles cycles);
+
+  /// Registers an action to run when the *current* task's busy period
+  /// ends.  Used for cross-resource handoffs whose effects should be
+  /// visible only after this core finished the work (e.g. waking an app
+  /// thread on another core after TCP processing completes).
+  void defer(Action action);
+
+  /// True while a task body is executing (charge()/defer() are legal).
+  bool in_task() const { return in_task_; }
+
+  /// True when nothing is running or queued.
+  bool idle() const {
+    return !busy_ && kernel_queue_.empty() && user_queue_.empty();
+  }
+
+  /// Cycle accounting for this core (never reset; callers snapshot).
+  const CycleAccount& account() const { return account_; }
+
+  /// Total busy time accumulated (for CPU-utilization metrics).
+  Nanos busy_time() const { return busy_time_; }
+
+  /// Number of inter-context switches observed.
+  std::uint64_t context_switches() const { return context_switches_; }
+
+  /// Number of tasks executed.
+  std::uint64_t tasks_run() const { return tasks_run_; }
+
+ private:
+  struct Task {
+    Context* context;
+    TaskFn fn;
+  };
+
+  void dispatch();
+  void complete(Nanos busy);
+
+  EventLoop* loop_;
+  const CostModel* cost_;
+  int id_;
+  int numa_node_;
+
+  std::deque<Task> kernel_queue_;
+  std::deque<Task> user_queue_;
+  bool busy_ = false;
+  bool in_task_ = false;
+  double cold_scale_ = 1.0;  ///< cost inflation of the current task
+  Nanos last_active_ = 0;    ///< completion time of the last task
+  Context* last_context_ = nullptr;
+  Cycles task_cycles_ = 0;
+  std::vector<Action> deferred_;
+
+  CycleAccount account_;
+  Nanos busy_time_ = 0;
+  std::uint64_t context_switches_ = 0;
+  std::uint64_t tasks_run_ = 0;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_CPU_CORE_H

@@ -1,0 +1,5 @@
+#include "cpu/cost_model.h"
+
+// All members are defined inline with their calibration rationale in the
+// header; this translation unit exists to anchor the type.
+namespace hostsim {}  // namespace hostsim

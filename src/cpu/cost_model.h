@@ -1,0 +1,109 @@
+// Calibrated per-operation CPU cycle costs.
+//
+// These constants are the simulator's single calibration surface: they are
+// chosen once so that the paper's single-flow baseline (§3.1) matches —
+// ~42Gbps throughput-per-core with all optimizations, data copy ≈ 49% of
+// receiver cycles at ≈ 49% LLC miss rate, and a sender-side pipeline
+// capable of ~89Gbps per core (§3.4).  Every other experiment in the paper
+// is reproduced by changing only workload and stack configuration, never
+// these constants.  See EXPERIMENTS.md for the calibration record.
+#ifndef HOSTSIM_CPU_COST_MODEL_H
+#define HOSTSIM_CPU_COST_MODEL_H
+
+#include "sim/units.h"
+
+namespace hostsim {
+
+struct CostModel {
+  /// Core clock of the simulated Xeon Gold 6128.
+  double core_ghz = 3.4;
+
+  // --- Data copy (per byte). The L3-hit cost models a streaming copy out
+  // of cache; the miss cost includes the DRAM fetch stall. A remote-NUMA
+  // miss additionally crosses the inter-socket interconnect.
+  double copy_cyc_per_byte_hit = 0.13;
+  double copy_cyc_per_byte_miss = 0.52;
+  double copy_remote_numa_factor = 1.08;
+  /// Sender-side copy writes stream into fresh kernel pages; hardware
+  /// write-combining hides most of the RFO cost, leaving a small extra
+  /// charge when the destination page is cold.
+  double copy_write_miss_extra = 0.08;
+
+  // --- TCP/IP protocol processing (per skb, independent of skb size,
+  // plus a small per-byte checksum/bookkeeping residue).
+  Cycles tcpip_tx_per_skb = 1200;
+  Cycles tcpip_rx_per_skb = 2600;
+  double tcpip_cyc_per_byte = 0.010;
+  Cycles tcpip_ack_tx = 900;    ///< generating + sending an ACK
+  Cycles tcpip_ack_rx = 800;    ///< processing a received (possibly dup) ACK
+  Cycles tcpip_retransmit = 2600;  ///< locating + requeueing a lost segment
+
+  // --- Netdevice subsystem.
+  Cycles netdev_tx_per_skb = 1000;   ///< qdisc + xmit path per skb
+  Cycles netdev_rx_per_frame = 350;  ///< driver rx + napi bookkeeping
+  Cycles gro_per_segment = 380;      ///< software coalescing, per merged frame
+  Cycles gso_per_segment = 520;      ///< software segmentation, per produced frame
+  Cycles napi_poll_overhead = 900;   ///< fixed cost of one NAPI poll invocation
+  Cycles driver_tx_per_skb = 500;
+
+  // --- skb management.
+  Cycles skb_alloc = 450;
+  Cycles skb_free = 180;
+  Cycles skb_free_remote_extra = 260;  ///< freeing an skb whose pages are remote
+
+  // --- Memory: kernel page allocator and IOMMU.
+  Cycles page_alloc_pageset = 65;    ///< per page, per-core pageset hit
+  Cycles page_alloc_global = 700;    ///< per page, batched global refill
+  Cycles page_free_local = 65;       ///< per page, freed to local-node pageset
+  Cycles page_free_remote = 300;     ///< per page, freed to a remote node
+  int pageset_capacity = 512;        ///< pages cached per core
+  int pageset_batch = 64;            ///< pages moved per global refill/flush
+  Cycles iommu_map_per_page = 450;
+  Cycles iommu_unmap_per_page = 450;
+
+  // --- Locking (socket spinlock).
+  Cycles lock_uncontended = 250;
+  Cycles lock_contended = 700;  ///< cross-core cacheline bounce + spin
+
+  // --- Scheduling.
+  Cycles context_switch = 1700;  ///< switching the core between contexts
+  /// Full wakeup round trip: try_to_wake_up, runqueue manipulation, mm
+  /// switch, and the post-switch cache/TLB refill the new thread pays.
+  Cycles thread_wakeup = 2200;
+  Cycles thread_block = 1000;    ///< schedule-out when blocking on I/O
+  Nanos wakeup_latency = 1'500;  ///< time from wake posting to runnable
+  Cycles pacer_release = 800;    ///< qdisc pacing timer wakeup (BBR)
+
+  // --- Cold-start inflation.  After an idle gap the core's L1/L2, TLB
+  // and branch state are cold (and C-state exit stalls add on top), so
+  // every operation costs more until the pipeline re-warms.  This is why
+  // measured per-byte costs rise steeply once cores go idle between
+  // batches (paper §3.2: throughput-per-core decays even though each
+  // flow has a whole core) — the per-category *fractions* barely move
+  // while total cycles/byte multiplies.
+  // The multiplier ramps with the gap length — longer idle means colder
+  // caches and deeper C-states — saturating at cold_penalty_max.
+  Nanos cold_gap = 15'000;        ///< gaps shorter than this stay warm
+  Nanos cold_ramp = 50'000;       ///< gap at which the penalty saturates
+  double cold_penalty_max = 3.0;  ///< cost multiplier after a long idle
+
+  // --- Zero-copy extensions (paper §4).
+  Cycles zc_tx_completion = 600;     ///< completion notification, per chunk
+  Cycles zc_tx_pin_per_page = 300;   ///< get_user_pages + release
+  Cycles zc_rx_remap_per_page = 400;   ///< vma remap + TLB shootdown share
+
+  // --- Software steering (RPS/RFS): cross-core requeue of protocol
+  // processing from the IRQ core.
+  Cycles rps_ipi = 800;
+
+  // --- Everything else.
+  Cycles irq_entry = 2600;    ///< hard IRQ handling (classified "etc")
+  Cycles syscall_overhead = 300;  ///< per 32KB quantum (see app_chunk note)
+
+  /// Converts cycles to simulated time on this core's clock.
+  Nanos nanos(Cycles cycles) const { return cycles_to_nanos(cycles, core_ghz); }
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_CPU_COST_MODEL_H

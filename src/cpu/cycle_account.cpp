@@ -1,0 +1,19 @@
+#include "cpu/cycle_account.h"
+
+namespace hostsim {
+
+std::string_view to_string(CpuCategory category) {
+  switch (category) {
+    case CpuCategory::data_copy: return "copy";
+    case CpuCategory::tcpip: return "tcpip";
+    case CpuCategory::netdev: return "netdev";
+    case CpuCategory::skb_mgmt: return "skb";
+    case CpuCategory::memory: return "mem";
+    case CpuCategory::lock: return "lock";
+    case CpuCategory::sched: return "sched";
+    case CpuCategory::etc: return "etc";
+  }
+  return "?";
+}
+
+}  // namespace hostsim

@@ -1,0 +1,81 @@
+// CPU usage taxonomy (Table 1 of the paper) and per-category accounting.
+//
+// Every simulated operation charges cycles to exactly one category on the
+// core it executes on; the simulator is therefore its own (exact) profiler,
+// replacing the paper's sampling-based perf methodology.
+#ifndef HOSTSIM_CPU_CYCLE_ACCOUNT_H
+#define HOSTSIM_CPU_CYCLE_ACCOUNT_H
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+#include "sim/units.h"
+
+namespace hostsim {
+
+/// The 8 CPU-usage categories of the paper's Table 1.
+enum class CpuCategory : std::uint8_t {
+  data_copy,   ///< payload copy between user space and kernel space
+  tcpip,       ///< TCP/IP protocol processing (incl. ACK generation)
+  netdev,      ///< netdevice subsystem: NAPI, GRO/GSO, qdisc, driver
+  skb_mgmt,    ///< building, splitting and releasing skbs
+  memory,      ///< page (de)allocation, pagesets, IOMMU map/unmap
+  lock,        ///< socket lock acquisition (incl. contended spinning)
+  sched,       ///< context switches and thread wakeups
+  etc,         ///< everything else: IRQ handling, syscall entry/exit
+};
+
+inline constexpr std::size_t kNumCpuCategories = 8;
+
+/// Short human-readable label for reports ("copy", "tcpip", ...).
+std::string_view to_string(CpuCategory category);
+
+/// Per-category cycle counters for one core (or an aggregate of cores).
+class CycleAccount {
+ public:
+  void add(CpuCategory category, Cycles cycles) {
+    cycles_[static_cast<std::size_t>(category)] += cycles;
+  }
+
+  Cycles get(CpuCategory category) const {
+    return cycles_[static_cast<std::size_t>(category)];
+  }
+
+  Cycles total() const {
+    Cycles sum = 0;
+    for (Cycles c : cycles_) sum += c;
+    return sum;
+  }
+
+  /// Fraction of total cycles spent in `category`; 0 when idle.
+  double fraction(CpuCategory category) const {
+    const Cycles t = total();
+    return t ? static_cast<double>(get(category)) / static_cast<double>(t)
+             : 0.0;
+  }
+
+  void merge(const CycleAccount& other) {
+    for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
+      cycles_[i] += other.cycles_[i];
+    }
+  }
+
+  /// Returns (*this - baseline), for measurement windows with warmup.
+  CycleAccount delta_since(const CycleAccount& baseline) const {
+    CycleAccount d;
+    for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
+      d.cycles_[i] = cycles_[i] - baseline.cycles_[i];
+    }
+    return d;
+  }
+
+  void clear() { cycles_.fill(0); }
+
+ private:
+  std::array<Cycles, kNumCpuCategories> cycles_{};
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_CPU_CYCLE_ACCOUNT_H

@@ -1,0 +1,40 @@
+#include "cpu/scheduler.h"
+
+#include "sim/contract.h"
+
+namespace hostsim {
+
+void Thread::notify() {
+  require(static_cast<bool>(body_), "thread body not set");
+  if (active_) {
+    pending_ = true;
+    return;
+  }
+  active_ = true;
+  ++wakeups_;
+  // The wakeup takes effect after the scheduler's wakeup latency; the
+  // wakeup cost itself is charged on the target core when the body runs.
+  core_->loop().schedule_after(core_->cost().wakeup_latency, [this] {
+    core_->post(context_, [this](Core& core) {
+      core.charge(CpuCategory::sched, core.cost().thread_wakeup);
+      run_body(core);
+    });
+  });
+}
+
+void Thread::finish_quantum(bool more_work) {
+  require(active_, "finish_quantum on a blocked thread");
+  if (more_work || pending_) {
+    pending_ = false;
+    core_->post(context_, [this](Core& core) { run_body(core); });
+  } else {
+    active_ = false;
+    // Blocking schedules the thread out (finish_quantum is called from
+    // within the body's task, so the charge lands on this quantum).
+    core_->charge(CpuCategory::sched, core_->cost().thread_block);
+  }
+}
+
+void Thread::run_body(Core& core) { body_(core, *this); }
+
+}  // namespace hostsim

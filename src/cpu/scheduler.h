@@ -1,0 +1,64 @@
+// Application thread abstraction on top of Core.
+//
+// A Thread owns a user Context and a body function.  The body is invoked
+// as a user-priority task whenever the thread is runnable; it performs one
+// bounded quantum of work (one recv chunk, one RPC turn, ...) and then
+// tells the thread whether it has more work (stay runnable) or not (block
+// and wait for the next notify()).  notify() from another component — the
+// softirq delivering data, an ACK freeing send-buffer space — wakes a
+// blocked thread, charging the paper's "sched" category for the wakeup.
+#ifndef HOSTSIM_CPU_SCHEDULER_H
+#define HOSTSIM_CPU_SCHEDULER_H
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "cpu/core.h"
+
+namespace hostsim {
+
+class Thread {
+ public:
+  using Body = std::function<void(Core&, Thread&)>;
+
+  Thread(Core& core, std::string name)
+      : core_(&core), context_{std::move(name), /*kernel=*/false} {}
+
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+
+  Core& core() { return *core_; }
+  Context& context() { return context_; }
+
+  /// Sets the quantum body.  Must be called before the first notify().
+  void set_body(Body body) { body_ = std::move(body); }
+
+  /// Marks the thread runnable.  If it was blocked, schedules the body
+  /// (after the wakeup latency, charging wakeup cycles).  If the body is
+  /// already queued or running, remembers that more work arrived so the
+  /// body runs again after the current quantum.
+  void notify();
+
+  /// Must be called by the body at the end of each quantum: reposts the
+  /// body if the quantum left work pending (or a notify() arrived while
+  /// running), otherwise blocks the thread.
+  void finish_quantum(bool more_work);
+
+  bool blocked() const { return !active_; }
+  std::uint64_t wakeups() const { return wakeups_; }
+
+ private:
+  void run_body(Core& core);
+
+  Core* core_;
+  Context context_;
+  Body body_;
+  bool active_ = false;   ///< body queued or running
+  bool pending_ = false;  ///< notify() arrived while active
+  std::uint64_t wakeups_ = 0;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_CPU_SCHEDULER_H

@@ -1,0 +1,214 @@
+#include "hw/nic.h"
+
+#include <utility>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+namespace {
+
+std::uint64_t mix_flow(int flow) {
+  auto x = static_cast<std::uint64_t>(flow) + 0x9E3779B97F4A7C15ull;
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  return x;
+}
+
+}  // namespace
+
+Nic::Nic(EventLoop& loop, const Config& config, const NumaTopology& topo,
+         std::vector<Core*> cores, std::vector<LlcModel*> llcs,
+         PageAllocator& allocator, Iommu& iommu, Wire& wire, Wire::Side side)
+    : loop_(&loop),
+      config_(config),
+      topo_(topo),
+      cores_(std::move(cores)),
+      llcs_(std::move(llcs)),
+      allocator_(&allocator),
+      iommu_(&iommu),
+      wire_(&wire),
+      side_(side) {
+  require(config.ring_size > 0, "ring must have descriptors");
+  require(config.mtu_payload > 0, "mtu must be positive");
+  require(!cores_.empty(), "NIC needs cores for IRQ dispatch");
+  require(static_cast<int>(llcs_.size()) == topo_.num_nodes,
+          "one LLC per NUMA node expected");
+  queues_.resize(cores_.size());
+  for (std::size_t i = 0; i < queues_.size(); ++i) {
+    queues_[i].pool = std::make_unique<PagePool>(allocator, iommu);
+    // Driver init: pre-post the full ring.  Runs as a softirq task at
+    // t=0 so the page allocations are charged in a proper task context.
+    cores_[i]->post(softirq_, [this, i](Core& core) {
+      replenish(core, queues_[i]);
+    });
+  }
+  wire_->attach(side_, [this](Frame frame) { receive(std::move(frame)); });
+}
+
+void Nic::steer_flow(int flow, int queue) {
+  require(queue >= 0 && queue < static_cast<int>(queues_.size()),
+          "steering to nonexistent queue");
+  steering_[flow] = queue;
+}
+
+int Nic::queue_for_flow(int flow) const {
+  if (auto it = steering_.find(flow); it != steering_.end()) return it->second;
+  return static_cast<int>(mix_flow(flow) % queues_.size());
+}
+
+void Nic::replenish(Core& core, RxQueue& queue) {
+  const int target = config_.ring_size;
+  while (static_cast<int>(queue.posted.size() + queue.backlog.size()) <
+         target) {
+    RxDescriptor descriptor;
+    descriptor.fragments = queue.pool->alloc_span(core, descriptor_bytes());
+    queue.posted.push_back(std::move(descriptor));
+  }
+}
+
+void Nic::receive(Frame frame) {
+  ++rx_frames_;
+  const int index = queue_for_flow(frame.flow);
+  RxQueue& queue = queues_[static_cast<std::size_t>(index)];
+  std::vector<Fragment> fragments;
+  if (frame.payload > 0) {
+    if (queue.posted.empty()) {
+      ++ring_drops_;
+      return;
+    }
+    RxDescriptor descriptor = std::move(queue.posted.front());
+    queue.posted.pop_front();
+    // The DMA itself costs no CPU; it lands in the LLC iff DCA applies.
+    dma_into_cache(descriptor.fragments);
+    fragments = std::move(descriptor.fragments);
+  }
+  // Header-only frames (pure ACKs) take the driver copybreak path: the
+  // few bytes are copied into the skb head and the rx buffer is recycled
+  // immediately, so they neither hold descriptor pages nor touch the
+  // payload cache machinery.
+  queue.backlog.push_back(
+      BacklogEntry{std::move(frame), std::move(fragments), loop_->now()});
+  if (!queue.napi_active && !queue.irq_pending) {
+    if (config_.irq_moderation == 0) {
+      queue.napi_active = true;
+      kick_napi(index);
+      return;
+    }
+    // Interrupt moderation: batch arrivals for a short window before
+    // raising the IRQ (CX-5 style rx-usecs coalescing).
+    queue.irq_pending = true;
+    loop_->schedule_after(config_.irq_moderation, [this, index] {
+      RxQueue& q = queues_[static_cast<std::size_t>(index)];
+      q.irq_pending = false;
+      if (!q.napi_active && !q.backlog.empty()) {
+        q.napi_active = true;
+        kick_napi(index);
+      }
+    });
+  }
+}
+
+void Nic::kick_napi(int index) {
+  require(static_cast<bool>(rx_handler_), "rx handler not set");
+  ++irqs_;
+  cores_[static_cast<std::size_t>(index)]->post(
+      softirq_, [this, index](Core& core) {
+        core.charge(CpuCategory::etc, core.cost().irq_entry);
+        rx_handler_(core, index);
+      });
+}
+
+void Nic::release_fragments(Core& core, std::vector<Fragment>& fragments) {
+  for (const Fragment& fragment : fragments) {
+    allocator_->release(core, fragment.page);
+  }
+  fragments.clear();
+}
+
+std::optional<Nic::PolledFrame> Nic::poll_one(Core& core, int index) {
+  RxQueue& queue = queues_.at(static_cast<std::size_t>(index));
+  if (queue.backlog.empty()) return std::nullopt;
+
+  BacklogEntry entry = std::move(queue.backlog.front());
+  queue.backlog.pop_front();
+
+  PolledFrame polled;
+  polled.arrived_at = entry.arrived;
+  polled.fragments = std::move(entry.fragments);
+  Frame frame = std::move(entry.frame);
+  if (!polled.fragments.empty()) {
+    iommu_->charge_unmap(
+        core, static_cast<double>(descriptor_bytes()) / kPageBytes);
+  }
+
+  // Hardware receive coalescing: merge a contiguous same-flow train into
+  // one delivered unit at zero CPU cost.
+  if (config_.lro && !frame.is_ack) {
+    while (!queue.backlog.empty() && frame.payload < config_.lro_max_bytes) {
+      BacklogEntry& next = queue.backlog.front();
+      if (next.frame.is_ack || next.frame.flow != frame.flow ||
+          next.frame.seq != frame.seq + frame.payload ||
+          frame.payload + next.frame.payload > config_.lro_max_bytes) {
+        break;
+      }
+      iommu_->charge_unmap(
+          core, static_cast<double>(descriptor_bytes()) / kPageBytes);
+      polled.fragments.insert(
+          polled.fragments.end(),
+          std::make_move_iterator(next.fragments.begin()),
+          std::make_move_iterator(next.fragments.end()));
+      frame.payload += next.frame.payload;
+      frame.ecn = frame.ecn || next.frame.ecn;
+      frame.sent_at = next.frame.sent_at;
+      ++polled.segments;
+      queue.backlog.pop_front();
+    }
+  }
+
+  polled.frame = std::move(frame);
+  return polled;
+}
+
+void Nic::dma_into_cache(const std::vector<Fragment>& fragments) {
+  for (const Fragment& fragment : fragments) {
+    Page* page = fragment.page;
+    if (config_.dca && page->numa_node == topo_.nic_node) {
+      // DDIO pushes the DMA write into the NIC-local LLC.
+      llcs_[static_cast<std::size_t>(topo_.nic_node)]->dma_write(page->id);
+    } else {
+      // DMA to DRAM: coherency invalidates any cached copy.
+      llcs_[static_cast<std::size_t>(page->numa_node)]->dma_invalidate(
+          page->id);
+    }
+  }
+}
+
+std::size_t Nic::backlog(int index) const {
+  return queues_.at(static_cast<std::size_t>(index)).backlog.size();
+}
+
+int Nic::posted_descriptors(int index) const {
+  return static_cast<int>(
+      queues_.at(static_cast<std::size_t>(index)).posted.size());
+}
+
+void Nic::napi_complete(Core& core, int index) {
+  RxQueue& queue = queues_.at(static_cast<std::size_t>(index));
+  require(queue.napi_active, "napi_complete on an idle queue");
+  // Driver replenishes rx descriptors during NAPI (paper §2.1).
+  replenish(core, queue);
+  if (!queue.backlog.empty()) {
+    // Budget exhausted with work remaining: Linux defers the remainder
+    // to ksoftirqd, which is scheduled fairly against user threads — so
+    // the continuation runs at user priority and interleaves with the
+    // application instead of starving it.
+    cores_[static_cast<std::size_t>(index)]->post(
+        queue.ksoftirqd,
+        [this, index](Core& core2) { rx_handler_(core2, index); });
+  } else {
+    queue.napi_active = false;  // re-arm the IRQ
+  }
+}
+
+}  // namespace hostsim

@@ -1,0 +1,167 @@
+// 100Gbps NIC model: rx queues with descriptor rings, DMA via the page
+// pool, DDIO insertion, IRQ + NAPI hand-off, flow steering, and LRO.
+//
+// One rx queue per core (queue index == core id), as in the paper's
+// setup where IRQs are explicitly mapped per flow.  The steering table
+// decides which queue (and therefore which IRQ core) receives each
+// flow's frames — aRFS steers to the application's core, the paper's
+// worst-case no-aRFS configuration steers to a NIC-remote core.
+//
+// Descriptors are pre-posted with page-pool memory and consumed in ring
+// order; the driver replenishes them during NAPI (paper §2.1).  The ring
+// size therefore sets the page-reuse distance: with a small ring the
+// same pages recycle while still LLC-resident (DMA write-hits), with a
+// large ring every DMA write allocates a cold page into the DDIO ways —
+// one of the two fig. 3(e) mechanisms.
+#ifndef HOSTSIM_HW_NIC_H
+#define HOSTSIM_HW_NIC_H
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "cpu/core.h"
+#include "hw/llc_model.h"
+#include "hw/numa_topology.h"
+#include "hw/wire.h"
+#include "mem/iommu.h"
+#include "mem/page_allocator.h"
+#include "mem/page_pool.h"
+
+namespace hostsim {
+
+/// Receiver-side flow steering (paper Table 2).  RSS/RPS hash the
+/// 4-tuple to a core; RFS/aRFS find the application's core.
+enum class SteeringMode : std::uint8_t { rss, rps, rfs, arfs };
+
+class Nic {
+ public:
+  struct Config {
+    Bytes mtu_payload = 1500;  ///< max TCP payload per wire frame
+    int ring_size = 1024;      ///< rx descriptors per queue
+    bool dca = true;           ///< DDIO: DMA into the NIC-local LLC
+    bool lro = false;          ///< hardware receive coalescing
+    Bytes lro_max_bytes = 65536;
+    Nanos irq_moderation = 8'000;  ///< rx interrupt coalescing window
+  };
+
+  /// A frame handed to the stack by NAPI, with its DMA'd page fragments.
+  struct PolledFrame {
+    Frame frame;
+    std::vector<Fragment> fragments;
+    int segments = 1;  ///< >1 when LRO merged multiple wire frames
+    Nanos arrived_at = 0;
+  };
+
+  /// Invoked in softirq task context on the queue's core when NAPI work
+  /// is pending; the stack polls frames and calls napi_complete().
+  using RxHandler = std::function<void(Core&, int queue)>;
+
+  Nic(EventLoop& loop, const Config& config, const NumaTopology& topo,
+      std::vector<Core*> cores, std::vector<LlcModel*> llcs,
+      PageAllocator& allocator, Iommu& iommu, Wire& wire, Wire::Side side);
+
+  Nic(const Nic&) = delete;
+  Nic& operator=(const Nic&) = delete;
+
+  const Config& config() const { return config_; }
+  Bytes mtu_payload() const { return config_.mtu_payload; }
+  /// Memory backing one rx descriptor (one MTU frame + headers).
+  Bytes descriptor_bytes() const {
+    return config_.mtu_payload + kFrameHeaderBytes;
+  }
+
+  void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
+
+  // --- Steering ----------------------------------------------------------
+
+  /// Directs `flow`'s frames to queue `queue` (== the IRQ core id).
+  void steer_flow(int flow, int queue);
+  int queue_for_flow(int flow) const;
+
+  // --- TX ----------------------------------------------------------------
+
+  /// Hands a wire frame to the link (segmentation cost, if any, was paid
+  /// by the stack; TSO segmentation is free by definition).
+  void transmit(const Frame& frame) { wire_->transmit(side_, frame); }
+
+  // --- RX ----------------------------------------------------------------
+
+  /// Wire delivery entry point: consumes the next posted descriptor
+  /// (DMAing into its pages, with DDIO insertion) or drops the frame.
+  void receive(Frame frame);
+
+  /// Takes one frame (or one LRO-merged train) from the queue backlog
+  /// and charges the IOMMU unmap.  Softirq task context only.
+  std::optional<PolledFrame> poll_one(Core& core, int queue);
+
+  /// Number of frames waiting in a queue's backlog.
+  std::size_t backlog(int queue) const;
+
+  /// Ends a NAPI round: replenishes rx descriptors (allocating fresh
+  /// page spans) and either re-posts the poll (backlog remains) or
+  /// re-arms the queue's IRQ.
+  void napi_complete(Core& core, int queue);
+
+  /// Posted (ready) descriptors of a queue; for tests.
+  int posted_descriptors(int queue) const;
+
+  // --- Stats --------------------------------------------------------------
+
+  std::uint64_t rx_frames() const { return rx_frames_; }
+  std::uint64_t ring_drops() const { return ring_drops_; }
+  std::uint64_t irqs() const { return irqs_; }
+
+ private:
+  struct RxDescriptor {
+    std::vector<Fragment> fragments;
+  };
+  struct BacklogEntry {
+    Frame frame;
+    std::vector<Fragment> fragments;
+    Nanos arrived;
+  };
+  struct RxQueue {
+    std::deque<RxDescriptor> posted;
+    std::deque<BacklogEntry> backlog;
+    std::unique_ptr<PagePool> pool;
+    bool napi_active = false;
+    bool irq_pending = false;  ///< moderation timer armed
+    /// Budget-exhausted NAPI continuations run here: user priority, so
+    /// they round-robin with application threads exactly like ksoftirqd
+    /// competing under CFS.
+    Context ksoftirqd{"ksoftirqd", /*kernel=*/false};
+  };
+
+  void dma_into_cache(const std::vector<Fragment>& fragments);
+  void replenish(Core& core, RxQueue& queue);
+  void release_fragments(Core& core, std::vector<Fragment>& fragments);
+  void kick_napi(int queue);
+
+  EventLoop* loop_;
+  Config config_;
+  NumaTopology topo_;
+  std::vector<Core*> cores_;
+  std::vector<LlcModel*> llcs_;
+  PageAllocator* allocator_;
+  Iommu* iommu_;
+  Wire* wire_;
+  Wire::Side side_;
+  Context softirq_{"softirq", /*kernel=*/true};
+
+  std::vector<RxQueue> queues_;
+  std::unordered_map<int, int> steering_;
+  RxHandler rx_handler_;
+
+  std::uint64_t rx_frames_ = 0;
+  std::uint64_t ring_drops_ = 0;
+  std::uint64_t irqs_ = 0;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_HW_NIC_H

@@ -1,0 +1,4 @@
+#include "hw/numa_topology.h"
+
+// Header-only logic; this translation unit anchors the type.
+namespace hostsim {}  // namespace hostsim

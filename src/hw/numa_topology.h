@@ -1,0 +1,44 @@
+// NUMA topology of the simulated server.
+//
+// Defaults mirror the paper's testbed: 4 sockets x 6 cores, with the
+// 100Gbps NIC attached to socket 0.
+#ifndef HOSTSIM_HW_NUMA_TOPOLOGY_H
+#define HOSTSIM_HW_NUMA_TOPOLOGY_H
+
+#include "sim/contract.h"
+
+namespace hostsim {
+
+struct NumaTopology {
+  int num_nodes = 4;
+  int cores_per_node = 6;
+  int nic_node = 0;
+
+  int num_cores() const { return num_nodes * cores_per_node; }
+
+  int node_of_core(int core) const {
+    require(core >= 0 && core < num_cores(), "core id out of range");
+    return core / cores_per_node;
+  }
+
+  bool is_nic_local(int core) const { return node_of_core(core) == nic_node; }
+
+  /// The `index`-th core of `node` (for deterministic pinning).
+  int core_on_node(int node, int index) const {
+    require(node >= 0 && node < num_nodes, "node id out of range");
+    require(index >= 0 && index < cores_per_node, "core index out of range");
+    return node * cores_per_node + index;
+  }
+
+  /// A deterministic NIC-remote core choice: the `index`-th core of the
+  /// node farthest from the NIC (used to model the paper's worst-case
+  /// IRQ mapping when aRFS is disabled).
+  int remote_core(int index) const {
+    const int node = (nic_node + num_nodes - 1) % num_nodes;
+    return core_on_node(node, index % cores_per_node);
+  }
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_HW_NUMA_TOPOLOGY_H

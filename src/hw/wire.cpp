@@ -1,0 +1,51 @@
+#include "hw/wire.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+
+Wire::Wire(EventLoop& loop, const Config& config)
+    : loop_(&loop), config_(config), rng_(loop.rng().fork()) {
+  require(config.gbps > 0, "link rate must be positive");
+  require(config.loss_rate >= 0 && config.loss_rate <= 1,
+          "loss rate must be a probability");
+}
+
+void Wire::attach(Side side, std::function<void(Frame)> deliver) {
+  sinks_[static_cast<std::size_t>(side)] = std::move(deliver);
+}
+
+Nanos Wire::egress_delay(Side from) const {
+  const Nanos busy = busy_until_[static_cast<std::size_t>(from)];
+  return std::max<Nanos>(0, busy - loop_->now());
+}
+
+void Wire::transmit(Side from, Frame frame) {
+  const auto dir = static_cast<std::size_t>(from);
+  const std::size_t to = 1 - dir;
+  require(static_cast<bool>(sinks_[to]), "destination side not attached");
+
+  const Nanos start = std::max(loop_->now(), busy_until_[dir]);
+  const Nanos tx_end =
+      start + serialization_delay(frame.wire_bytes(), config_.gbps);
+  busy_until_[dir] = tx_end;
+
+  if (config_.ecn_threshold > 0 && start - loop_->now() > config_.ecn_threshold) {
+    frame.ecn = true;
+    ++ecn_marked_;
+  }
+  if (config_.loss_rate > 0 && rng_.chance(config_.loss_rate)) {
+    ++dropped_;
+    return;
+  }
+
+  ++delivered_;
+  bytes_delivered_ += frame.payload;
+  loop_->schedule_at(tx_end + config_.propagation,
+                     [this, to, frame] { sinks_[to](frame); });
+}
+
+}  // namespace hostsim

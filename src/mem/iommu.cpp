@@ -1,0 +1,23 @@
+#include "mem/iommu.h"
+
+#include <cmath>
+
+namespace hostsim {
+
+void Iommu::charge_map(Core& core, double pages) {
+  if (!enabled_ || pages <= 0) return;
+  maps_ += static_cast<std::uint64_t>(std::ceil(pages));
+  core.charge(CpuCategory::memory,
+              static_cast<Cycles>(pages * static_cast<double>(
+                                              core.cost().iommu_map_per_page)));
+}
+
+void Iommu::charge_unmap(Core& core, double pages) {
+  if (!enabled_ || pages <= 0) return;
+  unmaps_ += static_cast<std::uint64_t>(std::ceil(pages));
+  core.charge(CpuCategory::memory,
+              static_cast<Cycles>(
+                  pages * static_cast<double>(core.cost().iommu_unmap_per_page)));
+}
+
+}  // namespace hostsim

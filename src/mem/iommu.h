@@ -1,0 +1,40 @@
+// IOMMU cost model.
+//
+// When enabled, every page entering DMA must be inserted into the
+// device's IOMMU pagetable and removed again once DMA completes — the two
+// per-page operations the paper identifies as the source of the ~26%
+// throughput-per-core regression in §3.9.  Costs are charged to the
+// "memory" taxonomy category on the core performing the driver work.
+#ifndef HOSTSIM_MEM_IOMMU_H
+#define HOSTSIM_MEM_IOMMU_H
+
+#include <cstdint>
+
+#include "cpu/core.h"
+
+namespace hostsim {
+
+class Iommu {
+ public:
+  explicit Iommu(bool enabled) : enabled_(enabled) {}
+
+  bool enabled() const { return enabled_; }
+
+  /// Charges the mapping cost for `pages` pages (no-op when disabled).
+  void charge_map(Core& core, double pages);
+
+  /// Charges the unmapping cost for `pages` pages (no-op when disabled).
+  void charge_unmap(Core& core, double pages);
+
+  std::uint64_t maps() const { return maps_; }
+  std::uint64_t unmaps() const { return unmaps_; }
+
+ private:
+  bool enabled_;
+  std::uint64_t maps_ = 0;
+  std::uint64_t unmaps_ = 0;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_MEM_IOMMU_H

@@ -1,0 +1,36 @@
+// Kernel page and page-fragment primitives.
+//
+// Payload data is never materialized: the simulator tracks *which* pages
+// hold it, on which NUMA node they live, and how many references (skb
+// fragments) still point at them.  Cache behaviour is modelled per page
+// (4KiB), which is accurate for the streaming DMA + streaming copy access
+// patterns of the network datapath.
+#ifndef HOSTSIM_MEM_PAGE_H
+#define HOSTSIM_MEM_PAGE_H
+
+#include <cstdint>
+
+#include "sim/units.h"
+
+namespace hostsim {
+
+inline constexpr Bytes kPageBytes = 4096;
+
+/// Globally unique page identity; used as the cache tag.
+using PageId = std::uint64_t;
+
+struct Page {
+  PageId id = 0;
+  int numa_node = 0;
+  int refs = 0;  ///< outstanding fragment references
+};
+
+/// A byte range within a page, referenced by an skb.
+struct Fragment {
+  Page* page = nullptr;
+  Bytes bytes = 0;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_MEM_PAGE_H

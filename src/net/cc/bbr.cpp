@@ -1,0 +1,76 @@
+#include "net/cc/bbr.h"
+
+#include <algorithm>
+
+namespace hostsim {
+namespace {
+
+constexpr double kStartupGain = 2.885;
+constexpr double kDrainGain = 1.0 / 2.885;
+constexpr double kCwndGain = 2.0;
+
+}  // namespace
+
+BbrCc::BbrCc(Bytes mss) : mss_(mss) {}
+
+Bytes BbrCc::bdp() const {
+  return static_cast<Bytes>(max_bw_gbps_ * static_cast<double>(min_rtt_) /
+                            8.0);
+}
+
+Bytes BbrCc::cwnd() const {
+  return std::max<Bytes>(static_cast<Bytes>(kCwndGain * bdp()), 4 * mss_);
+}
+
+double BbrCc::pacing_gbps() const { return pacing_gain_ * max_bw_gbps_; }
+
+void BbrCc::advance_cycle(Nanos now) {
+  if (now - cycle_start_ < min_rtt_) return;
+  cycle_start_ = now;
+  cycle_index_ = (cycle_index_ + 1) % static_cast<int>(kProbeGains.size());
+  pacing_gain_ = kProbeGains[static_cast<std::size_t>(cycle_index_)];
+}
+
+void BbrCc::on_ack(const AckEvent& event) {
+  if (event.rtt > 0) min_rtt_ = std::min(min_rtt_, event.rtt);
+  if (event.rate_gbps > 0) {
+    max_bw_gbps_ = std::max(max_bw_gbps_, event.rate_gbps);
+  }
+
+  switch (mode_) {
+    case Mode::startup:
+      // Plateau detection advances only on fresh delivery-rate samples
+      // (counting every ACK would declare "full bandwidth" instantly).
+      if (event.rate_gbps <= 0) break;
+      if (max_bw_gbps_ > full_bw_ * 1.25) {
+        full_bw_ = max_bw_gbps_;
+        full_bw_rounds_ = 0;
+      } else if (++full_bw_rounds_ >= 3) {
+        mode_ = Mode::drain;
+        pacing_gain_ = kDrainGain;
+        cycle_start_ = event.now;
+      }
+      break;
+    case Mode::drain:
+      if (event.inflight <= bdp() || event.now - cycle_start_ > 4 * min_rtt_) {
+        mode_ = Mode::probe_bw;
+        cycle_index_ = 0;
+        pacing_gain_ = kProbeGains[0];
+        cycle_start_ = event.now;
+      }
+      break;
+    case Mode::probe_bw:
+      advance_cycle(event.now);
+      break;
+  }
+}
+
+void BbrCc::on_loss(Nanos /*now*/) {
+  // BBR v1 largely ignores isolated loss; modest bandwidth back-off keeps
+  // the model stable under the paper's forced-drop experiments.
+  max_bw_gbps_ *= 0.98;
+}
+
+void BbrCc::on_rto(Nanos /*now*/) { max_bw_gbps_ *= 0.7; }
+
+}  // namespace hostsim

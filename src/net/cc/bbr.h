@@ -1,0 +1,47 @@
+// BBR v1 (Cardwell et al., 2016), simplified: windowed max-bandwidth /
+// min-RTT estimation, startup/drain/probe-bandwidth gain cycling, and a
+// pacing rate that the stack's qdisc pacer enforces.  The pacing is what
+// produces BBR's higher sender-side scheduling overhead in the paper's
+// fig. 13(b).
+#ifndef HOSTSIM_NET_CC_BBR_H
+#define HOSTSIM_NET_CC_BBR_H
+
+#include <array>
+
+#include "net/cc/congestion_control.h"
+
+namespace hostsim {
+
+class BbrCc final : public CongestionControl {
+ public:
+  explicit BbrCc(Bytes mss);
+
+  void on_ack(const AckEvent& event) override;
+  void on_loss(Nanos now) override;
+  void on_rto(Nanos now) override;
+  Bytes cwnd() const override;
+  double pacing_gbps() const override;
+  std::string_view name() const override { return "bbr"; }
+
+ private:
+  enum class Mode { startup, drain, probe_bw };
+
+  Bytes bdp() const;
+  void advance_cycle(Nanos now);
+
+  Bytes mss_;
+  Mode mode_ = Mode::startup;
+  double max_bw_gbps_ = 0.08;  // ~10 segments per 100us to start
+  Nanos min_rtt_ = 100'000;
+  double full_bw_ = 0.0;
+  int full_bw_rounds_ = 0;
+  int cycle_index_ = 0;
+  Nanos cycle_start_ = 0;
+  double pacing_gain_ = 2.885;
+  static constexpr std::array<double, 8> kProbeGains = {1.25, 0.75, 1, 1,
+                                                        1,    1,    1, 1};
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_NET_CC_BBR_H

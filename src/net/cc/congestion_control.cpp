@@ -1,0 +1,31 @@
+#include "net/cc/congestion_control.h"
+
+#include "net/cc/bbr.h"
+#include "net/cc/cubic.h"
+#include "net/cc/dctcp.h"
+#include "sim/contract.h"
+
+namespace hostsim {
+
+std::string_view to_string(CcAlgo algo) {
+  switch (algo) {
+    case CcAlgo::cubic: return "cubic";
+    case CcAlgo::dctcp: return "dctcp";
+    case CcAlgo::bbr: return "bbr";
+  }
+  return "?";
+}
+
+std::unique_ptr<CongestionControl> make_congestion_control(CcAlgo algo,
+                                                           Bytes mss) {
+  require(mss > 0, "mss must be positive");
+  switch (algo) {
+    case CcAlgo::cubic: return std::make_unique<CubicCc>(mss);
+    case CcAlgo::dctcp: return std::make_unique<DctcpCc>(mss);
+    case CcAlgo::bbr: return std::make_unique<BbrCc>(mss);
+  }
+  contract_failure("unknown congestion control algorithm",
+                   std::source_location::current());
+}
+
+}  // namespace hostsim

@@ -1,0 +1,61 @@
+// Congestion control interface and factory.
+//
+// The paper evaluates CUBIC (Linux default), DCTCP and BBR in §3.10 and
+// finds throughput-per-core essentially unchanged — all three are
+// sender-driven, and the receiver is the bottleneck.  BBR differs on the
+// sender side only, through pacing-induced scheduling overhead.
+#ifndef HOSTSIM_NET_CC_CONGESTION_CONTROL_H
+#define HOSTSIM_NET_CC_CONGESTION_CONTROL_H
+
+#include <memory>
+#include <string_view>
+
+#include "sim/units.h"
+
+namespace hostsim {
+
+enum class CcAlgo : std::uint8_t { cubic, dctcp, bbr };
+
+std::string_view to_string(CcAlgo algo);
+
+/// Per-ACK information handed to the congestion controller.
+struct AckEvent {
+  Nanos now = 0;
+  Bytes acked = 0;        ///< newly acknowledged bytes (0 for pure dupacks)
+  Nanos rtt = -1;         ///< RTT sample, -1 if unavailable
+  bool ecn_echo = false;  ///< receiver echoed a CE mark
+  Bytes inflight = 0;     ///< bytes outstanding after this ACK
+  /// Windowed delivery-rate sample in Gbps (0 when no fresh sample):
+  /// bytes acknowledged over the last ~RTT, the estimator BBR needs
+  /// (per-ACK acked/rtt would cap the estimate at one window per RTT).
+  double rate_gbps = 0.0;
+};
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  virtual void on_ack(const AckEvent& event) = 0;
+
+  /// Fast-retransmit loss event (once per recovery episode).
+  virtual void on_loss(Nanos now) = 0;
+
+  /// Retransmission timeout.
+  virtual void on_rto(Nanos now) = 0;
+
+  /// Current congestion window in bytes.
+  virtual Bytes cwnd() const = 0;
+
+  /// Pacing rate in Gbps; 0 disables pacing (window-driven transmission).
+  virtual double pacing_gbps() const { return 0.0; }
+
+  virtual std::string_view name() const = 0;
+};
+
+/// Creates a congestion controller with the given initial window.
+std::unique_ptr<CongestionControl> make_congestion_control(CcAlgo algo,
+                                                           Bytes mss);
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_NET_CC_CONGESTION_CONTROL_H

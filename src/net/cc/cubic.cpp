@@ -1,0 +1,95 @@
+#include "net/cc/cubic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hostsim {
+namespace {
+
+constexpr double kCubicC = 0.4;     // segments / s^3 (RFC 8312)
+constexpr double kCubicBeta = 0.7;  // multiplicative decrease factor
+constexpr Bytes kMaxWindow = 64 * kMiB;
+
+}  // namespace
+
+CubicCc::CubicCc(Bytes mss)
+    : mss_(mss), cwnd_(10 * mss), ssthresh_(kMaxWindow) {}
+
+double CubicCc::cubic_window(Nanos now) const {
+  // W_cubic(t) = C * (t - K)^3 + W_max, computed in segments then scaled.
+  const double t = to_seconds(now - epoch_start_);
+  const double w_max_seg = w_max_ / static_cast<double>(mss_);
+  const double w_seg = kCubicC * std::pow(t - k_, 3.0) + w_max_seg;
+  return w_seg * static_cast<double>(mss_);
+}
+
+void CubicCc::on_ack(const AckEvent& event) {
+  if (event.acked <= 0) return;
+  if (event.rtt > 0) {
+    last_rtt_ = event.rtt;
+    min_rtt_ = std::min(min_rtt_, event.rtt);
+  }
+
+  if (cwnd_ < ssthresh_) {
+    // HyStart (delay variant): leave slow start when the RTT has clearly
+    // risen above its floor.  As in Linux, the delay threshold is
+    // clamped to [4ms, 16ms] — datacenter-scale queueing must get severe
+    // before slow start aborts.
+    const Nanos threshold =
+        std::clamp<Nanos>(min_rtt_ / 8, 4 * kMillisecond, 16 * kMillisecond);
+    if (event.rtt > 0 && cwnd_ >= 16 * mss_ &&
+        event.rtt > min_rtt_ + threshold) {
+      ssthresh_ = cwnd_;
+    } else {
+      cwnd_ = std::min<Bytes>(cwnd_ + event.acked, kMaxWindow);
+      return;
+    }
+  }
+  if (epoch_start_ < 0) {
+    epoch_start_ = event.now;
+    epoch_cwnd_ = static_cast<double>(cwnd_);
+    if (w_max_ < static_cast<double>(cwnd_)) {
+      w_max_ = static_cast<double>(cwnd_);
+      k_ = 0.0;
+    } else {
+      const double w_max_seg = w_max_ / static_cast<double>(mss_);
+      const double cwnd_seg = static_cast<double>(cwnd_) / mss_;
+      k_ = std::cbrt((w_max_seg - cwnd_seg) / kCubicC);
+    }
+  }
+  // TCP-friendly region (RFC 8312 §4.2): the window an AIMD flow with
+  // the same beta would have; without it, cubic growth from a small
+  // w_max is ~t^3 and the window pins to the floor under periodic loss.
+  const double t = to_seconds(event.now - epoch_start_);
+  const double rtt_s = std::max(to_seconds(last_rtt_), 1e-6);
+  const double w_est =
+      epoch_cwnd_ + 3.0 * (1.0 - kCubicBeta) / (1.0 + kCubicBeta) *
+                        (t / rtt_s) * static_cast<double>(mss_);
+  // Target window one RTT ahead; approach it proportionally per ACK.
+  const double target = std::max(cubic_window(event.now + last_rtt_), w_est);
+  if (target > static_cast<double>(cwnd_)) {
+    const double gain =
+        (target - static_cast<double>(cwnd_)) / static_cast<double>(cwnd_);
+    const auto inc = static_cast<Bytes>(gain * static_cast<double>(event.acked));
+    // Never grow faster than slow start.
+    cwnd_ += std::clamp<Bytes>(inc, 0, event.acked);
+    cwnd_ = std::min(cwnd_, kMaxWindow);
+  }
+}
+
+void CubicCc::on_loss(Nanos /*now*/) {
+  w_max_ = static_cast<double>(cwnd_);
+  cwnd_ = std::max<Bytes>(
+      static_cast<Bytes>(static_cast<double>(cwnd_) * kCubicBeta), 2 * mss_);
+  ssthresh_ = cwnd_;
+  epoch_start_ = -1;
+}
+
+void CubicCc::on_rto(Nanos /*now*/) {
+  w_max_ = static_cast<double>(cwnd_);
+  ssthresh_ = std::max<Bytes>(cwnd_ / 2, 2 * mss_);
+  cwnd_ = 2 * mss_;
+  epoch_start_ = -1;
+}
+
+}  // namespace hostsim

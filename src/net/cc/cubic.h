@@ -1,0 +1,35 @@
+// TCP CUBIC (RFC 8312), the Linux default congestion control.
+#ifndef HOSTSIM_NET_CC_CUBIC_H
+#define HOSTSIM_NET_CC_CUBIC_H
+
+#include "net/cc/congestion_control.h"
+
+namespace hostsim {
+
+class CubicCc final : public CongestionControl {
+ public:
+  explicit CubicCc(Bytes mss);
+
+  void on_ack(const AckEvent& event) override;
+  void on_loss(Nanos now) override;
+  void on_rto(Nanos now) override;
+  Bytes cwnd() const override { return cwnd_; }
+  std::string_view name() const override { return "cubic"; }
+
+ private:
+  double cubic_window(Nanos now) const;  ///< W_cubic(t), in bytes
+
+  Bytes mss_;
+  Bytes cwnd_;
+  Bytes ssthresh_;
+  double w_max_ = 0.0;       // window before the last reduction (bytes)
+  double epoch_cwnd_ = 0.0;  // window at epoch start (TCP-friendly region)
+  Nanos epoch_start_ = -1;   // start of the current cubic epoch
+  double k_ = 0.0;           // time to regain w_max (seconds)
+  Nanos last_rtt_ = 100'000;
+  Nanos min_rtt_ = 100'000;  // RTT floor for HyStart's delay detector
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_NET_CC_CUBIC_H

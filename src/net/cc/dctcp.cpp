@@ -1,0 +1,66 @@
+#include "net/cc/dctcp.h"
+
+#include <algorithm>
+
+namespace hostsim {
+namespace {
+
+constexpr double kG = 1.0 / 16.0;  // EWMA gain, as in Linux dctcp
+constexpr Bytes kMaxWindow = 64 * kMiB;
+
+}  // namespace
+
+DctcpCc::DctcpCc(Bytes mss)
+    : mss_(mss), cwnd_(10 * mss), ssthresh_(kMaxWindow) {}
+
+void DctcpCc::end_observation_window(Nanos now) {
+  if (acked_in_window_ > 0) {
+    const double fraction = static_cast<double>(marked_in_window_) /
+                            static_cast<double>(acked_in_window_);
+    alpha_ = (1.0 - kG) * alpha_ + kG * fraction;
+  }
+  acked_in_window_ = 0;
+  marked_in_window_ = 0;
+  cut_this_window_ = false;
+  window_end_ = now + last_rtt_;
+}
+
+void DctcpCc::on_ack(const AckEvent& event) {
+  if (event.rtt > 0) last_rtt_ = event.rtt;
+  if (event.now >= window_end_) end_observation_window(event.now);
+
+  acked_in_window_ += event.acked;
+  if (event.ecn_echo) {
+    marked_in_window_ += std::max<Bytes>(event.acked, mss_);
+    if (!cut_this_window_) {
+      // One proportional cut per observation window.
+      cut_this_window_ = true;
+      cwnd_ = std::max<Bytes>(
+          static_cast<Bytes>(static_cast<double>(cwnd_) * (1.0 - alpha_ / 2)),
+          2 * mss_);
+      ssthresh_ = cwnd_;
+      return;
+    }
+  }
+  if (event.acked <= 0) return;
+  if (cwnd_ < ssthresh_) {
+    cwnd_ = std::min<Bytes>(cwnd_ + event.acked, kMaxWindow);
+  } else {
+    // Reno-style congestion avoidance: one MSS per RTT.
+    cwnd_ += std::max<Bytes>(
+        1, mss_ * event.acked / std::max<Bytes>(cwnd_, 1));
+    cwnd_ = std::min(cwnd_, kMaxWindow);
+  }
+}
+
+void DctcpCc::on_loss(Nanos /*now*/) {
+  cwnd_ = std::max<Bytes>(cwnd_ / 2, 2 * mss_);
+  ssthresh_ = cwnd_;
+}
+
+void DctcpCc::on_rto(Nanos /*now*/) {
+  ssthresh_ = std::max<Bytes>(cwnd_ / 2, 2 * mss_);
+  cwnd_ = 2 * mss_;
+}
+
+}  // namespace hostsim

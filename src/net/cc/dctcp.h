@@ -1,0 +1,38 @@
+// DCTCP (Alizadeh et al., SIGCOMM 2010): ECN-proportional window
+// reduction with an EWMA estimate of the marked fraction.
+#ifndef HOSTSIM_NET_CC_DCTCP_H
+#define HOSTSIM_NET_CC_DCTCP_H
+
+#include "net/cc/congestion_control.h"
+
+namespace hostsim {
+
+class DctcpCc final : public CongestionControl {
+ public:
+  explicit DctcpCc(Bytes mss);
+
+  void on_ack(const AckEvent& event) override;
+  void on_loss(Nanos now) override;
+  void on_rto(Nanos now) override;
+  Bytes cwnd() const override { return cwnd_; }
+  std::string_view name() const override { return "dctcp"; }
+
+  double alpha() const { return alpha_; }
+
+ private:
+  void end_observation_window(Nanos now);
+
+  Bytes mss_;
+  Bytes cwnd_;
+  Bytes ssthresh_;
+  double alpha_ = 1.0;  // start conservative, as in the Linux implementation
+  Bytes acked_in_window_ = 0;
+  Bytes marked_in_window_ = 0;
+  Nanos window_end_ = 0;
+  Nanos last_rtt_ = 100'000;
+  bool cut_this_window_ = false;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_NET_CC_DCTCP_H

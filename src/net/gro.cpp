@@ -1,0 +1,54 @@
+#include "net/gro.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hostsim {
+
+std::vector<Skb> Gro::feed(Skb segment) {
+  std::vector<Skb> completed;
+  if (!enabled_) {
+    completed.push_back(std::move(segment));
+    return completed;
+  }
+
+  auto it = pending_.find(segment.flow);
+  if (it != pending_.end()) {
+    Skb& head = it->second;
+    const bool contiguous = segment.seq == head.end_seq();
+    const bool fits = head.len + segment.len <= max_bytes_;
+    if (contiguous && fits) {
+      head.len += segment.len;
+      head.segments += segment.segments;
+      head.ecn = head.ecn || segment.ecn;
+      head.sent_at = segment.sent_at;  // freshest timestamp, for RTT echo
+      head.fragments.insert(head.fragments.end(),
+                            std::make_move_iterator(segment.fragments.begin()),
+                            std::make_move_iterator(segment.fragments.end()));
+      if (head.len >= max_bytes_) {
+        completed.push_back(std::move(head));
+        pending_.erase(it);
+      }
+      return completed;
+    }
+    // Gap or size overflow: the pending skb goes up as-is.
+    completed.push_back(std::move(head));
+    pending_.erase(it);
+  }
+  pending_.emplace(segment.flow, std::move(segment));
+  return completed;
+}
+
+std::vector<Skb> Gro::flush() {
+  std::vector<Skb> completed;
+  completed.reserve(pending_.size());
+  for (auto& [flow, skb] : pending_) completed.push_back(std::move(skb));
+  pending_.clear();
+  // Flush in flow order: unordered_map iteration order is
+  // implementation-defined and must not leak into simulation results.
+  std::sort(completed.begin(), completed.end(),
+            [](const Skb& a, const Skb& b) { return a.flow < b.flow; });
+  return completed;
+}
+
+}  // namespace hostsim

@@ -1,0 +1,41 @@
+// Generic Receive Offload: software coalescing of same-flow, contiguous
+// segments within one NAPI poll round.
+//
+// The merge window being a single poll batch is what makes GRO lose
+// effectiveness as flow count grows (paper §3.5): with many interleaved
+// flows, each flow contributes few frames per batch, so merged skbs
+// shrink and per-skb protocol costs rise.
+#ifndef HOSTSIM_NET_GRO_H
+#define HOSTSIM_NET_GRO_H
+
+#include <unordered_map>
+#include <vector>
+
+#include "net/skb.h"
+
+namespace hostsim {
+
+class Gro {
+ public:
+  explicit Gro(bool enabled, Bytes max_bytes = 65536)
+      : enabled_(enabled), max_bytes_(max_bytes) {}
+
+  /// Feeds one driver-built skb (one wire frame, or an LRO train).
+  /// Returns the skbs that completed as a result (size limit reached or
+  /// non-mergeable input flushed the pending one).
+  std::vector<Skb> feed(Skb segment);
+
+  /// Flushes all pending skbs (end of NAPI poll round).
+  std::vector<Skb> flush();
+
+  bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_;
+  Bytes max_bytes_;
+  std::unordered_map<int, Skb> pending_;  // per-flow merge in progress
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_NET_GRO_H

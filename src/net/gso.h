@@ -1,0 +1,38 @@
+// Segmentation offload accounting.
+//
+// With TSO, the NIC splits a 64KB skb into MTU-sized frames at no CPU
+// cost.  With software GSO, the split costs CPU per produced frame but
+// the skb still traverses TCP/IP as one unit.  With neither, TCP itself
+// emits MTU-sized skbs, paying the full per-skb protocol cost per frame
+// (the paper's "no optimization" configuration).
+#ifndef HOSTSIM_NET_GSO_H
+#define HOSTSIM_NET_GSO_H
+
+#include "cpu/core.h"
+#include "sim/units.h"
+
+namespace hostsim {
+
+enum class SegmentationMode : std::uint8_t {
+  none,    ///< TCP emits MTU-sized skbs
+  gso_sw,  ///< software split at the netdevice layer
+  tso_hw,  ///< hardware split in the NIC (free)
+};
+
+struct Gso {
+  /// Number of wire frames a chunk of `bytes` payload splits into.
+  static int segment_count(Bytes bytes, Bytes mss) {
+    return static_cast<int>((bytes + mss - 1) / mss);
+  }
+
+  /// Charges the segmentation cost for emitting `frames` wire frames.
+  static void charge(Core& core, SegmentationMode mode, int frames) {
+    if (mode == SegmentationMode::gso_sw) {
+      core.charge(CpuCategory::netdev, core.cost().gso_per_segment * frames);
+    }
+  }
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_NET_GSO_H

@@ -1,0 +1,22 @@
+#include "net/skb.h"
+
+namespace hostsim {
+
+double SkbSizeStats::fraction_at_least(Bytes bytes) const {
+  if (sizes_.count() == 0) return 0.0;
+  // Invert via quantile search: find the smallest quantile whose value
+  // reaches `bytes` (histogram buckets are monotone).
+  double lo = 0.0;
+  double hi = 1.0;
+  for (int i = 0; i < 24; ++i) {
+    const double mid = (lo + hi) / 2;
+    if (sizes_.percentile(mid) >= bytes) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return 1.0 - hi;
+}
+
+}  // namespace hostsim

@@ -1,0 +1,48 @@
+// Socket buffer (skb) representation.
+//
+// An skb references payload through page fragments; the payload itself is
+// never materialized.  On the receive path one skb is built per wire
+// frame and skbs are then merged by GRO/LRO; on the transmit path an skb
+// covers up to 64KB with TSO/GSO or one MTU otherwise.
+#ifndef HOSTSIM_NET_SKB_H
+#define HOSTSIM_NET_SKB_H
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/page.h"
+#include "sim/stats.h"
+#include "sim/units.h"
+
+namespace hostsim {
+
+struct Skb {
+  int flow = -1;
+  std::int64_t seq = 0;
+  Bytes len = 0;
+  std::vector<Fragment> fragments;
+  int segments = 1;    ///< wire frames this skb represents (post-merge)
+  Nanos napi_at = 0;   ///< NAPI processing time of the first segment
+  Nanos sent_at = 0;   ///< sender timestamp of the last merged segment
+  bool ecn = false;
+
+  std::int64_t end_seq() const { return seq + len; }
+};
+
+/// Distribution of post-GRO skb sizes delivered to TCP (paper fig. 8(c)).
+class SkbSizeStats {
+ public:
+  void record(const Skb& skb) { sizes_.record(skb.len); }
+  const Histogram& histogram() const { return sizes_; }
+  /// Fraction of delivered skbs with len >= `bytes`.
+  double fraction_at_least(Bytes bytes) const;
+  double mean() const { return sizes_.mean(); }
+  void clear() { sizes_.clear(); }
+
+ private:
+  Histogram sizes_;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_NET_SKB_H

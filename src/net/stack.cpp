@@ -1,0 +1,192 @@
+#include "net/stack.h"
+
+#include <utility>
+
+#include "net/tcp_socket.h"
+#include "sim/contract.h"
+
+namespace hostsim {
+
+Stack::Stack(EventLoop& loop, const StackOptions& options,
+             const NumaTopology& topo, std::vector<Core*> cores,
+             std::vector<LlcModel*> llcs, PageAllocator& allocator,
+             Iommu& iommu, Nic& nic)
+    : loop_(&loop),
+      options_(options),
+      topo_(topo),
+      cores_(std::move(cores)),
+      llcs_(std::move(llcs)),
+      allocator_(&allocator),
+      iommu_(&iommu),
+      nic_(&nic),
+      tracer_(options.trace_capacity, options.host_id) {
+  require(options.mss > 0, "mss must be positive");
+  gros_.reserve(cores_.size());
+  for (std::size_t i = 0; i < cores_.size(); ++i) {
+    gros_.emplace_back(options_.gro, options_.max_skb_bytes);
+  }
+  nic_->set_rx_handler(
+      [this](Core& core, int queue) { napi_poll(core, queue); });
+}
+
+Stack::~Stack() = default;
+
+TcpSocket& Stack::create_socket(int flow, int app_core) {
+  require(sockets_.find(flow) == sockets_.end(), "flow already has a socket");
+  require(app_core >= 0 && app_core < num_cores(), "app core out of range");
+  auto [it, inserted] = sockets_.emplace(
+      flow, std::make_unique<TcpSocket>(*this, flow, app_core));
+  if (options_.receiver_driven) {
+    if (grants_ == nullptr) {
+      grants_ = std::make_unique<GrantScheduler>(options_.grant_policy);
+    }
+    it->second->set_receiver_driven(*grants_);
+  }
+  return *it->second;
+}
+
+TcpSocket& Stack::socket(int flow) {
+  auto it = sockets_.find(flow);
+  require(it != sockets_.end(), "no socket for flow");
+  return *it->second;
+}
+
+void Stack::begin_measurement() { stats_.clear(); }
+
+int Stack::steer_target(const TcpSocket& socket, const Core& irq_core) const {
+  switch (options_.steering) {
+    case SteeringMode::arfs:
+    case SteeringMode::rss:
+      return irq_core.id();  // processing stays on the IRQ core
+    case SteeringMode::rfs:
+      return socket.app_core();
+    case SteeringMode::rps: {
+      // Hash the flow to a (deterministic) core, Table-2 style.
+      auto x = (static_cast<std::uint64_t>(socket.flow()) + 0x243F6A8885A3ull) *
+               0x9E3779B97F4A7C15ull;
+      x ^= x >> 29;
+      x *= 0xBF58476D1CE4E5B9ull;
+      x ^= x >> 32;
+      return static_cast<int>(x % static_cast<std::uint64_t>(num_cores()));
+    }
+  }
+  return irq_core.id();
+}
+
+std::vector<int> Stack::flow_ids() const {
+  std::vector<int> ids;
+  ids.reserve(sockets_.size());
+  for (const auto& [flow, socket] : sockets_) ids.push_back(flow);
+  return ids;
+}
+
+Bytes Stack::total_delivered_to_app() const {
+  Bytes total = 0;
+  for (const auto& [flow, socket] : sockets_) {
+    total += socket->delivered_to_app();
+  }
+  return total;
+}
+
+Bytes Stack::total_accepted_from_app() const {
+  Bytes total = 0;
+  for (const auto& [flow, socket] : sockets_) {
+    total += socket->accepted_from_app();
+  }
+  return total;
+}
+
+void Stack::napi_poll(Core& core, int queue) {
+  const CostModel& cost = core.cost();
+  core.charge(CpuCategory::netdev, cost.napi_poll_overhead);
+  Gro& gro = gros_.at(static_cast<std::size_t>(queue));
+
+  auto deliver = [this, &core](Skb&& skb) {
+    stats_.skb_sizes.record(skb);
+    auto it = sockets_.find(skb.flow);
+    if (it == sockets_.end()) {
+      // Unknown flow (e.g. torn-down socket): drop, releasing pages.
+      for (const Fragment& fragment : skb.fragments) {
+        allocator_->release(core, fragment.page);
+      }
+      return;
+    }
+    TcpSocket* socket = it->second.get();
+    const int target = steer_target(*socket, core);
+    if (target == core.id()) {
+      socket->rx_deliver(core, std::move(skb));
+      return;
+    }
+    // RPS/RFS: protocol processing is requeued to the target core's
+    // backlog via an inter-processor kick; the cycles of TCP processing
+    // land there, not on the IRQ core.
+    core.charge(CpuCategory::etc, core.cost().rps_ipi);
+    auto shared = std::make_shared<Skb>(std::move(skb));
+    core.defer([this, socket, target, shared] {
+      cores_[static_cast<std::size_t>(target)]->post(
+          softirq_requeue_, [socket, shared](Core& remote) {
+            socket->rx_deliver(remote, std::move(*shared));
+          });
+    });
+  };
+
+  int budget = options_.napi_budget;
+  while (budget > 0) {
+    auto polled = nic_->poll_one(core, queue);
+    if (!polled.has_value()) break;
+    budget -= polled->segments;
+    core.charge(CpuCategory::netdev, cost.netdev_rx_per_frame);
+
+    if (polled->frame.is_ack) {
+      // Copybreak fast path: header-only skb built inline and freed on
+      // the spot, no page-backed fragments.
+      core.charge(CpuCategory::skb_mgmt, cost.skb_alloc / 3);
+      auto it = sockets_.find(polled->frame.flow);
+      if (it != sockets_.end()) {
+        TcpSocket* socket = it->second.get();
+        const int target = steer_target(*socket, core);
+        if (target == core.id()) {
+          socket->process_ack(core, polled->frame);
+        } else {
+          core.charge(CpuCategory::etc, cost.rps_ipi);
+          const Frame frame = polled->frame;
+          core.defer([this, socket, target, frame] {
+            cores_[static_cast<std::size_t>(target)]->post(
+                softirq_requeue_, [socket, frame](Core& remote) {
+                  socket->process_ack(remote, frame);
+                });
+          });
+        }
+      }
+      for (const Fragment& fragment : polled->fragments) {
+        allocator_->release(core, fragment.page);
+      }
+      continue;
+    }
+    core.charge(CpuCategory::skb_mgmt, cost.skb_alloc);
+
+    Skb skb;
+    skb.flow = polled->frame.flow;
+    skb.seq = polled->frame.seq;
+    skb.len = polled->frame.payload;
+    skb.fragments = std::move(polled->fragments);
+    skb.segments = polled->segments;
+    skb.napi_at = loop_->now();
+    skb.sent_at = polled->frame.sent_at;
+    skb.ecn = polled->frame.ecn;
+
+    if (options_.gro) {
+      core.charge(CpuCategory::netdev, cost.gro_per_segment);
+    }
+    for (Skb& merged : gro.feed(std::move(skb))) {
+      deliver(std::move(merged));
+    }
+  }
+
+  for (Skb& merged : gro.flush()) {
+    deliver(std::move(merged));
+  }
+  nic_->napi_complete(core, queue);
+}
+
+}  // namespace hostsim

@@ -1,0 +1,151 @@
+// Per-host network stack: NAPI polling, GRO, socket table, and the
+// host-level statistics the measurement harness reads.
+//
+// The Stack owns the receive path between the NIC and the sockets
+// (paper fig. 1's "network subsystem"): its NAPI handler runs in softirq
+// context on the rx queue's core, builds skbs (one per frame), feeds
+// them through per-queue GRO, and delivers merged skbs to TCP.
+#ifndef HOSTSIM_NET_STACK_H
+#define HOSTSIM_NET_STACK_H
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cpu/core.h"
+#include "hw/llc_model.h"
+#include "hw/nic.h"
+#include "hw/numa_topology.h"
+#include "mem/iommu.h"
+#include "mem/page_allocator.h"
+#include "net/cc/congestion_control.h"
+#include "net/grant_scheduler.h"
+#include "net/gro.h"
+#include "net/gso.h"
+#include "net/skb.h"
+#include "sim/stats.h"
+#include "sim/trace.h"
+
+namespace hostsim {
+
+class TcpSocket;
+
+struct StackOptions {
+  SegmentationMode segmentation = SegmentationMode::tso_hw;
+  bool gro = true;
+  /// Effective steering mode: arfs (hardware, IRQ on the app core), rss
+  /// (hash/explicit IRQ placement, processing stays there), or the
+  /// software paths rps/rfs that requeue protocol processing from the
+  /// IRQ core to a hashed / the application's core.
+  SteeringMode steering = SteeringMode::arfs;
+  bool tx_zerocopy = false;   ///< MSG_ZEROCOPY-style transmission
+  bool rx_zerocopy = false;   ///< TCP-mmap-style reception
+  bool delayed_ack = false;   ///< ACK every 2nd in-order delivery
+  /// Receiver-driven credit flow control (paper §3.3/§4): the receiver
+  /// limits how many flows per core hold credit at once.
+  bool receiver_driven = false;
+  GrantPolicy grant_policy;
+  Nanos delack_timeout = 500'000;  ///< guarantee an ACK within this
+  Bytes mss = 1448;               ///< payload per wire frame (MTU-derived)
+  Bytes max_skb_bytes = 65536;    ///< TSO/GSO/GRO aggregate limit
+  int napi_budget = 300;          ///< frames per NAPI poll invocation
+  Bytes rcv_buf = 0;              ///< fixed rx buffer; 0 = autotune
+  Bytes rcv_buf_max = 6400 * kKiB;  ///< autotune cap (tcp_rmem[2])
+  Bytes snd_buf = 4 * kMiB;
+  CcAlgo cc = CcAlgo::cubic;
+  std::size_t trace_capacity = 0;  ///< flight-recorder ring size; 0 = off
+  int host_id = 0;                 ///< 0 = sender host, 1 = receiver host
+  Nanos min_rto = 2 * kMillisecond;  ///< stands in for TLP/RACK tail repair
+};
+
+/// Host-level measurement state, reset at the start of the measurement
+/// window (after warmup).
+struct HostStats {
+  HitRate copy_reads;     ///< receiver-side data copy page accesses
+  HitRate sender_copy;    ///< sender-side copy destination page residency
+  Histogram napi_to_copy; ///< ns from NAPI processing to copy start (fig 3f)
+  SkbSizeStats skb_sizes; ///< post-GRO skb sizes (fig 8c)
+  std::uint64_t acks_sent = 0;
+  std::uint64_t acks_received = 0;
+  std::uint64_t dup_acks = 0;
+  std::uint64_t retransmits = 0;
+  std::uint64_t rcv_queue_drops = 0;
+
+  void clear() {
+    copy_reads.clear();
+    sender_copy.clear();
+    napi_to_copy.clear();
+    skb_sizes.clear();
+    acks_sent = acks_received = dup_acks = retransmits = 0;
+    rcv_queue_drops = 0;
+  }
+};
+
+class Stack {
+ public:
+  Stack(EventLoop& loop, const StackOptions& options,
+        const NumaTopology& topo, std::vector<Core*> cores,
+        std::vector<LlcModel*> llcs, PageAllocator& allocator, Iommu& iommu,
+        Nic& nic);
+  ~Stack();
+
+  Stack(const Stack&) = delete;
+  Stack& operator=(const Stack&) = delete;
+
+  /// Creates the local endpoint of `flow`, with its application pinned
+  /// to `app_core`.
+  TcpSocket& create_socket(int flow, int app_core);
+  TcpSocket& socket(int flow);
+
+  /// Clears host-level statistics (start of the measurement window).
+  void begin_measurement();
+
+  /// Flow ids of all sockets on this host, ascending.
+  std::vector<int> flow_ids() const;
+
+  /// Application-level bytes received across all sockets on this host.
+  Bytes total_delivered_to_app() const;
+  /// Application-level bytes accepted for sending across all sockets.
+  Bytes total_accepted_from_app() const;
+
+  HostStats& stats() { return stats_; }
+  Tracer& tracer() { return tracer_; }
+  const StackOptions& options() const { return options_; }
+  EventLoop& loop() { return *loop_; }
+  Nic& nic() { return *nic_; }
+  PageAllocator& allocator() { return *allocator_; }
+  Iommu& iommu() { return *iommu_; }
+  const NumaTopology& topo() const { return topo_; }
+  Core& core(int id) { return *cores_.at(static_cast<std::size_t>(id)); }
+  LlcModel& llc(int node) { return *llcs_.at(static_cast<std::size_t>(node)); }
+  int num_cores() const { return static_cast<int>(cores_.size()); }
+
+ private:
+  void napi_poll(Core& core, int queue);
+
+  /// Core that should run protocol processing for `socket`'s frames
+  /// arriving on `irq_core` (identity for arfs/rss, cross-core for the
+  /// software steering modes).
+  int steer_target(const TcpSocket& socket, const Core& irq_core) const;
+
+  EventLoop* loop_;
+  StackOptions options_;
+  NumaTopology topo_;
+  std::vector<Core*> cores_;
+  std::vector<LlcModel*> llcs_;
+  PageAllocator* allocator_;
+  Iommu* iommu_;
+  Nic* nic_;
+
+  std::vector<Gro> gros_;  // one per rx queue
+  std::map<int, std::unique_ptr<TcpSocket>> sockets_;
+  std::unique_ptr<GrantScheduler> grants_;  // receiver-driven mode only
+  HostStats stats_;
+  Tracer tracer_;
+  Context softirq_requeue_{"softirq-rps", /*kernel=*/true};
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_NET_STACK_H

@@ -1,0 +1,686 @@
+#include "net/tcp_socket.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+namespace {
+
+
+/// Slack beyond the advertised edge tolerated before dropping (GRO
+/// rounding; should essentially never trigger).
+constexpr Bytes kRcvOverflowSlack = 256 * kKiB;
+
+constexpr Nanos kMaxRto = 200 * kMillisecond;
+
+}  // namespace
+
+TcpSocket::TcpSocket(Stack& stack, int flow, int app_core)
+    : stack_(&stack),
+      flow_(flow),
+      app_core_(app_core),
+      snd_buf_(stack.options().snd_buf),
+      cc_(make_congestion_control(stack.options().cc, stack.options().mss)) {
+  const StackOptions& options = stack.options();
+  rcv_buf_cur_ = options.rcv_buf > 0 ? options.rcv_buf : 256 * kKiB;
+  rcv_wnd_edge_ = rcv_buf_cur_;
+}
+
+TcpSocket::~TcpSocket() {
+  if (rto_timer_ != 0) stack_->loop().cancel(rto_timer_);
+  if (delack_timer_ != 0) stack_->loop().cancel(delack_timer_);
+}
+
+// --------------------------------------------------------------------------
+// Locking
+// --------------------------------------------------------------------------
+
+void TcpSocket::lock(Core& core) {
+  // The socket spinlock bounces between cores when the softirq (IRQ
+  // context) and the application run on different cores — the paper's
+  // explanation for high lock overhead with aRFS disabled (§3.1).
+  const bool contended = last_lock_core_ >= 0 && last_lock_core_ != core.id();
+  core.charge(CpuCategory::lock, contended ? core.cost().lock_contended
+                                           : core.cost().lock_uncontended);
+  last_lock_core_ = core.id();
+}
+
+// --------------------------------------------------------------------------
+// Application send path
+// --------------------------------------------------------------------------
+
+Bytes TcpSocket::send_space() const {
+  return snd_buf_ - (snd_buf_end_ - snd_una_);
+}
+
+Bytes TcpSocket::send(Core& core, Bytes bytes) {
+  require(core.id() == app_core_, "send() must run on the app core");
+  require(bytes > 0, "send of zero bytes");
+  core.charge(CpuCategory::etc, core.cost().syscall_overhead);
+  lock(core);
+
+  const Bytes accept = std::min(bytes, send_space());
+  if (accept < bytes) tx_was_full_ = true;
+  if (accept == 0) return 0;
+
+  // User->kernel data copy into freshly allocated kernel pages.  Pages
+  // come LIFO from the pageset, so a recently freed (still cached) page
+  // is cheap to fill; a cold page pays the write-allocate penalty.
+  // With MSG_ZEROCOPY (§4) the user pages are pinned instead: no copy,
+  // no kernel pages, just a per-chunk pin + completion notification.
+  const CostModel& cost = core.cost();
+  const bool zerocopy = stack_->options().tx_zerocopy;
+  LlcModel& llc = stack_->llc(core.numa_node());
+  HostStats& stats = stack_->stats();
+  Bytes remaining = accept;
+  while (remaining > 0) {
+    const Bytes chunk_len = std::min<Bytes>(
+        remaining, stack_->options().max_skb_bytes);
+    TxChunk chunk;
+    chunk.seq = snd_buf_end_;
+    chunk.len = chunk_len;
+    if (zerocopy) {
+      const auto pinned = static_cast<Cycles>((chunk_len + kPageBytes - 1) /
+                                              kPageBytes);
+      core.charge(CpuCategory::memory, pinned * cost.zc_tx_pin_per_page);
+      core.charge(CpuCategory::etc, cost.zc_tx_completion);
+    } else {
+      const int pages = static_cast<int>((chunk_len + kPageBytes - 1) /
+                                         kPageBytes);
+      double copy_cycles = 0.0;
+      for (int i = 0; i < pages; ++i) {
+        Page* page = stack_->allocator().alloc(core);
+        page->refs = 1;
+        const Bytes page_bytes =
+            std::min<Bytes>(kPageBytes, chunk_len - i * kPageBytes);
+        const bool resident = llc.contains(page->id);
+        if (resident) {
+          stats.sender_copy.hit();
+        } else {
+          stats.sender_copy.miss();
+        }
+        copy_cycles += static_cast<double>(page_bytes) *
+                       (cost.copy_cyc_per_byte_hit +
+                        (resident ? 0.0 : cost.copy_write_miss_extra));
+        llc.insert(page->id);
+        chunk.pages.push_back(page);
+      }
+      core.charge(CpuCategory::data_copy, static_cast<Cycles>(copy_cycles));
+    }
+    tx_queue_.push_back(std::move(chunk));
+    snd_buf_end_ += chunk_len;
+    remaining -= chunk_len;
+  }
+  accepted_from_app_ += accept;
+  tcp_output(core);
+  return accept;
+}
+
+void TcpSocket::tcp_output(Core& core) {
+  const StackOptions& options = stack_->options();
+  const Bytes unit = options.segmentation == SegmentationMode::none
+                         ? options.mss
+                         : options.max_skb_bytes;
+  for (;;) {
+    // SACK-style pipe: data the receiver already holds (below the
+    // highest selective acknowledgment) is not in flight, so recovery
+    // does not stall the pipe while holes are being repaired.
+    const std::int64_t delivered_edge =
+        std::clamp(sack_high_, snd_una_, snd_nxt_);
+    const std::int64_t cwnd_edge = delivered_edge + cc_->cwnd();
+    const std::int64_t window_edge = std::min(cwnd_edge, snd_wnd_edge_);
+    const Bytes window_avail = window_edge - snd_nxt_;
+    const Bytes data_avail = snd_buf_end_ - snd_nxt_;
+    const Bytes len = std::min({unit, window_avail, data_avail});
+    if (len <= 0) break;
+    // Silly-window avoidance (Nagle-style): while data is in flight and
+    // more is buffered, wait for a full MSS of window instead of
+    // dribbling sub-MSS segments as every ACK cracks the window open.
+    // With nothing outstanding the segment goes out regardless — no ACKs
+    // would arrive to reopen the window otherwise.
+    if (len < options.mss && len < data_avail && snd_nxt_ > snd_una_) break;
+    emit_chunk(core, snd_nxt_, len, /*retransmit=*/false);
+    snd_nxt_ += len;
+  }
+  if (snd_una_ < snd_nxt_) arm_rto();
+}
+
+void TcpSocket::emit_chunk(Core& core, std::int64_t seq, Bytes len,
+                           bool retransmit) {
+  const StackOptions& options = stack_->options();
+  const CostModel& cost = core.cost();
+  const int frames = Gso::segment_count(len, options.mss);
+
+  if (retransmit) {
+    stack_->tracer().record(stack_->loop().now(), TraceKind::retransmit,
+                            flow_, seq, len);
+    core.charge(CpuCategory::tcpip, cost.tcpip_retransmit * frames);
+    retransmits_ += static_cast<std::uint64_t>(frames);
+    stack_->stats().retransmits += static_cast<std::uint64_t>(frames);
+  } else {
+    core.charge(CpuCategory::skb_mgmt, cost.skb_alloc);
+    core.charge(CpuCategory::tcpip,
+                cost.tcpip_tx_per_skb +
+                    static_cast<Cycles>(cost.tcpip_cyc_per_byte *
+                                        static_cast<double>(len)));
+    core.charge(CpuCategory::netdev, cost.netdev_tx_per_skb);
+    Gso::charge(core, options.segmentation, frames);
+    stack_->iommu().charge_map(
+        core, static_cast<double>(len) / kPageBytes);
+  }
+  core.charge(CpuCategory::netdev, cost.driver_tx_per_skb);
+
+  const Nanos now = stack_->loop().now();
+  Bytes remaining = len;
+  std::int64_t frame_seq = seq;
+  while (remaining > 0) {
+    Frame frame;
+    frame.flow = flow_;
+    frame.seq = frame_seq;
+    frame.payload = std::min(remaining, options.mss);
+    frame.sent_at = now;
+    frame.echo_ts = now;
+    frame_seq += frame.payload;
+    remaining -= frame.payload;
+    send_frame(core, frame);
+  }
+}
+
+void TcpSocket::send_frame(Core& core, Frame frame) {
+  if (cc_->pacing_gbps() > 0.0) {
+    paced_.push_back(frame);
+    if (!pacer_armed_) {
+      pacer_armed_ = true;
+      pacer_next_ = std::max(pacer_next_, stack_->loop().now());
+      stack_->loop().schedule_at(pacer_next_, [this] { pacer_release(); });
+    }
+    return;
+  }
+  (void)core;
+  stack_->nic().transmit(frame);
+}
+
+void TcpSocket::pacer_release() {
+  // The qdisc pacing timer fires in softirq on the sender core; each
+  // release is a thread wakeup (paper fig. 13(b): BBR's extra sched
+  // overhead comes from exactly this).
+  if (paced_.empty()) {
+    pacer_armed_ = false;
+    return;
+  }
+  Frame frame = paced_.front();
+  paced_.pop_front();
+  const double rate = std::max(cc_->pacing_gbps(), 0.5);
+  pacer_next_ = stack_->loop().now() +
+                serialization_delay(frame.wire_bytes(), rate);
+  stack_->core(app_core_).post(timer_ctx_, [this, frame](Core& core) {
+    core.charge(CpuCategory::sched, core.cost().pacer_release);
+    core.charge(CpuCategory::netdev, core.cost().driver_tx_per_skb / 4);
+    stack_->nic().transmit(frame);
+  });
+  if (paced_.empty()) {
+    pacer_armed_ = false;
+  } else {
+    stack_->loop().schedule_at(pacer_next_, [this] { pacer_release(); });
+  }
+}
+
+// --------------------------------------------------------------------------
+// Loss recovery
+// --------------------------------------------------------------------------
+
+void TcpSocket::arm_rto() {
+  if (rto_timer_ != 0) return;
+  const Nanos rto =
+      std::min<Nanos>(std::max(stack_->options().min_rto, srtt_ + 4 * rttvar_) *
+                          rto_backoff_,
+                      kMaxRto);
+  rto_timer_ = stack_->loop().schedule_after(rto, [this] { on_rto_fired(); });
+}
+
+void TcpSocket::on_rto_fired() {
+  rto_timer_ = 0;
+  if (snd_una_ >= snd_nxt_) return;  // everything acked meanwhile
+  rto_backoff_ = std::min<Nanos>(rto_backoff_ * 2, 64);
+  stack_->core(app_core_).post(timer_ctx_, [this](Core& core) {
+    if (snd_una_ >= snd_nxt_) return;
+    stack_->tracer().record(stack_->loop().now(), TraceKind::rto, flow_,
+                            snd_una_, 0);
+    cc_->on_rto(stack_->loop().now());
+    // CA_Loss: stay in recovery so returning ACKs keep repairing holes
+    // (cwnd-budgeted), restarting the ACK clock.
+    in_recovery_ = true;
+    recovery_high_ = snd_nxt_;
+    retransmit_nxt_ = snd_una_;
+    dup_acks_ = 0;
+    retransmit_next_unit(core);
+    arm_rto();
+  });
+}
+
+void TcpSocket::enter_recovery(Core& core) {
+  in_recovery_ = true;
+  recovery_high_ = snd_nxt_;
+  retransmit_nxt_ = snd_una_;
+  cc_->on_loss(stack_->loop().now());
+  retransmit_next_unit(core);
+}
+
+void TcpSocket::retransmit_next_unit(Core& core) {
+  // cwnd-budgeted SACK-style repair: each incoming ACK may retransmit up
+  // to half a window of hole data (capped at one max-skb so a single ACK
+  // never serializes into a multi-millisecond task — a retransmit storm
+  // no real stack produces).  With slow-start growth on repair ACKs this
+  // restarts the ACK clock exponentially after an RTO.
+  retransmit_nxt_ = std::max(retransmit_nxt_, snd_una_);
+  const Bytes mss = stack_->options().mss;
+  Bytes budget = std::clamp<Bytes>(cc_->cwnd() / 2, 2 * mss,
+                                   stack_->options().max_skb_bytes);
+  while (budget > 0) {
+    const Bytes len = std::min<Bytes>(
+        {2 * mss, recovery_high_ - retransmit_nxt_, budget});
+    if (len <= 0) break;
+    emit_chunk(core, retransmit_nxt_, len, /*retransmit=*/true);
+    retransmit_nxt_ += len;
+    budget -= len;
+  }
+}
+
+void TcpSocket::free_acked_chunks(Core& core, std::int64_t upto) {
+  const CostModel& cost = core.cost();
+  while (!tx_queue_.empty()) {
+    TxChunk& chunk = tx_queue_.front();
+    if (chunk.seq + chunk.len > upto) break;
+    core.charge(CpuCategory::skb_mgmt, cost.skb_free);
+    stack_->iommu().charge_unmap(
+        core, static_cast<double>(chunk.len) / kPageBytes);
+    for (Page* page : chunk.pages) stack_->allocator().release(core, page);
+    tx_queue_.pop_front();
+  }
+}
+
+void TcpSocket::process_ack(Core& core, const Frame& frame) {
+  const CostModel& cost = core.cost();
+  core.charge(CpuCategory::tcpip, cost.tcpip_ack_rx);
+  lock(core);
+  ++stack_->stats().acks_received;
+  stack_->tracer().record(stack_->loop().now(), TraceKind::ack_rx, flow_,
+                          frame.ack_seq, frame.ack_seq - snd_una_);
+
+  // Monotone peer window edge (never moves left).
+  snd_wnd_edge_ = std::max<std::int64_t>(snd_wnd_edge_,
+                                         frame.ack_seq + frame.window);
+  sack_high_ = std::max(sack_high_, frame.sack_high);
+
+  Nanos rtt = -1;
+  if (frame.echo_ts >= 0) {
+    rtt = stack_->loop().now() - frame.echo_ts;
+    if (srtt_ == 0) {
+      srtt_ = rtt;
+      rttvar_ = rtt / 2;
+    } else {
+      const Nanos err = std::abs(rtt - srtt_);
+      rttvar_ = (3 * rttvar_ + err) / 4;
+      srtt_ = (7 * srtt_ + rtt) / 8;
+    }
+  }
+
+  const std::int64_t prior_una = snd_una_;
+  Bytes newly = 0;
+  if (frame.ack_seq > snd_una_) {
+    newly = frame.ack_seq - snd_una_;
+    snd_una_ = frame.ack_seq;
+    if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
+    free_acked_chunks(core, snd_una_);
+    rto_backoff_ = 1;
+    if (rto_timer_ != 0) {
+      stack_->loop().cancel(rto_timer_);
+      rto_timer_ = 0;
+    }
+    if (snd_una_ < snd_nxt_) arm_rto();
+  }
+
+  // Windowed delivery-rate estimation (for BBR's bandwidth filter).
+  rate_bytes_ += newly;
+  const Nanos rate_window = std::max<Nanos>(srtt_, 25'000);
+  double rate_sample = 0.0;
+  const Nanos now = stack_->loop().now();
+  if (now - rate_start_ >= rate_window) {
+    if (rate_start_ > 0 && rate_bytes_ > 0) {
+      rate_sample = static_cast<double>(rate_bytes_) * 8.0 /
+                    static_cast<double>(now - rate_start_);
+    }
+    rate_start_ = now;
+    rate_bytes_ = 0;
+  }
+
+  AckEvent event;
+  event.now = now;
+  event.acked = newly;
+  event.rtt = rtt;
+  event.ecn_echo = frame.ecn;
+  event.inflight = snd_nxt_ - snd_una_;
+  event.rate_gbps = rate_sample;
+  cc_->on_ack(event);
+
+  // Duplicate-ACK detection (RFC 5681): same cumulative ACK, data
+  // outstanding, and no window update — a pure window update must not
+  // count as a loss signal.
+  const std::int64_t edge_seen = frame.ack_seq + frame.window;
+  const bool window_update = edge_seen != last_ack_edge_;
+  last_ack_edge_ = edge_seen;
+  if (newly == 0 && frame.ack_seq == prior_una && snd_nxt_ > snd_una_ &&
+      !window_update) {
+    ++dup_acks_;
+    ++stack_->stats().dup_acks;
+    if (!in_recovery_ && dup_acks_ >= 3) {
+      enter_recovery(core);
+    } else if (in_recovery_) {
+      retransmit_next_unit(core);
+    }
+  } else if (newly > 0) {
+    dup_acks_ = 0;
+    if (in_recovery_) {
+      if (snd_una_ >= recovery_high_) {
+        in_recovery_ = false;
+      } else {
+        // NewReno partial ACK: repair the next hole, one unit at a time.
+        retransmit_next_unit(core);
+      }
+    }
+  }
+
+  // Wake a writer blocked on a full send buffer once space is worth it.
+  if (tx_was_full_ && tx_waiter_ != nullptr &&
+      send_space() >= std::min<Bytes>(snd_buf_ / 4, 256 * kKiB)) {
+    tx_was_full_ = false;
+    tx_waiter_->notify();
+  }
+  tcp_output(core);
+}
+
+// --------------------------------------------------------------------------
+// Receive path
+// --------------------------------------------------------------------------
+
+void TcpSocket::drain_ofo(Core& core) {
+  // Pull now-contiguous out-of-order data in.  Entries may overlap the
+  // delivered prefix (retransmissions cover varying spans), so trim or
+  // discard duplicates instead of assuming exact adjacency.
+  while (!ofo_.empty()) {
+    auto it = ofo_.begin();
+    Skb& next = it->second;
+    if (next.seq > rcv_nxt_) break;  // still a hole
+    if (next.end_seq() <= rcv_nxt_) {
+      // Fully duplicate.
+      ofo_bytes_ -= next.len;
+      for (const Fragment& fragment : next.fragments) {
+        stack_->allocator().release(core, fragment.page);
+      }
+      ofo_.erase(it);
+      continue;
+    }
+    const Bytes dup = rcv_nxt_ - next.seq;
+    next.seq += dup;
+    next.len -= dup;
+    ofo_bytes_ -= dup;
+    rcv_nxt_ = next.end_seq();
+    ofo_bytes_ -= next.len;
+    rq_bytes_ += next.len;
+    rq_.push_back(std::move(next));
+    ofo_.erase(it);
+  }
+}
+
+Bytes TcpSocket::advertised_window() const {
+  return std::max<std::int64_t>(0, rcv_wnd_edge_ - rcv_nxt_);
+}
+
+void TcpSocket::maybe_autotune_rcv_buf() {
+  if (stack_->options().rcv_buf > 0) return;  // fixed by configuration
+  // Linux dynamic right-sizing: the receiver estimates its "RTT" as the
+  // time to receive one window's worth of data and sizes the buffer to
+  // twice what was delivered in that interval.  Since one window arrives
+  // per window-time by construction, the buffer doubles until tcp_rmem[2]
+  // — the DCA-oblivious overshoot the paper analyzes in §3.1.
+  if (autotune_delivered_ >= rcv_buf_cur_) {
+    rcv_buf_cur_ = std::min<Bytes>(
+        std::max<Bytes>(2 * autotune_delivered_, rcv_buf_cur_),
+        stack_->options().rcv_buf_max);
+    autotune_delivered_ = 0;
+  }
+}
+
+void TcpSocket::set_receiver_driven(GrantScheduler& scheduler) {
+  grant_scheduler_ = &scheduler;
+  // Reset the window to the blind unscheduled allowance; further credit
+  // arrives only through grant_credit().
+  rcv_wnd_edge_ = rcv_nxt_ + scheduler.policy().unscheduled_bytes;
+  scheduler.enroll(*this);
+}
+
+void TcpSocket::grant_credit(Core& core, Bytes bytes) {
+  require(grant_scheduler_ != nullptr, "grant on a sender-driven socket");
+  require(bytes > 0, "grant must be positive");
+  rcv_wnd_edge_ += bytes;
+  stack_->tracer().record(stack_->loop().now(), TraceKind::grant, flow_,
+                          bytes, rcv_wnd_edge_ - rcv_nxt_);
+  send_ack(core, /*echo_ts=*/-1, /*ecn_echo=*/false);
+}
+
+void TcpSocket::send_ack(Core& core, Nanos echo_ts, bool ecn_echo) {
+  delack_pending_ = 0;
+  if (delack_timer_ != 0) {
+    stack_->loop().cancel(delack_timer_);
+    delack_timer_ = 0;
+  }
+  core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_tx);
+  ++stack_->stats().acks_sent;
+  stack_->tracer().record(stack_->loop().now(), TraceKind::ack_tx, flow_,
+                          rcv_nxt_, advertised_window());
+
+  // Monotone advertised edge.  Queued data counts at skb truesize
+  // (~2x payload for page-backed skbs), as Linux charges rcvbuf — this
+  // halves the effective window relative to the nominal buffer size.
+  // In receiver-driven mode the edge moves only via grant_credit().
+  if (grant_scheduler_ == nullptr) {
+    rcv_wnd_edge_ = std::max(
+        rcv_wnd_edge_,
+        rcv_nxt_ + std::max<Bytes>(
+                       0, rcv_buf_cur_ - 2 * (rq_bytes_ + ofo_bytes_)));
+  }
+
+  Frame ack;
+  ack.flow = flow_;
+  ack.is_ack = true;
+  ack.ack_seq = rcv_nxt_;
+  ack.window = advertised_window();
+  ack.sack_high = ofo_.empty() ? rcv_nxt_ : ofo_.rbegin()->second.end_seq();
+  ack.echo_ts = echo_ts;
+  ack.ecn = ecn_echo;
+  stack_->nic().transmit(ack);
+}
+
+void TcpSocket::rx_deliver(Core& core, Skb skb) {
+  const CostModel& cost = core.cost();
+  core.charge(CpuCategory::tcpip,
+              cost.tcpip_rx_per_skb +
+                  static_cast<Cycles>(cost.tcpip_cyc_per_byte *
+                                      static_cast<double>(skb.len)));
+  lock(core);
+  stack_->tracer().record(stack_->loop().now(), TraceKind::skb_deliver,
+                          flow_, skb.seq, skb.len);
+
+  // Trim data we already have (retransmission overlap).
+  if (skb.seq < rcv_nxt_) {
+    const Bytes dup = std::min<Bytes>(rcv_nxt_ - skb.seq, skb.len);
+    skb.seq += dup;
+    skb.len -= dup;
+    if (skb.len == 0) {
+      for (const Fragment& fragment : skb.fragments) {
+        stack_->allocator().release(core, fragment.page);
+      }
+      send_ack(core, skb.sent_at, skb.ecn);
+      return;
+    }
+  }
+
+  const bool ecn_echo = skb.ecn;
+  const Nanos echo_ts = skb.sent_at;
+  const bool skb_was_in_order = skb.seq == rcv_nxt_;
+  const int skb_segments = skb.segments;
+  if (skb_was_in_order) {
+    // In-order data is never dropped: it is within the advertised window
+    // by construction and unblocks everything queued out of order.
+    rcv_nxt_ = skb.end_seq();
+    rq_bytes_ += skb.len;
+    rq_.push_back(std::move(skb));
+    drain_ofo(core);
+  } else {
+    // Out of order: queue (bounded) and signal the hole with a dup ACK.
+    const bool duplicate_key =
+        ofo_.find(skb.seq) != ofo_.end() &&
+        ofo_.find(skb.seq)->second.len >= skb.len;
+    const bool overflow =
+        rq_bytes_ + ofo_bytes_ + skb.len > rcv_buf_cur_ + kRcvOverflowSlack;
+    if (duplicate_key || overflow) {
+      if (overflow && !duplicate_key) ++stack_->stats().rcv_queue_drops;
+      for (const Fragment& fragment : skb.fragments) {
+        stack_->allocator().release(core, fragment.page);
+      }
+    } else if (auto it = ofo_.find(skb.seq); it != ofo_.end()) {
+      // Longer span for the same start: replace the shorter entry.
+      ofo_bytes_ += skb.len - it->second.len;
+      for (const Fragment& fragment : it->second.fragments) {
+        stack_->allocator().release(core, fragment.page);
+      }
+      it->second = std::move(skb);
+    } else {
+      ofo_bytes_ += skb.len;
+      ofo_.emplace(skb.seq, std::move(skb));
+    }
+  }
+
+  // Delayed ACKs: a single-segment in-order delivery with no holes may
+  // wait for a companion (classic every-other-segment acking); GRO'd
+  // skbs cover >= 2 MSS and are acknowledged immediately, as are
+  // out-of-order situations.  A timer guarantees an eventual ACK.
+  const bool in_order = skb_was_in_order;
+  if (stack_->options().delayed_ack && in_order && skb_segments < 2 &&
+      ofo_.empty() && ++delack_pending_ < 2) {
+    if (delack_timer_ == 0) {
+      delack_timer_ = stack_->loop().schedule_after(
+          stack_->options().delack_timeout, [this] {
+            delack_timer_ = 0;
+            if (delack_pending_ == 0) return;
+            stack_->core(app_core_).post(timer_ctx_, [this](Core& c) {
+              send_ack(c, /*echo_ts=*/-1, /*ecn_echo=*/false);
+            });
+          });
+    }
+  } else {
+    send_ack(core, echo_ts, ecn_echo);
+  }
+  if (rq_bytes_ > 0 && rx_waiter_ != nullptr) rx_waiter_->notify();
+}
+
+Bytes TcpSocket::recv(Core& core, Bytes max_bytes) {
+  require(core.id() == app_core_, "recv() must run on the app core");
+  const CostModel& cost = core.cost();
+  core.charge(CpuCategory::etc, cost.syscall_overhead);
+  lock(core);
+
+  HostStats& stats = stack_->stats();
+  Bytes copied = 0;
+  while (copied < max_bytes && !rq_.empty()) {
+    Skb skb = std::move(rq_.front());
+    rq_.pop_front();
+    rq_bytes_ -= skb.len;
+
+    stats.napi_to_copy.record(stack_->loop().now() - skb.napi_at);
+    stack_->tracer().record(stack_->loop().now(), TraceKind::data_copy,
+                            flow_, skb.seq, skb.len);
+
+    bool any_remote = false;
+    if (stack_->options().rx_zerocopy) {
+      // TCP-mmap reception (§4): the kernel remaps the DMA'd pages into
+      // the application's address space instead of copying — per-page
+      // VMA work replaces per-byte copy cycles.
+      const auto pages = static_cast<Cycles>((skb.len + kPageBytes - 1) /
+                                             kPageBytes);
+      core.charge(CpuCategory::memory, pages * cost.zc_rx_remap_per_page);
+      for (const Fragment& fragment : skb.fragments) {
+        any_remote = any_remote ||
+                     fragment.page->numa_node != core.numa_node();
+      }
+    } else {
+      // Kernel->user data copy, page by page.  Local pages hit or miss
+      // the LLC; remote-NUMA pages always cross the interconnect (the
+      // paper's fig. 4: DCA cannot target a NIC-remote node's LLC).
+      Bytes frag_total = 0;
+      for (const Fragment& fragment : skb.fragments) {
+        frag_total += fragment.bytes;
+      }
+      const double payload_scale =
+          frag_total > 0
+              ? static_cast<double>(skb.len) / static_cast<double>(frag_total)
+              : 0.0;
+      double copy_cycles = 0.0;
+      for (const Fragment& fragment : skb.fragments) {
+        const double bytes =
+            static_cast<double>(fragment.bytes) * payload_scale;
+        Page* page = fragment.page;
+        if (page->numa_node == core.numa_node()) {
+          const bool hit =
+              stack_->llc(core.numa_node()).touch_read(page->id);
+          if (hit) {
+            stats.copy_reads.hit();
+          } else {
+            stats.copy_reads.miss();
+          }
+          copy_cycles += bytes * (hit ? cost.copy_cyc_per_byte_hit
+                                      : cost.copy_cyc_per_byte_miss);
+        } else {
+          any_remote = true;
+          stats.copy_reads.miss();
+          copy_cycles += bytes * cost.copy_cyc_per_byte_miss *
+                         cost.copy_remote_numa_factor;
+        }
+      }
+      core.charge(CpuCategory::data_copy, static_cast<Cycles>(copy_cycles));
+    }
+
+    core.charge(CpuCategory::skb_mgmt,
+                cost.skb_free + (any_remote ? cost.skb_free_remote_extra : 0));
+    for (const Fragment& fragment : skb.fragments) {
+      stack_->allocator().release(core, fragment.page);
+    }
+    copied += skb.len;
+  }
+  delivered_to_app_ += copied;
+  autotune_delivered_ += copied;
+  maybe_autotune_rcv_buf();
+
+  if (grant_scheduler_ != nullptr) {
+    if (copied > 0) grant_scheduler_->on_progress(core, *this);
+    return copied;
+  }
+
+  // Window update (tcp_cleanup_rbuf): advertise as soon as reading
+  // opened the window by at least 2 MSS, keeping the sender streaming
+  // instead of stalling until a coarse-grained update.
+  if (copied > 0) {
+    const Bytes fresh_space = std::max<Bytes>(
+        0, rcv_buf_cur_ - 2 * (rq_bytes_ + ofo_bytes_));
+    const std::int64_t fresh_edge = rcv_nxt_ + fresh_space;
+    if (fresh_edge - rcv_wnd_edge_ >= 2 * stack_->options().mss) {
+      send_ack(core, /*echo_ts=*/-1, /*ecn_echo=*/false);
+    }
+  }
+  return copied;
+}
+
+}  // namespace hostsim

@@ -1,0 +1,169 @@
+// TCP socket endpoint: send/receive buffers, congestion and flow control,
+// loss recovery, and the data-copy boundary between user and kernel space.
+//
+// Connections are pre-established (the paper uses long-running
+// connections for all workloads), and each endpoint is full duplex: RPC
+// workloads send data in both directions over one flow id.  Pure ACKs
+// are separate frames; data frames of the opposite direction implicitly
+// do not acknowledge (a simplification that only costs a few percent of
+// header bytes).
+#ifndef HOSTSIM_NET_TCP_SOCKET_H
+#define HOSTSIM_NET_TCP_SOCKET_H
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "cpu/scheduler.h"
+#include "hw/wire.h"
+#include "net/cc/congestion_control.h"
+#include "net/grant_scheduler.h"
+#include "net/skb.h"
+#include "net/stack.h"
+
+namespace hostsim {
+
+class TcpSocket {
+ public:
+  TcpSocket(Stack& stack, int flow, int app_core);
+  ~TcpSocket();
+
+  TcpSocket(const TcpSocket&) = delete;
+  TcpSocket& operator=(const TcpSocket&) = delete;
+
+  int flow() const { return flow_; }
+  int app_core() const { return app_core_; }
+
+  // --- Application API (call from a task on the app core) ---------------
+
+  /// Writes up to `bytes` into the send buffer (user->kernel data copy),
+  /// returning the bytes accepted (possibly 0 when the buffer is full).
+  Bytes send(Core& core, Bytes bytes);
+
+  /// Copies received data to user space, whole skbs at a time, until at
+  /// least `max_bytes` were copied or the queue drained.  Returns the
+  /// bytes copied.
+  Bytes recv(Core& core, Bytes max_bytes);
+
+  Bytes readable() const { return rq_bytes_; }
+  Bytes send_space() const;
+  bool send_queue_empty() const { return snd_una_ == snd_buf_end_; }
+
+  /// Thread notified when data becomes readable.
+  void set_rx_waiter(Thread* waiter) { rx_waiter_ = waiter; }
+  /// Thread notified when send-buffer space frees after a full buffer.
+  void set_tx_waiter(Thread* waiter) { tx_waiter_ = waiter; }
+
+  // --- Receiver-driven mode (paper §3.3/§4) ----------------------------
+
+  /// Switches the receive side to scheduler-granted credit: the
+  /// advertised window stops tracking buffer space and only moves when
+  /// grant_credit() is called.  Must be set before traffic starts.
+  void set_receiver_driven(GrantScheduler& scheduler);
+
+  /// Extends the credited window and advertises it (task context only).
+  void grant_credit(Core& core, Bytes bytes);
+
+  /// Granted bytes not yet received.
+  Bytes credit_outstanding() const { return rcv_wnd_edge_ - rcv_nxt_; }
+
+  /// Total bytes delivered to the application (throughput metric).
+  Bytes delivered_to_app() const { return delivered_to_app_; }
+  /// Total bytes accepted from the application.
+  Bytes accepted_from_app() const { return accepted_from_app_; }
+
+  std::uint64_t retransmits() const { return retransmits_; }
+  const CongestionControl& congestion() const { return *cc_; }
+
+  // --- Stack API (softirq context) ---------------------------------------
+
+  /// Delivers a post-GRO data skb to the receive side.
+  void rx_deliver(Core& core, Skb skb);
+
+  /// Processes an incoming ACK on the send side.
+  void process_ack(Core& core, const Frame& frame);
+
+ private:
+  struct TxChunk {
+    std::int64_t seq = 0;
+    Bytes len = 0;
+    std::vector<Page*> pages;
+  };
+
+  // tx path
+  void tcp_output(Core& core);
+  void emit_chunk(Core& core, std::int64_t seq, Bytes len, bool retransmit);
+  void send_frame(Core& core, Frame frame);
+  void pacer_release();
+  void arm_rto();
+  void on_rto_fired();
+  void enter_recovery(Core& core);
+  void retransmit_next_unit(Core& core);
+  void free_acked_chunks(Core& core, std::int64_t upto);
+
+  // rx path
+  void lock(Core& core);
+  void drain_ofo(Core& core);
+  void send_ack(Core& core, Nanos echo_ts, bool ecn_echo);
+  Bytes advertised_window() const;
+  void maybe_autotune_rcv_buf();
+
+  Stack* stack_;
+  int flow_;
+  int app_core_;
+
+  // --- Sender state ---
+  std::int64_t snd_una_ = 0;
+  std::int64_t snd_nxt_ = 0;
+  std::int64_t snd_buf_end_ = 0;  ///< snd_una_ + buffered bytes
+  std::deque<TxChunk> tx_queue_;
+  Bytes snd_buf_;
+  /// Right edge of the peer's advertised window (monotone, per RFC 7323
+  /// window semantics); the initial value stands in for the handshake.
+  std::int64_t snd_wnd_edge_ = 256 * kKiB;
+  std::unique_ptr<CongestionControl> cc_;
+  int dup_acks_ = 0;
+  std::int64_t last_ack_edge_ = -1;  ///< for dup-ACK window-change test
+  std::int64_t sack_high_ = 0;       ///< highest selective ack seen
+  bool in_recovery_ = false;
+  std::int64_t recovery_high_ = 0;
+  std::int64_t retransmit_nxt_ = 0;  ///< next hole to repair in recovery
+  Nanos srtt_ = 0;
+  Nanos rttvar_ = 0;
+  Nanos rate_start_ = 0;   ///< delivery-rate window start
+  Bytes rate_bytes_ = 0;   ///< bytes acked in the current rate window
+  Nanos rto_backoff_ = 1;
+  EventId rto_timer_ = 0;
+  bool tx_was_full_ = false;
+  std::uint64_t retransmits_ = 0;
+
+  // pacing (BBR)
+  std::deque<Frame> paced_;
+  Nanos pacer_next_ = 0;
+  bool pacer_armed_ = false;
+
+  // --- Receiver state ---
+  std::int64_t rcv_nxt_ = 0;
+  std::deque<Skb> rq_;
+  Bytes rq_bytes_ = 0;
+  std::map<std::int64_t, Skb> ofo_;
+  Bytes ofo_bytes_ = 0;
+  Bytes rcv_buf_cur_;
+  Bytes autotune_delivered_ = 0;   ///< bytes copied since last DRS step
+  std::int64_t rcv_wnd_edge_ = 0;  ///< right edge we advertised (monotone)
+  Bytes delivered_to_app_ = 0;
+  Bytes accepted_from_app_ = 0;
+
+  int delack_pending_ = 0;   ///< unacked in-order deliveries (delayed ACK)
+  EventId delack_timer_ = 0;
+  GrantScheduler* grant_scheduler_ = nullptr;  ///< receiver-driven mode
+  int last_lock_core_ = -1;
+  Thread* rx_waiter_ = nullptr;
+  Thread* tx_waiter_ = nullptr;
+  Context timer_ctx_{"tcp-timer", /*kernel=*/true};
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_NET_TCP_SOCKET_H

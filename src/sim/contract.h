@@ -1,0 +1,30 @@
+// Lightweight contract checks (in the spirit of GSL Expects/Ensures).
+//
+// Contract violations indicate a bug in the simulator or a caller, never
+// an environmental condition, so they abort with a diagnostic.
+#ifndef HOSTSIM_SIM_CONTRACT_H
+#define HOSTSIM_SIM_CONTRACT_H
+
+#include <cstdio>
+#include <cstdlib>
+#include <source_location>
+
+namespace hostsim {
+
+[[noreturn]] inline void contract_failure(
+    const char* what, const std::source_location& loc) {
+  std::fprintf(stderr, "hostsim contract violation: %s at %s:%u (%s)\n", what,
+               loc.file_name(), loc.line(), loc.function_name());
+  std::abort();
+}
+
+/// Precondition check: `require(fd >= 0, "fd must be open")`.
+inline void require(
+    bool condition, const char* what,
+    const std::source_location& loc = std::source_location::current()) {
+  if (!condition) contract_failure(what, loc);
+}
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_SIM_CONTRACT_H

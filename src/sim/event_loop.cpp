@@ -1,0 +1,69 @@
+#include "sim/event_loop.h"
+
+#include <utility>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+namespace {
+
+/// Drops cancelled events sitting at the front of the queue.
+template <class Queue, class Cancelled>
+void prune(Queue& queue, Cancelled& cancelled) {
+  while (!queue.empty()) {
+    auto it = cancelled.find(queue.top().id);
+    if (it == cancelled.end()) return;
+    cancelled.erase(it);
+    queue.pop();
+  }
+}
+
+}  // namespace
+
+EventId EventLoop::schedule_at(Nanos at, Action action) {
+  require(at >= now_, "cannot schedule events in the past");
+  require(static_cast<bool>(action), "event action must be callable");
+  const EventId id = next_id_++;
+  queue_.push(Scheduled{at, id, std::move(action)});
+  return id;
+}
+
+EventId EventLoop::schedule_after(Nanos delay, Action action) {
+  require(delay >= 0, "event delay must be nonnegative");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+void EventLoop::cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return;
+  cancelled_.insert(id);
+}
+
+bool EventLoop::step() {
+  prune(queue_, cancelled_);
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; the action is moved out right
+  // before pop, which is safe because pop is the next operation.
+  Scheduled ev = std::move(const_cast<Scheduled&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.at;
+  ++executed_;
+  ev.action();
+  return true;
+}
+
+void EventLoop::run_until(Nanos deadline) {
+  require(deadline >= now_, "deadline is in the past");
+  for (;;) {
+    prune(queue_, cancelled_);
+    if (queue_.empty() || queue_.top().at > deadline) break;
+    step();
+  }
+  now_ = deadline;
+}
+
+void EventLoop::run_to_completion() {
+  while (step()) {
+  }
+}
+
+}  // namespace hostsim

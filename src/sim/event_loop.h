@@ -1,0 +1,86 @@
+// Discrete-event simulation engine.
+//
+// Events are executed in nondecreasing timestamp order; ties are broken
+// by insertion order, which makes every run fully deterministic for a
+// given (configuration, seed) pair.
+#ifndef HOSTSIM_SIM_EVENT_LOOP_H
+#define HOSTSIM_SIM_EVENT_LOOP_H
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/rng.h"
+#include "sim/units.h"
+
+namespace hostsim {
+
+/// Identifier of a scheduled event, usable for cancellation.
+using EventId = std::uint64_t;
+
+/// Time-ordered event queue with deterministic tie-breaking.
+class EventLoop {
+ public:
+  using Action = std::function<void()>;
+
+  explicit EventLoop(std::uint64_t seed = 1) : rng_(seed) {}
+
+  /// Current simulated time.
+  Nanos now() const { return now_; }
+
+  /// Schedules `action` at absolute time `at` (>= now). Returns its id.
+  EventId schedule_at(Nanos at, Action action);
+
+  /// Schedules `action` after a relative delay (>= 0). Returns its id.
+  EventId schedule_after(Nanos delay, Action action);
+
+  /// Cancels a previously scheduled event. Cancelling an event that has
+  /// already fired (or was already cancelled) is a harmless no-op.
+  void cancel(EventId id);
+
+  /// Runs a single event; returns false when the queue is empty.
+  bool step();
+
+  /// Runs all events with timestamp <= `deadline` and advances the clock
+  /// to `deadline`.
+  void run_until(Nanos deadline);
+
+  /// Drains the queue completely (useful in unit tests).
+  void run_to_completion();
+
+  /// Number of queued events (an upper bound: lazily-cancelled events
+  /// still count until they reach the front of the queue).
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Total number of events executed so far.
+  std::uint64_t executed() const { return executed_; }
+
+  /// Root random stream for this run.
+  Rng& rng() { return rng_; }
+
+ private:
+  struct Scheduled {
+    Nanos at;
+    EventId id;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Scheduled& a, const Scheduled& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.id > b.id;
+    }
+  };
+
+  Nanos now_ = 0;
+  EventId next_id_ = 1;
+  std::uint64_t executed_ = 0;
+  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
+  std::unordered_set<EventId> cancelled_;
+  Rng rng_;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_SIM_EVENT_LOOP_H

@@ -1,0 +1,46 @@
+// Deterministic pseudo-random number generation.
+//
+// The simulator never uses std::random_device or global state: every run
+// is a pure function of (configuration, seed).  xoshiro256** is small,
+// fast and has well-studied statistical quality; splitmix64 expands the
+// user seed into the full 256-bit state.
+#ifndef HOSTSIM_SIM_RNG_H
+#define HOSTSIM_SIM_RNG_H
+
+#include <array>
+#include <cstdint>
+
+#include "sim/units.h"
+
+namespace hostsim {
+
+/// xoshiro256** seeded deterministically from a 64-bit value.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 1);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform value in [0, bound); bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Returns true with probability `p` (clamped to [0, 1]).
+  bool chance(double p);
+
+  /// Exponentially distributed duration with the given mean.
+  Nanos exponential(Nanos mean);
+
+  /// Derives an independent child generator (for per-flow streams).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_SIM_RNG_H

@@ -1,0 +1,107 @@
+#include "sim/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+
+std::size_t Histogram::bucket_index(std::int64_t value) {
+  if (value < 0) value = 0;
+  const auto v = static_cast<std::uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<std::size_t>(v);
+  const int log2 = 63 - std::countl_zero(v);
+  const int shift = log2 - kSubBucketBits;
+  const auto sub = static_cast<std::size_t>((v >> shift) & (kSubBuckets - 1));
+  const auto octave = static_cast<std::size_t>(log2 - kSubBucketBits + 1);
+  return octave * kSubBuckets + sub;
+}
+
+std::int64_t Histogram::bucket_midpoint(std::size_t index) {
+  if (index < kSubBuckets) return static_cast<std::int64_t>(index);
+  const std::size_t octave = index / kSubBuckets;
+  const std::size_t sub = index % kSubBuckets;
+  const int shift = static_cast<int>(octave) - 1;
+  const std::uint64_t base = (static_cast<std::uint64_t>(kSubBuckets) + sub)
+                             << shift;
+  const std::uint64_t width = 1ull << shift;
+  return static_cast<std::int64_t>(base + width / 2);
+}
+
+void Histogram::record(std::int64_t value) { record_n(value, 1); }
+
+void Histogram::record_n(std::int64_t value, std::uint64_t count) {
+  if (count == 0) return;
+  const std::size_t index = bucket_index(value);
+  if (index >= buckets_.size()) buckets_.resize(index + 1, 0);
+  buckets_[index] += count;
+  if (count_ == 0 || value < min_) min_ = value;
+  if (count_ == 0 || value > max_) max_ = value;
+  count_ += count;
+  sum_ += static_cast<double>(value) * static_cast<double>(count);
+}
+
+std::int64_t Histogram::min() const { return count_ ? min_ : 0; }
+
+double Histogram::mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+std::int64_t Histogram::percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(q * static_cast<double>(count_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target && buckets_[i] > 0) {
+      return std::clamp(bucket_midpoint(i), min_, max_);
+    }
+  }
+  return max_;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (std::size_t i = 0; i < other.buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0 || other.min_ < min_) min_ = other.min_;
+  if (count_ == 0 || other.max_ > max_) max_ = other.max_;
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::clear() {
+  buckets_.clear();
+  count_ = 0;
+  min_ = max_ = 0;
+  sum_ = 0.0;
+}
+
+void Accumulator::add(double value) {
+  ++count_;
+  const double delta = value - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (value - mean_);
+}
+
+double Accumulator::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double Accumulator::stddev() const { return std::sqrt(variance()); }
+
+double HitRate::miss_rate() const {
+  const std::uint64_t t = total();
+  return t ? static_cast<double>(misses_) / static_cast<double>(t) : 0.0;
+}
+
+}  // namespace hostsim

@@ -1,0 +1,85 @@
+// Statistics primitives used by the measurement harness.
+#ifndef HOSTSIM_SIM_STATS_H
+#define HOSTSIM_SIM_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace hostsim {
+
+/// Log-linear histogram (HDR-style): each power-of-two range is split
+/// into 32 linear sub-buckets, giving <= ~3% relative quantile error
+/// over the full int64 range with a few KB of memory.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void record(std::int64_t value);
+  void record_n(std::int64_t value, std::uint64_t count);
+
+  std::uint64_t count() const { return count_; }
+  std::int64_t min() const;
+  std::int64_t max() const { return max_; }
+  double mean() const;
+
+  /// Quantile in [0, 1]; returns a representative value of the bucket
+  /// containing that quantile. Returns 0 on an empty histogram.
+  std::int64_t percentile(double q) const;
+
+  /// Merges another histogram into this one.
+  void merge(const Histogram& other);
+
+  void clear();
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+
+  static std::size_t bucket_index(std::int64_t value);
+  static std::int64_t bucket_midpoint(std::size_t index);
+
+  std::vector<std::uint64_t> buckets_;
+  std::uint64_t count_ = 0;
+  std::int64_t min_ = 0;
+  std::int64_t max_ = 0;
+  double sum_ = 0.0;
+};
+
+/// Mean / variance accumulator (Welford's algorithm).
+class Accumulator {
+ public:
+  void add(double value);
+  std::uint64_t count() const { return count_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Ratio counter: hits / (hits + misses), e.g. cache or pageset hit rate.
+class HitRate {
+ public:
+  void hit(std::uint64_t n = 1) { hits_ += n; }
+  void miss(std::uint64_t n = 1) { misses_ += n; }
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  std::uint64_t total() const { return hits_ + misses_; }
+  /// Miss ratio in [0,1]; 0 when nothing was recorded.
+  double miss_rate() const;
+  void clear() { hits_ = misses_ = 0; }
+
+ private:
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_SIM_STATS_H

@@ -1,0 +1,51 @@
+#include "sim/trace.h"
+
+#include <ostream>
+
+namespace hostsim {
+
+std::string_view to_string(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::skb_deliver: return "skb_deliver";
+    case TraceKind::data_copy: return "data_copy";
+    case TraceKind::ack_tx: return "ack_tx";
+    case TraceKind::ack_rx: return "ack_rx";
+    case TraceKind::retransmit: return "retransmit";
+    case TraceKind::rto: return "rto";
+    case TraceKind::grant: return "grant";
+  }
+  return "?";
+}
+
+void Tracer::record(Nanos at, TraceKind kind, int flow, std::int64_t a,
+                    std::int64_t b) {
+  if (capacity_ == 0) return;
+  const TraceRecord record{at, kind, host_, flow, a, b};
+  if (ring_.size() < capacity_) {
+    ring_.push_back(record);
+  } else {
+    ring_[next_] = record;
+    next_ = (next_ + 1) % capacity_;
+  }
+  ++recorded_;
+}
+
+std::vector<TraceRecord> Tracer::snapshot() const {
+  std::vector<TraceRecord> out;
+  out.reserve(ring_.size());
+  // Once the ring wrapped, `next_` points at the oldest record.
+  for (std::size_t i = 0; i < ring_.size(); ++i) {
+    out.push_back(ring_[(next_ + i) % ring_.size()]);
+  }
+  return out;
+}
+
+void Tracer::dump_csv(std::ostream& out) const {
+  out << "time_ns,kind,host,flow,a,b\n";
+  for (const TraceRecord& record : snapshot()) {
+    out << record.at << ',' << to_string(record.kind) << ',' << record.host
+        << ',' << record.flow << ',' << record.a << ',' << record.b << '\n';
+  }
+}
+
+}  // namespace hostsim

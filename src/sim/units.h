@@ -1,0 +1,52 @@
+// Basic units used throughout the simulator.
+//
+// All simulated time is kept in integer nanoseconds, all data sizes in
+// integer bytes, and all CPU work in integer cycles.  Integer arithmetic
+// keeps event ordering exact and runs reproducible across platforms.
+#ifndef HOSTSIM_SIM_UNITS_H
+#define HOSTSIM_SIM_UNITS_H
+
+#include <cstdint>
+
+namespace hostsim {
+
+/// Simulated time, in nanoseconds.
+using Nanos = std::int64_t;
+
+/// CPU work, in clock cycles of a simulated core.
+using Cycles = std::int64_t;
+
+/// Data size, in bytes.
+using Bytes = std::int64_t;
+
+inline constexpr Nanos kNanosecond = 1;
+inline constexpr Nanos kMicrosecond = 1'000;
+inline constexpr Nanos kMillisecond = 1'000'000;
+inline constexpr Nanos kSecond = 1'000'000'000;
+
+inline constexpr Bytes kKiB = 1'024;
+inline constexpr Bytes kMiB = 1'024 * 1'024;
+
+/// Converts a simulated duration to (floating point) seconds.
+constexpr double to_seconds(Nanos t) { return static_cast<double>(t) * 1e-9; }
+
+/// Converts a byte count and a duration into gigabits per second.
+constexpr double to_gbps(Bytes bytes, Nanos duration) {
+  if (duration <= 0) return 0.0;
+  return static_cast<double>(bytes) * 8.0 / static_cast<double>(duration);
+}
+
+/// Time needed to serialize `bytes` on a link of `gbps` gigabits/second.
+constexpr Nanos serialization_delay(Bytes bytes, double gbps) {
+  return static_cast<Nanos>(static_cast<double>(bytes) * 8.0 / gbps);
+}
+
+/// Converts cycles on a core of `ghz` gigahertz into nanoseconds (>= 0).
+constexpr Nanos cycles_to_nanos(Cycles cycles, double ghz) {
+  if (cycles <= 0) return 0;
+  return static_cast<Nanos>(static_cast<double>(cycles) / ghz);
+}
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_SIM_UNITS_H

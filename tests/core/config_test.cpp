@@ -1,0 +1,51 @@
+#include "core/config.h"
+
+#include <gtest/gtest.h>
+
+namespace hostsim {
+namespace {
+
+TEST(StackConfigTest, NoOptDisablesEverything) {
+  const StackConfig config = StackConfig::no_opt();
+  EXPECT_FALSE(config.tso);
+  EXPECT_FALSE(config.gso);
+  EXPECT_FALSE(config.gro);
+  EXPECT_FALSE(config.jumbo);
+  EXPECT_FALSE(config.arfs);
+  EXPECT_TRUE(config.dca);  // DCA is a platform default, not a stack opt
+  EXPECT_EQ(config.segmentation(), SegmentationMode::none);
+  EXPECT_EQ(config.mtu_payload(), 1500);
+  EXPECT_EQ(config.label(), "NoOpt");
+}
+
+TEST(StackConfigTest, AllOptEnablesTheLadder) {
+  const StackConfig config = StackConfig::all_opt();
+  EXPECT_TRUE(config.tso);
+  EXPECT_TRUE(config.gro);
+  EXPECT_TRUE(config.jumbo);
+  EXPECT_TRUE(config.arfs);
+  EXPECT_EQ(config.segmentation(), SegmentationMode::tso_hw);
+  EXPECT_EQ(config.mtu_payload(), 9000);
+}
+
+TEST(StackConfigTest, OptLevelsAreIncremental) {
+  EXPECT_EQ(StackConfig::opt_level(0).label(), "NoOpt");
+  EXPECT_EQ(StackConfig::opt_level(1).label(), "TSO/GRO");
+  EXPECT_EQ(StackConfig::opt_level(2).label(), "TSO/GRO+Jumbo");
+  EXPECT_EQ(StackConfig::opt_level(3).label(), "TSO/GRO+Jumbo+aRFS");
+}
+
+TEST(StackConfigTest, GsoFallbackWhenTsoOff) {
+  StackConfig config;
+  config.tso = false;
+  EXPECT_EQ(config.segmentation(), SegmentationMode::gso_sw);
+}
+
+TEST(PatternTest, Names) {
+  EXPECT_EQ(to_string(Pattern::single_flow), "single-flow");
+  EXPECT_EQ(to_string(Pattern::all_to_all), "all-to-all");
+  EXPECT_EQ(to_string(Pattern::mixed), "mixed");
+}
+
+}  // namespace
+}  // namespace hostsim

@@ -1,0 +1,136 @@
+// Experiment-level invariants: determinism, metric consistency, and
+// parameterized property sweeps across traffic patterns.
+#include "core/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+namespace hostsim {
+namespace {
+
+ExperimentConfig quick(Pattern pattern, int flows) {
+  ExperimentConfig config;
+  config.traffic.pattern = pattern;
+  config.traffic.flows = flows;
+  config.warmup = 4 * kMillisecond;
+  config.duration = 6 * kMillisecond;
+  return config;
+}
+
+TEST(ExperimentTest, SameSeedSameResult) {
+  const Metrics a = run_experiment(quick(Pattern::single_flow, 1));
+  const Metrics b = run_experiment(quick(Pattern::single_flow, 1));
+  EXPECT_EQ(a.app_bytes, b.app_bytes);
+  EXPECT_EQ(a.sender_cycles.total(), b.sender_cycles.total());
+  EXPECT_EQ(a.receiver_cycles.total(), b.receiver_cycles.total());
+  EXPECT_EQ(a.retransmits, b.retransmits);
+}
+
+TEST(ExperimentTest, LossySameSeedSameResult) {
+  ExperimentConfig config = quick(Pattern::single_flow, 1);
+  config.loss_rate = 0.01;
+  config.seed = 42;
+  const Metrics a = run_experiment(config);
+  const Metrics b = run_experiment(config);
+  EXPECT_EQ(a.app_bytes, b.app_bytes);
+  EXPECT_EQ(a.retransmits, b.retransmits);
+  EXPECT_EQ(a.wire_drops, b.wire_drops);
+}
+
+TEST(ExperimentTest, DifferentSeedsDifferUnderLoss) {
+  ExperimentConfig config = quick(Pattern::single_flow, 1);
+  config.loss_rate = 0.01;
+  config.seed = 1;
+  const Metrics a = run_experiment(config);
+  config.seed = 2;
+  const Metrics b = run_experiment(config);
+  EXPECT_NE(a.wire_drops, b.wire_drops);
+}
+
+TEST(ExperimentTest, ThroughputConsistentWithBytes) {
+  const Metrics metrics = run_experiment(quick(Pattern::single_flow, 1));
+  EXPECT_NEAR(metrics.total_gbps,
+              to_gbps(metrics.app_bytes, metrics.window), 1e-9);
+  EXPECT_GT(metrics.total_gbps, 10.0);
+}
+
+TEST(ExperimentTest, UtilizationWithinCoreCount) {
+  const Metrics metrics = run_experiment(quick(Pattern::one_to_one, 8));
+  EXPECT_GT(metrics.receiver_cores_used, 0.0);
+  EXPECT_LE(metrics.receiver_cores_used, 24.0);
+  EXPECT_LE(metrics.sender_cores_used, 24.0);
+}
+
+TEST(ExperimentTest, BreakdownFractionsSumToOne) {
+  const Metrics metrics = run_experiment(quick(Pattern::single_flow, 1));
+  double sender_sum = 0;
+  double receiver_sum = 0;
+  for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
+    sender_sum += metrics.sender_fraction(static_cast<CpuCategory>(i));
+    receiver_sum += metrics.receiver_fraction(static_cast<CpuCategory>(i));
+  }
+  EXPECT_NEAR(sender_sum, 1.0, 1e-9);
+  EXPECT_NEAR(receiver_sum, 1.0, 1e-9);
+}
+
+// Parameterized property sweep: the invariants below must hold for every
+// pattern / flow-count / optimization combination.
+struct SweepParam {
+  Pattern pattern;
+  int flows;
+  int opt_level;
+};
+
+class ExperimentSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(ExperimentSweep, InvariantsHold) {
+  const SweepParam param = GetParam();
+  ExperimentConfig config = quick(param.pattern, param.flows);
+  config.stack = StackConfig::opt_level(param.opt_level);
+  const Metrics metrics = run_experiment(config);
+
+  // Liveness: every workload moves data.
+  EXPECT_GT(metrics.app_bytes, 0) << "pattern stalled";
+  // Physics: throughput cannot exceed the full-duplex link for long
+  // (small slack for queue drain at window start).
+  EXPECT_LE(metrics.total_gbps, 2 * 100.0 * 1.15);
+  // Utilization is a fraction of available cores.
+  EXPECT_LE(metrics.receiver_cores_used, 24.001);
+  EXPECT_LE(metrics.sender_cores_used, 24.001);
+  // Miss rates are probabilities.
+  EXPECT_GE(metrics.rx_copy_miss_rate, 0.0);
+  EXPECT_LE(metrics.rx_copy_miss_rate, 1.0);
+  // Latency statistics are sane.
+  EXPECT_GE(metrics.napi_to_copy_p99, metrics.napi_to_copy_avg / 2);
+  // Accounting: some cycles were burnt on both sides.
+  EXPECT_GT(metrics.sender_cycles.total(), 0);
+  EXPECT_GT(metrics.receiver_cycles.total(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Patterns, ExperimentSweep,
+    ::testing::Values(
+        SweepParam{Pattern::single_flow, 1, 3},
+        SweepParam{Pattern::single_flow, 1, 0},
+        SweepParam{Pattern::single_flow, 1, 1},
+        SweepParam{Pattern::single_flow, 1, 2},
+        SweepParam{Pattern::one_to_one, 4, 3},
+        SweepParam{Pattern::one_to_one, 12, 3},
+        SweepParam{Pattern::incast, 6, 3},
+        SweepParam{Pattern::incast, 6, 0},
+        SweepParam{Pattern::outcast, 6, 3},
+        SweepParam{Pattern::all_to_all, 4, 3},
+        SweepParam{Pattern::rpc_incast, 8, 3},
+        SweepParam{Pattern::mixed, 4, 3}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      std::string name(to_string(info.param.pattern));
+      for (char& c : name) {
+        if (c == '-') c = '_';  // gtest names must be identifiers
+      }
+      return name + "_f" + std::to_string(info.param.flows) + "_opt" +
+             std::to_string(info.param.opt_level);
+    });
+
+}  // namespace
+}  // namespace hostsim

@@ -1,0 +1,198 @@
+// Tests for the extension features: Table-2 software steering, §4
+// zero-copy modes, delayed ACKs, application-aware scheduling, and the
+// ablation knobs (cache geometry / cost-model injection).
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+#include "core/patterns.h"
+#include "core/report.h"
+
+namespace hostsim {
+namespace {
+
+ExperimentConfig quick() {
+  ExperimentConfig config;
+  config.warmup = 5 * kMillisecond;
+  config.duration = 8 * kMillisecond;
+  return config;
+}
+
+// ------------------------------------------------------------- steering
+
+TEST(SteeringTest, ArfsOutperformsEveryFallback) {
+  ExperimentConfig arfs = quick();
+  const Metrics best = run_experiment(arfs);
+  for (SteeringMode mode :
+       {SteeringMode::rss, SteeringMode::rps, SteeringMode::rfs}) {
+    ExperimentConfig config = quick();
+    config.stack.arfs = false;
+    config.stack.fallback_steering = mode;
+    const Metrics metrics = run_experiment(config);
+    EXPECT_LT(metrics.throughput_per_core_gbps,
+              best.throughput_per_core_gbps)
+        << "mode " << static_cast<int>(mode);
+    EXPECT_GT(metrics.total_gbps, 5.0);  // all modes still move data
+  }
+}
+
+TEST(SteeringTest, RfsRemovesCrossCoreLockContention) {
+  ExperimentConfig rss = quick();
+  rss.stack.arfs = false;
+  rss.stack.fallback_steering = SteeringMode::rss;
+  ExperimentConfig rfs = quick();
+  rfs.stack.arfs = false;
+  rfs.stack.fallback_steering = SteeringMode::rfs;
+  const Metrics rss_metrics = run_experiment(rss);
+  const Metrics rfs_metrics = run_experiment(rfs);
+  // RFS requeues protocol processing to the app core: the socket lock
+  // stops bouncing between cores.
+  EXPECT_LT(rfs_metrics.receiver_fraction(CpuCategory::lock),
+            rss_metrics.receiver_fraction(CpuCategory::lock));
+}
+
+TEST(SteeringTest, SoftwareSteeringPaysIpiCosts) {
+  ExperimentConfig rps = quick();
+  rps.stack.arfs = false;
+  rps.stack.fallback_steering = SteeringMode::rps;
+  const Metrics metrics = run_experiment(rps);
+  // IPIs are charged to "etc" on the IRQ core.
+  EXPECT_GT(metrics.receiver_cycles.get(CpuCategory::etc), 0);
+}
+
+// ------------------------------------------------------------ zero-copy
+
+TEST(ZeroCopyTest, TxZeroCopyEliminatesSenderCopyCycles) {
+  ExperimentConfig config = quick();
+  config.stack.tx_zerocopy = true;
+  const Metrics metrics = run_experiment(config);
+  EXPECT_EQ(metrics.sender_fraction(CpuCategory::data_copy), 0.0);
+  EXPECT_GT(metrics.total_gbps, 30.0);  // still a healthy flow
+}
+
+TEST(ZeroCopyTest, TxZeroCopyReducesSenderUtilization) {
+  const Metrics baseline = run_experiment(quick());
+  ExperimentConfig config = quick();
+  config.stack.tx_zerocopy = true;
+  const Metrics zerocopy = run_experiment(config);
+  EXPECT_LT(zerocopy.sender_cores_used, baseline.sender_cores_used * 0.95);
+}
+
+TEST(ZeroCopyTest, RxZeroCopyLiftsThroughputPerCore) {
+  const Metrics baseline = run_experiment(quick());
+  ExperimentConfig config = quick();
+  config.stack.rx_zerocopy = true;
+  const Metrics zerocopy = run_experiment(config);
+  EXPECT_EQ(zerocopy.receiver_fraction(CpuCategory::data_copy), 0.0);
+  // The paper's argument: the receiver copy is THE bottleneck, so
+  // removing it must raise throughput-per-core substantially.
+  EXPECT_GT(zerocopy.throughput_per_core_gbps,
+            baseline.throughput_per_core_gbps * 1.2);
+}
+
+TEST(ZeroCopyTest, DataStillDeliveredReliably) {
+  ExperimentConfig config = quick();
+  config.stack.tx_zerocopy = true;
+  config.stack.rx_zerocopy = true;
+  const Metrics metrics = run_experiment(config);
+  EXPECT_GT(metrics.app_bytes, 0);
+  EXPECT_EQ(metrics.retransmits, 0u);
+}
+
+// ----------------------------------------------------------- delayed ACK
+
+TEST(DelayedAckTest, ReducesAckRateOnSingleFrameSkbs) {
+  // Without GRO every skb is a single frame — exactly where delayed
+  // ACKs halve the ACK rate.
+  ExperimentConfig base = quick();
+  base.stack.gro = false;
+  ExperimentConfig delack = base;
+  delack.stack.delayed_ack = true;
+  const Metrics without = run_experiment(base);
+  const Metrics with = run_experiment(delack);
+  EXPECT_LT(static_cast<double>(with.acks_received),
+            static_cast<double>(without.acks_received) * 0.8);
+  EXPECT_GT(with.total_gbps, without.total_gbps * 0.8);  // no collapse
+}
+
+TEST(DelayedAckTest, HarmlessWithGro) {
+  ExperimentConfig config = quick();
+  config.stack.delayed_ack = true;
+  const Metrics metrics = run_experiment(config);
+  // GRO'd skbs cover >= 2 MSS and are acknowledged immediately; the
+  // baseline behaviour must be essentially unchanged.
+  EXPECT_GT(metrics.throughput_per_core_gbps, 35.0);
+  EXPECT_EQ(metrics.retransmits, 0u);
+}
+
+// ----------------------------------------------- app-aware scheduling
+
+TEST(AppAwareSchedulingTest, SegregationRecoversBothClasses) {
+  ExperimentConfig shared = quick();
+  shared.traffic.pattern = Pattern::mixed;
+  shared.traffic.flows = 8;
+  ExperimentConfig separate = shared;
+  separate.traffic.segregate_mixed_cores = true;
+  const Metrics mixed = run_experiment(shared);
+  const Metrics split = run_experiment(separate);
+  EXPECT_GT(split.total_gbps, mixed.total_gbps * 1.3);
+  EXPECT_GT(split.rpc_transactions, mixed.rpc_transactions / 2);
+}
+
+TEST(AppAwareSchedulingTest, SegregatedPlacementUsesDistinctCores) {
+  ExperimentConfig config = quick();
+  config.traffic.pattern = Pattern::mixed;
+  config.traffic.flows = 2;
+  config.traffic.segregate_mixed_cores = true;
+  Testbed testbed(config);
+  Workload workload = build_workload(testbed, config.traffic);
+  // Flow 0 is the long flow on core 0; flows 1.. are RPCs on core 1.
+  EXPECT_EQ(testbed.receiver().stack().socket(0).app_core(), 0);
+  EXPECT_EQ(testbed.receiver().stack().socket(1).app_core(), 1);
+  EXPECT_EQ(testbed.sender().stack().socket(1).app_core(), 1);
+}
+
+// ----------------------------------------------------- ablation knobs
+
+TEST(AblationKnobsTest, CacheGeometryIsInjectable) {
+  ExperimentConfig config = quick();
+  config.llc.ddio_ways = config.llc.ways;  // no DDIO partition
+  const Metrics open = run_experiment(config);
+  const Metrics partitioned = run_experiment(quick());
+  // With the whole LLC available to DMA, the standing queue fits and
+  // the single-flow miss rate collapses.
+  EXPECT_LT(open.rx_copy_miss_rate, partitioned.rx_copy_miss_rate * 0.5);
+}
+
+TEST(AblationKnobsTest, CostModelIsInjectable) {
+  ExperimentConfig config = quick();
+  config.cost.copy_cyc_per_byte_hit *= 4;
+  config.cost.copy_cyc_per_byte_miss *= 4;
+  const Metrics expensive = run_experiment(config);
+  const Metrics normal = run_experiment(quick());
+  EXPECT_LT(expensive.throughput_per_core_gbps,
+            normal.throughput_per_core_gbps * 0.75);
+}
+
+// ----------------------------------------------------------- CSV export
+
+TEST(CsvExportTest, HeaderAndRowHaveSameArity) {
+  const Metrics metrics = run_experiment(quick());
+  const std::string header = metrics_csv_header();
+  const std::string row = metrics_csv_row(metrics);
+  const auto commas = [](const std::string& s) {
+    return std::count(s.begin(), s.end(), ',');
+  };
+  EXPECT_EQ(commas(header), commas(row));
+  EXPECT_GT(commas(header), 20);
+}
+
+TEST(CsvExportTest, RowReflectsMetrics) {
+  const Metrics metrics = run_experiment(quick());
+  const std::string row = metrics_csv_row(metrics);
+  char expected[32];
+  std::snprintf(expected, sizeof expected, "%.3f", metrics.total_gbps);
+  EXPECT_EQ(row.substr(0, row.find(',')), expected);
+}
+
+}  // namespace
+}  // namespace hostsim

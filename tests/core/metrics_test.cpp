@@ -1,0 +1,71 @@
+// Metrics aggregation: per-flow accounting, fairness, RPC latency.
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/experiment.h"
+
+namespace hostsim {
+namespace {
+
+ExperimentConfig quick(Pattern pattern, int flows) {
+  ExperimentConfig config;
+  config.traffic.pattern = pattern;
+  config.traffic.flows = flows;
+  config.warmup = 6 * kMillisecond;
+  config.duration = 8 * kMillisecond;
+  return config;
+}
+
+TEST(MetricsTest, PerFlowBytesSumToTotal) {
+  const Metrics metrics = run_experiment(quick(Pattern::one_to_one, 4));
+  ASSERT_EQ(metrics.flows.size(), 4u);
+  Bytes sum = 0;
+  for (const auto& flow : metrics.flows) sum += flow.delivered;
+  EXPECT_EQ(sum, metrics.app_bytes);
+}
+
+TEST(MetricsTest, SaturatedOneToOneIsFair) {
+  ExperimentConfig config = quick(Pattern::one_to_one, 8);
+  config.warmup = 25 * kMillisecond;
+  const Metrics metrics = run_experiment(config);
+  EXPECT_GT(metrics.flow_fairness(), 0.9);  // Jain index near 1
+}
+
+TEST(MetricsTest, FairnessIndexEdgeCases) {
+  Metrics metrics;
+  EXPECT_EQ(metrics.flow_fairness(), 0.0);
+  metrics.flows.push_back({0, 1000, 10.0});
+  EXPECT_DOUBLE_EQ(metrics.flow_fairness(), 1.0);
+  metrics.flows.push_back({1, 0, 0.0});  // one starved flow of two
+  EXPECT_DOUBLE_EQ(metrics.flow_fairness(), 0.5);
+}
+
+TEST(MetricsTest, RpcLatencyPercentilesPopulated) {
+  const Metrics metrics = run_experiment(quick(Pattern::rpc_incast, 8));
+  EXPECT_GT(metrics.rpc_transactions, 0u);
+  EXPECT_GT(metrics.rpc_latency_p50, 0);
+  EXPECT_GE(metrics.rpc_latency_p99, metrics.rpc_latency_p50);
+  // A 4KB ping-pong turn on this testbed is tens to hundreds of us.
+  EXPECT_LT(metrics.rpc_latency_p50, 5 * kMillisecond);
+}
+
+TEST(MetricsTest, LongFlowWorkloadsHaveNoRpcLatency) {
+  const Metrics metrics = run_experiment(quick(Pattern::single_flow, 1));
+  EXPECT_EQ(metrics.rpc_transactions, 0u);
+  EXPECT_EQ(metrics.rpc_latency_p50, 0);
+}
+
+TEST(MetricsTest, MixedWorkloadSeparatesFlowClasses) {
+  const Metrics metrics = run_experiment(quick(Pattern::mixed, 4));
+  ASSERT_EQ(metrics.flows.size(), 5u);  // 1 long + 4 short
+  // The long flow moves far more bytes than any single RPC flow.
+  for (std::size_t i = 1; i < metrics.flows.size(); ++i) {
+    EXPECT_GT(metrics.flows[0].delivered, metrics.flows[i].delivered);
+  }
+}
+
+}  // namespace
+}  // namespace hostsim

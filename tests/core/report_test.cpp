@@ -1,0 +1,48 @@
+#include "core/report.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace hostsim {
+namespace {
+
+TEST(TableTest, AlignsColumnsAndPrintsRule) {
+  Table table({"a", "long-header"});
+  table.add_row({"value-longer-than-header", "x"});
+  std::ostringstream out;
+  table.print(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("a"), std::string::npos);
+  EXPECT_NE(text.find("long-header"), std::string::npos);
+  EXPECT_NE(text.find("-----"), std::string::npos);
+  // Three lines: header, rule, row.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 3);
+}
+
+TEST(TableTest, NumFormatsPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(42.0, 0), "42");
+  EXPECT_EQ(Table::percent(0.4935), "49.4%");
+}
+
+TEST(BreakdownTest, HeadersMatchTaxonomy) {
+  const auto headers = breakdown_headers();
+  ASSERT_EQ(headers.size(), kNumCpuCategories);
+  EXPECT_EQ(headers.front(), "copy");
+  EXPECT_EQ(headers.back(), "etc");
+}
+
+TEST(BreakdownTest, CellsAreFractionsOfTotal) {
+  CycleAccount account;
+  account.add(CpuCategory::data_copy, 75);
+  account.add(CpuCategory::tcpip, 25);
+  const auto cells = breakdown_cells(account);
+  ASSERT_EQ(cells.size(), kNumCpuCategories);
+  EXPECT_EQ(cells[0], "75.0%");
+  EXPECT_EQ(cells[1], "25.0%");
+  EXPECT_EQ(cells[7], "0.0%");
+}
+
+}  // namespace
+}  // namespace hostsim

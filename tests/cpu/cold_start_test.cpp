@@ -1,0 +1,54 @@
+// Cold-start inflation behaviour of the Core model.
+#include <gtest/gtest.h>
+
+#include "cpu/core.h"
+#include "sim/event_loop.h"
+
+namespace hostsim {
+namespace {
+
+struct ColdFixture : ::testing::Test {
+  EventLoop loop;
+  CostModel cost;
+  Core core{loop, cost, 0, 0};
+  Context ctx{"app", false};
+
+  Cycles run_task_after_gap(Nanos gap) {
+    // Warm the core with an initial task, wait `gap`, run a second task
+    // and report its accounted cycles.
+    core.post(ctx, [](Core& c) { c.charge(CpuCategory::etc, 1000); });
+    loop.run_to_completion();
+    const Cycles before = core.account().total();
+    loop.schedule_after(gap, [this] {
+      core.post(ctx, [](Core& c) { c.charge(CpuCategory::etc, 1000); });
+    });
+    loop.run_to_completion();
+    return core.account().total() - before;
+  }
+};
+
+TEST_F(ColdFixture, ShortGapStaysWarm) {
+  EXPECT_EQ(run_task_after_gap(cost.cold_gap / 2), 1000);
+}
+
+TEST_F(ColdFixture, LongGapPaysFullPenalty) {
+  const Cycles charged = run_task_after_gap(cost.cold_gap + cost.cold_ramp * 2);
+  EXPECT_EQ(charged, static_cast<Cycles>(1000 * cost.cold_penalty_max));
+}
+
+TEST_F(ColdFixture, PenaltyRampsBetween) {
+  const Cycles charged =
+      run_task_after_gap(cost.cold_gap + cost.cold_ramp / 2);
+  EXPECT_GT(charged, 1000);
+  EXPECT_LT(charged, static_cast<Cycles>(1000 * cost.cold_penalty_max));
+}
+
+TEST_F(ColdFixture, BackToBackTasksAreWarm) {
+  core.post(ctx, [](Core& c) { c.charge(CpuCategory::etc, 1000); });
+  core.post(ctx, [](Core& c) { c.charge(CpuCategory::etc, 1000); });
+  loop.run_to_completion();
+  EXPECT_EQ(core.account().total(), 2000);
+}
+
+}  // namespace
+}  // namespace hostsim

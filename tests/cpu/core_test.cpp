@@ -1,0 +1,133 @@
+#include "cpu/core.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_loop.h"
+
+namespace hostsim {
+namespace {
+
+struct CoreFixture : ::testing::Test {
+  EventLoop loop;
+  CostModel cost;
+  Core core{loop, cost, /*id=*/0, /*numa_node=*/0};
+  Context app{"app", /*kernel=*/false};
+  Context softirq{"softirq", /*kernel=*/true};
+};
+
+TEST_F(CoreFixture, ChargesAdvanceBusyTime) {
+  core.post(app, [](Core& c) {
+    c.charge(CpuCategory::data_copy, 3400);  // 1us at 3.4GHz
+  });
+  loop.run_to_completion();
+  EXPECT_EQ(core.busy_time(), 1000);
+  EXPECT_EQ(core.account().get(CpuCategory::data_copy), 3400);
+  EXPECT_EQ(core.account().total(), 3400);
+}
+
+TEST_F(CoreFixture, TasksSerializeOnTheCore) {
+  std::vector<Nanos> starts;
+  for (int i = 0; i < 3; ++i) {
+    core.post(app, [&](Core& c) {
+      starts.push_back(loop.now());
+      c.charge(CpuCategory::tcpip, 3400);
+    });
+  }
+  loop.run_to_completion();
+  ASSERT_EQ(starts.size(), 3u);
+  EXPECT_EQ(starts[0], 0);
+  EXPECT_EQ(starts[1], 1000);
+  EXPECT_EQ(starts[2], 2000);
+}
+
+TEST_F(CoreFixture, KernelTasksDispatchBeforeUserTasks) {
+  std::vector<int> order;
+  // Occupy the core so both tasks queue.
+  core.post(app, [&](Core& c) { c.charge(CpuCategory::etc, 3400); });
+  core.post(app, [&](Core&) { order.push_back(1); });
+  core.post(softirq, [&](Core&) { order.push_back(2); });
+  loop.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST_F(CoreFixture, ContextSwitchChargedBetweenContexts) {
+  // First task dispatches immediately; the kernel task then jumps the
+  // queue: execution order is app, softirq, app -> two switches.
+  core.post(app, [](Core&) {});
+  core.post(app, [](Core&) {});
+  core.post(softirq, [](Core&) {});
+  loop.run_to_completion();
+  EXPECT_EQ(core.context_switches(), 2u);
+  EXPECT_EQ(core.account().get(CpuCategory::sched), 2 * cost.context_switch);
+}
+
+TEST_F(CoreFixture, DeferredActionsRunAtCompletionTime) {
+  Nanos deferred_at = -1;
+  core.post(app, [&](Core& c) {
+    c.charge(CpuCategory::netdev, 6800);  // 2us
+    c.defer([&] { deferred_at = loop.now(); });
+  });
+  loop.run_to_completion();
+  EXPECT_EQ(deferred_at, 2000);
+}
+
+TEST_F(CoreFixture, DeferredActionMayPostFollowUpWork) {
+  bool ran = false;
+  core.post(app, [&](Core& c) {
+    c.defer([&] {
+      core.post(app, [&](Core&) { ran = true; });
+    });
+  });
+  loop.run_to_completion();
+  EXPECT_TRUE(ran);
+}
+
+TEST_F(CoreFixture, IdleReflectsQueueState) {
+  EXPECT_TRUE(core.idle());
+  core.post(app, [](Core& c) { c.charge(CpuCategory::etc, 3400); });
+  EXPECT_FALSE(core.idle());
+  loop.run_to_completion();
+  EXPECT_TRUE(core.idle());
+}
+
+TEST_F(CoreFixture, ZeroCycleTaskCompletesImmediately) {
+  bool ran = false;
+  core.post(app, [&](Core&) { ran = true; });
+  loop.run_to_completion();
+  EXPECT_TRUE(ran);
+  EXPECT_EQ(core.busy_time(), 0);
+}
+
+TEST_F(CoreFixture, AccountPartitionsByCategory) {
+  core.post(app, [](Core& c) {
+    c.charge(CpuCategory::data_copy, 100);
+    c.charge(CpuCategory::tcpip, 200);
+    c.charge(CpuCategory::data_copy, 50);
+  });
+  loop.run_to_completion();
+  EXPECT_EQ(core.account().get(CpuCategory::data_copy), 150);
+  EXPECT_EQ(core.account().get(CpuCategory::tcpip), 200);
+  EXPECT_NEAR(core.account().fraction(CpuCategory::tcpip), 200.0 / 350, 1e-9);
+}
+
+TEST(CycleAccountTest, DeltaSince) {
+  CycleAccount a;
+  a.add(CpuCategory::lock, 100);
+  CycleAccount snapshot = a;
+  a.add(CpuCategory::lock, 40);
+  a.add(CpuCategory::memory, 7);
+  const CycleAccount delta = a.delta_since(snapshot);
+  EXPECT_EQ(delta.get(CpuCategory::lock), 40);
+  EXPECT_EQ(delta.get(CpuCategory::memory), 7);
+  EXPECT_EQ(delta.total(), 47);
+}
+
+TEST(CycleAccountTest, CategoryNamesAreStable) {
+  EXPECT_EQ(to_string(CpuCategory::data_copy), "copy");
+  EXPECT_EQ(to_string(CpuCategory::etc), "etc");
+}
+
+}  // namespace
+}  // namespace hostsim

@@ -1,0 +1,109 @@
+#include "cpu/scheduler.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+
+namespace hostsim {
+namespace {
+
+struct ThreadFixture : ::testing::Test {
+  EventLoop loop;
+  CostModel cost;
+  Core core{loop, cost, 0, 0};
+};
+
+TEST_F(ThreadFixture, NotifyRunsBodyAfterWakeupLatency) {
+  Thread thread(core, "worker");
+  Nanos ran_at = -1;
+  thread.set_body([&](Core&, Thread& t) {
+    ran_at = loop.now();
+    t.finish_quantum(false);
+  });
+  thread.notify();
+  loop.run_to_completion();
+  EXPECT_EQ(ran_at, cost.wakeup_latency);
+  EXPECT_TRUE(thread.blocked());
+  EXPECT_EQ(thread.wakeups(), 1u);
+}
+
+TEST_F(ThreadFixture, WakeupChargesSchedCycles) {
+  Thread thread(core, "worker");
+  thread.set_body([](Core&, Thread& t) { t.finish_quantum(false); });
+  thread.notify();
+  loop.run_to_completion();
+  EXPECT_EQ(core.account().get(CpuCategory::sched),
+            cost.thread_wakeup + cost.thread_block);
+}
+
+TEST_F(ThreadFixture, MoreWorkRepostsWithoutNewWakeup) {
+  Thread thread(core, "worker");
+  int runs = 0;
+  thread.set_body([&](Core&, Thread& t) {
+    ++runs;
+    t.finish_quantum(runs < 3);
+  });
+  thread.notify();
+  loop.run_to_completion();
+  EXPECT_EQ(runs, 3);
+  EXPECT_EQ(thread.wakeups(), 1u);  // one wake, three quanta
+}
+
+TEST_F(ThreadFixture, NotifyWhileActiveCoalescesToPending) {
+  Thread thread(core, "worker");
+  int runs = 0;
+  Thread* self = &thread;
+  thread.set_body([&](Core&, Thread& t) {
+    ++runs;
+    if (runs == 1) {
+      // A notify arriving mid-quantum must cause exactly one re-run.
+      self->notify();
+      self->notify();
+    }
+    t.finish_quantum(false);
+  });
+  thread.notify();
+  loop.run_to_completion();
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(thread.wakeups(), 1u);
+}
+
+TEST_F(ThreadFixture, NotifyAfterBlockWakesAgain) {
+  Thread thread(core, "worker");
+  int runs = 0;
+  thread.set_body([&](Core&, Thread& t) {
+    ++runs;
+    t.finish_quantum(false);
+  });
+  thread.notify();
+  loop.run_to_completion();
+  thread.notify();
+  loop.run_to_completion();
+  EXPECT_EQ(runs, 2);
+  EXPECT_EQ(thread.wakeups(), 2u);
+}
+
+TEST_F(ThreadFixture, TwoThreadsShareTheCoreFairly) {
+  Thread a(core, "a");
+  Thread b(core, "b");
+  int a_runs = 0;
+  int b_runs = 0;
+  a.set_body([&](Core& c, Thread& t) {
+    c.charge(CpuCategory::data_copy, 3400);
+    t.finish_quantum(++a_runs < 10);
+  });
+  b.set_body([&](Core& c, Thread& t) {
+    c.charge(CpuCategory::data_copy, 3400);
+    t.finish_quantum(++b_runs < 10);
+  });
+  a.notify();
+  b.notify();
+  loop.run_to_completion();
+  EXPECT_EQ(a_runs, 10);
+  EXPECT_EQ(b_runs, 10);
+  // Alternating user tasks: plenty of context switches.
+  EXPECT_GT(core.context_switches(), 15u);
+}
+
+}  // namespace
+}  // namespace hostsim

@@ -1,0 +1,218 @@
+#include "hw/nic.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace hostsim {
+namespace {
+
+struct NicFixture : ::testing::Test {
+  void SetUp() override { build({}); }
+
+  void build(Nic::Config config) {
+    topo.num_nodes = 2;
+    topo.cores_per_node = 2;
+    loop = std::make_unique<EventLoop>(1);
+    cores.clear();
+    core_ptrs.clear();
+    for (int id = 0; id < topo.num_cores(); ++id) {
+      cores.push_back(std::make_unique<Core>(*loop, cost, id,
+                                             topo.node_of_core(id)));
+      core_ptrs.push_back(cores.back().get());
+    }
+    llcs.clear();
+    llc_ptrs.clear();
+    for (int node = 0; node < topo.num_nodes; ++node) {
+      llcs.push_back(std::make_unique<LlcModel>());
+      llc_ptrs.push_back(llcs.back().get());
+    }
+    allocator = std::make_unique<PageAllocator>(topo.num_cores(),
+                                                topo.num_nodes);
+    iommu = std::make_unique<Iommu>(false);
+    wire = std::make_unique<Wire>(*loop, Wire::Config{});
+    nic = std::make_unique<Nic>(*loop, config, topo, core_ptrs, llc_ptrs,
+                                *allocator, *iommu, *wire, Wire::Side::b);
+    nic->set_rx_handler([this](Core& core, int queue) {
+      ++polls;
+      while (auto polled = nic->poll_one(core, queue)) {
+        frames.push_back(std::move(*polled));
+      }
+      nic->napi_complete(core, queue);
+    });
+    loop->run_to_completion();  // initial descriptor pre-posting
+  }
+
+  void deliver(int flow, std::int64_t seq, Bytes payload, bool ack = false) {
+    Frame frame;
+    frame.flow = flow;
+    frame.seq = seq;
+    frame.payload = ack ? 0 : payload;
+    frame.is_ack = ack;
+    wire->transmit(Wire::Side::a, frame);
+  }
+
+  NumaTopology topo;
+  CostModel cost;
+  std::unique_ptr<EventLoop> loop;
+  std::vector<std::unique_ptr<Core>> cores;
+  std::vector<Core*> core_ptrs;
+  std::vector<std::unique_ptr<LlcModel>> llcs;
+  std::vector<LlcModel*> llc_ptrs;
+  std::unique_ptr<PageAllocator> allocator;
+  std::unique_ptr<Iommu> iommu;
+  std::unique_ptr<Wire> wire;
+  std::unique_ptr<Nic> nic;
+  std::vector<Nic::PolledFrame> frames;
+  int polls = 0;
+};
+
+TEST_F(NicFixture, RingIsPrePostedAtInit) {
+  for (int q = 0; q < topo.num_cores(); ++q) {
+    EXPECT_EQ(nic->posted_descriptors(q), nic->config().ring_size);
+  }
+}
+
+TEST_F(NicFixture, SteeringDirectsFlowToQueue) {
+  nic->steer_flow(5, 3);
+  EXPECT_EQ(nic->queue_for_flow(5), 3);
+}
+
+TEST_F(NicFixture, UnsteeredFlowHashesToAValidQueue) {
+  for (int flow = 0; flow < 100; ++flow) {
+    const int queue = nic->queue_for_flow(flow);
+    EXPECT_GE(queue, 0);
+    EXPECT_LT(queue, topo.num_cores());
+  }
+}
+
+TEST_F(NicFixture, FrameFlowsThroughNapiToHandler) {
+  nic->steer_flow(0, 0);
+  deliver(0, 0, 1400);
+  loop->run_to_completion();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].frame.payload, 1400);
+  EXPECT_FALSE(frames[0].fragments.empty());
+  EXPECT_EQ(nic->rx_frames(), 1u);
+}
+
+TEST_F(NicFixture, DataFrameConsumesOneDescriptor) {
+  nic->steer_flow(0, 0);
+  deliver(0, 0, 1400);
+  // Check before NAPI replenishes: run only until the wire delivered.
+  loop->run_until(loop->now() + 2000);
+  EXPECT_EQ(nic->posted_descriptors(0), nic->config().ring_size - 1);
+  loop->run_to_completion();
+  EXPECT_EQ(nic->posted_descriptors(0), nic->config().ring_size);
+}
+
+TEST_F(NicFixture, PureAckTakesCopybreakPathWithoutDescriptor) {
+  nic->steer_flow(0, 0);
+  deliver(0, 0, 0, /*ack=*/true);
+  loop->run_until(loop->now() + 2000);
+  EXPECT_EQ(nic->posted_descriptors(0), nic->config().ring_size);
+  loop->run_to_completion();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_TRUE(frames[0].fragments.empty());
+}
+
+TEST_F(NicFixture, RingExhaustionDropsFrames) {
+  Nic::Config config;
+  config.ring_size = 4;
+  build(config);
+  nic->steer_flow(0, 0);
+  for (int i = 0; i < 10; ++i) deliver(0, i * 1400, 1400);
+  loop->run_to_completion();
+  EXPECT_GT(nic->ring_drops(), 0u);
+  EXPECT_EQ(frames.size() + nic->ring_drops(), 10u);
+}
+
+TEST_F(NicFixture, IrqModerationBatchesArrivalsIntoOneIrq) {
+  nic->steer_flow(0, 0);
+  for (int i = 0; i < 5; ++i) deliver(0, i * 1400, 1400);
+  loop->run_to_completion();
+  EXPECT_EQ(frames.size(), 5u);
+  EXPECT_EQ(nic->irqs(), 1u);
+}
+
+TEST_F(NicFixture, IdleQueueRaisesFreshIrqPerBurst) {
+  nic->steer_flow(0, 0);
+  deliver(0, 0, 1400);
+  loop->run_to_completion();
+  deliver(0, 1400, 1400);
+  loop->run_to_completion();
+  EXPECT_EQ(nic->irqs(), 2u);
+}
+
+TEST_F(NicFixture, DcaInsertsNicLocalPagesIntoLlc) {
+  nic->steer_flow(0, 0);  // queue 0 = core 0 = NIC-local node 0
+  deliver(0, 0, 1400);
+  loop->run_to_completion();
+  ASSERT_FALSE(frames[0].fragments.empty());
+  EXPECT_TRUE(llc_ptrs[0]->contains(frames[0].fragments[0].page->id));
+}
+
+TEST_F(NicFixture, NicRemoteQueueBypassesDca) {
+  nic->steer_flow(0, 2);  // core 2 = node 1 = NIC-remote
+  deliver(0, 0, 1400);
+  loop->run_to_completion();
+  ASSERT_FALSE(frames[0].fragments.empty());
+  EXPECT_FALSE(llc_ptrs[0]->contains(frames[0].fragments[0].page->id));
+  EXPECT_FALSE(llc_ptrs[1]->contains(frames[0].fragments[0].page->id));
+}
+
+TEST_F(NicFixture, DcaDisabledInvalidatesInsteadOfInserting) {
+  Nic::Config config;
+  config.dca = false;
+  build(config);
+  nic->steer_flow(0, 0);
+  deliver(0, 0, 1400);
+  loop->run_to_completion();
+  EXPECT_FALSE(llc_ptrs[0]->contains(frames[0].fragments[0].page->id));
+}
+
+TEST_F(NicFixture, LroMergesContiguousTrain) {
+  Nic::Config config;
+  config.lro = true;
+  config.mtu_payload = 9000;
+  build(config);
+  nic->steer_flow(0, 0);
+  for (int i = 0; i < 4; ++i) deliver(0, i * 9000, 9000);
+  loop->run_to_completion();
+  ASSERT_EQ(frames.size(), 1u);
+  EXPECT_EQ(frames[0].frame.payload, 36000);
+  EXPECT_EQ(frames[0].segments, 4);
+}
+
+TEST_F(NicFixture, LroDoesNotMergeAcrossFlowsOrGaps) {
+  Nic::Config config;
+  config.lro = true;
+  config.mtu_payload = 9000;
+  build(config);
+  nic->steer_flow(0, 0);
+  nic->steer_flow(1, 0);
+  deliver(0, 0, 9000);
+  deliver(1, 0, 9000);       // different flow
+  deliver(0, 18000, 9000);   // gap in flow 0
+  loop->run_to_completion();
+  EXPECT_EQ(frames.size(), 3u);
+}
+
+TEST_F(NicFixture, DescriptorAccountingInvariantHolds) {
+  Nic::Config config;
+  config.ring_size = 16;
+  build(config);
+  nic->steer_flow(0, 0);
+  for (int i = 0; i < 200; ++i) {
+    deliver(0, i * 1400, 1400);
+    if (i % 7 == 0) loop->run_until(loop->now() + 500);
+    EXPECT_LE(nic->posted_descriptors(0) +
+                  static_cast<int>(nic->backlog(0)),
+              16);
+  }
+  loop->run_to_completion();
+}
+
+}  // namespace
+}  // namespace hostsim

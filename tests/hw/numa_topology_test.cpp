@@ -1,0 +1,50 @@
+#include "hw/numa_topology.h"
+
+#include <gtest/gtest.h>
+
+namespace hostsim {
+namespace {
+
+TEST(NumaTopologyTest, DefaultsMatchPaperTestbed) {
+  NumaTopology topo;
+  EXPECT_EQ(topo.num_nodes, 4);
+  EXPECT_EQ(topo.cores_per_node, 6);
+  EXPECT_EQ(topo.num_cores(), 24);
+  EXPECT_EQ(topo.nic_node, 0);
+}
+
+TEST(NumaTopologyTest, NodeOfCore) {
+  NumaTopology topo;
+  EXPECT_EQ(topo.node_of_core(0), 0);
+  EXPECT_EQ(topo.node_of_core(5), 0);
+  EXPECT_EQ(topo.node_of_core(6), 1);
+  EXPECT_EQ(topo.node_of_core(23), 3);
+}
+
+TEST(NumaTopologyTest, NicLocality) {
+  NumaTopology topo;
+  EXPECT_TRUE(topo.is_nic_local(0));
+  EXPECT_TRUE(topo.is_nic_local(5));
+  EXPECT_FALSE(topo.is_nic_local(6));
+}
+
+TEST(NumaTopologyTest, CoreOnNode) {
+  NumaTopology topo;
+  EXPECT_EQ(topo.core_on_node(2, 3), 15);
+}
+
+TEST(NumaTopologyTest, RemoteCoreIsNeverNicLocal) {
+  NumaTopology topo;
+  for (int i = 0; i < 12; ++i) {
+    EXPECT_FALSE(topo.is_nic_local(topo.remote_core(i)));
+  }
+}
+
+TEST(NumaTopologyTest, RemoteCoresCycleDistinctCores) {
+  NumaTopology topo;
+  EXPECT_NE(topo.remote_core(0), topo.remote_core(1));
+  EXPECT_EQ(topo.remote_core(0), topo.remote_core(6));  // wraps per node size
+}
+
+}  // namespace
+}  // namespace hostsim

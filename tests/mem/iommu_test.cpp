@@ -1,0 +1,62 @@
+#include "mem/iommu.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+
+namespace hostsim {
+namespace {
+
+struct IommuFixture : ::testing::Test {
+  EventLoop loop;
+  CostModel cost;
+  Core core{loop, cost, 0, 0};
+
+  template <class Fn>
+  void in_task(Fn fn) {
+    Context ctx{"test", false};
+    core.post(ctx, [&](Core& c) { fn(c); });
+    loop.run_to_completion();
+  }
+};
+
+TEST_F(IommuFixture, DisabledChargesNothing) {
+  Iommu iommu(false);
+  in_task([&](Core& c) {
+    iommu.charge_map(c, 10);
+    iommu.charge_unmap(c, 10);
+  });
+  EXPECT_EQ(core.account().get(CpuCategory::memory), 0);
+  EXPECT_EQ(iommu.maps(), 0u);
+}
+
+TEST_F(IommuFixture, EnabledChargesPerPage) {
+  Iommu iommu(true);
+  in_task([&](Core& c) {
+    iommu.charge_map(c, 3);
+    iommu.charge_unmap(c, 3);
+  });
+  EXPECT_EQ(core.account().get(CpuCategory::memory),
+            3 * (cost.iommu_map_per_page + cost.iommu_unmap_per_page));
+  EXPECT_EQ(iommu.maps(), 3u);
+  EXPECT_EQ(iommu.unmaps(), 3u);
+}
+
+TEST_F(IommuFixture, FractionalPagesChargeProportionally) {
+  Iommu iommu(true);
+  in_task([&](Core& c) { iommu.charge_map(c, 0.5); });
+  EXPECT_EQ(core.account().get(CpuCategory::memory),
+            cost.iommu_map_per_page / 2);
+}
+
+TEST_F(IommuFixture, ZeroPagesIsANoOp) {
+  Iommu iommu(true);
+  in_task([&](Core& c) {
+    iommu.charge_map(c, 0);
+    iommu.charge_unmap(c, -1);
+  });
+  EXPECT_EQ(core.account().total(), 0);
+}
+
+}  // namespace
+}  // namespace hostsim

@@ -1,0 +1,189 @@
+#include "net/cc/congestion_control.h"
+
+#include <gtest/gtest.h>
+
+#include "net/cc/bbr.h"
+#include "net/cc/cubic.h"
+#include "net/cc/dctcp.h"
+
+namespace hostsim {
+namespace {
+
+constexpr Bytes kMss = 9000;
+
+AckEvent ack(Nanos now, Bytes acked, Nanos rtt = 100'000,
+             bool ecn = false) {
+  AckEvent event;
+  event.now = now;
+  event.acked = acked;
+  event.rtt = rtt;
+  event.ecn_echo = ecn;
+  return event;
+}
+
+TEST(FactoryTest, CreatesEachAlgorithm) {
+  EXPECT_EQ(make_congestion_control(CcAlgo::cubic, kMss)->name(), "cubic");
+  EXPECT_EQ(make_congestion_control(CcAlgo::dctcp, kMss)->name(), "dctcp");
+  EXPECT_EQ(make_congestion_control(CcAlgo::bbr, kMss)->name(), "bbr");
+}
+
+TEST(FactoryTest, ToStringRoundTrips) {
+  EXPECT_EQ(to_string(CcAlgo::cubic), "cubic");
+  EXPECT_EQ(to_string(CcAlgo::bbr), "bbr");
+  EXPECT_EQ(to_string(CcAlgo::dctcp), "dctcp");
+}
+
+// ---------------------------------------------------------------- CUBIC
+
+TEST(CubicTest, SlowStartDoublesPerWindow) {
+  CubicCc cc(kMss);
+  const Bytes initial = cc.cwnd();
+  cc.on_ack(ack(0, initial));
+  EXPECT_EQ(cc.cwnd(), 2 * initial);
+}
+
+TEST(CubicTest, LossCutsWindowByBeta) {
+  CubicCc cc(kMss);
+  for (int i = 0; i < 10; ++i) cc.on_ack(ack(i * 100'000, cc.cwnd()));
+  const Bytes before = cc.cwnd();
+  cc.on_loss(1'000'000);
+  EXPECT_NEAR(static_cast<double>(cc.cwnd()),
+              static_cast<double>(before) * 0.7,
+              static_cast<double>(kMss));
+}
+
+TEST(CubicTest, RecoversTowardWmaxAfterLoss) {
+  CubicCc cc(kMss);
+  for (int i = 0; i < 10; ++i) cc.on_ack(ack(i * 100'000, cc.cwnd()));
+  const Bytes w_max = cc.cwnd();
+  cc.on_loss(1'000'000);
+  Nanos now = 1'000'000;
+  for (int i = 0; i < 3000; ++i) {
+    now += 100'000;
+    cc.on_ack(ack(now, 4 * kMss));
+  }
+  // Cubic climbs back toward the previous maximum (full recovery takes
+  // K = cbrt(w_max * 0.3 / C) seconds; we check substantial progress).
+  EXPECT_GE(cc.cwnd(), w_max * 7 / 10);
+}
+
+TEST(CubicTest, RtoCollapsesToMinimumWindow) {
+  CubicCc cc(kMss);
+  for (int i = 0; i < 10; ++i) cc.on_ack(ack(i * 100'000, cc.cwnd()));
+  cc.on_rto(2'000'000);
+  EXPECT_EQ(cc.cwnd(), 2 * kMss);
+}
+
+TEST(CubicTest, WindowNeverBelowTwoMss) {
+  CubicCc cc(kMss);
+  for (int i = 0; i < 20; ++i) cc.on_loss(i * 1000);
+  EXPECT_GE(cc.cwnd(), 2 * kMss);
+}
+
+// ---------------------------------------------------------------- DCTCP
+
+TEST(DctcpTest, GrowsLikeRenoWithoutMarks) {
+  DctcpCc cc(kMss);
+  const Bytes initial = cc.cwnd();
+  cc.on_ack(ack(0, initial));
+  EXPECT_EQ(cc.cwnd(), 2 * initial);
+}
+
+TEST(DctcpTest, AlphaDecaysWithoutMarksAndCutsProportionally) {
+  DctcpCc cc(kMss);
+  // Several unmarked observation windows decay alpha from 1.0.
+  Nanos now = 0;
+  for (int i = 0; i < 64; ++i) {
+    now += 150'000;
+    cc.on_ack(ack(now, cc.cwnd()));
+  }
+  EXPECT_LT(cc.alpha(), 0.1);
+  const Bytes before = cc.cwnd();
+  now += 150'000;
+  cc.on_ack(ack(now, kMss, 100'000, /*ecn=*/true));
+  // Cut is alpha/2 — small when alpha is small.
+  EXPECT_GT(cc.cwnd(), static_cast<Bytes>(0.9 * before));
+}
+
+TEST(DctcpTest, SustainedMarkingRaisesAlpha) {
+  DctcpCc cc(kMss);
+  Nanos now = 0;
+  for (int i = 0; i < 64; ++i) {
+    now += 150'000;
+    cc.on_ack(ack(now, kMss, 100'000, /*ecn=*/true));
+  }
+  EXPECT_GT(cc.alpha(), 0.5);
+}
+
+TEST(DctcpTest, AtMostOneCutPerObservationWindow) {
+  DctcpCc cc(kMss);
+  // Grow a bit first.
+  for (int i = 0; i < 6; ++i) cc.on_ack(ack(i * 10'000, cc.cwnd()));
+  const Bytes before = cc.cwnd();
+  // Two marked ACKs within the same RTT window: only one cut.
+  cc.on_ack(ack(1'000'000, kMss, 100'000, true));
+  const Bytes after_first = cc.cwnd();
+  cc.on_ack(ack(1'000'500, kMss, 100'000, true));
+  EXPECT_LT(after_first, before);
+  EXPECT_GE(cc.cwnd(), after_first);  // no second cut
+}
+
+// ------------------------------------------------------------------ BBR
+
+AckEvent rated_ack(Nanos now, double rate_gbps) {
+  AckEvent event;
+  event.now = now;
+  event.acked = 64 * 1024;
+  event.rtt = 100'000;
+  event.rate_gbps = rate_gbps;
+  return event;
+}
+
+TEST(BbrTest, StartupRampsBandwidthEstimate) {
+  BbrCc cc(kMss);
+  const double initial_rate = cc.pacing_gbps();
+  Nanos now = 0;
+  for (int i = 0; i < 20; ++i) {
+    now += 100'000;
+    // Offered rate tracks the pacing rate: startup compounds.
+    cc.on_ack(rated_ack(now, cc.pacing_gbps()));
+  }
+  EXPECT_GT(cc.pacing_gbps(), initial_rate * 4);
+}
+
+TEST(BbrTest, AlwaysPaces) {
+  BbrCc cc(kMss);
+  EXPECT_GT(cc.pacing_gbps(), 0.0);
+}
+
+TEST(BbrTest, ReachesProbeBandwidthAndCyclesGains) {
+  BbrCc cc(kMss);
+  Nanos now = 0;
+  // Feed a steady 50Gbps delivery-rate signal.
+  for (int i = 0; i < 200; ++i) {
+    now += 100'000;
+    AckEvent event = rated_ack(now, 50.0);
+    event.inflight = 0;
+    cc.on_ack(event);
+  }
+  // Bandwidth estimate close to the offered 50Gbps, pacing around it.
+  EXPECT_GT(cc.pacing_gbps(), 30.0);
+  EXPECT_LT(cc.pacing_gbps(), 75.0);
+  // cwnd tracks 2 x BDP = 2 * 50Gbps * 100us = 1.25MB.
+  EXPECT_NEAR(static_cast<double>(cc.cwnd()), 1.25e6, 0.5e6);
+}
+
+TEST(BbrTest, LossBarelyMovesBandwidthEstimate) {
+  BbrCc cc(kMss);
+  Nanos now = 0;
+  for (int i = 0; i < 50; ++i) {
+    now += 100'000;
+    cc.on_ack(rated_ack(now, 50.0));
+  }
+  const double before = cc.pacing_gbps();
+  cc.on_loss(now);
+  EXPECT_GT(cc.pacing_gbps(), before * 0.9);
+}
+
+}  // namespace
+}  // namespace hostsim

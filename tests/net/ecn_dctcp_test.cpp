@@ -1,0 +1,47 @@
+// End-to-end ECN path: switch marking -> receiver echo -> DCTCP cut.
+#include <gtest/gtest.h>
+
+#include "core/experiment.h"
+
+namespace hostsim {
+namespace {
+
+ExperimentConfig contended(CcAlgo algo, Nanos ecn_threshold) {
+  ExperimentConfig config;
+  // Several senders share the wire: the egress queue builds and the
+  // switch marks CE beyond the threshold.
+  config.traffic.pattern = Pattern::one_to_one;
+  config.traffic.flows = 8;
+  config.stack.cc = algo;
+  config.ecn_threshold = ecn_threshold;
+  config.warmup = 10 * kMillisecond;
+  config.duration = 10 * kMillisecond;
+  return config;
+}
+
+TEST(EcnDctcpTest, MarksPropagateAndDctcpStillSaturates) {
+  const Metrics metrics = run_experiment(contended(CcAlgo::dctcp, 20'000));
+  // DCTCP with marking keeps throughput high (proportional cuts, no
+  // collapse) and needs no loss to regulate.
+  EXPECT_GT(metrics.total_gbps, 70.0);
+  EXPECT_EQ(metrics.wire_drops, 0u);
+}
+
+TEST(EcnDctcpTest, MarkingShortensEgressQueues) {
+  // With a tight threshold DCTCP backs off earlier; the host-observed
+  // NAPI->copy latency should not exceed the unmarked case.
+  const Metrics marked = run_experiment(contended(CcAlgo::dctcp, 20'000));
+  const Metrics unmarked = run_experiment(contended(CcAlgo::dctcp, 0));
+  EXPECT_LE(marked.napi_to_copy_avg, unmarked.napi_to_copy_avg * 2);
+  EXPECT_GT(marked.total_gbps, unmarked.total_gbps * 0.7);
+}
+
+TEST(EcnDctcpTest, CubicIgnoresMarks) {
+  // CUBIC does not react to CE marks: same threshold, no cuts, same
+  // saturation.
+  const Metrics metrics = run_experiment(contended(CcAlgo::cubic, 20'000));
+  EXPECT_GT(metrics.total_gbps, 80.0);
+}
+
+}  // namespace
+}  // namespace hostsim

@@ -1,0 +1,142 @@
+#include "net/gro.h"
+
+#include <gtest/gtest.h>
+
+namespace hostsim {
+namespace {
+
+Skb segment(int flow, std::int64_t seq, Bytes len) {
+  Skb skb;
+  skb.flow = flow;
+  skb.seq = seq;
+  skb.len = len;
+  skb.napi_at = 100;
+  skb.sent_at = 50;
+  return skb;
+}
+
+TEST(GroTest, DisabledPassesThrough) {
+  Gro gro(false);
+  auto out = gro.feed(segment(0, 0, 1500));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].len, 1500);
+  EXPECT_TRUE(gro.flush().empty());
+}
+
+TEST(GroTest, MergesContiguousSameFlowSegments) {
+  Gro gro(true);
+  EXPECT_TRUE(gro.feed(segment(0, 0, 9000)).empty());
+  EXPECT_TRUE(gro.feed(segment(0, 9000, 9000)).empty());
+  auto out = gro.flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].len, 18000);
+  EXPECT_EQ(out[0].segments, 2);
+}
+
+TEST(GroTest, EmitsWhenSizeCapReached) {
+  Gro gro(true, /*max_bytes=*/65536);
+  std::vector<Skb> completed;
+  for (int i = 0; i < 8; ++i) {
+    for (Skb& skb : gro.feed(segment(0, i * 9000, 9000))) {
+      completed.push_back(std::move(skb));
+    }
+  }
+  // 8 x 9000 = 72000 > 65536: the 8th segment overflows and flushes the
+  // first seven (63000B), starting a fresh pending skb.
+  ASSERT_EQ(completed.size(), 1u);
+  EXPECT_EQ(completed[0].len, 63000);
+  auto rest = gro.flush();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].len, 9000);
+}
+
+TEST(GroTest, GapFlushesPending) {
+  Gro gro(true);
+  EXPECT_TRUE(gro.feed(segment(0, 0, 9000)).empty());
+  auto out = gro.feed(segment(0, 27000, 9000));  // hole at 9000
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].len, 9000);
+  EXPECT_EQ(out[0].seq, 0);
+  auto rest = gro.flush();
+  ASSERT_EQ(rest.size(), 1u);
+  EXPECT_EQ(rest[0].seq, 27000);
+}
+
+TEST(GroTest, FlowsMergeIndependently) {
+  Gro gro(true);
+  EXPECT_TRUE(gro.feed(segment(0, 0, 9000)).empty());
+  EXPECT_TRUE(gro.feed(segment(1, 0, 9000)).empty());
+  EXPECT_TRUE(gro.feed(segment(0, 9000, 9000)).empty());
+  EXPECT_TRUE(gro.feed(segment(1, 9000, 9000)).empty());
+  auto out = gro.flush();
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].flow, 0);  // flush is flow-ordered for determinism
+  EXPECT_EQ(out[1].flow, 1);
+  EXPECT_EQ(out[0].len, 18000);
+  EXPECT_EQ(out[1].len, 18000);
+}
+
+TEST(GroTest, MergePreservesFirstNapiTimestampAndLastSendTimestamp) {
+  Gro gro(true);
+  Skb first = segment(0, 0, 9000);
+  first.napi_at = 10;
+  first.sent_at = 5;
+  Skb second = segment(0, 9000, 9000);
+  second.napi_at = 20;
+  second.sent_at = 15;
+  gro.feed(std::move(first));
+  gro.feed(std::move(second));
+  auto out = gro.flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].napi_at, 10);   // latency measured from first segment
+  EXPECT_EQ(out[0].sent_at, 15);   // RTT echoed from freshest segment
+}
+
+TEST(GroTest, EcnMarkPropagatesThroughMerge) {
+  Gro gro(true);
+  Skb marked = segment(0, 9000, 9000);
+  marked.ecn = true;
+  gro.feed(segment(0, 0, 9000));
+  gro.feed(std::move(marked));
+  auto out = gro.flush();
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_TRUE(out[0].ecn);
+}
+
+TEST(GroTest, MergeConcatenatesFragments) {
+  Gro gro(true);
+  Page page_a{1, 0, 1};
+  Page page_b{2, 0, 1};
+  Skb a = segment(0, 0, 9000);
+  a.fragments.push_back(Fragment{&page_a, 9000});
+  Skb b = segment(0, 9000, 9000);
+  b.fragments.push_back(Fragment{&page_b, 9000});
+  gro.feed(std::move(a));
+  gro.feed(std::move(b));
+  auto out = gro.flush();
+  ASSERT_EQ(out.size(), 1u);
+  ASSERT_EQ(out[0].fragments.size(), 2u);
+  EXPECT_EQ(out[0].fragments[0].page, &page_a);
+  EXPECT_EQ(out[0].fragments[1].page, &page_b);
+}
+
+TEST(GroTest, ByteConservationProperty) {
+  Gro gro(true);
+  Bytes in = 0;
+  Bytes out_bytes = 0;
+  std::int64_t seqs[3] = {0, 0, 0};
+  for (int i = 0; i < 1000; ++i) {
+    const int flow = i % 3;
+    const Bytes len = 1500 + (i % 7) * 700;
+    in += len;
+    for (Skb& skb : gro.feed(segment(flow, seqs[flow], len))) {
+      out_bytes += skb.len;
+    }
+    seqs[flow] += len;
+  }
+  for (Skb& skb : gro.flush()) out_bytes += skb.len;
+  EXPECT_EQ(in, out_bytes);
+}
+
+}  // namespace
+}  // namespace hostsim

@@ -1,0 +1,35 @@
+#include "net/gso.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/event_loop.h"
+
+namespace hostsim {
+namespace {
+
+TEST(GsoTest, SegmentCountRoundsUp) {
+  EXPECT_EQ(Gso::segment_count(1500, 1500), 1);
+  EXPECT_EQ(Gso::segment_count(1501, 1500), 2);
+  EXPECT_EQ(Gso::segment_count(65536, 9000), 8);
+  EXPECT_EQ(Gso::segment_count(1, 9000), 1);
+}
+
+TEST(GsoTest, OnlySoftwareGsoCharges) {
+  EventLoop loop;
+  CostModel cost;
+  Core core{loop, cost, 0, 0};
+  Context ctx{"test", false};
+  core.post(ctx, [&](Core& c) {
+    Gso::charge(c, SegmentationMode::tso_hw, 10);
+    EXPECT_EQ(c.account().get(CpuCategory::netdev), 0);
+    Gso::charge(c, SegmentationMode::none, 10);
+    EXPECT_EQ(c.account().get(CpuCategory::netdev), 0);
+    Gso::charge(c, SegmentationMode::gso_sw, 10);
+    EXPECT_EQ(c.account().get(CpuCategory::netdev),
+              10 * cost.gso_per_segment);
+  });
+  loop.run_to_completion();
+}
+
+}  // namespace
+}  // namespace hostsim

@@ -1,0 +1,113 @@
+#include "sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hostsim {
+namespace {
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(30, [&] { order.push_back(3); });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(20, [&] { order.push_back(2); });
+  loop.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.executed(), 3u);
+}
+
+TEST(EventLoopTest, TieBreaksByInsertionOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.schedule_at(5, [&order, i] { order.push_back(i); });
+  }
+  loop.run_to_completion();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventLoopTest, ClockAdvancesToEventTime) {
+  EventLoop loop;
+  Nanos seen = -1;
+  loop.schedule_after(42, [&] { seen = loop.now(); });
+  loop.run_to_completion();
+  EXPECT_EQ(seen, 42);
+  EXPECT_EQ(loop.now(), 42);
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(10, [&] { ++fired; });
+  loop.schedule_at(20, [&] { ++fired; });
+  loop.schedule_at(30, [&] { ++fired; });
+  loop.run_until(20);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(loop.now(), 20);
+  loop.run_until(100);
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(loop.now(), 100);
+}
+
+TEST(EventLoopTest, EventsCanScheduleEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 5) loop.schedule_after(1, recurse);
+  };
+  loop.schedule_after(0, recurse);
+  loop.run_to_completion();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(loop.now(), 4);
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  int fired = 0;
+  const EventId id = loop.schedule_at(10, [&] { ++fired; });
+  loop.schedule_at(5, [&] { ++fired; });
+  loop.cancel(id);
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, CancelledHeadDoesNotLeakPastDeadline) {
+  // Regression guard: run_until must not execute a post-deadline event
+  // just because the pre-deadline head of the queue was cancelled.
+  EventLoop loop;
+  int fired = 0;
+  const EventId id = loop.schedule_at(10, [&] { ++fired; });
+  loop.schedule_at(50, [&] { ++fired; });
+  loop.cancel(id);
+  loop.run_until(20);
+  EXPECT_EQ(fired, 0);
+  loop.run_until(60);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, CancelIsIdempotentAndSafeForFiredEvents) {
+  EventLoop loop;
+  int fired = 0;
+  const EventId id = loop.schedule_at(1, [&] { ++fired; });
+  loop.run_to_completion();
+  loop.cancel(id);  // already fired: harmless
+  loop.cancel(id);
+  loop.schedule_at(loop.now() + 1, [&] { ++fired; });
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, PendingCountsQueuedEvents) {
+  EventLoop loop;
+  EXPECT_EQ(loop.pending(), 0u);
+  loop.schedule_at(1, [] {});
+  loop.schedule_at(2, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.run_to_completion();
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace hostsim

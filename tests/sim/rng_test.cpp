@@ -1,0 +1,94 @@
+#include "sim/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+namespace hostsim {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += a.next_u64() == b.next_u64();
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextBelowStaysInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowIsRoughlyUniform) {
+  Rng rng(11);
+  std::array<int, 10> buckets{};
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) ++buckets[rng.next_below(10)];
+  for (int count : buckets) {
+    EXPECT_NEAR(count, samples / 10, samples / 100);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.next_double();
+    ASSERT_GE(x, 0.0);
+    ASSERT_LT(x, 1.0);
+    sum += x;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RngTest, ChanceEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(RngTest, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int samples = 200000;
+  for (int i = 0; i < samples; ++i) hits += rng.chance(0.015);
+  EXPECT_NEAR(static_cast<double>(hits) / samples, 0.015, 0.002);
+}
+
+TEST(RngTest, ExponentialHasRequestedMean) {
+  Rng rng(17);
+  double sum = 0;
+  const int samples = 100000;
+  for (int i = 0; i < samples; ++i) {
+    sum += static_cast<double>(rng.exponential(1000));
+  }
+  EXPECT_NEAR(sum / samples, 1000.0, 30.0);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(21);
+  Rng child = parent.fork();
+  // The child must neither mirror the parent nor freeze it.
+  EXPECT_NE(parent.next_u64(), child.next_u64());
+  // Forking is itself deterministic.
+  Rng parent2(21);
+  Rng child2 = parent2.fork();
+  Rng parent3(21);
+  Rng child3 = parent3.fork();
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(child2.next_u64(), child3.next_u64());
+}
+
+}  // namespace
+}  // namespace hostsim

@@ -1,0 +1,89 @@
+#include "sim/stats.h"
+
+#include <gtest/gtest.h>
+
+namespace hostsim {
+namespace {
+
+TEST(HistogramTest, EmptyIsZero) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.record(1234);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 1234);
+  EXPECT_EQ(h.max(), 1234);
+  EXPECT_NEAR(h.mean(), 1234.0, 0.01);
+  EXPECT_EQ(h.percentile(0.5), 1234);
+  EXPECT_EQ(h.percentile(1.0), 1234);
+}
+
+TEST(HistogramTest, SmallValuesAreExact) {
+  Histogram h;
+  for (int i = 0; i < 32; ++i) h.record(i);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 31);
+}
+
+TEST(HistogramTest, QuantileErrorBounded) {
+  Histogram h;
+  for (int i = 1; i <= 100000; ++i) h.record(i);
+  // Log-linear buckets with 32 sub-buckets: <= ~3.2% relative error.
+  EXPECT_NEAR(h.percentile(0.5), 50000, 50000 * 0.04);
+  EXPECT_NEAR(h.percentile(0.99), 99000, 99000 * 0.04);
+  EXPECT_NEAR(h.mean(), 50000.5, 1.0);
+}
+
+TEST(HistogramTest, NegativeValuesClampToZeroBucket) {
+  Histogram h;
+  h.record(-5);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), -5);
+  EXPECT_EQ(h.percentile(1.0), -5);  // clamped to observed range
+}
+
+TEST(HistogramTest, MergeCombinesCountsAndRange) {
+  Histogram a;
+  Histogram b;
+  a.record(10);
+  b.record(1000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 1000);
+}
+
+TEST(HistogramTest, RecordNWeightsValues) {
+  Histogram h;
+  h.record_n(100, 99);
+  h.record_n(100000, 1);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_NEAR(h.percentile(0.5), 100, 5);
+  EXPECT_GT(h.percentile(0.999), 90000);
+}
+
+TEST(AccumulatorTest, MeanAndVariance) {
+  Accumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_NEAR(acc.mean(), 5.0, 1e-9);
+  EXPECT_NEAR(acc.variance(), 32.0 / 7.0, 1e-9);
+}
+
+TEST(HitRateTest, MissRate) {
+  HitRate rate;
+  EXPECT_EQ(rate.miss_rate(), 0.0);
+  rate.hit(51);
+  rate.miss(49);
+  EXPECT_NEAR(rate.miss_rate(), 0.49, 1e-9);
+  rate.clear();
+  EXPECT_EQ(rate.total(), 0u);
+}
+
+}  // namespace
+}  // namespace hostsim

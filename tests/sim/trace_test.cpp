@@ -1,0 +1,90 @@
+#include "sim/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/experiment.h"
+
+namespace hostsim {
+namespace {
+
+TEST(TracerTest, DisabledRecordsNothing) {
+  Tracer tracer(0);
+  EXPECT_FALSE(tracer.enabled());
+  tracer.record(1, TraceKind::data_copy, 0, 10, 20);
+  EXPECT_EQ(tracer.recorded(), 0u);
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST(TracerTest, RecordsInOrder) {
+  Tracer tracer(8);
+  for (int i = 0; i < 5; ++i) {
+    tracer.record(i * 100, TraceKind::ack_tx, i, i, 0);
+  }
+  const auto snapshot = tracer.snapshot();
+  ASSERT_EQ(snapshot.size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(snapshot[static_cast<std::size_t>(i)].at, i * 100);
+    EXPECT_EQ(snapshot[static_cast<std::size_t>(i)].flow, i);
+  }
+}
+
+TEST(TracerTest, RingKeepsNewestWhenFull) {
+  Tracer tracer(4);
+  for (int i = 0; i < 10; ++i) {
+    tracer.record(i, TraceKind::data_copy, i, 0, 0);
+  }
+  const auto snapshot = tracer.snapshot();
+  ASSERT_EQ(snapshot.size(), 4u);
+  EXPECT_EQ(snapshot.front().at, 6);  // oldest kept
+  EXPECT_EQ(snapshot.back().at, 9);   // newest
+  EXPECT_EQ(tracer.recorded(), 10u);
+  EXPECT_EQ(tracer.overwritten(), 6u);
+}
+
+TEST(TracerTest, CsvDumpHasHeaderAndRows) {
+  Tracer tracer(4, /*host=*/1);
+  tracer.record(42, TraceKind::retransmit, 7, 100, 200);
+  std::ostringstream out;
+  tracer.dump_csv(out);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("time_ns,kind,host,flow,a,b"), std::string::npos);
+  EXPECT_NE(text.find("42,retransmit,1,7,100,200"), std::string::npos);
+}
+
+TEST(TracerTest, KindNamesAreStable) {
+  EXPECT_EQ(to_string(TraceKind::skb_deliver), "skb_deliver");
+  EXPECT_EQ(to_string(TraceKind::grant), "grant");
+}
+
+TEST(TraceIntegrationTest, ExperimentProducesMergedTimeOrderedTrace) {
+  ExperimentConfig config;
+  config.stack.trace_capacity = 4096;
+  config.warmup = 3 * kMillisecond;
+  config.duration = 4 * kMillisecond;
+  const Metrics metrics = run_experiment(config);
+  ASSERT_FALSE(metrics.trace.empty());
+  bool saw_copy = false;
+  bool saw_ack_rx = false;
+  Nanos previous = 0;
+  for (const TraceRecord& record : metrics.trace) {
+    EXPECT_GE(record.at, previous);
+    previous = record.at;
+    saw_copy = saw_copy || record.kind == TraceKind::data_copy;
+    saw_ack_rx = saw_ack_rx || record.kind == TraceKind::ack_rx;
+  }
+  EXPECT_TRUE(saw_copy);
+  EXPECT_TRUE(saw_ack_rx);
+}
+
+TEST(TraceIntegrationTest, TraceOffByDefault) {
+  ExperimentConfig config;
+  config.warmup = 2 * kMillisecond;
+  config.duration = 2 * kMillisecond;
+  const Metrics metrics = run_experiment(config);
+  EXPECT_TRUE(metrics.trace.empty());
+}
+
+}  // namespace
+}  // namespace hostsim

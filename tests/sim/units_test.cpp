@@ -1,0 +1,42 @@
+#include "sim/units.h"
+
+#include <gtest/gtest.h>
+
+namespace hostsim {
+namespace {
+
+TEST(UnitsTest, ToSeconds) {
+  EXPECT_DOUBLE_EQ(to_seconds(kSecond), 1.0);
+  EXPECT_DOUBLE_EQ(to_seconds(kMillisecond), 1e-3);
+  EXPECT_DOUBLE_EQ(to_seconds(0), 0.0);
+}
+
+TEST(UnitsTest, ToGbps) {
+  // 1250 bytes in 100ns = 100 Gbps.
+  EXPECT_DOUBLE_EQ(to_gbps(1250, 100), 100.0);
+  EXPECT_DOUBLE_EQ(to_gbps(0, 100), 0.0);
+  EXPECT_DOUBLE_EQ(to_gbps(100, 0), 0.0);  // guarded
+}
+
+TEST(UnitsTest, SerializationDelay) {
+  // 1250 bytes at 100Gbps = 100ns.
+  EXPECT_EQ(serialization_delay(1250, 100.0), 100);
+  // 9066B jumbo frame at 100Gbps ~= 725ns.
+  EXPECT_EQ(serialization_delay(9066, 100.0), 725);
+}
+
+TEST(UnitsTest, CyclesToNanos) {
+  EXPECT_EQ(cycles_to_nanos(3400, 3.4), 1000);
+  EXPECT_EQ(cycles_to_nanos(0, 3.4), 0);
+  EXPECT_EQ(cycles_to_nanos(-5, 3.4), 0);  // clamped
+}
+
+TEST(UnitsTest, RoundTripConsistency) {
+  // bytes -> delay -> gbps round-trips.
+  const Bytes bytes = 123456;
+  const Nanos delay = serialization_delay(bytes, 100.0);
+  EXPECT_NEAR(to_gbps(bytes, delay), 100.0, 0.1);
+}
+
+}  // namespace
+}  // namespace hostsim

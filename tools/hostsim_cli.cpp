@@ -1,0 +1,222 @@
+// hostsim_cli — run any experiment from the command line.
+//
+//   $ hostsim_cli --pattern=incast --flows=8
+//   $ hostsim_cli --pattern=single --no-arfs --ring=256 --rxbuf-kb=3200
+//   $ hostsim_cli --pattern=mixed --flows=16 --segregate --csv
+//   $ hostsim_cli --pattern=rpc --flows=16 --rpc-kb=64 --cc=bbr
+//
+// Prints a human-readable summary, or one CSV row (--csv) for scripting
+// sweeps.  Run with --help for all flags.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/experiment.h"
+#include "core/report.h"
+
+namespace {
+
+using namespace hostsim;
+
+[[noreturn]] void usage(int exit_code) {
+  std::printf(R"(hostsim_cli — host network stack performance model
+
+workload:
+  --pattern=NAME      single | one-to-one | incast | outcast | all-to-all
+                      | rpc | mixed            (default: single)
+  --flows=N           flows / clients / n-by-n scale      (default: 1)
+  --rpc-kb=N          RPC request=response size in KB     (default: 4)
+  --remote-numa       pin the receiver app to a NIC-remote NUMA node
+  --segregate         mixed pattern: short flows on their own core
+
+stack:
+  --no-tso --no-gso --no-gro --no-jumbo --no-arfs --no-dca
+  --iommu --lro --tx-zerocopy --rx-zerocopy --delayed-ack
+  --steering=MODE     rss | rps | rfs  (fallback when aRFS is off)
+  --cc=ALGO           cubic | dctcp | bbr                 (default: cubic)
+  --ring=N            NIC rx descriptors per queue        (default: 1024)
+  --rxbuf-kb=N        fixed TCP rx buffer; 0 = autotune   (default: 0)
+
+network:
+  --gbps=N            link rate                           (default: 100)
+  --loss=P            per-frame drop probability          (default: 0)
+
+run:
+  --warmup-ms=N       (default: 10)    --duration-ms=N    (default: 25)
+  --seed=N            (default: 1)
+  --csv               print one CSV row (+ header with --csv-header)
+  --breakdown         also print the Table-1 CPU breakdowns
+  --trace=N           dump the last N flight-recorder events as CSV
+  --help
+)");
+  std::exit(exit_code);
+}
+
+std::optional<std::string_view> flag_value(std::string_view arg,
+                                           std::string_view name) {
+  if (arg.substr(0, name.size()) != name) return std::nullopt;
+  if (arg.size() == name.size()) return std::string_view{};
+  if (arg[name.size()] != '=') return std::nullopt;
+  return arg.substr(name.size() + 1);
+}
+
+long parse_long(std::string_view value, const char* what) {
+  char* end = nullptr;
+  const std::string owned(value);
+  const long parsed = std::strtol(owned.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "invalid %s: '%s'\n", what, owned.c_str());
+    std::exit(2);
+  }
+  return parsed;
+}
+
+double parse_double(std::string_view value, const char* what) {
+  char* end = nullptr;
+  const std::string owned(value);
+  const double parsed = std::strtod(owned.c_str(), &end);
+  if (end == nullptr || *end != '\0') {
+    std::fprintf(stderr, "invalid %s: '%s'\n", what, owned.c_str());
+    std::exit(2);
+  }
+  return parsed;
+}
+
+Pattern parse_pattern(std::string_view name) {
+  if (name == "single" || name == "single-flow") return Pattern::single_flow;
+  if (name == "one-to-one") return Pattern::one_to_one;
+  if (name == "incast") return Pattern::incast;
+  if (name == "outcast") return Pattern::outcast;
+  if (name == "all-to-all") return Pattern::all_to_all;
+  if (name == "rpc" || name == "rpc-incast") return Pattern::rpc_incast;
+  if (name == "mixed") return Pattern::mixed;
+  std::fprintf(stderr, "unknown pattern '%.*s'\n",
+               static_cast<int>(name.size()), name.data());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ExperimentConfig config;
+  bool csv = false;
+  bool csv_header = false;
+  bool breakdown = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--help" || arg == "-h") usage(0);
+    else if (arg == "--remote-numa") config.traffic.receiver_app_remote_numa = true;
+    else if (arg == "--segregate") config.traffic.segregate_mixed_cores = true;
+    else if (arg == "--no-tso") config.stack.tso = false;
+    else if (arg == "--no-gso") config.stack.gso = false;
+    else if (arg == "--no-gro") config.stack.gro = false;
+    else if (arg == "--no-jumbo") config.stack.jumbo = false;
+    else if (arg == "--no-arfs") config.stack.arfs = false;
+    else if (arg == "--no-dca") config.stack.dca = false;
+    else if (arg == "--iommu") config.stack.iommu = true;
+    else if (arg == "--lro") { config.stack.lro = true; config.stack.gro = false; }
+    else if (arg == "--tx-zerocopy") config.stack.tx_zerocopy = true;
+    else if (arg == "--rx-zerocopy") config.stack.rx_zerocopy = true;
+    else if (arg == "--delayed-ack") config.stack.delayed_ack = true;
+    else if (arg == "--csv") csv = true;
+    else if (arg == "--csv-header") { csv = true; csv_header = true; }
+    else if (arg == "--breakdown") breakdown = true;
+    else if (auto v = flag_value(arg, "--pattern")) {
+      config.traffic.pattern = parse_pattern(*v);
+    } else if (auto v = flag_value(arg, "--flows")) {
+      config.traffic.flows = static_cast<int>(parse_long(*v, "--flows"));
+    } else if (auto v = flag_value(arg, "--rpc-kb")) {
+      config.traffic.rpc_size = parse_long(*v, "--rpc-kb") * kKiB;
+    } else if (auto v = flag_value(arg, "--steering")) {
+      if (*v == "rss") config.stack.fallback_steering = SteeringMode::rss;
+      else if (*v == "rps") config.stack.fallback_steering = SteeringMode::rps;
+      else if (*v == "rfs") config.stack.fallback_steering = SteeringMode::rfs;
+      else usage(2);
+    } else if (auto v = flag_value(arg, "--cc")) {
+      if (*v == "cubic") config.stack.cc = CcAlgo::cubic;
+      else if (*v == "dctcp") config.stack.cc = CcAlgo::dctcp;
+      else if (*v == "bbr") config.stack.cc = CcAlgo::bbr;
+      else usage(2);
+    } else if (auto v = flag_value(arg, "--ring")) {
+      config.stack.nic_ring_size = static_cast<int>(parse_long(*v, "--ring"));
+    } else if (auto v = flag_value(arg, "--rxbuf-kb")) {
+      config.stack.tcp_rx_buf = parse_long(*v, "--rxbuf-kb") * kKiB;
+    } else if (auto v = flag_value(arg, "--gbps")) {
+      config.link_gbps = parse_double(*v, "--gbps");
+    } else if (auto v = flag_value(arg, "--loss")) {
+      config.loss_rate = parse_double(*v, "--loss");
+    } else if (auto v = flag_value(arg, "--warmup-ms")) {
+      config.warmup = parse_long(*v, "--warmup-ms") * kMillisecond;
+    } else if (auto v = flag_value(arg, "--duration-ms")) {
+      config.duration = parse_long(*v, "--duration-ms") * kMillisecond;
+    } else if (auto v = flag_value(arg, "--seed")) {
+      config.seed = static_cast<std::uint64_t>(parse_long(*v, "--seed"));
+    } else if (auto v = flag_value(arg, "--trace")) {
+      config.stack.trace_capacity =
+          static_cast<std::size_t>(parse_long(*v, "--trace"));
+    } else {
+      std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
+      usage(2);
+    }
+  }
+
+  if (config.traffic.pattern == Pattern::single_flow) config.traffic.flows = 1;
+
+  const Metrics metrics = run_experiment(config);
+
+  if (csv) {
+    if (csv_header) std::printf("%s\n", metrics_csv_header().c_str());
+    std::printf("%s\n", metrics_csv_row(metrics).c_str());
+    return 0;
+  }
+
+  std::printf("pattern %s, flows %d, stack %s%s\n",
+              std::string(to_string(config.traffic.pattern)).c_str(),
+              config.traffic.flows, config.stack.label().c_str(),
+              config.loss_rate > 0 ? " (lossy)" : "");
+  std::printf("  total throughput:       %8.1f Gbps\n", metrics.total_gbps);
+  std::printf("  throughput-per-core:    %8.1f Gbps\n",
+              metrics.throughput_per_core_gbps);
+  std::printf("  sender / receiver CPU:  %8.2f / %.2f cores\n",
+              metrics.sender_cores_used, metrics.receiver_cores_used);
+  std::printf("  rx copy miss rate:      %8.1f %%\n",
+              metrics.rx_copy_miss_rate * 100);
+  std::printf("  napi->copy avg / p99:   %8.1f / %.1f us\n",
+              static_cast<double>(metrics.napi_to_copy_avg) / 1000,
+              static_cast<double>(metrics.napi_to_copy_p99) / 1000);
+  if (metrics.rpc_transactions > 0) {
+    std::printf("  rpc transactions/s:     %8.0f\n",
+                metrics.rpc_transactions_per_sec);
+  }
+  if (metrics.retransmits > 0) {
+    std::printf("  retransmits:            %8llu\n",
+                static_cast<unsigned long long>(metrics.retransmits));
+  }
+  if (!metrics.trace.empty()) {
+    print_section("flight recorder (newest events)");
+    std::printf("time_ns,kind,host,flow,a,b\n");
+    for (const TraceRecord& record : metrics.trace) {
+      std::printf("%lld,%s,%d,%d,%lld,%lld\n",
+                  static_cast<long long>(record.at),
+                  std::string(to_string(record.kind)).c_str(), record.host,
+                  record.flow, static_cast<long long>(record.a),
+                  static_cast<long long>(record.b));
+    }
+  }
+  if (breakdown) {
+    print_section("sender CPU breakdown");
+    Table snd(breakdown_headers());
+    snd.add_row(breakdown_cells(metrics.sender_cycles));
+    snd.print();
+    print_section("receiver CPU breakdown");
+    Table rcv(breakdown_headers());
+    rcv.add_row(breakdown_cells(metrics.receiver_cycles));
+    rcv.print();
+  }
+  return 0;
+}
