@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_app_aware_sched.dir/ext_app_aware_sched.cpp.o"
+  "CMakeFiles/ext_app_aware_sched.dir/ext_app_aware_sched.cpp.o.d"
+  "ext_app_aware_sched"
+  "ext_app_aware_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_app_aware_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

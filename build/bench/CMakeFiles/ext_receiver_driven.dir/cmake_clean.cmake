@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_receiver_driven.dir/ext_receiver_driven.cpp.o"
+  "CMakeFiles/ext_receiver_driven.dir/ext_receiver_driven.cpp.o.d"
+  "ext_receiver_driven"
+  "ext_receiver_driven.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_receiver_driven.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

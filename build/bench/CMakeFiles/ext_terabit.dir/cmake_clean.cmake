@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_terabit.dir/ext_terabit.cpp.o"
+  "CMakeFiles/ext_terabit.dir/ext_terabit.cpp.o.d"
+  "ext_terabit"
+  "ext_terabit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_terabit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_zero_copy.dir/ext_zero_copy.cpp.o"
+  "CMakeFiles/ext_zero_copy.dir/ext_zero_copy.cpp.o.d"
+  "ext_zero_copy"
+  "ext_zero_copy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_zero_copy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_single_flow.dir/fig03_single_flow.cpp.o"
+  "CMakeFiles/fig03_single_flow.dir/fig03_single_flow.cpp.o.d"
+  "fig03_single_flow"
+  "fig03_single_flow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_single_flow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03e_cache_miss.dir/fig03e_cache_miss.cpp.o"
+  "CMakeFiles/fig03e_cache_miss.dir/fig03e_cache_miss.cpp.o.d"
+  "fig03e_cache_miss"
+  "fig03e_cache_miss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03e_cache_miss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03e_cache_miss.
+# This may be replaced when dependencies are built.

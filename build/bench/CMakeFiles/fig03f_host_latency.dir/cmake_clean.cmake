@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03f_host_latency.dir/fig03f_host_latency.cpp.o"
+  "CMakeFiles/fig03f_host_latency.dir/fig03f_host_latency.cpp.o.d"
+  "fig03f_host_latency"
+  "fig03f_host_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03f_host_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_numa.dir/fig04_numa.cpp.o"
+  "CMakeFiles/fig04_numa.dir/fig04_numa.cpp.o.d"
+  "fig04_numa"
+  "fig04_numa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_numa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

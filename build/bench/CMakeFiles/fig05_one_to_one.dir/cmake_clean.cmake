@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_one_to_one.dir/fig05_one_to_one.cpp.o"
+  "CMakeFiles/fig05_one_to_one.dir/fig05_one_to_one.cpp.o.d"
+  "fig05_one_to_one"
+  "fig05_one_to_one.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_one_to_one.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig05_one_to_one.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_one_to_one.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_incast.dir/fig06_incast.cpp.o"
+  "CMakeFiles/fig06_incast.dir/fig06_incast.cpp.o.d"
+  "fig06_incast"
+  "fig06_incast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_incast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

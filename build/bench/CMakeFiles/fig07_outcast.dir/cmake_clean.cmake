@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_outcast.dir/fig07_outcast.cpp.o"
+  "CMakeFiles/fig07_outcast.dir/fig07_outcast.cpp.o.d"
+  "fig07_outcast"
+  "fig07_outcast.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_outcast.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

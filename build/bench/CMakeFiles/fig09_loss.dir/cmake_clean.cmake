@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_loss.dir/fig09_loss.cpp.o"
+  "CMakeFiles/fig09_loss.dir/fig09_loss.cpp.o.d"
+  "fig09_loss"
+  "fig09_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

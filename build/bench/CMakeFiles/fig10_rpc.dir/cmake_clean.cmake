@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_rpc.dir/fig10_rpc.cpp.o"
+  "CMakeFiles/fig10_rpc.dir/fig10_rpc.cpp.o.d"
+  "fig10_rpc"
+  "fig10_rpc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_rpc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

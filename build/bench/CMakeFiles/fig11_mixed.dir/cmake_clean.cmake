@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mixed.dir/fig11_mixed.cpp.o"
+  "CMakeFiles/fig11_mixed.dir/fig11_mixed.cpp.o.d"
+  "fig11_mixed"
+  "fig11_mixed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mixed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_dca_iommu.dir/fig12_dca_iommu.cpp.o"
+  "CMakeFiles/fig12_dca_iommu.dir/fig12_dca_iommu.cpp.o.d"
+  "fig12_dca_iommu"
+  "fig12_dca_iommu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_dca_iommu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cc.dir/fig13_cc.cpp.o"
+  "CMakeFiles/fig13_cc.dir/fig13_cc.cpp.o.d"
+  "fig13_cc"
+  "fig13_cc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

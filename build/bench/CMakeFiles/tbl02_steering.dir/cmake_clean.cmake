@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tbl02_steering.dir/tbl02_steering.cpp.o"
+  "CMakeFiles/tbl02_steering.dir/tbl02_steering.cpp.o.d"
+  "tbl02_steering"
+  "tbl02_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tbl02_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congestion_lab.dir/congestion_lab.cpp.o"
+  "CMakeFiles/congestion_lab.dir/congestion_lab.cpp.o.d"
+  "congestion_lab"
+  "congestion_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congestion_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

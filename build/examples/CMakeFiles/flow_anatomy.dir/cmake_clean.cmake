@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flow_anatomy.dir/flow_anatomy.cpp.o"
+  "CMakeFiles/flow_anatomy.dir/flow_anatomy.cpp.o.d"
+  "flow_anatomy"
+  "flow_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flow_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stack_tuning.dir/stack_tuning.cpp.o"
+  "CMakeFiles/stack_tuning.dir/stack_tuning.cpp.o.d"
+  "stack_tuning"
+  "stack_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stack_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/long_flow_app.cpp" "src/CMakeFiles/hostsim.dir/app/long_flow_app.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/app/long_flow_app.cpp.o.d"
+  "/root/repo/src/app/rpc_app.cpp" "src/CMakeFiles/hostsim.dir/app/rpc_app.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/app/rpc_app.cpp.o.d"
+  "/root/repo/src/core/config.cpp" "src/CMakeFiles/hostsim.dir/core/config.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/core/config.cpp.o.d"
+  "/root/repo/src/core/experiment.cpp" "src/CMakeFiles/hostsim.dir/core/experiment.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/core/experiment.cpp.o.d"
+  "/root/repo/src/core/host.cpp" "src/CMakeFiles/hostsim.dir/core/host.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/core/host.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/hostsim.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/paper.cpp" "src/CMakeFiles/hostsim.dir/core/paper.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/core/paper.cpp.o.d"
+  "/root/repo/src/core/patterns.cpp" "src/CMakeFiles/hostsim.dir/core/patterns.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/core/patterns.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/CMakeFiles/hostsim.dir/core/report.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/core/report.cpp.o.d"
+  "/root/repo/src/core/testbed.cpp" "src/CMakeFiles/hostsim.dir/core/testbed.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/core/testbed.cpp.o.d"
+  "/root/repo/src/cpu/core.cpp" "src/CMakeFiles/hostsim.dir/cpu/core.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/cpu/core.cpp.o.d"
+  "/root/repo/src/cpu/cost_model.cpp" "src/CMakeFiles/hostsim.dir/cpu/cost_model.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/cpu/cost_model.cpp.o.d"
+  "/root/repo/src/cpu/cycle_account.cpp" "src/CMakeFiles/hostsim.dir/cpu/cycle_account.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/cpu/cycle_account.cpp.o.d"
+  "/root/repo/src/cpu/scheduler.cpp" "src/CMakeFiles/hostsim.dir/cpu/scheduler.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/cpu/scheduler.cpp.o.d"
+  "/root/repo/src/hw/llc_model.cpp" "src/CMakeFiles/hostsim.dir/hw/llc_model.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/hw/llc_model.cpp.o.d"
+  "/root/repo/src/hw/nic.cpp" "src/CMakeFiles/hostsim.dir/hw/nic.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/hw/nic.cpp.o.d"
+  "/root/repo/src/hw/numa_topology.cpp" "src/CMakeFiles/hostsim.dir/hw/numa_topology.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/hw/numa_topology.cpp.o.d"
+  "/root/repo/src/hw/wire.cpp" "src/CMakeFiles/hostsim.dir/hw/wire.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/hw/wire.cpp.o.d"
+  "/root/repo/src/mem/iommu.cpp" "src/CMakeFiles/hostsim.dir/mem/iommu.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/mem/iommu.cpp.o.d"
+  "/root/repo/src/mem/page_allocator.cpp" "src/CMakeFiles/hostsim.dir/mem/page_allocator.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/mem/page_allocator.cpp.o.d"
+  "/root/repo/src/mem/page_pool.cpp" "src/CMakeFiles/hostsim.dir/mem/page_pool.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/mem/page_pool.cpp.o.d"
+  "/root/repo/src/net/cc/bbr.cpp" "src/CMakeFiles/hostsim.dir/net/cc/bbr.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/net/cc/bbr.cpp.o.d"
+  "/root/repo/src/net/cc/congestion_control.cpp" "src/CMakeFiles/hostsim.dir/net/cc/congestion_control.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/net/cc/congestion_control.cpp.o.d"
+  "/root/repo/src/net/cc/cubic.cpp" "src/CMakeFiles/hostsim.dir/net/cc/cubic.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/net/cc/cubic.cpp.o.d"
+  "/root/repo/src/net/cc/dctcp.cpp" "src/CMakeFiles/hostsim.dir/net/cc/dctcp.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/net/cc/dctcp.cpp.o.d"
+  "/root/repo/src/net/grant_scheduler.cpp" "src/CMakeFiles/hostsim.dir/net/grant_scheduler.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/net/grant_scheduler.cpp.o.d"
+  "/root/repo/src/net/gro.cpp" "src/CMakeFiles/hostsim.dir/net/gro.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/net/gro.cpp.o.d"
+  "/root/repo/src/net/gso.cpp" "src/CMakeFiles/hostsim.dir/net/gso.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/net/gso.cpp.o.d"
+  "/root/repo/src/net/skb.cpp" "src/CMakeFiles/hostsim.dir/net/skb.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/net/skb.cpp.o.d"
+  "/root/repo/src/net/stack.cpp" "src/CMakeFiles/hostsim.dir/net/stack.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/net/stack.cpp.o.d"
+  "/root/repo/src/net/tcp_socket.cpp" "src/CMakeFiles/hostsim.dir/net/tcp_socket.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/net/tcp_socket.cpp.o.d"
+  "/root/repo/src/sim/event_loop.cpp" "src/CMakeFiles/hostsim.dir/sim/event_loop.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/sim/event_loop.cpp.o.d"
+  "/root/repo/src/sim/rng.cpp" "src/CMakeFiles/hostsim.dir/sim/rng.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/sim/rng.cpp.o.d"
+  "/root/repo/src/sim/stats.cpp" "src/CMakeFiles/hostsim.dir/sim/stats.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/sim/stats.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/hostsim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/hostsim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

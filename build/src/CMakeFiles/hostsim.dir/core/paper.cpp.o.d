@@ -1,0 +1,3 @@
+src/CMakeFiles/hostsim.dir/core/paper.cpp.o: \
+ /root/repo/src/core/paper.cpp /usr/include/stdc-predef.h \
+ /root/repo/src/core/paper.h

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app/long_flow_app_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/app/long_flow_app_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/app/long_flow_app_test.cpp.o.d"
+  "/root/repo/tests/app/rpc_app_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/app/rpc_app_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/app/rpc_app_test.cpp.o.d"
+  "/root/repo/tests/core/config_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/core/config_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/core/config_test.cpp.o.d"
+  "/root/repo/tests/core/determinism_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/core/determinism_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/core/determinism_test.cpp.o.d"
+  "/root/repo/tests/core/experiment_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/core/experiment_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/core/experiment_test.cpp.o.d"
+  "/root/repo/tests/core/extensions_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/core/extensions_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/core/extensions_test.cpp.o.d"
+  "/root/repo/tests/core/host_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/core/host_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/core/host_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/paper_calibration_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/core/paper_calibration_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/core/paper_calibration_test.cpp.o.d"
+  "/root/repo/tests/core/patterns_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/core/patterns_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/core/patterns_test.cpp.o.d"
+  "/root/repo/tests/core/report_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/core/report_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/core/report_test.cpp.o.d"
+  "/root/repo/tests/cpu/cold_start_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/cpu/cold_start_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/cpu/cold_start_test.cpp.o.d"
+  "/root/repo/tests/cpu/core_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/cpu/core_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/cpu/core_test.cpp.o.d"
+  "/root/repo/tests/cpu/scheduler_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/cpu/scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/cpu/scheduler_test.cpp.o.d"
+  "/root/repo/tests/hw/llc_model_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/hw/llc_model_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/hw/llc_model_test.cpp.o.d"
+  "/root/repo/tests/hw/nic_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/hw/nic_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/hw/nic_test.cpp.o.d"
+  "/root/repo/tests/hw/numa_topology_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/hw/numa_topology_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/hw/numa_topology_test.cpp.o.d"
+  "/root/repo/tests/hw/wire_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/hw/wire_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/hw/wire_test.cpp.o.d"
+  "/root/repo/tests/mem/iommu_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/mem/iommu_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/mem/iommu_test.cpp.o.d"
+  "/root/repo/tests/mem/page_allocator_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/mem/page_allocator_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/mem/page_allocator_test.cpp.o.d"
+  "/root/repo/tests/mem/page_pool_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/mem/page_pool_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/mem/page_pool_test.cpp.o.d"
+  "/root/repo/tests/net/congestion_control_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/net/congestion_control_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/net/congestion_control_test.cpp.o.d"
+  "/root/repo/tests/net/ecn_dctcp_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/net/ecn_dctcp_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/net/ecn_dctcp_test.cpp.o.d"
+  "/root/repo/tests/net/grant_scheduler_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/net/grant_scheduler_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/net/grant_scheduler_test.cpp.o.d"
+  "/root/repo/tests/net/gro_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/net/gro_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/net/gro_test.cpp.o.d"
+  "/root/repo/tests/net/gso_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/net/gso_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/net/gso_test.cpp.o.d"
+  "/root/repo/tests/net/socket_property_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/net/socket_property_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/net/socket_property_test.cpp.o.d"
+  "/root/repo/tests/net/stack_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/net/stack_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/net/stack_test.cpp.o.d"
+  "/root/repo/tests/net/tcp_socket_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/net/tcp_socket_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/net/tcp_socket_test.cpp.o.d"
+  "/root/repo/tests/sim/event_loop_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/sim/event_loop_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/sim/event_loop_test.cpp.o.d"
+  "/root/repo/tests/sim/rng_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/sim/rng_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/sim/rng_test.cpp.o.d"
+  "/root/repo/tests/sim/stats_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/sim/stats_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/sim/stats_test.cpp.o.d"
+  "/root/repo/tests/sim/trace_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/sim/trace_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/sim/trace_test.cpp.o.d"
+  "/root/repo/tests/sim/units_test.cpp" "tests/CMakeFiles/hostsim_tests.dir/sim/units_test.cpp.o" "gcc" "tests/CMakeFiles/hostsim_tests.dir/sim/units_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hostsim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hostsim_cli.dir/hostsim_cli.cpp.o"
+  "CMakeFiles/hostsim_cli.dir/hostsim_cli.cpp.o.d"
+  "hostsim_cli"
+  "hostsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hostsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
