@@ -38,6 +38,7 @@ int main() {
                    std::to_string(metrics.dup_acks_received)});
   }
   table.print();
+  for (const Metrics& metrics : results) print_fault_summary(metrics);
   print_paper_line(
       "throughput-per-core drop at 1.5e-2",
       (1.0 - results.back().throughput_per_core_gbps /

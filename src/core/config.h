@@ -13,6 +13,8 @@
 #include "net/cc/congestion_control.h"
 #include "net/grant_scheduler.h"
 #include "net/gso.h"
+#include "sim/fault_injector.h"
+#include "sim/invariant_checker.h"
 #include "sim/units.h"
 
 namespace hostsim {
@@ -134,6 +136,19 @@ struct ExperimentConfig {
   Nanos warmup = 10 * kMillisecond;
   Nanos duration = 25 * kMillisecond;
   std::uint64_t seed = 1;
+
+  /// Fault-injection schedule (bursty loss, flaps, corruption, ring
+  /// stalls, pool pressure).  An empty plan changes nothing: the
+  /// injector is only constructed when `faults.any()`, so fault-free
+  /// runs remain bit-identical to earlier versions for a given seed.
+  FaultPlan faults;
+  /// End-of-run invariant sweep (byte conservation, page-leak freedom,
+  /// RTO liveness, event-queue sanity).  Fails the run on violation.
+  bool check_invariants = true;
+  /// Stall/livelock watchdog; period 0 (default) leaves it off.  Beware
+  /// short periods under heavy loss: exponential RTO backoff makes
+  /// multi-millisecond silent windows legitimate.
+  WatchdogConfig watchdog;
 };
 
 }  // namespace hostsim

@@ -1,12 +1,14 @@
 #include "core/experiment.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <map>
 #include <vector>
 
 #include "core/patterns.h"
 #include "core/testbed.h"
 #include "sim/contract.h"
+#include "sim/invariant_checker.h"
 
 namespace hostsim {
 namespace {
@@ -76,6 +78,14 @@ Metrics Experiment::run() {
   Testbed testbed(config_);
   Workload workload = build_workload(testbed, config_.traffic);
   workload.start();
+
+  Watchdog watchdog(testbed.loop(), config_.watchdog);
+  if (config_.watchdog.enabled()) {
+    watchdog.set_progress_probe([&testbed] { return testbed.app_progress(); });
+    watchdog.set_activity_probe(
+        [&testbed] { return testbed.transfers_outstanding(); });
+    watchdog.arm(config_.warmup + config_.duration);
+  }
 
   testbed.loop().run_until(config_.warmup);
   const HostSnapshot sender_before = snapshot(testbed.sender());
@@ -188,6 +198,24 @@ Metrics Experiment::run() {
               [](const TraceRecord& a, const TraceRecord& b) {
                 return a.at < b.at;
               });
+  }
+
+  if (testbed.faults() != nullptr) {
+    metrics.faults = testbed.faults()->counters();
+  }
+  metrics.faults.watchdog_trips += watchdog.trips();
+  metrics.rx_csum_drops = rx_stats.rx_csum_drops + tx_stats.rx_csum_drops;
+
+  if (config_.check_invariants) {
+    InvariantChecker checker;
+    testbed.register_invariants(checker);
+    const auto violations = checker.run();
+    metrics.invariant_checks = checker.num_checks();
+    metrics.invariant_violations = violations.size();
+    if (!violations.empty()) {
+      std::fputs(InvariantChecker::format(violations).c_str(), stderr);
+      ensure(violations.empty(), "end-of-run invariant sweep failed");
+    }
   }
   return metrics;
 }

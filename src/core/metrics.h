@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cpu/cycle_account.h"
+#include "sim/fault_injector.h"
 #include "sim/trace.h"
 #include "sim/units.h"
 
@@ -55,6 +56,18 @@ struct Metrics {
   std::uint64_t dup_acks_received = 0;
   std::uint64_t acks_received = 0;
   std::uint64_t wire_drops = 0;
+
+  // Fault injection (whole-run injector totals — flap/stall windows are
+  // scheduled in absolute time, so they are not confined to the
+  // measurement window like the per-host statistics above).
+  FaultCounters faults;
+  /// Corrupt frames dropped at checksum validation, both hosts, within
+  /// the measurement window.
+  std::uint64_t rx_csum_drops = 0;
+  /// End-of-run invariant sweep: checks registered / violations found
+  /// (a violation also fails the run via ensure()).
+  std::uint64_t invariant_checks = 0;
+  std::uint64_t invariant_violations = 0;
 
   // Memory subsystem.
   double sender_pageset_miss = 0.0;

@@ -82,7 +82,9 @@ std::string metrics_csv_header() {
       "tput_per_receiver_core_gbps,sender_cores,receiver_cores,"
       "rx_miss_rate,tx_miss_rate,napi_to_copy_avg_ns,napi_to_copy_p99_ns,"
       "mean_skb_bytes,skb_64kb_fraction,retransmits,dup_acks,wire_drops,"
-      "rpc_tps";
+      "rpc_tps,fault_random_drops,fault_bursty_drops,fault_flap_drops,"
+      "fault_corrupt_frames,fault_flaps,fault_ring_stall_drops,"
+      "fault_pool_denials,watchdog_trips,rx_csum_drops";
   for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
     header += ",snd_" + std::string(to_string(static_cast<CpuCategory>(i)));
   }
@@ -114,6 +116,15 @@ std::string metrics_csv_row(const Metrics& m) {
   add(std::to_string(m.dup_acks_received));
   add(std::to_string(m.wire_drops));
   add(Table::num(m.rpc_transactions_per_sec, 1));
+  add(std::to_string(m.faults.random_drops));
+  add(std::to_string(m.faults.bursty_drops));
+  add(std::to_string(m.faults.flap_drops));
+  add(std::to_string(m.faults.corrupt_frames));
+  add(std::to_string(m.faults.flaps));
+  add(std::to_string(m.faults.ring_stall_drops));
+  add(std::to_string(m.faults.pool_denials));
+  add(std::to_string(m.faults.watchdog_trips));
+  add(std::to_string(m.rx_csum_drops));
   for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
     add(Table::num(m.sender_fraction(static_cast<CpuCategory>(i)), 4));
   }
@@ -121,6 +132,28 @@ std::string metrics_csv_row(const Metrics& m) {
     add(Table::num(m.receiver_fraction(static_cast<CpuCategory>(i)), 4));
   }
   return row;
+}
+
+void print_fault_summary(const Metrics& metrics) {
+  const FaultCounters& f = metrics.faults;
+  if (f.wire_faults() + f.flaps + f.ring_stall_drops + f.pool_denials +
+          f.watchdog_trips + metrics.rx_csum_drops ==
+      0) {
+    return;
+  }
+  std::printf("fault injection: %llu bursty + %llu random wire drops, "
+              "%llu flap(s) eating %llu frames, %llu corrupt frames "
+              "(%llu dropped at checksum), %llu ring-stall drops, "
+              "%llu pool denials, %llu watchdog trip(s)\n",
+              static_cast<unsigned long long>(f.bursty_drops),
+              static_cast<unsigned long long>(f.random_drops),
+              static_cast<unsigned long long>(f.flaps),
+              static_cast<unsigned long long>(f.flap_drops),
+              static_cast<unsigned long long>(f.corrupt_frames),
+              static_cast<unsigned long long>(metrics.rx_csum_drops),
+              static_cast<unsigned long long>(f.ring_stall_drops),
+              static_cast<unsigned long long>(f.pool_denials),
+              static_cast<unsigned long long>(f.watchdog_trips));
 }
 
 }  // namespace hostsim

@@ -46,6 +46,10 @@ void print_paper_line(const std::string& what, double measured,
 std::string metrics_csv_header();
 std::string metrics_csv_row(const Metrics& metrics);
 
+/// Prints the fault-injection counters of a run (a no-op when the run
+/// experienced no injected faults or corruption drops).
+void print_fault_summary(const Metrics& metrics);
+
 }  // namespace hostsim
 
 #endif  // HOSTSIM_CORE_REPORT_H

@@ -1,6 +1,90 @@
 #include "core/testbed.h"
 
+#include <string>
+#include <unordered_set>
+
 namespace hostsim {
+namespace {
+
+/// One direction of a flow: S sends, R receives.
+std::optional<std::string> check_flow_bytes(const std::string& label,
+                                            const TcpSocket& s,
+                                            const TcpSocket& r) {
+  const std::int64_t accounted =
+      static_cast<std::int64_t>(r.delivered_to_app() + r.rq_bytes());
+  if (accounted != r.rcv_nxt()) {
+    return label + ": delivered_to_app (" +
+           std::to_string(r.delivered_to_app()) + ") + rq_bytes (" +
+           std::to_string(r.rq_bytes()) + ") != rcv_nxt (" +
+           std::to_string(r.rcv_nxt()) + ") — bytes created or destroyed";
+  }
+  if (s.snd_una() > r.rcv_nxt()) {
+    return label + ": snd_una (" + std::to_string(s.snd_una()) +
+           ") > receiver rcv_nxt (" + std::to_string(r.rcv_nxt()) +
+           ") — data acknowledged that was never received";
+  }
+  if (r.rcv_nxt() > s.snd_buf_end()) {
+    return label + ": receiver rcv_nxt (" + std::to_string(r.rcv_nxt()) +
+           ") > sender snd_buf_end (" + std::to_string(s.snd_buf_end()) +
+           ") — receiver holds bytes the application never wrote";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_host_pages(Host& host) {
+  std::unordered_set<const Page*> held;
+  host.nic().collect_held_pages(held);
+  host.stack().collect_held_pages(held);
+
+  const std::vector<const Page*> live = host.allocator().live_page_list();
+  std::unordered_set<const Page*> live_set(live.begin(), live.end());
+
+  std::string detail;
+  int leaked = 0;
+  for (const Page* page : live) {
+    if (held.find(page) == held.end()) {
+      ++leaked;
+      if (leaked <= 8) {
+        detail += (detail.empty() ? "page id " : ", ") +
+                  std::to_string(page->id) + " (refs=" +
+                  std::to_string(page->refs) + ")";
+      }
+    }
+  }
+  for (const Page* page : held) {
+    if (live_set.find(page) == live_set.end()) {
+      return host.name() + ": holds a reference to freed page id " +
+             std::to_string(page->id) + " — use after free";
+    }
+  }
+  if (leaked > 0) {
+    return host.name() + ": " + std::to_string(leaked) +
+           " leaked page(s): " + detail + (leaked > 8 ? ", ..." : "") +
+           " (live=" + std::to_string(live.size()) +
+           ", held=" + std::to_string(held.size()) + ")";
+  }
+  return std::nullopt;
+}
+
+std::optional<std::string> check_host_rto(Host& host) {
+  for (int flow : host.stack().flow_ids()) {
+    const TcpSocket& socket = host.stack().socket(flow);
+    if (socket.snd_una() >= socket.snd_buf_end()) continue;  // all acked
+    if (socket.rto_armed() || socket.rto_task_pending() ||
+        socket.pacer_armed()) {
+      continue;
+    }
+    return host.name() + " flow " + std::to_string(flow) +
+           ": outstanding data [snd_una " + std::to_string(socket.snd_una()) +
+           ", snd_buf_end " + std::to_string(socket.snd_buf_end()) +
+           ") with no RTO timer armed" +
+           (socket.in_recovery() ? " (stuck in recovery)" : "") +
+           " — the connection can never make progress again";
+  }
+  return std::nullopt;
+}
+
+}  // namespace
 
 Testbed::Testbed(const ExperimentConfig& config) : config_(config) {
   loop_ = std::make_unique<EventLoop>(config.seed);
@@ -14,6 +98,74 @@ Testbed::Testbed(const ExperimentConfig& config) : config_(config) {
                                    "sender");
   receiver_ = std::make_unique<Host>(*loop_, config, *wire_, Wire::Side::b,
                                      "receiver");
+  if (config.faults.any()) {
+    // Constructed after the wire and hosts so the injector's RNG fork
+    // leaves their stream assignments — and therefore every fault-free
+    // run — untouched.
+    faults_ = std::make_unique<FaultInjector>(*loop_, config.faults);
+    wire_->set_fault_injector(faults_.get());
+    sender_->nic().set_fault_injector(faults_.get());
+    receiver_->nic().set_fault_injector(faults_.get());
+  }
+}
+
+std::uint64_t Testbed::app_progress() const {
+  return static_cast<std::uint64_t>(
+      sender_->stack().total_delivered_to_app() +
+      receiver_->stack().total_delivered_to_app());
+}
+
+bool Testbed::transfers_outstanding() const {
+  for (Host* host : {sender_.get(), receiver_.get()}) {
+    for (int flow : host->stack().flow_ids()) {
+      const TcpSocket& socket = host->stack().socket(flow);
+      if (socket.snd_una() < socket.snd_buf_end()) return true;
+    }
+  }
+  return false;
+}
+
+void Testbed::register_invariants(InvariantChecker& checker) {
+  checker.add_check("byte-conservation", [this]() -> std::optional<std::string> {
+    for (int flow : receiver_->stack().flow_ids()) {
+      const TcpSocket& at_sender = sender_->stack().socket(flow);
+      const TcpSocket& at_receiver = receiver_->stack().socket(flow);
+      const std::string flow_label = "flow " + std::to_string(flow);
+      if (auto bad = check_flow_bytes(flow_label + " sender->receiver",
+                                      at_sender, at_receiver)) {
+        return bad;
+      }
+      if (auto bad = check_flow_bytes(flow_label + " receiver->sender",
+                                      at_receiver, at_sender)) {
+        return bad;
+      }
+    }
+    return std::nullopt;
+  });
+
+  checker.add_check("page-leak", [this]() -> std::optional<std::string> {
+    if (auto bad = check_host_pages(*sender_)) return bad;
+    return check_host_pages(*receiver_);
+  });
+
+  checker.add_check("rto-liveness", [this]() -> std::optional<std::string> {
+    if (auto bad = check_host_rto(*sender_)) return bad;
+    return check_host_rto(*receiver_);
+  });
+
+  checker.add_check("event-drain", [this]() -> std::optional<std::string> {
+    // Generous bound: lazily-cancelled timers (one tombstone per
+    // cancel+rearm) legitimately inflate the queue, but a component
+    // that schedules without bound dwarfs anything cancellation leaves.
+    const std::size_t cap =
+        100'000 + static_cast<std::size_t>(loop_->executed() / 2);
+    if (loop_->pending() > cap) {
+      return "event queue holds " + std::to_string(loop_->pending()) +
+             " events after " + std::to_string(loop_->executed()) +
+             " executed — something schedules without bound";
+    }
+    return std::nullopt;
+  });
 }
 
 Testbed::FlowEndpoints Testbed::make_flow(int sender_core, int receiver_core,

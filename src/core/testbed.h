@@ -11,6 +11,8 @@
 #include "hw/wire.h"
 #include "net/tcp_socket.h"
 #include "sim/event_loop.h"
+#include "sim/fault_injector.h"
+#include "sim/invariant_checker.h"
 
 namespace hostsim {
 
@@ -26,6 +28,24 @@ class Testbed {
   Host& receiver() { return *receiver_; }
   Wire& wire() { return *wire_; }
   const ExperimentConfig& config() const { return config_; }
+
+  /// The run's fault injector; nullptr when the plan is empty (the
+  /// injector is only constructed — and its RNG stream only forked —
+  /// when faults are configured, preserving fault-free determinism).
+  FaultInjector* faults() { return faults_.get(); }
+
+  /// Registers the testbed's end-of-run invariants on `checker`:
+  /// per-flow byte conservation, per-host page-leak freedom (naming
+  /// leaked page ids), sender RTO liveness, and event-queue sanity.
+  void register_invariants(InvariantChecker& checker);
+
+  /// Monotone application-progress counter (bytes delivered to apps on
+  /// both hosts); the natural Watchdog progress probe.
+  std::uint64_t app_progress() const;
+
+  /// True when any socket still has unacknowledged or unsent buffered
+  /// data; the natural Watchdog activity probe.
+  bool transfers_outstanding() const;
 
   /// Endpoints of one established flow.
   struct FlowEndpoints {
@@ -49,6 +69,7 @@ class Testbed {
   std::unique_ptr<Wire> wire_;
   std::unique_ptr<Host> sender_;
   std::unique_ptr<Host> receiver_;
+  std::unique_ptr<FaultInjector> faults_;
   int next_flow_ = 0;
   int next_remote_irq_ = 0;
 };

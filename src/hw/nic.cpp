@@ -46,6 +46,11 @@ Nic::Nic(EventLoop& loop, const Config& config, const NumaTopology& topo,
   wire_->attach(side_, [this](Frame frame) { receive(std::move(frame)); });
 }
 
+void Nic::set_fault_injector(FaultInjector* faults) {
+  faults_ = faults;
+  for (RxQueue& queue : queues_) queue.pool->set_fault_injector(faults);
+}
+
 void Nic::steer_flow(int flow, int queue) {
   require(queue >= 0 && queue < static_cast<int>(queues_.size()),
           "steering to nonexistent queue");
@@ -63,6 +68,12 @@ void Nic::replenish(Core& core, RxQueue& queue) {
          target) {
     RxDescriptor descriptor;
     descriptor.fragments = queue.pool->alloc_span(core, descriptor_bytes());
+    if (descriptor.fragments.empty()) {
+      // Page-pool pressure denied the allocation: leave the ring short
+      // and retry on the next NAPI round, exactly like a failed
+      // GFP_ATOMIC refill in a real driver.
+      break;
+    }
     queue.posted.push_back(std::move(descriptor));
   }
 }
@@ -71,6 +82,13 @@ void Nic::receive(Frame frame) {
   ++rx_frames_;
   const int index = queue_for_flow(frame.flow);
   RxQueue& queue = queues_[static_cast<std::size_t>(index)];
+  if (faults_ != nullptr && faults_->ring_stalled(index)) {
+    // Descriptor-fetch stall (PCIe backpressure): the queue cannot
+    // consume descriptors, so every arriving frame is dropped on the
+    // floor — ACKs included.
+    faults_->note_ring_stall_drop();
+    return;
+  }
   std::vector<Fragment> fragments;
   if (frame.payload > 0) {
     if (queue.posted.empty()) {
@@ -160,6 +178,8 @@ std::optional<Nic::PolledFrame> Nic::poll_one(Core& core, int index) {
           std::make_move_iterator(next.fragments.end()));
       frame.payload += next.frame.payload;
       frame.ecn = frame.ecn || next.frame.ecn;
+      // One bad frame poisons the merged train's checksum.
+      frame.corrupt = frame.corrupt || next.frame.corrupt;
       frame.sent_at = next.frame.sent_at;
       ++polled.segments;
       queue.backlog.pop_front();
@@ -191,6 +211,22 @@ std::size_t Nic::backlog(int index) const {
 int Nic::posted_descriptors(int index) const {
   return static_cast<int>(
       queues_.at(static_cast<std::size_t>(index)).posted.size());
+}
+
+void Nic::collect_held_pages(std::unordered_set<const Page*>& held) const {
+  for (const RxQueue& queue : queues_) {
+    for (const RxDescriptor& descriptor : queue.posted) {
+      for (const Fragment& fragment : descriptor.fragments) {
+        held.insert(fragment.page);
+      }
+    }
+    for (const BacklogEntry& entry : queue.backlog) {
+      for (const Fragment& fragment : entry.fragments) {
+        held.insert(fragment.page);
+      }
+    }
+    if (const Page* carving = queue.pool->current_page()) held.insert(carving);
+  }
 }
 
 void Nic::napi_complete(Core& core, int index) {

@@ -22,6 +22,7 @@
 #include <memory>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cpu/core.h"
@@ -31,6 +32,7 @@
 #include "mem/iommu.h"
 #include "mem/page_allocator.h"
 #include "mem/page_pool.h"
+#include "sim/fault_injector.h"
 
 namespace hostsim {
 
@@ -77,6 +79,10 @@ class Nic {
 
   void set_rx_handler(RxHandler handler) { rx_handler_ = std::move(handler); }
 
+  /// Attaches the run's fault injector (rx-ring stalls, page-pool
+  /// pressure); propagated to every queue's page pool.
+  void set_fault_injector(FaultInjector* faults);
+
   // --- Steering ----------------------------------------------------------
 
   /// Directs `flow`'s frames to queue `queue` (== the IRQ core id).
@@ -116,6 +122,11 @@ class Nic {
   std::uint64_t ring_drops() const { return ring_drops_; }
   std::uint64_t irqs() const { return irqs_; }
 
+  /// Adds every page the NIC currently holds a reference to (posted rx
+  /// descriptors, queue backlogs, pool carving pages) to `held`; used by
+  /// the end-of-run leak sweep.
+  void collect_held_pages(std::unordered_set<const Page*>& held) const;
+
  private:
   struct RxDescriptor {
     std::vector<Fragment> fragments;
@@ -151,6 +162,7 @@ class Nic {
   Iommu* iommu_;
   Wire* wire_;
   Wire::Side side_;
+  FaultInjector* faults_ = nullptr;
   Context softirq_{"softirq", /*kernel=*/true};
 
   std::vector<RxQueue> queues_;

@@ -37,6 +37,21 @@ void Wire::transmit(Side from, Frame frame) {
     frame.ecn = true;
     ++ecn_marked_;
   }
+  if (faults_ != nullptr) {
+    switch (faults_->on_frame(static_cast<int>(dir))) {
+      case FaultInjector::WireFault::none:
+        break;
+      case FaultInjector::WireFault::drop_random:
+      case FaultInjector::WireFault::drop_bursty:
+        ++dropped_;  // in-network loss, same as the Bernoulli path
+        return;
+      case FaultInjector::WireFault::drop_flap:
+        return;  // link down: not a switch drop, counted by the injector
+      case FaultInjector::WireFault::corrupt:
+        frame.corrupt = true;  // delivered; the receiver's checksum fails
+        break;
+    }
+  }
   if (config_.loss_rate > 0 && rng_.chance(config_.loss_rate)) {
     ++dropped_;
     return;

@@ -2,9 +2,11 @@
 // "switch" that drops (and can ECN-mark) frames.
 //
 // Each direction serializes frames at the configured line rate and
-// delivers them after the propagation delay.  Loss is Bernoulli
+// delivers them after the propagation delay.  Baseline loss is Bernoulli
 // per-frame, matching the paper's §3.6 methodology of a programmable
-// switch dropping packets at a configured rate.
+// switch dropping packets at a configured rate; an attached
+// FaultInjector generalizes this with Gilbert–Elliott bursty loss, link
+// flaps, and frame corruption.
 #ifndef HOSTSIM_HW_WIRE_H
 #define HOSTSIM_HW_WIRE_H
 
@@ -13,6 +15,7 @@
 #include <functional>
 
 #include "sim/event_loop.h"
+#include "sim/fault_injector.h"
 #include "sim/rng.h"
 #include "sim/units.h"
 
@@ -34,6 +37,7 @@ struct Frame {
   Bytes window = 0;            ///< advertised receive window (ACK frames)
 
   bool ecn = false;      ///< CE mark (data) / ECE echo (ACKs)
+  bool corrupt = false;  ///< delivered, but the receiver's checksum fails
   Nanos echo_ts = -1;    ///< echoed send timestamp, for RTT estimation
   Nanos sent_at = 0;
 
@@ -57,6 +61,10 @@ class Wire {
   /// Registers the frame sink for one side (its NIC's receive path).
   void attach(Side side, std::function<void(Frame)> deliver);
 
+  /// Attaches the run's fault injector (bursty loss, flaps, corruption).
+  /// The baseline Bernoulli `loss_rate` stays active independently.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
   /// Queues a frame for transmission from `from` toward the other side.
   void transmit(Side from, Frame frame);
 
@@ -74,6 +82,7 @@ class Wire {
   std::array<std::function<void(Frame)>, 2> sinks_{};
   std::array<Nanos, 2> busy_until_{};
   Rng rng_;
+  FaultInjector* faults_ = nullptr;
 
   std::uint64_t delivered_ = 0;
   std::uint64_t dropped_ = 0;

@@ -53,6 +53,14 @@ Page* PageAllocator::alloc(Core& core) {
   return page;
 }
 
+std::vector<const Page*> PageAllocator::live_page_list() const {
+  std::vector<const Page*> live;
+  for (const auto& page : arena_) {
+    if (page->refs > 0) live.push_back(page.get());
+  }
+  return live;
+}
+
 void PageAllocator::release(Core& core, Page* page) {
   require(page != nullptr && page->refs > 0, "release of unreferenced page");
   if (--page->refs == 0) free(core, page);

@@ -57,6 +57,9 @@ class PageAllocator {
   /// Pages currently live (allocated and not yet freed); for tests.
   std::int64_t live_pages() const { return live_pages_; }
 
+  /// Every live page, for leak diagnostics (slow: walks the arena).
+  std::vector<const Page*> live_page_list() const;
+
  private:
   int num_cores_;
   std::vector<std::vector<Page*>> pagesets_;  // per core, LIFO (cache-warm)

@@ -12,6 +12,14 @@ std::vector<Fragment> PagePool::alloc_span(Core& core, Bytes bytes) {
   Bytes remaining = bytes;
   while (remaining > 0) {
     if (current_ == nullptr || used_in_current_ >= kPageBytes) {
+      if (faults_ != nullptr && !faults_->pool_alloc_allowed()) {
+        // Allocation denied (memory-pressure window).  Roll back the
+        // partially carved span so the caller sees a clean failure.
+        for (const Fragment& fragment : fragments) {
+          allocator_->release(core, fragment.page);
+        }
+        return {};
+      }
       // The pool drops its own reference to the exhausted page; frames
       // carved from it keep it alive via their fragment references.
       if (current_ != nullptr) allocator_->release(core, current_);

@@ -14,6 +14,7 @@
 #include "mem/iommu.h"
 #include "mem/page.h"
 #include "mem/page_allocator.h"
+#include "sim/fault_injector.h"
 
 namespace hostsim {
 
@@ -25,11 +26,23 @@ class PagePool {
   /// Carves a packed span of `bytes` for one rx descriptor, allocating
   /// new pages (and IOMMU-mapping them) as needed.  Each returned
   /// fragment holds one page reference.
+  ///
+  /// Returns an empty vector when the fault injector denies a needed
+  /// page allocation (pool-pressure window) — the caller must treat
+  /// this like a failed GFP_ATOMIC allocation and retry later.
   std::vector<Fragment> alloc_span(Core& core, Bytes bytes);
+
+  /// Attaches the run's fault injector (page-pool pressure windows).
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  /// Page the pool is currently carving from (nullptr when exhausted);
+  /// the pool holds one reference to it.  Used by the leak sweep.
+  const Page* current_page() const { return current_; }
 
  private:
   PageAllocator* allocator_;
   Iommu* iommu_;
+  FaultInjector* faults_ = nullptr;
   Page* current_ = nullptr;
   Bytes used_in_current_ = 0;
 };

@@ -24,7 +24,7 @@ std::unique_ptr<CongestionControl> make_congestion_control(CcAlgo algo,
     case CcAlgo::dctcp: return std::make_unique<DctcpCc>(mss);
     case CcAlgo::bbr: return std::make_unique<BbrCc>(mss);
   }
-  contract_failure("unknown congestion control algorithm",
+  contract_failure("contract", "unknown congestion control algorithm",
                    std::source_location::current());
 }
 

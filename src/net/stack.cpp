@@ -96,12 +96,27 @@ Bytes Stack::total_accepted_from_app() const {
   return total;
 }
 
+void Stack::collect_held_pages(std::unordered_set<const Page*>& held) const {
+  for (const auto& [flow, socket] : sockets_) {
+    socket->collect_held_pages(held);
+  }
+  for (const auto& [id, skb] : requeue_park_) {
+    for (const Fragment& fragment : skb.fragments) held.insert(fragment.page);
+  }
+}
+
 void Stack::napi_poll(Core& core, int queue) {
   const CostModel& cost = core.cost();
   core.charge(CpuCategory::netdev, cost.napi_poll_overhead);
   Gro& gro = gros_.at(static_cast<std::size_t>(queue));
 
   auto deliver = [this, &core](Skb&& skb) {
+    if (leak_next_skb_ && !skb.fragments.empty()) {
+      // Deliberate leak (test hook): forget the skb without releasing
+      // its page references, so the leak sweep has something to find.
+      leak_next_skb_ = false;
+      return;
+    }
     stats_.skb_sizes.record(skb);
     auto it = sockets_.find(skb.flow);
     if (it == sockets_.end()) {
@@ -119,13 +134,19 @@ void Stack::napi_poll(Core& core, int queue) {
     }
     // RPS/RFS: protocol processing is requeued to the target core's
     // backlog via an inter-processor kick; the cycles of TCP processing
-    // land there, not on the IRQ core.
+    // land there, not on the IRQ core.  The skb is parked in a stack-
+    // visible table while it crosses cores (rather than captured in the
+    // closure) so in-flight requeues stay accountable to the leak sweep.
     core.charge(CpuCategory::etc, core.cost().rps_ipi);
-    auto shared = std::make_shared<Skb>(std::move(skb));
-    core.defer([this, socket, target, shared] {
+    const std::uint64_t park_id = next_park_id_++;
+    requeue_park_.emplace(park_id, std::move(skb));
+    core.defer([this, socket, target, park_id] {
       cores_[static_cast<std::size_t>(target)]->post(
-          softirq_requeue_, [socket, shared](Core& remote) {
-            socket->rx_deliver(remote, std::move(*shared));
+          softirq_requeue_, [this, socket, park_id](Core& remote) {
+            auto parked = requeue_park_.find(park_id);
+            Skb queued = std::move(parked->second);
+            requeue_park_.erase(parked);
+            socket->rx_deliver(remote, std::move(queued));
           });
     });
   };
@@ -136,6 +157,19 @@ void Stack::napi_poll(Core& core, int queue) {
     if (!polled.has_value()) break;
     budget -= polled->segments;
     core.charge(CpuCategory::netdev, cost.netdev_rx_per_frame);
+
+    if (polled->frame.corrupt) {
+      // Checksum validation failed: the frame burned a descriptor, DMA
+      // bandwidth, and driver cycles, but TCP never sees it — it will
+      // be repaired like any other loss.  Distinct from wire loss in
+      // that the receiver pays for the frame before discarding it.
+      core.charge(CpuCategory::skb_mgmt, cost.skb_alloc + cost.skb_free);
+      for (const Fragment& fragment : polled->fragments) {
+        allocator_->release(core, fragment.page);
+      }
+      ++stats_.rx_csum_drops;
+      continue;
+    }
 
     if (polled->frame.is_ack) {
       // Copybreak fast path: header-only skb built inline and freed on

@@ -11,6 +11,8 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "cpu/core.h"
@@ -71,6 +73,7 @@ struct HostStats {
   std::uint64_t dup_acks = 0;
   std::uint64_t retransmits = 0;
   std::uint64_t rcv_queue_drops = 0;
+  std::uint64_t rx_csum_drops = 0;  ///< corrupt frames dropped at checksum
 
   void clear() {
     copy_reads.clear();
@@ -79,6 +82,7 @@ struct HostStats {
     skb_sizes.clear();
     acks_sent = acks_received = dup_acks = retransmits = 0;
     rcv_queue_drops = 0;
+    rx_csum_drops = 0;
   }
 };
 
@@ -108,6 +112,15 @@ class Stack {
   Bytes total_delivered_to_app() const;
   /// Application-level bytes accepted for sending across all sockets.
   Bytes total_accepted_from_app() const;
+
+  /// Adds every page the stack holds a reference to (socket queues,
+  /// parked cross-core requeues) to `held`; used by the leak sweep.
+  void collect_held_pages(std::unordered_set<const Page*>& held) const;
+
+  /// Test hook: silently drops the next page-backed data skb *without*
+  /// releasing its page references — a deliberate skb leak for
+  /// exercising the invariant checker's leak sweep.
+  void leak_next_skb() { leak_next_skb_ = true; }
 
   HostStats& stats() { return stats_; }
   Tracer& tracer() { return tracer_; }
@@ -144,6 +157,12 @@ class Stack {
   HostStats stats_;
   Tracer tracer_;
   Context softirq_requeue_{"softirq-rps", /*kernel=*/true};
+  /// Skbs in flight between the IRQ core and an RPS/RFS target core.
+  /// Parked here (instead of captured in the task closure) so the leak
+  /// sweep can account for their page references.
+  std::unordered_map<std::uint64_t, Skb> requeue_park_;
+  std::uint64_t next_park_id_ = 0;
+  bool leak_next_skb_ = false;
 };
 
 }  // namespace hostsim

@@ -145,7 +145,11 @@ void TcpSocket::tcp_output(Core& core) {
     emit_chunk(core, snd_nxt_, len, /*retransmit=*/false);
     snd_nxt_ += len;
   }
-  if (snd_una_ < snd_nxt_) arm_rto();
+  // Armed whenever the sender is waiting on the peer: for data in flight
+  // this is the retransmission timer, for buffered-but-window-blocked
+  // data it doubles as the persist timer (zero-window probes) — without
+  // it a lost window-opening ACK would deadlock the connection.
+  if (snd_una_ < snd_buf_end_) arm_rto();
 }
 
 void TcpSocket::emit_chunk(Core& core, std::int64_t seq, Bytes len,
@@ -243,10 +247,29 @@ void TcpSocket::arm_rto() {
 
 void TcpSocket::on_rto_fired() {
   rto_timer_ = 0;
-  if (snd_una_ >= snd_nxt_) return;  // everything acked meanwhile
+  if (snd_una_ >= snd_buf_end_) return;  // everything acked meanwhile
   rto_backoff_ = std::min<Nanos>(rto_backoff_ * 2, 64);
+  rto_task_pending_ = true;
   stack_->core(app_core_).post(timer_ctx_, [this](Core& core) {
-    if (snd_una_ >= snd_nxt_) return;
+    rto_task_pending_ = false;
+    if (snd_una_ >= snd_buf_end_) return;
+    if (snd_una_ == snd_nxt_) {
+      // Persist mode: nothing in flight but data buffered, so the peer's
+      // advertised window (or a link outage that ate every ACK) is
+      // blocking us.  Probe with one segment past the window edge — the
+      // receiver accepts it (the window had actually opened) or discards
+      // it, but either way its ACK carries the current window and
+      // restarts the pipe.  snd_nxt_ does not advance (RFC 9293 persist
+      // semantics), so discarded probes never count as data in flight,
+      // and the congestion controller is left untouched.
+      const Bytes probe =
+          std::min<Bytes>(stack_->options().mss, snd_buf_end_ - snd_nxt_);
+      stack_->tracer().record(stack_->loop().now(), TraceKind::window_probe,
+                              flow_, snd_nxt_, probe);
+      emit_chunk(core, snd_nxt_, probe, /*retransmit=*/false);
+      arm_rto();
+      return;
+    }
     stack_->tracer().record(stack_->loop().now(), TraceKind::rto, flow_,
                             snd_una_, 0);
     cc_->on_rto(stack_->loop().now());
@@ -299,6 +322,19 @@ void TcpSocket::free_acked_chunks(Core& core, std::int64_t upto) {
         core, static_cast<double>(chunk.len) / kPageBytes);
     for (Page* page : chunk.pages) stack_->allocator().release(core, page);
     tx_queue_.pop_front();
+  }
+}
+
+void TcpSocket::collect_held_pages(
+    std::unordered_set<const Page*>& held) const {
+  for (const TxChunk& chunk : tx_queue_) {
+    for (const Page* page : chunk.pages) held.insert(page);
+  }
+  for (const Skb& skb : rq_) {
+    for (const Fragment& fragment : skb.fragments) held.insert(fragment.page);
+  }
+  for (const auto& [seq, skb] : ofo_) {
+    for (const Fragment& fragment : skb.fragments) held.insert(fragment.page);
   }
 }
 
@@ -526,6 +562,21 @@ void TcpSocket::rx_deliver(Core& core, Skb skb) {
       send_ack(core, skb.sent_at, skb.ecn);
       return;
     }
+  }
+
+  // Entirely beyond the advertised window: a zero-window probe.  Discard
+  // and re-ACK the current window (RFC 9293 §3.8.6.1).  Normal data never
+  // lands here — the sender respects the edge and GRO only merges
+  // in-window segments — so this cannot drop anything the window admitted.
+  // Receiver-driven mode is exempt: its credit edge is a scheduling
+  // signal, not a buffer bound, and over-credit unscheduled data is
+  // accepted by design.
+  if (grant_scheduler_ == nullptr && skb.seq >= rcv_wnd_edge_) {
+    for (const Fragment& fragment : skb.fragments) {
+      stack_->allocator().release(core, fragment.page);
+    }
+    send_ack(core, skb.sent_at, skb.ecn);
+    return;
   }
 
   const bool ecn_echo = skb.ecn;

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <unordered_set>
 #include <vector>
 
 #include "cpu/scheduler.h"
@@ -76,6 +77,26 @@ class TcpSocket {
   std::uint64_t retransmits() const { return retransmits_; }
   const CongestionControl& congestion() const { return *cc_; }
 
+  // --- Introspection (invariant checker / diagnostics) -------------------
+
+  std::int64_t snd_una() const { return snd_una_; }
+  std::int64_t snd_nxt() const { return snd_nxt_; }
+  std::int64_t snd_buf_end() const { return snd_buf_end_; }
+  std::int64_t rcv_nxt() const { return rcv_nxt_; }
+  Bytes rq_bytes() const { return rq_bytes_; }
+  Bytes ofo_bytes() const { return ofo_bytes_; }
+  bool in_recovery() const { return in_recovery_; }
+  /// True while the retransmission timer is armed in the event loop.
+  bool rto_armed() const { return rto_timer_ != 0; }
+  /// True between the RTO timer firing and its softirq task running.
+  bool rto_task_pending() const { return rto_task_pending_; }
+  /// True while the pacing qdisc has a release timer outstanding.
+  bool pacer_armed() const { return pacer_armed_; }
+
+  /// Adds every page this socket holds a reference to (tx queue, receive
+  /// queue, out-of-order queue) to `held`; used by the leak sweep.
+  void collect_held_pages(std::unordered_set<const Page*>& held) const;
+
   // --- Stack API (softirq context) ---------------------------------------
 
   /// Delivers a post-GRO data skb to the receive side.
@@ -135,6 +156,7 @@ class TcpSocket {
   Bytes rate_bytes_ = 0;   ///< bytes acked in the current rate window
   Nanos rto_backoff_ = 1;
   EventId rto_timer_ = 0;
+  bool rto_task_pending_ = false;  ///< timer fired, softirq task queued
   bool tx_was_full_ = false;
   std::uint64_t retransmits_ = 0;
 

@@ -1,20 +1,66 @@
 // Lightweight contract checks (in the spirit of GSL Expects/Ensures).
 //
 // Contract violations indicate a bug in the simulator or a caller, never
-// an environmental condition, so they abort with a diagnostic.
+// an environmental condition.  By default they abort with a diagnostic;
+// tests can switch the process into throwing mode so violation paths are
+// unit-testable without killing the test runner.
 #ifndef HOSTSIM_SIM_CONTRACT_H
 #define HOSTSIM_SIM_CONTRACT_H
 
 #include <cstdio>
 #include <cstdlib>
 #include <source_location>
+#include <stdexcept>
+#include <string>
 
 namespace hostsim {
 
+/// Thrown instead of aborting when ContractMode::throwing is selected.
+class ContractViolation : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+enum class ContractMode {
+  aborting,  ///< print and std::abort() (default; production behaviour)
+  throwing,  ///< throw ContractViolation (tests)
+};
+
+namespace detail {
+inline ContractMode& contract_mode_ref() {
+  static ContractMode mode = ContractMode::aborting;
+  return mode;
+}
+}  // namespace detail
+
+inline ContractMode contract_mode() { return detail::contract_mode_ref(); }
+inline void set_contract_mode(ContractMode mode) {
+  detail::contract_mode_ref() = mode;
+}
+
+/// RAII switch into throwing mode for the enclosing test scope.
+class ScopedContractMode {
+ public:
+  explicit ScopedContractMode(ContractMode mode)
+      : previous_(contract_mode()) {
+    set_contract_mode(mode);
+  }
+  ~ScopedContractMode() { set_contract_mode(previous_); }
+
+  ScopedContractMode(const ScopedContractMode&) = delete;
+  ScopedContractMode& operator=(const ScopedContractMode&) = delete;
+
+ private:
+  ContractMode previous_;
+};
+
 [[noreturn]] inline void contract_failure(
-    const char* what, const std::source_location& loc) {
-  std::fprintf(stderr, "hostsim contract violation: %s at %s:%u (%s)\n", what,
+    const char* kind, const char* what, const std::source_location& loc) {
+  std::fprintf(stderr, "hostsim %s violation: %s at %s:%u (%s)\n", kind, what,
                loc.file_name(), loc.line(), loc.function_name());
+  if (contract_mode() == ContractMode::throwing) {
+    throw ContractViolation(std::string(kind) + " violation: " + what);
+  }
   std::abort();
 }
 
@@ -22,7 +68,14 @@ namespace hostsim {
 inline void require(
     bool condition, const char* what,
     const std::source_location& loc = std::source_location::current()) {
-  if (!condition) contract_failure(what, loc);
+  if (!condition) contract_failure("contract", what, loc);
+}
+
+/// Postcondition / invariant check: `ensure(leaked == 0, "no page leaks")`.
+inline void ensure(
+    bool condition, const char* what,
+    const std::source_location& loc = std::source_location::current()) {
+  if (!condition) contract_failure("postcondition", what, loc);
 }
 
 }  // namespace hostsim

@@ -48,6 +48,9 @@ bool EventLoop::step() {
   now_ = ev.at;
   ++executed_;
   ev.action();
+  if (watchdog_every_ > 0 && executed_ % watchdog_every_ == 0) {
+    watchdog_hook_(*this);
+  }
   return true;
 }
 

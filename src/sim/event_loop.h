@@ -57,6 +57,16 @@ class EventLoop {
   /// Total number of events executed so far.
   std::uint64_t executed() const { return executed_; }
 
+  /// Watchdog hook: invoked after every `every_events` executed events
+  /// (livelock detection — a zero-delay event storm never yields to
+  /// time-scheduled checks, but it does keep executing events).  Pass
+  /// `every_events == 0` or an empty hook to detach.
+  using WatchdogHook = std::function<void(EventLoop&)>;
+  void set_watchdog(std::uint64_t every_events, WatchdogHook hook) {
+    watchdog_every_ = hook ? every_events : 0;
+    watchdog_hook_ = std::move(hook);
+  }
+
   /// Root random stream for this run.
   Rng& rng() { return rng_; }
 
@@ -78,6 +88,8 @@ class EventLoop {
   std::uint64_t executed_ = 0;
   std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
   std::unordered_set<EventId> cancelled_;
+  std::uint64_t watchdog_every_ = 0;
+  WatchdogHook watchdog_hook_;
   Rng rng_;
 };
 

@@ -1,0 +1,131 @@
+#include "sim/fault_injector.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+
+GilbertElliottConfig GilbertElliottConfig::for_average_loss(
+    double avg_loss, double burst_frames, double loss_bad) {
+  require(avg_loss >= 0 && avg_loss < loss_bad,
+          "average loss must be below the bad-state drop probability");
+  require(burst_frames >= 1.0, "mean burst must cover at least one frame");
+  GilbertElliottConfig config;
+  config.enabled = avg_loss > 0;
+  config.loss_bad = loss_bad;
+  config.loss_good = 0.0;
+  config.p_exit_bad = 1.0 / burst_frames;
+  // avg = pi_bad * loss_bad  =>  pi_bad = avg / loss_bad, and
+  // pi_bad = p_enter / (p_enter + p_exit).
+  const double pi_bad = avg_loss / loss_bad;
+  config.p_enter_bad =
+      pi_bad < 1.0 ? config.p_exit_bad * pi_bad / (1.0 - pi_bad) : 1.0;
+  return config;
+}
+
+FaultInjector::FaultInjector(EventLoop& loop, FaultPlan plan)
+    : loop_(&loop), plan_(std::move(plan)), rng_(loop.rng().fork()) {
+  const GilbertElliottConfig& ge = plan_.gilbert_elliott;
+  require(ge.p_enter_bad >= 0 && ge.p_enter_bad <= 1 && ge.p_exit_bad >= 0 &&
+              ge.p_exit_bad <= 1,
+          "GE transition probabilities must be in [0, 1]");
+  require(ge.loss_good >= 0 && ge.loss_good <= 1 && ge.loss_bad >= 0 &&
+              ge.loss_bad <= 1,
+          "GE loss probabilities must be in [0, 1]");
+  require(plan_.corrupt_rate >= 0 && plan_.corrupt_rate <= 1,
+          "corruption rate must be a probability");
+
+  for (const LinkFlap& flap : plan_.link_flaps) {
+    require(flap.at >= loop.now() && flap.duration > 0,
+            "link flap window must be in the future and nonempty");
+    loop_->schedule_at(flap.at, [this] {
+      if (link_down_depth_++ == 0) ++counters_.flaps;
+    });
+    loop_->schedule_at(flap.at + flap.duration,
+                       [this] { --link_down_depth_; });
+  }
+  for (const RingStall& stall : plan_.ring_stalls) {
+    require(stall.at >= loop.now() && stall.duration > 0,
+            "ring stall window must be in the future and nonempty");
+    const int queue = stall.queue;
+    loop_->schedule_at(stall.at, [this, queue] {
+      if (queue < 0) {
+        ++stall_all_depth_;
+      } else {
+        stalled_queues_.push_back(queue);
+      }
+    });
+    loop_->schedule_at(stall.at + stall.duration, [this, queue] {
+      if (queue < 0) {
+        --stall_all_depth_;
+      } else {
+        auto it =
+            std::find(stalled_queues_.begin(), stalled_queues_.end(), queue);
+        if (it != stalled_queues_.end()) stalled_queues_.erase(it);
+      }
+    });
+  }
+  for (const PoolPressure& pressure : plan_.pool_pressure) {
+    require(pressure.at >= loop.now() && pressure.duration > 0,
+            "pool pressure window must be in the future and nonempty");
+    require(pressure.deny_prob >= 0 && pressure.deny_prob <= 1,
+            "pool pressure denial must be a probability");
+    const double deny = pressure.deny_prob;
+    loop_->schedule_at(pressure.at, [this, deny] {
+      ++pressure_depth_;
+      pressure_deny_ = deny;
+    });
+    loop_->schedule_at(pressure.at + pressure.duration,
+                       [this] { --pressure_depth_; });
+  }
+}
+
+FaultInjector::WireFault FaultInjector::on_frame(int direction) {
+  if (link_down_depth_ > 0) {
+    ++counters_.flap_drops;
+    return WireFault::drop_flap;
+  }
+  const GilbertElliottConfig& ge = plan_.gilbert_elliott;
+  if (ge.enabled) {
+    GeState& state = ge_.at(static_cast<std::size_t>(direction));
+    // Advance the chain first, then draw the state's loss probability:
+    // this makes the *first* frame of a bad period eligible to drop, so
+    // short windows still produce bursts.
+    if (state.bad) {
+      if (rng_.chance(ge.p_exit_bad)) state.bad = false;
+    } else {
+      if (rng_.chance(ge.p_enter_bad)) state.bad = true;
+    }
+    if (state.bad) {
+      if (rng_.chance(ge.loss_bad)) {
+        ++counters_.bursty_drops;
+        return WireFault::drop_bursty;
+      }
+    } else if (ge.loss_good > 0 && rng_.chance(ge.loss_good)) {
+      ++counters_.random_drops;
+      return WireFault::drop_random;
+    }
+  }
+  if (plan_.corrupt_rate > 0 && rng_.chance(plan_.corrupt_rate)) {
+    ++counters_.corrupt_frames;
+    return WireFault::corrupt;
+  }
+  return WireFault::none;
+}
+
+bool FaultInjector::ring_stalled(int queue) const {
+  if (stall_all_depth_ > 0) return true;
+  return std::find(stalled_queues_.begin(), stalled_queues_.end(), queue) !=
+         stalled_queues_.end();
+}
+
+bool FaultInjector::pool_alloc_allowed() {
+  if (pressure_depth_ <= 0) return true;
+  if (!rng_.chance(pressure_deny_)) return true;
+  ++counters_.pool_denials;
+  return false;
+}
+
+}  // namespace hostsim

@@ -1,0 +1,170 @@
+// Deterministic fault-injection subsystem.
+//
+// A FaultPlan describes every fault a run should experience — bursty
+// (Gilbert–Elliott) wire loss, link flaps, frame corruption, NIC rx-ring
+// stalls, and page-pool pressure windows.  The FaultInjector executes the
+// plan against the event loop: window-shaped faults (flaps, stalls,
+// pressure) are scheduled as events at construction, while probabilistic
+// faults (loss, corruption) are drawn from a dedicated RNG stream forked
+// from the run's root seed.  Every fault is therefore a pure function of
+// (configuration, seed) and tier-1 runs stay byte-for-byte reproducible.
+//
+// Layering: this is a sim-level component; hw/mem components consult it
+// through narrow hooks (Wire per frame, Nic per receive, PagePool per
+// allocation) and never the other way around.
+#ifndef HOSTSIM_SIM_FAULT_INJECTOR_H
+#define HOSTSIM_SIM_FAULT_INJECTOR_H
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "sim/event_loop.h"
+#include "sim/rng.h"
+#include "sim/units.h"
+
+namespace hostsim {
+
+/// Two-state Markov (Gilbert–Elliott) frame-loss model.  The chain
+/// advances once per frame; the stationary loss rate is
+/// `pi_bad * loss_bad + (1 - pi_bad) * loss_good` with
+/// `pi_bad = p_enter_bad / (p_enter_bad + p_exit_bad)`, and the mean
+/// burst length is `1 / p_exit_bad` frames.
+struct GilbertElliottConfig {
+  bool enabled = false;
+  double p_enter_bad = 0.0;  ///< per-frame good -> bad transition
+  double p_exit_bad = 1.0;   ///< per-frame bad -> good transition
+  double loss_good = 0.0;    ///< drop probability in the good state
+  double loss_bad = 1.0;     ///< drop probability in the bad state
+
+  /// Parameters matching a target average loss rate with mean bursts of
+  /// `burst_frames` frames at `loss_bad` drop probability in bad state.
+  static GilbertElliottConfig for_average_loss(double avg_loss,
+                                               double burst_frames = 10.0,
+                                               double loss_bad = 0.5);
+};
+
+/// One link outage: the wire drops everything in [at, at + duration).
+struct LinkFlap {
+  Nanos at = 0;
+  Nanos duration = 0;
+};
+
+/// One rx-ring stall burst: the NIC cannot consume descriptors in
+/// [at, at + duration) (PCIe backpressure / descriptor-fetch starvation);
+/// arriving frames are dropped.  `queue < 0` stalls every queue.
+struct RingStall {
+  Nanos at = 0;
+  Nanos duration = 0;
+  int queue = -1;
+};
+
+/// One page-pool pressure window: in [at, at + duration) rx page
+/// allocations fail with probability `deny_prob` (memory pressure
+/// shrinking the pool), so rings drain and refill organically.
+struct PoolPressure {
+  Nanos at = 0;
+  Nanos duration = 0;
+  double deny_prob = 1.0;
+};
+
+/// The complete fault schedule for one run.
+struct FaultPlan {
+  GilbertElliottConfig gilbert_elliott;
+  double corrupt_rate = 0.0;  ///< delivered-but-checksum-failed probability
+  std::vector<LinkFlap> link_flaps;
+  std::vector<RingStall> ring_stalls;
+  std::vector<PoolPressure> pool_pressure;
+
+  /// True when any fault is configured (an empty plan costs nothing).
+  bool any() const {
+    return gilbert_elliott.enabled || corrupt_rate > 0.0 ||
+           !link_flaps.empty() || !ring_stalls.empty() ||
+           !pool_pressure.empty();
+  }
+};
+
+/// Everything the injector (and the watchdog, which shares the struct in
+/// Metrics) counted during a run.
+struct FaultCounters {
+  std::uint64_t random_drops = 0;     ///< GE good-state (i.i.d.-like) drops
+  std::uint64_t bursty_drops = 0;     ///< GE bad-state drops
+  std::uint64_t flap_drops = 0;       ///< frames dropped while link down
+  std::uint64_t corrupt_frames = 0;   ///< frames delivered corrupted
+  std::uint64_t flaps = 0;            ///< link-down events entered
+  std::uint64_t ring_stall_drops = 0; ///< frames dropped by stalled rings
+  std::uint64_t pool_denials = 0;     ///< rx page allocations denied
+  std::uint64_t watchdog_trips = 0;   ///< stall-watchdog activations
+
+  std::uint64_t wire_faults() const {
+    return random_drops + bursty_drops + flap_drops + corrupt_frames;
+  }
+};
+
+class FaultInjector {
+ public:
+  /// What the wire should do with one frame.
+  enum class WireFault : std::uint8_t {
+    none,         ///< deliver untouched
+    drop_random,  ///< lost in the GE good state
+    drop_bursty,  ///< lost in the GE bad state
+    drop_flap,    ///< link is down
+    corrupt,      ///< deliver, but flag the frame checksum-failed
+  };
+
+  /// Schedules the plan's window faults on `loop` and forks a dedicated
+  /// RNG stream for the probabilistic ones.
+  FaultInjector(EventLoop& loop, FaultPlan plan);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  const FaultPlan& plan() const { return plan_; }
+
+  // --- Wire hooks ---------------------------------------------------------
+
+  /// Advances the per-direction loss chain and classifies one frame.
+  /// `direction` is the wire direction index (0 or 1).
+  WireFault on_frame(int direction);
+
+  bool link_up() const { return link_down_depth_ == 0; }
+
+  // --- NIC hook -----------------------------------------------------------
+
+  /// True while `queue` is inside a ring-stall window.
+  bool ring_stalled(int queue) const;
+
+  /// Counts one frame dropped because of a ring stall.
+  void note_ring_stall_drop() { ++counters_.ring_stall_drops; }
+
+  // --- Page-pool hook -----------------------------------------------------
+
+  /// False when a pressure window denies this rx page allocation.
+  bool pool_alloc_allowed();
+
+  // --- Accounting ---------------------------------------------------------
+
+  const FaultCounters& counters() const { return counters_; }
+  FaultCounters& counters() { return counters_; }
+
+ private:
+  struct GeState {
+    bool bad = false;
+  };
+
+  EventLoop* loop_;
+  FaultPlan plan_;
+  Rng rng_;
+  FaultCounters counters_;
+
+  std::array<GeState, 2> ge_;   // one chain per wire direction
+  int link_down_depth_ = 0;     // >0 while any flap window is open
+  int stall_all_depth_ = 0;     // >0 while a queue==-1 stall is open
+  std::vector<int> stalled_queues_;  // open per-queue stalls
+  int pressure_depth_ = 0;      // >0 while any pressure window is open
+  double pressure_deny_ = 0.0;  // deny probability of the innermost window
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_SIM_FAULT_INJECTOR_H

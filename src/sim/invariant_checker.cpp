@@ -1,0 +1,118 @@
+#include "sim/invariant_checker.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+
+void InvariantChecker::add_check(std::string name, Check check) {
+  require(static_cast<bool>(check), "invariant check must be callable");
+  checks_.push_back(Named{std::move(name), std::move(check)});
+}
+
+std::vector<InvariantViolation> InvariantChecker::run() {
+  std::vector<InvariantViolation> violations;
+  for (const Named& named : checks_) {
+    if (auto detail = named.check()) {
+      violations.push_back(InvariantViolation{named.name, std::move(*detail)});
+    }
+  }
+  return violations;
+}
+
+std::string InvariantChecker::format(
+    const std::vector<InvariantViolation>& violations) {
+  std::string report;
+  for (const InvariantViolation& violation : violations) {
+    report += "invariant '" + violation.check + "' violated: " +
+              violation.detail + "\n";
+  }
+  return report;
+}
+
+WatchdogConfig WatchdogConfig::for_duration(Nanos duration) {
+  WatchdogConfig config;
+  config.period = std::max<Nanos>(duration / 20, kMillisecond);
+  config.max_stalled_periods = 3;
+  return config;
+}
+
+Watchdog::Watchdog(EventLoop& loop, WatchdogConfig config)
+    : loop_(&loop), config_(config) {
+  require(config.period >= 0, "watchdog period must be nonnegative");
+  require(config.max_stalled_periods > 0,
+          "watchdog needs at least one stalled period");
+}
+
+Watchdog::~Watchdog() {
+  // Detach the event-storm hook; pending tick events are harmless only
+  // while this object lives, so the owner must outlive the loop's run —
+  // detaching here keeps the hook from dangling either way.
+  if (armed_ && config_.event_storm_budget > 0) loop_->set_watchdog(0, {});
+}
+
+void Watchdog::arm(Nanos until) {
+  require(config_.enabled(), "arming a disabled watchdog");
+  require(!armed_, "watchdog already armed");
+  armed_ = true;
+  until_ = until;
+  last_progress_ = progress_probe_ ? progress_probe_() : 0;
+  if (config_.event_storm_budget > 0) {
+    // Sample twice per budget so a frozen clock is flagged within at
+    // most one budget of extra events.
+    const std::uint64_t every = std::max<std::uint64_t>(
+        config_.event_storm_budget / 2, 1);
+    loop_->set_watchdog(every, [this](EventLoop&) { on_events_executed(); });
+  }
+  loop_->schedule_after(config_.period, [this] { tick(); });
+}
+
+void Watchdog::tick() {
+  if (trips_ > 0 || loop_->now() >= until_) return;
+  const std::uint64_t progress = progress_probe_ ? progress_probe_() : 0;
+  const bool active = activity_probe_ ? activity_probe_() : true;
+  if (active && progress == last_progress_) {
+    if (++stalled_periods_ >= config_.max_stalled_periods) {
+      trip("no progress for " +
+           std::to_string(stalled_periods_ * config_.period / kMillisecond) +
+           "ms of simulated time while flows are active (progress counter "
+           "stuck at " +
+           std::to_string(progress) + ")");
+      return;
+    }
+  } else {
+    stalled_periods_ = 0;
+  }
+  last_progress_ = progress;
+  loop_->schedule_after(config_.period, [this] { tick(); });
+}
+
+void Watchdog::on_events_executed() {
+  if (trips_ > 0) return;
+  if (loop_->now() == last_hook_now_) {
+    if (++frozen_hook_calls_ >= 2) {
+      trip("event-loop livelock: " +
+           std::to_string(frozen_hook_calls_ *
+                          std::max<std::uint64_t>(
+                              config_.event_storm_budget / 2, 1)) +
+           " events executed with simulated time frozen at " +
+           std::to_string(last_hook_now_) + "ns");
+    }
+  } else {
+    frozen_hook_calls_ = 0;
+    last_hook_now_ = loop_->now();
+  }
+}
+
+void Watchdog::trip(const std::string& diagnostic) {
+  ++trips_;
+  if (on_trip_) {
+    on_trip_(diagnostic);
+  } else {
+    ensure(false, ("watchdog tripped: " + diagnostic).c_str());
+  }
+}
+
+}  // namespace hostsim

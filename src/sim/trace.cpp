@@ -13,6 +13,7 @@ std::string_view to_string(TraceKind kind) {
     case TraceKind::retransmit: return "retransmit";
     case TraceKind::rto: return "rto";
     case TraceKind::grant: return "grant";
+    case TraceKind::window_probe: return "window_probe";
   }
   return "?";
 }

@@ -23,8 +23,9 @@ enum class TraceKind : std::uint8_t {
   ack_tx,       ///< ACK sent (a=rcv_nxt, b=advertised window)
   ack_rx,       ///< ACK processed (a=ack_seq, b=newly acked)
   retransmit,   ///< segment(s) retransmitted (a=seq, b=len)
-  rto,          ///< retransmission timeout fired (a=snd_una)
-  grant,        ///< receiver-driven credit granted (a=bytes)
+  rto,           ///< retransmission timeout fired (a=snd_una)
+  grant,         ///< receiver-driven credit granted (a=bytes)
+  window_probe,  ///< zero-window probe sent (a=snd_nxt, b=len)
 };
 
 std::string_view to_string(TraceKind kind);

@@ -1,0 +1,133 @@
+// End-to-end TCP behaviour under injected faults: flap recovery,
+// corruption drops, ring stalls, pool pressure, and the page-leak
+// invariant catching a deliberately leaked skb.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiment.h"
+#include "core/patterns.h"
+#include "sim/invariant_checker.h"
+
+namespace hostsim {
+namespace {
+
+TEST(FaultRecoveryTest, ThroughputRecoversAfterLinkFlap) {
+  ExperimentConfig config;
+  config.faults.link_flaps.push_back({15 * kMillisecond, 2 * kMillisecond});
+
+  Testbed testbed(config);
+  Workload workload = build_workload(testbed, config.traffic);
+  workload.start();
+
+  Stack& rx = testbed.receiver().stack();
+  testbed.loop().run_until(5 * kMillisecond);
+  const Bytes at_5ms = rx.total_delivered_to_app();
+  testbed.loop().run_until(15 * kMillisecond);
+  const Bytes at_flap = rx.total_delivered_to_app();
+  // Grace period for slow start to re-open the window, then measure.
+  testbed.loop().run_until(30 * kMillisecond);
+  const Bytes at_30ms = rx.total_delivered_to_app();
+  testbed.loop().run_until(45 * kMillisecond);
+  const Bytes at_end = rx.total_delivered_to_app();
+
+  const double pre = static_cast<double>(at_flap - at_5ms);
+  const double post = static_cast<double>(at_end - at_30ms);
+  ASSERT_GT(pre, 0);
+  EXPECT_GT(post, 0.9 * pre)
+      << "post-flap throughput did not recover to within 10%: pre=" << pre
+      << " post=" << post;
+  EXPECT_EQ(testbed.faults()->counters().flaps, 1u);
+  EXPECT_GT(testbed.faults()->counters().flap_drops, 0u);
+
+  InvariantChecker checker;
+  testbed.register_invariants(checker);
+  EXPECT_EQ(InvariantChecker::format(checker.run()), "");
+}
+
+TEST(FaultRecoveryTest, CorruptFramesAreDroppedAtChecksumNotDelivered) {
+  ExperimentConfig config;
+  config.faults.corrupt_rate = 5e-3;
+  config.warmup = 5 * kMillisecond;
+  config.duration = 20 * kMillisecond;
+
+  // run_experiment sweeps invariants itself (and would abort on a
+  // violation), so surviving the call is part of the assertion.
+  const Metrics metrics = run_experiment(config);
+  EXPECT_GT(metrics.faults.corrupt_frames, 0u);
+  EXPECT_GT(metrics.rx_csum_drops, 0u);
+  // Corruption costs retransmissions, not corrupted application data:
+  // the flow keeps making progress.
+  EXPECT_GT(metrics.total_gbps, 1.0);
+  EXPECT_GT(metrics.retransmits, 0u);
+  EXPECT_EQ(metrics.invariant_violations, 0u);
+  EXPECT_GT(metrics.invariant_checks, 0u);
+}
+
+TEST(FaultRecoveryTest, RingStallAndPoolPressureAreSurvivable) {
+  ExperimentConfig config;
+  config.faults.ring_stalls.push_back({12 * kMillisecond, kMillisecond});
+  config.faults.pool_pressure.push_back(
+      {18 * kMillisecond, kMillisecond, /*deny_prob=*/1.0});
+  config.warmup = 5 * kMillisecond;
+  config.duration = 25 * kMillisecond;
+
+  const Metrics metrics = run_experiment(config);
+  EXPECT_GT(metrics.faults.ring_stall_drops, 0u);
+  EXPECT_GT(metrics.faults.pool_denials, 0u);
+  EXPECT_GT(metrics.total_gbps, 1.0);
+  EXPECT_EQ(metrics.invariant_violations, 0u);
+}
+
+TEST(FaultRecoveryTest, BurstyLossRunsAreSeedDeterministic) {
+  ExperimentConfig config;
+  config.faults.gilbert_elliott = GilbertElliottConfig::for_average_loss(1e-3);
+  config.seed = 99;
+  config.warmup = 5 * kMillisecond;
+  config.duration = 15 * kMillisecond;
+
+  const Metrics first = run_experiment(config);
+  const Metrics second = run_experiment(config);
+  EXPECT_EQ(first.app_bytes, second.app_bytes);
+  EXPECT_EQ(first.retransmits, second.retransmits);
+  EXPECT_EQ(first.faults.bursty_drops, second.faults.bursty_drops);
+  EXPECT_EQ(first.faults.random_drops, second.faults.random_drops);
+  EXPECT_GT(first.faults.bursty_drops + first.faults.random_drops, 0u);
+}
+
+TEST(FaultRecoveryTest, LeakedSkbFailsThePageLeakInvariant) {
+  ExperimentConfig config;
+  Testbed testbed(config);
+  Workload workload = build_workload(testbed, config.traffic);
+  workload.start();
+
+  // Drop one delivered skb on the floor without releasing its pages.
+  testbed.receiver().stack().leak_next_skb();
+  testbed.loop().run_until(10 * kMillisecond);
+
+  InvariantChecker checker;
+  testbed.register_invariants(checker);
+  const auto violations = checker.run();
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].check, "page-leak");
+  // The diagnostic names the leaked object(s).
+  EXPECT_NE(violations[0].detail.find("leaked page"), std::string::npos);
+  EXPECT_NE(violations[0].detail.find("page id"), std::string::npos);
+  EXPECT_NE(violations[0].detail.find("receiver"), std::string::npos);
+}
+
+TEST(FaultRecoveryTest, CleanRunPassesAllInvariants) {
+  ExperimentConfig config;
+  Testbed testbed(config);
+  Workload workload = build_workload(testbed, config.traffic);
+  workload.start();
+  testbed.loop().run_until(10 * kMillisecond);
+
+  InvariantChecker checker;
+  testbed.register_invariants(checker);
+  EXPECT_EQ(InvariantChecker::format(checker.run()), "");
+  EXPECT_GE(checker.num_checks(), 4u);
+}
+
+}  // namespace
+}  // namespace hostsim

@@ -1,0 +1,169 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hostsim {
+namespace {
+
+// Drives `frames` frames through direction 0 and tallies outcomes.
+struct LossTally {
+  int drops = 0;
+  int delivered = 0;
+  int drop_after_drop = 0;  // drops whose previous frame also dropped
+  int frames_after_drop = 0;
+};
+
+LossTally drive(FaultInjector& injector, int frames) {
+  LossTally tally;
+  bool prev_dropped = false;
+  for (int i = 0; i < frames; ++i) {
+    const auto fault = injector.on_frame(0);
+    const bool dropped = fault == FaultInjector::WireFault::drop_random ||
+                         fault == FaultInjector::WireFault::drop_bursty;
+    if (prev_dropped) {
+      ++tally.frames_after_drop;
+      if (dropped) ++tally.drop_after_drop;
+    }
+    if (dropped) ++tally.drops;
+    else ++tally.delivered;
+    prev_dropped = dropped;
+  }
+  return tally;
+}
+
+TEST(GilbertElliottTest, MatchedAverageConstructionHitsTargetRate) {
+  const double target = 1e-2;
+  FaultPlan plan;
+  plan.gilbert_elliott = GilbertElliottConfig::for_average_loss(target);
+  ASSERT_TRUE(plan.gilbert_elliott.enabled);
+
+  EventLoop loop(7);
+  FaultInjector injector(loop, plan);
+  const int frames = 2'000'000;
+  const LossTally tally = drive(injector, frames);
+  const double observed = static_cast<double>(tally.drops) / frames;
+  EXPECT_NEAR(observed, target, target * 0.2);
+}
+
+TEST(GilbertElliottTest, LossIsBursty) {
+  // At matched average rate, the conditional drop probability right
+  // after a drop must far exceed the marginal: that is the entire point
+  // of the two-state model.
+  const double target = 1e-3;
+  FaultPlan plan;
+  plan.gilbert_elliott = GilbertElliottConfig::for_average_loss(target);
+
+  EventLoop loop(11);
+  FaultInjector injector(loop, plan);
+  const LossTally tally = drive(injector, 4'000'000);
+  ASSERT_GT(tally.frames_after_drop, 100);
+  const double marginal = static_cast<double>(tally.drops) / 4'000'000;
+  const double conditional = static_cast<double>(tally.drop_after_drop) /
+                             tally.frames_after_drop;
+  // Bad state persists with p ~ 0.9 and drops with p = 0.5, so the
+  // conditional rate should be ~0.45 vs a ~1e-3 marginal.
+  EXPECT_GT(conditional, 50 * marginal);
+  EXPECT_GT(injector.counters().bursty_drops, 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSameFaults) {
+  FaultPlan plan;
+  plan.gilbert_elliott = GilbertElliottConfig::for_average_loss(5e-3);
+  plan.corrupt_rate = 1e-3;
+
+  std::vector<FaultInjector::WireFault> first, second;
+  for (auto* out : {&first, &second}) {
+    EventLoop loop(42);
+    FaultInjector injector(loop, plan);
+    for (int i = 0; i < 100'000; ++i) out->push_back(injector.on_frame(i % 2));
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST(FaultInjectorTest, LinkFlapWindowDropsEverything) {
+  FaultPlan plan;
+  plan.link_flaps.push_back({1000, 500});
+
+  EventLoop loop(1);
+  FaultInjector injector(loop, plan);
+
+  EXPECT_TRUE(injector.link_up());
+  loop.run_until(1200);  // inside the outage
+  EXPECT_FALSE(injector.link_up());
+  EXPECT_EQ(injector.on_frame(0), FaultInjector::WireFault::drop_flap);
+  loop.run_until(2000);  // after it
+  EXPECT_TRUE(injector.link_up());
+  EXPECT_EQ(injector.on_frame(0), FaultInjector::WireFault::none);
+  EXPECT_EQ(injector.counters().flaps, 1u);
+  EXPECT_EQ(injector.counters().flap_drops, 1u);
+}
+
+TEST(FaultInjectorTest, RingStallTargetsTheRightQueue) {
+  FaultPlan plan;
+  plan.ring_stalls.push_back({1000, 500, /*queue=*/2});
+  plan.ring_stalls.push_back({3000, 500, /*queue=*/-1});
+
+  EventLoop loop(1);
+  FaultInjector injector(loop, plan);
+
+  EXPECT_FALSE(injector.ring_stalled(2));
+  loop.run_until(1200);
+  EXPECT_TRUE(injector.ring_stalled(2));
+  EXPECT_FALSE(injector.ring_stalled(0));  // only queue 2 is stalled
+  loop.run_until(2000);
+  EXPECT_FALSE(injector.ring_stalled(2));
+  loop.run_until(3200);  // queue==-1 stalls every queue
+  EXPECT_TRUE(injector.ring_stalled(0));
+  EXPECT_TRUE(injector.ring_stalled(2));
+  loop.run_until(4000);
+  EXPECT_FALSE(injector.ring_stalled(0));
+}
+
+TEST(FaultInjectorTest, PoolPressureWindowDeniesAllocations) {
+  FaultPlan plan;
+  plan.pool_pressure.push_back({1000, 500, /*deny_prob=*/1.0});
+
+  EventLoop loop(1);
+  FaultInjector injector(loop, plan);
+
+  EXPECT_TRUE(injector.pool_alloc_allowed());
+  loop.run_until(1200);
+  EXPECT_FALSE(injector.pool_alloc_allowed());
+  EXPECT_GT(injector.counters().pool_denials, 0u);
+  loop.run_until(2000);
+  EXPECT_TRUE(injector.pool_alloc_allowed());
+}
+
+TEST(FaultInjectorTest, EmptyPlanIsInert) {
+  FaultPlan plan;
+  EXPECT_FALSE(plan.any());
+
+  EventLoop loop(1);
+  FaultInjector injector(loop, plan);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(injector.on_frame(0), FaultInjector::WireFault::none);
+  }
+  EXPECT_TRUE(injector.pool_alloc_allowed());
+  EXPECT_FALSE(injector.ring_stalled(0));
+  EXPECT_EQ(injector.counters().wire_faults(), 0u);
+}
+
+TEST(FaultInjectorTest, CorruptionDeliversFlagged) {
+  FaultPlan plan;
+  plan.corrupt_rate = 0.5;
+
+  EventLoop loop(3);
+  FaultInjector injector(loop, plan);
+  int corrupt = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    if (injector.on_frame(0) == FaultInjector::WireFault::corrupt) ++corrupt;
+  }
+  EXPECT_NEAR(corrupt, 5000, 500);
+  EXPECT_EQ(injector.counters().corrupt_frames,
+            static_cast<std::uint64_t>(corrupt));
+}
+
+}  // namespace
+}  // namespace hostsim

@@ -1,0 +1,152 @@
+#include "sim/invariant_checker.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+namespace {
+
+TEST(InvariantCheckerTest, CollectsEveryViolationWithNames) {
+  InvariantChecker checker;
+  checker.add_check("always-ok", [] { return std::nullopt; });
+  checker.add_check("leak", [] {
+    return std::optional<std::string>("2 leaked skbs: id 7, id 9");
+  });
+  checker.add_check("conservation", [] {
+    return std::optional<std::string>("flow 0: delivered 10 != acked 12");
+  });
+
+  const auto violations = checker.run();
+  ASSERT_EQ(violations.size(), 2u);
+  EXPECT_EQ(violations[0].check, "leak");
+  EXPECT_EQ(violations[0].detail, "2 leaked skbs: id 7, id 9");
+  EXPECT_EQ(violations[1].check, "conservation");
+
+  const std::string report = InvariantChecker::format(violations);
+  EXPECT_NE(report.find("invariant 'leak' violated"), std::string::npos);
+  EXPECT_NE(report.find("id 7"), std::string::npos);
+  EXPECT_EQ(InvariantChecker::format({}), "");
+}
+
+TEST(InvariantCheckerTest, CleanRunReportsNothing) {
+  InvariantChecker checker;
+  checker.add_check("a", [] { return std::nullopt; });
+  checker.add_check("b", [] { return std::nullopt; });
+  EXPECT_TRUE(checker.run().empty());
+  EXPECT_EQ(checker.num_checks(), 2u);
+}
+
+TEST(ContractTest, ThrowingModeThrowsInsteadOfAborting) {
+  ScopedContractMode mode(ContractMode::throwing);
+  EXPECT_THROW(ensure(false, "postcondition broke"), ContractViolation);
+  EXPECT_THROW(require(false, "precondition broke"), ContractViolation);
+  EXPECT_NO_THROW(ensure(true, "fine"));
+  try {
+    ensure(false, "named diagnostic");
+  } catch (const ContractViolation& violation) {
+    EXPECT_NE(std::string(violation.what()).find("named diagnostic"),
+              std::string::npos);
+  }
+}
+
+TEST(ContractTest, ScopedModeRestoresPrevious) {
+  EXPECT_EQ(contract_mode(), ContractMode::aborting);
+  {
+    ScopedContractMode mode(ContractMode::throwing);
+    EXPECT_EQ(contract_mode(), ContractMode::throwing);
+  }
+  EXPECT_EQ(contract_mode(), ContractMode::aborting);
+}
+
+TEST(WatchdogTest, TripsOnZeroProgressWhileActive) {
+  EventLoop loop;
+  WatchdogConfig config;
+  config.period = 100;
+  Watchdog watchdog(loop, config);
+  std::string diagnostic;
+  watchdog.set_progress_probe([] { return 5u; });  // forever stuck
+  watchdog.set_activity_probe([] { return true; });
+  watchdog.set_on_trip([&diagnostic](const std::string& d) { diagnostic = d; });
+  watchdog.arm(10'000);
+
+  loop.run_until(10'000);
+  EXPECT_EQ(watchdog.trips(), 1u);
+  EXPECT_NE(diagnostic.find("no progress"), std::string::npos);
+  EXPECT_NE(diagnostic.find("stuck at 5"), std::string::npos);
+}
+
+TEST(WatchdogTest, StaysQuietWhileProgressAdvances) {
+  EventLoop loop;
+  WatchdogConfig config;
+  config.period = 100;
+  Watchdog watchdog(loop, config);
+  std::uint64_t counter = 0;
+  watchdog.set_progress_probe([&counter] { return ++counter; });
+  watchdog.set_activity_probe([] { return true; });
+  watchdog.set_on_trip([](const std::string&) { FAIL(); });
+  watchdog.arm(10'000);
+
+  loop.run_until(10'000);
+  EXPECT_EQ(watchdog.trips(), 0u);
+}
+
+TEST(WatchdogTest, IdleRunsAreNotStalls) {
+  EventLoop loop;
+  WatchdogConfig config;
+  config.period = 100;
+  Watchdog watchdog(loop, config);
+  watchdog.set_progress_probe([] { return 0u; });
+  watchdog.set_activity_probe([] { return false; });  // legitimately idle
+  watchdog.set_on_trip([](const std::string&) { FAIL(); });
+  watchdog.arm(10'000);
+
+  loop.run_until(10'000);
+  EXPECT_EQ(watchdog.trips(), 0u);
+}
+
+TEST(WatchdogTest, DetectsZeroDelayEventStorm) {
+  EventLoop loop;
+  WatchdogConfig config;
+  config.period = kMillisecond;
+  config.event_storm_budget = 1000;
+  Watchdog watchdog(loop, config);
+  std::string diagnostic;
+  watchdog.set_on_trip([&diagnostic](const std::string& d) { diagnostic = d; });
+  watchdog.arm(10 * kMillisecond);
+
+  // A livelocked component: reschedules itself at zero delay, so
+  // simulated time never advances and time-based ticks never fire.
+  std::function<void()> storm = [&] { loop.schedule_after(0, storm); };
+  loop.schedule_after(0, storm);
+  for (int i = 0; i < 100'000 && watchdog.trips() == 0; ++i) loop.step();
+
+  EXPECT_EQ(watchdog.trips(), 1u);
+  EXPECT_NE(diagnostic.find("livelock"), std::string::npos);
+  EXPECT_EQ(loop.now(), 0);  // tripped with the clock still frozen
+}
+
+TEST(WatchdogTest, DefaultTripIsAPostconditionFailure) {
+  ScopedContractMode mode(ContractMode::throwing);
+  EventLoop loop;
+  WatchdogConfig config;
+  config.period = 100;
+  Watchdog watchdog(loop, config);
+  watchdog.set_progress_probe([] { return 0u; });
+  watchdog.arm(10'000);  // no on_trip handler installed
+  EXPECT_THROW(loop.run_until(10'000), ContractViolation);
+  EXPECT_EQ(watchdog.trips(), 1u);
+}
+
+TEST(WatchdogConfigTest, ForDurationScalesThePeriod) {
+  const WatchdogConfig config = WatchdogConfig::for_duration(100 * kMillisecond);
+  EXPECT_TRUE(config.enabled());
+  EXPECT_EQ(config.period, 5 * kMillisecond);
+  EXPECT_EQ(WatchdogConfig::for_duration(kMillisecond).period, kMillisecond);
+}
+
+}  // namespace
+}  // namespace hostsim

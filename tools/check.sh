@@ -1,0 +1,14 @@
+#!/bin/sh
+# Builds the tree with AddressSanitizer + UBSan and runs the full test
+# suite under them.  Slower than the normal build; use before merging
+# anything that touches memory management or the fault-injection paths.
+#
+#   $ tools/check.sh [extra ctest args...]
+set -eu
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="$root/build-asan"
+
+cmake -B "$build" -S "$root" -DHOSTSIM_SANITIZE=ON
+cmake --build "$build" -j "$(nproc)"
+ctest --test-dir "$build" --output-on-failure -j "$(nproc)" "$@"

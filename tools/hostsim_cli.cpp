@@ -45,6 +45,19 @@ network:
   --gbps=N            link rate                           (default: 100)
   --loss=P            per-frame drop probability          (default: 0)
 
+faults (all deterministic for a given --seed):
+  --ge=AVG[,BURST[,PBAD]]  Gilbert-Elliott bursty loss at average rate
+                      AVG, mean bursts of BURST frames (default 10) at
+                      in-burst drop probability PBAD (default 0.5)
+  --flap=AT,DUR       link outage at AT ms for DUR ms     (repeatable)
+  --corrupt=P         deliver-but-checksum-fail probability
+  --stall=AT,DUR[,Q]  rx-ring stall at AT ms for DUR ms on queue Q
+                      (all queues when omitted)           (repeatable)
+  --pressure=AT,DUR[,DENY]  page-pool pressure window; rx page
+                      allocations fail with prob DENY (default 1)
+  --watchdog-ms=N     trip the run after ~3 silent windows of N ms
+  --no-invariants     skip the end-of-run invariant sweep
+
 run:
   --warmup-ms=N       (default: 10)    --duration-ms=N    (default: 25)
   --seed=N            (default: 1)
@@ -84,6 +97,18 @@ double parse_double(std::string_view value, const char* what) {
     std::exit(2);
   }
   return parsed;
+}
+
+/// Splits "a,b,c" into its comma-separated fields.
+std::vector<std::string_view> split_fields(std::string_view value) {
+  std::vector<std::string_view> fields;
+  while (true) {
+    const std::size_t comma = value.find(',');
+    fields.push_back(value.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    value.remove_prefix(comma + 1);
+  }
+  return fields;
 }
 
 Pattern parse_pattern(std::string_view name) {
@@ -150,6 +175,51 @@ int main(int argc, char** argv) {
       config.link_gbps = parse_double(*v, "--gbps");
     } else if (auto v = flag_value(arg, "--loss")) {
       config.loss_rate = parse_double(*v, "--loss");
+    } else if (auto v = flag_value(arg, "--ge")) {
+      const auto fields = split_fields(*v);
+      if (fields.empty() || fields.size() > 3) usage(2);
+      const double avg = parse_double(fields[0], "--ge average loss");
+      const double burst =
+          fields.size() > 1 ? parse_double(fields[1], "--ge burst frames")
+                            : 10.0;
+      const double bad =
+          fields.size() > 2 ? parse_double(fields[2], "--ge bad-state loss")
+                            : 0.5;
+      config.faults.gilbert_elliott =
+          GilbertElliottConfig::for_average_loss(avg, burst, bad);
+    } else if (auto v = flag_value(arg, "--flap")) {
+      const auto fields = split_fields(*v);
+      if (fields.size() != 2) usage(2);
+      config.faults.link_flaps.push_back(
+          {parse_long(fields[0], "--flap at") * kMillisecond,
+           parse_long(fields[1], "--flap duration") * kMillisecond});
+    } else if (auto v = flag_value(arg, "--corrupt")) {
+      config.faults.corrupt_rate = parse_double(*v, "--corrupt");
+    } else if (auto v = flag_value(arg, "--stall")) {
+      const auto fields = split_fields(*v);
+      if (fields.size() < 2 || fields.size() > 3) usage(2);
+      RingStall stall;
+      stall.at = parse_long(fields[0], "--stall at") * kMillisecond;
+      stall.duration = parse_long(fields[1], "--stall duration") * kMillisecond;
+      if (fields.size() > 2) {
+        stall.queue = static_cast<int>(parse_long(fields[2], "--stall queue"));
+      }
+      config.faults.ring_stalls.push_back(stall);
+    } else if (auto v = flag_value(arg, "--pressure")) {
+      const auto fields = split_fields(*v);
+      if (fields.size() < 2 || fields.size() > 3) usage(2);
+      PoolPressure pressure;
+      pressure.at = parse_long(fields[0], "--pressure at") * kMillisecond;
+      pressure.duration =
+          parse_long(fields[1], "--pressure duration") * kMillisecond;
+      if (fields.size() > 2) {
+        pressure.deny_prob = parse_double(fields[2], "--pressure deny");
+      }
+      config.faults.pool_pressure.push_back(pressure);
+    } else if (auto v = flag_value(arg, "--watchdog-ms")) {
+      config.watchdog.period = parse_long(*v, "--watchdog-ms") * kMillisecond;
+    } else if (arg == "--no-invariants") {
+      config.check_invariants = false;
     } else if (auto v = flag_value(arg, "--warmup-ms")) {
       config.warmup = parse_long(*v, "--warmup-ms") * kMillisecond;
     } else if (auto v = flag_value(arg, "--duration-ms")) {
@@ -197,6 +267,7 @@ int main(int argc, char** argv) {
     std::printf("  retransmits:            %8llu\n",
                 static_cast<unsigned long long>(metrics.retransmits));
   }
+  print_fault_summary(metrics);
   if (!metrics.trace.empty()) {
     print_section("flight recorder (newest events)");
     std::printf("time_ns,kind,host,flow,a,b\n");
