@@ -1,31 +1,69 @@
 // Shared helpers for the figure-reproduction binaries.
+//
+// The sweeps here are thin wrappers over the sweep:: campaign subsystem:
+// points run in parallel on a thread pool (bit-identical to serial
+// execution — see tests/sweep/runner_test.cpp) and honour two env knobs:
+//   HOSTSIM_JOBS=N   worker threads (default: all hardware threads)
+//   HOSTSIM_CACHE=1  reuse .hostsim-cache/ results across invocations
 #ifndef HOSTSIM_BENCH_BENCH_COMMON_H
 #define HOSTSIM_BENCH_BENCH_COMMON_H
 
+#include <cstdlib>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "sweep/runner.h"
 
 namespace hostsim::bench {
+
+/// Runner options from the environment (see header comment).
+inline sweep::RunnerOptions env_runner_options() {
+  sweep::RunnerOptions options;
+  if (const char* jobs = std::getenv("HOSTSIM_JOBS")) {
+    options.jobs = std::atoi(jobs);
+  }
+  const char* cache = std::getenv("HOSTSIM_CACHE");
+  options.use_cache = cache != nullptr && cache[0] != '\0' &&
+                      std::string_view(cache) != "0";
+  return options;
+}
+
+/// Executes `campaign` with the environment's runner options and returns
+/// the metrics in campaign point order.
+inline std::vector<Metrics> run_campaign_metrics(
+    const sweep::Campaign& campaign) {
+  const sweep::CampaignResult result =
+      sweep::run_campaign(campaign, env_runner_options());
+  std::vector<Metrics> metrics;
+  metrics.reserve(result.points.size());
+  for (const sweep::PointResult& point : result.points) {
+    metrics.push_back(point.metrics);
+  }
+  return metrics;
+}
 
 /// Runs `pattern` for each flow count and prints the fig. 5/6/7/8-style
 /// summary table.  Returns the metrics in flow-count order.
 inline std::vector<Metrics> flows_sweep(Pattern pattern,
                                         const std::vector<int>& flow_counts,
                                         ExperimentConfig base = {}) {
+  sweep::Campaign campaign;
+  campaign.name = "flows_sweep";
+  campaign.base = base;
+  campaign.base.traffic.pattern = pattern;
+  campaign.axes.push_back(sweep::Axis::flows(flow_counts));
+  const std::vector<Metrics> results = run_campaign_metrics(campaign);
+
   Table table({"flows", "total (Gbps)", "tput/core (Gbps)",
                "tput/snd-core (Gbps)", "snd cores", "rcv cores", "rx miss",
                "mean skb (KB)"});
-  std::vector<Metrics> results;
-  for (int flows : flow_counts) {
-    ExperimentConfig config = base;
-    config.traffic.pattern = pattern;
-    config.traffic.flows = flows;
-    const Metrics metrics = run_experiment(config);
-    results.push_back(metrics);
-    table.add_row({std::to_string(flows), Table::num(metrics.total_gbps),
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const Metrics& metrics = results[i];
+    table.add_row({std::to_string(flow_counts[i]),
+                   Table::num(metrics.total_gbps),
                    Table::num(metrics.throughput_per_core_gbps),
                    Table::num(metrics.throughput_per_sender_core_gbps),
                    Table::num(metrics.sender_cores_used, 2),

@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <iostream>
 
+#include "core/serialize.h"
 #include "sim/contract.h"
 
 namespace hostsim {
@@ -76,6 +77,29 @@ void print_paper_line(const std::string& what, double measured,
             << "   (paper: " << paper_note << ")\n";
 }
 
+std::string csv_escape(std::string_view field) {
+  if (field.find_first_of(",\"\n\r") == std::string_view::npos) {
+    return std::string(field);
+  }
+  std::string escaped = "\"";
+  for (char c : field) {
+    if (c == '"') escaped += '"';
+    escaped += c;
+  }
+  escaped += '"';
+  return escaped;
+}
+
+std::string metrics_csv_comment(const ExperimentConfig& config) {
+  std::string comment = "# hostsim metrics csv";
+  comment += " seed=" + std::to_string(config.seed);
+  comment += " config_hash=" + hash_hex(config_hash(config));
+  comment += " pattern=" + std::string(to_string(config.traffic.pattern));
+  comment += " flows=" + std::to_string(config.traffic.flows);
+  comment += " stack=" + config.stack.label();
+  return comment;
+}
+
 std::string metrics_csv_header() {
   std::string header =
       "total_gbps,tput_per_core_gbps,tput_per_sender_core_gbps,"
@@ -98,7 +122,7 @@ std::string metrics_csv_row(const Metrics& m) {
   std::string row;
   auto add = [&row](const std::string& cell) {
     if (!row.empty()) row += ",";
-    row += cell;
+    row += csv_escape(cell);
   };
   add(Table::num(m.total_gbps, 3));
   add(Table::num(m.throughput_per_core_gbps, 3));

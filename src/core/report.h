@@ -5,8 +5,10 @@
 
 #include <iosfwd>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "core/config.h"
 #include "core/metrics.h"
 
 namespace hostsim {
@@ -42,9 +44,18 @@ void print_section(const std::string& title);
 void print_paper_line(const std::string& what, double measured,
                       const std::string& unit, const std::string& paper_note);
 
-/// CSV export of Metrics (for spreadsheets / plotting scripts).
+/// RFC-4180 field escaping: quotes (doubling embedded quotes) any field
+/// containing a comma, quote, or newline; returns others unchanged.
+std::string csv_escape(std::string_view field);
+
+/// CSV export of Metrics (for spreadsheets / plotting scripts).  Every
+/// field passes through csv_escape().
 std::string metrics_csv_header();
 std::string metrics_csv_row(const Metrics& metrics);
+
+/// Self-describing `#`-comment preamble for a metrics CSV: seed, config
+/// hash, stack label, pattern — so an artifact alone identifies the run.
+std::string metrics_csv_comment(const ExperimentConfig& config);
 
 /// Prints the fault-injection counters of a run (a no-op when the run
 /// experienced no injected faults or corruption drops).

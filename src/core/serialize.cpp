@@ -1,0 +1,754 @@
+#include "core/serialize.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <type_traits>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+
+// --- JsonWriter -------------------------------------------------------------
+
+void JsonWriter::separate() {
+  if (pending_key_) {
+    pending_key_ = false;
+    return;
+  }
+  if (!needs_comma_.empty()) {
+    if (needs_comma_.back()) out_ += ',';
+    needs_comma_.back() = true;
+  }
+}
+
+JsonWriter& JsonWriter::begin_object() {
+  separate();
+  out_ += '{';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_object() {
+  require(!needs_comma_.empty(), "unbalanced end_object");
+  needs_comma_.pop_back();
+  out_ += '}';
+  return *this;
+}
+
+JsonWriter& JsonWriter::begin_array() {
+  separate();
+  out_ += '[';
+  needs_comma_.push_back(false);
+  return *this;
+}
+
+JsonWriter& JsonWriter::end_array() {
+  require(!needs_comma_.empty(), "unbalanced end_array");
+  needs_comma_.pop_back();
+  out_ += ']';
+  return *this;
+}
+
+JsonWriter& JsonWriter::key(std::string_view name) {
+  separate();
+  out_ += quote(name);
+  out_ += ':';
+  pending_key_ = true;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::string_view text) {
+  separate();
+  out_ += quote(text);
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(double number) {
+  separate();
+  // Inf/NaN are not JSON; metrics never should produce one, but keep the
+  // document parseable if a model bug does.
+  if (!std::isfinite(number)) {
+    out_ += "null";
+    return *this;
+  }
+  char buffer[40];
+  std::snprintf(buffer, sizeof buffer, "%.17g", number);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::int64_t number) {
+  separate();
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%" PRId64, number);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(std::uint64_t number) {
+  separate();
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%" PRIu64, number);
+  out_ += buffer;
+  return *this;
+}
+
+JsonWriter& JsonWriter::value(bool flag) {
+  separate();
+  out_ += flag ? "true" : "false";
+  return *this;
+}
+
+std::string JsonWriter::quote(std::string_view text) {
+  std::string quoted = "\"";
+  for (char c : text) {
+    switch (c) {
+      case '"': quoted += "\\\""; break;
+      case '\\': quoted += "\\\\"; break;
+      case '\n': quoted += "\\n"; break;
+      case '\r': quoted += "\\r"; break;
+      case '\t': quoted += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          quoted += buffer;
+        } else {
+          quoted += c;
+        }
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+// --- JsonValue / parser -----------------------------------------------------
+
+double JsonValue::as_double() const {
+  if (kind_ != Kind::number) return 0.0;
+  return std::strtod(number_.c_str(), nullptr);
+}
+
+std::int64_t JsonValue::as_i64() const {
+  if (kind_ != Kind::number) return 0;
+  // Integers are emitted without exponent/fraction; fall back through
+  // double for anything else.
+  if (number_.find_first_of(".eE") == std::string::npos) {
+    return std::strtoll(number_.c_str(), nullptr, 10);
+  }
+  return static_cast<std::int64_t>(as_double());
+}
+
+std::uint64_t JsonValue::as_u64() const {
+  if (kind_ != Kind::number) return 0;
+  if (number_.find_first_of(".eE-") == std::string::npos) {
+    return std::strtoull(number_.c_str(), nullptr, 10);
+  }
+  return static_cast<std::uint64_t>(as_double());
+}
+
+const JsonValue* JsonValue::find(std::string_view name) const {
+  if (kind_ != Kind::object) return nullptr;
+  const auto it = members_.find(std::string(name));
+  return it == members_.end() ? nullptr : &it->second;
+}
+
+// Named (not anonymous-namespace) so JsonValue's friend declaration
+// grants it access to the private members it populates.
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  std::optional<JsonValue> parse_document() {
+    std::optional<JsonValue> value = parse_value();
+    if (!value) return std::nullopt;
+    skip_ws();
+    if (pos_ != text_.size()) return std::nullopt;  // trailing garbage
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  std::optional<std::string> parse_string() {
+    if (!consume('"')) return std::nullopt;
+    std::string out;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return std::nullopt;
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return std::nullopt;
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else return std::nullopt;
+            }
+            // We only ever emit \u for control characters; decode the
+            // single-byte range and pass anything else through as '?'.
+            out += code < 0x80 ? static_cast<char>(code) : '?';
+            break;
+          }
+          default: return std::nullopt;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return std::nullopt;  // unterminated
+  }
+
+  std::optional<JsonValue> parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) return std::nullopt;
+    JsonValue value;
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      value.kind_ = JsonValue::Kind::object;
+      skip_ws();
+      if (consume('}')) return value;
+      while (true) {
+        skip_ws();
+        std::optional<std::string> name = parse_string();
+        if (!name || !consume(':')) return std::nullopt;
+        std::optional<JsonValue> member = parse_value();
+        if (!member) return std::nullopt;
+        value.members_.emplace(std::move(*name), std::move(*member));
+        if (consume(',')) continue;
+        if (consume('}')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      value.kind_ = JsonValue::Kind::array;
+      skip_ws();
+      if (consume(']')) return value;
+      while (true) {
+        std::optional<JsonValue> item = parse_value();
+        if (!item) return std::nullopt;
+        value.items_.push_back(std::move(*item));
+        if (consume(',')) continue;
+        if (consume(']')) return value;
+        return std::nullopt;
+      }
+    }
+    if (c == '"') {
+      std::optional<std::string> text = parse_string();
+      if (!text) return std::nullopt;
+      value.kind_ = JsonValue::Kind::string;
+      value.string_ = std::move(*text);
+      return value;
+    }
+    if (literal("true")) {
+      value.kind_ = JsonValue::Kind::boolean;
+      value.boolean_ = true;
+      return value;
+    }
+    if (literal("false")) {
+      value.kind_ = JsonValue::Kind::boolean;
+      value.boolean_ = false;
+      return value;
+    }
+    if (literal("null")) return value;
+    // Number token.
+    const std::size_t start = pos_;
+    if (text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return std::nullopt;
+    value.kind_ = JsonValue::Kind::number;
+    value.number_ = std::string(text_.substr(start, pos_ - start));
+    return value;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<JsonValue> JsonValue::parse(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+// --- Config serialization ---------------------------------------------------
+
+namespace {
+
+std::string_view to_string(SteeringMode mode) {
+  switch (mode) {
+    case SteeringMode::rss: return "rss";
+    case SteeringMode::rps: return "rps";
+    case SteeringMode::rfs: return "rfs";
+    case SteeringMode::arfs: return "arfs";
+  }
+  return "?";
+}
+
+void write_stack(JsonWriter& w, const StackConfig& s) {
+  w.begin_object();
+  w.key("tso").value(s.tso);
+  w.key("gso").value(s.gso);
+  w.key("gro").value(s.gro);
+  w.key("jumbo").value(s.jumbo);
+  w.key("arfs").value(s.arfs);
+  w.key("dca").value(s.dca);
+  w.key("iommu").value(s.iommu);
+  w.key("lro").value(s.lro);
+  w.key("cc").value(to_string(s.cc));
+  w.key("fallback_steering").value(to_string(s.fallback_steering));
+  w.key("tx_zerocopy").value(s.tx_zerocopy);
+  w.key("rx_zerocopy").value(s.rx_zerocopy);
+  w.key("delayed_ack").value(s.delayed_ack);
+  w.key("receiver_driven").value(s.receiver_driven);
+  w.key("grant_max_active").value(s.grant_policy.max_active);
+  w.key("grant_bytes").value(s.grant_policy.grant_bytes);
+  w.key("grant_unscheduled_bytes").value(s.grant_policy.unscheduled_bytes);
+  w.key("trace_capacity").value(static_cast<std::uint64_t>(s.trace_capacity));
+  w.key("nic_ring_size").value(s.nic_ring_size);
+  w.key("tcp_rx_buf").value(s.tcp_rx_buf);
+  w.key("tcp_rx_buf_max").value(s.tcp_rx_buf_max);
+  w.key("tcp_tx_buf").value(s.tcp_tx_buf);
+  w.end_object();
+}
+
+void write_traffic(JsonWriter& w, const TrafficConfig& t) {
+  w.begin_object();
+  w.key("pattern").value(to_string(t.pattern));
+  w.key("flows").value(t.flows);
+  w.key("rpc_size").value(t.rpc_size);
+  w.key("receiver_app_remote_numa").value(t.receiver_app_remote_numa);
+  w.key("segregate_mixed_cores").value(t.segregate_mixed_cores);
+  w.key("app_chunk").value(t.app_chunk);
+  w.key("sender_chunk").value(t.sender_chunk);
+  w.end_object();
+}
+
+void write_cost(JsonWriter& w, const CostModel& c) {
+  w.begin_object();
+  w.key("core_ghz").value(c.core_ghz);
+  w.key("copy_cyc_per_byte_hit").value(c.copy_cyc_per_byte_hit);
+  w.key("copy_cyc_per_byte_miss").value(c.copy_cyc_per_byte_miss);
+  w.key("copy_remote_numa_factor").value(c.copy_remote_numa_factor);
+  w.key("copy_write_miss_extra").value(c.copy_write_miss_extra);
+  w.key("tcpip_tx_per_skb").value(c.tcpip_tx_per_skb);
+  w.key("tcpip_rx_per_skb").value(c.tcpip_rx_per_skb);
+  w.key("tcpip_cyc_per_byte").value(c.tcpip_cyc_per_byte);
+  w.key("tcpip_ack_tx").value(c.tcpip_ack_tx);
+  w.key("tcpip_ack_rx").value(c.tcpip_ack_rx);
+  w.key("tcpip_retransmit").value(c.tcpip_retransmit);
+  w.key("netdev_tx_per_skb").value(c.netdev_tx_per_skb);
+  w.key("netdev_rx_per_frame").value(c.netdev_rx_per_frame);
+  w.key("gro_per_segment").value(c.gro_per_segment);
+  w.key("gso_per_segment").value(c.gso_per_segment);
+  w.key("napi_poll_overhead").value(c.napi_poll_overhead);
+  w.key("driver_tx_per_skb").value(c.driver_tx_per_skb);
+  w.key("skb_alloc").value(c.skb_alloc);
+  w.key("skb_free").value(c.skb_free);
+  w.key("skb_free_remote_extra").value(c.skb_free_remote_extra);
+  w.key("page_alloc_pageset").value(c.page_alloc_pageset);
+  w.key("page_alloc_global").value(c.page_alloc_global);
+  w.key("page_free_local").value(c.page_free_local);
+  w.key("page_free_remote").value(c.page_free_remote);
+  w.key("pageset_capacity").value(c.pageset_capacity);
+  w.key("pageset_batch").value(c.pageset_batch);
+  w.key("iommu_map_per_page").value(c.iommu_map_per_page);
+  w.key("iommu_unmap_per_page").value(c.iommu_unmap_per_page);
+  w.key("lock_uncontended").value(c.lock_uncontended);
+  w.key("lock_contended").value(c.lock_contended);
+  w.key("context_switch").value(c.context_switch);
+  w.key("thread_wakeup").value(c.thread_wakeup);
+  w.key("thread_block").value(c.thread_block);
+  w.key("wakeup_latency").value(c.wakeup_latency);
+  w.key("pacer_release").value(c.pacer_release);
+  w.key("cold_gap").value(c.cold_gap);
+  w.key("cold_ramp").value(c.cold_ramp);
+  w.key("cold_penalty_max").value(c.cold_penalty_max);
+  w.key("zc_tx_completion").value(c.zc_tx_completion);
+  w.key("zc_tx_pin_per_page").value(c.zc_tx_pin_per_page);
+  w.key("zc_rx_remap_per_page").value(c.zc_rx_remap_per_page);
+  w.key("rps_ipi").value(c.rps_ipi);
+  w.key("irq_entry").value(c.irq_entry);
+  w.key("syscall_overhead").value(c.syscall_overhead);
+  w.end_object();
+}
+
+void write_faults(JsonWriter& w, const FaultPlan& f) {
+  w.begin_object();
+  w.key("ge").begin_object();
+  w.key("enabled").value(f.gilbert_elliott.enabled);
+  w.key("p_enter_bad").value(f.gilbert_elliott.p_enter_bad);
+  w.key("p_exit_bad").value(f.gilbert_elliott.p_exit_bad);
+  w.key("loss_good").value(f.gilbert_elliott.loss_good);
+  w.key("loss_bad").value(f.gilbert_elliott.loss_bad);
+  w.end_object();
+  w.key("corrupt_rate").value(f.corrupt_rate);
+  w.key("link_flaps").begin_array();
+  for (const LinkFlap& flap : f.link_flaps) {
+    w.begin_object();
+    w.key("at").value(flap.at);
+    w.key("duration").value(flap.duration);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("ring_stalls").begin_array();
+  for (const RingStall& stall : f.ring_stalls) {
+    w.begin_object();
+    w.key("at").value(stall.at);
+    w.key("duration").value(stall.duration);
+    w.key("queue").value(stall.queue);
+    w.end_object();
+  }
+  w.end_array();
+  w.key("pool_pressure").begin_array();
+  for (const PoolPressure& window : f.pool_pressure) {
+    w.begin_object();
+    w.key("at").value(window.at);
+    w.key("duration").value(window.duration);
+    w.key("deny_prob").value(window.deny_prob);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+}
+
+}  // namespace
+
+std::string config_to_json(const ExperimentConfig& config) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(static_cast<std::uint64_t>(kConfigSchemaVersion));
+  w.key("stack");
+  write_stack(w, config.stack);
+  w.key("traffic");
+  write_traffic(w, config.traffic);
+  w.key("cost");
+  write_cost(w, config.cost);
+  w.key("topo").begin_object();
+  w.key("num_nodes").value(config.topo.num_nodes);
+  w.key("cores_per_node").value(config.topo.cores_per_node);
+  w.key("nic_node").value(config.topo.nic_node);
+  w.end_object();
+  w.key("llc").begin_object();
+  w.key("sets").value(config.llc.sets);
+  w.key("ways").value(config.llc.ways);
+  w.key("ddio_ways").value(config.llc.ddio_ways);
+  w.end_object();
+  w.key("link_gbps").value(config.link_gbps);
+  w.key("wire_propagation").value(config.wire_propagation);
+  w.key("loss_rate").value(config.loss_rate);
+  w.key("ecn_threshold").value(config.ecn_threshold);
+  w.key("warmup").value(config.warmup);
+  w.key("duration").value(config.duration);
+  w.key("seed").value(config.seed);
+  w.key("faults");
+  write_faults(w, config.faults);
+  w.key("check_invariants").value(config.check_invariants);
+  w.key("watchdog").begin_object();
+  w.key("period").value(config.watchdog.period);
+  w.key("max_stalled_periods").value(config.watchdog.max_stalled_periods);
+  w.key("event_storm_budget").value(config.watchdog.event_storm_budget);
+  w.end_object();
+  w.end_object();
+  return w.str();
+}
+
+std::uint64_t config_hash(const ExperimentConfig& config) {
+  const std::string canonical = config_to_json(config);
+  // FNV-1a 64-bit.
+  std::uint64_t hash = 14695981039346656037ull;
+  for (char c : canonical) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  }
+  return hash;
+}
+
+std::string hash_hex(std::uint64_t hash) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof buffer, "0x%016" PRIx64, hash);
+  return buffer;
+}
+
+// --- Metrics serialization --------------------------------------------------
+
+namespace {
+
+void write_cycles(JsonWriter& w, const CycleAccount& account) {
+  w.begin_object();
+  for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
+    const auto category = static_cast<CpuCategory>(i);
+    w.key(to_string(category)).value(account.get(category));
+  }
+  w.end_object();
+}
+
+bool read_cycles(const JsonValue* value, CycleAccount* account) {
+  if (value == nullptr || !value->is_object()) return false;
+  for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
+    const auto category = static_cast<CpuCategory>(i);
+    const JsonValue* cell = value->find(to_string(category));
+    if (cell == nullptr) return false;
+    account->add(category, cell->as_i64());
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string metrics_to_json(const Metrics& m) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("window").value(m.window);
+  w.key("app_bytes").value(m.app_bytes);
+  w.key("total_gbps").value(m.total_gbps);
+  w.key("sender_cores_used").value(m.sender_cores_used);
+  w.key("receiver_cores_used").value(m.receiver_cores_used);
+  w.key("sender_peak_core_util").value(m.sender_peak_core_util);
+  w.key("receiver_peak_core_util").value(m.receiver_peak_core_util);
+  w.key("throughput_per_core_gbps").value(m.throughput_per_core_gbps);
+  w.key("throughput_per_sender_core_gbps")
+      .value(m.throughput_per_sender_core_gbps);
+  w.key("throughput_per_receiver_core_gbps")
+      .value(m.throughput_per_receiver_core_gbps);
+  w.key("sender_cycles");
+  write_cycles(w, m.sender_cycles);
+  w.key("receiver_cycles");
+  write_cycles(w, m.receiver_cycles);
+  w.key("rx_copy_miss_rate").value(m.rx_copy_miss_rate);
+  w.key("tx_copy_miss_rate").value(m.tx_copy_miss_rate);
+  w.key("napi_to_copy_avg").value(m.napi_to_copy_avg);
+  w.key("napi_to_copy_p99").value(m.napi_to_copy_p99);
+  w.key("mean_skb_bytes").value(m.mean_skb_bytes);
+  w.key("skb_64kb_fraction").value(m.skb_64kb_fraction);
+  w.key("retransmits").value(m.retransmits);
+  w.key("dup_acks_received").value(m.dup_acks_received);
+  w.key("acks_received").value(m.acks_received);
+  w.key("wire_drops").value(m.wire_drops);
+  w.key("faults").begin_object();
+  w.key("random_drops").value(m.faults.random_drops);
+  w.key("bursty_drops").value(m.faults.bursty_drops);
+  w.key("flap_drops").value(m.faults.flap_drops);
+  w.key("corrupt_frames").value(m.faults.corrupt_frames);
+  w.key("flaps").value(m.faults.flaps);
+  w.key("ring_stall_drops").value(m.faults.ring_stall_drops);
+  w.key("pool_denials").value(m.faults.pool_denials);
+  w.key("watchdog_trips").value(m.faults.watchdog_trips);
+  w.end_object();
+  w.key("rx_csum_drops").value(m.rx_csum_drops);
+  w.key("invariant_checks").value(m.invariant_checks);
+  w.key("invariant_violations").value(m.invariant_violations);
+  w.key("sender_pageset_miss").value(m.sender_pageset_miss);
+  w.key("receiver_pageset_miss").value(m.receiver_pageset_miss);
+  w.key("rpc_transactions").value(m.rpc_transactions);
+  w.key("rpc_transactions_per_sec").value(m.rpc_transactions_per_sec);
+  w.key("rpc_latency_p50").value(m.rpc_latency_p50);
+  w.key("rpc_latency_p99").value(m.rpc_latency_p99);
+  w.key("flows").begin_array();
+  for (const Metrics::FlowMetrics& flow : m.flows) {
+    w.begin_object();
+    w.key("flow").value(flow.flow);
+    w.key("delivered").value(flow.delivered);
+    w.key("gbps").value(flow.gbps);
+    w.end_object();
+  }
+  w.end_array();
+  w.end_object();
+  return w.str();
+}
+
+std::optional<Metrics> metrics_from_json(const JsonValue& v) {
+  if (!v.is_object()) return std::nullopt;
+  Metrics m;
+  const auto num = [&v](std::string_view name, auto* out) {
+    const JsonValue* cell = v.find(name);
+    if (cell == nullptr || !cell->is_number()) return false;
+    using T = std::remove_pointer_t<decltype(out)>;
+    if constexpr (std::is_same_v<T, double>) {
+      *out = cell->as_double();
+    } else if constexpr (std::is_unsigned_v<T>) {
+      *out = static_cast<T>(cell->as_u64());
+    } else {
+      *out = static_cast<T>(cell->as_i64());
+    }
+    return true;
+  };
+  bool ok = true;
+  ok &= num("window", &m.window);
+  ok &= num("app_bytes", &m.app_bytes);
+  ok &= num("total_gbps", &m.total_gbps);
+  ok &= num("sender_cores_used", &m.sender_cores_used);
+  ok &= num("receiver_cores_used", &m.receiver_cores_used);
+  ok &= num("sender_peak_core_util", &m.sender_peak_core_util);
+  ok &= num("receiver_peak_core_util", &m.receiver_peak_core_util);
+  ok &= num("throughput_per_core_gbps", &m.throughput_per_core_gbps);
+  ok &= num("throughput_per_sender_core_gbps",
+            &m.throughput_per_sender_core_gbps);
+  ok &= num("throughput_per_receiver_core_gbps",
+            &m.throughput_per_receiver_core_gbps);
+  ok &= read_cycles(v.find("sender_cycles"), &m.sender_cycles);
+  ok &= read_cycles(v.find("receiver_cycles"), &m.receiver_cycles);
+  ok &= num("rx_copy_miss_rate", &m.rx_copy_miss_rate);
+  ok &= num("tx_copy_miss_rate", &m.tx_copy_miss_rate);
+  ok &= num("napi_to_copy_avg", &m.napi_to_copy_avg);
+  ok &= num("napi_to_copy_p99", &m.napi_to_copy_p99);
+  ok &= num("mean_skb_bytes", &m.mean_skb_bytes);
+  ok &= num("skb_64kb_fraction", &m.skb_64kb_fraction);
+  ok &= num("retransmits", &m.retransmits);
+  ok &= num("dup_acks_received", &m.dup_acks_received);
+  ok &= num("acks_received", &m.acks_received);
+  ok &= num("wire_drops", &m.wire_drops);
+  const JsonValue* faults = v.find("faults");
+  if (faults != nullptr && faults->is_object()) {
+    const auto fnum = [&faults](std::string_view name, std::uint64_t* out) {
+      const JsonValue* cell = faults->find(name);
+      if (cell == nullptr || !cell->is_number()) return false;
+      *out = cell->as_u64();
+      return true;
+    };
+    ok &= fnum("random_drops", &m.faults.random_drops);
+    ok &= fnum("bursty_drops", &m.faults.bursty_drops);
+    ok &= fnum("flap_drops", &m.faults.flap_drops);
+    ok &= fnum("corrupt_frames", &m.faults.corrupt_frames);
+    ok &= fnum("flaps", &m.faults.flaps);
+    ok &= fnum("ring_stall_drops", &m.faults.ring_stall_drops);
+    ok &= fnum("pool_denials", &m.faults.pool_denials);
+    ok &= fnum("watchdog_trips", &m.faults.watchdog_trips);
+  } else {
+    ok = false;
+  }
+  ok &= num("rx_csum_drops", &m.rx_csum_drops);
+  ok &= num("invariant_checks", &m.invariant_checks);
+  ok &= num("invariant_violations", &m.invariant_violations);
+  ok &= num("sender_pageset_miss", &m.sender_pageset_miss);
+  ok &= num("receiver_pageset_miss", &m.receiver_pageset_miss);
+  ok &= num("rpc_transactions", &m.rpc_transactions);
+  ok &= num("rpc_transactions_per_sec", &m.rpc_transactions_per_sec);
+  ok &= num("rpc_latency_p50", &m.rpc_latency_p50);
+  ok &= num("rpc_latency_p99", &m.rpc_latency_p99);
+  const JsonValue* flows = v.find("flows");
+  if (flows != nullptr && flows->is_array()) {
+    for (const JsonValue& entry : flows->items()) {
+      Metrics::FlowMetrics fm;
+      const JsonValue* id = entry.find("flow");
+      const JsonValue* delivered = entry.find("delivered");
+      const JsonValue* gbps = entry.find("gbps");
+      if (id == nullptr || delivered == nullptr || gbps == nullptr) {
+        ok = false;
+        break;
+      }
+      fm.flow = static_cast<int>(id->as_i64());
+      fm.delivered = delivered->as_i64();
+      fm.gbps = gbps->as_double();
+      m.flows.push_back(fm);
+    }
+  } else {
+    ok = false;
+  }
+  if (!ok) return std::nullopt;
+  return m;
+}
+
+std::optional<Metrics> metrics_from_json(std::string_view text) {
+  const std::optional<JsonValue> value = JsonValue::parse(text);
+  if (!value) return std::nullopt;
+  return metrics_from_json(*value);
+}
+
+std::vector<std::pair<std::string, double>> scalar_metrics(const Metrics& m) {
+  std::vector<std::pair<std::string, double>> out;
+  const auto add = [&out](std::string name, double value) {
+    out.emplace_back(std::move(name), value);
+  };
+  add("total_gbps", m.total_gbps);
+  add("throughput_per_core_gbps", m.throughput_per_core_gbps);
+  add("throughput_per_sender_core_gbps", m.throughput_per_sender_core_gbps);
+  add("throughput_per_receiver_core_gbps",
+      m.throughput_per_receiver_core_gbps);
+  add("sender_cores_used", m.sender_cores_used);
+  add("receiver_cores_used", m.receiver_cores_used);
+  add("sender_peak_core_util", m.sender_peak_core_util);
+  add("receiver_peak_core_util", m.receiver_peak_core_util);
+  add("rx_copy_miss_rate", m.rx_copy_miss_rate);
+  add("tx_copy_miss_rate", m.tx_copy_miss_rate);
+  add("napi_to_copy_avg", static_cast<double>(m.napi_to_copy_avg));
+  add("napi_to_copy_p99", static_cast<double>(m.napi_to_copy_p99));
+  add("mean_skb_bytes", m.mean_skb_bytes);
+  add("skb_64kb_fraction", m.skb_64kb_fraction);
+  add("retransmits", static_cast<double>(m.retransmits));
+  add("dup_acks_received", static_cast<double>(m.dup_acks_received));
+  add("acks_received", static_cast<double>(m.acks_received));
+  add("wire_drops", static_cast<double>(m.wire_drops));
+  add("rx_csum_drops", static_cast<double>(m.rx_csum_drops));
+  add("sender_pageset_miss", m.sender_pageset_miss);
+  add("receiver_pageset_miss", m.receiver_pageset_miss);
+  add("rpc_transactions", static_cast<double>(m.rpc_transactions));
+  add("rpc_transactions_per_sec", m.rpc_transactions_per_sec);
+  add("rpc_latency_p50", static_cast<double>(m.rpc_latency_p50));
+  add("rpc_latency_p99", static_cast<double>(m.rpc_latency_p99));
+  add("flow_fairness", m.flow_fairness());
+  add("faults.random_drops", static_cast<double>(m.faults.random_drops));
+  add("faults.bursty_drops", static_cast<double>(m.faults.bursty_drops));
+  add("faults.flap_drops", static_cast<double>(m.faults.flap_drops));
+  add("faults.corrupt_frames", static_cast<double>(m.faults.corrupt_frames));
+  add("faults.flaps", static_cast<double>(m.faults.flaps));
+  add("faults.ring_stall_drops",
+      static_cast<double>(m.faults.ring_stall_drops));
+  add("faults.pool_denials", static_cast<double>(m.faults.pool_denials));
+  add("faults.watchdog_trips", static_cast<double>(m.faults.watchdog_trips));
+  for (std::size_t i = 0; i < kNumCpuCategories; ++i) {
+    const auto category = static_cast<CpuCategory>(i);
+    add("sender_cycles." + std::string(to_string(category)),
+        static_cast<double>(m.sender_cycles.get(category)));
+    add("receiver_cycles." + std::string(to_string(category)),
+        static_cast<double>(m.receiver_cycles.get(category)));
+  }
+  return out;
+}
+
+}  // namespace hostsim

@@ -1,0 +1,42 @@
+// Machine-readable campaign artifacts: one JSON and one CSV document per
+// campaign, each embedding the per-point config hash, seed, and the
+// source tree's git-describe, so any result can be traced back to the
+// exact configuration (and code) that produced it.  The JSON document is
+// also the regression-baseline format consumed by sweep/baseline.h.
+#ifndef HOSTSIM_SWEEP_ARTIFACT_H
+#define HOSTSIM_SWEEP_ARTIFACT_H
+
+#include <string>
+
+#include "sweep/runner.h"
+
+namespace hostsim::sweep {
+
+/// `git describe --always --dirty` of the working tree, or "unknown".
+std::string git_describe();
+
+/// Artifact JSON: {schema, campaign, git, points: [{label, config_hash,
+/// seed, from_cache, metrics: {...}}]}.
+std::string campaign_to_json(const CampaignResult& result,
+                             const std::string& git_version);
+
+/// Artifact CSV: `#`-comment preamble (campaign, git, schema), then one
+/// row per point with label/seed/config-hash columns ahead of the full
+/// metrics_csv_header() columns.  All fields are CSV-escaped.
+std::string campaign_to_csv(const CampaignResult& result,
+                            const std::string& git_version);
+
+struct ArtifactPaths {
+  std::string json;
+  std::string csv;
+};
+
+/// Writes `<out_dir>/<campaign>.json` and `.csv`, creating the directory
+/// as needed.  Aborts (contract) on I/O failure — artifacts are the
+/// point of the run, so losing them is not a soft error.
+ArtifactPaths write_campaign_artifacts(const CampaignResult& result,
+                                       const std::string& out_dir);
+
+}  // namespace hostsim::sweep
+
+#endif  // HOSTSIM_SWEEP_ARTIFACT_H

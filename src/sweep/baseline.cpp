@@ -1,0 +1,162 @@
+#include "sweep/baseline.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <optional>
+
+#include "core/serialize.h"
+
+namespace hostsim::sweep {
+
+namespace {
+
+/// Flattens a "metrics" JSON object into (name, value) pairs, dotted for
+/// nesting ("sender_cycles.data_copy") and indexed for arrays
+/// ("flows.0.gbps") — the namespace GateOptions::per_metric addresses.
+void flatten(const JsonValue& value, const std::string& prefix,
+             std::map<std::string, double>& out) {
+  switch (value.kind()) {
+    case JsonValue::Kind::number:
+      out[prefix] = value.as_double();
+      break;
+    case JsonValue::Kind::boolean:
+      out[prefix] = value.as_bool() ? 1.0 : 0.0;
+      break;
+    case JsonValue::Kind::object:
+      for (const auto& [name, member] : value.members()) {
+        flatten(member, prefix.empty() ? name : prefix + "." + name, out);
+      }
+      break;
+    case JsonValue::Kind::array: {
+      std::size_t index = 0;
+      for (const JsonValue& item : value.items()) {
+        flatten(item, prefix + "." + std::to_string(index++), out);
+      }
+      break;
+    }
+    default:
+      break;  // strings and nulls are not gateable quantities
+  }
+}
+
+struct ParsedPoint {
+  std::string config_hash;
+  std::map<std::string, double> metrics;
+};
+
+std::optional<std::map<std::string, ParsedPoint>> parse_artifact(
+    const std::string& json, std::string* error, const char* which) {
+  const std::optional<JsonValue> doc = JsonValue::parse(json);
+  if (!doc || !doc->is_object()) {
+    *error = std::string(which) + " artifact is not valid JSON";
+    return std::nullopt;
+  }
+  const JsonValue* points = doc->find("points");
+  if (points == nullptr || !points->is_array()) {
+    *error = std::string(which) + " artifact has no points array";
+    return std::nullopt;
+  }
+  std::map<std::string, ParsedPoint> parsed;
+  for (const JsonValue& entry : points->items()) {
+    const JsonValue* label = entry.find("label");
+    const JsonValue* metrics = entry.find("metrics");
+    if (label == nullptr || !label->is_string() || metrics == nullptr) {
+      *error = std::string(which) + " artifact has a malformed point";
+      return std::nullopt;
+    }
+    ParsedPoint point;
+    if (const JsonValue* hash = entry.find("config_hash");
+        hash != nullptr && hash->is_string()) {
+      point.config_hash = hash->as_string();
+    }
+    flatten(*metrics, "", point.metrics);
+    parsed.emplace(label->as_string(), std::move(point));
+  }
+  return parsed;
+}
+
+}  // namespace
+
+GateReport gate_against_baseline(const std::string& result_json,
+                                 const std::string& baseline_json,
+                                 const GateOptions& options) {
+  GateReport report;
+  const auto result = parse_artifact(result_json, &report.error, "result");
+  if (!result) return report;
+  const auto baseline =
+      parse_artifact(baseline_json, &report.error, "baseline");
+  if (!baseline) return report;
+
+  for (const auto& [label, base_point] : *baseline) {
+    const auto it = result->find(label);
+    if (it == result->end()) {
+      report.violations.push_back(
+          {label, "points", 0.0, 0.0, "point missing from result"});
+      continue;
+    }
+    const ParsedPoint& new_point = it->second;
+    ++report.points_compared;
+
+    if (!options.allow_config_drift &&
+        base_point.config_hash != new_point.config_hash) {
+      report.violations.push_back(
+          {label, "config_hash", 0.0, 0.0,
+           "config hash drifted (" + base_point.config_hash + " -> " +
+               new_point.config_hash +
+               "); re-baseline or pass --allow-config-drift"});
+    }
+
+    for (const auto& [metric, expected] : base_point.metrics) {
+      const auto cell = new_point.metrics.find(metric);
+      if (cell == new_point.metrics.end()) {
+        report.violations.push_back(
+            {label, metric, expected, 0.0, "metric missing from result"});
+        continue;
+      }
+      ++report.metrics_compared;
+      const double actual = cell->second;
+      const auto tol_it = options.per_metric.find(metric);
+      const Tolerance& tol =
+          tol_it != options.per_metric.end() ? tol_it->second
+                                             : options.fallback;
+      const double allowed = tol.abs + tol.rel * std::fabs(expected);
+      const double deviation = std::fabs(actual - expected);
+      if (deviation > allowed) {
+        char detail[160];
+        std::snprintf(detail, sizeof detail,
+                      "%.17g -> %.17g (deviation %.3g > allowed %.3g)",
+                      expected, actual, deviation, allowed);
+        report.violations.push_back({label, metric, expected, actual, detail});
+      }
+    }
+  }
+  for (const auto& [label, point] : *result) {
+    (void)point;
+    if (baseline->find(label) == baseline->end()) {
+      report.violations.push_back(
+          {label, "points", 0.0, 0.0, "point absent from baseline"});
+    }
+  }
+  return report;
+}
+
+std::string format_gate_report(const GateReport& report) {
+  if (!report.error.empty()) return "gate ERROR: " + report.error + "\n";
+  std::string out;
+  if (report.ok()) {
+    out = "gate OK: " + std::to_string(report.metrics_compared) +
+          " metrics across " + std::to_string(report.points_compared) +
+          " points within tolerance\n";
+    return out;
+  }
+  out = "gate FAILED: " + std::to_string(report.violations.size()) +
+        " violation(s) across " + std::to_string(report.points_compared) +
+        " compared points\n";
+  for (const GateViolation& v : report.violations) {
+    out += "  [" + v.point + "] " + v.metric + ": " + v.detail + "\n";
+  }
+  return out;
+}
+
+}  // namespace hostsim::sweep

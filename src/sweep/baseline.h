@@ -1,0 +1,62 @@
+// Regression gate: compares a campaign artifact (sweep/artifact.h JSON)
+// against a checked-in baseline of the same format, metric by metric,
+// with per-metric tolerances.  Intended use: regenerate a campaign after
+// a change, gate against `baselines/<campaign>.json`, and fail the merge
+// (nonzero exit from hostsim_sweep) on any out-of-tolerance drift.
+#ifndef HOSTSIM_SWEEP_BASELINE_H
+#define HOSTSIM_SWEEP_BASELINE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hostsim::sweep {
+
+struct Tolerance {
+  double rel = 0.0;  ///< allowed relative deviation, e.g. 0.02 = ±2%
+  double abs = 0.0;  ///< absolute slack added on top (floors tiny values)
+};
+
+struct GateOptions {
+  /// Tolerance for any metric without a per-metric override.  The
+  /// simulator is deterministic, so the default demands near-exactness;
+  /// widen per metric (or via --rel) when gating across code changes
+  /// that intentionally move results.
+  Tolerance fallback{0.0, 1e-9};
+  std::map<std::string, Tolerance> per_metric;
+  /// Accept points whose config hash differs from the baseline's (e.g.
+  /// after an intentional cost-model recalibration, before re-baselining).
+  bool allow_config_drift = false;
+};
+
+struct GateViolation {
+  std::string point;   ///< campaign point label
+  std::string metric;  ///< flat metric name, or "config_hash" / "points"
+  double baseline = 0.0;
+  double actual = 0.0;
+  std::string detail;  ///< human-readable one-liner
+};
+
+struct GateReport {
+  std::vector<GateViolation> violations;
+  std::size_t points_compared = 0;
+  std::size_t metrics_compared = 0;
+  std::string error;  ///< non-empty when an input failed to parse
+
+  bool ok() const { return error.empty() && violations.empty(); }
+};
+
+/// Diffs two artifact JSON documents (result vs baseline).  Points are
+/// matched by label; missing, extra, or config-drifted points violate,
+/// as does any metric outside tolerance.
+GateReport gate_against_baseline(const std::string& result_json,
+                                 const std::string& baseline_json,
+                                 const GateOptions& options = {});
+
+/// Multi-line human-readable report ("gate OK ..." / one violation per
+/// line), suitable for printing verbatim.
+std::string format_gate_report(const GateReport& report);
+
+}  // namespace hostsim::sweep
+
+#endif  // HOSTSIM_SWEEP_BASELINE_H

@@ -1,0 +1,94 @@
+#include "sweep/cache.h"
+
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <thread>
+
+#include "core/serialize.h"
+
+namespace hostsim::sweep {
+
+namespace fs = std::filesystem;
+
+std::string ResultCache::entry_path(const ExperimentConfig& config) const {
+  return (fs::path(dir_) / (hash_hex(config_hash(config)) + ".json"))
+      .string();
+}
+
+std::optional<Metrics> ResultCache::load(const ExperimentConfig& config) const {
+  if (!cacheable(config)) return std::nullopt;
+  std::ifstream in(entry_path(config));
+  if (!in) return std::nullopt;
+  std::ostringstream text;
+  text << in.rdbuf();
+  const std::optional<JsonValue> doc = JsonValue::parse(text.str());
+  if (!doc) return std::nullopt;
+  const JsonValue* schema = doc->find("schema");
+  if (schema == nullptr || schema->as_u64() != kConfigSchemaVersion) {
+    return std::nullopt;
+  }
+  // The filename already encodes the hash; re-check the embedded copy so
+  // a renamed or hand-edited entry can never masquerade as another run.
+  const JsonValue* hash = doc->find("config_hash");
+  if (hash == nullptr || hash->as_string() != hash_hex(config_hash(config))) {
+    return std::nullopt;
+  }
+  const JsonValue* metrics = doc->find("metrics");
+  if (metrics == nullptr) return std::nullopt;
+  return metrics_from_json(*metrics);
+}
+
+void ResultCache::store(const ExperimentConfig& config,
+                        const Metrics& metrics) const {
+  if (!cacheable(config)) return;
+  std::error_code ec;
+  fs::create_directories(dir_, ec);
+  if (ec) return;
+
+  JsonWriter w;
+  w.begin_object();
+  w.key("schema").value(static_cast<std::uint64_t>(kConfigSchemaVersion));
+  w.key("config_hash").value(hash_hex(config_hash(config)));
+  w.key("config_json").value(config_to_json(config));
+  // Splice the pre-rendered metrics object in verbatim: it is canonical
+  // JSON already, and reusing it keeps cache round-trips byte-stable.
+  std::string doc = w.str();
+  doc += ",\"metrics\":";
+  doc += metrics_to_json(metrics);
+  doc += '}';
+
+  const fs::path final_path = entry_path(config);
+  // Unique temp per writer thread so parallel stores of the same key
+  // never interleave; rename() is atomic within a directory.
+  const fs::path tmp_path =
+      final_path.string() + ".tmp" +
+      std::to_string(std::hash<std::thread::id>{}(std::this_thread::get_id()));
+  {
+    std::ofstream out(tmp_path, std::ios::trunc);
+    if (!out) return;
+    out << doc;
+    if (!out) {
+      out.close();
+      fs::remove(tmp_path, ec);
+      return;
+    }
+  }
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) fs::remove(tmp_path, ec);
+}
+
+std::size_t ResultCache::clear() const {
+  std::error_code ec;
+  std::size_t removed = 0;
+  for (const auto& entry : fs::directory_iterator(dir_, ec)) {
+    if (entry.path().extension() == ".json" &&
+        fs::remove(entry.path(), ec)) {
+      ++removed;
+    }
+  }
+  return removed;
+}
+
+}  // namespace hostsim::sweep

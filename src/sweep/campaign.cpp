@@ -1,0 +1,155 @@
+#include "sweep/campaign.h"
+
+#include <cstdio>
+
+#include "sim/contract.h"
+
+namespace hostsim::sweep {
+
+Axis Axis::of(std::string name, std::vector<AxisValue> values) {
+  Axis axis;
+  axis.name = std::move(name);
+  axis.values = std::move(values);
+  return axis;
+}
+
+Axis Axis::flows(std::vector<int> counts) {
+  Axis axis;
+  axis.name = "flows";
+  for (int n : counts) {
+    axis.values.push_back({std::to_string(n), [n](ExperimentConfig& c) {
+                             c.traffic.flows = n;
+                           }});
+  }
+  return axis;
+}
+
+Axis Axis::seeds(std::vector<std::uint64_t> seeds) {
+  Axis axis;
+  axis.name = "seed";
+  for (std::uint64_t seed : seeds) {
+    axis.values.push_back({std::to_string(seed), [seed](ExperimentConfig& c) {
+                             c.seed = seed;
+                           }});
+  }
+  return axis;
+}
+
+Axis Axis::nic_ring(std::vector<int> sizes) {
+  Axis axis;
+  axis.name = "ring";
+  for (int size : sizes) {
+    axis.values.push_back({std::to_string(size), [size](ExperimentConfig& c) {
+                             c.stack.nic_ring_size = size;
+                           }});
+  }
+  return axis;
+}
+
+Axis Axis::rx_buffer(std::vector<Bytes> sizes) {
+  Axis axis;
+  axis.name = "rxbuf";
+  for (Bytes size : sizes) {
+    const std::string label =
+        size == 0 ? "autotune" : std::to_string(size / kKiB) + "KB";
+    axis.values.push_back({label, [size](ExperimentConfig& c) {
+                             c.stack.tcp_rx_buf = size;
+                           }});
+  }
+  return axis;
+}
+
+Axis Axis::mtu() {
+  Axis axis;
+  axis.name = "mtu";
+  axis.values.push_back(
+      {"1500", [](ExperimentConfig& c) { c.stack.jumbo = false; }});
+  axis.values.push_back(
+      {"9000", [](ExperimentConfig& c) { c.stack.jumbo = true; }});
+  return axis;
+}
+
+Axis Axis::opt_ladder() {
+  Axis axis;
+  axis.name = "opts";
+  for (int level = 0; level <= 3; ++level) {
+    // Labels must be resolvable without a config, so bake them in here
+    // (they match StackConfig::label() for each ladder rung).
+    axis.values.push_back({StackConfig::opt_level(level).label(),
+                           [level](ExperimentConfig& c) {
+                             c.stack = StackConfig::opt_level(level);
+                           }});
+  }
+  return axis;
+}
+
+Axis Axis::loss_rates(std::vector<double> rates) {
+  Axis axis;
+  axis.name = "loss";
+  for (double rate : rates) {
+    char label[32];
+    std::snprintf(label, sizeof label, "%g", rate);
+    axis.values.push_back({label, [rate](ExperimentConfig& c) {
+                             c.loss_rate = rate;
+                           }});
+  }
+  return axis;
+}
+
+Axis Axis::fault_plans(std::vector<std::pair<std::string, FaultPlan>> plans) {
+  Axis axis;
+  axis.name = "faults";
+  for (auto& [label, plan] : plans) {
+    axis.values.push_back({label, [plan](ExperimentConfig& c) {
+                             c.faults = plan;
+                           }});
+  }
+  return axis;
+}
+
+std::string CampaignPoint::label() const {
+  if (coordinates.empty()) return "base";
+  std::string label;
+  for (const auto& [axis, value] : coordinates) {
+    if (!label.empty()) label += ' ';
+    label += axis + "=" + value;
+  }
+  return label;
+}
+
+std::size_t Campaign::num_points() const {
+  std::size_t n = 1;
+  for (const Axis& axis : axes) n *= axis.values.size();
+  return n;
+}
+
+std::vector<CampaignPoint> Campaign::expand() const {
+  for (const Axis& axis : axes) {
+    require(!axis.values.empty(), "campaign axis must have values");
+  }
+  std::vector<CampaignPoint> points;
+  points.reserve(num_points());
+  std::vector<std::size_t> cursor(axes.size(), 0);
+  while (true) {
+    CampaignPoint point;
+    point.index = points.size();
+    point.config = base;
+    for (std::size_t a = 0; a < axes.size(); ++a) {
+      const AxisValue& value = axes[a].values[cursor[a]];
+      point.coordinates.emplace_back(axes[a].name, value.label);
+      value.apply(point.config);
+    }
+    points.push_back(std::move(point));
+    // Odometer increment, last axis fastest (first axis outermost).
+    std::size_t a = axes.size();
+    while (a > 0) {
+      --a;
+      if (++cursor[a] < axes[a].values.size()) break;
+      cursor[a] = 0;
+      if (a == 0) return points;
+    }
+    if (axes.empty()) return points;
+  }
+}
+
+}  // namespace hostsim::sweep

@@ -1,0 +1,70 @@
+// Declarative experiment campaigns: named axes over ExperimentConfig
+// fields, expanded into a deterministic grid of resolved configurations.
+//
+// A Campaign is `base` config + axes; expansion is the cartesian product
+// with the FIRST axis outermost (matching the nested loops the figure
+// binaries historically used), so point order — and therefore artifact
+// row order — is a pure function of the description.  Explicit point
+// lists are just a campaign with one axis whose values are the points.
+#ifndef HOSTSIM_SWEEP_CAMPAIGN_H
+#define HOSTSIM_SWEEP_CAMPAIGN_H
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/config.h"
+
+namespace hostsim::sweep {
+
+/// One labelled value on an axis: `apply` edits the config in place.
+struct AxisValue {
+  std::string label;
+  std::function<void(ExperimentConfig&)> apply;
+};
+
+/// A named sweep dimension.
+struct Axis {
+  std::string name;
+  std::vector<AxisValue> values;
+
+  /// Generic axis from (label, mutation) pairs.
+  static Axis of(std::string name, std::vector<AxisValue> values);
+
+  // Ready-made axes for the paper's common sweep dimensions.
+  static Axis flows(std::vector<int> counts);
+  static Axis seeds(std::vector<std::uint64_t> seeds);
+  static Axis nic_ring(std::vector<int> sizes);
+  static Axis rx_buffer(std::vector<Bytes> sizes);  ///< 0 = "autotune"
+  static Axis mtu();                                ///< 1500 vs 9000 payload
+  static Axis opt_ladder();  ///< StackConfig::opt_level 0..3 (fig. 3)
+  static Axis loss_rates(std::vector<double> rates);
+  static Axis fault_plans(std::vector<std::pair<std::string, FaultPlan>> plans);
+};
+
+/// One resolved grid point.
+struct CampaignPoint {
+  std::size_t index = 0;  ///< position in expansion order
+  /// (axis name, value label) per axis, outermost first.
+  std::vector<std::pair<std::string, std::string>> coordinates;
+  ExperimentConfig config;
+
+  /// "flows=8 ring=256", or "base" for an axis-less campaign.
+  std::string label() const;
+};
+
+struct Campaign {
+  std::string name;
+  std::string description;
+  ExperimentConfig base;
+  std::vector<Axis> axes;
+
+  std::size_t num_points() const;
+  std::vector<CampaignPoint> expand() const;
+};
+
+}  // namespace hostsim::sweep
+
+#endif  // HOSTSIM_SWEEP_CAMPAIGN_H

@@ -1,0 +1,140 @@
+#include "sweep/campaigns.h"
+
+namespace hostsim::sweep {
+
+namespace {
+
+Campaign fig03_opt_ladder() {
+  Campaign campaign;
+  campaign.name = "fig03_opt_ladder";
+  campaign.description =
+      "fig 3(a-d): single flow, incremental optimization ladder";
+  campaign.base.traffic.pattern = Pattern::single_flow;
+  campaign.axes.push_back(Axis::opt_ladder());
+  return campaign;
+}
+
+Campaign fig03e_cache_miss() {
+  Campaign campaign;
+  campaign.name = "fig03e_cache_miss";
+  campaign.description =
+      "fig 3(e): single flow over NIC rx ring size x TCP rx buffer";
+  campaign.base.traffic.pattern = Pattern::single_flow;
+  campaign.axes.push_back(
+      Axis::nic_ring({128, 256, 512, 1024, 2048, 4096, 8192}));
+  campaign.axes.push_back(Axis::rx_buffer(
+      {3200 * kKiB, 6400 * kKiB, 12800 * kKiB, 0 /* autotune */}));
+  return campaign;
+}
+
+Campaign flows_campaign(const char* name, const char* description,
+                        Pattern pattern) {
+  Campaign campaign;
+  campaign.name = name;
+  campaign.description = description;
+  campaign.base.traffic.pattern = pattern;
+  // Let every flow's DRS buffer open before measuring (see fig. 5/6/8).
+  campaign.base.warmup = 25 * kMillisecond;
+  campaign.axes.push_back(Axis::flows({1, 8, 16, 24}));
+  return campaign;
+}
+
+Campaign fig09_loss() {
+  Campaign campaign;
+  campaign.name = "fig09_loss";
+  campaign.description = "fig 9: single flow under in-network random loss";
+  // Loss equilibria take CUBIC hundreds of milliseconds to reach.
+  campaign.base.warmup = 150 * kMillisecond;
+  campaign.base.duration = 250 * kMillisecond;
+  campaign.axes.push_back(Axis::loss_rates({0.0, 1.5e-4, 1.5e-3, 1.5e-2}));
+  return campaign;
+}
+
+Campaign fig10_rpc() {
+  Campaign campaign;
+  campaign.name = "fig10_rpc";
+  campaign.description = "fig 10: RPC size sweep, 16:1 incast";
+  campaign.base.traffic.pattern = Pattern::rpc_incast;
+  campaign.base.traffic.flows = 16;
+  Axis sizes;
+  sizes.name = "rpc";
+  for (Bytes size : {4 * kKiB, 16 * kKiB, 32 * kKiB, 64 * kKiB}) {
+    sizes.values.push_back({std::to_string(size / kKiB) + "KB",
+                            [size](ExperimentConfig& c) {
+                              c.traffic.rpc_size = size;
+                            }});
+  }
+  campaign.axes.push_back(std::move(sizes));
+  return campaign;
+}
+
+Campaign mtu_ladder() {
+  Campaign campaign;
+  campaign.name = "mtu_ladder";
+  campaign.description =
+      "standard vs jumbo MTU across one-to-one flow counts";
+  campaign.base.traffic.pattern = Pattern::one_to_one;
+  campaign.base.warmup = 25 * kMillisecond;
+  campaign.axes.push_back(Axis::mtu());
+  campaign.axes.push_back(Axis::flows({1, 8, 16}));
+  return campaign;
+}
+
+Campaign chaos_faults() {
+  Campaign campaign;
+  campaign.name = "chaos_faults";
+  campaign.description =
+      "fault-plan knobs x seeds: bursty loss, flaps, stalls, pressure";
+  campaign.base.warmup = 15 * kMillisecond;
+  campaign.base.duration = 40 * kMillisecond;
+
+  FaultPlan bursty;
+  bursty.gilbert_elliott = GilbertElliottConfig::for_average_loss(1.5e-3);
+  FaultPlan flappy;
+  flappy.link_flaps.push_back({20 * kMillisecond, 2 * kMillisecond});
+  FaultPlan stalled;
+  stalled.ring_stalls.push_back({25 * kMillisecond, 1 * kMillisecond, -1});
+  FaultPlan squeezed;
+  squeezed.pool_pressure.push_back({30 * kMillisecond, 2 * kMillisecond, 0.8});
+
+  campaign.axes.push_back(Axis::fault_plans({{"none", FaultPlan{}},
+                                             {"bursty", bursty},
+                                             {"flap", flappy},
+                                             {"stall", stalled},
+                                             {"pressure", squeezed}}));
+  campaign.axes.push_back(Axis::seeds({1, 2}));
+  return campaign;
+}
+
+}  // namespace
+
+std::vector<Campaign> builtin_campaigns() {
+  return {
+      fig03_opt_ladder(),
+      fig03e_cache_miss(),
+      flows_campaign("fig05_one_to_one",
+                     "fig 5: one-to-one, n sender cores -> n receiver cores",
+                     Pattern::one_to_one),
+      flows_campaign("fig06_incast",
+                     "fig 6: incast, n sender cores -> 1 receiver core",
+                     Pattern::incast),
+      flows_campaign("fig07_outcast",
+                     "fig 7: outcast, 1 sender core -> n receiver cores",
+                     Pattern::outcast),
+      flows_campaign("fig08_all_to_all", "fig 8: all-to-all, n x n flows",
+                     Pattern::all_to_all),
+      fig09_loss(),
+      fig10_rpc(),
+      mtu_ladder(),
+      chaos_faults(),
+  };
+}
+
+std::optional<Campaign> find_campaign(std::string_view name) {
+  for (Campaign& campaign : builtin_campaigns()) {
+    if (campaign.name == name) return std::move(campaign);
+  }
+  return std::nullopt;
+}
+
+}  // namespace hostsim::sweep

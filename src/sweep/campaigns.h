@@ -1,0 +1,23 @@
+// Built-in campaign definitions for the paper's core figures — the
+// single source of truth both the `hostsim_sweep` CLI and the thin
+// figure binaries execute.
+#ifndef HOSTSIM_SWEEP_CAMPAIGNS_H
+#define HOSTSIM_SWEEP_CAMPAIGNS_H
+
+#include <optional>
+#include <string_view>
+#include <vector>
+
+#include "sweep/campaign.h"
+
+namespace hostsim::sweep {
+
+/// Every registered campaign, in presentation order.
+std::vector<Campaign> builtin_campaigns();
+
+/// Lookup by name; nullopt when unknown.
+std::optional<Campaign> find_campaign(std::string_view name);
+
+}  // namespace hostsim::sweep
+
+#endif  // HOSTSIM_SWEEP_CAMPAIGNS_H

@@ -4,6 +4,8 @@
 
 #include <sstream>
 
+#include "core/serialize.h"
+
 namespace hostsim {
 namespace {
 
@@ -42,6 +44,40 @@ TEST(BreakdownTest, CellsAreFractionsOfTotal) {
   EXPECT_EQ(cells[0], "75.0%");
   EXPECT_EQ(cells[1], "25.0%");
   EXPECT_EQ(cells[7], "0.0%");
+}
+
+TEST(CsvEscapeTest, PlainFieldsPassThrough) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("42.5"), "42.5");
+  EXPECT_EQ(csv_escape(""), "");
+  EXPECT_EQ(csv_escape("with space"), "with space");
+}
+
+TEST(CsvEscapeTest, QuotesFieldsWithSpecialCharacters) {
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(csv_escape("line\nbreak"), "\"line\nbreak\"");
+  EXPECT_EQ(csv_escape("cr\rhere"), "\"cr\rhere\"");
+  EXPECT_EQ(csv_escape("\""), "\"\"\"\"");
+}
+
+TEST(CsvTest, HeaderAndRowHaveSameFieldCount) {
+  const std::string header = metrics_csv_header();
+  const std::string row = metrics_csv_row(Metrics{});
+  EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+            std::count(row.begin(), row.end(), ','));
+}
+
+TEST(CsvTest, CommentIdentifiesTheRun) {
+  ExperimentConfig config;
+  config.seed = 77;
+  const std::string comment = metrics_csv_comment(config);
+  EXPECT_EQ(comment.front(), '#');
+  EXPECT_NE(comment.find("seed=77"), std::string::npos);
+  EXPECT_NE(comment.find(hash_hex(config_hash(config))), std::string::npos);
+  EXPECT_NE(comment.find("pattern="), std::string::npos);
+  // A single line (caller appends the newline when prefixing a CSV).
+  EXPECT_EQ(std::count(comment.begin(), comment.end(), '\n'), 0);
 }
 
 }  // namespace

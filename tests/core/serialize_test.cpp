@@ -1,0 +1,161 @@
+#include "core/serialize.h"
+
+#include <gtest/gtest.h>
+
+namespace hostsim {
+namespace {
+
+TEST(JsonWriterTest, EscapesStrings) {
+  EXPECT_EQ(JsonWriter::quote("plain"), "\"plain\"");
+  EXPECT_EQ(JsonWriter::quote("a\"b"), "\"a\\\"b\"");
+  EXPECT_EQ(JsonWriter::quote("a\\b"), "\"a\\\\b\"");
+  EXPECT_EQ(JsonWriter::quote("a\nb"), "\"a\\nb\"");
+  EXPECT_EQ(JsonWriter::quote(std::string_view("a\x01z", 3)),
+            "\"a\\u0001z\"");
+}
+
+TEST(JsonWriterTest, BuildsNestedDocuments) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("a").value(std::int64_t{1});
+  w.key("b").begin_array();
+  w.value(std::int64_t{2}).value("x").value(true);
+  w.end_array();
+  w.key("c").begin_object().key("d").value(0.5).end_object();
+  w.end_object();
+  EXPECT_EQ(w.str(), R"({"a":1,"b":[2,"x",true],"c":{"d":0.5}})");
+}
+
+TEST(JsonValueTest, ParsesRoundTrip) {
+  const auto doc =
+      JsonValue::parse(R"({"n":-42,"f":1.5,"s":"hi\n","b":true,)"
+                       R"("arr":[1,2,3],"obj":{"x":null}})");
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("n")->as_i64(), -42);
+  EXPECT_DOUBLE_EQ(doc->find("f")->as_double(), 1.5);
+  EXPECT_EQ(doc->find("s")->as_string(), "hi\n");
+  EXPECT_TRUE(doc->find("b")->as_bool());
+  ASSERT_TRUE(doc->find("arr")->is_array());
+  EXPECT_EQ(doc->find("arr")->items().size(), 3u);
+  EXPECT_EQ(doc->find("obj")->find("x")->kind(), JsonValue::Kind::null);
+  EXPECT_EQ(doc->find("missing"), nullptr);
+}
+
+TEST(JsonValueTest, RejectsMalformedDocuments) {
+  EXPECT_FALSE(JsonValue::parse("").has_value());
+  EXPECT_FALSE(JsonValue::parse("{").has_value());
+  EXPECT_FALSE(JsonValue::parse("{\"a\":}").has_value());
+  EXPECT_FALSE(JsonValue::parse("[1,]").has_value());
+  EXPECT_FALSE(JsonValue::parse("{} trailing").has_value());
+  EXPECT_FALSE(JsonValue::parse("\"unterminated").has_value());
+}
+
+TEST(JsonValueTest, LargeU64SurvivesRoundTrip) {
+  JsonWriter w;
+  w.begin_object();
+  w.key("big").value(std::uint64_t{18446744073709551615ull});
+  w.end_object();
+  const auto doc = JsonValue::parse(w.str());
+  ASSERT_TRUE(doc.has_value());
+  EXPECT_EQ(doc->find("big")->as_u64(), 18446744073709551615ull);
+}
+
+TEST(ConfigHashTest, EqualConfigsHashEqual) {
+  ExperimentConfig a;
+  ExperimentConfig b;
+  EXPECT_EQ(config_hash(a), config_hash(b));
+  EXPECT_EQ(config_to_json(a), config_to_json(b));
+}
+
+TEST(ConfigHashTest, EveryKnobKindChangesTheHash) {
+  const ExperimentConfig base;
+  const std::uint64_t h = config_hash(base);
+
+  ExperimentConfig c = base;
+  c.seed = 2;
+  EXPECT_NE(config_hash(c), h) << "seed must be part of the key";
+
+  c = base;
+  c.stack.gro = false;
+  EXPECT_NE(config_hash(c), h) << "stack knobs must be part of the key";
+
+  c = base;
+  c.traffic.flows = 7;
+  EXPECT_NE(config_hash(c), h) << "traffic shape must be part of the key";
+
+  c = base;
+  c.cost.copy_cyc_per_byte_hit += 0.001;
+  EXPECT_NE(config_hash(c), h) << "cost calibration must be part of the key";
+
+  c = base;
+  c.llc.ddio_ways = 2;
+  EXPECT_NE(config_hash(c), h) << "cache geometry must be part of the key";
+
+  c = base;
+  c.faults.link_flaps.push_back({kMillisecond, kMillisecond});
+  EXPECT_NE(config_hash(c), h) << "fault plan must be part of the key";
+
+  c = base;
+  c.duration += kMillisecond;
+  EXPECT_NE(config_hash(c), h) << "run window must be part of the key";
+}
+
+TEST(MetricsJsonTest, RoundTripsExactly) {
+  Metrics m;
+  m.window = 25 * kMillisecond;
+  m.app_bytes = 123456789;
+  m.total_gbps = 42.123456789012345;
+  m.sender_cores_used = 0.75;
+  m.throughput_per_core_gbps = 41.9;
+  m.sender_cycles.add(CpuCategory::data_copy, 1000);
+  m.receiver_cycles.add(CpuCategory::sched, 31337);
+  m.rx_copy_miss_rate = 0.4935;
+  m.napi_to_copy_p99 = 81920;
+  m.retransmits = 17;
+  m.faults.bursty_drops = 5;
+  m.faults.watchdog_trips = 1;
+  m.rpc_transactions = 99;
+  m.flows.push_back({3, 4096, 1.25});
+  m.flows.push_back({4, 8192, 2.5});
+
+  const std::string json = metrics_to_json(m);
+  const std::optional<Metrics> back = metrics_from_json(json);
+  ASSERT_TRUE(back.has_value());
+  // %.17g round-trips doubles exactly, so re-serialization is identical.
+  EXPECT_EQ(metrics_to_json(*back), json);
+  EXPECT_EQ(back->app_bytes, m.app_bytes);
+  EXPECT_DOUBLE_EQ(back->total_gbps, m.total_gbps);
+  EXPECT_EQ(back->sender_cycles.get(CpuCategory::data_copy), 1000);
+  EXPECT_EQ(back->receiver_cycles.get(CpuCategory::sched), 31337);
+  EXPECT_EQ(back->faults.bursty_drops, 5u);
+  ASSERT_EQ(back->flows.size(), 2u);
+  EXPECT_EQ(back->flows[1].delivered, 8192);
+}
+
+TEST(MetricsJsonTest, RejectsTruncatedDocuments) {
+  const std::string json = metrics_to_json(Metrics{});
+  EXPECT_FALSE(metrics_from_json("{}").has_value());
+  EXPECT_FALSE(
+      metrics_from_json(json.substr(0, json.size() / 2)).has_value());
+}
+
+TEST(ScalarMetricsTest, CoversHeadlineAndBreakdownNames) {
+  Metrics m;
+  m.total_gbps = 42.0;
+  m.sender_cycles.add(CpuCategory::tcpip, 77);
+  const auto flat = scalar_metrics(m);
+  const auto find = [&flat](std::string_view name) -> const double* {
+    for (const auto& [key, value] : flat) {
+      if (key == name) return &value;
+    }
+    return nullptr;
+  };
+  ASSERT_NE(find("total_gbps"), nullptr);
+  EXPECT_DOUBLE_EQ(*find("total_gbps"), 42.0);
+  ASSERT_NE(find("sender_cycles.tcpip"), nullptr);
+  EXPECT_DOUBLE_EQ(*find("sender_cycles.tcpip"), 77.0);
+  ASSERT_NE(find("faults.watchdog_trips"), nullptr);
+}
+
+}  // namespace
+}  // namespace hostsim

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <limits>
+
 namespace hostsim {
 namespace {
 
@@ -66,6 +69,117 @@ TEST(HistogramTest, RecordNWeightsValues) {
   EXPECT_EQ(h.count(), 100u);
   EXPECT_NEAR(h.percentile(0.5), 100, 5);
   EXPECT_GT(h.percentile(0.999), 90000);
+}
+
+TEST(HistogramTest, EmptyMinAndPercentileExtremes) {
+  Histogram h;
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(0.0), 0);
+  EXPECT_EQ(h.percentile(1.0), 0);
+  // Out-of-range quantiles clamp instead of indexing out of bounds.
+  EXPECT_EQ(h.percentile(-1.0), 0);
+  EXPECT_EQ(h.percentile(2.0), 0);
+}
+
+TEST(HistogramTest, OutOfRangeQuantilesClampToObservedRange) {
+  Histogram h;
+  h.record(100);
+  h.record(200);
+  EXPECT_EQ(h.percentile(-0.5), h.percentile(0.0));
+  EXPECT_EQ(h.percentile(1.5), h.percentile(1.0));
+  EXPECT_GE(h.percentile(0.0), h.min());
+  EXPECT_LE(h.percentile(1.0), h.max());
+}
+
+TEST(HistogramTest, RecordNZeroCountIsNoOp) {
+  Histogram h;
+  h.record_n(1234, 0);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.percentile(0.5), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+}
+
+TEST(HistogramTest, RecordNearInt64MaxDoesNotOverflowBuckets) {
+  const std::int64_t huge = std::numeric_limits<std::int64_t>::max();
+  Histogram h;
+  h.record(huge);
+  h.record(huge - 1);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.max(), huge);
+  // The top bucket's midpoint may exceed the observed max; percentile
+  // must clamp into [min, max] rather than return a synthetic value.
+  EXPECT_LE(h.percentile(1.0), huge);
+  EXPECT_GE(h.percentile(0.0), huge - 1);
+}
+
+TEST(HistogramTest, RecordNHugeCountKeepsCountConsistent) {
+  // Counts adjacent to 2^32 — past any accidental 32-bit accumulator.
+  const std::uint64_t big = (1ull << 32) + 3;
+  Histogram h;
+  h.record_n(10, big);
+  h.record_n(1000, 1);
+  EXPECT_EQ(h.count(), big + 1);
+  EXPECT_EQ(h.percentile(0.5), 10);
+  EXPECT_EQ(h.max(), 1000);
+  EXPECT_NEAR(h.mean(), 10.0, 0.001);
+}
+
+TEST(HistogramTest, MergeWithEmptyIsIdentity) {
+  Histogram a;
+  Histogram empty;
+  a.record(10);
+  a.record(30);
+
+  a.merge(empty);  // merging an empty histogram changes nothing
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10);
+  EXPECT_EQ(a.max(), 30);
+  EXPECT_NEAR(a.mean(), 20.0, 1e-9);
+
+  Histogram b;
+  b.merge(a);  // merging into an empty histogram adopts the other's state
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.min(), 10);
+  EXPECT_EQ(b.max(), 30);
+  EXPECT_NEAR(b.mean(), 20.0, 1e-9);
+
+  Histogram c;
+  c.merge(Histogram{});  // empty with empty stays empty
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.percentile(0.5), 0);
+}
+
+TEST(HistogramTest, MergePreservesMeanAndQuantiles) {
+  Histogram a;
+  Histogram b;
+  for (int i = 1; i <= 500; ++i) a.record(i);
+  for (int i = 501; i <= 1000; ++i) b.record(i);
+  a.merge(b);
+
+  Histogram whole;
+  for (int i = 1; i <= 1000; ++i) whole.record(i);
+
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_EQ(a.percentile(0.5), whole.percentile(0.5));
+  EXPECT_EQ(a.percentile(0.99), whole.percentile(0.99));
+}
+
+TEST(HistogramTest, ClearResetsEverything) {
+  Histogram h;
+  h.record_n(1000, 42);
+  h.clear();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.mean(), 0.0);
+  EXPECT_EQ(h.percentile(0.99), 0);
+  h.record(5);  // usable again after clear
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.percentile(0.5), 5);
 }
 
 TEST(AccumulatorTest, MeanAndVariance) {

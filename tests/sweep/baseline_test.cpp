@@ -1,0 +1,121 @@
+#include "sweep/baseline.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/serialize.h"
+#include "sweep/artifact.h"
+#include "sweep/campaign.h"
+#include "sweep/runner.h"
+
+namespace hostsim::sweep {
+namespace {
+
+/// Synthetic two-point campaign result — no simulation needed to test
+/// the artifact/gate plumbing.
+CampaignResult sample_result() {
+  CampaignResult result;
+  result.campaign = "gate_test";
+  result.description = "synthetic";
+  result.simulated = 2;
+
+  Campaign campaign;
+  campaign.name = "gate_test";
+  campaign.axes.push_back(Axis::flows({1, 8}));
+  for (CampaignPoint& point : campaign.expand()) {
+    PointResult pr;
+    pr.config_hash = config_hash(point.config);
+    pr.metrics.window = 25 * kMillisecond;
+    pr.metrics.app_bytes = 1000 * (point.index + 1);
+    pr.metrics.total_gbps = 10.0 * static_cast<double>(point.index + 1);
+    pr.metrics.sender_cycles.add(CpuCategory::data_copy, 500);
+    pr.metrics.flows.push_back(
+        {static_cast<int>(point.index), 1000, pr.metrics.total_gbps});
+    pr.point = std::move(point);
+    result.points.push_back(std::move(pr));
+  }
+  return result;
+}
+
+TEST(GateTest, ResultGatesCleanAgainstItself) {
+  const std::string artifact = campaign_to_json(sample_result(), "test");
+  const GateReport report = gate_against_baseline(artifact, artifact);
+  EXPECT_TRUE(report.ok()) << format_gate_report(report);
+  EXPECT_EQ(report.points_compared, 2u);
+  EXPECT_GT(report.metrics_compared, 0u);
+  EXPECT_NE(format_gate_report(report).find("gate OK"), std::string::npos);
+}
+
+TEST(GateTest, OutOfToleranceMetricViolates) {
+  const std::string baseline = campaign_to_json(sample_result(), "test");
+  CampaignResult drifted = sample_result();
+  drifted.points[1].metrics.total_gbps *= 1.05;  // +5%
+  const std::string artifact = campaign_to_json(drifted, "test");
+
+  const GateReport strict = gate_against_baseline(artifact, baseline);
+  ASSERT_FALSE(strict.ok());
+  bool found = false;
+  for (const GateViolation& v : strict.violations) {
+    if (v.metric == "total_gbps" && v.point == "flows=8") found = true;
+  }
+  EXPECT_TRUE(found) << format_gate_report(strict);
+  EXPECT_NE(format_gate_report(strict).find("gate FAILED"),
+            std::string::npos);
+
+  // A per-metric tolerance wide enough for the drift must pass.
+  GateOptions lenient;
+  lenient.per_metric["total_gbps"] = Tolerance{0.10, 0.0};
+  lenient.per_metric["flows.0.gbps"] = Tolerance{0.10, 0.0};
+  EXPECT_TRUE(gate_against_baseline(artifact, baseline, lenient).ok());
+
+  // So must a global relative fallback.
+  GateOptions global;
+  global.fallback = Tolerance{0.10, 1e-9};
+  EXPECT_TRUE(gate_against_baseline(artifact, baseline, global).ok());
+}
+
+TEST(GateTest, MissingAndExtraPointsViolate) {
+  const std::string baseline = campaign_to_json(sample_result(), "test");
+  CampaignResult truncated = sample_result();
+  truncated.points.pop_back();
+  const GateReport report =
+      gate_against_baseline(campaign_to_json(truncated, "test"), baseline);
+  ASSERT_FALSE(report.ok());
+  ASSERT_EQ(report.violations.size(), 1u);
+  EXPECT_EQ(report.violations[0].metric, "points");
+  EXPECT_EQ(report.violations[0].point, "flows=8");
+
+  // Reversed roles: the result has a point the baseline lacks.
+  const GateReport extra =
+      gate_against_baseline(baseline, campaign_to_json(truncated, "test"));
+  ASSERT_FALSE(extra.ok());
+  EXPECT_EQ(extra.violations[0].metric, "points");
+}
+
+TEST(GateTest, ConfigDriftViolatesUnlessAllowed) {
+  const std::string baseline = campaign_to_json(sample_result(), "test");
+  CampaignResult drifted = sample_result();
+  drifted.points[0].config_hash ^= 1;  // same metrics, different config
+  const std::string artifact = campaign_to_json(drifted, "test");
+
+  const GateReport strict = gate_against_baseline(artifact, baseline);
+  ASSERT_FALSE(strict.ok());
+  EXPECT_EQ(strict.violations[0].metric, "config_hash");
+
+  GateOptions options;
+  options.allow_config_drift = true;
+  EXPECT_TRUE(gate_against_baseline(artifact, baseline, options).ok());
+}
+
+TEST(GateTest, MalformedInputReportsErrorNotCrash) {
+  const std::string artifact = campaign_to_json(sample_result(), "test");
+  EXPECT_FALSE(gate_against_baseline("{not json", artifact).ok());
+  EXPECT_FALSE(gate_against_baseline(artifact, "{}").ok());
+  const GateReport report = gate_against_baseline(artifact, "{}");
+  EXPECT_FALSE(report.error.empty());
+  EXPECT_NE(format_gate_report(report).find("gate ERROR"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hostsim::sweep

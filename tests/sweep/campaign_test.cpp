@@ -1,0 +1,111 @@
+#include "sweep/campaign.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/serialize.h"
+#include "sweep/campaigns.h"
+
+namespace hostsim::sweep {
+namespace {
+
+Campaign two_axis_campaign() {
+  Campaign campaign;
+  campaign.name = "test";
+  campaign.axes.push_back(Axis::flows({1, 8, 16}));
+  campaign.axes.push_back(Axis::nic_ring({256, 1024}));
+  return campaign;
+}
+
+TEST(CampaignTest, NumPointsIsAxisProduct) {
+  EXPECT_EQ(two_axis_campaign().num_points(), 6u);
+
+  Campaign empty;
+  EXPECT_EQ(empty.num_points(), 1u);  // the base config itself
+}
+
+TEST(CampaignTest, ExpansionFirstAxisOutermost) {
+  const auto points = two_axis_campaign().expand();
+  ASSERT_EQ(points.size(), 6u);
+  // flows outermost, ring innermost — matches historical nested loops.
+  const std::vector<std::pair<int, int>> want = {
+      {1, 256}, {1, 1024}, {8, 256}, {8, 1024}, {16, 256}, {16, 1024}};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(points[i].index, i);
+    EXPECT_EQ(points[i].config.traffic.flows, want[i].first) << "point " << i;
+    EXPECT_EQ(points[i].config.stack.nic_ring_size, want[i].second)
+        << "point " << i;
+    ASSERT_EQ(points[i].coordinates.size(), 2u);
+    EXPECT_EQ(points[i].coordinates[0].first, "flows");
+    EXPECT_EQ(points[i].coordinates[1].first, "ring");
+  }
+  EXPECT_EQ(points[3].label(), "flows=8 ring=1024");
+}
+
+TEST(CampaignTest, AxislessCampaignYieldsBasePoint) {
+  Campaign campaign;
+  campaign.base.traffic.flows = 5;
+  const auto points = campaign.expand();
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].config.traffic.flows, 5);
+  EXPECT_EQ(points[0].label(), "base");
+}
+
+TEST(CampaignTest, ExpansionIsDeterministic) {
+  const Campaign campaign = two_axis_campaign();
+  const auto a = campaign.expand();
+  const auto b = campaign.expand();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(config_hash(a[i].config), config_hash(b[i].config));
+    EXPECT_EQ(a[i].label(), b[i].label());
+  }
+}
+
+TEST(CampaignTest, RxBufferZeroLabelsAutotune) {
+  const Axis axis = Axis::rx_buffer({0, 3200 * 1024});
+  ASSERT_EQ(axis.values.size(), 2u);
+  EXPECT_EQ(axis.values[0].label, "autotune");
+  EXPECT_EQ(axis.values[1].label, "3200KB");
+}
+
+TEST(CampaignTest, OptLadderCoversAllLevels) {
+  const Axis axis = Axis::opt_ladder();
+  ASSERT_EQ(axis.values.size(), 4u);
+  ExperimentConfig config;
+  axis.values[0].apply(config);
+  EXPECT_FALSE(config.stack.gro);
+  axis.values[3].apply(config);
+  EXPECT_TRUE(config.stack.gro);
+}
+
+TEST(CampaignsTest, BuiltinsExistAndExpand) {
+  const auto& all = builtin_campaigns();
+  ASSERT_GE(all.size(), 8u);
+  for (const Campaign& campaign : all) {
+    EXPECT_FALSE(campaign.name.empty());
+    EXPECT_FALSE(campaign.description.empty());
+    EXPECT_GE(campaign.num_points(), 1u);
+    // Every point must expand without throwing and hash uniquely —
+    // duplicate hashes would alias cache entries within one campaign.
+    const auto points = campaign.expand();
+    ASSERT_EQ(points.size(), campaign.num_points());
+    std::vector<std::uint64_t> hashes;
+    for (const auto& point : points) {
+      hashes.push_back(config_hash(point.config));
+    }
+    std::sort(hashes.begin(), hashes.end());
+    EXPECT_EQ(std::adjacent_find(hashes.begin(), hashes.end()), hashes.end())
+        << "duplicate point hash in campaign " << campaign.name;
+  }
+  EXPECT_TRUE(find_campaign("fig05_one_to_one").has_value());
+  EXPECT_TRUE(find_campaign("fig03e_cache_miss").has_value());
+  EXPECT_FALSE(find_campaign("no_such_campaign").has_value());
+}
+
+}  // namespace
+}  // namespace hostsim::sweep

@@ -240,7 +240,10 @@ int main(int argc, char** argv) {
   const Metrics metrics = run_experiment(config);
 
   if (csv) {
-    if (csv_header) std::printf("%s\n", metrics_csv_header().c_str());
+    if (csv_header) {
+      std::printf("%s\n", metrics_csv_comment(config).c_str());
+      std::printf("%s\n", metrics_csv_header().c_str());
+    }
     std::printf("%s\n", metrics_csv_row(metrics).c_str());
     return 0;
   }
