@@ -13,9 +13,8 @@
 #include <string_view>
 #include <vector>
 
-#include "core/experiment.h"
-#include "core/report.h"
-#include "sweep/runner.h"
+#include "hostsim.h"
+
 
 namespace hostsim::bench {
 

@@ -1,0 +1,228 @@
+// Simulation-engine micro-benchmark harness.
+//
+// Every figure is regenerated from millions of per-packet events, so
+// engine events/sec is the binding constraint on how many scenarios a
+// sweep can afford.  This harness pins numbers on the three shapes that
+// dominate real runs and emits them as BENCH_engine.json, giving every
+// future PR a perf trajectory to compare against:
+//
+//   storm_zero_delay       raw schedule+dispatch of tiny closures with the
+//                          clock frozen (the GRO/NAPI task-chain shape)
+//   schedule_cancel_churn  arm/disarm of far-future timers (the RTO shape:
+//                          almost every armed timer is cancelled)
+//   fig05_end_to_end       a fig. 5 one-to-one point (8 flows), measuring
+//                          simulated events per wall-clock second
+//
+// Wall-clock timing is the point here, so runs are only comparable on the
+// same machine and build type; use Release.  The JSON is validated (and
+// diffed against a baseline) by tools/bench_json.
+//
+//   $ bench_engine [--quick] [--out=BENCH_engine.json]
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "hostsim.h"
+
+namespace {
+
+using namespace hostsim;
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+struct BenchResult {
+  std::string name;
+  std::string unit;     ///< what `rate` counts per second
+  double count = 0;     ///< work items per repetition
+  double seconds = 0;   ///< best wall time over the repetitions
+  double rate = 0;      ///< count / seconds
+  std::vector<std::pair<std::string, double>> extra;
+};
+
+/// One link of a zero-delay event chain: executes, then schedules its
+/// successor at the same timestamp.  The capture (16 bytes) matches the
+/// small closures the Nic/Stack/Wire hot path schedules.
+struct StormTask {
+  EventLoop* loop;
+  std::uint64_t* remaining;
+  void operator()() const {
+    if (*remaining == 0) return;
+    --*remaining;
+    loop->schedule_after(0, StormTask{loop, remaining});
+  }
+};
+
+BenchResult bench_storm(std::uint64_t events, int chains, int reps) {
+  BenchResult result;
+  result.name = "storm_zero_delay";
+  result.unit = "events/sec";
+  result.count = static_cast<double>(events);
+  result.seconds = 1e100;
+  for (int rep = 0; rep < reps; ++rep) {
+    EventLoop loop;
+    std::uint64_t remaining =
+        events > static_cast<std::uint64_t>(chains) ? events - chains : 0;
+    const auto start = Clock::now();
+    for (int chain = 0; chain < chains; ++chain) {
+      loop.schedule_after(0, StormTask{&loop, &remaining});
+    }
+    loop.run_to_completion();
+    result.seconds = std::min(result.seconds, seconds_since(start));
+    if (loop.executed() != events) {
+      std::fprintf(stderr, "storm executed %llu events, expected %llu\n",
+                   static_cast<unsigned long long>(loop.executed()),
+                   static_cast<unsigned long long>(events));
+      std::exit(1);
+    }
+  }
+  result.rate = result.count / result.seconds;
+  result.extra.emplace_back("chains", chains);
+  return result;
+}
+
+BenchResult bench_churn(std::uint64_t ops, int window, int reps) {
+  BenchResult result;
+  result.name = "schedule_cancel_churn";
+  result.unit = "ops/sec";
+  result.count = static_cast<double>(ops);
+  result.seconds = 1e100;
+  constexpr Nanos kFarFuture = 200 * kMillisecond;
+  for (int rep = 0; rep < reps; ++rep) {
+    EventLoop loop;
+    std::vector<EventId> armed(static_cast<std::size_t>(window));
+    for (std::size_t i = 0; i < armed.size(); ++i) {
+      armed[i] = loop.schedule_at(kFarFuture + static_cast<Nanos>(i), [] {});
+    }
+    // Deterministic splitmix64 pick of which armed timer each op replaces.
+    std::uint64_t state = 0x9E3779B97F4A7C15ull;
+    const auto start = Clock::now();
+    for (std::uint64_t op = 0; op < ops; ++op) {
+      state += 0x9E3779B97F4A7C15ull;
+      std::uint64_t x = state;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+      const auto index =
+          static_cast<std::size_t>((x ^ (x >> 31)) % armed.size());
+      loop.cancel(armed[index]);
+      armed[index] =
+          loop.schedule_at(kFarFuture + static_cast<Nanos>(op), [] {});
+    }
+    result.seconds = std::min(result.seconds, seconds_since(start));
+    if (rep == 0) {
+      // How much garbage the engine retains after the churn: an exact
+      // queue keeps `window` live events, a lazy-cancel queue also holds
+      // every cancelled entry until it surfaces.
+      result.extra.emplace_back("pending_after_churn",
+                                static_cast<double>(loop.pending()));
+      result.extra.emplace_back("live_timers", window);
+    }
+  }
+  result.rate = result.count / result.seconds;
+  return result;
+}
+
+BenchResult bench_fig05(bool quick) {
+  BenchResult result;
+  result.name = "fig05_end_to_end";
+  result.unit = "events/sec";
+
+  ExperimentConfig config;
+  config.traffic.pattern = Pattern::one_to_one;
+  config.traffic.flows = 8;
+  config.warmup = quick ? 2 * kMillisecond : 5 * kMillisecond;
+  config.duration = quick ? 5 * kMillisecond : 20 * kMillisecond;
+
+  Testbed testbed(config);
+  Workload workload = build_workload(testbed, config.traffic);
+  const auto start = Clock::now();
+  workload.start();
+  testbed.loop().run_until(config.warmup + config.duration);
+  result.seconds = seconds_since(start);
+
+  result.count = static_cast<double>(testbed.loop().executed());
+  result.rate = result.count / result.seconds;
+  const Bytes delivered = testbed.receiver().stack().total_delivered_to_app();
+  result.extra.emplace_back(
+      "gbps", to_gbps(delivered, config.warmup + config.duration));
+  result.extra.emplace_back(
+      "sim_nanos", static_cast<double>(config.warmup + config.duration));
+  return result;
+}
+
+std::string to_json(const std::vector<BenchResult>& results, bool quick) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("hostsim-bench-engine/v1");
+  json.key("quick").value(quick);
+  json.key("benches").begin_array();
+  for (const BenchResult& result : results) {
+    json.begin_object();
+    json.key("name").value(result.name);
+    json.key("unit").value(result.unit);
+    json.key("count").value(result.count);
+    json.key("seconds").value(result.seconds);
+    json.key("rate").value(result.rate);
+    json.key("extra").begin_object();
+    for (const auto& [name, value] : result.extra) {
+      json.key(name).value(value);
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string out = "BENCH_engine.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else {
+      std::fprintf(stderr, "usage: bench_engine [--quick] [--out=FILE]\n");
+      return 1;
+    }
+  }
+
+  const std::uint64_t storm_events = quick ? 400'000 : 4'000'000;
+  const std::uint64_t churn_ops = quick ? 100'000 : 1'000'000;
+  const int reps = quick ? 2 : 3;
+
+  std::vector<BenchResult> results;
+  results.push_back(bench_storm(storm_events, /*chains=*/64, reps));
+  results.push_back(bench_churn(churn_ops, /*window=*/4096, reps));
+  results.push_back(bench_fig05(quick));
+
+  print_section("Engine micro-benchmarks");
+  Table table({"bench", "work items", "best wall (s)", "rate"});
+  for (const BenchResult& result : results) {
+    table.add_row({result.name, Table::num(result.count, 0),
+                   Table::num(result.seconds, 4),
+                   Table::num(result.rate, 0) + " " + result.unit});
+  }
+  table.print();
+
+  std::ofstream file(out, std::ios::binary | std::ios::trunc);
+  if (!file) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  file << to_json(results, quick) << "\n";
+  std::printf("  wrote %s\n", out.c_str());
+  return 0;
+}

@@ -5,9 +5,8 @@
 #include <string>
 #include <vector>
 
-#include "core/experiment.h"
-#include "core/paper.h"
-#include "core/report.h"
+#include "hostsim.h"
+
 
 int main() {
   using namespace hostsim;

@@ -11,10 +11,9 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "hostsim.h"
+
 #include "bench_common.h"
-#include "core/paper.h"
-#include "sweep/campaigns.h"
-#include "sweep/runner.h"
 
 int main() {
   using namespace hostsim;

@@ -4,9 +4,8 @@
 // because DCA cannot push DMA writes into a remote node's LLC.
 #include <cstdio>
 
-#include "core/experiment.h"
-#include "core/paper.h"
-#include "core/report.h"
+#include "hostsim.h"
+
 
 int main() {
   using namespace hostsim;

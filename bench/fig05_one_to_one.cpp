@@ -9,9 +9,9 @@
 // artifacts); this binary just prints the paper-style tables.
 #include <cstdio>
 
+#include "hostsim.h"
+
 #include "bench_common.h"
-#include "core/paper.h"
-#include "sweep/campaigns.h"
 
 int main() {
   using namespace hostsim;

@@ -4,8 +4,9 @@
 // raising per-byte copy cost; the CPU breakdown barely shifts.
 #include <cstdio>
 
+#include "hostsim.h"
+
 #include "bench_common.h"
-#include "core/paper.h"
 
 int main() {
   using namespace hostsim;

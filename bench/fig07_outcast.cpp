@@ -5,8 +5,9 @@
 // warm (~11% misses at 24 flows), and data copy dominates sender cycles.
 #include <cstdio>
 
+#include "hostsim.h"
+
 #include "bench_common.h"
-#include "core/paper.h"
 
 int main() {
   using namespace hostsim;

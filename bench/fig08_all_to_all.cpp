@@ -4,8 +4,9 @@
 // and raising per-byte protocol costs.
 #include <cstdio>
 
+#include "hostsim.h"
+
 #include "bench_common.h"
-#include "core/paper.h"
 
 int main() {
   using namespace hostsim;

@@ -10,8 +10,9 @@
 #include <string>
 #include <vector>
 
+#include "hostsim.h"
+
 #include "bench_common.h"
-#include "core/paper.h"
 
 int main() {
   using namespace hostsim;

@@ -6,8 +6,9 @@
 #include <cstdio>
 #include <vector>
 
+#include "hostsim.h"
+
 #include "bench_common.h"
-#include "core/paper.h"
 
 int main() {
   using namespace hostsim;

@@ -3,12 +3,8 @@
 // end-to-end simulated-time per wall-second.
 #include <benchmark/benchmark.h>
 
-#include "core/experiment.h"
-#include "hw/llc_model.h"
-#include "mem/page_allocator.h"
-#include "net/gro.h"
-#include "sim/event_loop.h"
-#include "sim/stats.h"
+#include "hostsim.h"
+
 
 namespace hostsim {
 namespace {

@@ -17,9 +17,8 @@
 #include <string>
 #include <string_view>
 
-#include "core/patterns.h"
-#include "core/report.h"
-#include "sim/invariant_checker.h"
+#include "hostsim.h"
+
 
 namespace {
 

@@ -9,8 +9,8 @@
 #include <string>
 #include <vector>
 
-#include "core/experiment.h"
-#include "core/report.h"
+#include "hostsim.h"
+
 
 int main() {
   using namespace hostsim;

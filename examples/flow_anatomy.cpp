@@ -8,7 +8,8 @@
 #include <cstdlib>
 #include <string>
 
-#include "core/experiment.h"
+#include "hostsim.h"
+
 
 int main(int argc, char** argv) {
   using namespace hostsim;

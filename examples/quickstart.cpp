@@ -8,8 +8,8 @@
 // ~42Gbps, with data copy as the dominant cycle consumer.
 #include <cstdio>
 
-#include "core/experiment.h"
-#include "core/report.h"
+#include "hostsim.h"
+
 
 int main() {
   using namespace hostsim;

@@ -8,8 +8,8 @@
 #include <cstdio>
 #include <vector>
 
-#include "core/experiment.h"
-#include "core/report.h"
+#include "hostsim.h"
+
 
 int main() {
   using namespace hostsim;

@@ -9,9 +9,8 @@
 #include <string>
 #include <vector>
 
-#include "core/experiment.h"
-#include "core/patterns.h"
-#include "core/report.h"
+#include "hostsim.h"
+
 
 int main(int argc, char** argv) {
   using namespace hostsim;

@@ -14,13 +14,13 @@
 #define HOSTSIM_CPU_CORE_H
 
 #include <deque>
-#include <functional>
 #include <string>
 #include <vector>
 
 #include "cpu/cost_model.h"
 #include "cpu/cycle_account.h"
 #include "sim/event_loop.h"
+#include "sim/inline_function.h"
 #include "sim/units.h"
 
 namespace hostsim {
@@ -35,8 +35,11 @@ struct Context {
 
 class Core {
  public:
-  using TaskFn = std::function<void(Core&)>;
-  using Action = std::function<void()>;
+  // Inline-storage callables: tasks cross the dispatch queues and defers
+  // cross busy-period boundaries on every packet, so neither may
+  // heap-allocate for the common capture shapes (see inline_function.h).
+  using TaskFn = InlineFunction<void(Core&)>;
+  using Action = InlineFunction<void()>;
 
   Core(EventLoop& loop, const CostModel& cost, int id, int numa_node)
       : loop_(&loop), cost_(&cost), id_(id), numa_node_(numa_node) {}

@@ -1,0 +1,37 @@
+// Umbrella header: the supported public surface of the simulator.
+//
+// Downstream consumers (examples/, bench/, external users) should include
+// this single header instead of reaching into the internal directory
+// layout — internal headers move freely between PRs, this one does not.
+// The supported surface is:
+//
+//   EventLoop / Timer / TimerHandle   sim engine and scheduling API
+//   ExperimentConfig + Experiment     configuration and one-shot runs
+//   Testbed + build_workload          manual testbed assembly
+//   Metrics / report tables           measurement output and printing
+//   sweep::Campaign / runner          declarative experiment campaigns
+//   InvariantChecker / Watchdog       end-of-run checking, liveness
+//
+// Everything else (net/, hw/, cpu/, mem/ internals) is implementation
+// detail: reachable through these headers where the types leak into the
+// surface (StackConfig toggles, CostModel fields), but with no stability
+// promise of its own.
+#ifndef HOSTSIM_HOSTSIM_H
+#define HOSTSIM_HOSTSIM_H
+
+#include "core/config.h"
+#include "core/experiment.h"
+#include "core/metrics.h"
+#include "core/paper.h"
+#include "core/patterns.h"
+#include "core/report.h"
+#include "core/serialize.h"
+#include "core/testbed.h"
+#include "sim/event_loop.h"
+#include "sim/invariant_checker.h"
+#include "sim/timer.h"
+#include "sweep/campaign.h"
+#include "sweep/campaigns.h"
+#include "sweep/runner.h"
+
+#endif  // HOSTSIM_HOSTSIM_H

@@ -37,6 +37,13 @@ Nic::Nic(EventLoop& loop, const Config& config, const NumaTopology& topo,
   queues_.resize(cores_.size());
   for (std::size_t i = 0; i < queues_.size(); ++i) {
     queues_[i].pool = std::make_unique<PagePool>(allocator, iommu);
+    queues_[i].irq_timer = std::make_unique<Timer>(loop, [this, i] {
+      RxQueue& q = queues_[i];
+      if (!q.napi_active && !q.backlog.empty()) {
+        q.napi_active = true;
+        kick_napi(static_cast<int>(i));
+      }
+    });
     // Driver init: pre-post the full ring.  Runs as a softirq task at
     // t=0 so the page allocations are charged in a proper task context.
     cores_[i]->post(softirq_, [this, i](Core& core) {
@@ -89,7 +96,7 @@ void Nic::receive(Frame frame) {
     faults_->note_ring_stall_drop();
     return;
   }
-  std::vector<Fragment> fragments;
+  FragmentVec fragments;
   if (frame.payload > 0) {
     if (queue.posted.empty()) {
       ++ring_drops_;
@@ -107,7 +114,7 @@ void Nic::receive(Frame frame) {
   // payload cache machinery.
   queue.backlog.push_back(
       BacklogEntry{std::move(frame), std::move(fragments), loop_->now()});
-  if (!queue.napi_active && !queue.irq_pending) {
+  if (!queue.napi_active && !queue.irq_timer->armed()) {
     if (config_.irq_moderation == 0) {
       queue.napi_active = true;
       kick_napi(index);
@@ -115,15 +122,7 @@ void Nic::receive(Frame frame) {
     }
     // Interrupt moderation: batch arrivals for a short window before
     // raising the IRQ (CX-5 style rx-usecs coalescing).
-    queue.irq_pending = true;
-    loop_->schedule_after(config_.irq_moderation, [this, index] {
-      RxQueue& q = queues_[static_cast<std::size_t>(index)];
-      q.irq_pending = false;
-      if (!q.napi_active && !q.backlog.empty()) {
-        q.napi_active = true;
-        kick_napi(index);
-      }
-    });
+    queue.irq_timer->arm_after(config_.irq_moderation);
   }
 }
 
@@ -137,7 +136,7 @@ void Nic::kick_napi(int index) {
       });
 }
 
-void Nic::release_fragments(Core& core, std::vector<Fragment>& fragments) {
+void Nic::release_fragments(Core& core, FragmentVec& fragments) {
   for (const Fragment& fragment : fragments) {
     allocator_->release(core, fragment.page);
   }
@@ -172,10 +171,7 @@ std::optional<Nic::PolledFrame> Nic::poll_one(Core& core, int index) {
       }
       iommu_->charge_unmap(
           core, static_cast<double>(descriptor_bytes()) / kPageBytes);
-      polled.fragments.insert(
-          polled.fragments.end(),
-          std::make_move_iterator(next.fragments.begin()),
-          std::make_move_iterator(next.fragments.end()));
+      polled.fragments.append_from(std::move(next.fragments));
       frame.payload += next.frame.payload;
       frame.ecn = frame.ecn || next.frame.ecn;
       // One bad frame poisons the merged train's checksum.
@@ -190,7 +186,7 @@ std::optional<Nic::PolledFrame> Nic::poll_one(Core& core, int index) {
   return polled;
 }
 
-void Nic::dma_into_cache(const std::vector<Fragment>& fragments) {
+void Nic::dma_into_cache(const FragmentVec& fragments) {
   for (const Fragment& fragment : fragments) {
     Page* page = fragment.page;
     if (config_.dca && page->numa_node == topo_.nic_node) {

@@ -33,6 +33,7 @@
 #include "mem/page_allocator.h"
 #include "mem/page_pool.h"
 #include "sim/fault_injector.h"
+#include "sim/timer.h"
 
 namespace hostsim {
 
@@ -54,7 +55,7 @@ class Nic {
   /// A frame handed to the stack by NAPI, with its DMA'd page fragments.
   struct PolledFrame {
     Frame frame;
-    std::vector<Fragment> fragments;
+    FragmentVec fragments;
     int segments = 1;  ///< >1 when LRO merged multiple wire frames
     Nanos arrived_at = 0;
   };
@@ -129,11 +130,11 @@ class Nic {
 
  private:
   struct RxDescriptor {
-    std::vector<Fragment> fragments;
+    FragmentVec fragments;
   };
   struct BacklogEntry {
     Frame frame;
-    std::vector<Fragment> fragments;
+    FragmentVec fragments;
     Nanos arrived;
   };
   struct RxQueue {
@@ -141,16 +142,19 @@ class Nic {
     std::deque<BacklogEntry> backlog;
     std::unique_ptr<PagePool> pool;
     bool napi_active = false;
-    bool irq_pending = false;  ///< moderation timer armed
+    /// Interrupt-moderation window timer; armed() doubles as the old
+    /// irq_pending flag.  Behind a unique_ptr because Timer is
+    /// address-stable (non-movable) while RxQueue lives in a vector.
+    std::unique_ptr<Timer> irq_timer;
     /// Budget-exhausted NAPI continuations run here: user priority, so
     /// they round-robin with application threads exactly like ksoftirqd
     /// competing under CFS.
     Context ksoftirqd{"ksoftirqd", /*kernel=*/false};
   };
 
-  void dma_into_cache(const std::vector<Fragment>& fragments);
+  void dma_into_cache(const FragmentVec& fragments);
   void replenish(Core& core, RxQueue& queue);
-  void release_fragments(Core& core, std::vector<Fragment>& fragments);
+  void release_fragments(Core& core, FragmentVec& fragments);
   void kick_napi(int queue);
 
   EventLoop* loop_;

@@ -59,8 +59,12 @@ void Wire::transmit(Side from, Frame frame) {
 
   ++delivered_;
   bytes_delivered_ += frame.payload;
-  loop_->schedule_at(tx_end + config_.propagation,
-                     [this, to, frame] { sinks_[to](frame); });
+  const SlotPool<Frame>::Slot slot = in_flight_.acquire(frame);
+  loop_->schedule_at(tx_end + config_.propagation, [this, to, slot] {
+    Frame delivered = in_flight_[slot];
+    in_flight_.release(slot);
+    sinks_[to](delivered);
+  });
 }
 
 }  // namespace hostsim

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 
+#include "mem/small_vec.h"
 #include "sim/units.h"
 
 namespace hostsim {
@@ -30,6 +31,11 @@ struct Fragment {
   Page* page = nullptr;
   Bytes bytes = 0;
 };
+
+/// Fragment list of one descriptor or skb.  Inlines the common case —
+/// an MTU frame spans at most ceil(9000/4096)+1 = 4 packed pool pages —
+/// and spills to the heap only for merged GRO/LRO trains.
+using FragmentVec = SmallVec<Fragment, 4>;
 
 }  // namespace hostsim
 

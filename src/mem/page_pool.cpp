@@ -6,9 +6,9 @@
 
 namespace hostsim {
 
-std::vector<Fragment> PagePool::alloc_span(Core& core, Bytes bytes) {
+FragmentVec PagePool::alloc_span(Core& core, Bytes bytes) {
   require(bytes > 0, "descriptor span must be positive");
-  std::vector<Fragment> fragments;
+  FragmentVec fragments;
   Bytes remaining = bytes;
   while (remaining > 0) {
     if (current_ == nullptr || used_in_current_ >= kPageBytes) {

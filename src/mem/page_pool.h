@@ -27,10 +27,10 @@ class PagePool {
   /// new pages (and IOMMU-mapping them) as needed.  Each returned
   /// fragment holds one page reference.
   ///
-  /// Returns an empty vector when the fault injector denies a needed
+  /// Returns an empty list when the fault injector denies a needed
   /// page allocation (pool-pressure window) — the caller must treat
   /// this like a failed GFP_ATOMIC allocation and retry later.
-  std::vector<Fragment> alloc_span(Core& core, Bytes bytes);
+  FragmentVec alloc_span(Core& core, Bytes bytes);
 
   /// Attaches the run's fault injector (page-pool pressure windows).
   void set_fault_injector(FaultInjector* faults) { faults_ = faults; }

@@ -5,13 +5,10 @@
 
 namespace hostsim {
 
-std::vector<Skb> Gro::feed(Skb segment) {
-  std::vector<Skb> completed;
-  if (!enabled_) {
-    completed.push_back(std::move(segment));
-    return completed;
-  }
+std::optional<Skb> Gro::feed(Skb segment) {
+  if (!enabled_) return segment;
 
+  std::optional<Skb> completed;
   auto it = pending_.find(segment.flow);
   if (it != pending_.end()) {
     Skb& head = it->second;
@@ -22,26 +19,23 @@ std::vector<Skb> Gro::feed(Skb segment) {
       head.segments += segment.segments;
       head.ecn = head.ecn || segment.ecn;
       head.sent_at = segment.sent_at;  // freshest timestamp, for RTT echo
-      head.fragments.insert(head.fragments.end(),
-                            std::make_move_iterator(segment.fragments.begin()),
-                            std::make_move_iterator(segment.fragments.end()));
+      head.fragments.append_from(std::move(segment.fragments));
       if (head.len >= max_bytes_) {
-        completed.push_back(std::move(head));
+        completed = std::move(head);
         pending_.erase(it);
       }
       return completed;
     }
     // Gap or size overflow: the pending skb goes up as-is.
-    completed.push_back(std::move(head));
+    completed = std::move(head);
     pending_.erase(it);
   }
   pending_.emplace(segment.flow, std::move(segment));
   return completed;
 }
 
-std::vector<Skb> Gro::flush() {
-  std::vector<Skb> completed;
-  completed.reserve(pending_.size());
+SkbBatch Gro::flush() {
+  SkbBatch completed;
   for (auto& [flow, skb] : pending_) completed.push_back(std::move(skb));
   pending_.clear();
   // Flush in flow order: unordered_map iteration order is

@@ -8,8 +8,8 @@
 #ifndef HOSTSIM_NET_GRO_H
 #define HOSTSIM_NET_GRO_H
 
+#include <optional>
 #include <unordered_map>
-#include <vector>
 
 #include "net/skb.h"
 
@@ -21,12 +21,13 @@ class Gro {
       : enabled_(enabled), max_bytes_(max_bytes) {}
 
   /// Feeds one driver-built skb (one wire frame, or an LRO train).
-  /// Returns the skbs that completed as a result (size limit reached or
-  /// non-mergeable input flushed the pending one).
-  std::vector<Skb> feed(Skb segment);
+  /// Returns the skb that completed as a result, if any: feeding one
+  /// segment can complete at most one skb (the size limit was reached,
+  /// or a non-mergeable input flushed the flow's pending one).
+  std::optional<Skb> feed(Skb segment);
 
   /// Flushes all pending skbs (end of NAPI poll round).
-  std::vector<Skb> flush();
+  SkbBatch flush();
 
   bool enabled() const { return enabled_; }
 

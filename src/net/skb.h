@@ -8,9 +8,9 @@
 #define HOSTSIM_NET_SKB_H
 
 #include <cstdint>
-#include <vector>
 
 #include "mem/page.h"
+#include "mem/small_vec.h"
 #include "sim/stats.h"
 #include "sim/units.h"
 
@@ -20,7 +20,7 @@ struct Skb {
   int flow = -1;
   std::int64_t seq = 0;
   Bytes len = 0;
-  std::vector<Fragment> fragments;
+  FragmentVec fragments;
   int segments = 1;    ///< wire frames this skb represents (post-merge)
   Nanos napi_at = 0;   ///< NAPI processing time of the first segment
   Nanos sent_at = 0;   ///< sender timestamp of the last merged segment
@@ -28,6 +28,10 @@ struct Skb {
 
   std::int64_t end_seq() const { return seq + len; }
 };
+
+/// A short run of skbs handed between layers (e.g. a GRO flush); sized
+/// for the common few-flows-per-poll-round case.
+using SkbBatch = SmallVec<Skb, 4>;
 
 /// Distribution of post-GRO skb sizes delivered to TCP (paper fig. 8(c)).
 class SkbSizeStats {

@@ -100,9 +100,9 @@ void Stack::collect_held_pages(std::unordered_set<const Page*>& held) const {
   for (const auto& [flow, socket] : sockets_) {
     socket->collect_held_pages(held);
   }
-  for (const auto& [id, skb] : requeue_park_) {
+  requeue_park_.for_each([&held](const Skb& skb) {
     for (const Fragment& fragment : skb.fragments) held.insert(fragment.page);
-  }
+  });
 }
 
 void Stack::napi_poll(Core& core, int queue) {
@@ -138,14 +138,12 @@ void Stack::napi_poll(Core& core, int queue) {
     // visible table while it crosses cores (rather than captured in the
     // closure) so in-flight requeues stay accountable to the leak sweep.
     core.charge(CpuCategory::etc, core.cost().rps_ipi);
-    const std::uint64_t park_id = next_park_id_++;
-    requeue_park_.emplace(park_id, std::move(skb));
-    core.defer([this, socket, target, park_id] {
+    const SlotPool<Skb>::Slot slot = requeue_park_.acquire(std::move(skb));
+    core.defer([this, socket, target, slot] {
       cores_[static_cast<std::size_t>(target)]->post(
-          softirq_requeue_, [this, socket, park_id](Core& remote) {
-            auto parked = requeue_park_.find(park_id);
-            Skb queued = std::move(parked->second);
-            requeue_park_.erase(parked);
+          softirq_requeue_, [this, socket, slot](Core& remote) {
+            Skb queued = std::move(requeue_park_[slot]);
+            requeue_park_.release(slot);
             socket->rx_deliver(remote, std::move(queued));
           });
     });
@@ -212,8 +210,8 @@ void Stack::napi_poll(Core& core, int queue) {
     if (options_.gro) {
       core.charge(CpuCategory::netdev, cost.gro_per_segment);
     }
-    for (Skb& merged : gro.feed(std::move(skb))) {
-      deliver(std::move(merged));
+    if (std::optional<Skb> merged = gro.feed(std::move(skb))) {
+      deliver(std::move(*merged));
     }
   }
 

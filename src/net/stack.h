@@ -21,6 +21,7 @@
 #include "hw/numa_topology.h"
 #include "mem/iommu.h"
 #include "mem/page_allocator.h"
+#include "mem/pool.h"
 #include "net/cc/congestion_control.h"
 #include "net/grant_scheduler.h"
 #include "net/gro.h"
@@ -159,9 +160,9 @@ class Stack {
   Context softirq_requeue_{"softirq-rps", /*kernel=*/true};
   /// Skbs in flight between the IRQ core and an RPS/RFS target core.
   /// Parked here (instead of captured in the task closure) so the leak
-  /// sweep can account for their page references.
-  std::unordered_map<std::uint64_t, Skb> requeue_park_;
-  std::uint64_t next_park_id_ = 0;
+  /// sweep can account for their page references, and so the requeue
+  /// task's capture stays small (a 4-byte slot instead of a whole Skb).
+  SlotPool<Skb> requeue_park_;
   bool leak_next_skb_ = false;
 };
 

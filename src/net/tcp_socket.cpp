@@ -23,16 +23,17 @@ TcpSocket::TcpSocket(Stack& stack, int flow, int app_core)
       flow_(flow),
       app_core_(app_core),
       snd_buf_(stack.options().snd_buf),
-      cc_(make_congestion_control(stack.options().cc, stack.options().mss)) {
+      cc_(make_congestion_control(stack.options().cc, stack.options().mss)),
+      rto_timer_(stack.loop(), [this] { on_rto_fired(); }),
+      pacer_timer_(stack.loop(), [this] { pacer_release(); }),
+      delack_timer_(stack.loop(), [this] { on_delack_fired(); }) {
   const StackOptions& options = stack.options();
   rcv_buf_cur_ = options.rcv_buf > 0 ? options.rcv_buf : 256 * kKiB;
   rcv_wnd_edge_ = rcv_buf_cur_;
 }
 
-TcpSocket::~TcpSocket() {
-  if (rto_timer_ != 0) stack_->loop().cancel(rto_timer_);
-  if (delack_timer_ != 0) stack_->loop().cancel(delack_timer_);
-}
+// Timer members cancel their pending occurrences on destruction.
+TcpSocket::~TcpSocket() = default;
 
 // --------------------------------------------------------------------------
 // Locking
@@ -196,10 +197,9 @@ void TcpSocket::emit_chunk(Core& core, std::int64_t seq, Bytes len,
 void TcpSocket::send_frame(Core& core, Frame frame) {
   if (cc_->pacing_gbps() > 0.0) {
     paced_.push_back(frame);
-    if (!pacer_armed_) {
-      pacer_armed_ = true;
+    if (!pacer_timer_.armed()) {
       pacer_next_ = std::max(pacer_next_, stack_->loop().now());
-      stack_->loop().schedule_at(pacer_next_, [this] { pacer_release(); });
+      pacer_timer_.arm_at(pacer_next_);
     }
     return;
   }
@@ -211,10 +211,7 @@ void TcpSocket::pacer_release() {
   // The qdisc pacing timer fires in softirq on the sender core; each
   // release is a thread wakeup (paper fig. 13(b): BBR's extra sched
   // overhead comes from exactly this).
-  if (paced_.empty()) {
-    pacer_armed_ = false;
-    return;
-  }
+  if (paced_.empty()) return;
   Frame frame = paced_.front();
   paced_.pop_front();
   const double rate = std::max(cc_->pacing_gbps(), 0.5);
@@ -225,28 +222,24 @@ void TcpSocket::pacer_release() {
     core.charge(CpuCategory::netdev, core.cost().driver_tx_per_skb / 4);
     stack_->nic().transmit(frame);
   });
-  if (paced_.empty()) {
-    pacer_armed_ = false;
-  } else {
-    stack_->loop().schedule_at(pacer_next_, [this] { pacer_release(); });
-  }
+  if (!paced_.empty()) pacer_timer_.arm_at(pacer_next_);
 }
 
 // --------------------------------------------------------------------------
 // Loss recovery
 // --------------------------------------------------------------------------
 
+
 void TcpSocket::arm_rto() {
-  if (rto_timer_ != 0) return;
+  if (rto_timer_.armed()) return;
   const Nanos rto =
       std::min<Nanos>(std::max(stack_->options().min_rto, srtt_ + 4 * rttvar_) *
                           rto_backoff_,
                       kMaxRto);
-  rto_timer_ = stack_->loop().schedule_after(rto, [this] { on_rto_fired(); });
+  rto_timer_.arm_after(rto);
 }
 
 void TcpSocket::on_rto_fired() {
-  rto_timer_ = 0;
   if (snd_una_ >= snd_buf_end_) return;  // everything acked meanwhile
   rto_backoff_ = std::min<Nanos>(rto_backoff_ * 2, 64);
   rto_task_pending_ = true;
@@ -372,10 +365,7 @@ void TcpSocket::process_ack(Core& core, const Frame& frame) {
     if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
     free_acked_chunks(core, snd_una_);
     rto_backoff_ = 1;
-    if (rto_timer_ != 0) {
-      stack_->loop().cancel(rto_timer_);
-      rto_timer_ = 0;
-    }
+    rto_timer_.cancel();
     if (snd_una_ < snd_nxt_) arm_rto();
   }
 
@@ -507,12 +497,16 @@ void TcpSocket::grant_credit(Core& core, Bytes bytes) {
   send_ack(core, /*echo_ts=*/-1, /*ecn_echo=*/false);
 }
 
+void TcpSocket::on_delack_fired() {
+  if (delack_pending_ == 0) return;
+  stack_->core(app_core_).post(timer_ctx_, [this](Core& c) {
+    send_ack(c, /*echo_ts=*/-1, /*ecn_echo=*/false);
+  });
+}
+
 void TcpSocket::send_ack(Core& core, Nanos echo_ts, bool ecn_echo) {
   delack_pending_ = 0;
-  if (delack_timer_ != 0) {
-    stack_->loop().cancel(delack_timer_);
-    delack_timer_ = 0;
-  }
+  delack_timer_.cancel();
   core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_tx);
   ++stack_->stats().acks_sent;
   stack_->tracer().record(stack_->loop().now(), TraceKind::ack_tx, flow_,
@@ -622,15 +616,8 @@ void TcpSocket::rx_deliver(Core& core, Skb skb) {
   const bool in_order = skb_was_in_order;
   if (stack_->options().delayed_ack && in_order && skb_segments < 2 &&
       ofo_.empty() && ++delack_pending_ < 2) {
-    if (delack_timer_ == 0) {
-      delack_timer_ = stack_->loop().schedule_after(
-          stack_->options().delack_timeout, [this] {
-            delack_timer_ = 0;
-            if (delack_pending_ == 0) return;
-            stack_->core(app_core_).post(timer_ctx_, [this](Core& c) {
-              send_ack(c, /*echo_ts=*/-1, /*ecn_echo=*/false);
-            });
-          });
+    if (!delack_timer_.armed()) {
+      delack_timer_.arm_after(stack_->options().delack_timeout);
     }
   } else {
     send_ack(core, echo_ts, ecn_echo);

@@ -14,9 +14,10 @@
 #include <deque>
 #include <map>
 #include <unordered_set>
-#include <vector>
 
 #include "cpu/scheduler.h"
+#include "mem/small_vec.h"
+#include "sim/timer.h"
 #include "hw/wire.h"
 #include "net/cc/congestion_control.h"
 #include "net/grant_scheduler.h"
@@ -87,11 +88,11 @@ class TcpSocket {
   Bytes ofo_bytes() const { return ofo_bytes_; }
   bool in_recovery() const { return in_recovery_; }
   /// True while the retransmission timer is armed in the event loop.
-  bool rto_armed() const { return rto_timer_ != 0; }
+  bool rto_armed() const { return rto_timer_.armed(); }
   /// True between the RTO timer firing and its softirq task running.
   bool rto_task_pending() const { return rto_task_pending_; }
   /// True while the pacing qdisc has a release timer outstanding.
-  bool pacer_armed() const { return pacer_armed_; }
+  bool pacer_armed() const { return pacer_timer_.armed(); }
 
   /// Adds every page this socket holds a reference to (tx queue, receive
   /// queue, out-of-order queue) to `held`; used by the leak sweep.
@@ -109,7 +110,8 @@ class TcpSocket {
   struct TxChunk {
     std::int64_t seq = 0;
     Bytes len = 0;
-    std::vector<Page*> pages;
+    // A 64KB TSO chunk spans at most 16 freshly allocated 4KiB pages.
+    SmallVec<Page*, 16> pages;
   };
 
   // tx path
@@ -119,6 +121,7 @@ class TcpSocket {
   void pacer_release();
   void arm_rto();
   void on_rto_fired();
+  void on_delack_fired();
   void enter_recovery(Core& core);
   void retransmit_next_unit(Core& core);
   void free_acked_chunks(Core& core, std::int64_t upto);
@@ -155,7 +158,7 @@ class TcpSocket {
   Nanos rate_start_ = 0;   ///< delivery-rate window start
   Bytes rate_bytes_ = 0;   ///< bytes acked in the current rate window
   Nanos rto_backoff_ = 1;
-  EventId rto_timer_ = 0;
+  Timer rto_timer_;  ///< retransmission / persist-probe timer
   bool rto_task_pending_ = false;  ///< timer fired, softirq task queued
   bool tx_was_full_ = false;
   std::uint64_t retransmits_ = 0;
@@ -163,7 +166,7 @@ class TcpSocket {
   // pacing (BBR)
   std::deque<Frame> paced_;
   Nanos pacer_next_ = 0;
-  bool pacer_armed_ = false;
+  Timer pacer_timer_;  ///< qdisc release timer
 
   // --- Receiver state ---
   std::int64_t rcv_nxt_ = 0;
@@ -178,7 +181,7 @@ class TcpSocket {
   Bytes accepted_from_app_ = 0;
 
   int delack_pending_ = 0;   ///< unacked in-order deliveries (delayed ACK)
-  EventId delack_timer_ = 0;
+  Timer delack_timer_;       ///< guarantees an eventual ACK
   GrantScheduler* grant_scheduler_ = nullptr;  ///< receiver-driven mode
   int last_lock_core_ = -1;
   Thread* rx_waiter_ = nullptr;

@@ -1,31 +1,35 @@
 #include "sim/event_loop.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/contract.h"
 
 namespace hostsim {
-namespace {
-
-/// Drops cancelled events sitting at the front of the queue.
-template <class Queue, class Cancelled>
-void prune(Queue& queue, Cancelled& cancelled) {
-  while (!queue.empty()) {
-    auto it = cancelled.find(queue.top().id);
-    if (it == cancelled.end()) return;
-    cancelled.erase(it);
-    queue.pop();
-  }
-}
-
-}  // namespace
 
 EventId EventLoop::schedule_at(Nanos at, Action action) {
   require(at >= now_, "cannot schedule events in the past");
   require(static_cast<bool>(action), "event action must be callable");
-  const EventId id = next_id_++;
-  queue_.push(Scheduled{at, id, std::move(action)});
-  return id;
+  if (at == now_) {
+    // Fire-at-now events skip the heap and the pool entirely.  Every
+    // heap entry at the current time was scheduled before
+    // now-processing began (an event scheduled *during* it lands here
+    // instead), so draining the heap's now-entries before this FIFO
+    // preserves insertion order.
+    imm_incoming_.push_back(std::move(action));
+    ++immediate_live_;
+    return kImmediateBit | imm_next_seq_++;
+  }
+  const Slot slot = actions_.acquire(std::move(action));
+  if (slot >= gen_.size()) {
+    gen_.resize(slot + 1, 0);
+    heap_pos_.resize(slot + 1, 0);
+  }
+  const auto pos = static_cast<std::uint32_t>(heap_.size());
+  heap_.push_back(HeapEntry{at, next_seq_++, slot});
+  heap_pos_[slot] = pos;
+  sift_up(pos);
+  return make_id(slot);
 }
 
 EventId EventLoop::schedule_after(Nanos delay, Action action) {
@@ -34,31 +38,107 @@ EventId EventLoop::schedule_after(Nanos delay, Action action) {
 }
 
 void EventLoop::cancel(EventId id) {
-  if (id == 0 || id >= next_id_) return;
-  cancelled_.insert(id);
+  if (id == 0) return;
+  if (id & kImmediateBit) {
+    cancel_immediate(id & ~kImmediateBit);
+    return;
+  }
+  const auto slot = static_cast<Slot>((id & 0xffffffffu) - 1);
+  const auto gen = static_cast<std::uint32_t>(id >> 32);
+  // A fired or previously-cancelled event released its slot and bumped
+  // the generation, so a stale id fails this check and is a no-op.
+  if (slot >= gen_.size() || (gen_[slot] & 0x7fffffffu) != gen ||
+      !actions_.is_live(slot)) {
+    return;
+  }
+  remove_at(heap_pos_[slot]);
+  release_slot(slot);
 }
 
-bool EventLoop::step() {
-  prune(queue_, cancelled_);
-  if (queue_.empty()) return false;
-  // priority_queue::top returns const&; the action is moved out right
-  // before pop, which is safe because pop is the next operation.
-  Scheduled ev = std::move(const_cast<Scheduled&>(queue_.top()));
-  queue_.pop();
-  now_ = ev.at;
+void EventLoop::cancel_immediate(std::uint64_t seq) {
+  // Entries before the active buffer's base (or before its drain head)
+  // already fired or were recycled: stale id, no-op.
+  if (seq < imm_active_base_) return;
+  std::uint64_t index = seq - imm_active_base_;
+  if (index < imm_active_.size()) {
+    if (index < imm_head_ || !imm_active_[index]) return;
+    imm_active_[index].reset();
+    --immediate_live_;
+    return;
+  }
+  index -= imm_active_.size();
+  if (index < imm_incoming_.size() && imm_incoming_[index]) {
+    imm_incoming_[index].reset();
+    --immediate_live_;
+  }
+}
+
+void EventLoop::fire(Slot slot, Nanos at) {
+  // Move the action out and release its slot before invoking it, so a
+  // cancel() of the firing id from inside the action is a clean no-op
+  // and re-scheduling from inside the action can reuse the slot.
+  Action action = std::move(actions_[slot]);
+  release_slot(slot);
+  now_ = at;
   ++executed_;
-  ev.action();
+  action();
   if (watchdog_every_ > 0 && executed_ % watchdog_every_ == 0) {
     watchdog_hook_(*this);
   }
+}
+
+bool EventLoop::step() {
+  // Heap entries at the current time predate every immediate-queue
+  // entry, so they fire first.
+  if (!heap_.empty() && heap_[0].at == now_) {
+    const Slot slot = heap_[0].slot;
+    remove_at(0);
+    fire(slot, now_);
+    return true;
+  }
+  for (;;) {
+    // Skip entries cancelled while queued (reset to empty Actions).
+    while (imm_head_ < imm_active_.size() && !imm_active_[imm_head_]) {
+      ++imm_head_;
+    }
+    if (imm_head_ < imm_active_.size()) {
+      // Fire in place: the active buffer only ever shrinks from the
+      // front while draining (pushes go to imm_incoming_), so the
+      // reference stays valid across the call.  The head is advanced
+      // first so an in-action cancel of the firing id is a no-op.
+      Action& action = imm_active_[imm_head_];
+      ++imm_head_;
+      --immediate_live_;
+      ++executed_;
+      action();
+      action.reset();
+      if (watchdog_every_ > 0 && executed_ % watchdog_every_ == 0) {
+        watchdog_hook_(*this);
+      }
+      return true;
+    }
+    if (imm_incoming_.empty()) break;
+    imm_active_.clear();
+    imm_head_ = 0;
+    std::swap(imm_active_, imm_incoming_);
+    imm_active_base_ = imm_next_seq_ - imm_active_.size();
+  }
+  if (!imm_active_.empty()) {
+    // Fully drained (possibly ending on cancelled tails): recycle.
+    imm_active_.clear();
+    imm_head_ = 0;
+    imm_active_base_ = imm_next_seq_;
+  }
+  if (heap_.empty()) return false;
+  const HeapEntry top = heap_[0];
+  remove_at(0);
+  fire(top.slot, top.at);
   return true;
 }
 
 void EventLoop::run_until(Nanos deadline) {
   require(deadline >= now_, "deadline is in the past");
-  for (;;) {
-    prune(queue_, cancelled_);
-    if (queue_.empty() || queue_.top().at > deadline) break;
+  while (immediate_live_ > 0 || (!heap_.empty() && heap_[0].at <= deadline)) {
     step();
   }
   now_ = deadline;
@@ -67,6 +147,60 @@ void EventLoop::run_until(Nanos deadline) {
 void EventLoop::run_to_completion() {
   while (step()) {
   }
+}
+
+void EventLoop::sift_up(std::uint32_t pos) {
+  const HeapEntry entry = heap_[pos];
+  while (pos > 0) {
+    const std::uint32_t parent = (pos - 1) / kArity;
+    if (!before(entry, heap_[parent])) break;
+    heap_[pos] = heap_[parent];
+    heap_pos_[heap_[pos].slot] = pos;
+    pos = parent;
+  }
+  heap_[pos] = entry;
+  heap_pos_[entry.slot] = pos;
+}
+
+std::uint32_t EventLoop::sift_down(std::uint32_t pos) {
+  const HeapEntry entry = heap_[pos];
+  const auto count = static_cast<std::uint32_t>(heap_.size());
+  for (;;) {
+    const std::uint32_t first = pos * kArity + 1;
+    if (first >= count) break;
+    std::uint32_t best = first;
+    const std::uint32_t limit = std::min(first + kArity, count);
+    for (std::uint32_t child = first + 1; child < limit; ++child) {
+      if (before(heap_[child], heap_[best])) best = child;
+    }
+    if (!before(heap_[best], entry)) break;
+    heap_[pos] = heap_[best];
+    heap_pos_[heap_[pos].slot] = pos;
+    pos = best;
+  }
+  heap_[pos] = entry;
+  heap_pos_[entry.slot] = pos;
+  return pos;
+}
+
+void EventLoop::remove_at(std::uint32_t pos) {
+  const auto last = static_cast<std::uint32_t>(heap_.size() - 1);
+  if (pos != last) {
+    heap_[pos] = heap_[last];
+    heap_pos_[heap_[pos].slot] = pos;
+  }
+  heap_.pop_back();
+  if (pos < heap_.size()) {
+    // The moved entry may belong above or below its new position; the
+    // two sifts are mutually exclusive, so running both is one compare
+    // extra at most.
+    sift_up(sift_down(pos));
+  }
+}
+
+void EventLoop::release_slot(Slot slot) {
+  actions_.release(slot);
+  ++gen_[slot];
 }
 
 }  // namespace hostsim

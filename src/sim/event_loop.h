@@ -3,27 +3,46 @@
 // Events are executed in nondecreasing timestamp order; ties are broken
 // by insertion order, which makes every run fully deterministic for a
 // given (configuration, seed) pair.
+//
+// Internals (see DESIGN.md, "Engine internals & performance"): the queue
+// is an indexed 4-ary heap of 24-byte POD entries.  Actions live in a
+// slot pool off to the side, so sift operations never move a callable;
+// each slot keeps a back-pointer into the heap, which makes cancel() a
+// true O(log n) removal and pending() an exact live count.  Events
+// scheduled at exactly `now()` bypass the heap and the pool entirely:
+// they go into a double-buffered FIFO of actions and fire in place, so
+// zero-delay storms never sift or touch slot bookkeeping.  This
+// preserves the global (timestamp, insertion order) execution order
+// because a heap entry at the current time always predates every
+// immediate-queue entry (same-time events created during now-processing
+// route to the FIFO, never the heap).  Actions are InlineFunction
+// rather than std::function, so the common capture shapes (a `this`
+// pointer plus a few scalars) never touch the heap.
 #ifndef HOSTSIM_SIM_EVENT_LOOP_H
 #define HOSTSIM_SIM_EVENT_LOOP_H
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
+#include "mem/pool.h"
+#include "sim/inline_function.h"
 #include "sim/rng.h"
 #include "sim/units.h"
 
 namespace hostsim {
 
-/// Identifier of a scheduled event, usable for cancellation.
+/// Identifier of a scheduled event, usable for cancellation.  Heap
+/// events encode a (generation, slot) pair; immediate (fire-at-now)
+/// events set the top bit over a monotone sequence number.  Either way
+/// a stale id (fired or already cancelled) stays recognizably stale and
+/// cancelling it is a no-op.
 using EventId = std::uint64_t;
 
 /// Time-ordered event queue with deterministic tie-breaking.
 class EventLoop {
  public:
-  using Action = std::function<void()>;
+  using Action = InlineFunction<void()>;
 
   explicit EventLoop(std::uint64_t seed = 1) : rng_(seed) {}
 
@@ -36,8 +55,14 @@ class EventLoop {
   /// Schedules `action` after a relative delay (>= 0). Returns its id.
   EventId schedule_after(Nanos delay, Action action);
 
-  /// Cancels a previously scheduled event. Cancelling an event that has
-  /// already fired (or was already cancelled) is a harmless no-op.
+  /// Cancels a previously scheduled event: an O(log n) removal from the
+  /// queue.  Cancelling an event that has already fired (or was already
+  /// cancelled) is a harmless no-op.
+  ///
+  /// Deprecated for new timer-style call sites: prefer owning a
+  /// sim/timer.h Timer (auto-cancel on destruction, rearm()) over
+  /// carrying raw EventIds around.  Raw cancel remains the primitive
+  /// the handle types are built on.
   void cancel(EventId id);
 
   /// Runs a single event; returns false when the queue is empty.
@@ -50,9 +75,9 @@ class EventLoop {
   /// Drains the queue completely (useful in unit tests).
   void run_to_completion();
 
-  /// Number of queued events (an upper bound: lazily-cancelled events
-  /// still count until they reach the front of the queue).
-  std::size_t pending() const { return queue_.size(); }
+  /// Exact number of live queued events.  Cancelled events are removed
+  /// eagerly and never counted.
+  std::size_t pending() const { return heap_.size() + immediate_live_; }
 
   /// Total number of events executed so far.
   std::uint64_t executed() const { return executed_; }
@@ -71,23 +96,62 @@ class EventLoop {
   Rng& rng() { return rng_; }
 
  private:
-  struct Scheduled {
+  using Slot = SlotPool<Action>::Slot;
+
+  /// One heap element.  Deliberately small and trivially copyable —
+  /// sift operations shuffle these, never the actions themselves.
+  struct HeapEntry {
     Nanos at;
-    EventId id;
-    Action action;
-  };
-  struct Later {
-    bool operator()(const Scheduled& a, const Scheduled& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.id > b.id;
-    }
+    std::uint64_t seq;  // insertion order; total tie-break within `at`
+    Slot slot;
   };
 
+  static constexpr std::uint32_t kArity = 4;
+  /// Tag bit distinguishing immediate-event ids from heap-event ids.
+  static constexpr EventId kImmediateBit = EventId{1} << 63;
+
+  static bool before(const HeapEntry& a, const HeapEntry& b) {
+    if (a.at != b.at) return a.at < b.at;
+    return a.seq < b.seq;
+  }
+
+  EventId make_id(Slot slot) const {
+    // Generations are masked to 31 bits so heap ids never collide with
+    // the immediate tag bit; aliasing would need one slot to be reused
+    // 2^31 times while a stale id is still held.
+    return (static_cast<EventId>(gen_[slot] & 0x7fffffffu) << 32) |
+           (static_cast<EventId>(slot) + 1);
+  }
+
+  /// Executes the heap event in `slot` at simulated time `at`.
+  void fire(Slot slot, Nanos at);
+  void cancel_immediate(std::uint64_t seq);
+  void sift_up(std::uint32_t pos);
+  std::uint32_t sift_down(std::uint32_t pos);
+  /// Removes the entry at heap position `pos`, restoring heap order.
+  void remove_at(std::uint32_t pos);
+  /// Recycles `slot` and bumps its generation, invalidating its id.
+  void release_slot(Slot slot);
+
   Nanos now_ = 0;
-  EventId next_id_ = 1;
+  std::uint64_t next_seq_ = 1;
   std::uint64_t executed_ = 0;
-  std::priority_queue<Scheduled, std::vector<Scheduled>, Later> queue_;
-  std::unordered_set<EventId> cancelled_;
+  std::vector<HeapEntry> heap_;
+  SlotPool<Action> actions_;
+  std::vector<std::uint32_t> gen_;       // by slot; survives slot reuse
+  std::vector<std::uint32_t> heap_pos_;  // by slot; valid while live
+  // Immediate (fire-at-now) events: a double-buffered FIFO of actions.
+  // `imm_active_` is drained in place (stable storage while an action
+  // runs); pushes land in `imm_incoming_`; the buffers swap when the
+  // active one runs dry.  A cancelled entry is an empty Action, skipped
+  // at drain.  `imm_active_base_` is the immediate-sequence number of
+  // imm_active_[0], letting cancel() map an id back to its ring slot.
+  std::vector<Action> imm_active_;
+  std::vector<Action> imm_incoming_;
+  std::size_t imm_head_ = 0;
+  std::uint64_t imm_active_base_ = 0;
+  std::uint64_t imm_next_seq_ = 0;
+  std::size_t immediate_live_ = 0;
   std::uint64_t watchdog_every_ = 0;
   WatchdogHook watchdog_hook_;
   Rng rng_;

@@ -1,0 +1,148 @@
+// Small-buffer-optimized, move-only callable — the event engine's
+// replacement for std::function on the hot path.
+//
+// Every scheduled event and every core task used to carry a
+// std::function, whose moves run through an indirect "manager" call and
+// whose larger captures heap-allocate.  InlineFunction stores the
+// callable in a fixed inline buffer (48 bytes by default — enough for
+// every capture shape the Nic/Stack/Wire hot path schedules: a couple of
+// pointers and a few integers) and dispatches through a single static
+// vtable pointer.  Oversized or over-aligned callables transparently
+// fall back to one heap allocation, so cold paths keep working; keeping
+// hot-path captures under the inline capacity is a performance contract,
+// not a correctness one.
+#ifndef HOSTSIM_SIM_INLINE_FUNCTION_H
+#define HOSTSIM_SIM_INLINE_FUNCTION_H
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace hostsim {
+
+/// Inline storage of the engine's callables, sized for the hot-path
+/// capture shapes (this*, a couple of pointers, a few scalars).
+inline constexpr std::size_t kInlineFunctionCapacity = 48;
+
+template <class Signature, std::size_t Capacity = kInlineFunctionCapacity>
+class InlineFunction;  // primary template intentionally undefined
+
+template <class R, class... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() = default;
+  InlineFunction(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+
+  template <class F, class D = std::decay_t<F>,
+            class = std::enable_if_t<!std::is_same_v<D, InlineFunction> &&
+                                     std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& callable) {  // NOLINT(google-explicit-constructor)
+    if constexpr (fits_inline<D>) {
+      ::new (static_cast<void*>(storage_)) D(std::forward<F>(callable));
+      vtable_ = &kInlineVTable<D>;
+    } else {
+      ::new (static_cast<void*>(storage_)) D*(new D(std::forward<F>(callable)));
+      vtable_ = &kHeapVTable<D>;
+    }
+  }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction(const InlineFunction&) = delete;
+  InlineFunction& operator=(const InlineFunction&) = delete;
+
+  ~InlineFunction() { reset(); }
+
+  /// Destroys the stored callable (if any); *this becomes empty.
+  void reset() {
+    if (vtable_ != nullptr) {
+      vtable_->destroy(storage_);
+      vtable_ = nullptr;
+    }
+  }
+
+  explicit operator bool() const { return vtable_ != nullptr; }
+
+  R operator()(Args... args) {
+    return vtable_->invoke(storage_, std::forward<Args>(args)...);
+  }
+
+  /// True when the stored callable lives in the inline buffer (no heap).
+  /// Exposed so tests can pin the no-allocation property of hot shapes.
+  bool is_inline() const {
+    return vtable_ != nullptr && vtable_->inline_storage;
+  }
+
+ private:
+  template <class D>
+  static constexpr bool fits_inline =
+      sizeof(D) <= Capacity && alignof(D) <= alignof(std::max_align_t) &&
+      std::is_nothrow_move_constructible_v<D>;
+
+  struct VTable {
+    R (*invoke)(void*, Args&&...);
+    /// Move-constructs dst from src, then destroys src.
+    void (*relocate)(void* dst, void* src);
+    void (*destroy)(void*);
+    bool inline_storage;
+  };
+
+  template <class D>
+  static D* inline_target(void* storage) {
+    return std::launder(reinterpret_cast<D*>(storage));
+  }
+  template <class D>
+  static D* heap_target(void* storage) {
+    return *std::launder(reinterpret_cast<D**>(storage));
+  }
+
+  template <class D>
+  static constexpr VTable kInlineVTable = {
+      [](void* storage, Args&&... args) -> R {
+        return (*inline_target<D>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        D* from = inline_target<D>(src);
+        ::new (dst) D(std::move(*from));
+        from->~D();
+      },
+      [](void* storage) { inline_target<D>(storage)->~D(); },
+      /*inline_storage=*/true,
+  };
+
+  template <class D>
+  static constexpr VTable kHeapVTable = {
+      [](void* storage, Args&&... args) -> R {
+        return (*heap_target<D>(storage))(std::forward<Args>(args)...);
+      },
+      [](void* dst, void* src) {
+        ::new (dst) D*(heap_target<D>(src));
+      },
+      [](void* storage) { delete heap_target<D>(storage); },
+      /*inline_storage=*/false,
+  };
+
+  void move_from(InlineFunction& other) {
+    vtable_ = other.vtable_;
+    if (vtable_ != nullptr) {
+      vtable_->relocate(storage_, other.storage_);
+      other.vtable_ = nullptr;
+    }
+  }
+
+  const VTable* vtable_ = nullptr;
+  alignas(std::max_align_t) unsigned char storage_[Capacity];
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_SIM_INLINE_FUNCTION_H

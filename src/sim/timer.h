@@ -1,0 +1,134 @@
+// RAII scheduling handles over EventLoop.
+//
+// Raw `EventId` + `EventLoop::cancel()` is deprecated for component code:
+// every owner of a recurring obligation (retransmission timers, delayed
+// ACKs, interrupt moderation, pacing) holds a `Timer` instead, which
+// cannot leak a pending occurrence past its owner's lifetime and knows
+// whether it is armed without consulting the loop.  `TimerHandle` is the
+// lighter one-shot variant: it adopts an EventId and guarantees
+// cancellation on destruction, for fire-and-forget events whose owner
+// may die first.
+#ifndef HOSTSIM_SIM_TIMER_H
+#define HOSTSIM_SIM_TIMER_H
+
+#include <utility>
+
+#include "sim/event_loop.h"
+
+namespace hostsim {
+
+/// A named, re-armable timer with a fixed callback.
+///
+/// The callback is installed once; arm_at()/arm_after()/rearm() schedule
+/// the next occurrence (replacing any pending one), cancel() disarms, and
+/// destruction disarms implicitly.  armed() is exact: it turns false the
+/// moment the callback starts running, so the callback can re-arm freely.
+/// Address-stable by design (the pending event refers back to the timer),
+/// hence neither copyable nor movable — hold it by value as a member.
+class Timer {
+ public:
+  Timer(EventLoop& loop, EventLoop::Action callback)
+      : loop_(&loop), callback_(std::move(callback)) {}
+
+  Timer(const Timer&) = delete;
+  Timer& operator=(const Timer&) = delete;
+
+  ~Timer() { cancel(); }
+
+  /// Schedules the callback at absolute time `at`, replacing any pending
+  /// occurrence.
+  void arm_at(Nanos at) {
+    cancel();
+    deadline_ = at;
+    id_ = loop_->schedule_at(at, [this] {
+      id_ = 0;
+      callback_();
+    });
+  }
+
+  /// Schedules the callback after `delay`, replacing any pending
+  /// occurrence.
+  void arm_after(Nanos delay) { arm_at(loop_->now() + delay); }
+
+  /// Reschedules: identical to arm_after(), named for the common
+  /// "push the deadline out" call sites.
+  void rearm(Nanos delay) { arm_after(delay); }
+
+  /// Removes the pending occurrence, if any (idempotent).
+  void cancel() {
+    if (id_ != 0) {
+      loop_->cancel(id_);
+      id_ = 0;
+    }
+  }
+
+  /// True while an occurrence is scheduled and has not started running.
+  bool armed() const { return id_ != 0; }
+
+  /// Absolute time of the pending occurrence (meaningful while armed()).
+  Nanos deadline() const { return deadline_; }
+
+  EventLoop& loop() { return *loop_; }
+
+ private:
+  EventLoop* loop_;
+  EventLoop::Action callback_;
+  EventId id_ = 0;
+  Nanos deadline_ = 0;
+};
+
+/// Move-only RAII wrapper around one scheduled event: cancels it on
+/// destruction unless it was released.  Unlike Timer it does not observe
+/// the event firing — cancelling an already-fired event is a harmless
+/// no-op (EventIds are never reused) — so it suits one-shot events whose
+/// only lifecycle concern is "never outlive the owner".
+class TimerHandle {
+ public:
+  TimerHandle() = default;
+  TimerHandle(EventLoop& loop, EventId id) : loop_(&loop), id_(id) {}
+
+  TimerHandle(TimerHandle&& other) noexcept
+      : loop_(other.loop_), id_(other.id_) {
+    other.id_ = 0;
+  }
+  TimerHandle& operator=(TimerHandle&& other) noexcept {
+    if (this != &other) {
+      cancel();
+      loop_ = other.loop_;
+      id_ = other.id_;
+      other.id_ = 0;
+    }
+    return *this;
+  }
+
+  TimerHandle(const TimerHandle&) = delete;
+  TimerHandle& operator=(const TimerHandle&) = delete;
+
+  ~TimerHandle() { cancel(); }
+
+  /// Cancels the event if it is still this handle's to cancel.
+  void cancel() {
+    if (loop_ != nullptr && id_ != 0) {
+      loop_->cancel(id_);
+      id_ = 0;
+    }
+  }
+
+  /// Detaches: the event stays scheduled, the handle forgets it.
+  EventId release() {
+    const EventId id = id_;
+    id_ = 0;
+    return id;
+  }
+
+  /// True while this handle still owns a (possibly already fired) event.
+  bool owns() const { return id_ != 0; }
+
+ private:
+  EventLoop* loop_ = nullptr;
+  EventId id_ = 0;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_SIM_TIMER_H

@@ -1,0 +1,115 @@
+#include "mem/small_vec.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace hostsim {
+namespace {
+
+TEST(SmallVecTest, StaysInlineUpToCapacity) {
+  SmallVec<int, 4> vec;
+  EXPECT_TRUE(vec.is_inline());
+  for (int i = 0; i < 4; ++i) vec.push_back(i);
+  EXPECT_TRUE(vec.is_inline());
+  EXPECT_EQ(vec.size(), 4u);
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(vec[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVecTest, SpillsToHeapPastCapacityAndKeepsElements) {
+  SmallVec<int, 4> vec;
+  for (int i = 0; i < 9; ++i) vec.push_back(i);
+  EXPECT_FALSE(vec.is_inline());
+  EXPECT_EQ(vec.size(), 9u);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(vec[static_cast<std::size_t>(i)], i);
+}
+
+TEST(SmallVecTest, MoveStealsHeapBuffer) {
+  SmallVec<std::string, 2> vec;
+  for (int i = 0; i < 5; ++i) vec.push_back("s" + std::to_string(i));
+  ASSERT_FALSE(vec.is_inline());
+  const std::string* heap = vec.begin();
+  SmallVec<std::string, 2> moved = std::move(vec);
+  EXPECT_EQ(moved.begin(), heap);  // buffer handed over, not copied
+  EXPECT_TRUE(vec.empty());
+  EXPECT_TRUE(vec.is_inline());
+  EXPECT_EQ(moved[4], "s4");
+}
+
+TEST(SmallVecTest, MoveOfInlineElementsMovesEach) {
+  SmallVec<std::unique_ptr<int>, 4> vec;
+  vec.push_back(std::make_unique<int>(1));
+  vec.push_back(std::make_unique<int>(2));
+  SmallVec<std::unique_ptr<int>, 4> moved = std::move(vec);
+  EXPECT_TRUE(vec.empty());
+  ASSERT_EQ(moved.size(), 2u);
+  EXPECT_EQ(*moved[0], 1);
+  EXPECT_EQ(*moved[1], 2);
+}
+
+TEST(SmallVecTest, CopyIsDeepBothStorages) {
+  SmallVec<std::string, 2> inline_vec;
+  inline_vec.push_back("a");
+  SmallVec<std::string, 2> inline_copy = inline_vec;
+  inline_copy[0] = "changed";
+  EXPECT_EQ(inline_vec[0], "a");
+
+  SmallVec<std::string, 2> heap_vec;
+  for (int i = 0; i < 6; ++i) heap_vec.push_back(std::to_string(i));
+  SmallVec<std::string, 2> heap_copy = heap_vec;
+  EXPECT_NE(heap_copy.begin(), heap_vec.begin());
+  EXPECT_EQ(heap_copy.size(), 6u);
+  EXPECT_EQ(heap_copy[5], "5");
+}
+
+TEST(SmallVecTest, AppendFromDrainsSource) {
+  SmallVec<int, 4> head;
+  head.push_back(1);
+  head.push_back(2);
+  SmallVec<int, 4> tail;
+  tail.push_back(3);
+  tail.push_back(4);
+  tail.push_back(5);
+  head.append_from(std::move(tail));
+  EXPECT_TRUE(tail.empty());
+  ASSERT_EQ(head.size(), 5u);  // spilled past 4
+  EXPECT_FALSE(head.is_inline());
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(head[static_cast<std::size_t>(i)], i + 1);
+}
+
+TEST(SmallVecTest, ClearAndReuseAfterSpill) {
+  SmallVec<int, 4> vec;
+  for (int i = 0; i < 10; ++i) vec.push_back(i);
+  vec.clear();
+  EXPECT_TRUE(vec.empty());
+  vec.push_back(99);  // reuses the spilled buffer, no shrink-to-inline
+  EXPECT_EQ(vec[0], 99);
+}
+
+TEST(SmallVecTest, PopBackDestroysElement) {
+  SmallVec<std::unique_ptr<int>, 2> vec;
+  vec.push_back(std::make_unique<int>(1));
+  vec.push_back(std::make_unique<int>(2));
+  vec.pop_back();
+  EXPECT_EQ(vec.size(), 1u);
+  EXPECT_EQ(*vec.back(), 1);
+}
+
+TEST(SmallVecTest, RangeForIteratesInOrder) {
+  SmallVec<int, 4> vec;
+  for (int i = 0; i < 7; ++i) vec.push_back(i * i);
+  int expected = 0;
+  int index = 0;
+  for (const int value : vec) {
+    expected += value;
+    EXPECT_EQ(value, index * index);
+    ++index;
+  }
+  EXPECT_EQ(index, 7);
+  (void)expected;
+}
+
+}  // namespace
+}  // namespace hostsim

@@ -109,5 +109,128 @@ TEST(EventLoopTest, PendingCountsQueuedEvents) {
   EXPECT_EQ(loop.pending(), 0u);
 }
 
+TEST(EventLoopTest, CancelRemovesFromPendingImmediately) {
+  // pending() is exact: a cancelled event leaves the queue on the spot
+  // rather than lingering as a tombstone until its deadline.
+  EventLoop loop;
+  std::vector<EventId> ids;
+  for (int i = 0; i < 8; ++i) {
+    ids.push_back(loop.schedule_at(10 + i, [] {}));
+  }
+  EXPECT_EQ(loop.pending(), 8u);
+  loop.cancel(ids[3]);
+  loop.cancel(ids[0]);  // heap front
+  loop.cancel(ids[7]);
+  EXPECT_EQ(loop.pending(), 5u);
+  loop.run_to_completion();
+  EXPECT_EQ(loop.executed(), 5u);
+}
+
+TEST(EventLoopTest, CancelFrontThenMiddleKeepsOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  const EventId front = loop.schedule_at(1, [&] { order.push_back(1); });
+  loop.schedule_at(2, [&] { order.push_back(2); });
+  const EventId mid = loop.schedule_at(3, [&] { order.push_back(3); });
+  loop.schedule_at(4, [&] { order.push_back(4); });
+  loop.schedule_at(5, [&] { order.push_back(5); });
+  loop.cancel(front);
+  loop.cancel(mid);
+  loop.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{2, 4, 5}));
+}
+
+TEST(EventLoopTest, CancelImmediateEvent) {
+  // Events scheduled at exactly now() take the immediate fast path;
+  // cancelling one must still work and keep pending() exact.
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(5, [&] {
+    const EventId doomed = loop.schedule_at(loop.now(), [&] { ++fired; });
+    loop.schedule_at(loop.now(), [&] { ++fired; });
+    EXPECT_EQ(loop.pending(), 2u);
+    loop.cancel(doomed);
+    EXPECT_EQ(loop.pending(), 1u);
+  });
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, SelfCancelDuringFireIsHarmless) {
+  // A callback cancelling its own id (e.g. a Timer being disarmed from
+  // inside its trampoline) must be a no-op, not corruption.
+  EventLoop loop;
+  int fired = 0;
+  EventId self = 0;
+  self = loop.schedule_at(10, [&] {
+    ++fired;
+    loop.cancel(self);
+  });
+  loop.schedule_at(10, [&] { ++fired; });
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventLoopTest, MixedHeapAndImmediateOrdering) {
+  // During processing at time T, heap events already queued for T fire
+  // before any event newly scheduled at T (which by construction has a
+  // larger insertion sequence) — global (time, insertion) order holds.
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(10, [&] {
+    order.push_back(0);
+    loop.schedule_at(10, [&] { order.push_back(3); });
+    loop.schedule_at(10, [&] {
+      order.push_back(4);
+      loop.schedule_at(10, [&] { order.push_back(5); });
+    });
+  });
+  loop.schedule_at(10, [&] { order.push_back(1); });
+  loop.schedule_at(10, [&] { order.push_back(2); });
+  loop.run_to_completion();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4, 5}));
+}
+
+TEST(EventLoopTest, DeterministicUnderScheduleCancelChurn) {
+  // Two loops driven through an identical schedule/cancel script must
+  // fire the surviving events in the same order — slot recycling inside
+  // the queue must never leak into execution order.
+  auto run = [] {
+    EventLoop loop;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 200; ++i) {
+      const Nanos at = 100 + (i * 37) % 50;
+      ids.push_back(loop.schedule_at(at, [&order, i] { order.push_back(i); }));
+    }
+    for (int i = 0; i < 200; i += 3) {
+      loop.cancel(ids[static_cast<std::size_t>(i)]);
+    }
+    for (int i = 0; i < 100; ++i) {
+      const Nanos at = 120 + (i * 11) % 40;
+      loop.schedule_at(at, [&order, i] { order.push_back(1000 + i); });
+    }
+    loop.run_to_completion();
+    return order;
+  };
+  const std::vector<int> first = run();
+  const std::vector<int> second = run();
+  EXPECT_EQ(first, second);
+  EXPECT_EQ(first.size(), 200u - 67u + 100u);
+}
+
+TEST(EventLoopTest, SlotReuseAfterFireKeepsCancelSafe) {
+  // After an event fires, its internal slot is recycled; a stale cancel
+  // of the fired id must not kill whichever event inherited the slot.
+  EventLoop loop;
+  int fired = 0;
+  const EventId old_id = loop.schedule_at(1, [&] { ++fired; });
+  loop.run_to_completion();
+  loop.schedule_at(loop.now() + 1, [&] { ++fired; });  // likely reuses slot
+  loop.cancel(old_id);                                 // stale: must be no-op
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 2);
+}
+
 }  // namespace
 }  // namespace hostsim

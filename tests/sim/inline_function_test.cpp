@@ -1,0 +1,108 @@
+#include "sim/inline_function.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <memory>
+#include <utility>
+
+namespace hostsim {
+namespace {
+
+TEST(InlineFunctionTest, InvokesSmallLambdaInline) {
+  int hits = 0;
+  InlineFunction<void()> fn = [&hits] { ++hits; };
+  ASSERT_TRUE(static_cast<bool>(fn));
+  EXPECT_TRUE(fn.is_inline());
+  fn();
+  fn();
+  EXPECT_EQ(hits, 2);
+}
+
+TEST(InlineFunctionTest, HotPathCaptureShapesStayInline) {
+  // The engine's contract: this* + a couple of pointers + a few scalars
+  // must never heap-allocate.
+  struct Fake {};
+  Fake a, b;
+  int flow = 7;
+  long seq = 123456;
+  unsigned slot = 9;
+  InlineFunction<void()> fn = [&a, &b, flow, seq, slot] {
+    (void)a;
+    (void)b;
+    (void)flow;
+    (void)seq;
+    (void)slot;
+  };
+  EXPECT_TRUE(fn.is_inline());
+}
+
+TEST(InlineFunctionTest, OversizedCaptureFallsBackToHeap) {
+  std::array<long, 16> big{};  // 128 bytes: over the 48-byte inline budget
+  big[0] = 42;
+  InlineFunction<long()> fn = [big] { return big[0]; };
+  EXPECT_FALSE(fn.is_inline());
+  EXPECT_EQ(fn(), 42);
+}
+
+TEST(InlineFunctionTest, MovePreservesCallableBothStorages) {
+  int hits = 0;
+  InlineFunction<void()> small = [&hits] { ++hits; };
+  InlineFunction<void()> moved_small = std::move(small);
+  EXPECT_FALSE(static_cast<bool>(small));
+  moved_small();
+  EXPECT_EQ(hits, 1);
+
+  std::array<long, 16> big{};
+  big[0] = 5;
+  InlineFunction<void()> large = [&hits, big] { hits += static_cast<int>(big[0]); };
+  InlineFunction<void()> moved_large = std::move(large);
+  EXPECT_FALSE(static_cast<bool>(large));
+  moved_large();
+  EXPECT_EQ(hits, 6);
+}
+
+TEST(InlineFunctionTest, MoveOnlyCapturesWork) {
+  auto owned = std::make_unique<int>(11);
+  InlineFunction<int()> fn = [p = std::move(owned)] { return *p; };
+  EXPECT_EQ(fn(), 11);
+  InlineFunction<int()> moved = std::move(fn);
+  EXPECT_EQ(moved(), 11);
+}
+
+TEST(InlineFunctionTest, DestroysCaptureExactlyOnce) {
+  int alive = 0;
+  struct Probe {
+    int* alive;
+    explicit Probe(int* a) : alive(a) { ++*alive; }
+    Probe(Probe&& other) noexcept : alive(other.alive) { ++*alive; }
+    Probe(const Probe& other) : alive(other.alive) { ++*alive; }
+    ~Probe() { --*alive; }
+    void operator()() const {}
+  };
+  {
+    InlineFunction<void()> fn{Probe(&alive)};
+    EXPECT_GE(alive, 1);
+    InlineFunction<void()> moved = std::move(fn);
+    moved();
+  }
+  EXPECT_EQ(alive, 0);
+}
+
+TEST(InlineFunctionTest, ResetEmptiesAndAssignRefills) {
+  int hits = 0;
+  InlineFunction<void()> fn = [&hits] { ++hits; };
+  fn.reset();
+  EXPECT_FALSE(static_cast<bool>(fn));
+  fn = [&hits] { hits += 10; };
+  fn();
+  EXPECT_EQ(hits, 10);
+}
+
+TEST(InlineFunctionTest, ArgumentsAndReturnValuesFlowThrough) {
+  InlineFunction<int(int, int)> add = [](int a, int b) { return a + b; };
+  EXPECT_EQ(add(2, 3), 5);
+}
+
+}  // namespace
+}  // namespace hostsim

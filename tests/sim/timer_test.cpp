@@ -1,0 +1,117 @@
+#include "sim/timer.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <optional>
+
+namespace hostsim {
+namespace {
+
+TEST(TimerTest, ArmFiresCallbackOnce) {
+  EventLoop loop;
+  int fired = 0;
+  Timer timer(loop, [&fired] { ++fired; });
+  timer.arm_at(10);
+  EXPECT_TRUE(timer.armed());
+  EXPECT_EQ(timer.deadline(), 10);
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 1);
+  EXPECT_FALSE(timer.armed());
+}
+
+TEST(TimerTest, DestructionCancelsPendingOccurrence) {
+  EventLoop loop;
+  int fired = 0;
+  {
+    auto timer = std::make_unique<Timer>(loop, [&fired] { ++fired; });
+    timer->arm_at(10);
+  }  // destroyed while armed
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 0);
+  EXPECT_EQ(loop.pending(), 0u);
+}
+
+TEST(TimerTest, RearmReplacesPendingOccurrence) {
+  EventLoop loop;
+  int fired = 0;
+  Timer timer(loop, [&fired, &loop] {
+    ++fired;
+    EXPECT_EQ(loop.now(), 30);
+  });
+  timer.arm_at(10);
+  timer.arm_at(30);  // replaces, does not stack
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerTest, ArmedIsExactDuringCallback) {
+  // armed() must read false the moment the callback starts, so the
+  // callback can re-arm (periodic timers) without tripping its own
+  // "already armed" guard.
+  EventLoop loop;
+  int fired = 0;
+  std::optional<Timer> timer;
+  timer.emplace(loop, [&] {
+    EXPECT_FALSE(timer->armed());
+    if (++fired < 3) timer->rearm(5);
+  });
+  timer->arm_after(5);
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(loop.now(), 15);
+}
+
+TEST(TimerTest, CancelDisarmsIdempotently) {
+  EventLoop loop;
+  int fired = 0;
+  Timer timer(loop, [&fired] { ++fired; });
+  timer.arm_at(10);
+  timer.cancel();
+  timer.cancel();
+  EXPECT_FALSE(timer.armed());
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 0);
+  timer.arm_at(loop.now() + 1);  // still usable after cancel
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerHandleTest, CancelsOnDestruction) {
+  EventLoop loop;
+  int fired = 0;
+  {
+    TimerHandle handle(loop, loop.schedule_at(10, [&fired] { ++fired; }));
+    EXPECT_TRUE(handle.owns());
+  }
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(TimerHandleTest, ReleaseDetachesEvent) {
+  EventLoop loop;
+  int fired = 0;
+  {
+    TimerHandle handle(loop, loop.schedule_at(10, [&fired] { ++fired; }));
+    handle.release();
+  }  // destruction must not cancel a released event
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(TimerHandleTest, MoveTransfersOwnership) {
+  EventLoop loop;
+  int fired = 0;
+  TimerHandle outer;
+  {
+    TimerHandle inner(loop, loop.schedule_at(10, [&fired] { ++fired; }));
+    outer = std::move(inner);
+    EXPECT_FALSE(inner.owns());
+  }  // inner's destruction releases nothing
+  EXPECT_TRUE(outer.owns());
+  loop.run_to_completion();
+  EXPECT_EQ(fired, 1);
+}
+
+}  // namespace
+}  // namespace hostsim

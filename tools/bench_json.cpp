@@ -1,0 +1,197 @@
+// Validator / comparator for BENCH_engine.json (see bench/bench_engine.cpp).
+//
+// CI runs this after the benchmark smoke job: it fails (exit 1) on any
+// malformed document, so a silently broken harness cannot upload garbage
+// artifacts.  With --compare it also prints the per-bench speedup against
+// a baseline file, and --require=NAME:RATIO turns one of those ratios
+// into a gate (exit 2 below the ratio) — used to demonstrate engine
+// overhauls rather than for routine CI, whose one-core runners are too
+// noisy to gate on.
+//
+//   $ bench_json BENCH_engine.json
+//   $ bench_json BENCH_engine.json --compare=BENCH_baseline.json
+//   $ bench_json BENCH_engine.json --compare=B.json --require=storm_zero_delay:2.0
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hostsim.h"
+
+namespace {
+
+using namespace hostsim;
+
+constexpr const char* kSchema = "hostsim-bench-engine/v1";
+
+struct Bench {
+  std::string name;
+  std::string unit;
+  double count = 0;
+  double seconds = 0;
+  double rate = 0;
+};
+
+std::optional<std::string> read_file(const std::string& path) {
+  std::ifstream file(path, std::ios::binary);
+  if (!file) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << file.rdbuf();
+  return buffer.str();
+}
+
+/// Parses and validates one bench document; empty result + message on
+/// any malformation.
+std::optional<std::vector<Bench>> load(const std::string& path,
+                                       std::string* error) {
+  const auto text = read_file(path);
+  if (!text) {
+    *error = "cannot read " + path;
+    return std::nullopt;
+  }
+  const auto document = JsonValue::parse(*text);
+  if (!document || !document->is_object()) {
+    *error = path + ": not a JSON object";
+    return std::nullopt;
+  }
+  const JsonValue* schema = document->find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->as_string() != kSchema) {
+    *error = path + ": missing or unsupported schema (want " +
+             std::string(kSchema) + ")";
+    return std::nullopt;
+  }
+  const JsonValue* benches = document->find("benches");
+  if (benches == nullptr || !benches->is_array() || benches->items().empty()) {
+    *error = path + ": 'benches' must be a non-empty array";
+    return std::nullopt;
+  }
+  std::vector<Bench> result;
+  for (const JsonValue& entry : benches->items()) {
+    Bench bench;
+    const JsonValue* name = entry.find("name");
+    const JsonValue* unit = entry.find("unit");
+    const JsonValue* count = entry.find("count");
+    const JsonValue* seconds = entry.find("seconds");
+    const JsonValue* rate = entry.find("rate");
+    if (name == nullptr || !name->is_string() || unit == nullptr ||
+        !unit->is_string() || count == nullptr || !count->is_number() ||
+        seconds == nullptr || !seconds->is_number() || rate == nullptr ||
+        !rate->is_number()) {
+      *error = path + ": bench entry missing name/unit/count/seconds/rate";
+      return std::nullopt;
+    }
+    bench.name = name->as_string();
+    bench.unit = unit->as_string();
+    bench.count = count->as_double();
+    bench.seconds = seconds->as_double();
+    bench.rate = rate->as_double();
+    if (!(bench.seconds > 0) || !(bench.rate > 0) || !(bench.count > 0)) {
+      *error = path + ": bench '" + bench.name +
+               "' has non-positive count/seconds/rate";
+      return std::nullopt;
+    }
+    result.push_back(std::move(bench));
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::string compare_path;
+  std::vector<std::pair<std::string, double>> requirements;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--compare=", 0) == 0) {
+      compare_path = arg.substr(10);
+    } else if (arg.rfind("--require=", 0) == 0) {
+      const std::string spec = arg.substr(10);
+      const std::size_t colon = spec.rfind(':');
+      if (colon == std::string::npos) {
+        std::fprintf(stderr, "--require wants NAME:RATIO, got '%s'\n",
+                     spec.c_str());
+        return 1;
+      }
+      requirements.emplace_back(spec.substr(0, colon),
+                                std::stod(spec.substr(colon + 1)));
+    } else if (path.empty() && !arg.empty() && arg[0] != '-') {
+      path = arg;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_json FILE [--compare=BASELINE] "
+                   "[--require=NAME:RATIO]\n");
+      return 1;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: bench_json FILE [--compare=BASELINE]\n");
+    return 1;
+  }
+
+  std::string error;
+  const auto benches = load(path, &error);
+  if (!benches) {
+    std::fprintf(stderr, "bench_json: %s\n", error.c_str());
+    return 1;
+  }
+
+  std::map<std::string, Bench> baseline;
+  if (!compare_path.empty()) {
+    const auto baseline_benches = load(compare_path, &error);
+    if (!baseline_benches) {
+      std::fprintf(stderr, "bench_json: %s\n", error.c_str());
+      return 1;
+    }
+    for (const Bench& bench : *baseline_benches) {
+      baseline.emplace(bench.name, bench);
+    }
+  }
+
+  Table table(baseline.empty()
+                  ? std::vector<std::string>{"bench", "rate", "unit"}
+                  : std::vector<std::string>{"bench", "rate", "unit",
+                                             "baseline", "speedup"});
+  std::map<std::string, double> speedups;
+  for (const Bench& bench : *benches) {
+    std::vector<std::string> row = {bench.name, Table::num(bench.rate, 0),
+                                    bench.unit};
+    if (!baseline.empty()) {
+      const auto it = baseline.find(bench.name);
+      if (it == baseline.end()) {
+        row.push_back("-");
+        row.push_back("-");
+      } else {
+        const double speedup = bench.rate / it->second.rate;
+        speedups[bench.name] = speedup;
+        row.push_back(Table::num(it->second.rate, 0));
+        row.push_back(Table::num(speedup, 2) + "x");
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  table.print();
+
+  for (const auto& [name, min_ratio] : requirements) {
+    const auto it = speedups.find(name);
+    if (it == speedups.end()) {
+      std::fprintf(stderr,
+                   "bench_json: --require=%s but no such bench in both "
+                   "files\n",
+                   name.c_str());
+      return 2;
+    }
+    if (it->second < min_ratio) {
+      std::fprintf(stderr, "bench_json: %s speedup %.2fx below required %.2fx\n",
+                   name.c_str(), it->second, min_ratio);
+      return 2;
+    }
+    std::printf("  %s: %.2fx >= %.2fx required\n", name.c_str(), it->second,
+                min_ratio);
+  }
+  return 0;
+}
