@@ -18,6 +18,26 @@
 
 namespace hostsim::bench {
 
+/// True when the binary was invoked with --quick — ctest smoke mode.
+/// The bench prints the same tables, measured over a shorter window.
+inline bool quick_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]) == "--quick") return true;
+  }
+  return false;
+}
+
+/// Applies smoke-run timing to `config` when `quick` is set: warmup is
+/// capped (never extended) and the measurement window shrinks so every
+/// point still exercises the full datapath, just briefly.
+inline ExperimentConfig quick_adjust(ExperimentConfig config, bool quick) {
+  if (quick) {
+    if (config.warmup > 2 * kMillisecond) config.warmup = 2 * kMillisecond;
+    config.duration = 5 * kMillisecond;
+  }
+  return config;
+}
+
 /// Runner options from the environment (see header comment).
 inline sweep::RunnerOptions env_runner_options() {
   sweep::RunnerOptions options;

@@ -11,14 +11,17 @@ namespace {
 
 using namespace hostsim;
 
+bool g_quick = false;
+
 Metrics run_single(const ExperimentConfig& config) {
-  return run_experiment(config);
+  return run_experiment(bench::quick_adjust(config, g_quick));
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hostsim;
+  g_quick = bench::quick_mode(argc, argv);
 
   print_section("Ablation 1: DDIO way-partition (fig. 3 cache behaviour)");
   {

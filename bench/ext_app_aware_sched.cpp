@@ -7,8 +7,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hostsim;
+  const bool quick = bench::quick_mode(argc, argv);
 
   print_section("§4 projection: segregating long and short flows");
   Table table({"placement", "short flows", "total (Gbps)",
@@ -19,7 +20,8 @@ int main() {
       config.traffic.pattern = Pattern::mixed;
       config.traffic.flows = shorts;
       config.traffic.segregate_mixed_cores = segregate;
-      const Metrics metrics = run_experiment(config);
+      const Metrics metrics =
+          run_experiment(bench::quick_adjust(config, quick));
       const double rpc_gbps = metrics.rpc_transactions_per_sec * 2 *
                               static_cast<double>(config.traffic.rpc_size) *
                               8 / 1e9;

@@ -14,8 +14,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hostsim;
+  const bool quick = bench::quick_mode(argc, argv);
 
   print_section("§3.3 projection: receiver-driven credit vs TCP, incast");
   Table table({"transport", "flows", "tput/core (Gbps)", "rx miss",
@@ -27,7 +28,8 @@ int main() {
       config.traffic.flows = flows;
       config.stack.receiver_driven = rdt;
       config.warmup = 25 * kMillisecond;
-      const Metrics metrics = run_experiment(config);
+      const Metrics metrics =
+          run_experiment(bench::quick_adjust(config, quick));
       table.add_row({rdt ? "receiver-driven" : "TCP (sender-driven)",
                      std::to_string(flows),
                      Table::num(metrics.throughput_per_core_gbps),
@@ -47,7 +49,7 @@ int main() {
     config.stack.receiver_driven = true;
     config.stack.grant_policy.max_active = active;
     config.warmup = 25 * kMillisecond;
-    const Metrics metrics = run_experiment(config);
+    const Metrics metrics = run_experiment(bench::quick_adjust(config, quick));
     policy.add_row({std::to_string(active),
                     Table::num(metrics.throughput_per_core_gbps),
                     Table::percent(metrics.rx_copy_miss_rate)});

@@ -8,8 +8,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hostsim;
+  const bool quick = bench::quick_mode(argc, argv);
 
   print_section("§5 projection: faster links, same host");
   Table table({"link", "pattern", "total (Gbps)", "tput/core (Gbps)",
@@ -21,7 +22,8 @@ int main() {
       config.traffic.pattern = pattern;
       config.traffic.flows = pattern == Pattern::one_to_one ? 8 : 1;
       config.warmup = 25 * kMillisecond;
-      const Metrics metrics = run_experiment(config);
+      const Metrics metrics =
+          run_experiment(bench::quick_adjust(config, quick));
       table.add_row(
           {Table::num(gbps, 0) + "G", std::string(to_string(pattern)),
            Table::num(metrics.total_gbps),

@@ -9,8 +9,9 @@
 
 #include "bench_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace hostsim;
+  const bool quick = bench::quick_mode(argc, argv);
   struct Variant {
     const char* name;
     bool tx;
@@ -31,7 +32,7 @@ int main() {
     ExperimentConfig config;
     config.stack.tx_zerocopy = variant.tx;
     config.stack.rx_zerocopy = variant.rx;
-    const Metrics metrics = run_experiment(config);
+    const Metrics metrics = run_experiment(bench::quick_adjust(config, quick));
     results.push_back(metrics);
     table.add_row({variant.name, Table::num(metrics.total_gbps),
                    Table::num(metrics.throughput_per_core_gbps),
@@ -51,7 +52,7 @@ int main() {
   outcast.traffic.flows = 8;
   outcast.stack.tx_zerocopy = true;
   outcast.warmup = 25 * kMillisecond;
-  const Metrics sender = run_experiment(outcast);
+  const Metrics sender = run_experiment(bench::quick_adjust(outcast, quick));
   print_paper_line("outcast sender pipeline with tx zero-copy",
                    sender.throughput_per_sender_core_gbps, "Gbps/core",
                    "§4 cites ~100Gbps/core for zero-copy senders");

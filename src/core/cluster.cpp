@@ -1,7 +1,10 @@
-#include "core/testbed.h"
+#include "core/cluster.h"
 
 #include <string>
 #include <unordered_set>
+#include <utility>
+
+#include "sim/contract.h"
 
 namespace hostsim {
 namespace {
@@ -84,39 +87,111 @@ std::optional<std::string> check_host_rto(Host& host) {
   return std::nullopt;
 }
 
+Link::Config link_config(const ExperimentConfig& config) {
+  Link::Config link;
+  link.gbps = config.link_gbps;
+  link.propagation = config.wire_propagation;
+  link.loss_rate = config.loss_rate;
+  link.ecn_threshold = config.ecn_threshold;
+  return link;
+}
+
 }  // namespace
 
-Testbed::Testbed(const ExperimentConfig& config) : config_(config) {
+Cluster::Cluster(const ExperimentConfig& config) : config_(config) {
+  require(config.topology.num_hosts >= 2, "a cluster needs at least 2 hosts");
+  require(config.topology.num_hosts == 2 || !config.topology.degenerate(),
+          "more than 2 hosts requires the switch topology");
   loop_ = std::make_unique<EventLoop>(config.seed);
-  Wire::Config wire_config;
-  wire_config.gbps = config.link_gbps;
-  wire_config.propagation = config.wire_propagation;
-  wire_config.loss_rate = config.loss_rate;
-  wire_config.ecn_threshold = config.ecn_threshold;
-  wire_ = std::make_unique<Wire>(*loop_, wire_config);
-  sender_ = std::make_unique<Host>(*loop_, config, *wire_, Wire::Side::a,
-                                   "sender");
-  receiver_ = std::make_unique<Host>(*loop_, config, *wire_, Wire::Side::b,
-                                     "receiver");
-  if (config.faults.any()) {
-    // Constructed after the wire and hosts so the injector's RNG fork
-    // leaves their stream assignments — and therefore every fault-free
-    // run — untouched.
-    faults_ = std::make_unique<FaultInjector>(*loop_, config.faults);
-    wire_->set_fault_injector(faults_.get());
-    sender_->nic().set_fault_injector(faults_.get());
-    receiver_->nic().set_fault_injector(faults_.get());
+  if (config.topology.degenerate()) {
+    build_degenerate();
+  } else {
+    build_cluster();
   }
 }
 
-std::uint64_t Testbed::app_progress() const {
-  return static_cast<std::uint64_t>(
-      sender_->stack().total_delivered_to_app() +
-      receiver_->stack().total_delivered_to_app());
+void Cluster::build_degenerate() {
+  // The legacy two-server path, preserved verbatim: construction order
+  // (wire, sender, receiver, then faults iff configured) fixes the RNG
+  // fork sequence, so historical runs replay bit-for-bit.
+  links_.push_back(std::make_unique<Link>(*loop_, link_config(config_)));
+  hosts_.push_back(std::make_unique<Host>(*loop_, config_, *links_[0],
+                                          Link::Side::a, "sender"));
+  hosts_.push_back(std::make_unique<Host>(*loop_, config_, *links_[0],
+                                          Link::Side::b, "receiver"));
+  if (config_.faults.any()) {
+    // Constructed after the wire and hosts so the injector's RNG fork
+    // leaves their stream assignments — and therefore every fault-free
+    // run — untouched.
+    faults_ = std::make_unique<FaultInjector>(*loop_, config_.faults);
+    links_[0]->set_fault_injector(faults_.get());
+    hosts_[0]->nic().set_fault_injector(faults_.get());
+    hosts_[1]->nic().set_fault_injector(faults_.get());
+  }
 }
 
-bool Testbed::transfers_outstanding() const {
-  for (Host* host : {sender_.get(), receiver_.get()}) {
+void Cluster::build_cluster() {
+  const TopologyConfig& topo = config_.topology;
+  const int num_hosts = topo.num_hosts;
+
+  // One uplink Link per host (Side::a = the host, Side::b = the switch
+  // ingress), then the fabric, then the hosts.  Link i carries id i, so
+  // FaultPlan entries address link/port i == host i's cable.
+  for (int i = 0; i < num_hosts; ++i) {
+    links_.push_back(std::make_unique<Link>(*loop_, link_config(config_)));
+    links_.back()->set_id(i);
+  }
+
+  Switch::Config fabric_config;
+  fabric_config.num_ports = num_hosts;
+  fabric_config.port_gbps =
+      topo.port_gbps > 0 ? topo.port_gbps : config_.link_gbps;
+  fabric_config.propagation = config_.wire_propagation;
+  fabric_config.buffer_bytes = topo.switch_buffer;
+  fabric_config.ecn_threshold_bytes = topo.switch_ecn_bytes;
+  fabric_ = std::make_unique<Switch>(*loop_, fabric_config);
+  if (config_.stack.trace_capacity > 0) {
+    fabric_->enable_trace(config_.stack.trace_capacity);
+  }
+
+  for (int i = 0; i < num_hosts; ++i) {
+    const std::string name =
+        num_hosts == 2 ? (i == 0 ? "sender" : "receiver")
+                       : "host" + std::to_string(i);
+    hosts_.push_back(std::make_unique<Host>(*loop_, config_, *links_[i],
+                                            Link::Side::a, name, i));
+    // Uplink tail feeds the switch; switch egress delivers straight into
+    // the destination NIC (the buffered fabric models the downlink's
+    // serialization + propagation itself; pass-through adds nothing, by
+    // design — see hw/switch.h).
+    links_[i]->attach(Link::Side::b, [this, i](Frame frame) {
+      fabric_->ingress(i, std::move(frame));
+    });
+    fabric_->attach_port(i, [this, i](Frame frame) {
+      hosts_[static_cast<std::size_t>(i)]->nic().receive(std::move(frame));
+    });
+    fabric_->set_route(i, i);
+  }
+
+  if (config_.faults.any()) {
+    faults_ = std::make_unique<FaultInjector>(*loop_, config_.faults);
+    for (auto& link : links_) link->set_fault_injector(faults_.get());
+    fabric_->set_fault_injector(faults_.get());
+    for (auto& host : hosts_) host->nic().set_fault_injector(faults_.get());
+  }
+}
+
+std::uint64_t Cluster::app_progress() const {
+  std::uint64_t progress = 0;
+  for (const auto& host : hosts_) {
+    progress +=
+        static_cast<std::uint64_t>(host->stack().total_delivered_to_app());
+  }
+  return progress;
+}
+
+bool Cluster::transfers_outstanding() const {
+  for (const auto& host : hosts_) {
     for (int flow : host->stack().flow_ids()) {
       const TcpSocket& socket = host->stack().socket(flow);
       if (socket.snd_una() < socket.snd_buf_end()) return true;
@@ -125,11 +200,21 @@ bool Testbed::transfers_outstanding() const {
   return false;
 }
 
-void Testbed::register_invariants(InvariantChecker& checker) {
+std::uint64_t Cluster::total_wire_drops() const {
+  std::uint64_t drops = 0;
+  for (const auto& link : links_) drops += link->dropped();
+  if (fabric_ != nullptr) drops += fabric_->dropped();
+  return drops;
+}
+
+void Cluster::register_invariants(InvariantChecker& checker) {
   checker.add_check("byte-conservation", [this]() -> std::optional<std::string> {
-    for (int flow : receiver_->stack().flow_ids()) {
-      const TcpSocket& at_sender = sender_->stack().socket(flow);
-      const TcpSocket& at_receiver = receiver_->stack().socket(flow);
+    for (int flow = 0; flow < next_flow_; ++flow) {
+      const FlowRoute& route = routes_[static_cast<std::size_t>(flow)];
+      const TcpSocket& at_sender =
+          host(route.src_host).stack().socket(flow);
+      const TcpSocket& at_receiver =
+          host(route.dst_host).stack().socket(flow);
       const std::string flow_label = "flow " + std::to_string(flow);
       if (auto bad = check_flow_bytes(flow_label + " sender->receiver",
                                       at_sender, at_receiver)) {
@@ -144,13 +229,17 @@ void Testbed::register_invariants(InvariantChecker& checker) {
   });
 
   checker.add_check("page-leak", [this]() -> std::optional<std::string> {
-    if (auto bad = check_host_pages(*sender_)) return bad;
-    return check_host_pages(*receiver_);
+    for (auto& host : hosts_) {
+      if (auto bad = check_host_pages(*host)) return bad;
+    }
+    return std::nullopt;
   });
 
   checker.add_check("rto-liveness", [this]() -> std::optional<std::string> {
-    if (auto bad = check_host_rto(*sender_)) return bad;
-    return check_host_rto(*receiver_);
+    for (auto& host : hosts_) {
+      if (auto bad = check_host_rto(*host)) return bad;
+    }
+    return std::nullopt;
   });
 
   checker.add_check("event-drain", [this]() -> std::optional<std::string> {
@@ -169,28 +258,37 @@ void Testbed::register_invariants(InvariantChecker& checker) {
   });
 }
 
-Testbed::FlowEndpoints Testbed::make_flow(int sender_core, int receiver_core,
+Cluster::FlowEndpoints Cluster::make_flow(FlowEndpoint src, FlowEndpoint dst,
                                           bool explicit_irq_mapping) {
+  require(src.host >= 0 && src.host < num_hosts() && dst.host >= 0 &&
+              dst.host < num_hosts(),
+          "flow endpoint host out of range");
+  require(src.host != dst.host, "flow endpoints must be on distinct hosts");
   const int flow = next_flow_++;
+  Host& src_host = host(src.host);
+  Host& dst_host = host(dst.host);
+  routes_.push_back(FlowRoute{src.host, dst.host});
+
   FlowEndpoints endpoints;
-  endpoints.at_sender = &sender_->stack().create_socket(flow, sender_core);
-  endpoints.at_receiver =
-      &receiver_->stack().create_socket(flow, receiver_core);
+  endpoints.at_sender = &src_host.stack().create_socket(flow, src.core);
+  endpoints.at_receiver = &dst_host.stack().create_socket(flow, dst.core);
+  src_host.nic().set_flow_dst(flow, dst.host);
+  dst_host.nic().set_flow_dst(flow, src.host);
 
   if (config_.stack.arfs) {
     // aRFS: the NIC steers each flow's IRQs to the core where the
     // consuming application runs (both directions: data at the receiver,
     // ACKs at the sender).
-    sender_->nic().steer_flow(flow, sender_core);
-    receiver_->nic().steer_flow(flow, receiver_core);
+    src_host.nic().steer_flow(flow, src.core);
+    dst_host.nic().steer_flow(flow, dst.core);
   } else if (config_.stack.fallback_steering == SteeringMode::rss &&
              explicit_irq_mapping) {
     // Paper methodology (§3.1): without aRFS, deterministically map each
     // flow's IRQs to a unique core on a NIC-remote NUMA node (the RSS
     // worst case).
     const int remote = next_remote_irq_++;
-    sender_->nic().steer_flow(flow, sender_->topo().remote_core(remote));
-    receiver_->nic().steer_flow(flow, receiver_->topo().remote_core(remote));
+    src_host.nic().steer_flow(flow, src_host.topo().remote_core(remote));
+    dst_host.nic().steer_flow(flow, dst_host.topo().remote_core(remote));
   }
   // Otherwise: no steering entry — the NIC hashes the flow to a queue
   // (plain RSS, also the IRQ placement under software RPS/RFS, which

@@ -1,0 +1,149 @@
+// An N-host cluster: per-host uplink Links into an output-queued Switch,
+// generalizing the paper's two-server testbed to real cross-host
+// topologies (incast drops, fabric ECN, tail latency).
+//
+// The degenerate configuration — 2 hosts, no switch — takes the *exact*
+// legacy construction path (loop, one back-to-back wire, sender host,
+// receiver host, then the fault injector iff the plan is non-empty), so
+// every historical figure, campaign, cache key, and RNG stream is
+// preserved bit-for-bit.  `Testbed` (core/testbed.h) is now an alias for
+// this class.
+//
+// Cluster mode wires each host's NIC to Side::a of its own uplink Link;
+// Side::b feeds the switch ingress for that port.  Switch egress
+// delivers straight into the destination NIC: in pass-through mode at
+// the ingress instant (so a 2-host pass-through cluster is
+// timing-identical to the back-to-back wire — the uplink already charged
+// serialization + propagation), in buffered mode after FIFO queueing,
+// egress serialization at the port rate, and the downlink propagation.
+//
+// Convention: host H-1 is the receiver/server host, hosts 0..H-2 send
+// toward it (matching the legacy sender=0 / receiver=1 layout).
+#ifndef HOSTSIM_CORE_CLUSTER_H
+#define HOSTSIM_CORE_CLUSTER_H
+
+#include <memory>
+#include <vector>
+
+#include "core/config.h"
+#include "core/host.h"
+#include "hw/link.h"
+#include "hw/switch.h"
+#include "net/tcp_socket.h"
+#include "sim/event_loop.h"
+#include "sim/fault_injector.h"
+#include "sim/invariant_checker.h"
+
+namespace hostsim {
+
+class Cluster {
+ public:
+  explicit Cluster(const ExperimentConfig& config);
+
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  EventLoop& loop() { return *loop_; }
+  const ExperimentConfig& config() const { return config_; }
+
+  int num_hosts() const { return static_cast<int>(hosts_.size()); }
+  Host& host(int index) { return *hosts_.at(static_cast<std::size_t>(index)); }
+
+  /// Legacy two-server view: host 0 sends, the last host receives.
+  Host& sender() { return host(0); }
+  Host& receiver() { return host(num_hosts() - 1); }
+
+  /// Host `index`'s uplink (degenerate topology: the single wire).
+  Link& link(int index) {
+    return *links_.at(static_cast<std::size_t>(index));
+  }
+  int num_links() const { return static_cast<int>(links_.size()); }
+
+  /// Legacy name for the degenerate topology's single back-to-back wire.
+  Wire& wire() { return link(0); }
+
+  /// The switch fabric; nullptr in the degenerate back-to-back topology.
+  Switch* fabric() { return fabric_.get(); }
+
+  /// The run's fault injector; nullptr when the plan is empty (the
+  /// injector is only constructed — and its RNG stream only forked —
+  /// when faults are configured, preserving fault-free determinism).
+  FaultInjector* faults() { return faults_.get(); }
+
+  /// Registers the cluster's end-of-run invariants on `checker`:
+  /// per-flow byte conservation, per-host page-leak freedom (naming
+  /// leaked page ids), sender RTO liveness, and event-queue sanity.
+  void register_invariants(InvariantChecker& checker);
+
+  /// Monotone application-progress counter (bytes delivered to apps on
+  /// every host); the natural Watchdog progress probe.
+  std::uint64_t app_progress() const;
+
+  /// True when any socket still has unacknowledged or unsent buffered
+  /// data; the natural Watchdog activity probe.
+  bool transfers_outstanding() const;
+
+  /// One end of a flow at cluster granularity.
+  struct FlowEndpoint {
+    int host = 0;
+    int core = 0;
+  };
+
+  /// Endpoints of one established flow.
+  struct FlowEndpoints {
+    TcpSocket* at_sender;
+    TcpSocket* at_receiver;
+  };
+
+  /// Which hosts a flow connects (src sends data toward dst).
+  struct FlowRoute {
+    int src_host = 0;
+    int dst_host = 1;
+  };
+
+  /// Creates both endpoints of a flow between two (host, core) points
+  /// and installs IRQ steering: with aRFS, each NIC steers to the local
+  /// application's core; without it, steering follows the paper's
+  /// methodology — a deterministic NIC-remote core per flow
+  /// (`explicit_irq_mapping`, §3.1), or the hash fallback when the
+  /// steering table would not fit (§3.5).
+  FlowEndpoints make_flow(FlowEndpoint src, FlowEndpoint dst,
+                          bool explicit_irq_mapping = true);
+
+  /// Legacy two-server form: sender host 0 -> receiver host H-1.
+  FlowEndpoints make_flow(int sender_core, int receiver_core,
+                          bool explicit_irq_mapping = true) {
+    return make_flow(FlowEndpoint{0, sender_core},
+                     FlowEndpoint{num_hosts() - 1, receiver_core},
+                     explicit_irq_mapping);
+  }
+
+  int flows_created() const { return next_flow_; }
+  const FlowRoute& flow_route(int flow) const {
+    return routes_.at(static_cast<std::size_t>(flow));
+  }
+
+  /// In-network drops across every link plus the switch (degenerate
+  /// topology: the single wire's Bernoulli/GE drops, as before).
+  std::uint64_t total_wire_drops() const;
+
+ private:
+  void build_degenerate();
+  void build_cluster();
+
+  ExperimentConfig config_;
+  std::unique_ptr<EventLoop> loop_;
+  std::vector<std::unique_ptr<Link>> links_;
+  std::unique_ptr<Switch> fabric_;
+  std::vector<std::unique_ptr<Host>> hosts_;
+  std::unique_ptr<FaultInjector> faults_;
+  std::vector<FlowRoute> routes_;
+  int next_flow_ = 0;
+  // Shared across hosts so each RSS-explicit flow claims a unique
+  // NIC-remote core index, exactly as the legacy two-server testbed did.
+  int next_remote_irq_ = 0;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_CORE_CLUSTER_H

@@ -123,12 +123,30 @@ struct TrafficConfig {
   Bytes sender_chunk = 128 * kKiB;
 };
 
+/// Cluster topology.  The default (2 hosts, no switch) is the paper's
+/// back-to-back testbed and takes the exact legacy construction path, so
+/// historical runs stay bit-identical.  Anything else builds a Cluster:
+/// per-host uplinks into an output-queued Switch (hw/switch.h).
+struct TopologyConfig {
+  int num_hosts = 2;
+  /// Route the 2-host case through a Switch anyway (pass-through when
+  /// `switch_buffer` is 0 — timing-identical to the back-to-back wire).
+  bool use_switch = false;
+  double port_gbps = 0.0;       ///< switch egress rate; 0 = link_gbps
+  Bytes switch_buffer = 0;      ///< per-port FIFO bound; 0 = pass-through
+  Bytes switch_ecn_bytes = 0;   ///< fabric CE-mark occupancy; 0 = off
+
+  /// True for the plain back-to-back testbed (no switch in the path).
+  bool degenerate() const { return num_hosts == 2 && !use_switch; }
+};
+
 struct ExperimentConfig {
   StackConfig stack;
   TrafficConfig traffic;
   CostModel cost;
   NumaTopology topo;
   LlcConfig llc;  ///< cache geometry (ablate DDIO partitioning here)
+  TopologyConfig topology;
   double link_gbps = 100.0;
   Nanos wire_propagation = 1'000;
   double loss_rate = 0.0;      ///< in-network random drops (paper §3.6)

@@ -61,13 +61,8 @@ CycleAccount cycles_delta(Host& host, const HostSnapshot& before) {
   return total;
 }
 
-double pageset_miss_delta(Host& host, const HostSnapshot& before) {
-  const HitRate& now = host.allocator().pageset_stats();
-  const std::uint64_t hits = now.hits() - before.pageset_hits;
-  const std::uint64_t misses = now.misses() - before.pageset_misses;
-  const std::uint64_t total = hits + misses;
-  return total ? static_cast<double>(misses) / static_cast<double>(total)
-               : 0.0;
+Bytes delivered_delta(Host& host, const HostSnapshot& before) {
+  return host.stack().total_delivered_to_app() - before.delivered;
 }
 
 }  // namespace
@@ -88,31 +83,45 @@ Metrics Experiment::run() {
   }
 
   testbed.loop().run_until(config_.warmup);
-  const HostSnapshot sender_before = snapshot(testbed.sender());
-  const HostSnapshot receiver_before = snapshot(testbed.receiver());
+  // Hosts 0..H-2 are the sending side, host H-1 the receiving side
+  // (degenerate testbed: host 0 = "sender", host 1 = "receiver").
+  const int num_hosts = testbed.num_hosts();
+  const int rx_host = num_hosts - 1;
+  std::vector<HostSnapshot> before;
+  before.reserve(static_cast<std::size_t>(num_hosts));
+  for (int h = 0; h < num_hosts; ++h) {
+    before.push_back(snapshot(testbed.host(h)));
+  }
   const std::uint64_t rpc_before = workload.rpc_transactions();
-  const std::uint64_t drops_before = testbed.wire().dropped();
+  const std::uint64_t drops_before = testbed.total_wire_drops();
   workload.reset_rpc_latency();
-  testbed.sender().stack().begin_measurement();
-  testbed.receiver().stack().begin_measurement();
+  for (int h = 0; h < num_hosts; ++h) {
+    testbed.host(h).stack().begin_measurement();
+  }
 
   testbed.loop().run_until(config_.warmup + config_.duration);
 
   Metrics metrics;
   metrics.window = config_.duration;
-  const Bytes delivered_sender = testbed.sender().stack().total_delivered_to_app() -
-                                 sender_before.delivered;
-  const Bytes delivered_receiver =
-      testbed.receiver().stack().total_delivered_to_app() -
-      receiver_before.delivered;
-  metrics.app_bytes = delivered_sender + delivered_receiver;
+  for (int h = 0; h < num_hosts; ++h) {
+    metrics.app_bytes +=
+        delivered_delta(testbed.host(h), before[static_cast<std::size_t>(h)]);
+  }
   metrics.total_gbps = to_gbps(metrics.app_bytes, metrics.window);
 
-  metrics.sender_cores_used =
-      cores_used(testbed.sender(), sender_before, metrics.window,
-                 &metrics.sender_peak_core_util);
+  // Sending-side aggregates sum over every sender host; the per-side
+  // peak is the busiest single core anywhere on that side.
+  for (int h = 0; h < rx_host; ++h) {
+    double peak = 0.0;
+    metrics.sender_cores_used += cores_used(
+        testbed.host(h), before[static_cast<std::size_t>(h)], metrics.window,
+        &peak);
+    metrics.sender_peak_core_util =
+        std::max(metrics.sender_peak_core_util, peak);
+  }
   metrics.receiver_cores_used =
-      cores_used(testbed.receiver(), receiver_before, metrics.window,
+      cores_used(testbed.host(rx_host),
+                 before[static_cast<std::size_t>(rx_host)], metrics.window,
                  &metrics.receiver_peak_core_util);
 
   // The paper's throughput-per-core divides total throughput by the CPU
@@ -135,28 +144,56 @@ Metrics Experiment::run() {
         metrics.total_gbps / metrics.receiver_cores_used;
   }
 
-  metrics.sender_cycles = cycles_delta(testbed.sender(), sender_before);
-  metrics.receiver_cycles = cycles_delta(testbed.receiver(), receiver_before);
+  for (int h = 0; h < rx_host; ++h) {
+    metrics.sender_cycles.merge(
+        cycles_delta(testbed.host(h), before[static_cast<std::size_t>(h)]));
+  }
+  metrics.receiver_cycles = cycles_delta(
+      testbed.host(rx_host), before[static_cast<std::size_t>(rx_host)]);
 
-  const HostStats& rx_stats = testbed.receiver().stack().stats();
-  const HostStats& tx_stats = testbed.sender().stack().stats();
+  const HostStats& rx_stats = testbed.host(rx_host).stack().stats();
   metrics.rx_copy_miss_rate = rx_stats.copy_reads.miss_rate();
-  metrics.tx_copy_miss_rate = tx_stats.sender_copy.miss_rate();
   metrics.napi_to_copy_avg =
       static_cast<Nanos>(rx_stats.napi_to_copy.mean());
   metrics.napi_to_copy_p99 = rx_stats.napi_to_copy.percentile(0.99);
   metrics.mean_skb_bytes = rx_stats.skb_sizes.mean();
   metrics.skb_64kb_fraction = rx_stats.skb_sizes.fraction_at_least(60 * kKiB);
 
-  metrics.retransmits = tx_stats.retransmits;
-  metrics.dup_acks_received = tx_stats.dup_acks;
-  metrics.acks_received = tx_stats.acks_received;
-  metrics.wire_drops = testbed.wire().dropped() - drops_before;
+  // Sending-side protocol counters and cache rates, summed across the
+  // sender hosts (one host in the degenerate testbed, so unchanged).
+  HitRate tx_copy;
+  std::uint64_t tx_pageset_hits = 0;
+  std::uint64_t tx_pageset_misses = 0;
+  for (int h = 0; h < rx_host; ++h) {
+    const HostStats& tx_stats = testbed.host(h).stack().stats();
+    metrics.retransmits += tx_stats.retransmits;
+    metrics.dup_acks_received += tx_stats.dup_acks;
+    metrics.acks_received += tx_stats.acks_received;
+    tx_copy.hit(tx_stats.sender_copy.hits());
+    tx_copy.miss(tx_stats.sender_copy.misses());
+    const HostSnapshot& b = before[static_cast<std::size_t>(h)];
+    const HitRate& pageset = testbed.host(h).allocator().pageset_stats();
+    tx_pageset_hits += pageset.hits() - b.pageset_hits;
+    tx_pageset_misses += pageset.misses() - b.pageset_misses;
+  }
+  metrics.tx_copy_miss_rate = tx_copy.miss_rate();
+  metrics.wire_drops = testbed.total_wire_drops() - drops_before;
 
+  const std::uint64_t tx_pageset_total = tx_pageset_hits + tx_pageset_misses;
   metrics.sender_pageset_miss =
-      pageset_miss_delta(testbed.sender(), sender_before);
-  metrics.receiver_pageset_miss =
-      pageset_miss_delta(testbed.receiver(), receiver_before);
+      tx_pageset_total ? static_cast<double>(tx_pageset_misses) /
+                             static_cast<double>(tx_pageset_total)
+                       : 0.0;
+  {
+    const HostSnapshot& b = before[static_cast<std::size_t>(rx_host)];
+    const HitRate& pageset =
+        testbed.host(rx_host).allocator().pageset_stats();
+    const std::uint64_t hits = pageset.hits() - b.pageset_hits;
+    const std::uint64_t misses = pageset.misses() - b.pageset_misses;
+    const std::uint64_t total = hits + misses;
+    metrics.receiver_pageset_miss =
+        total ? static_cast<double>(misses) / static_cast<double>(total) : 0.0;
+  }
 
   metrics.rpc_transactions = workload.rpc_transactions() - rpc_before;
   metrics.rpc_transactions_per_sec =
@@ -166,22 +203,27 @@ Metrics Experiment::run() {
   metrics.rpc_latency_p99 = rpc_latency.percentile(0.99);
 
   // Per-flow accounting: bytes the flow delivered to applications on
-  // either host during the window (responses count at the sender host).
-  for (int flow : testbed.receiver().stack().flow_ids()) {
+  // either endpoint host during the window (responses count at the
+  // sending host).
+  for (int flow = 0; flow < testbed.flows_created(); ++flow) {
+    const Cluster::FlowRoute& route = testbed.flow_route(flow);
+    const HostSnapshot& dst_before =
+        before[static_cast<std::size_t>(route.dst_host)];
+    const HostSnapshot& src_before =
+        before[static_cast<std::size_t>(route.src_host)];
     Metrics::FlowMetrics fm;
     fm.flow = flow;
-    auto before_it = receiver_before.per_flow_delivered.find(flow);
+    auto before_it = dst_before.per_flow_delivered.find(flow);
     const Bytes rcv_before =
-        before_it != receiver_before.per_flow_delivered.end()
-            ? before_it->second
-            : 0;
+        before_it != dst_before.per_flow_delivered.end() ? before_it->second
+                                                         : 0;
     fm.delivered =
-        testbed.receiver().stack().socket(flow).delivered_to_app() -
+        testbed.host(route.dst_host).stack().socket(flow).delivered_to_app() -
         rcv_before;
-    auto snd_it = sender_before.per_flow_delivered.find(flow);
-    if (snd_it != sender_before.per_flow_delivered.end()) {
+    auto snd_it = src_before.per_flow_delivered.find(flow);
+    if (snd_it != src_before.per_flow_delivered.end()) {
       fm.delivered +=
-          testbed.sender().stack().socket(flow).delivered_to_app() -
+          testbed.host(route.src_host).stack().socket(flow).delivered_to_app() -
           snd_it->second;
     }
     fm.gbps = to_gbps(fm.delivered, metrics.window);
@@ -189,22 +231,54 @@ Metrics Experiment::run() {
   }
 
   if (config_.stack.trace_capacity > 0) {
-    metrics.trace = testbed.sender().stack().tracer().snapshot();
-    const auto receiver_trace =
-        testbed.receiver().stack().tracer().snapshot();
-    metrics.trace.insert(metrics.trace.end(), receiver_trace.begin(),
-                         receiver_trace.end());
+    for (int h = 0; h < num_hosts; ++h) {
+      const auto host_trace = testbed.host(h).stack().tracer().snapshot();
+      metrics.trace.insert(metrics.trace.end(), host_trace.begin(),
+                           host_trace.end());
+    }
+    if (testbed.fabric() != nullptr) {
+      const auto fabric_trace = testbed.fabric()->tracer().snapshot();
+      metrics.trace.insert(metrics.trace.end(), fabric_trace.begin(),
+                           fabric_trace.end());
+    }
     std::stable_sort(metrics.trace.begin(), metrics.trace.end(),
               [](const TraceRecord& a, const TraceRecord& b) {
                 return a.at < b.at;
               });
   }
 
+  // Cluster-only sections, gated so two-host runs (back-to-back or
+  // pass-through switch) keep their historical metrics byte-for-byte.
+  if (num_hosts > 2) {
+    for (int h = 0; h < num_hosts; ++h) {
+      const HostSnapshot& b = before[static_cast<std::size_t>(h)];
+      Metrics::HostMetrics hm;
+      hm.host = h;
+      hm.cores_used = cores_used(testbed.host(h), b, metrics.window,
+                                 &hm.peak_core_util);
+      hm.app_bytes = delivered_delta(testbed.host(h), b);
+      hm.gbps = to_gbps(hm.app_bytes, metrics.window);
+      metrics.per_host.push_back(hm);
+    }
+  }
+  if (testbed.fabric() != nullptr &&
+      (num_hosts > 2 || config_.topology.switch_buffer > 0)) {
+    metrics.has_fabric = true;
+    metrics.fabric.forwarded = testbed.fabric()->forwarded();
+    metrics.fabric.drops = testbed.fabric()->dropped();
+    metrics.fabric.ecn_marks = testbed.fabric()->ecn_marked();
+    metrics.fabric.flap_drops = testbed.fabric()->flap_drops();
+    metrics.fabric.peak_queue_bytes = testbed.fabric()->peak_queue_bytes();
+  }
+
   if (testbed.faults() != nullptr) {
     metrics.faults = testbed.faults()->counters();
   }
   metrics.faults.watchdog_trips += watchdog.trips();
-  metrics.rx_csum_drops = rx_stats.rx_csum_drops + tx_stats.rx_csum_drops;
+  metrics.rx_csum_drops = 0;
+  for (int h = 0; h < num_hosts; ++h) {
+    metrics.rx_csum_drops += testbed.host(h).stack().stats().rx_csum_drops;
+  }
 
   if (config_.check_invariants) {
     InvariantChecker checker;

@@ -5,10 +5,10 @@
 namespace hostsim {
 namespace {
 
-StackOptions stack_options(const ExperimentConfig& config, Wire::Side side) {
+StackOptions stack_options(const ExperimentConfig& config, int host_id) {
   StackOptions options;
   options.trace_capacity = config.stack.trace_capacity;
-  options.host_id = side == Wire::Side::a ? 0 : 1;
+  options.host_id = host_id;
   options.segmentation = config.stack.segmentation();
   options.gro = config.stack.gro;
   options.steering = config.stack.arfs ? SteeringMode::arfs
@@ -37,9 +37,12 @@ Nic::Config nic_config(const ExperimentConfig& config) {
 
 }  // namespace
 
-Host::Host(EventLoop& loop, const ExperimentConfig& config, Wire& wire,
-           Wire::Side side, std::string name)
-    : name_(std::move(name)), cost_(config.cost), topo_(config.topo) {
+Host::Host(EventLoop& loop, const ExperimentConfig& config, Link& link,
+           Link::Side side, std::string name, int host_id)
+    : name_(std::move(name)),
+      host_id_(host_id >= 0 ? host_id : (side == Link::Side::a ? 0 : 1)),
+      cost_(config.cost),
+      topo_(config.topo) {
   cores_.reserve(static_cast<std::size_t>(topo_.num_cores()));
   for (int id = 0; id < topo_.num_cores(); ++id) {
     cores_.push_back(
@@ -59,10 +62,11 @@ Host::Host(EventLoop& loop, const ExperimentConfig& config, Wire& wire,
   for (auto& llc : llcs_) llc_ptrs.push_back(llc.get());
 
   nic_ = std::make_unique<Nic>(loop, nic_config(config), topo_, core_ptrs,
-                               llc_ptrs, *allocator_, *iommu_, wire, side);
-  stack_ = std::make_unique<Stack>(loop, stack_options(config, side), topo_,
-                                   core_ptrs, llc_ptrs, *allocator_, *iommu_,
-                                   *nic_);
+                               llc_ptrs, *allocator_, *iommu_, link, side,
+                               host_id_);
+  stack_ = std::make_unique<Stack>(loop, stack_options(config, host_id_),
+                                   topo_, core_ptrs, llc_ptrs, *allocator_,
+                                   *iommu_, *nic_);
 }
 
 }  // namespace hostsim

@@ -20,13 +20,16 @@ namespace hostsim {
 
 class Host {
  public:
-  Host(EventLoop& loop, const ExperimentConfig& config, Wire& wire,
-       Wire::Side side, std::string name);
+  /// `host_id` is this host's index in the topology; -1 derives the
+  /// legacy back-to-back ids (Side::a = 0, Side::b = 1).
+  Host(EventLoop& loop, const ExperimentConfig& config, Link& link,
+       Link::Side side, std::string name, int host_id = -1);
 
   Host(const Host&) = delete;
   Host& operator=(const Host&) = delete;
 
   const std::string& name() const { return name_; }
+  int host_id() const { return host_id_; }
   Core& core(int id) { return *cores_.at(static_cast<std::size_t>(id)); }
   int num_cores() const { return static_cast<int>(cores_.size()); }
   LlcModel& llc(int node) { return *llcs_.at(static_cast<std::size_t>(node)); }
@@ -37,6 +40,7 @@ class Host {
 
  private:
   std::string name_;
+  int host_id_ = 0;
   CostModel cost_;
   NumaTopology topo_;
   std::vector<std::unique_ptr<Core>> cores_;

@@ -92,6 +92,31 @@ struct Metrics {
   /// fair); 0 when there are no flows.
   double flow_fairness() const;
 
+  // Per-host breakdown; populated only for >2-host cluster topologies so
+  // two-host runs keep their historical JSON byte-for-byte.
+  struct HostMetrics {
+    int host = 0;
+    double cores_used = 0.0;
+    double peak_core_util = 0.0;
+    Bytes app_bytes = 0;
+    double gbps = 0.0;
+  };
+  std::vector<HostMetrics> per_host;
+
+  // Switch-fabric rollup; `has_fabric` is set only when a buffered
+  // switch (or a >2-host cluster) is in the path — a 2-host
+  // pass-through switch reports nothing, keeping its metrics JSON
+  // identical to the back-to-back testbed's.
+  struct FabricMetrics {
+    std::uint64_t forwarded = 0;
+    std::uint64_t drops = 0;
+    std::uint64_t ecn_marks = 0;
+    std::uint64_t flap_drops = 0;
+    Bytes peak_queue_bytes = 0;
+  };
+  bool has_fabric = false;
+  FabricMetrics fabric;
+
   /// Merged flight-recorder trace from both hosts (empty unless
   /// StackConfig::trace_capacity was set), time-ordered.
   std::vector<TraceRecord> trace;

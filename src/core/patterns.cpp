@@ -24,6 +24,120 @@ void add_long_flow(Testbed& testbed, Workload& workload,
       traffic.app_chunk));
 }
 
+/// (host, core)-granular variant for >2-host clusters.
+void add_cluster_flow(Cluster& cluster, Workload& workload,
+                      const TrafficConfig& traffic, Cluster::FlowEndpoint src,
+                      Cluster::FlowEndpoint dst, bool explicit_irq = true) {
+  auto endpoints = cluster.make_flow(src, dst, explicit_irq);
+  workload.long_senders.push_back(std::make_unique<LongFlowSender>(
+      cluster.host(src.host).core(src.core), *endpoints.at_sender,
+      traffic.sender_chunk));
+  workload.long_receivers.push_back(std::make_unique<LongFlowReceiver>(
+      cluster.host(dst.host).core(dst.core), *endpoints.at_receiver,
+      traffic.app_chunk));
+}
+
+/// Expands the paper's patterns across a >2-host cluster: hosts 0..H-2
+/// send, host H-1 receives.  Flow i's sending endpoint round-robins over
+/// the sender hosts first (host i % S, core i / S), so "incast" becomes a
+/// true cross-host fan-in through the switch instead of the legacy
+/// n-sender-cores-on-one-host approximation.
+Workload build_cluster_workload(Cluster& cluster,
+                                const TrafficConfig& traffic) {
+  Workload workload;
+  const int cores = cluster.config().topo.num_cores();
+  const int senders = cluster.num_hosts() - 1;
+  const int rx_host = cluster.num_hosts() - 1;
+  const int n = traffic.flows;
+  const int rx = receiver_app_core(cluster, traffic);
+  const auto src_of = [senders](int i) {
+    return Cluster::FlowEndpoint{i % senders, i / senders};
+  };
+
+  switch (traffic.pattern) {
+    case Pattern::single_flow: {
+      require(n == 1, "single-flow pattern has exactly one flow");
+      add_cluster_flow(cluster, workload, traffic, {0, 0}, {rx_host, rx});
+      break;
+    }
+    case Pattern::one_to_one: {
+      require(n >= 1 && n <= senders * cores && n <= cores,
+              "flows must fit the sender hosts' cores and receiver cores");
+      for (int i = 0; i < n; ++i) {
+        add_cluster_flow(cluster, workload, traffic, src_of(i),
+                         {rx_host, i});
+      }
+      break;
+    }
+    case Pattern::incast: {
+      require(n >= 1 && n <= senders * cores,
+              "flows must fit the sender hosts' cores");
+      for (int i = 0; i < n; ++i) {
+        add_cluster_flow(cluster, workload, traffic, src_of(i),
+                         {rx_host, rx});
+      }
+      break;
+    }
+    case Pattern::outcast: {
+      require(n >= 1 && n <= cores, "flows must fit the receiver cores");
+      for (int i = 0; i < n; ++i) {
+        add_cluster_flow(cluster, workload, traffic, {0, 0}, {rx_host, i});
+      }
+      break;
+    }
+    case Pattern::all_to_all: {
+      require(n >= 1 && n <= senders * cores && n <= cores,
+              "n x n must fit the sender hosts' cores and receiver cores");
+      // As in the two-host form, n*n explicit steering entries would not
+      // fit; frames fall back to RSS hashing when aRFS is off (§3.5).
+      for (int i = 0; i < n; ++i) {
+        for (int j = 0; j < n; ++j) {
+          add_cluster_flow(cluster, workload, traffic, src_of(i),
+                           {rx_host, j}, /*explicit_irq=*/false);
+        }
+      }
+      break;
+    }
+    case Pattern::rpc_incast: {
+      require(n >= 1 && n <= senders * cores,
+              "clients must fit the sender hosts' cores");
+      for (int i = 0; i < n; ++i) {
+        const Cluster::FlowEndpoint src = src_of(i);
+        auto endpoints = cluster.make_flow(src, {rx_host, rx});
+        workload.rpc_servers.push_back(std::make_unique<RpcServer>(
+            cluster.host(rx_host).core(rx), *endpoints.at_receiver,
+            traffic.rpc_size));
+        workload.rpc_clients.push_back(std::make_unique<RpcClient>(
+            cluster.host(src.host).core(src.core), *endpoints.at_sender,
+            traffic.rpc_size));
+      }
+      break;
+    }
+    case Pattern::mixed: {
+      // One long flow from host 0 plus n short RPC flows, core placement
+      // as in the two-host form (paper fig. 11 / §4 segregation).
+      add_cluster_flow(cluster, workload, traffic, {0, 0}, {rx_host, rx});
+      const int short_tx = traffic.segregate_mixed_cores ? 1 : 0;
+      const int short_rx = traffic.segregate_mixed_cores
+                               ? cluster.config().topo.core_on_node(
+                                     cluster.config().topo.nic_node, 1)
+                               : rx;
+      for (int i = 0; i < n; ++i) {
+        auto endpoints =
+            cluster.make_flow({0, short_tx}, {rx_host, short_rx});
+        workload.rpc_servers.push_back(std::make_unique<RpcServer>(
+            cluster.host(rx_host).core(short_rx), *endpoints.at_receiver,
+            traffic.rpc_size));
+        workload.rpc_clients.push_back(std::make_unique<RpcClient>(
+            cluster.host(0).core(short_tx), *endpoints.at_sender,
+            traffic.rpc_size));
+      }
+      break;
+    }
+  }
+  return workload;
+}
+
 }  // namespace
 
 void Workload::start() {
@@ -48,6 +162,11 @@ void Workload::reset_rpc_latency() {
 }
 
 Workload build_workload(Testbed& testbed, const TrafficConfig& traffic) {
+  if (testbed.num_hosts() > 2) {
+    return build_cluster_workload(testbed, traffic);
+  }
+  // Two hosts (back-to-back or through a pass-through switch): the
+  // legacy expansion, untouched so historical runs replay exactly.
   Workload workload;
   const int cores = testbed.config().topo.num_cores();
   const int n = traffic.flows;

@@ -36,6 +36,11 @@ struct Workload {
 /// `cores_per_node` flows land on the NIC-local NUMA node;
 /// `receiver_app_remote_numa` pins receiver-side applications to a
 /// NIC-remote node instead (figs. 4 and 10(c)).
+///
+/// On a >2-host Cluster the patterns expand at (host, core) granularity:
+/// hosts 0..H-2 send toward host H-1, flow i's source round-robining
+/// over the sender hosts first — so incast/all-to-all become genuine
+/// cross-host fan-ins through the switch fabric.
 Workload build_workload(Testbed& testbed, const TrafficConfig& traffic);
 
 }  // namespace hostsim

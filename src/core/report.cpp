@@ -180,4 +180,25 @@ void print_fault_summary(const Metrics& metrics) {
               static_cast<unsigned long long>(f.watchdog_trips));
 }
 
+void print_cluster_summary(const Metrics& metrics) {
+  if (!metrics.per_host.empty()) {
+    Table table({"host", "gbps", "cores_used", "peak_core_util"});
+    for (const Metrics::HostMetrics& host : metrics.per_host) {
+      table.add_row({"host" + std::to_string(host.host),
+                     Table::num(host.gbps, 2), Table::num(host.cores_used, 2),
+                     Table::percent(host.peak_core_util)});
+    }
+    table.print();
+  }
+  if (metrics.has_fabric) {
+    std::printf("switch fabric: %llu frames forwarded, %llu drop-tail "
+                "drops, %llu ECN marks, %llu flap drops, peak queue %lld B\n",
+                static_cast<unsigned long long>(metrics.fabric.forwarded),
+                static_cast<unsigned long long>(metrics.fabric.drops),
+                static_cast<unsigned long long>(metrics.fabric.ecn_marks),
+                static_cast<unsigned long long>(metrics.fabric.flap_drops),
+                static_cast<long long>(metrics.fabric.peak_queue_bytes));
+  }
+}
+
 }  // namespace hostsim

@@ -61,6 +61,11 @@ std::string metrics_csv_comment(const ExperimentConfig& config);
 /// experienced no injected faults or corruption drops).
 void print_fault_summary(const Metrics& metrics);
 
+/// Prints the cluster sections of a run — per-host throughput/CPU table
+/// and the switch-fabric rollup (a no-op for two-host runs, whose
+/// metrics carry neither).
+void print_cluster_summary(const Metrics& metrics);
+
 }  // namespace hostsim
 
 #endif  // HOSTSIM_CORE_REPORT_H

@@ -433,6 +433,9 @@ void write_faults(JsonWriter& w, const FaultPlan& f) {
     w.begin_object();
     w.key("at").value(flap.at);
     w.key("duration").value(flap.duration);
+    // Targeted flaps are new; the global default stays unserialized so
+    // legacy plans hash exactly as before.
+    if (flap.link >= 0) w.key("link").value(flap.link);
     w.end_object();
   }
   w.end_array();
@@ -442,6 +445,7 @@ void write_faults(JsonWriter& w, const FaultPlan& f) {
     w.key("at").value(stall.at);
     w.key("duration").value(stall.duration);
     w.key("queue").value(stall.queue);
+    if (stall.host >= 0) w.key("host").value(stall.host);
     w.end_object();
   }
   w.end_array();
@@ -479,6 +483,21 @@ std::string config_to_json(const ExperimentConfig& config) {
   w.key("ways").value(config.llc.ways);
   w.key("ddio_ways").value(config.llc.ddio_ways);
   w.end_object();
+  // Topology is emitted only when it differs from the default two-host
+  // back-to-back testbed, so every historical config keeps its exact
+  // canonical form — and therefore its hash and sweep cache key.
+  const TopologyConfig& topology = config.topology;
+  if (topology.num_hosts != 2 || topology.use_switch ||
+      topology.port_gbps != 0 || topology.switch_buffer != 0 ||
+      topology.switch_ecn_bytes != 0) {
+    w.key("topology").begin_object();
+    w.key("num_hosts").value(topology.num_hosts);
+    w.key("use_switch").value(topology.use_switch);
+    w.key("port_gbps").value(topology.port_gbps);
+    w.key("switch_buffer").value(topology.switch_buffer);
+    w.key("switch_ecn_bytes").value(topology.switch_ecn_bytes);
+    w.end_object();
+  }
   w.key("link_gbps").value(config.link_gbps);
   w.key("wire_propagation").value(config.wire_propagation);
   w.key("loss_rate").value(config.loss_rate);
@@ -598,6 +617,30 @@ std::string metrics_to_json(const Metrics& m) {
     w.end_object();
   }
   w.end_array();
+  // Cluster-only sections; absent for two-host runs so their documents
+  // stay byte-identical to earlier versions.
+  if (!m.per_host.empty()) {
+    w.key("per_host").begin_array();
+    for (const Metrics::HostMetrics& host : m.per_host) {
+      w.begin_object();
+      w.key("host").value(host.host);
+      w.key("cores_used").value(host.cores_used);
+      w.key("peak_core_util").value(host.peak_core_util);
+      w.key("app_bytes").value(host.app_bytes);
+      w.key("gbps").value(host.gbps);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (m.has_fabric) {
+    w.key("fabric").begin_object();
+    w.key("forwarded").value(m.fabric.forwarded);
+    w.key("drops").value(m.fabric.drops);
+    w.key("ecn_marks").value(m.fabric.ecn_marks);
+    w.key("flap_drops").value(m.fabric.flap_drops);
+    w.key("peak_queue_bytes").value(m.fabric.peak_queue_bytes);
+    w.end_object();
+  }
   w.end_object();
   return w.str();
 }
@@ -690,6 +733,49 @@ std::optional<Metrics> metrics_from_json(const JsonValue& v) {
   } else {
     ok = false;
   }
+  // Optional cluster sections (absent in two-host documents).
+  const JsonValue* per_host = v.find("per_host");
+  if (per_host != nullptr && per_host->is_array()) {
+    for (const JsonValue& entry : per_host->items()) {
+      Metrics::HostMetrics hm;
+      const JsonValue* id = entry.find("host");
+      const JsonValue* used = entry.find("cores_used");
+      const JsonValue* peak = entry.find("peak_core_util");
+      const JsonValue* bytes = entry.find("app_bytes");
+      const JsonValue* gbps = entry.find("gbps");
+      if (id == nullptr || used == nullptr || peak == nullptr ||
+          bytes == nullptr || gbps == nullptr) {
+        ok = false;
+        break;
+      }
+      hm.host = static_cast<int>(id->as_i64());
+      hm.cores_used = used->as_double();
+      hm.peak_core_util = peak->as_double();
+      hm.app_bytes = bytes->as_i64();
+      hm.gbps = gbps->as_double();
+      m.per_host.push_back(hm);
+    }
+  }
+  const JsonValue* fabric = v.find("fabric");
+  if (fabric != nullptr && fabric->is_object()) {
+    m.has_fabric = true;
+    const auto fab = [&fabric](std::string_view name, std::uint64_t* out) {
+      const JsonValue* cell = fabric->find(name);
+      if (cell == nullptr || !cell->is_number()) return false;
+      *out = cell->as_u64();
+      return true;
+    };
+    ok &= fab("forwarded", &m.fabric.forwarded);
+    ok &= fab("drops", &m.fabric.drops);
+    ok &= fab("ecn_marks", &m.fabric.ecn_marks);
+    ok &= fab("flap_drops", &m.fabric.flap_drops);
+    const JsonValue* peak_queue = fabric->find("peak_queue_bytes");
+    if (peak_queue != nullptr && peak_queue->is_number()) {
+      m.fabric.peak_queue_bytes = peak_queue->as_i64();
+    } else {
+      ok = false;
+    }
+  }
   if (!ok) return std::nullopt;
   return m;
 }
@@ -747,6 +833,21 @@ std::vector<std::pair<std::string, double>> scalar_metrics(const Metrics& m) {
         static_cast<double>(m.sender_cycles.get(category)));
     add("receiver_cycles." + std::string(to_string(category)),
         static_cast<double>(m.receiver_cycles.get(category)));
+  }
+  // Cluster rollups, appended only when populated so two-host artifacts
+  // (CSV columns, baseline keys) are unchanged.
+  if (m.has_fabric) {
+    add("fabric.forwarded", static_cast<double>(m.fabric.forwarded));
+    add("fabric.drops", static_cast<double>(m.fabric.drops));
+    add("fabric.ecn_marks", static_cast<double>(m.fabric.ecn_marks));
+    add("fabric.flap_drops", static_cast<double>(m.fabric.flap_drops));
+    add("fabric.peak_queue_bytes",
+        static_cast<double>(m.fabric.peak_queue_bytes));
+  }
+  for (const Metrics::HostMetrics& host : m.per_host) {
+    const std::string prefix = "host" + std::to_string(host.host) + ".";
+    add(prefix + "cores_used", host.cores_used);
+    add(prefix + "gbps", host.gbps);
   }
   return out;
 }

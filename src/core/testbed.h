@@ -1,78 +1,15 @@
-// The paper's two-server testbed: sender host, receiver host, 100Gbps
-// wire, and flow plumbing (socket pairs + IRQ steering policy).
+// The paper's two-server testbed is the degenerate 2-host/1-link
+// configuration of core::Cluster: sender host, receiver host, 100Gbps
+// back-to-back wire, and flow plumbing (socket pairs + IRQ steering
+// policy).  See core/cluster.h for the N-host generalization.
 #ifndef HOSTSIM_CORE_TESTBED_H
 #define HOSTSIM_CORE_TESTBED_H
 
-#include <memory>
-#include <vector>
-
-#include "core/config.h"
-#include "core/host.h"
-#include "hw/wire.h"
-#include "net/tcp_socket.h"
-#include "sim/event_loop.h"
-#include "sim/fault_injector.h"
-#include "sim/invariant_checker.h"
+#include "core/cluster.h"
 
 namespace hostsim {
 
-class Testbed {
- public:
-  explicit Testbed(const ExperimentConfig& config);
-
-  Testbed(const Testbed&) = delete;
-  Testbed& operator=(const Testbed&) = delete;
-
-  EventLoop& loop() { return *loop_; }
-  Host& sender() { return *sender_; }
-  Host& receiver() { return *receiver_; }
-  Wire& wire() { return *wire_; }
-  const ExperimentConfig& config() const { return config_; }
-
-  /// The run's fault injector; nullptr when the plan is empty (the
-  /// injector is only constructed — and its RNG stream only forked —
-  /// when faults are configured, preserving fault-free determinism).
-  FaultInjector* faults() { return faults_.get(); }
-
-  /// Registers the testbed's end-of-run invariants on `checker`:
-  /// per-flow byte conservation, per-host page-leak freedom (naming
-  /// leaked page ids), sender RTO liveness, and event-queue sanity.
-  void register_invariants(InvariantChecker& checker);
-
-  /// Monotone application-progress counter (bytes delivered to apps on
-  /// both hosts); the natural Watchdog progress probe.
-  std::uint64_t app_progress() const;
-
-  /// True when any socket still has unacknowledged or unsent buffered
-  /// data; the natural Watchdog activity probe.
-  bool transfers_outstanding() const;
-
-  /// Endpoints of one established flow.
-  struct FlowEndpoints {
-    TcpSocket* at_sender;
-    TcpSocket* at_receiver;
-  };
-
-  /// Creates both endpoints of a flow and installs IRQ steering:
-  /// with aRFS, each NIC steers to the local application's core; without
-  /// it, steering follows the paper's methodology — a deterministic
-  /// NIC-remote core per flow (`explicit_irq_mapping`, §3.1), or the
-  /// hash fallback when the steering table would not fit (§3.5).
-  FlowEndpoints make_flow(int sender_core, int receiver_core,
-                          bool explicit_irq_mapping = true);
-
-  int flows_created() const { return next_flow_; }
-
- private:
-  ExperimentConfig config_;
-  std::unique_ptr<EventLoop> loop_;
-  std::unique_ptr<Wire> wire_;
-  std::unique_ptr<Host> sender_;
-  std::unique_ptr<Host> receiver_;
-  std::unique_ptr<FaultInjector> faults_;
-  int next_flow_ = 0;
-  int next_remote_irq_ = 0;
-};
+using Testbed = Cluster;
 
 }  // namespace hostsim
 

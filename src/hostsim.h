@@ -7,7 +7,7 @@
 //
 //   EventLoop / Timer / TimerHandle   sim engine and scheduling API
 //   ExperimentConfig + Experiment     configuration and one-shot runs
-//   Testbed + build_workload          manual testbed assembly
+//   Cluster/Testbed + build_workload  manual topology assembly
 //   Metrics / report tables           measurement output and printing
 //   sweep::Campaign / runner          declarative experiment campaigns
 //   InvariantChecker / Watchdog       end-of-run checking, liveness
@@ -19,6 +19,7 @@
 #ifndef HOSTSIM_HOSTSIM_H
 #define HOSTSIM_HOSTSIM_H
 
+#include "core/cluster.h"
 #include "core/config.h"
 #include "core/experiment.h"
 #include "core/metrics.h"

@@ -1,4 +1,4 @@
-#include "hw/wire.h"
+#include "hw/link.h"
 
 #include <algorithm>
 #include <utility>
@@ -7,23 +7,23 @@
 
 namespace hostsim {
 
-Wire::Wire(EventLoop& loop, const Config& config)
+Link::Link(EventLoop& loop, const Config& config)
     : loop_(&loop), config_(config), rng_(loop.rng().fork()) {
   require(config.gbps > 0, "link rate must be positive");
   require(config.loss_rate >= 0 && config.loss_rate <= 1,
           "loss rate must be a probability");
 }
 
-void Wire::attach(Side side, std::function<void(Frame)> deliver) {
+void Link::attach(Side side, std::function<void(Frame)> deliver) {
   sinks_[static_cast<std::size_t>(side)] = std::move(deliver);
 }
 
-Nanos Wire::egress_delay(Side from) const {
+Nanos Link::egress_delay(Side from) const {
   const Nanos busy = busy_until_[static_cast<std::size_t>(from)];
   return std::max<Nanos>(0, busy - loop_->now());
 }
 
-void Wire::transmit(Side from, Frame frame) {
+void Link::transmit(Side from, Frame frame) {
   const auto dir = static_cast<std::size_t>(from);
   const std::size_t to = 1 - dir;
   require(static_cast<bool>(sinks_[to]), "destination side not attached");
@@ -38,7 +38,7 @@ void Wire::transmit(Side from, Frame frame) {
     ++ecn_marked_;
   }
   if (faults_ != nullptr) {
-    switch (faults_->on_frame(static_cast<int>(dir))) {
+    switch (faults_->on_frame(id_, static_cast<int>(dir))) {
       case FaultInjector::WireFault::none:
         break;
       case FaultInjector::WireFault::drop_random:

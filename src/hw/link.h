@@ -1,0 +1,119 @@
+// A point-to-point physical link: each direction serializes frames at
+// the configured line rate and delivers them after the propagation
+// delay.  Baseline loss is Bernoulli per-frame, matching the paper's
+// §3.6 methodology of a programmable switch dropping packets at a
+// configured rate; an attached FaultInjector generalizes this with
+// Gilbert–Elliott bursty loss, link flaps, and frame corruption.
+//
+// Two topologies use it:
+//   - back-to-back (the paper's testbed): one Link, Side::a = sender
+//     host, Side::b = receiver host;
+//   - cluster (hw::Switch): one Link per host, Side::a = the host,
+//     Side::b = the switch ingress.  Frames carry (src_host, dst_host)
+//     stamped by the NIC so the switch can forward by destination.
+#ifndef HOSTSIM_HW_LINK_H
+#define HOSTSIM_HW_LINK_H
+
+#include <array>
+#include <cstdint>
+#include <functional>
+
+#include "mem/pool.h"
+#include "sim/event_loop.h"
+#include "sim/fault_injector.h"
+#include "sim/rng.h"
+#include "sim/units.h"
+
+namespace hostsim {
+
+/// Protocol header bytes per frame (Ethernet + IP + TCP incl. options).
+inline constexpr Bytes kFrameHeaderBytes = 66;
+
+/// A frame on the wire.  Data frames carry payload; ACK frames carry
+/// cumulative/selective acknowledgment state and the advertised window.
+struct Frame {
+  int flow = -1;
+  std::int64_t seq = 0;   ///< payload start sequence (data frames)
+  Bytes payload = 0;
+
+  bool is_ack = false;
+  std::int64_t ack_seq = 0;    ///< cumulative ACK (ACK frames)
+  std::int64_t sack_high = 0;  ///< highest contiguous OFO seq (simplified SACK)
+  Bytes window = 0;            ///< advertised receive window (ACK frames)
+
+  bool ecn = false;      ///< CE mark (data) / ECE echo (ACKs)
+  bool corrupt = false;  ///< delivered, but the receiver's checksum fails
+  Nanos echo_ts = -1;    ///< echoed send timestamp, for RTT estimation
+  Nanos sent_at = 0;
+
+  /// Host addressing, stamped by the transmitting NIC.  A back-to-back
+  /// link ignores them; a Switch forwards by dst_host.
+  std::int16_t src_host = 0;
+  std::int16_t dst_host = -1;
+
+  Bytes wire_bytes() const { return payload + kFrameHeaderBytes; }
+};
+
+class Link {
+ public:
+  struct Config {
+    double gbps = 100.0;
+    Nanos propagation = 1'000;    ///< one-way, back-to-back servers
+    double loss_rate = 0.0;       ///< Bernoulli per-frame drop probability
+    Nanos ecn_threshold = 0;      ///< mark CE when egress delay exceeds; 0=off
+  };
+
+  /// Endpoint indices for the two attached ends.
+  enum class Side { a = 0, b = 1 };
+
+  Link(EventLoop& loop, const Config& config);
+
+  /// Registers the frame sink for one side (its NIC's receive path, or
+  /// a switch port's ingress).
+  void attach(Side side, std::function<void(Frame)> deliver);
+
+  /// Attaches the run's fault injector (bursty loss, flaps, corruption).
+  /// The baseline Bernoulli `loss_rate` stays active independently.
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  /// Identity used for per-link fault addressing (FaultPlan link/port
+  /// indices); in a cluster this is the attached host's index.
+  void set_id(int id) { id_ = id; }
+  int id() const { return id_; }
+
+  /// Queues a frame for transmission from `from` toward the other side.
+  void transmit(Side from, Frame frame);
+
+  /// Current egress queueing delay on `from`'s direction.
+  Nanos egress_delay(Side from) const;
+
+  std::uint64_t delivered() const { return delivered_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t ecn_marked() const { return ecn_marked_; }
+  Bytes bytes_delivered() const { return bytes_delivered_; }
+
+ private:
+  EventLoop* loop_;
+  Config config_;
+  int id_ = 0;
+  std::array<std::function<void(Frame)>, 2> sinks_{};
+  std::array<Nanos, 2> busy_until_{};
+  // Frames propagating toward a sink are parked here so the delivery
+  // event captures only a 4-byte slot handle — a Frame (~72 bytes)
+  // captured by value would spill the event's inline storage.
+  SlotPool<Frame> in_flight_;
+  Rng rng_;
+  FaultInjector* faults_ = nullptr;
+
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t ecn_marked_ = 0;
+  Bytes bytes_delivered_ = 0;
+};
+
+/// Transitional alias: the back-to-back testbed's "wire" is a Link.
+using Wire = Link;
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_HW_LINK_H

@@ -19,7 +19,8 @@ std::uint64_t mix_flow(int flow) {
 
 Nic::Nic(EventLoop& loop, const Config& config, const NumaTopology& topo,
          std::vector<Core*> cores, std::vector<LlcModel*> llcs,
-         PageAllocator& allocator, Iommu& iommu, Wire& wire, Wire::Side side)
+         PageAllocator& allocator, Iommu& iommu, Wire& wire, Wire::Side side,
+         int host_id)
     : loop_(&loop),
       config_(config),
       topo_(topo),
@@ -28,7 +29,8 @@ Nic::Nic(EventLoop& loop, const Config& config, const NumaTopology& topo,
       allocator_(&allocator),
       iommu_(&iommu),
       wire_(&wire),
-      side_(side) {
+      side_(side),
+      host_id_(host_id) {
   require(config.ring_size > 0, "ring must have descriptors");
   require(config.mtu_payload > 0, "mtu must be positive");
   require(!cores_.empty(), "NIC needs cores for IRQ dispatch");
@@ -69,6 +71,11 @@ int Nic::queue_for_flow(int flow) const {
   return static_cast<int>(mix_flow(flow) % queues_.size());
 }
 
+void Nic::set_flow_dst(int flow, int host) {
+  require(host >= 0, "flow destination host must be non-negative");
+  flow_dst_[flow] = host;
+}
+
 void Nic::replenish(Core& core, RxQueue& queue) {
   const int target = config_.ring_size;
   while (static_cast<int>(queue.posted.size() + queue.backlog.size()) <
@@ -89,7 +96,7 @@ void Nic::receive(Frame frame) {
   ++rx_frames_;
   const int index = queue_for_flow(frame.flow);
   RxQueue& queue = queues_[static_cast<std::size_t>(index)];
-  if (faults_ != nullptr && faults_->ring_stalled(index)) {
+  if (faults_ != nullptr && faults_->ring_stalled(host_id_, index)) {
     // Descriptor-fetch stall (PCIe backpressure): the queue cannot
     // consume descriptors, so every arriving frame is dropped on the
     // floor — ACKs included.

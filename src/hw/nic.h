@@ -64,9 +64,12 @@ class Nic {
   /// is pending; the stack polls frames and calls napi_complete().
   using RxHandler = std::function<void(Core&, int queue)>;
 
+  /// `host_id` is this NIC's host index in the topology; it is stamped
+  /// into every transmitted frame so a Switch can forward by destination.
   Nic(EventLoop& loop, const Config& config, const NumaTopology& topo,
       std::vector<Core*> cores, std::vector<LlcModel*> llcs,
-      PageAllocator& allocator, Iommu& iommu, Wire& wire, Wire::Side side);
+      PageAllocator& allocator, Iommu& iommu, Wire& wire, Wire::Side side,
+      int host_id = 0);
 
   Nic(const Nic&) = delete;
   Nic& operator=(const Nic&) = delete;
@@ -92,9 +95,23 @@ class Nic {
 
   // --- TX ----------------------------------------------------------------
 
+  /// Records that `flow`'s peer lives on `host`; transmitted frames for
+  /// that flow carry it as dst_host.  Unmapped flows default to the
+  /// back-to-back peer (1 - host_id).
+  void set_flow_dst(int flow, int host);
+
   /// Hands a wire frame to the link (segmentation cost, if any, was paid
-  /// by the stack; TSO segmentation is free by definition).
-  void transmit(const Frame& frame) { wire_->transmit(side_, frame); }
+  /// by the stack; TSO segmentation is free by definition), stamping the
+  /// topology addresses the switch forwards by.
+  void transmit(Frame frame) {
+    frame.src_host = static_cast<std::int16_t>(host_id_);
+    if (auto it = flow_dst_.find(frame.flow); it != flow_dst_.end()) {
+      frame.dst_host = static_cast<std::int16_t>(it->second);
+    } else {
+      frame.dst_host = static_cast<std::int16_t>(1 - host_id_);
+    }
+    wire_->transmit(side_, frame);
+  }
 
   // --- RX ----------------------------------------------------------------
 
@@ -166,11 +183,13 @@ class Nic {
   Iommu* iommu_;
   Wire* wire_;
   Wire::Side side_;
+  int host_id_ = 0;
   FaultInjector* faults_ = nullptr;
   Context softirq_{"softirq", /*kernel=*/true};
 
   std::vector<RxQueue> queues_;
   std::unordered_map<int, int> steering_;
+  std::unordered_map<int, int> flow_dst_;  ///< flow -> peer host index
   RxHandler rx_handler_;
 
   std::uint64_t rx_frames_ = 0;

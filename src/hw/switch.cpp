@@ -1,0 +1,129 @@
+#include "hw/switch.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+
+Switch::Switch(EventLoop& loop, const Config& config)
+    : loop_(&loop), config_(config) {
+  require(config.num_ports >= 2, "switch needs at least two ports");
+  require(config.port_gbps > 0, "switch port rate must be positive");
+  require(config.buffer_bytes >= 0, "switch buffer must be non-negative");
+  require(config.ecn_threshold_bytes >= 0,
+          "switch ECN threshold must be non-negative");
+  ports_.resize(static_cast<std::size_t>(config.num_ports));
+  route_.assign(static_cast<std::size_t>(config.num_ports), -1);
+}
+
+void Switch::attach_port(int port, std::function<void(Frame)> deliver) {
+  require(port >= 0 && port < num_ports(), "switch port out of range");
+  ports_[static_cast<std::size_t>(port)].sink = std::move(deliver);
+}
+
+void Switch::set_route(int host, int port) {
+  require(port >= 0 && port < num_ports(), "switch port out of range");
+  if (host >= static_cast<int>(route_.size())) {
+    route_.resize(static_cast<std::size_t>(host) + 1, -1);
+  }
+  require(host >= 0, "host index must be non-negative");
+  route_[static_cast<std::size_t>(host)] = port;
+}
+
+void Switch::enable_trace(std::size_t capacity) {
+  tracer_ = Tracer(capacity, kFabricTraceHost);
+}
+
+const Switch::PortStats& Switch::port_stats(int port) const {
+  require(port >= 0 && port < num_ports(), "switch port out of range");
+  return ports_[static_cast<std::size_t>(port)].stats;
+}
+
+Bytes Switch::queued_bytes() const {
+  Bytes total = 0;
+  for (const Port& port : ports_) total += port.stats.queued_bytes;
+  return total;
+}
+
+void Switch::ingress(int port, Frame frame) {
+  require(port >= 0 && port < num_ports(), "switch port out of range");
+  const int dst = frame.dst_host;
+  require(dst >= 0 && dst < static_cast<int>(route_.size()),
+          "frame destination host is unroutable");
+  const int out = route_[static_cast<std::size_t>(dst)];
+  require(out >= 0, "no route installed for destination host");
+  Port& egress_port = ports_[static_cast<std::size_t>(out)];
+  require(static_cast<bool>(egress_port.sink), "egress port not attached");
+
+  // Egress-side flap: the downlink cable (port `out` / host `dst`'s
+  // uplink) is down, so the frame is lost leaving the switch.  The
+  // ingress-side window was already applied by the uplink Link itself.
+  if (faults_ != nullptr && !faults_->link_up(out)) {
+    ++egress_port.stats.flap_drops;
+    ++flap_drops_;
+    faults_->note_flap_drop();
+    return;
+  }
+
+  if (config_.buffer_bytes == 0) {
+    // Pass-through: hand the frame to the destination host at the
+    // ingress instant.  The uplink Link already charged serialization
+    // and propagation, so a 2-host pass-through cluster reproduces the
+    // back-to-back wire timing exactly.
+    ++egress_port.stats.forwarded;
+    ++forwarded_;
+    egress_port.sink(frame);
+    return;
+  }
+
+  const Bytes wire_bytes = frame.wire_bytes();
+  if (egress_port.stats.queued_bytes + wire_bytes > config_.buffer_bytes) {
+    ++egress_port.stats.drops;
+    ++dropped_;
+    tracer_.record(loop_->now(), TraceKind::fabric_drop, frame.flow, out,
+                   egress_port.stats.queued_bytes);
+    return;
+  }
+
+  if (config_.ecn_threshold_bytes > 0 &&
+      egress_port.stats.queued_bytes >= config_.ecn_threshold_bytes) {
+    frame.ecn = true;
+    ++egress_port.stats.ecn_marks;
+    ++ecn_marked_;
+    tracer_.record(loop_->now(), TraceKind::ecn_mark, frame.flow, out,
+                   egress_port.stats.queued_bytes);
+  }
+
+  egress_port.stats.queued_bytes += wire_bytes;
+  egress_port.stats.peak_queue_bytes =
+      std::max(egress_port.stats.peak_queue_bytes,
+               egress_port.stats.queued_bytes);
+  peak_queue_bytes_ = std::max(peak_queue_bytes_,
+                               egress_port.stats.queued_bytes);
+  ++egress_port.stats.forwarded;
+  ++forwarded_;
+  tracer_.record(loop_->now(), TraceKind::fabric_enqueue, frame.flow, out,
+                 egress_port.stats.queued_bytes);
+
+  // Output-queued store-and-forward: serialize behind whatever is
+  // already queued on the egress port, then propagate down the link.
+  const Nanos start = std::max(loop_->now(), egress_port.busy_until);
+  const Nanos tx_end = start + serialization_delay(wire_bytes, config_.port_gbps);
+  egress_port.busy_until = tx_end;
+  // The frame occupies the FIFO until its serialization completes at
+  // tx_end; the downlink propagation happens outside the buffer.
+  const SlotPool<Frame>::Slot slot = in_flight_.acquire(frame);
+  loop_->schedule_at(tx_end, [this, out, slot] {
+    Port& p = ports_[static_cast<std::size_t>(out)];
+    p.stats.queued_bytes -= in_flight_[slot].wire_bytes();
+    loop_->schedule_at(loop_->now() + config_.propagation, [this, out, slot] {
+      Frame delivered = in_flight_[slot];
+      in_flight_.release(slot);
+      ports_[static_cast<std::size_t>(out)].sink(delivered);
+    });
+  });
+}
+
+}  // namespace hostsim

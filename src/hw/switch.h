@@ -1,0 +1,126 @@
+// Output-queued switch fabric for the N-host cluster topology.
+//
+// Each host's uplink Link delivers frames to one ingress port; the
+// switch forwards by Frame::dst_host.  Two operating modes:
+//
+//   - pass-through (buffer_bytes == 0): frames are handed to the
+//     destination host's sink at the ingress instant, with no extra
+//     serialization, queueing, or propagation.  A 2-host cluster in
+//     this mode is timing-identical to the back-to-back testbed — the
+//     determinism argument the cluster refactor rests on (see
+//     tests/core/cluster_test.cpp).
+//
+//   - output-queued (buffer_bytes > 0): every egress port owns a
+//     bounded drop-tail FIFO of at most `buffer_bytes` of wire bytes,
+//     serializes at `port_gbps`, and delivers after `propagation`.
+//     When the instantaneous queue occupancy at enqueue time is at or
+//     above `ecn_threshold_bytes`, the frame is CE-marked — the
+//     DCTCP-style in-fabric congestion signal the paper's endpoint-only
+//     marking could not express.
+//
+// The model is deterministic and RNG-free: drops are pure drop-tail,
+// marks are pure threshold comparisons.  Per-port flap faults are
+// consulted through the FaultInjector using the port index as the link
+// id (port i and host i's uplink are one "cable").
+#ifndef HOSTSIM_HW_SWITCH_H
+#define HOSTSIM_HW_SWITCH_H
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/link.h"
+#include "mem/pool.h"
+#include "sim/event_loop.h"
+#include "sim/fault_injector.h"
+#include "sim/trace.h"
+#include "sim/units.h"
+
+namespace hostsim {
+
+class Switch {
+ public:
+  struct Config {
+    int num_ports = 2;
+    double port_gbps = 100.0;      ///< egress serialization rate per port
+    Nanos propagation = 1'000;     ///< switch -> host downlink delay
+    Bytes buffer_bytes = 0;        ///< per-port FIFO bound; 0 = pass-through
+    Bytes ecn_threshold_bytes = 0; ///< CE-mark at/above this occupancy; 0 = off
+  };
+
+  /// Per-port counters, exposed for metrics and fault tests.
+  struct PortStats {
+    std::uint64_t forwarded = 0;   ///< frames enqueued toward this port
+    std::uint64_t drops = 0;       ///< drop-tail losses at this port
+    std::uint64_t ecn_marks = 0;   ///< frames CE-marked at this port
+    std::uint64_t flap_drops = 0;  ///< frames lost to a port-down window
+    Bytes peak_queue_bytes = 0;    ///< high-water FIFO occupancy
+    Bytes queued_bytes = 0;        ///< instantaneous FIFO occupancy
+  };
+
+  Switch(EventLoop& loop, const Config& config);
+
+  Switch(const Switch&) = delete;
+  Switch& operator=(const Switch&) = delete;
+
+  const Config& config() const { return config_; }
+  int num_ports() const { return static_cast<int>(ports_.size()); }
+
+  /// Registers the host-bound frame sink behind `port` (the host NIC's
+  /// receive path).
+  void attach_port(int port, std::function<void(Frame)> deliver);
+
+  /// Routes frames for `host` out of `port`.
+  void set_route(int host, int port);
+
+  /// Per-port flap faults; pass-through/egress consults link_up(port).
+  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+
+  /// Fabric flight recorder (fabric_enqueue / fabric_drop / ecn_mark);
+  /// capacity 0 disables, host field is kFabricTraceHost.
+  void enable_trace(std::size_t capacity);
+  const Tracer& tracer() const { return tracer_; }
+
+  /// Ingress entry point: one frame arriving from `port`'s uplink.
+  void ingress(int port, Frame frame);
+
+  // --- Stats --------------------------------------------------------------
+
+  const PortStats& port_stats(int port) const;
+  std::uint64_t forwarded() const { return forwarded_; }
+  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t ecn_marked() const { return ecn_marked_; }
+  std::uint64_t flap_drops() const { return flap_drops_; }
+  Bytes peak_queue_bytes() const { return peak_queue_bytes_; }
+  /// Instantaneous occupancy across all ports.
+  Bytes queued_bytes() const;
+
+ private:
+  struct Port {
+    std::function<void(Frame)> sink;
+    Nanos busy_until = 0;
+    PortStats stats;
+  };
+
+  void egress(int port, Frame frame);
+
+  EventLoop* loop_;
+  Config config_;
+  std::vector<Port> ports_;
+  std::vector<int> route_;  ///< host index -> egress port
+  SlotPool<Frame> in_flight_;
+  FaultInjector* faults_ = nullptr;
+  Tracer tracer_;
+
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t ecn_marked_ = 0;
+  std::uint64_t flap_drops_ = 0;
+  Bytes peak_queue_bytes_ = 0;
+};
+
+/// TraceRecord::host value used by fabric-side events.
+inline constexpr int kFabricTraceHost = -1;
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_HW_SWITCH_H

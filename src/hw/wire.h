@@ -1,100 +1,9 @@
-// The physical link between the two servers, with an optional in-network
-// "switch" that drops (and can ECN-mark) frames.
-//
-// Each direction serializes frames at the configured line rate and
-// delivers them after the propagation delay.  Baseline loss is Bernoulli
-// per-frame, matching the paper's §3.6 methodology of a programmable
-// switch dropping packets at a configured rate; an attached
-// FaultInjector generalizes this with Gilbert–Elliott bursty loss, link
-// flaps, and frame corruption.
+// Transitional header: the two-server testbed's Wire is now the
+// point-to-point hw::Link (see hw/link.h); the in-network model moved to
+// hw::Switch.  Kept so older includes keep compiling.
 #ifndef HOSTSIM_HW_WIRE_H
 #define HOSTSIM_HW_WIRE_H
 
-#include <array>
-#include <cstdint>
-#include <functional>
-
-#include "mem/pool.h"
-#include "sim/event_loop.h"
-#include "sim/fault_injector.h"
-#include "sim/rng.h"
-#include "sim/units.h"
-
-namespace hostsim {
-
-/// Protocol header bytes per frame (Ethernet + IP + TCP incl. options).
-inline constexpr Bytes kFrameHeaderBytes = 66;
-
-/// A frame on the wire.  Data frames carry payload; ACK frames carry
-/// cumulative/selective acknowledgment state and the advertised window.
-struct Frame {
-  int flow = -1;
-  std::int64_t seq = 0;   ///< payload start sequence (data frames)
-  Bytes payload = 0;
-
-  bool is_ack = false;
-  std::int64_t ack_seq = 0;    ///< cumulative ACK (ACK frames)
-  std::int64_t sack_high = 0;  ///< highest contiguous OFO seq (simplified SACK)
-  Bytes window = 0;            ///< advertised receive window (ACK frames)
-
-  bool ecn = false;      ///< CE mark (data) / ECE echo (ACKs)
-  bool corrupt = false;  ///< delivered, but the receiver's checksum fails
-  Nanos echo_ts = -1;    ///< echoed send timestamp, for RTT estimation
-  Nanos sent_at = 0;
-
-  Bytes wire_bytes() const { return payload + kFrameHeaderBytes; }
-};
-
-class Wire {
- public:
-  struct Config {
-    double gbps = 100.0;
-    Nanos propagation = 1'000;    ///< one-way, back-to-back servers
-    double loss_rate = 0.0;       ///< Bernoulli per-frame drop probability
-    Nanos ecn_threshold = 0;      ///< mark CE when egress delay exceeds; 0=off
-  };
-
-  /// Endpoint indices for the two attached hosts.
-  enum class Side { a = 0, b = 1 };
-
-  Wire(EventLoop& loop, const Config& config);
-
-  /// Registers the frame sink for one side (its NIC's receive path).
-  void attach(Side side, std::function<void(Frame)> deliver);
-
-  /// Attaches the run's fault injector (bursty loss, flaps, corruption).
-  /// The baseline Bernoulli `loss_rate` stays active independently.
-  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
-
-  /// Queues a frame for transmission from `from` toward the other side.
-  void transmit(Side from, Frame frame);
-
-  /// Current egress queueing delay on `from`'s direction.
-  Nanos egress_delay(Side from) const;
-
-  std::uint64_t delivered() const { return delivered_; }
-  std::uint64_t dropped() const { return dropped_; }
-  std::uint64_t ecn_marked() const { return ecn_marked_; }
-  Bytes bytes_delivered() const { return bytes_delivered_; }
-
- private:
-  EventLoop* loop_;
-  Config config_;
-  std::array<std::function<void(Frame)>, 2> sinks_{};
-  std::array<Nanos, 2> busy_until_{};
-  // Frames propagating toward a sink are parked here so the delivery
-  // event captures only a 4-byte slot handle — a Frame (~72 bytes)
-  // captured by value would spill the event's inline storage.
-  SlotPool<Frame> in_flight_;
-  Rng rng_;
-  FaultInjector* faults_ = nullptr;
-
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t ecn_marked_ = 0;
-  Bytes bytes_delivered_ = 0;
-};
-
-}  // namespace hostsim
+#include "hw/link.h"
 
 #endif  // HOSTSIM_HW_WIRE_H

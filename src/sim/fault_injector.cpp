@@ -40,30 +40,46 @@ FaultInjector::FaultInjector(EventLoop& loop, FaultPlan plan)
   for (const LinkFlap& flap : plan_.link_flaps) {
     require(flap.at >= loop.now() && flap.duration > 0,
             "link flap window must be in the future and nonempty");
-    loop_->schedule_at(flap.at, [this] {
-      if (link_down_depth_++ == 0) ++counters_.flaps;
+    const int link = flap.link;
+    loop_->schedule_at(flap.at, [this, link] {
+      if (link < 0) {
+        if (link_down_depth_++ == 0) ++counters_.flaps;
+      } else {
+        if (std::find(down_links_.begin(), down_links_.end(), link) ==
+            down_links_.end()) {
+          ++counters_.flaps;
+        }
+        down_links_.push_back(link);
+      }
     });
-    loop_->schedule_at(flap.at + flap.duration,
-                       [this] { --link_down_depth_; });
+    loop_->schedule_at(flap.at + flap.duration, [this, link] {
+      if (link < 0) {
+        --link_down_depth_;
+      } else {
+        auto it = std::find(down_links_.begin(), down_links_.end(), link);
+        if (it != down_links_.end()) down_links_.erase(it);
+      }
+    });
   }
   for (const RingStall& stall : plan_.ring_stalls) {
     require(stall.at >= loop.now() && stall.duration > 0,
             "ring stall window must be in the future and nonempty");
+    const int host = stall.host;
     const int queue = stall.queue;
-    loop_->schedule_at(stall.at, [this, queue] {
-      if (queue < 0) {
+    loop_->schedule_at(stall.at, [this, host, queue] {
+      if (host < 0 && queue < 0) {
         ++stall_all_depth_;
       } else {
-        stalled_queues_.push_back(queue);
+        stalled_.emplace_back(host, queue);
       }
     });
-    loop_->schedule_at(stall.at + stall.duration, [this, queue] {
-      if (queue < 0) {
+    loop_->schedule_at(stall.at + stall.duration, [this, host, queue] {
+      if (host < 0 && queue < 0) {
         --stall_all_depth_;
       } else {
-        auto it =
-            std::find(stalled_queues_.begin(), stalled_queues_.end(), queue);
-        if (it != stalled_queues_.end()) stalled_queues_.erase(it);
+        auto it = std::find(stalled_.begin(), stalled_.end(),
+                            std::make_pair(host, queue));
+        if (it != stalled_.end()) stalled_.erase(it);
       }
     });
   }
@@ -82,8 +98,8 @@ FaultInjector::FaultInjector(EventLoop& loop, FaultPlan plan)
   }
 }
 
-FaultInjector::WireFault FaultInjector::on_frame(int direction) {
-  if (link_down_depth_ > 0) {
+FaultInjector::WireFault FaultInjector::on_frame(int link, int direction) {
+  if (!link_up(link)) {
     ++counters_.flap_drops;
     return WireFault::drop_flap;
   }
@@ -115,10 +131,18 @@ FaultInjector::WireFault FaultInjector::on_frame(int direction) {
   return WireFault::none;
 }
 
-bool FaultInjector::ring_stalled(int queue) const {
+bool FaultInjector::link_up(int link) const {
+  if (link_down_depth_ > 0) return false;
+  return std::find(down_links_.begin(), down_links_.end(), link) ==
+         down_links_.end();
+}
+
+bool FaultInjector::ring_stalled(int host, int queue) const {
   if (stall_all_depth_ > 0) return true;
-  return std::find(stalled_queues_.begin(), stalled_queues_.end(), queue) !=
-         stalled_queues_.end();
+  for (const auto& [h, q] : stalled_) {
+    if ((h < 0 || h == host) && (q < 0 || q == queue)) return true;
+  }
+  return false;
 }
 
 bool FaultInjector::pool_alloc_allowed() {

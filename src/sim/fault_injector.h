@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sim/event_loop.h"
@@ -44,19 +45,24 @@ struct GilbertElliottConfig {
                                                double loss_bad = 0.5);
 };
 
-/// One link outage: the wire drops everything in [at, at + duration).
+/// One link outage: the link drops everything in [at, at + duration).
+/// `link < 0` downs every link; otherwise only the link (or switch port)
+/// with that id — in a cluster, the uplink of host `link`.
 struct LinkFlap {
   Nanos at = 0;
   Nanos duration = 0;
+  int link = -1;
 };
 
 /// One rx-ring stall burst: the NIC cannot consume descriptors in
 /// [at, at + duration) (PCIe backpressure / descriptor-fetch starvation);
-/// arriving frames are dropped.  `queue < 0` stalls every queue.
+/// arriving frames are dropped.  `queue < 0` stalls every queue and
+/// `host < 0` matches every host.
 struct RingStall {
   Nanos at = 0;
   Nanos duration = 0;
   int queue = -1;
+  int host = -1;
 };
 
 /// One page-pool pressure window: in [at, at + duration) rx page
@@ -121,21 +127,38 @@ class FaultInjector {
 
   const FaultPlan& plan() const { return plan_; }
 
-  // --- Wire hooks ---------------------------------------------------------
+  // --- Link hooks ---------------------------------------------------------
 
-  /// Advances the per-direction loss chain and classifies one frame.
-  /// `direction` is the wire direction index (0 or 1).
-  WireFault on_frame(int direction);
+  /// Advances the per-direction loss chain and classifies one frame on
+  /// `link`.  `direction` is the link direction index (0 or 1).  The
+  /// Gilbert–Elliott chains are per-direction and shared across links — a
+  /// deliberate simplification that keeps the two-host RNG draw sequence
+  /// (and thus every legacy figure) bit-identical.
+  WireFault on_frame(int link, int direction);
 
-  bool link_up() const { return link_down_depth_ == 0; }
+  /// Back-to-back convenience: the single wire is link 0.
+  WireFault on_frame(int direction) { return on_frame(0, direction); }
+
+  /// True when neither a global flap nor a flap targeting `link` is open.
+  bool link_up(int link) const;
+  bool link_up() const { return link_up(0); }
 
   // --- NIC hook -----------------------------------------------------------
 
-  /// True while `queue` is inside a ring-stall window.
-  bool ring_stalled(int queue) const;
+  /// True while `queue` on `host` is inside a ring-stall window.
+  bool ring_stalled(int host, int queue) const;
+
+  /// Back-to-back convenience: the sole receiver is host 0's peer, and
+  /// legacy plans never set RingStall::host, so any host index matches.
+  bool ring_stalled(int queue) const { return ring_stalled(0, queue); }
 
   /// Counts one frame dropped because of a ring stall.
   void note_ring_stall_drop() { ++counters_.ring_stall_drops; }
+
+  /// Counts one frame lost to a down link somewhere other than the
+  /// link's own transmit path (the switch drops on egress when the
+  /// destination port's downlink is flapped).
+  void note_flap_drop() { ++counters_.flap_drops; }
 
   // --- Page-pool hook -----------------------------------------------------
 
@@ -157,10 +180,11 @@ class FaultInjector {
   Rng rng_;
   FaultCounters counters_;
 
-  std::array<GeState, 2> ge_;   // one chain per wire direction
-  int link_down_depth_ = 0;     // >0 while any flap window is open
-  int stall_all_depth_ = 0;     // >0 while a queue==-1 stall is open
-  std::vector<int> stalled_queues_;  // open per-queue stalls
+  std::array<GeState, 2> ge_;   // one chain per link direction
+  int link_down_depth_ = 0;     // >0 while a global (link==-1) flap is open
+  std::vector<int> down_links_; // links with an open targeted flap (multiset)
+  int stall_all_depth_ = 0;     // >0 while a host==-1,queue==-1 stall is open
+  std::vector<std::pair<int, int>> stalled_;  // open (host, queue) stalls
   int pressure_depth_ = 0;      // >0 while any pressure window is open
   double pressure_deny_ = 0.0;  // deny probability of the innermost window
 };

@@ -14,6 +14,9 @@ std::string_view to_string(TraceKind kind) {
     case TraceKind::rto: return "rto";
     case TraceKind::grant: return "grant";
     case TraceKind::window_probe: return "window_probe";
+    case TraceKind::fabric_enqueue: return "fabric_enqueue";
+    case TraceKind::fabric_drop: return "fabric_drop";
+    case TraceKind::ecn_mark: return "ecn_mark";
   }
   return "?";
 }

@@ -26,6 +26,9 @@ enum class TraceKind : std::uint8_t {
   rto,           ///< retransmission timeout fired (a=snd_una)
   grant,         ///< receiver-driven credit granted (a=bytes)
   window_probe,  ///< zero-window probe sent (a=snd_nxt, b=len)
+  fabric_enqueue,  ///< switch queued a frame (a=egress port, b=queue bytes)
+  fabric_drop,     ///< switch drop-tail loss (a=egress port, b=queue bytes)
+  ecn_mark,        ///< switch CE-marked a frame (a=egress port, b=queue bytes)
 };
 
 std::string_view to_string(TraceKind kind);
@@ -33,7 +36,8 @@ std::string_view to_string(TraceKind kind);
 struct TraceRecord {
   Nanos at = 0;
   TraceKind kind = TraceKind::skb_deliver;
-  int host = 0;  ///< 0 = sender host, 1 = receiver host
+  int host = 0;  ///< host index (back-to-back: 0 = sender, 1 = receiver);
+                 ///< -1 = the switch fabric (kFabricTraceHost)
   int flow = -1;
   std::int64_t a = 0;
   std::int64_t b = 0;

@@ -107,6 +107,30 @@ Axis Axis::fault_plans(std::vector<std::pair<std::string, FaultPlan>> plans) {
   return axis;
 }
 
+Axis Axis::num_hosts(std::vector<int> counts) {
+  Axis axis;
+  axis.name = "hosts";
+  for (int n : counts) {
+    axis.values.push_back({std::to_string(n), [n](ExperimentConfig& c) {
+                             c.topology.num_hosts = n;
+                             c.topology.use_switch = true;
+                           }});
+  }
+  return axis;
+}
+
+Axis Axis::cc_algos(std::vector<CcAlgo> algos) {
+  Axis axis;
+  axis.name = "cc";
+  for (CcAlgo algo : algos) {
+    axis.values.push_back({std::string(to_string(algo)),
+                           [algo](ExperimentConfig& c) {
+                             c.stack.cc = algo;
+                           }});
+  }
+  return axis;
+}
+
 std::string CampaignPoint::label() const {
   if (coordinates.empty()) return "base";
   std::string label;

@@ -42,6 +42,10 @@ struct Axis {
   static Axis opt_ladder();  ///< StackConfig::opt_level 0..3 (fig. 3)
   static Axis loss_rates(std::vector<double> rates);
   static Axis fault_plans(std::vector<std::pair<std::string, FaultPlan>> plans);
+  /// Cluster sizes: each value sets topology.num_hosts and routes the
+  /// hosts through a switch (use_switch = true).
+  static Axis num_hosts(std::vector<int> counts);
+  static Axis cc_algos(std::vector<CcAlgo> algos);
 };
 
 /// One resolved grid point.

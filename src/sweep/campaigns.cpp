@@ -106,6 +106,23 @@ Campaign chaos_faults() {
   return campaign;
 }
 
+Campaign cluster_incast() {
+  Campaign campaign;
+  campaign.name = "cluster_incast";
+  campaign.description =
+      "fig 6 at cluster scale: N-1 sender hosts -> 1 receiver host "
+      "through an output-queued switch, DCTCP vs CUBIC";
+  campaign.base.traffic.pattern = Pattern::incast;
+  campaign.base.traffic.flows = 8;
+  campaign.base.warmup = 25 * kMillisecond;
+  campaign.base.topology.use_switch = true;
+  campaign.base.topology.switch_buffer = 256 * kKiB;
+  campaign.base.topology.switch_ecn_bytes = 64 * kKiB;
+  campaign.axes.push_back(Axis::num_hosts({3, 5, 9}));
+  campaign.axes.push_back(Axis::cc_algos({CcAlgo::cubic, CcAlgo::dctcp}));
+  return campaign;
+}
+
 }  // namespace
 
 std::vector<Campaign> builtin_campaigns() {
@@ -127,6 +144,7 @@ std::vector<Campaign> builtin_campaigns() {
       fig10_rpc(),
       mtu_ladder(),
       chaos_faults(),
+      cluster_incast(),
   };
 }
 

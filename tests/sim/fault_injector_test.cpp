@@ -121,6 +121,65 @@ TEST(FaultInjectorTest, RingStallTargetsTheRightQueue) {
   EXPECT_FALSE(injector.ring_stalled(0));
 }
 
+TEST(FaultInjectorTest, TargetedLinkFlapDownsOnlyThatLink) {
+  FaultPlan plan;
+  plan.link_flaps.push_back({1000, 500, /*link=*/2});
+
+  EventLoop loop(1);
+  FaultInjector injector(loop, plan);
+
+  EXPECT_TRUE(injector.link_up(2));
+  loop.run_until(1200);  // inside the outage
+  EXPECT_FALSE(injector.link_up(2));
+  EXPECT_TRUE(injector.link_up(0));  // other links stay up
+  EXPECT_TRUE(injector.link_up(1));
+  EXPECT_EQ(injector.on_frame(/*link=*/2, /*direction=*/0),
+            FaultInjector::WireFault::drop_flap);
+  EXPECT_EQ(injector.on_frame(/*link=*/0, /*direction=*/0),
+            FaultInjector::WireFault::none);
+  loop.run_until(2000);
+  EXPECT_TRUE(injector.link_up(2));
+  EXPECT_EQ(injector.counters().flaps, 1u);
+  EXPECT_EQ(injector.counters().flap_drops, 1u);
+}
+
+TEST(FaultInjectorTest, OverlappingTargetedAndGlobalFlapsNest) {
+  FaultPlan plan;
+  plan.link_flaps.push_back({1000, 2000, /*link=*/1});
+  plan.link_flaps.push_back({1500, 500});  // global (link = -1)
+
+  EventLoop loop(1);
+  FaultInjector injector(loop, plan);
+
+  loop.run_until(1200);  // only the targeted flap is open
+  EXPECT_FALSE(injector.link_up(1));
+  EXPECT_TRUE(injector.link_up(0));
+  loop.run_until(1700);  // global window downs everything
+  EXPECT_FALSE(injector.link_up(0));
+  EXPECT_FALSE(injector.link_up(1));
+  loop.run_until(2200);  // global closed, targeted still open
+  EXPECT_TRUE(injector.link_up(0));
+  EXPECT_FALSE(injector.link_up(1));
+  loop.run_until(4000);
+  EXPECT_TRUE(injector.link_up(1));
+  EXPECT_EQ(injector.counters().flaps, 2u);
+}
+
+TEST(FaultInjectorTest, RingStallTargetsTheRightHost) {
+  FaultPlan plan;
+  plan.ring_stalls.push_back({1000, 500, /*queue=*/-1, /*host=*/3});
+
+  EventLoop loop(1);
+  FaultInjector injector(loop, plan);
+
+  loop.run_until(1200);
+  EXPECT_TRUE(injector.ring_stalled(/*host=*/3, /*queue=*/0));
+  EXPECT_TRUE(injector.ring_stalled(/*host=*/3, /*queue=*/5));
+  EXPECT_FALSE(injector.ring_stalled(/*host=*/0, /*queue=*/0));
+  loop.run_until(2000);
+  EXPECT_FALSE(injector.ring_stalled(/*host=*/3, /*queue=*/0));
+}
+
 TEST(FaultInjectorTest, PoolPressureWindowDeniesAllocations) {
   FaultPlan plan;
   plan.pool_pressure.push_back({1000, 500, /*deny_prob=*/1.0});

@@ -45,14 +45,24 @@ network:
   --gbps=N            link rate                           (default: 100)
   --loss=P            per-frame drop probability          (default: 0)
 
+topology (default: two hosts on a point-to-point link):
+  --hosts=N           cluster size; hosts 0..N-2 send, host N-1
+                      receives; N>2 implies a switch      (default: 2)
+  --switch            route even a 2-host run through the switch
+  --switch-buffer-kb=N  per-egress-port buffer; 0 = pass-through
+  --switch-ecn-kb=N   CE-mark when a port queue reaches N KB
+  --port-gbps=N       switch port rate (default: link --gbps)
+
 faults (all deterministic for a given --seed):
   --ge=AVG[,BURST[,PBAD]]  Gilbert-Elliott bursty loss at average rate
                       AVG, mean bursts of BURST frames (default 10) at
                       in-burst drop probability PBAD (default 0.5)
-  --flap=AT,DUR       link outage at AT ms for DUR ms     (repeatable)
+  --flap=AT,DUR[,L]   link outage at AT ms for DUR ms on host-link L
+                      (every link when omitted)           (repeatable)
   --corrupt=P         deliver-but-checksum-fail probability
-  --stall=AT,DUR[,Q]  rx-ring stall at AT ms for DUR ms on queue Q
-                      (all queues when omitted)           (repeatable)
+  --stall=AT,DUR[,Q[,H]]  rx-ring stall at AT ms for DUR ms on queue Q
+                      of host H (all queues / hosts when omitted)
+                      (repeatable)
   --pressure=AT,DUR[,DENY]  page-pool pressure window; rx page
                       allocations fail with prob DENY (default 1)
   --watchdog-ms=N     trip the run after ~3 silent windows of N ms
@@ -175,6 +185,22 @@ int main(int argc, char** argv) {
       config.link_gbps = parse_double(*v, "--gbps");
     } else if (auto v = flag_value(arg, "--loss")) {
       config.loss_rate = parse_double(*v, "--loss");
+    } else if (arg == "--switch") {
+      config.topology.use_switch = true;
+    } else if (auto v = flag_value(arg, "--hosts")) {
+      config.topology.num_hosts = static_cast<int>(parse_long(*v, "--hosts"));
+      if (config.topology.num_hosts > 2) config.topology.use_switch = true;
+    } else if (auto v = flag_value(arg, "--switch-buffer-kb")) {
+      config.topology.switch_buffer =
+          parse_long(*v, "--switch-buffer-kb") * kKiB;
+      config.topology.use_switch = true;
+    } else if (auto v = flag_value(arg, "--switch-ecn-kb")) {
+      config.topology.switch_ecn_bytes =
+          parse_long(*v, "--switch-ecn-kb") * kKiB;
+      config.topology.use_switch = true;
+    } else if (auto v = flag_value(arg, "--port-gbps")) {
+      config.topology.port_gbps = parse_double(*v, "--port-gbps");
+      config.topology.use_switch = true;
     } else if (auto v = flag_value(arg, "--ge")) {
       const auto fields = split_fields(*v);
       if (fields.empty() || fields.size() > 3) usage(2);
@@ -189,20 +215,27 @@ int main(int argc, char** argv) {
           GilbertElliottConfig::for_average_loss(avg, burst, bad);
     } else if (auto v = flag_value(arg, "--flap")) {
       const auto fields = split_fields(*v);
-      if (fields.size() != 2) usage(2);
-      config.faults.link_flaps.push_back(
-          {parse_long(fields[0], "--flap at") * kMillisecond,
-           parse_long(fields[1], "--flap duration") * kMillisecond});
+      if (fields.size() < 2 || fields.size() > 3) usage(2);
+      LinkFlap flap;
+      flap.at = parse_long(fields[0], "--flap at") * kMillisecond;
+      flap.duration = parse_long(fields[1], "--flap duration") * kMillisecond;
+      if (fields.size() > 2) {
+        flap.link = static_cast<int>(parse_long(fields[2], "--flap link"));
+      }
+      config.faults.link_flaps.push_back(flap);
     } else if (auto v = flag_value(arg, "--corrupt")) {
       config.faults.corrupt_rate = parse_double(*v, "--corrupt");
     } else if (auto v = flag_value(arg, "--stall")) {
       const auto fields = split_fields(*v);
-      if (fields.size() < 2 || fields.size() > 3) usage(2);
+      if (fields.size() < 2 || fields.size() > 4) usage(2);
       RingStall stall;
       stall.at = parse_long(fields[0], "--stall at") * kMillisecond;
       stall.duration = parse_long(fields[1], "--stall duration") * kMillisecond;
       if (fields.size() > 2) {
         stall.queue = static_cast<int>(parse_long(fields[2], "--stall queue"));
+      }
+      if (fields.size() > 3) {
+        stall.host = static_cast<int>(parse_long(fields[3], "--stall host"));
       }
       config.faults.ring_stalls.push_back(stall);
     } else if (auto v = flag_value(arg, "--pressure")) {
@@ -271,6 +304,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(metrics.retransmits));
   }
   print_fault_summary(metrics);
+  print_cluster_summary(metrics);
   if (!metrics.trace.empty()) {
     print_section("flight recorder (newest events)");
     std::printf("time_ns,kind,host,flow,a,b\n");
