@@ -108,6 +108,72 @@ Cluster::Cluster(const ExperimentConfig& config) : config_(config) {
   } else {
     build_cluster();
   }
+  if (config_.obs.enabled()) {
+    // Built last: the observer forks no RNG and schedules nothing until
+    // start_sampler(), so the datapath above is bit-identical with or
+    // without it.
+    obs_ = std::make_unique<obs::Observer>(*loop_, config_.obs, config_.seed);
+    wire_observer();
+  }
+}
+
+void Cluster::wire_observer() {
+  obs::Registry& registry = obs_->registry();
+  for (std::size_t h = 0; h < hosts_.size(); ++h) {
+    Host* host = hosts_[h].get();
+    host->nic().set_observer(obs_.get());
+    host->stack().set_observer(obs_.get());
+
+    const std::string prefix = "host" + std::to_string(h);
+    // Table 1 cycle-category shares, aggregated over the host's cores.
+    for (std::size_t c = 0; c < kNumCpuCategories; ++c) {
+      const auto category = static_cast<CpuCategory>(c);
+      registry.gauge(prefix + ".cyc." + std::string(to_string(category)),
+                     [host, category] {
+                       Cycles in_category = 0;
+                       Cycles total = 0;
+                       for (int i = 0; i < host->num_cores(); ++i) {
+                         const CycleAccount& account = host->core(i).account();
+                         in_category += account.get(category);
+                         total += account.total();
+                       }
+                       return total != 0 ? static_cast<double>(in_category) /
+                                               static_cast<double>(total)
+                                         : 0.0;
+                     });
+    }
+    // DDIO-relevant cache state: the NIC-local LLC (fig. 3e mechanisms).
+    LlcModel* nic_llc = &host->llc(host->topo().nic_node);
+    registry.gauge(prefix + ".llc.occupancy_pages", [nic_llc] {
+      return static_cast<double>(nic_llc->occupancy());
+    });
+    registry.gauge(prefix + ".llc.miss_rate", [nic_llc] {
+      return nic_llc->read_stats().miss_rate();
+    });
+    registry.gauge(prefix + ".pages_live", [host] {
+      return static_cast<double>(host->allocator().live_pages());
+    });
+    registry.gauge(prefix + ".nic.posted_desc", [host] {
+      double posted = 0;
+      for (int q = 0; q < host->num_cores(); ++q) {
+        posted += host->nic().posted_descriptors(q);
+      }
+      return posted;
+    });
+    registry.gauge(prefix + ".nic.backlog", [host] {
+      double backlog = 0;
+      for (int q = 0; q < host->num_cores(); ++q) {
+        backlog += static_cast<double>(host->nic().backlog(q));
+      }
+      return backlog;
+    });
+  }
+  if (fabric_ != nullptr) {
+    Switch* fabric = fabric_.get();
+    registry.gauge("switch.queued_bytes", [fabric] {
+      return static_cast<double>(fabric->queued_bytes());
+    });
+  }
 }
 
 void Cluster::build_degenerate() {
@@ -293,6 +359,21 @@ Cluster::FlowEndpoints Cluster::make_flow(FlowEndpoint src, FlowEndpoint dst,
   // Otherwise: no steering entry — the NIC hashes the flow to a queue
   // (plain RSS, also the IRQ placement under software RPS/RFS, which
   // then requeue protocol processing in the stack).
+
+  if (obs_ != nullptr) {
+    obs::Registry& registry = obs_->registry();
+    const std::string prefix = "flow" + std::to_string(flow);
+    TcpSocket* at_sender = endpoints.at_sender;
+    registry.gauge(prefix + ".cwnd_bytes", [at_sender] {
+      return static_cast<double>(at_sender->congestion().cwnd());
+    });
+    registry.gauge(prefix + ".srtt_ns", [at_sender] {
+      return static_cast<double>(at_sender->srtt());
+    });
+    registry.gauge(prefix + ".inflight_bytes", [at_sender] {
+      return static_cast<double>(at_sender->inflight());
+    });
+  }
   return endpoints;
 }
 

@@ -30,6 +30,7 @@
 #include "hw/link.h"
 #include "hw/switch.h"
 #include "net/tcp_socket.h"
+#include "obs/observer.h"
 #include "sim/event_loop.h"
 #include "sim/fault_injector.h"
 #include "sim/invariant_checker.h"
@@ -69,6 +70,12 @@ class Cluster {
   /// injector is only constructed — and its RNG stream only forked —
   /// when faults are configured, preserving fault-free determinism).
   FaultInjector* faults() { return faults_.get(); }
+
+  /// The run's observability hub; nullptr unless config.obs enables it.
+  /// Constructed after the datapath (it forks no RNG and schedules
+  /// nothing until start_sampler()), so instrumented runs execute the
+  /// identical simulation.
+  obs::Observer* observer() { return obs_.get(); }
 
   /// Registers the cluster's end-of-run invariants on `checker`:
   /// per-flow byte conservation, per-host page-leak freedom (naming
@@ -130,6 +137,9 @@ class Cluster {
  private:
   void build_degenerate();
   void build_cluster();
+  /// Attaches the observer to every host's NIC/stack and registers the
+  /// per-host and fabric gauges (per-flow gauges join in make_flow()).
+  void wire_observer();
 
   ExperimentConfig config_;
   std::unique_ptr<EventLoop> loop_;
@@ -137,6 +147,7 @@ class Cluster {
   std::unique_ptr<Switch> fabric_;
   std::vector<std::unique_ptr<Host>> hosts_;
   std::unique_ptr<FaultInjector> faults_;
+  std::unique_ptr<obs::Observer> obs_;
   std::vector<FlowRoute> routes_;
   int next_flow_ = 0;
   // Shared across hosts so each RSS-explicit flow claims a unique

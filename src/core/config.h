@@ -13,6 +13,7 @@
 #include "net/cc/congestion_control.h"
 #include "net/grant_scheduler.h"
 #include "net/gso.h"
+#include "obs/obs_config.h"
 #include "sim/fault_injector.h"
 #include "sim/invariant_checker.h"
 #include "sim/units.h"
@@ -167,6 +168,12 @@ struct ExperimentConfig {
   /// short periods under heavy loss: exponential RTO backoff makes
   /// multi-millisecond silent windows legitimate.
   WatchdogConfig watchdog;
+
+  /// Observability (spans / sampler / exporters).  Deliberately NOT part
+  /// of config_to_json()/config_hash(): obs is a read-only lens, so two
+  /// configs differing only here are the same experiment — sweep cache
+  /// keys and legacy artifacts stay bit-identical when it is enabled.
+  ObsConfig obs;
 };
 
 }  // namespace hostsim

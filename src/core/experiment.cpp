@@ -7,6 +7,7 @@
 
 #include "core/patterns.h"
 #include "core/testbed.h"
+#include "obs/export.h"
 #include "sim/contract.h"
 #include "sim/invariant_checker.h"
 
@@ -73,6 +74,12 @@ Metrics Experiment::run() {
   Testbed testbed(config_);
   Workload workload = build_workload(testbed, config_.traffic);
   workload.start();
+  if (testbed.observer() != nullptr) {
+    // Every gauge is registered by now (hosts in the Cluster ctor,
+    // flows by the workload builder); the sampler's read-only ticks may
+    // start interleaving with the datapath.
+    testbed.observer()->start_sampler();
+  }
 
   Watchdog watchdog(testbed.loop(), config_.watchdog);
   if (config_.watchdog.enabled()) {
@@ -241,9 +248,12 @@ Metrics Experiment::run() {
       metrics.trace.insert(metrics.trace.end(), fabric_trace.begin(),
                            fabric_trace.end());
     }
+    // Per-host snapshots are time-monotone, but the cross-host
+    // concatenation is not; tie-break equal timestamps by host so the
+    // merged order is independent of host iteration order.
     std::stable_sort(metrics.trace.begin(), metrics.trace.end(),
               [](const TraceRecord& a, const TraceRecord& b) {
-                return a.at < b.at;
+                return a.at != b.at ? a.at < b.at : a.host < b.host;
               });
   }
 
@@ -278,6 +288,16 @@ Metrics Experiment::run() {
   metrics.rx_csum_drops = 0;
   for (int h = 0; h < num_hosts; ++h) {
     metrics.rx_csum_drops += testbed.host(h).stack().stats().rx_csum_drops;
+  }
+
+  if (obs::Observer* o = testbed.observer()) {
+    // In-memory breakdown (never serialized — see metrics_to_json), then
+    // the on-disk artifacts.  Exported before the invariant sweep so a
+    // failing run still leaves its trace behind for debugging.
+    metrics.obs_stages = o->spans().summary();
+    if (!config_.obs.out_dir.empty()) {
+      obs::write_obs_artifacts(*o, metrics.trace, config_.obs);
+    }
   }
 
   if (config_.check_invariants) {

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "cpu/cycle_account.h"
+#include "obs/span.h"
 #include "sim/fault_injector.h"
 #include "sim/trace.h"
 #include "sim/units.h"
@@ -120,6 +121,12 @@ struct Metrics {
   /// Merged flight-recorder trace from both hosts (empty unless
   /// StackConfig::trace_capacity was set), time-ordered.
   std::vector<TraceRecord> trace;
+
+  /// Per-stage pipeline latency breakdown (empty unless span tracing was
+  /// on).  Like `trace`, kept in memory only: metrics_to_json() skips it,
+  /// so obs-enabled runs serialize identically to disabled ones and can
+  /// never poison the sweep cache.
+  std::vector<obs::StageSummary> obs_stages;
 
   double sender_fraction(CpuCategory category) const {
     return sender_cycles.fraction(category);

@@ -201,4 +201,16 @@ void print_cluster_summary(const Metrics& metrics) {
   }
 }
 
+void print_obs_summary(const Metrics& metrics) {
+  if (metrics.obs_stages.empty()) return;
+  print_section("pipeline latency (sampled spans)");
+  Table table({"stage", "spans", "p50_us", "p99_us"});
+  for (const obs::StageSummary& stage : metrics.obs_stages) {
+    table.add_row({stage.stage, std::to_string(stage.count),
+                   Table::num(static_cast<double>(stage.p50) / 1'000.0, 2),
+                   Table::num(static_cast<double>(stage.p99) / 1'000.0, 2)});
+  }
+  table.print();
+}
+
 }  // namespace hostsim

@@ -66,6 +66,10 @@ void print_fault_summary(const Metrics& metrics);
 /// metrics carry neither).
 void print_cluster_summary(const Metrics& metrics);
 
+/// Prints the per-stage pipeline latency breakdown (Fig. 1 stages,
+/// p50/p99) from span tracing (a no-op when spans were off).
+void print_obs_summary(const Metrics& metrics);
+
 }  // namespace hostsim
 
 #endif  // HOSTSIM_CORE_REPORT_H

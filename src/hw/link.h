@@ -51,6 +51,10 @@ struct Frame {
   std::int16_t src_host = 0;
   std::int16_t dst_host = -1;
 
+  /// Observability span id assigned by the receiving NIC (-1 = not
+  /// sampled).  Pure telemetry — never affects forwarding or protocol.
+  std::int32_t obs_span = -1;
+
   Bytes wire_bytes() const { return payload + kFrameHeaderBytes; }
 };
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/observer.h"
 #include "sim/contract.h"
 
 namespace hostsim {
@@ -114,6 +115,10 @@ void Nic::receive(Frame frame) {
     // The DMA itself costs no CPU; it lands in the LLC iff DCA applies.
     dma_into_cache(descriptor.fragments);
     fragments = std::move(descriptor.fragments);
+    if (obs_ != nullptr && !frame.is_ack) {
+      frame.obs_span = obs_->span_start(host_id_, frame.flow, frame.seq,
+                                        frame.payload, loop_->now());
+    }
   }
   // Header-only frames (pure ACKs) take the driver copybreak path: the
   // few bytes are copied into the skb head and the rx buffer is recycled
@@ -136,6 +141,18 @@ void Nic::receive(Frame frame) {
 void Nic::kick_napi(int index) {
   require(static_cast<bool>(rx_handler_), "rx handler not set");
   ++irqs_;
+  if (obs_ != nullptr) {
+    // Frames already queued ride this IRQ; stamping is idempotent, so
+    // entries that saw an earlier kick keep their first stamp.  Frames
+    // arriving during the active NAPI round get no IRQ stage at all —
+    // matching reality, where they are polled without an interrupt.
+    for (const BacklogEntry& entry :
+         queues_[static_cast<std::size_t>(index)].backlog) {
+      if (entry.frame.obs_span >= 0) {
+        obs_->span_stamp(entry.frame.obs_span, obs::Stage::irq, loop_->now());
+      }
+    }
+  }
   cores_[static_cast<std::size_t>(index)]->post(
       softirq_, [this, index](Core& core) {
         core.charge(CpuCategory::etc, core.cost().irq_entry);
@@ -179,6 +196,9 @@ std::optional<Nic::PolledFrame> Nic::poll_one(Core& core, int index) {
       iommu_->charge_unmap(
           core, static_cast<double>(descriptor_bytes()) / kPageBytes);
       polled.fragments.append_from(std::move(next.fragments));
+      // The merged train keeps the first sampled segment's span; later
+      // segments' journeys are absorbed (their spans stay incomplete).
+      if (frame.obs_span < 0) frame.obs_span = next.frame.obs_span;
       frame.payload += next.frame.payload;
       frame.ecn = frame.ecn || next.frame.ecn;
       // One bad frame poisons the merged train's checksum.

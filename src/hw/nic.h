@@ -37,6 +37,10 @@
 
 namespace hostsim {
 
+namespace obs {
+class Observer;
+}  // namespace obs
+
 /// Receiver-side flow steering (paper Table 2).  RSS/RPS hash the
 /// 4-tuple to a core; RFS/aRFS find the application's core.
 enum class SteeringMode : std::uint8_t { rss, rps, rfs, arfs };
@@ -86,6 +90,10 @@ class Nic {
   /// Attaches the run's fault injector (rx-ring stalls, page-pool
   /// pressure); propagated to every queue's page pool.
   void set_fault_injector(FaultInjector* faults);
+
+  /// Attaches the run's observability hub (null = disabled; the hooks
+  /// reduce to one pointer compare).
+  void set_observer(obs::Observer* observer) { obs_ = observer; }
 
   // --- Steering ----------------------------------------------------------
 
@@ -185,6 +193,7 @@ class Nic {
   Wire::Side side_;
   int host_id_ = 0;
   FaultInjector* faults_ = nullptr;
+  obs::Observer* obs_ = nullptr;
   Context softirq_{"softirq", /*kernel=*/true};
 
   std::vector<RxQueue> queues_;

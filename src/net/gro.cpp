@@ -19,6 +19,9 @@ std::optional<Skb> Gro::feed(Skb segment) {
       head.segments += segment.segments;
       head.ecn = head.ecn || segment.ecn;
       head.sent_at = segment.sent_at;  // freshest timestamp, for RTT echo
+      // Keep the first sampled segment's observability span; later
+      // sampled segments are absorbed into the head's journey.
+      if (head.obs_span < 0) head.obs_span = segment.obs_span;
       head.fragments.append_from(std::move(segment.fragments));
       if (head.len >= max_bytes_) {
         completed = std::move(head);

@@ -26,6 +26,10 @@ struct Skb {
   Nanos sent_at = 0;   ///< sender timestamp of the last merged segment
   bool ecn = false;
 
+  /// Observability span id carried from the originating frame (-1 =
+  /// not sampled); GRO keeps the first sampled segment's span.
+  std::int32_t obs_span = -1;
+
   std::int64_t end_seq() const { return seq + len; }
 };
 

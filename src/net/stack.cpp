@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "net/tcp_socket.h"
+#include "obs/observer.h"
 #include "sim/contract.h"
 
 namespace hostsim {
@@ -206,6 +207,10 @@ void Stack::napi_poll(Core& core, int queue) {
     skb.napi_at = loop_->now();
     skb.sent_at = polled->frame.sent_at;
     skb.ecn = polled->frame.ecn;
+    skb.obs_span = polled->frame.obs_span;
+    if (obs_ != nullptr && skb.obs_span >= 0) {
+      obs_->span_stamp(skb.obs_span, obs::Stage::gro, loop_->now());
+    }
 
     if (options_.gro) {
       core.charge(CpuCategory::netdev, cost.gro_per_segment);

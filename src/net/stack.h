@@ -34,6 +34,10 @@ namespace hostsim {
 
 class TcpSocket;
 
+namespace obs {
+class Observer;
+}  // namespace obs
+
 struct StackOptions {
   SegmentationMode segmentation = SegmentationMode::tso_hw;
   bool gro = true;
@@ -123,6 +127,10 @@ class Stack {
   /// exercising the invariant checker's leak sweep.
   void leak_next_skb() { leak_next_skb_ = true; }
 
+  /// Attaches the run's observability hub (null = disabled).
+  void set_observer(obs::Observer* observer) { obs_ = observer; }
+  obs::Observer* observer() { return obs_; }
+
   HostStats& stats() { return stats_; }
   Tracer& tracer() { return tracer_; }
   const StackOptions& options() const { return options_; }
@@ -151,6 +159,7 @@ class Stack {
   PageAllocator* allocator_;
   Iommu* iommu_;
   Nic* nic_;
+  obs::Observer* obs_ = nullptr;
 
   std::vector<Gro> gros_;  // one per rx queue
   std::map<int, std::unique_ptr<TcpSocket>> sockets_;

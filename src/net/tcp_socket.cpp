@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "obs/observer.h"
 #include "sim/contract.h"
 
 namespace hostsim {
@@ -543,6 +544,12 @@ void TcpSocket::rx_deliver(Core& core, Skb skb) {
   lock(core);
   stack_->tracer().record(stack_->loop().now(), TraceKind::skb_deliver,
                           flow_, skb.seq, skb.len);
+  const std::int32_t obs_span = skb.obs_span;
+  if (obs_span >= 0) {
+    if (obs::Observer* o = stack_->observer()) {
+      o->span_stamp(obs_span, obs::Stage::tcpip, stack_->loop().now());
+    }
+  }
 
   // Trim data we already have (retransmission overlap).
   if (skb.seq < rcv_nxt_) {
@@ -622,7 +629,17 @@ void TcpSocket::rx_deliver(Core& core, Skb skb) {
   } else {
     send_ack(core, echo_ts, ecn_echo);
   }
-  if (rq_bytes_ > 0 && rx_waiter_ != nullptr) rx_waiter_->notify();
+  if (rq_bytes_ > 0 && rx_waiter_ != nullptr) {
+    // Scheduler wakeup: the blocked reader is notified because of this
+    // delivery.  Only in-order skbs are attributed — OFO data wakes
+    // nobody until the hole fills.
+    if (obs_span >= 0 && skb_was_in_order) {
+      if (obs::Observer* o = stack_->observer()) {
+        o->span_stamp(obs_span, obs::Stage::wakeup, stack_->loop().now());
+      }
+    }
+    rx_waiter_->notify();
+  }
 }
 
 Bytes TcpSocket::recv(Core& core, Bytes max_bytes) {
@@ -641,6 +658,12 @@ Bytes TcpSocket::recv(Core& core, Bytes max_bytes) {
     stats.napi_to_copy.record(stack_->loop().now() - skb.napi_at);
     stack_->tracer().record(stack_->loop().now(), TraceKind::data_copy,
                             flow_, skb.seq, skb.len);
+    if (skb.obs_span >= 0) {
+      if (obs::Observer* o = stack_->observer()) {
+        o->span_stamp(skb.obs_span, obs::Stage::copy, stack_->loop().now());
+        o->span_complete(skb.obs_span);
+      }
+    }
 
     bool any_remote = false;
     if (stack_->options().rx_zerocopy) {

@@ -82,6 +82,10 @@ class TcpSocket {
 
   std::int64_t snd_una() const { return snd_una_; }
   std::int64_t snd_nxt() const { return snd_nxt_; }
+  /// Smoothed RTT estimate (0 until the first sample).
+  Nanos srtt() const { return srtt_; }
+  /// Bytes in flight (sent, not yet cumulatively acked).
+  Bytes inflight() const { return snd_nxt_ - snd_una_; }
   std::int64_t snd_buf_end() const { return snd_buf_end_; }
   std::int64_t rcv_nxt() const { return rcv_nxt_; }
   Bytes rq_bytes() const { return rq_bytes_; }

@@ -1,10 +1,14 @@
-#include "sim/trace.h"
+#include "obs/event_trace.h"
 
 #include <ostream>
+
+#include "obs/export.h"
 
 namespace hostsim {
 
 std::string_view to_string(TraceKind kind) {
+  // Covered switch (no default): -Wswitch flags a newly added kind, and
+  // the kNumTraceKinds static_assert in the header catches count drift.
   switch (kind) {
     case TraceKind::skb_deliver: return "skb_deliver";
     case TraceKind::data_copy: return "data_copy";
@@ -19,6 +23,17 @@ std::string_view to_string(TraceKind kind) {
     case TraceKind::ecn_mark: return "ecn_mark";
   }
   return "?";
+}
+
+bool trace_kind_from_string(std::string_view name, TraceKind& out) {
+  for (std::size_t i = 0; i < kNumTraceKinds; ++i) {
+    const TraceKind kind = static_cast<TraceKind>(i);
+    if (to_string(kind) == name) {
+      out = kind;
+      return true;
+    }
+  }
+  return false;
 }
 
 void Tracer::record(Nanos at, TraceKind kind, int flow, std::int64_t a,
@@ -45,10 +60,22 @@ std::vector<TraceRecord> Tracer::snapshot() const {
 }
 
 void Tracer::dump_csv(std::ostream& out) const {
-  out << "time_ns,kind,host,flow,a,b\n";
+  obs::CsvWriter csv(out);
+  csv.field(std::string_view("time_ns"));
+  csv.field(std::string_view("kind"));
+  csv.field(std::string_view("host"));
+  csv.field(std::string_view("flow"));
+  csv.field(std::string_view("a"));
+  csv.field(std::string_view("b"));
+  csv.end_row();
   for (const TraceRecord& record : snapshot()) {
-    out << record.at << ',' << to_string(record.kind) << ',' << record.host
-        << ',' << record.flow << ',' << record.a << ',' << record.b << '\n';
+    csv.field(record.at);
+    csv.field(to_string(record.kind));
+    csv.field(static_cast<std::int64_t>(record.host));
+    csv.field(static_cast<std::int64_t>(record.flow));
+    csv.field(record.a);
+    csv.field(record.b);
+    csv.end_row();
   }
 }
 

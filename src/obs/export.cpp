@@ -1,0 +1,242 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+
+#include "obs/observer.h"
+#include "sim/contract.h"
+
+namespace hostsim::obs {
+
+// ---------------------------------------------------------------------------
+// CsvWriter
+
+std::string CsvWriter::escape(std::string_view field) {
+  const bool needs_quoting =
+      field.find_first_of(",\"\n\r") != std::string_view::npos;
+  if (!needs_quoting) return std::string(field);
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+CsvWriter& CsvWriter::field(std::string_view value) {
+  if (row_started_) *out_ << ',';
+  *out_ << escape(value);
+  row_started_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::int64_t value) {
+  if (row_started_) *out_ << ',';
+  *out_ << value;
+  row_started_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(std::uint64_t value) {
+  if (row_started_) *out_ << ',';
+  *out_ << value;
+  row_started_ = true;
+  return *this;
+}
+
+CsvWriter& CsvWriter::field(double value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return field(std::string_view(buffer));
+}
+
+void CsvWriter::end_row() {
+  *out_ << '\n';
+  row_started_ = false;
+}
+
+// ---------------------------------------------------------------------------
+// Time-series CSV
+
+void write_timeseries_csv(std::ostream& out,
+                          const TimeSeriesSampler& sampler) {
+  CsvWriter csv(out);
+  csv.field(std::string_view("time_ns"));
+  for (const std::string& column : sampler.columns()) csv.field(column);
+  csv.end_row();
+  const auto& times = sampler.times();
+  const auto& rows = sampler.rows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    csv.field(times[i]);
+    for (double value : rows[i]) csv.field(value);
+    csv.end_row();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace-event JSON
+
+namespace {
+
+void json_string(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\r': out << "\\r"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out << buffer;
+        } else {
+          out << c;
+        }
+    }
+  }
+  out << '"';
+}
+
+/// Nanoseconds as trace-event microseconds, fixed 3 decimals
+/// (deterministic — no float formatting involved).
+void json_micros(std::ostream& out, Nanos ns) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  out << buffer;
+}
+
+class EventArray {
+ public:
+  explicit EventArray(std::ostream& out) : out_(&out) {}
+
+  /// Starts one trace event object; caller writes the fields after
+  /// "name" and closes with close_event().
+  std::ostream& begin_event(std::string_view name) {
+    if (!first_) *out_ << ",\n ";
+    first_ = false;
+    *out_ << "{\"name\":";
+    json_string(*out_, name);
+    return *out_;
+  }
+
+  void close_event() { *out_ << '}'; }
+
+ private:
+  std::ostream* out_;
+  bool first_ = true;
+};
+
+}  // namespace
+
+void write_perfetto_json(std::ostream& out, const SpanTracer& spans,
+                         const TimeSeriesSampler& sampler,
+                         const std::vector<TraceRecord>& events) {
+  out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n ";
+  EventArray array(out);
+
+  // Process-name metadata: one per host seen in spans or events.
+  std::set<int> hosts;
+  for (const Span& span : spans.spans()) hosts.insert(span.host);
+  for (const TraceRecord& record : events) hosts.insert(record.host);
+  for (int host : hosts) {
+    std::ostream& o = array.begin_event("process_name");
+    o << ",\"ph\":\"M\",\"pid\":" << host << ",\"args\":{\"name\":";
+    if (host < 0) {
+      json_string(o, "switch");
+    } else {
+      json_string(o, "host" + std::to_string(host));
+    }
+    o << "}";
+    array.close_event();
+  }
+
+  // Pipeline spans as duration slices: stage i runs from its stamp to
+  // the next present stamp (the copy stage renders as a zero-width
+  // slice marking completion).
+  for (const Span& span : spans.spans()) {
+    for (std::size_t i = 0; i < kNumStages; ++i) {
+      if (span.at[i] == kUnstamped) continue;
+      Nanos end = span.at[i];
+      for (std::size_t j = i + 1; j < kNumStages; ++j) {
+        if (span.at[j] == kUnstamped) continue;
+        end = span.at[j];
+        break;
+      }
+      std::ostream& o =
+          array.begin_event(to_string(static_cast<Stage>(i)));
+      o << ",\"ph\":\"X\",\"ts\":";
+      json_micros(o, span.at[i]);
+      o << ",\"dur\":";
+      json_micros(o, end - span.at[i]);
+      o << ",\"pid\":" << span.host << ",\"tid\":" << span.flow;
+      if (i == 0) {
+        o << ",\"args\":{\"seq\":" << span.seq << ",\"len\":" << span.len
+          << "}";
+      }
+      array.close_event();
+    }
+  }
+
+  // Sampler rows as counter tracks.
+  const auto& columns = sampler.columns();
+  const auto& times = sampler.times();
+  const auto& rows = sampler.rows();
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    for (std::size_t c = 0; c < columns.size(); ++c) {
+      std::ostream& o = array.begin_event(columns[c]);
+      o << ",\"ph\":\"C\",\"ts\":";
+      json_micros(o, times[i]);
+      o << ",\"pid\":0,\"args\":{\"value\":";
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.17g", rows[i][c]);
+      o << buffer << "}";
+      array.close_event();
+    }
+  }
+
+  // Legacy flight-recorder records as instant events.
+  for (const TraceRecord& record : events) {
+    std::ostream& o = array.begin_event(to_string(record.kind));
+    o << ",\"ph\":\"i\",\"s\":\"t\",\"ts\":";
+    json_micros(o, record.at);
+    o << ",\"pid\":" << record.host << ",\"tid\":" << record.flow
+      << ",\"args\":{\"a\":" << record.a << ",\"b\":" << record.b << "}";
+    array.close_event();
+  }
+
+  out << "\n]}\n";
+}
+
+void write_obs_artifacts(const Observer& observer,
+                         const std::vector<TraceRecord>& events,
+                         const ObsConfig& config) {
+  namespace fs = std::filesystem;
+  require(!config.out_dir.empty(), "obs out_dir not set");
+  fs::create_directories(config.out_dir);
+  const fs::path base = fs::path(config.out_dir) / config.out_stem;
+  {
+    std::ofstream trace(base.string() + ".trace.json",
+                        std::ios::binary | std::ios::trunc);
+    require(trace.good(), "cannot open obs trace output");
+    write_perfetto_json(trace, observer.spans(), observer.sampler(), events);
+  }
+  {
+    std::ofstream series(base.string() + ".timeseries.csv",
+                         std::ios::binary | std::ios::trunc);
+    require(series.good(), "cannot open obs time-series output");
+    write_timeseries_csv(series, observer.sampler());
+  }
+}
+
+}  // namespace hostsim::obs

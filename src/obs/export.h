@@ -1,0 +1,63 @@
+// Artifact exporters: RFC-4180 CSV and Chrome trace-event ("Perfetto")
+// JSON.
+//
+// The trace-event output loads directly in ui.perfetto.dev (or
+// chrome://tracing): pipeline spans become "X" duration slices grouped
+// by pid=host / tid=flow, sampler rows become "C" counter tracks, and
+// legacy Tracer records become "i" instant events.  Timestamps are
+// microseconds (the trace-event unit), printed with fixed precision so
+// equal runs produce byte-identical files.
+#ifndef HOSTSIM_OBS_EXPORT_H
+#define HOSTSIM_OBS_EXPORT_H
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/event_trace.h"
+#include "obs/obs_config.h"
+#include "obs/sampler.h"
+#include "obs/span.h"
+
+namespace hostsim::obs {
+
+/// Minimal RFC-4180 CSV emitter: quotes (doubling embedded quotes) any
+/// field containing a comma, quote, or newline.
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  CsvWriter& field(std::string_view value);
+  CsvWriter& field(std::int64_t value);
+  CsvWriter& field(std::uint64_t value);
+  CsvWriter& field(double value);  ///< %.17g (canonical round-trip form)
+  void end_row();
+
+  static std::string escape(std::string_view field);
+
+ private:
+  std::ostream* out_;
+  bool row_started_ = false;
+};
+
+/// Time-series CSV: header "time_ns,<col>,..." then one row per tick.
+void write_timeseries_csv(std::ostream& out, const TimeSeriesSampler& sampler);
+
+/// Chrome trace-event JSON.  `events` is the merged legacy trace (may be
+/// empty); pass the run's spans and sampler for slices + counter tracks.
+void write_perfetto_json(std::ostream& out, const SpanTracer& spans,
+                         const TimeSeriesSampler& sampler,
+                         const std::vector<TraceRecord>& events);
+
+class Observer;
+
+/// Writes a run's artifacts — <out_dir>/<out_stem>.trace.json and
+/// <out_dir>/<out_stem>.timeseries.csv — creating out_dir if needed.
+void write_obs_artifacts(const Observer& observer,
+                         const std::vector<TraceRecord>& events,
+                         const ObsConfig& config);
+
+}  // namespace hostsim::obs
+
+#endif  // HOSTSIM_OBS_EXPORT_H

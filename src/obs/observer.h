@@ -1,0 +1,70 @@
+// Observer: the per-run observability hub.
+//
+// Owns the span tracer, counter/gauge registry, and time-series sampler
+// for one simulation.  Datapath components hold a nullable `Observer*`
+// (null when observability is off — the disabled path is a single
+// pointer compare) and stamp pipeline stages through the inline helpers
+// below.
+//
+// Invariant: nothing reachable from an Observer mutates simulation
+// state.  Hooks charge no cycles, consume no RNG, and the sampler's
+// events are read-only — Metrics from an instrumented run are
+// bit-identical to an uninstrumented one (pinned by tests/obs/).
+#ifndef HOSTSIM_OBS_OBSERVER_H
+#define HOSTSIM_OBS_OBSERVER_H
+
+#include <cstdint>
+
+#include "obs/obs_config.h"
+#include "obs/registry.h"
+#include "obs/sampler.h"
+#include "obs/span.h"
+#include "sim/event_loop.h"
+
+namespace hostsim::obs {
+
+class Observer {
+ public:
+  Observer(EventLoop& loop, const ObsConfig& config, std::uint64_t seed)
+      : config_(config),
+        spans_(seed, config.span_rate, config.max_spans),
+        sampler_(loop, registry_, config.sample_period) {}
+
+  const ObsConfig& config() const { return config_; }
+
+  SpanTracer& spans() { return spans_; }
+  const SpanTracer& spans() const { return spans_; }
+
+  Registry& registry() { return registry_; }
+  const Registry& registry() const { return registry_; }
+
+  TimeSeriesSampler& sampler() { return sampler_; }
+  const TimeSeriesSampler& sampler() const { return sampler_; }
+
+  /// Schedules the sampler (no-op when the period is 0).  Call after
+  /// every gauge is registered — i.e. once the testbed is fully built.
+  void start_sampler() { sampler_.start(); }
+
+  // -- hot-path span helpers (callers already null-checked `this`) --
+
+  std::int32_t span_start(int host, int flow, std::int64_t seq, Bytes len,
+                          Nanos now) {
+    return spans_.maybe_start(host, flow, seq, len, now);
+  }
+
+  void span_stamp(std::int32_t id, Stage stage, Nanos now) {
+    spans_.stamp(id, stage, now);
+  }
+
+  void span_complete(std::int32_t id) { spans_.complete(id); }
+
+ private:
+  ObsConfig config_;
+  Registry registry_;
+  SpanTracer spans_;
+  TimeSeriesSampler sampler_;
+};
+
+}  // namespace hostsim::obs
+
+#endif  // HOSTSIM_OBS_OBSERVER_H

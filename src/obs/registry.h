@@ -1,0 +1,97 @@
+// Named counter/gauge registry.
+//
+// The extension point for run-time telemetry: datapath components bump
+// Counter cells, and read-only Gauge callbacks snapshot component state
+// (cwnd, queue depth, LLC occupancy) when the TimeSeriesSampler ticks.
+//
+// "Lock-free in simulation": a run executes on one thread of the event
+// loop, so counter cells are plain integers — no atomics, no locks —
+// yet the registry still gives the isolation of per-name cells instead
+// of ad-hoc struct fields.  Parallel sweeps build one Registry per run.
+//
+// Registration order is deterministic (insertion order), which makes the
+// sampler's column order — and therefore every exported artifact —
+// byte-stable across runs and across --jobs=N schedules.
+#ifndef HOSTSIM_OBS_REGISTRY_H
+#define HOSTSIM_OBS_REGISTRY_H
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sim/contract.h"
+
+namespace hostsim::obs {
+
+class Registry {
+ public:
+  /// Monotone event count owned by the registry (stable address).
+  class Counter {
+   public:
+    void add(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+
+   private:
+    std::uint64_t value_ = 0;
+  };
+
+  /// Finds or creates the counter `name`.  The returned reference stays
+  /// valid for the registry's lifetime.
+  Counter& counter(std::string_view name) {
+    for (const Entry& entry : entries_) {
+      if (entry.name == name && entry.counter != nullptr) {
+        return *entry.counter;
+      }
+    }
+    Entry entry;
+    entry.name = std::string(name);
+    entry.counter = std::make_unique<Counter>();
+    entries_.push_back(std::move(entry));
+    return *entries_.back().counter;
+  }
+
+  /// Registers a read-only gauge.  `read` must not mutate simulation
+  /// state (it runs mid-simulation from the sampler).
+  void gauge(std::string name, std::function<double()> read) {
+    require(static_cast<bool>(read), "gauge needs a read callback");
+    Entry entry;
+    entry.name = std::move(name);
+    entry.read = std::move(read);
+    entries_.push_back(std::move(entry));
+  }
+
+  std::size_t size() const { return entries_.size(); }
+
+  /// Instrument names in registration order.
+  std::vector<std::string> names() const {
+    std::vector<std::string> out;
+    out.reserve(entries_.size());
+    for (const Entry& entry : entries_) out.push_back(entry.name);
+    return out;
+  }
+
+  /// Current value of instrument `index` (registration order).
+  double read(std::size_t index) const {
+    const Entry& entry = entries_[index];
+    if (entry.counter != nullptr) {
+      return static_cast<double>(entry.counter->value());
+    }
+    return entry.read();
+  }
+
+ private:
+  struct Entry {
+    std::string name;
+    std::unique_ptr<Counter> counter;  ///< set for counters
+    std::function<double()> read;      ///< set for gauges
+  };
+
+  std::vector<Entry> entries_;
+};
+
+}  // namespace hostsim::obs
+
+#endif  // HOSTSIM_OBS_REGISTRY_H

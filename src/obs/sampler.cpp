@@ -1,0 +1,28 @@
+#include "obs/sampler.h"
+
+#include "sim/contract.h"
+
+namespace hostsim::obs {
+
+void TimeSeriesSampler::start() {
+  if (period_ <= 0) return;
+  loop_->schedule_after(period_, [this] { tick(); });
+}
+
+void TimeSeriesSampler::tick() {
+  if (columns_.empty()) {
+    columns_ = registry_->names();
+  }
+  require(columns_.size() == registry_->size(),
+          "instruments must be registered before the sampler starts");
+  std::vector<double> row;
+  row.reserve(columns_.size());
+  for (std::size_t i = 0; i < columns_.size(); ++i) {
+    row.push_back(registry_->read(i));
+  }
+  times_.push_back(loop_->now());
+  rows_.push_back(std::move(row));
+  loop_->schedule_after(period_, [this] { tick(); });
+}
+
+}  // namespace hostsim::obs

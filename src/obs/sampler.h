@@ -1,0 +1,56 @@
+// Periodic time-series sampler.
+//
+// Rides the event loop: every `period` it reads all Registry instruments
+// (in registration order) into one row.  Sampling events are read-only —
+// they charge no cycles, consume no RNG, and never reorder existing
+// events — so an instrumented run produces bit-identical Metrics to an
+// uninstrumented one.
+//
+// All instruments must be registered before start(); the column set is
+// frozen at the first tick so exported CSV/JSON stay rectangular.
+#ifndef HOSTSIM_OBS_SAMPLER_H
+#define HOSTSIM_OBS_SAMPLER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "sim/event_loop.h"
+#include "sim/units.h"
+
+namespace hostsim::obs {
+
+class TimeSeriesSampler {
+ public:
+  TimeSeriesSampler(EventLoop& loop, Registry& registry, Nanos period)
+      : loop_(&loop), registry_(&registry), period_(period) {}
+
+  bool enabled() const { return period_ > 0; }
+
+  /// Schedules the first tick at now + period.  Call once, after all
+  /// instruments are registered.
+  void start();
+
+  /// Column names, frozen at the first tick (empty before it).
+  const std::vector<std::string>& columns() const { return columns_; }
+
+  const std::vector<Nanos>& times() const { return times_; }
+  const std::vector<std::vector<double>>& rows() const { return rows_; }
+  std::uint64_t ticks() const { return times_.size(); }
+  Nanos period() const { return period_; }
+
+ private:
+  void tick();
+
+  EventLoop* loop_;
+  Registry* registry_;
+  Nanos period_;
+  std::vector<std::string> columns_;
+  std::vector<Nanos> times_;
+  std::vector<std::vector<double>> rows_;
+};
+
+}  // namespace hostsim::obs
+
+#endif  // HOSTSIM_OBS_SAMPLER_H

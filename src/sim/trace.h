@@ -1,80 +1,10 @@
-// Lightweight event tracing (flight recorder).
-//
-// When enabled, datapath components record fixed-size events into a ring
-// buffer — cheap enough to leave on for debugging runs, bounded so long
-// simulations cannot exhaust memory.  The harness exposes the merged
-// trace through Metrics and the CLI (`--trace=N`), and dump_csv()
-// produces plotting-friendly output.
+// Forwarder: the flight-recorder Tracer moved into the observability
+// layer (obs/event_trace.h) as its "event" channel.  This header stays
+// so the many existing `#include "sim/trace.h"` sites keep compiling;
+// the types are unchanged and still live in namespace hostsim.
 #ifndef HOSTSIM_SIM_TRACE_H
 #define HOSTSIM_SIM_TRACE_H
 
-#include <cstdint>
-#include <iosfwd>
-#include <string_view>
-#include <vector>
-
-#include "sim/units.h"
-
-namespace hostsim {
-
-enum class TraceKind : std::uint8_t {
-  skb_deliver,  ///< post-GRO skb reached TCP (a=seq, b=len)
-  data_copy,    ///< payload copied to user space (a=bytes)
-  ack_tx,       ///< ACK sent (a=rcv_nxt, b=advertised window)
-  ack_rx,       ///< ACK processed (a=ack_seq, b=newly acked)
-  retransmit,   ///< segment(s) retransmitted (a=seq, b=len)
-  rto,           ///< retransmission timeout fired (a=snd_una)
-  grant,         ///< receiver-driven credit granted (a=bytes)
-  window_probe,  ///< zero-window probe sent (a=snd_nxt, b=len)
-  fabric_enqueue,  ///< switch queued a frame (a=egress port, b=queue bytes)
-  fabric_drop,     ///< switch drop-tail loss (a=egress port, b=queue bytes)
-  ecn_mark,        ///< switch CE-marked a frame (a=egress port, b=queue bytes)
-};
-
-std::string_view to_string(TraceKind kind);
-
-struct TraceRecord {
-  Nanos at = 0;
-  TraceKind kind = TraceKind::skb_deliver;
-  int host = 0;  ///< host index (back-to-back: 0 = sender, 1 = receiver);
-                 ///< -1 = the switch fabric (kFabricTraceHost)
-  int flow = -1;
-  std::int64_t a = 0;
-  std::int64_t b = 0;
-};
-
-class Tracer {
- public:
-  /// capacity == 0 disables tracing entirely (record() is a no-op).
-  explicit Tracer(std::size_t capacity = 0, int host = 0)
-      : capacity_(capacity), host_(host) {
-    if (capacity_ > 0) ring_.reserve(capacity_);
-  }
-
-  bool enabled() const { return capacity_ > 0; }
-
-  void record(Nanos at, TraceKind kind, int flow, std::int64_t a = 0,
-              std::int64_t b = 0);
-
-  /// Events in time order (oldest first).  The ring keeps the newest
-  /// `capacity` events; `overwritten()` counts what was lost.
-  std::vector<TraceRecord> snapshot() const;
-
-  std::uint64_t recorded() const { return recorded_; }
-  std::uint64_t overwritten() const {
-    return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
-  }
-
-  void dump_csv(std::ostream& out) const;
-
- private:
-  std::size_t capacity_;
-  int host_;
-  std::vector<TraceRecord> ring_;
-  std::size_t next_ = 0;  ///< ring write cursor once full
-  std::uint64_t recorded_ = 0;
-};
-
-}  // namespace hostsim
+#include "obs/event_trace.h"  // IWYU pragma: export
 
 #endif  // HOSTSIM_SIM_TRACE_H

@@ -58,7 +58,17 @@ CampaignResult run_campaign(const Campaign& campaign,
     PointResult& slot = result.points[i];
     // Each call builds a private EventLoop/RNG/testbed from the resolved
     // config, so concurrent points share no mutable state.
-    slot.metrics = run_experiment(slot.point.config);
+    ExperimentConfig config = slot.point.config;
+    if (options.obs.enabled()) {
+      config.obs = options.obs;
+      // Artifact names keyed by config hash: stable across schedules,
+      // unique per point.
+      config.obs.out_stem = hash_hex(slot.config_hash);
+    }
+    slot.metrics = run_experiment(config);
+    // Stored under the *canonical* config (obs never enters the hash,
+    // and obs_stages never enters metrics_to_json, so instrumented and
+    // plain runs share one cache entry with identical bytes).
     if (options.use_cache) cache.store(slot.point.config, slot.metrics);
     report(slot.point, /*from_cache=*/false);
   };

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/metrics.h"
+#include "obs/obs_config.h"
 #include "sweep/campaign.h"
 
 namespace hostsim::sweep {
@@ -27,6 +28,13 @@ struct RunnerOptions {
   /// Progress callback, invoked under a lock as each point completes
   /// (in completion order, which is nondeterministic under jobs > 1).
   std::function<void(const CampaignPoint&, bool from_cache)> on_point;
+  /// Observability applied to every *simulated* point (cache-served
+  /// points write no artifacts — their obs output already exists or was
+  /// never requested).  Per-point artifacts land in obs.out_dir named by
+  /// the point's config hash, so parallel schedules produce identical
+  /// files.  The obs section never enters config_hash, so enabling it
+  /// cannot invalidate (or pollute) the cache.
+  ObsConfig obs;
 };
 
 struct PointResult {

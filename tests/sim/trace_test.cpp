@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <set>
 #include <sstream>
+#include <string_view>
 
 #include "core/experiment.h"
 
@@ -58,6 +60,41 @@ TEST(TracerTest, KindNamesAreStable) {
   EXPECT_EQ(to_string(TraceKind::grant), "grant");
 }
 
+// Exhaustive round-trip over every TraceKind: each kind has a real name
+// (no "?" fallthrough) and from_string() inverts to_string().  Together
+// with the kNumTraceKinds static_assert and the covered switch in
+// to_string(), adding a kind without updating the names breaks here.
+TEST(TracerTest, KindNamesRoundTripExhaustively) {
+  for (std::size_t i = 0; i < kNumTraceKinds; ++i) {
+    const auto kind = static_cast<TraceKind>(i);
+    const std::string_view name = to_string(kind);
+    EXPECT_NE(name, "?") << "kind " << i << " has no name";
+    TraceKind parsed{};
+    ASSERT_TRUE(trace_kind_from_string(name, parsed)) << name;
+    EXPECT_EQ(parsed, kind) << name;
+  }
+  TraceKind parsed{};
+  EXPECT_FALSE(trace_kind_from_string("no_such_kind", parsed));
+  EXPECT_FALSE(trace_kind_from_string("", parsed));
+}
+
+// snapshot() must unwrap the ring into time order even when the write
+// cursor sits mid-ring (oldest entry is *after* the cursor).
+TEST(TracerTest, SnapshotUnwrapsRingAtEveryCursorPosition) {
+  for (int extra = 1; extra < 9; ++extra) {
+    Tracer tracer(4);
+    for (int i = 0; i < 4 + extra; ++i) {
+      tracer.record(i, TraceKind::data_copy, i, 0, 0);
+    }
+    const auto snapshot = tracer.snapshot();
+    ASSERT_EQ(snapshot.size(), 4u) << "extra=" << extra;
+    for (std::size_t i = 0; i + 1 < snapshot.size(); ++i) {
+      EXPECT_LT(snapshot[i].at, snapshot[i + 1].at) << "extra=" << extra;
+    }
+    EXPECT_EQ(snapshot.back().at, 4 + extra - 1);
+  }
+}
+
 TEST(TraceIntegrationTest, ExperimentProducesMergedTimeOrderedTrace) {
   ExperimentConfig config;
   config.stack.trace_capacity = 4096;
@@ -76,6 +113,38 @@ TEST(TraceIntegrationTest, ExperimentProducesMergedTimeOrderedTrace) {
   }
   EXPECT_TRUE(saw_copy);
   EXPECT_TRUE(saw_ack_rx);
+}
+
+// Satellite of the obs PR: the merged cluster trace is stable-sorted by
+// (at, host), so records from different hosts at the same instant land
+// in a deterministic order instead of whatever std::sort tie-broke to.
+TEST(TraceIntegrationTest, ClusterMergeOrdersByTimeThenHost) {
+  ExperimentConfig config;
+  config.topology.num_hosts = 3;
+  config.topology.use_switch = true;
+  config.traffic.pattern = Pattern::incast;
+  config.traffic.flows = 4;
+  config.stack.trace_capacity = 4096;
+  config.warmup = 2 * kMillisecond;
+  config.duration = 4 * kMillisecond;
+  const Metrics metrics = run_experiment(config);
+  ASSERT_FALSE(metrics.trace.empty());
+
+  std::set<int> hosts;
+  std::size_t ties = 0;
+  for (std::size_t i = 1; i < metrics.trace.size(); ++i) {
+    const TraceRecord& prev = metrics.trace[i - 1];
+    const TraceRecord& cur = metrics.trace[i];
+    ASSERT_LE(prev.at, cur.at);
+    if (prev.at == cur.at) {
+      ++ties;
+      EXPECT_LE(prev.host, cur.host)
+          << "same-instant records out of host order at " << cur.at;
+    }
+    hosts.insert(cur.host);
+  }
+  EXPECT_GE(hosts.size(), 3u);  // all three hosts contributed
+  EXPECT_GT(ties, 0u);          // the tie-break was actually exercised
 }
 
 TEST(TraceIntegrationTest, TraceOffByDefault) {

@@ -8,9 +8,16 @@
 // overhauls rather than for routine CI, whose one-core runners are too
 // noisy to gate on.
 //
+// --ratio=A/B:MIN gates on two benches *within the same file* — both
+// sides ran on the same machine seconds apart, so the quotient is
+// machine-independent and safe for CI.  The obs layer uses it to hold
+// the armed-but-idle observer overhead under 1%:
+// --ratio=fig05_obs_idle/fig05_end_to_end:0.99.
+//
 //   $ bench_json BENCH_engine.json
 //   $ bench_json BENCH_engine.json --compare=BENCH_baseline.json
 //   $ bench_json BENCH_engine.json --compare=B.json --require=storm_zero_delay:2.0
+//   $ bench_json BENCH_engine.json --ratio=fig05_obs_idle/fig05_end_to_end:0.99
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -105,10 +112,29 @@ int main(int argc, char** argv) {
   std::string path;
   std::string compare_path;
   std::vector<std::pair<std::string, double>> requirements;
+  struct RatioGate {
+    std::string numerator;
+    std::string denominator;
+    double min_ratio;
+  };
+  std::vector<RatioGate> ratio_gates;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--compare=", 0) == 0) {
       compare_path = arg.substr(10);
+    } else if (arg.rfind("--ratio=", 0) == 0) {
+      const std::string spec = arg.substr(8);
+      const std::size_t slash = spec.find('/');
+      const std::size_t colon = spec.rfind(':');
+      if (slash == std::string::npos || colon == std::string::npos ||
+          colon < slash) {
+        std::fprintf(stderr, "--ratio wants A/B:MIN, got '%s'\n",
+                     spec.c_str());
+        return 1;
+      }
+      ratio_gates.push_back({spec.substr(0, slash),
+                             spec.substr(slash + 1, colon - slash - 1),
+                             std::stod(spec.substr(colon + 1))});
     } else if (arg.rfind("--require=", 0) == 0) {
       const std::string spec = arg.substr(10);
       const std::size_t colon = spec.rfind(':');
@@ -124,7 +150,7 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: bench_json FILE [--compare=BASELINE] "
-                   "[--require=NAME:RATIO]\n");
+                   "[--require=NAME:RATIO] [--ratio=A/B:MIN]\n");
       return 1;
     }
   }
@@ -192,6 +218,28 @@ int main(int argc, char** argv) {
     }
     std::printf("  %s: %.2fx >= %.2fx required\n", name.c_str(), it->second,
                 min_ratio);
+  }
+
+  std::map<std::string, double> rates;
+  for (const Bench& bench : *benches) rates[bench.name] = bench.rate;
+  for (const RatioGate& gate : ratio_gates) {
+    const auto num = rates.find(gate.numerator);
+    const auto den = rates.find(gate.denominator);
+    if (num == rates.end() || den == rates.end()) {
+      std::fprintf(stderr, "bench_json: --ratio=%s/%s but bench(es) missing\n",
+                   gate.numerator.c_str(), gate.denominator.c_str());
+      return 2;
+    }
+    const double ratio = num->second / den->second;
+    if (ratio < gate.min_ratio) {
+      std::fprintf(stderr,
+                   "bench_json: %s/%s ratio %.4f below required %.4f\n",
+                   gate.numerator.c_str(), gate.denominator.c_str(), ratio,
+                   gate.min_ratio);
+      return 2;
+    }
+    std::printf("  %s/%s: %.4f >= %.4f required\n", gate.numerator.c_str(),
+                gate.denominator.c_str(), ratio, gate.min_ratio);
   }
   return 0;
 }

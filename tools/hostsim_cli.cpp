@@ -75,6 +75,13 @@ run:
   --breakdown         also print the Table-1 CPU breakdowns
   --trace=N           dump the last N flight-recorder events as CSV
   --help
+
+observability:
+  --obs-spans=RATE    sample RATE of payload frames into pipeline spans
+                      (0..1; deterministic in the seed)
+  --obs-sample-us=N   time-series sampler period in microseconds
+  --obs-out=DIR       write DIR/obs.trace.json (Perfetto / chrome://tracing)
+                      and DIR/obs.timeseries.csv
 )");
   std::exit(exit_code);
 }
@@ -262,6 +269,13 @@ int main(int argc, char** argv) {
     } else if (auto v = flag_value(arg, "--trace")) {
       config.stack.trace_capacity =
           static_cast<std::size_t>(parse_long(*v, "--trace"));
+    } else if (auto v = flag_value(arg, "--obs-spans")) {
+      config.obs.span_rate = parse_double(*v, "--obs-spans");
+    } else if (auto v = flag_value(arg, "--obs-sample-us")) {
+      config.obs.sample_period =
+          parse_long(*v, "--obs-sample-us") * kMicrosecond;
+    } else if (auto v = flag_value(arg, "--obs-out")) {
+      config.obs.out_dir = std::string(*v);
     } else {
       std::fprintf(stderr, "unknown flag '%s'\n", argv[i]);
       usage(2);
@@ -305,6 +319,12 @@ int main(int argc, char** argv) {
   }
   print_fault_summary(metrics);
   print_cluster_summary(metrics);
+  print_obs_summary(metrics);
+  if (!config.obs.out_dir.empty()) {
+    std::printf("obs artifacts: %s/%s.trace.json, %s/%s.timeseries.csv\n",
+                config.obs.out_dir.c_str(), config.obs.out_stem.c_str(),
+                config.obs.out_dir.c_str(), config.obs.out_stem.c_str());
+  }
   if (!metrics.trace.empty()) {
     print_section("flight recorder (newest events)");
     std::printf("time_ns,kind,host,flow,a,b\n");

@@ -51,6 +51,11 @@ run options:
   --baseline=FILE     gate the run against FILE after writing artifacts
   --write-baseline=DIR    also copy the artifact JSON to DIR/<campaign>.json
   --quiet             no per-point progress lines
+  --obs-spans=RATE    pipeline-span sampling for simulated points (0..1)
+  --obs-sample-us=N   time-series sampler period in microseconds
+  --obs-out=DIR       per-point Perfetto JSON + time-series CSV under
+                      DIR/<campaign>/<config-hash>.* (cache-served
+                      points write nothing; obs never enters cache keys)
 
 gate options (also apply to run --baseline):
   --rel=R             default relative tolerance (default: 0 — exact,
@@ -124,6 +129,7 @@ struct RunArgs {
   std::string out_dir = "artifacts";
   std::string baseline_path;
   std::string write_baseline_path;
+  std::string obs_out;  ///< base dir for per-point obs artifacts
   bool quiet = false;
 };
 
@@ -167,6 +173,14 @@ int cmd_run(const std::vector<std::string_view>& args) {
       run.baseline_path = std::string(*v);
     } else if (auto v = flag_value(arg, "--write-baseline")) {
       run.write_baseline_path = std::string(*v);
+    } else if (auto v = flag_value(arg, "--obs-spans")) {
+      run.runner.obs.span_rate = parse_double(*v, "--obs-spans");
+    } else if (auto v = flag_value(arg, "--obs-sample-us")) {
+      run.runner.obs.sample_period =
+          static_cast<Nanos>(parse_double(*v, "--obs-sample-us")) *
+          kMicrosecond;
+    } else if (auto v = flag_value(arg, "--obs-out")) {
+      run.obs_out = std::string(*v);
     } else if (parse_gate_flag(arg, &run.gate)) {
       // handled
     } else if (!arg.empty() && arg[0] == '-') {
@@ -209,8 +223,13 @@ int cmd_run(const std::vector<std::string_view>& args) {
     print_section(campaign.name + " (" + std::to_string(campaign.num_points()) +
                   " points, jobs=" +
                   std::to_string(sweep::resolve_jobs(run.runner.jobs)) + ")");
+    sweep::RunnerOptions options = run.runner;
+    if (!run.obs_out.empty()) {
+      options.obs.out_dir =
+          (std::filesystem::path(run.obs_out) / campaign.name).string();
+    }
     const sweep::CampaignResult result =
-        sweep::run_campaign(campaign, run.runner);
+        sweep::run_campaign(campaign, options);
     print_campaign_table(result);
     std::printf("  cache: %zu hit(s), %zu simulated\n", result.cache_hits,
                 result.simulated);
