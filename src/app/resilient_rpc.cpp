@@ -1,0 +1,146 @@
+#include "app/resilient_rpc.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/contract.h"
+
+namespace hostsim {
+
+ResilientRpcClient::ResilientRpcClient(Core& core, TcpSocket& socket,
+                                       Bytes rpc_size,
+                                       const RpcResilienceConfig& policy,
+                                       Rng rng, ReconnectFn reconnect)
+    : socket_(&socket),
+      rpc_size_(rpc_size),
+      policy_(policy),
+      rng_(rng),
+      reconnect_(std::move(reconnect)),
+      thread_(core, "rpc-client"),
+      deadline_timer_(core.loop(), [this] { on_deadline(); }),
+      backoff_timer_(core.loop(), [this] {
+        waiting_backoff_ = false;
+        thread_.notify();
+      }) {
+  require(policy_.deadline > 0, "resilient client needs a deadline");
+  require(policy_.max_retries >= 0, "retry budget must be non-negative");
+  require(static_cast<bool>(reconnect_), "resilient client needs reconnect");
+  bind_socket();
+  thread_.set_body(
+      [this](Core& c, Thread& thread) { run_quantum(c, thread); });
+}
+
+void ResilientRpcClient::bind_socket() {
+  socket_->set_rx_waiter(&thread_);
+  socket_->set_tx_waiter(&thread_);
+  socket_->set_error_callback([this](SocketError error) {
+    if (handling_failure_) return;  // a teardown we initiated ourselves
+    conn_error_ = error;
+    failure_pending_ = true;
+    thread_.notify();
+  });
+}
+
+void ResilientRpcClient::on_deadline() {
+  if (response_pending_ == 0) return;  // the response landed in time
+  failure_pending_ = true;
+  thread_.notify();
+}
+
+void ResilientRpcClient::run_quantum(Core& c, Thread& thread) {
+  if (waiting_backoff_) {
+    // Spurious wakeup (e.g. late data on the old connection's waiters)
+    // while backing off: stay blocked until the timer fires.
+    thread.finish_quantum(/*more_work=*/false);
+    return;
+  }
+  if (failure_pending_) {
+    failure_pending_ = false;
+    thread.finish_quantum(handle_failure(c));
+    return;
+  }
+  // Finish sending a partially accepted request first.
+  if (request_pending_ > 0) {
+    request_pending_ -= socket_->send(c, request_pending_);
+    thread.finish_quantum(/*more_work=*/false);
+    return;
+  }
+  if (response_pending_ == 0) {
+    // Issue the next attempt (a fresh request when attempt_ is 0).
+    if (attempt_ == 0) first_issued_at_ = c.loop().now();
+    ++attempt_;
+    response_pending_ = rpc_size_;
+    request_pending_ = rpc_size_ - socket_->send(c, rpc_size_);
+    deadline_timer_.arm_after(policy_.deadline);
+    thread.finish_quantum(/*more_work=*/false);
+    return;
+  }
+  const Bytes copied = socket_->recv(c, response_pending_);
+  response_pending_ -= std::min(copied, response_pending_);
+  if (response_pending_ == 0) {
+    deadline_timer_.cancel();
+    ++counters_.completed;
+    latency_.record(c.loop().now() - first_issued_at_);
+    attempt_ = 0;
+    consecutive_failures_ = 0;  // closes a half-open breaker
+    // Ping-pong: immediately send the next request.
+    thread.finish_quantum(/*more_work=*/true);
+  } else {
+    thread.finish_quantum(/*more_work=*/socket_->readable() > 0);
+  }
+}
+
+bool ResilientRpcClient::handle_failure(Core& c) {
+  deadline_timer_.cancel();
+  if (conn_error_ == SocketError::econnreset) {
+    ++counters_.resets;
+  } else {
+    ++counters_.timeouts;  // deadline expiry or an ETIMEDOUT abort
+  }
+  conn_error_ = SocketError::none;
+  ++consecutive_failures_;
+
+  // The outstanding request cannot be salvaged: retrying over the same
+  // byte stream would desynchronize the echo framing, so every failed
+  // attempt reconnects (fresh flow id, server rebound by the hook).
+  handling_failure_ = true;
+  socket_ = reconnect_(c, socket_->flow());
+  handling_failure_ = false;
+  require(socket_ != nullptr, "reconnect must produce a socket");
+  ++counters_.reconnects;
+  bind_socket();
+  response_pending_ = 0;
+  request_pending_ = 0;
+
+  const bool budget_spent = attempt_ > policy_.max_retries;
+  if (budget_spent) {
+    ++counters_.failed;
+    attempt_ = 0;  // give up; the next quantum issues a fresh request
+  } else {
+    ++counters_.retries;
+  }
+
+  Nanos delay = 0;
+  if (policy_.breaker_threshold > 0 &&
+      consecutive_failures_ >= policy_.breaker_threshold) {
+    // Open (or re-open after a failed half-open probe): shed load for
+    // the cooldown, then let a single probe through.
+    ++counters_.breaker_opens;
+    delay = policy_.breaker_cooldown;
+  } else if (!budget_spent) {
+    const int exponent = std::min(attempt_ - 1, 20);
+    const Nanos backoff = std::min<Nanos>(policy_.backoff_base << exponent,
+                                          policy_.backoff_cap);
+    delay = backoff +
+            static_cast<Nanos>(policy_.jitter * static_cast<double>(backoff) *
+                               rng_.next_double());
+  }
+  if (delay > 0) {
+    waiting_backoff_ = true;
+    backoff_timer_.arm_after(delay);
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hostsim

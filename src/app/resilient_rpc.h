@@ -1,0 +1,95 @@
+// Resilient RPC client: an RpcClient wrapped with per-request deadlines,
+// a bounded retry budget with exponential backoff + deterministic
+// jitter, connection recovery through a reconnect hook, and a circuit
+// breaker that sheds load after consecutive failures.
+//
+// Failure handling is connection-granular: a byte stream offers no
+// request framing to cancel or dedup an outstanding request, so every
+// failed attempt tears the connection down and retries over a fresh one
+// (fresh flow id — stale in-flight frames answer with RSTs instead of
+// corrupting the new connection's sequence space).
+#ifndef HOSTSIM_APP_RESILIENT_RPC_H
+#define HOSTSIM_APP_RESILIENT_RPC_H
+
+#include <cstdint>
+#include <functional>
+
+#include "app/rpc_resilience.h"
+#include "cpu/scheduler.h"
+#include "net/tcp_socket.h"
+#include "sim/rng.h"
+#include "sim/timer.h"
+
+namespace hostsim {
+
+class ResilientRpcClient {
+ public:
+  struct Counters {
+    std::uint64_t completed = 0;
+    std::uint64_t retries = 0;        ///< re-issued attempts
+    std::uint64_t timeouts = 0;       ///< deadline expiries + ETIMEDOUT
+    std::uint64_t resets = 0;         ///< ECONNRESET failures
+    std::uint64_t failed = 0;         ///< permanent failures (budget spent)
+    std::uint64_t breaker_opens = 0;  ///< cooldowns entered
+    std::uint64_t reconnects = 0;     ///< fresh connections established
+  };
+
+  /// Replaces the dead connection with a fresh one between the same
+  /// endpoints and returns the new local socket.  The workload builder
+  /// wraps Cluster::reconnect_flow here and rebinds the peer RpcServer.
+  using ReconnectFn = std::function<TcpSocket*(Core&, int old_flow)>;
+
+  /// `rng` should be forked from the loop's root generator at build time
+  /// (after cluster construction, so fault/wire streams are untouched);
+  /// it only feeds backoff jitter, keeping runs seed-deterministic.
+  ResilientRpcClient(Core& core, TcpSocket& socket, Bytes rpc_size,
+                     const RpcResilienceConfig& policy, Rng rng,
+                     ReconnectFn reconnect);
+
+  /// Issues the first request.
+  void start() { thread_.notify(); }
+
+  Thread& thread() { return thread_; }
+  const Counters& counters() const { return counters_; }
+  std::uint64_t completed() const { return counters_.completed; }
+
+  /// Per-transaction latency (first issue -> response fully read, so a
+  /// retried request's latency includes its backoff waits).
+  const Histogram& latency() const { return latency_; }
+  void reset_latency() { latency_.clear(); }
+
+ private:
+  void bind_socket();
+  void run_quantum(Core& core, Thread& thread);
+  /// Accounts one failed attempt, reconnects, and schedules the next
+  /// move; returns true when the thread should continue immediately
+  /// (no backoff), false when the backoff timer will wake it.
+  bool handle_failure(Core& core);
+  void on_deadline();
+
+  TcpSocket* socket_;
+  Bytes rpc_size_;
+  RpcResilienceConfig policy_;
+  Rng rng_;
+  ReconnectFn reconnect_;
+  Thread thread_;
+  Timer deadline_timer_;
+  Timer backoff_timer_;
+
+  Bytes response_pending_ = 0;  ///< response bytes still expected
+  Bytes request_pending_ = 0;   ///< request bytes not yet accepted
+  Nanos first_issued_at_ = 0;   ///< first attempt of the current request
+  int attempt_ = 0;             ///< attempts so far for the current request
+  int consecutive_failures_ = 0;
+  bool failure_pending_ = false;   ///< deadline/error awaiting handling
+  bool waiting_backoff_ = false;   ///< blocked until the backoff timer
+  bool handling_failure_ = false;  ///< suppress self-inflicted errors
+  SocketError conn_error_ = SocketError::none;
+
+  Counters counters_;
+  Histogram latency_;
+};
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_APP_RESILIENT_RPC_H

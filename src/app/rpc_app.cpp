@@ -36,6 +36,14 @@ RpcClient::RpcClient(Core& core, TcpSocket& socket, Bytes rpc_size)
   });
 }
 
+void RpcServer::rebind(TcpSocket& socket) {
+  socket_ = &socket;
+  socket_->set_rx_waiter(&thread_);
+  socket_->set_tx_waiter(&thread_);
+  request_received_ = 0;
+  response_pending_ = 0;
+}
+
 RpcServer::RpcServer(Core& core, TcpSocket& socket, Bytes rpc_size)
     : socket_(&socket), rpc_size_(rpc_size), thread_(core, "rpc-server") {
   socket_->set_rx_waiter(&thread_);

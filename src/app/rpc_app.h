@@ -53,6 +53,11 @@ class RpcServer {
   Thread& thread() { return thread_; }
   std::uint64_t served() const { return served_; }
 
+  /// Rebinds the server to a fresh connection after a client reconnect:
+  /// the old socket is gone, and any partially received request or
+  /// partially sent response died with it.
+  void rebind(TcpSocket& socket);
+
  private:
   TcpSocket* socket_;
   Bytes rpc_size_;

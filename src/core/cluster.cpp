@@ -13,12 +13,15 @@ namespace {
 std::optional<std::string> check_flow_bytes(const std::string& label,
                                             const TcpSocket& s,
                                             const TcpSocket& r) {
-  const std::int64_t accounted =
-      static_cast<std::int64_t>(r.delivered_to_app() + r.rq_bytes());
+  // rcv_nxt-covered bytes are delivered, still queued, or — when a fault
+  // or RST tore the socket down — accounted as destroyed by abort().
+  const std::int64_t accounted = static_cast<std::int64_t>(
+      r.delivered_to_app() + r.rq_bytes() + r.destroyed_rx_bytes());
   if (accounted != r.rcv_nxt()) {
     return label + ": delivered_to_app (" +
            std::to_string(r.delivered_to_app()) + ") + rq_bytes (" +
-           std::to_string(r.rq_bytes()) + ") != rcv_nxt (" +
+           std::to_string(r.rq_bytes()) + ") + destroyed_rx (" +
+           std::to_string(r.destroyed_rx_bytes()) + ") != rcv_nxt (" +
            std::to_string(r.rcv_nxt()) + ") — bytes created or destroyed";
   }
   if (s.snd_una() > r.rcv_nxt()) {
@@ -69,9 +72,26 @@ std::optional<std::string> check_host_pages(Host& host) {
   return std::nullopt;
 }
 
+/// A dead socket must have a disposition: either a fault killed it, or
+/// the application observed the error through the callback.  A socket
+/// that died unreported is a hang the app could never have noticed.
+std::optional<std::string> check_host_disposition(Host& host) {
+  for (int flow : host.stack().flow_ids()) {
+    const TcpSocket& socket = host.stack().socket(flow);
+    if (!socket.dead()) continue;
+    if (socket.killed_by_fault() || socket.error_reported()) continue;
+    return host.name() + " flow " + std::to_string(flow) + ": socket died (" +
+           std::string(to_string(socket.error())) +
+           ") neither killed by a fault nor reported to the application" +
+           " — the app would hang without ever observing the failure";
+  }
+  return std::nullopt;
+}
+
 std::optional<std::string> check_host_rto(Host& host) {
   for (int flow : host.stack().flow_ids()) {
     const TcpSocket& socket = host.stack().socket(flow);
+    if (socket.dead()) continue;  // terminally failed, never progresses
     if (socket.snd_una() >= socket.snd_buf_end()) continue;  // all acked
     if (socket.rto_armed() || socket.rto_task_pending() ||
         socket.pacer_armed()) {
@@ -193,7 +213,32 @@ void Cluster::build_degenerate() {
     links_[0]->set_fault_injector(faults_.get());
     hosts_[0]->nic().set_fault_injector(faults_.get());
     hosts_[1]->nic().set_fault_injector(faults_.get());
+    register_crash_handler();
   }
+}
+
+void Cluster::register_crash_handler() {
+  if (config_.faults.host_crashes.empty()) return;
+  faults_->set_crash_handler([this](int crashed, bool up) {
+    if (up) return;  // restart: fresh sockets arrive via app reconnects
+    require(crashed >= 0 && crashed < num_hosts(),
+            "crash fault names a host outside the cluster");
+    Host& victim = host(crashed);
+    Stack& stack = victim.stack();
+    for (int flow : stack.flow_ids()) {
+      TcpSocket& socket = stack.socket(flow);
+      if (socket.dead()) continue;
+      // Teardown runs as a task on the socket's app core: page releases
+      // must charge in proper task context on the owning host.
+      victim.core(socket.app_core())
+          .post(fault_ctx_, [&stack, flow](Core& core) {
+            if (TcpSocket* live = stack.find_socket(flow)) {
+              live->abort(core, SocketError::econnreset,
+                          /*killed_by_fault=*/true);
+            }
+          });
+    }
+  });
 }
 
 void Cluster::build_cluster() {
@@ -244,6 +289,7 @@ void Cluster::build_cluster() {
     for (auto& link : links_) link->set_fault_injector(faults_.get());
     fabric_->set_fault_injector(faults_.get());
     for (auto& host : hosts_) host->nic().set_fault_injector(faults_.get());
+    register_crash_handler();
   }
 }
 
@@ -260,6 +306,7 @@ bool Cluster::transfers_outstanding() const {
   for (const auto& host : hosts_) {
     for (int flow : host->stack().flow_ids()) {
       const TcpSocket& socket = host->stack().socket(flow);
+      if (socket.dead()) continue;  // buffered bytes died with the socket
       if (socket.snd_una() < socket.snd_buf_end()) return true;
     }
   }
@@ -277,19 +324,33 @@ void Cluster::register_invariants(InvariantChecker& checker) {
   checker.add_check("byte-conservation", [this]() -> std::optional<std::string> {
     for (int flow = 0; flow < next_flow_; ++flow) {
       const FlowRoute& route = routes_[static_cast<std::size_t>(flow)];
-      const TcpSocket& at_sender =
-          host(route.src_host).stack().socket(flow);
-      const TcpSocket& at_receiver =
-          host(route.dst_host).stack().socket(flow);
+      const TcpSocket* at_sender =
+          host(route.src_host).stack().find_socket(flow);
+      const TcpSocket* at_receiver =
+          host(route.dst_host).stack().find_socket(flow);
+      if (at_sender == nullptr || at_receiver == nullptr) {
+        // A reconnect destroyed at least one endpoint; the destroyed
+        // bytes were accounted through note_socket_abort() already, and
+        // cross-checking against a gone peer is meaningless.
+        continue;
+      }
       const std::string flow_label = "flow " + std::to_string(flow);
       if (auto bad = check_flow_bytes(flow_label + " sender->receiver",
-                                      at_sender, at_receiver)) {
+                                      *at_sender, *at_receiver)) {
         return bad;
       }
       if (auto bad = check_flow_bytes(flow_label + " receiver->sender",
-                                      at_receiver, at_sender)) {
+                                      *at_receiver, *at_sender)) {
         return bad;
       }
+    }
+    return std::nullopt;
+  });
+
+  checker.add_check("fault-disposition",
+                    [this]() -> std::optional<std::string> {
+    for (auto& host : hosts_) {
+      if (auto bad = check_host_disposition(*host)) return bad;
     }
     return std::nullopt;
   });
@@ -333,7 +394,7 @@ Cluster::FlowEndpoints Cluster::make_flow(FlowEndpoint src, FlowEndpoint dst,
   const int flow = next_flow_++;
   Host& src_host = host(src.host);
   Host& dst_host = host(dst.host);
-  routes_.push_back(FlowRoute{src.host, dst.host});
+  routes_.push_back(FlowRoute{src.host, dst.host, src.core, dst.core});
 
   FlowEndpoints endpoints;
   endpoints.at_sender = &src_host.stack().create_socket(flow, src.core);
@@ -363,18 +424,53 @@ Cluster::FlowEndpoints Cluster::make_flow(FlowEndpoint src, FlowEndpoint dst,
   if (obs_ != nullptr) {
     obs::Registry& registry = obs_->registry();
     const std::string prefix = "flow" + std::to_string(flow);
-    TcpSocket* at_sender = endpoints.at_sender;
-    registry.gauge(prefix + ".cwnd_bytes", [at_sender] {
-      return static_cast<double>(at_sender->congestion().cwnd());
+    // Resolved per sample: the socket can be destroyed mid-run by a
+    // reconnect, after which the gauge reads 0 instead of dangling.
+    Stack* src_stack = &src_host.stack();
+    registry.gauge(prefix + ".cwnd_bytes", [src_stack, flow] {
+      const TcpSocket* s = src_stack->find_socket(flow);
+      return s != nullptr ? static_cast<double>(s->congestion().cwnd()) : 0.0;
     });
-    registry.gauge(prefix + ".srtt_ns", [at_sender] {
-      return static_cast<double>(at_sender->srtt());
+    registry.gauge(prefix + ".srtt_ns", [src_stack, flow] {
+      const TcpSocket* s = src_stack->find_socket(flow);
+      return s != nullptr ? static_cast<double>(s->srtt()) : 0.0;
     });
-    registry.gauge(prefix + ".inflight_bytes", [at_sender] {
-      return static_cast<double>(at_sender->inflight());
+    registry.gauge(prefix + ".inflight_bytes", [src_stack, flow] {
+      const TcpSocket* s = src_stack->find_socket(flow);
+      return s != nullptr ? static_cast<double>(s->inflight()) : 0.0;
     });
   }
   return endpoints;
+}
+
+Cluster::FlowEndpoints Cluster::reconnect_flow(Core& core, int flow) {
+  require(!config_.stack.receiver_driven,
+          "reconnect unsupported in receiver-driven mode");
+  require(flow >= 0 && flow < next_flow_, "reconnecting an unknown flow");
+  const FlowRoute route = routes_[static_cast<std::size_t>(flow)];
+
+  // Local end: the caller runs in a task on the source app core, so the
+  // teardown's page releases charge right here.
+  Stack& src_stack = host(route.src_host).stack();
+  if (TcpSocket* old_src = src_stack.find_socket(flow)) {
+    old_src->abort(core, SocketError::econnreset);
+    src_stack.destroy_socket(flow);
+  }
+  // Remote end: abort + remove in a task on its own host's core.  Data
+  // still in flight for the old id finds no socket and draws an RST —
+  // harmless, the local end is already gone.
+  Stack& dst_stack = host(route.dst_host).stack();
+  host(route.dst_host)
+      .core(route.dst_core)
+      .post(fault_ctx_, [&dst_stack, flow](Core& remote) {
+        if (TcpSocket* old_dst = dst_stack.find_socket(flow)) {
+          old_dst->abort(remote, SocketError::econnreset);
+          dst_stack.destroy_socket(flow);
+        }
+      });
+
+  return make_flow(FlowEndpoint{route.src_host, route.src_core},
+                   FlowEndpoint{route.dst_host, route.dst_core});
 }
 
 }  // namespace hostsim

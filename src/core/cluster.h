@@ -102,10 +102,14 @@ class Cluster {
     TcpSocket* at_receiver;
   };
 
-  /// Which hosts a flow connects (src sends data toward dst).
+  /// Which hosts a flow connects (src sends data toward dst), and the
+  /// application core pinned at each end (needed to address teardown
+  /// and reconnect tasks to the right core).
   struct FlowRoute {
     int src_host = 0;
     int dst_host = 1;
+    int src_core = 0;
+    int dst_core = 0;
   };
 
   /// Creates both endpoints of a flow between two (host, core) points
@@ -130,6 +134,16 @@ class Cluster {
     return routes_.at(static_cast<std::size_t>(flow));
   }
 
+  /// Replaces a dead connection with a fresh one between the same
+  /// endpoints, under a *new* flow id — stale in-flight frames for the
+  /// old id must not corrupt the new connection's sequence space (they
+  /// are answered with RSTs / dropped instead).  The old sockets are
+  /// aborted (if still live) and removed from both socket tables: the
+  /// local end synchronously (the caller runs in a task on the source
+  /// app core, passed as `core`), the remote end via a posted task.
+  /// Not supported in receiver-driven mode.
+  FlowEndpoints reconnect_flow(Core& core, int flow);
+
   /// In-network drops across every link plus the switch (degenerate
   /// topology: the single wire's Bernoulli/GE drops, as before).
   std::uint64_t total_wire_drops() const;
@@ -137,6 +151,10 @@ class Cluster {
  private:
   void build_degenerate();
   void build_cluster();
+  /// Hooks the fault injector's crash notifications: when a host goes
+  /// dark, every live socket on it is aborted (killed_by_fault) in a
+  /// task on its app core, so page releases charge in proper context.
+  void register_crash_handler();
   /// Attaches the observer to every host's NIC/stack and registers the
   /// per-host and fabric gauges (per-flow gauges join in make_flow()).
   void wire_observer();
@@ -153,6 +171,7 @@ class Cluster {
   // Shared across hosts so each RSS-explicit flow claims a unique
   // NIC-remote core index, exactly as the legacy two-server testbed did.
   int next_remote_irq_ = 0;
+  Context fault_ctx_{"fault-teardown", /*kernel=*/true};
 };
 
 }  // namespace hostsim

@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <string>
 
+#include "app/rpc_resilience.h"
 #include "cpu/cost_model.h"
 #include "hw/llc_model.h"
 #include "hw/nic.h"
@@ -65,6 +66,11 @@ struct StackConfig {
   Bytes tcp_rx_buf_max = 6400 * kKiB;  ///< autotune cap (tcp_rmem[2])
   Bytes tcp_tx_buf = 4 * kMiB;
 
+  /// Consecutive RTO expirations before a connection is declared dead
+  /// with ETIMEDOUT (Linux tcp_retries2 analogue); 0 probes forever.
+  /// Serialized only when non-default, so legacy config hashes hold.
+  int max_consecutive_rtos = 8;
+
   Bytes mtu_payload() const { return jumbo ? 9000 : 1500; }
 
   SegmentationMode segmentation() const {
@@ -122,6 +128,10 @@ struct TrafficConfig {
   /// Sender-side write size (iPerf-style large writes; the tx path has
   /// no preemption-sensitive batching).
   Bytes sender_chunk = 128 * kKiB;
+  /// Resilient-RPC policy for the rpc patterns (deadlines, retries,
+  /// circuit breaker).  Disabled by default; serialized only when
+  /// enabled, so legacy config hashes hold.
+  RpcResilienceConfig resilience;
 };
 
 /// Cluster topology.  The default (2 hosts, no switch) is the paper's

@@ -81,6 +81,29 @@ Metrics Experiment::run() {
     testbed.observer()->start_sampler();
   }
 
+  // Chaos/recovery instrumentation: fixed goodput slices sampled across
+  // the whole run, from which time-to-recover is computed after the
+  // fact.  The sampler events are read-only (no RNG, no state), so
+  // enabling them cannot perturb the datapath schedule.
+  const bool wants_recovery = !config_.faults.host_crashes.empty() ||
+                              !config_.faults.port_blackholes.empty() ||
+                              config_.traffic.resilience.enabled;
+  constexpr Nanos kGoodputSlice = 250 * kMicrosecond;
+  struct GoodputSlice {
+    Nanos end = 0;
+    std::uint64_t delivered = 0;  ///< cumulative app bytes at slice end
+  };
+  std::vector<GoodputSlice> slices;
+  if (wants_recovery) {
+    const Nanos end_time = config_.warmup + config_.duration;
+    slices.reserve(static_cast<std::size_t>(end_time / kGoodputSlice) + 1);
+    for (Nanos t = kGoodputSlice; t <= end_time; t += kGoodputSlice) {
+      testbed.loop().schedule_at(t, [&testbed, &slices, t] {
+        slices.push_back({t, testbed.app_progress()});
+      });
+    }
+  }
+
   Watchdog watchdog(testbed.loop(), config_.watchdog);
   if (config_.watchdog.enabled()) {
     watchdog.set_progress_probe([&testbed] { return testbed.app_progress(); });
@@ -220,18 +243,24 @@ Metrics Experiment::run() {
         before[static_cast<std::size_t>(route.src_host)];
     Metrics::FlowMetrics fm;
     fm.flow = flow;
+    // A reconnect destroys both sockets of the old flow mid-run; its
+    // metrics row then reports only what it delivered while alive
+    // (nothing if it died before the window, since the counters are
+    // gone with the socket).
     auto before_it = dst_before.per_flow_delivered.find(flow);
     const Bytes rcv_before =
         before_it != dst_before.per_flow_delivered.end() ? before_it->second
                                                          : 0;
-    fm.delivered =
-        testbed.host(route.dst_host).stack().socket(flow).delivered_to_app() -
-        rcv_before;
+    if (const TcpSocket* rx_socket =
+            testbed.host(route.dst_host).stack().find_socket(flow)) {
+      fm.delivered = rx_socket->delivered_to_app() - rcv_before;
+    }
     auto snd_it = src_before.per_flow_delivered.find(flow);
     if (snd_it != src_before.per_flow_delivered.end()) {
-      fm.delivered +=
-          testbed.host(route.src_host).stack().socket(flow).delivered_to_app() -
-          snd_it->second;
+      if (const TcpSocket* tx_socket =
+              testbed.host(route.src_host).stack().find_socket(flow)) {
+        fm.delivered += tx_socket->delivered_to_app() - snd_it->second;
+      }
     }
     fm.gbps = to_gbps(fm.delivered, metrics.window);
     metrics.flows.push_back(fm);
@@ -288,6 +317,75 @@ Metrics Experiment::run() {
   metrics.rx_csum_drops = 0;
   for (int h = 0; h < num_hosts; ++h) {
     metrics.rx_csum_drops += testbed.host(h).stack().stats().rx_csum_drops;
+  }
+
+  if (wants_recovery) {
+    metrics.has_recovery = true;
+    // Fault window bounds: recovery is measured from the instant the
+    // last crash/blackhole window closes.
+    Nanos first_fault = -1;
+    Nanos fault_end = -1;
+    for (const HostCrash& crash : config_.faults.host_crashes) {
+      if (first_fault < 0 || crash.at < first_fault) first_fault = crash.at;
+      fault_end = std::max(fault_end, crash.at + crash.down_for);
+    }
+    for (const PortBlackhole& hole : config_.faults.port_blackholes) {
+      if (first_fault < 0 || hole.at < first_fault) first_fault = hole.at;
+      fault_end = std::max(fault_end, hole.at + hole.duration);
+    }
+    if (first_fault >= 0 && !slices.empty()) {
+      // Reference rate: goodput over the (up to) 2ms of slices ending
+      // at or before the first fault window opens.
+      constexpr Nanos kPreFaultSpan = 2 * kMillisecond;
+      int pre_end = -1;
+      for (std::size_t i = 0; i < slices.size(); ++i) {
+        if (slices[i].end > first_fault) break;
+        pre_end = static_cast<int>(i);
+      }
+      if (pre_end >= 0) {
+        const int span_slices = std::min<int>(
+            pre_end + 1, static_cast<int>(kPreFaultSpan / kGoodputSlice));
+        const int pre_start = pre_end - span_slices;  // -1: from time zero
+        const Nanos start_t = pre_start >= 0 ? slices[static_cast<std::size_t>(
+                                                          pre_start)].end
+                                             : 0;
+        const std::uint64_t start_bytes =
+            pre_start >= 0
+                ? slices[static_cast<std::size_t>(pre_start)].delivered
+                : 0;
+        const GoodputSlice& last = slices[static_cast<std::size_t>(pre_end)];
+        if (last.end > start_t) {
+          metrics.recovery.pre_fault_gbps =
+              to_gbps(static_cast<Bytes>(last.delivered - start_bytes),
+                      last.end - start_t);
+        }
+      }
+      // First slice that lies entirely after the fault window and moves
+      // bytes at >= 90% of the pre-fault rate.
+      const double target = 0.9 * metrics.recovery.pre_fault_gbps;
+      for (std::size_t i = 1; i < slices.size(); ++i) {
+        if (slices[i - 1].end < fault_end) continue;
+        const double rate = to_gbps(
+            static_cast<Bytes>(slices[i].delivered - slices[i - 1].delivered),
+            kGoodputSlice);
+        if (rate >= target) {
+          metrics.recovery.time_to_recover = slices[i].end - fault_end;
+          break;
+        }
+      }
+    }
+    const ResilientRpcClient::Counters totals = workload.rpc_recovery_totals();
+    metrics.recovery.rpc_retries = totals.retries;
+    metrics.recovery.rpc_timeouts = totals.timeouts;
+    metrics.recovery.rpc_resets = totals.resets;
+    metrics.recovery.rpc_failed = totals.failed;
+    metrics.recovery.breaker_opens = totals.breaker_opens;
+    metrics.recovery.reconnects = totals.reconnects;
+    for (int h = 0; h < num_hosts; ++h) {
+      const Stack& stack = testbed.host(h).stack();
+      metrics.recovery.sockets_killed += stack.sockets_aborted();
+      metrics.recovery.bytes_destroyed += stack.bytes_destroyed();
+    }
   }
 
   if (obs::Observer* o = testbed.observer()) {

@@ -23,6 +23,7 @@ StackOptions stack_options(const ExperimentConfig& config, int host_id) {
   options.rcv_buf_max = config.stack.tcp_rx_buf_max;
   options.snd_buf = config.stack.tcp_tx_buf;
   options.cc = config.stack.cc;
+  options.max_consecutive_rtos = config.stack.max_consecutive_rtos;
   return options;
 }
 

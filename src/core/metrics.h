@@ -118,6 +118,29 @@ struct Metrics {
   bool has_fabric = false;
   FabricMetrics fabric;
 
+  // Chaos/recovery rollup; `has_recovery` is set only when the run had a
+  // crash/blackhole fault window or resilient RPC clients, so every
+  // legacy configuration keeps its metrics JSON byte-for-byte.
+  struct RecoveryMetrics {
+    /// First instant after the last fault window ends at which a goodput
+    /// slice reaches 90% of the pre-fault rate, measured from the end of
+    /// that window; -1 when goodput never recovered within the run.
+    Nanos time_to_recover = -1;
+    /// Goodput over the ~2ms of slices preceding the first fault window
+    /// (the recovery reference rate).
+    double pre_fault_gbps = 0.0;
+    std::uint64_t rpc_retries = 0;
+    std::uint64_t rpc_timeouts = 0;       ///< deadline expirations
+    std::uint64_t rpc_resets = 0;         ///< connection-reset failures
+    std::uint64_t rpc_failed = 0;         ///< requests past their retry budget
+    std::uint64_t breaker_opens = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t sockets_killed = 0;     ///< sockets aborted, all hosts
+    Bytes bytes_destroyed = 0;            ///< rx bytes destroyed by aborts
+  };
+  bool has_recovery = false;
+  RecoveryMetrics recovery;
+
   /// Merged flight-recorder trace from both hosts (empty unless
   /// StackConfig::trace_capacity was set), time-ordered.
   std::vector<TraceRecord> trace;

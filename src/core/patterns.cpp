@@ -37,6 +37,31 @@ void add_cluster_flow(Cluster& cluster, Workload& workload,
       traffic.app_chunk));
 }
 
+/// Builds the client end of one RPC connection: a plain ping-pong client
+/// or — when traffic.resilience is enabled — a resilient client whose
+/// reconnect hook replaces the flow and rebinds the paired server.  The
+/// jitter RNG forks from the loop's root generator here, *after* cluster
+/// construction, so fault/wire stream assignments are untouched (and no
+/// fork at all happens for non-resilient workloads).
+void add_rpc_client(Cluster& cluster, Workload& workload,
+                    const TrafficConfig& traffic, Core& client_core,
+                    TcpSocket& at_sender, RpcServer* server) {
+  if (!traffic.resilience.enabled) {
+    workload.rpc_clients.push_back(std::make_unique<RpcClient>(
+        client_core, at_sender, traffic.rpc_size));
+    return;
+  }
+  Cluster* cl = &cluster;
+  auto reconnect = [cl, server](Core& core, int old_flow) {
+    Cluster::FlowEndpoints fresh = cl->reconnect_flow(core, old_flow);
+    server->rebind(*fresh.at_receiver);
+    return fresh.at_sender;
+  };
+  workload.resilient_clients.push_back(std::make_unique<ResilientRpcClient>(
+      client_core, at_sender, traffic.rpc_size, traffic.resilience,
+      cluster.loop().rng().fork(), std::move(reconnect)));
+}
+
 /// Expands the paper's patterns across a >2-host cluster: hosts 0..H-2
 /// send, host H-1 receives.  Flow i's sending endpoint round-robins over
 /// the sender hosts first (host i % S, core i / S), so "incast" becomes a
@@ -107,9 +132,10 @@ Workload build_cluster_workload(Cluster& cluster,
         workload.rpc_servers.push_back(std::make_unique<RpcServer>(
             cluster.host(rx_host).core(rx), *endpoints.at_receiver,
             traffic.rpc_size));
-        workload.rpc_clients.push_back(std::make_unique<RpcClient>(
-            cluster.host(src.host).core(src.core), *endpoints.at_sender,
-            traffic.rpc_size));
+        add_rpc_client(cluster, workload, traffic,
+                       cluster.host(src.host).core(src.core),
+                       *endpoints.at_sender,
+                       workload.rpc_servers.back().get());
       }
       break;
     }
@@ -128,9 +154,9 @@ Workload build_cluster_workload(Cluster& cluster,
         workload.rpc_servers.push_back(std::make_unique<RpcServer>(
             cluster.host(rx_host).core(short_rx), *endpoints.at_receiver,
             traffic.rpc_size));
-        workload.rpc_clients.push_back(std::make_unique<RpcClient>(
-            cluster.host(0).core(short_tx), *endpoints.at_sender,
-            traffic.rpc_size));
+        add_rpc_client(cluster, workload, traffic,
+                       cluster.host(0).core(short_tx), *endpoints.at_sender,
+                       workload.rpc_servers.back().get());
       }
       break;
     }
@@ -143,22 +169,43 @@ Workload build_cluster_workload(Cluster& cluster,
 void Workload::start() {
   for (auto& sender : long_senders) sender->start();
   for (auto& client : rpc_clients) client->start();
+  for (auto& client : resilient_clients) client->start();
 }
 
 std::uint64_t Workload::rpc_transactions() const {
   std::uint64_t total = 0;
   for (const auto& client : rpc_clients) total += client->completed();
+  for (const auto& client : resilient_clients) total += client->completed();
   return total;
 }
 
 Histogram Workload::rpc_latency() const {
   Histogram merged;
   for (const auto& client : rpc_clients) merged.merge(client->latency());
+  for (const auto& client : resilient_clients) {
+    merged.merge(client->latency());
+  }
   return merged;
 }
 
 void Workload::reset_rpc_latency() {
   for (auto& client : rpc_clients) client->reset_latency();
+  for (auto& client : resilient_clients) client->reset_latency();
+}
+
+ResilientRpcClient::Counters Workload::rpc_recovery_totals() const {
+  ResilientRpcClient::Counters totals;
+  for (const auto& client : resilient_clients) {
+    const ResilientRpcClient::Counters& c = client->counters();
+    totals.completed += c.completed;
+    totals.retries += c.retries;
+    totals.timeouts += c.timeouts;
+    totals.resets += c.resets;
+    totals.failed += c.failed;
+    totals.breaker_opens += c.breaker_opens;
+    totals.reconnects += c.reconnects;
+  }
+  return totals;
 }
 
 Workload build_workload(Testbed& testbed, const TrafficConfig& traffic) {
@@ -220,8 +267,8 @@ Workload build_workload(Testbed& testbed, const TrafficConfig& traffic) {
         workload.rpc_servers.push_back(std::make_unique<RpcServer>(
             testbed.receiver().core(rx), *endpoints.at_receiver,
             traffic.rpc_size));
-        workload.rpc_clients.push_back(std::make_unique<RpcClient>(
-            testbed.sender().core(i), *endpoints.at_sender, traffic.rpc_size));
+        add_rpc_client(testbed, workload, traffic, testbed.sender().core(i),
+                       *endpoints.at_sender, workload.rpc_servers.back().get());
       }
       break;
     }
@@ -243,9 +290,9 @@ Workload build_workload(Testbed& testbed, const TrafficConfig& traffic) {
         workload.rpc_servers.push_back(std::make_unique<RpcServer>(
             testbed.receiver().core(short_rx), *endpoints.at_receiver,
             traffic.rpc_size));
-        workload.rpc_clients.push_back(std::make_unique<RpcClient>(
-            testbed.sender().core(short_tx), *endpoints.at_sender,
-            traffic.rpc_size));
+        add_rpc_client(testbed, workload, traffic,
+                       testbed.sender().core(short_tx), *endpoints.at_sender,
+                       workload.rpc_servers.back().get());
       }
       break;
     }

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "app/long_flow_app.h"
+#include "app/resilient_rpc.h"
 #include "app/rpc_app.h"
 #include "core/testbed.h"
 
@@ -18,6 +19,9 @@ struct Workload {
   std::vector<std::unique_ptr<LongFlowReceiver>> long_receivers;
   std::vector<std::unique_ptr<RpcClient>> rpc_clients;
   std::vector<std::unique_ptr<RpcServer>> rpc_servers;
+  /// Deadline/retry/breaker clients (traffic.resilience.enabled); these
+  /// replace rpc_clients for the rpc patterns when resilience is on.
+  std::vector<std::unique_ptr<ResilientRpcClient>> resilient_clients;
 
   /// Kicks off every application.
   void start();
@@ -29,6 +33,11 @@ struct Workload {
   Histogram rpc_latency() const;
   /// Clears client latency records (start of a measurement window).
   void reset_rpc_latency();
+
+  /// True when the workload runs resilient clients.
+  bool resilient() const { return !resilient_clients.empty(); }
+  /// Summed resilience counters across all resilient clients.
+  ResilientRpcClient::Counters rpc_recovery_totals() const;
 };
 
 /// Builds the applications and flows for `traffic` on `testbed`.

@@ -160,8 +160,10 @@ std::string metrics_csv_row(const Metrics& m) {
 
 void print_fault_summary(const Metrics& metrics) {
   const FaultCounters& f = metrics.faults;
+  const std::uint64_t chaos = f.host_crashes + f.crash_drops +
+                              f.blackhole_drops;
   if (f.wire_faults() + f.flaps + f.ring_stall_drops + f.pool_denials +
-          f.watchdog_trips + metrics.rx_csum_drops ==
+          f.watchdog_trips + metrics.rx_csum_drops + chaos ==
       0) {
     return;
   }
@@ -178,6 +180,38 @@ void print_fault_summary(const Metrics& metrics) {
               static_cast<unsigned long long>(f.ring_stall_drops),
               static_cast<unsigned long long>(f.pool_denials),
               static_cast<unsigned long long>(f.watchdog_trips));
+  if (chaos > 0) {
+    std::printf("chaos faults: %llu host crash(es) eating %llu frames, "
+                "%llu blackholed frames\n",
+                static_cast<unsigned long long>(f.host_crashes),
+                static_cast<unsigned long long>(f.crash_drops),
+                static_cast<unsigned long long>(f.blackhole_drops));
+  }
+}
+
+void print_recovery_summary(const Metrics& metrics) {
+  if (!metrics.has_recovery) return;
+  const Metrics::RecoveryMetrics& r = metrics.recovery;
+  std::printf("resilience: %llu retries, %llu timeouts, %llu resets, "
+              "%llu failed, %llu breaker open(s), %llu reconnect(s), "
+              "%llu socket(s) killed (%lld rx bytes destroyed)\n",
+              static_cast<unsigned long long>(r.rpc_retries),
+              static_cast<unsigned long long>(r.rpc_timeouts),
+              static_cast<unsigned long long>(r.rpc_resets),
+              static_cast<unsigned long long>(r.rpc_failed),
+              static_cast<unsigned long long>(r.breaker_opens),
+              static_cast<unsigned long long>(r.reconnects),
+              static_cast<unsigned long long>(r.sockets_killed),
+              static_cast<long long>(r.bytes_destroyed));
+  if (r.time_to_recover >= 0) {
+    std::printf("  recovered to 90%% of the %.1f Gbps pre-fault rate "
+                "%.1f us after the fault window closed\n",
+                r.pre_fault_gbps,
+                static_cast<double>(r.time_to_recover) / 1000.0);
+  } else if (r.pre_fault_gbps > 0) {
+    std::printf("  never returned to 90%% of the %.1f Gbps pre-fault rate\n",
+                r.pre_fault_gbps);
+  }
 }
 
 void print_cluster_summary(const Metrics& metrics) {

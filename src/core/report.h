@@ -61,6 +61,11 @@ std::string metrics_csv_comment(const ExperimentConfig& config);
 /// experienced no injected faults or corruption drops).
 void print_fault_summary(const Metrics& metrics);
 
+/// Prints the resilience/recovery rollup — retry/failure counters and
+/// time-to-recover (a no-op when the run had neither chaos faults nor
+/// resilient clients).
+void print_recovery_summary(const Metrics& metrics);
+
 /// Prints the cluster sections of a run — per-host throughput/CPU table
 /// and the switch-fabric rollup (a no-op for two-host runs, whose
 /// metrics carry neither).

@@ -354,6 +354,11 @@ void write_stack(JsonWriter& w, const StackConfig& s) {
   w.key("tcp_rx_buf").value(s.tcp_rx_buf);
   w.key("tcp_rx_buf_max").value(s.tcp_rx_buf_max);
   w.key("tcp_tx_buf").value(s.tcp_tx_buf);
+  // The connection-failure threshold is new; the default stays
+  // unserialized so legacy configs hash exactly as before.
+  if (s.max_consecutive_rtos != 8) {
+    w.key("max_consecutive_rtos").value(s.max_consecutive_rtos);
+  }
   w.end_object();
 }
 
@@ -366,6 +371,21 @@ void write_traffic(JsonWriter& w, const TrafficConfig& t) {
   w.key("segregate_mixed_cores").value(t.segregate_mixed_cores);
   w.key("app_chunk").value(t.app_chunk);
   w.key("sender_chunk").value(t.sender_chunk);
+  // Resilience policy is new; only enabled configurations emit it, so
+  // every legacy traffic block keeps its canonical form and hash.
+  if (t.resilience.enabled) {
+    const RpcResilienceConfig& r = t.resilience;
+    w.key("resilience").begin_object();
+    w.key("enabled").value(r.enabled);
+    w.key("deadline").value(r.deadline);
+    w.key("max_retries").value(r.max_retries);
+    w.key("backoff_base").value(r.backoff_base);
+    w.key("backoff_cap").value(r.backoff_cap);
+    w.key("jitter").value(r.jitter);
+    w.key("breaker_threshold").value(r.breaker_threshold);
+    w.key("breaker_cooldown").value(r.breaker_cooldown);
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -458,6 +478,30 @@ void write_faults(JsonWriter& w, const FaultPlan& f) {
     w.end_object();
   }
   w.end_array();
+  // Crash/blackhole schedules are new; empty ones stay unserialized so
+  // legacy fault plans keep their canonical form and hash.
+  if (!f.host_crashes.empty()) {
+    w.key("host_crashes").begin_array();
+    for (const HostCrash& crash : f.host_crashes) {
+      w.begin_object();
+      w.key("at").value(crash.at);
+      w.key("down_for").value(crash.down_for);
+      w.key("host").value(crash.host);
+      w.end_object();
+    }
+    w.end_array();
+  }
+  if (!f.port_blackholes.empty()) {
+    w.key("port_blackholes").begin_array();
+    for (const PortBlackhole& hole : f.port_blackholes) {
+      w.begin_object();
+      w.key("at").value(hole.at);
+      w.key("duration").value(hole.duration);
+      w.key("port").value(hole.port);
+      w.end_object();
+    }
+    w.end_array();
+  }
   w.end_object();
 }
 
@@ -598,6 +642,13 @@ std::string metrics_to_json(const Metrics& m) {
   w.key("ring_stall_drops").value(m.faults.ring_stall_drops);
   w.key("pool_denials").value(m.faults.pool_denials);
   w.key("watchdog_trips").value(m.faults.watchdog_trips);
+  // Crash/blackhole counters ride the recovery gate so legacy fault
+  // objects keep their exact member list.
+  if (m.has_recovery) {
+    w.key("host_crashes").value(m.faults.host_crashes);
+    w.key("crash_drops").value(m.faults.crash_drops);
+    w.key("blackhole_drops").value(m.faults.blackhole_drops);
+  }
   w.end_object();
   w.key("rx_csum_drops").value(m.rx_csum_drops);
   w.key("invariant_checks").value(m.invariant_checks);
@@ -639,6 +690,20 @@ std::string metrics_to_json(const Metrics& m) {
     w.key("ecn_marks").value(m.fabric.ecn_marks);
     w.key("flap_drops").value(m.fabric.flap_drops);
     w.key("peak_queue_bytes").value(m.fabric.peak_queue_bytes);
+    w.end_object();
+  }
+  if (m.has_recovery) {
+    w.key("recovery").begin_object();
+    w.key("time_to_recover").value(m.recovery.time_to_recover);
+    w.key("pre_fault_gbps").value(m.recovery.pre_fault_gbps);
+    w.key("rpc_retries").value(m.recovery.rpc_retries);
+    w.key("rpc_timeouts").value(m.recovery.rpc_timeouts);
+    w.key("rpc_resets").value(m.recovery.rpc_resets);
+    w.key("rpc_failed").value(m.recovery.rpc_failed);
+    w.key("breaker_opens").value(m.recovery.breaker_opens);
+    w.key("reconnects").value(m.recovery.reconnects);
+    w.key("sockets_killed").value(m.recovery.sockets_killed);
+    w.key("bytes_destroyed").value(m.recovery.bytes_destroyed);
     w.end_object();
   }
   w.end_object();
@@ -702,6 +767,11 @@ std::optional<Metrics> metrics_from_json(const JsonValue& v) {
     ok &= fnum("ring_stall_drops", &m.faults.ring_stall_drops);
     ok &= fnum("pool_denials", &m.faults.pool_denials);
     ok &= fnum("watchdog_trips", &m.faults.watchdog_trips);
+    // Crash/blackhole counters only appear in recovery-enabled
+    // documents; absence is not an error.
+    fnum("host_crashes", &m.faults.host_crashes);
+    fnum("crash_drops", &m.faults.crash_drops);
+    fnum("blackhole_drops", &m.faults.blackhole_drops);
   } else {
     ok = false;
   }
@@ -776,6 +846,37 @@ std::optional<Metrics> metrics_from_json(const JsonValue& v) {
       ok = false;
     }
   }
+  // Optional recovery section (absent in legacy / no-fault documents).
+  const JsonValue* recovery = v.find("recovery");
+  if (recovery != nullptr && recovery->is_object()) {
+    m.has_recovery = true;
+    const auto rec_u64 = [&recovery](std::string_view name,
+                                     std::uint64_t* out) {
+      const JsonValue* cell = recovery->find(name);
+      if (cell == nullptr || !cell->is_number()) return false;
+      *out = cell->as_u64();
+      return true;
+    };
+    const JsonValue* ttr = recovery->find("time_to_recover");
+    const JsonValue* pre = recovery->find("pre_fault_gbps");
+    const JsonValue* destroyed = recovery->find("bytes_destroyed");
+    if (ttr == nullptr || !ttr->is_number() || pre == nullptr ||
+        !pre->is_number() || destroyed == nullptr ||
+        !destroyed->is_number()) {
+      ok = false;
+    } else {
+      m.recovery.time_to_recover = ttr->as_i64();
+      m.recovery.pre_fault_gbps = pre->as_double();
+      m.recovery.bytes_destroyed = destroyed->as_i64();
+    }
+    ok &= rec_u64("rpc_retries", &m.recovery.rpc_retries);
+    ok &= rec_u64("rpc_timeouts", &m.recovery.rpc_timeouts);
+    ok &= rec_u64("rpc_resets", &m.recovery.rpc_resets);
+    ok &= rec_u64("rpc_failed", &m.recovery.rpc_failed);
+    ok &= rec_u64("breaker_opens", &m.recovery.breaker_opens);
+    ok &= rec_u64("reconnects", &m.recovery.reconnects);
+    ok &= rec_u64("sockets_killed", &m.recovery.sockets_killed);
+  }
   if (!ok) return std::nullopt;
   return m;
 }
@@ -848,6 +949,29 @@ std::vector<std::pair<std::string, double>> scalar_metrics(const Metrics& m) {
     const std::string prefix = "host" + std::to_string(host.host) + ".";
     add(prefix + "cores_used", host.cores_used);
     add(prefix + "gbps", host.gbps);
+  }
+  // Recovery rollups, appended only for chaos/resilience runs so legacy
+  // artifacts keep their column set.
+  if (m.has_recovery) {
+    add("faults.host_crashes", static_cast<double>(m.faults.host_crashes));
+    add("faults.crash_drops", static_cast<double>(m.faults.crash_drops));
+    add("faults.blackhole_drops",
+        static_cast<double>(m.faults.blackhole_drops));
+    add("recovery.time_to_recover",
+        static_cast<double>(m.recovery.time_to_recover));
+    add("recovery.pre_fault_gbps", m.recovery.pre_fault_gbps);
+    add("recovery.rpc_retries", static_cast<double>(m.recovery.rpc_retries));
+    add("recovery.rpc_timeouts",
+        static_cast<double>(m.recovery.rpc_timeouts));
+    add("recovery.rpc_resets", static_cast<double>(m.recovery.rpc_resets));
+    add("recovery.rpc_failed", static_cast<double>(m.recovery.rpc_failed));
+    add("recovery.breaker_opens",
+        static_cast<double>(m.recovery.breaker_opens));
+    add("recovery.reconnects", static_cast<double>(m.recovery.reconnects));
+    add("recovery.sockets_killed",
+        static_cast<double>(m.recovery.sockets_killed));
+    add("recovery.bytes_destroyed",
+        static_cast<double>(m.recovery.bytes_destroyed));
   }
   return out;
 }

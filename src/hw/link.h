@@ -43,6 +43,8 @@ struct Frame {
 
   bool ecn = false;      ///< CE mark (data) / ECE echo (ACKs)
   bool corrupt = false;  ///< delivered, but the receiver's checksum fails
+  bool is_rst = false;   ///< connection reset (header-only; is_ack set too
+                         ///< so it rides the NIC's copybreak path)
   Nanos echo_ts = -1;    ///< echoed send timestamp, for RTT estimation
   Nanos sent_at = 0;
 

@@ -104,6 +104,11 @@ void Nic::receive(Frame frame) {
     faults_->note_ring_stall_drop();
     return;
   }
+  if (faults_ != nullptr && !faults_->host_up(host_id_)) {
+    // Crashed host: the NIC is dark, nothing is received or answered.
+    faults_->note_crash_drop();
+    return;
+  }
   FragmentVec fragments;
   if (frame.payload > 0) {
     if (queue.posted.empty()) {

@@ -112,6 +112,12 @@ class Nic {
   /// by the stack; TSO segmentation is free by definition), stamping the
   /// topology addresses the switch forwards by.
   void transmit(Frame frame) {
+    if (faults_ != nullptr && !faults_->host_up(host_id_)) {
+      // Crashed host: nothing leaves a dark NIC (e.g. an in-flight RTO
+      // task racing the crash's socket teardown).
+      faults_->note_crash_drop();
+      return;
+    }
     frame.src_host = static_cast<std::int16_t>(host_id_);
     if (auto it = flow_dst_.find(frame.flow); it != flow_dst_.end()) {
       frame.dst_host = static_cast<std::int16_t>(it->second);

@@ -67,6 +67,13 @@ void Switch::ingress(int port, Frame frame) {
     return;
   }
 
+  // Blackholed egress: the frame is silently swallowed — no link-down
+  // signal, no counter visible to the endpoints.  Only retries mask it.
+  if (faults_ != nullptr && faults_->port_blackholed(out)) {
+    faults_->note_blackhole_drop();
+    return;
+  }
+
   if (config_.buffer_bytes == 0) {
     // Pass-through: hand the frame to the destination host at the
     // ingress instant.  The uplink Link already charged serialization

@@ -52,6 +52,37 @@ TcpSocket& Stack::socket(int flow) {
   return *it->second;
 }
 
+TcpSocket* Stack::find_socket(int flow) {
+  auto it = sockets_.find(flow);
+  return it == sockets_.end() ? nullptr : it->second.get();
+}
+
+const TcpSocket* Stack::find_socket(int flow) const {
+  auto it = sockets_.find(flow);
+  return it == sockets_.end() ? nullptr : it->second.get();
+}
+
+bool Stack::has_socket(int flow) const {
+  return sockets_.find(flow) != sockets_.end();
+}
+
+void Stack::destroy_socket(int flow) {
+  auto it = sockets_.find(flow);
+  require(it != sockets_.end(), "destroying a socket that does not exist");
+  require(it->second->dead(), "destroying a live socket");
+  require(!options_.receiver_driven,
+          "socket destruction unsupported in receiver-driven mode");
+  sockets_.erase(it);
+}
+
+void Stack::send_rst(int flow) {
+  Frame rst;
+  rst.flow = flow;
+  rst.is_rst = true;
+  rst.is_ack = true;  // header-only: rides the driver copybreak path
+  nic_->transmit(rst);
+}
+
 void Stack::begin_measurement() { stats_.clear(); }
 
 int Stack::steer_target(const TcpSocket& socket, const Core& irq_core) const {
@@ -120,11 +151,16 @@ void Stack::napi_poll(Core& core, int queue) {
     }
     stats_.skb_sizes.record(skb);
     auto it = sockets_.find(skb.flow);
-    if (it == sockets_.end()) {
-      // Unknown flow (e.g. torn-down socket): drop, releasing pages.
+    if (it == sockets_.end() || it->second->dead()) {
+      // Unknown or terminally failed flow (torn down by a fault or a
+      // reconnect): drop the data and answer with an RST so the sender
+      // learns the connection is gone instead of retransmitting into a
+      // void until its own timeout fires.
+      const int flow = skb.flow;
       for (const Fragment& fragment : skb.fragments) {
         allocator_->release(core, fragment.page);
       }
+      send_rst(flow);
       return;
     }
     TcpSocket* socket = it->second.get();
@@ -138,14 +174,22 @@ void Stack::napi_poll(Core& core, int queue) {
     // land there, not on the IRQ core.  The skb is parked in a stack-
     // visible table while it crosses cores (rather than captured in the
     // closure) so in-flight requeues stay accountable to the leak sweep.
+    // The requeued task re-resolves the flow: the socket can be aborted
+    // and destroyed while the skb is crossing cores.
     core.charge(CpuCategory::etc, core.cost().rps_ipi);
     const SlotPool<Skb>::Slot slot = requeue_park_.acquire(std::move(skb));
-    core.defer([this, socket, target, slot] {
+    core.defer([this, target, slot] {
       cores_[static_cast<std::size_t>(target)]->post(
-          softirq_requeue_, [this, socket, slot](Core& remote) {
+          softirq_requeue_, [this, slot](Core& remote) {
             Skb queued = std::move(requeue_park_[slot]);
             requeue_park_.release(slot);
-            socket->rx_deliver(remote, std::move(queued));
+            if (TcpSocket* live = find_socket(queued.flow)) {
+              live->rx_deliver(remote, std::move(queued));
+              return;
+            }
+            for (const Fragment& fragment : queued.fragments) {
+              allocator_->release(remote, fragment.page);
+            }
           });
     });
   };
@@ -172,21 +216,34 @@ void Stack::napi_poll(Core& core, int queue) {
 
     if (polled->frame.is_ack) {
       // Copybreak fast path: header-only skb built inline and freed on
-      // the spot, no page-backed fragments.
+      // the spot, no page-backed fragments.  RSTs ride this path too.
       core.charge(CpuCategory::skb_mgmt, cost.skb_alloc / 3);
       auto it = sockets_.find(polled->frame.flow);
       if (it != sockets_.end()) {
         TcpSocket* socket = it->second.get();
         const int target = steer_target(*socket, core);
+        const bool is_rst = polled->frame.is_rst;
         if (target == core.id()) {
-          socket->process_ack(core, polled->frame);
+          if (is_rst) {
+            socket->on_rst(core);
+          } else {
+            socket->process_ack(core, polled->frame);
+          }
         } else {
+          // Re-resolve the flow on the target core: the socket can be
+          // aborted and destroyed while the frame crosses cores.
           core.charge(CpuCategory::etc, cost.rps_ipi);
           const Frame frame = polled->frame;
-          core.defer([this, socket, target, frame] {
+          core.defer([this, target, frame, is_rst] {
             cores_[static_cast<std::size_t>(target)]->post(
-                softirq_requeue_, [socket, frame](Core& remote) {
-                  socket->process_ack(remote, frame);
+                softirq_requeue_, [this, frame, is_rst](Core& remote) {
+                  TcpSocket* live = find_socket(frame.flow);
+                  if (live == nullptr) return;
+                  if (is_rst) {
+                    live->on_rst(remote);
+                  } else {
+                    live->process_ack(remote, frame);
+                  }
                 });
           });
         }

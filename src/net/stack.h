@@ -64,6 +64,10 @@ struct StackOptions {
   std::size_t trace_capacity = 0;  ///< flight-recorder ring size; 0 = off
   int host_id = 0;                 ///< 0 = sender host, 1 = receiver host
   Nanos min_rto = 2 * kMillisecond;  ///< stands in for TLP/RACK tail repair
+  /// Consecutive RTO expirations (no forward progress between them)
+  /// before the connection is declared dead with ETIMEDOUT, like Linux's
+  /// tcp_retries2.  0 disables the threshold (probe forever).
+  int max_consecutive_rtos = 8;
 };
 
 /// Host-level measurement state, reset at the start of the measurement
@@ -107,6 +111,27 @@ class Stack {
   TcpSocket& create_socket(int flow, int app_core);
   TcpSocket& socket(int flow);
 
+  /// Looks a socket up without requiring it to exist (flows can be torn
+  /// down mid-run by faults or reconnects); null when absent.
+  TcpSocket* find_socket(int flow);
+  const TcpSocket* find_socket(int flow) const;
+  bool has_socket(int flow) const;
+
+  /// Removes a terminally failed socket from the table (reconnect
+  /// replaces it with a fresh flow id).  The socket must be dead() — a
+  /// live connection still owns wire state.  Not supported in
+  /// receiver-driven mode (the grant scheduler keeps socket references).
+  void destroy_socket(int flow);
+
+  /// Called by TcpSocket::abort() to account a connection teardown;
+  /// `destroyed_rx` is receive-queue bytes destroyed before delivery.
+  void note_socket_abort(Bytes destroyed_rx) {
+    ++sockets_aborted_;
+    bytes_destroyed_ += destroyed_rx;
+  }
+  std::uint64_t sockets_aborted() const { return sockets_aborted_; }
+  Bytes bytes_destroyed() const { return bytes_destroyed_; }
+
   /// Clears host-level statistics (start of the measurement window).
   void begin_measurement();
 
@@ -146,6 +171,10 @@ class Stack {
  private:
   void napi_poll(Core& core, int queue);
 
+  /// Answers a frame for an unknown or dead flow with a header-only RST
+  /// so the peer observes ECONNRESET instead of retransmitting forever.
+  void send_rst(int flow);
+
   /// Core that should run protocol processing for `socket`'s frames
   /// arriving on `irq_core` (identity for arfs/rss, cross-core for the
   /// software steering modes).
@@ -173,6 +202,8 @@ class Stack {
   /// task's capture stays small (a 4-byte slot instead of a whole Skb).
   SlotPool<Skb> requeue_park_;
   bool leak_next_skb_ = false;
+  std::uint64_t sockets_aborted_ = 0;
+  Bytes bytes_destroyed_ = 0;  ///< rx bytes destroyed by socket aborts
 };
 
 }  // namespace hostsim

@@ -19,6 +19,15 @@ constexpr Nanos kMaxRto = 200 * kMillisecond;
 
 }  // namespace
 
+std::string_view to_string(SocketError error) {
+  switch (error) {
+    case SocketError::none: return "none";
+    case SocketError::econnreset: return "econnreset";
+    case SocketError::etimedout: return "etimedout";
+  }
+  return "?";
+}
+
 TcpSocket::TcpSocket(Stack& stack, int flow, int app_core)
     : stack_(&stack),
       flow_(flow),
@@ -35,6 +44,69 @@ TcpSocket::TcpSocket(Stack& stack, int flow, int app_core)
 
 // Timer members cancel their pending occurrences on destruction.
 TcpSocket::~TcpSocket() = default;
+
+// --------------------------------------------------------------------------
+// Failure surface
+// --------------------------------------------------------------------------
+
+void TcpSocket::abort(Core& core, SocketError reason, bool killed_by_fault) {
+  require(reason != SocketError::none, "abort needs a terminal error");
+  if (dead()) {
+    // Idempotent, but a fault kill is sticky: a socket first reset by the
+    // app and then swept up by a crash stays attributable to the fault.
+    killed_by_fault_ = killed_by_fault_ || killed_by_fault;
+    return;
+  }
+  error_ = reason;
+  killed_by_fault_ = killed_by_fault;
+
+  rto_timer_.cancel();
+  rto_task_pending_ = false;
+  pacer_timer_.cancel();
+  delack_timer_.cancel();
+  paced_.clear();
+  in_recovery_ = false;
+
+  // Release every page the connection holds.  Receive-queue bytes are
+  // covered by rcv_nxt_ (the peer believes they were delivered) but
+  // never reached the application: the byte-conservation invariant
+  // credits them as destroyed instead of delivered.
+  for (TxChunk& chunk : tx_queue_) {
+    for (Page* page : chunk.pages) stack_->allocator().release(core, page);
+  }
+  tx_queue_.clear();
+  destroyed_rx_bytes_ += rq_bytes_;
+  for (const Skb& skb : rq_) {
+    for (const Fragment& fragment : skb.fragments) {
+      stack_->allocator().release(core, fragment.page);
+    }
+  }
+  rq_.clear();
+  rq_bytes_ = 0;
+  for (const auto& [seq, skb] : ofo_) {
+    for (const Fragment& fragment : skb.fragments) {
+      stack_->allocator().release(core, fragment.page);
+    }
+  }
+  ofo_.clear();
+  ofo_bytes_ = 0;
+  stack_->note_socket_abort(destroyed_rx_bytes_);
+
+  // Fail pending I/O: the error callback first (so a woken waiter already
+  // observes the error), then both waiters so blocked send()/recv()
+  // return 0 instead of sleeping forever.
+  if (on_error_) {
+    error_reported_ = true;
+    on_error_(reason);
+  }
+  if (rx_waiter_ != nullptr) rx_waiter_->notify();
+  if (tx_waiter_ != nullptr) tx_waiter_->notify();
+}
+
+void TcpSocket::on_rst(Core& core) {
+  if (dead()) return;
+  abort(core, SocketError::econnreset);
+}
 
 // --------------------------------------------------------------------------
 // Locking
@@ -61,6 +133,7 @@ Bytes TcpSocket::send_space() const {
 Bytes TcpSocket::send(Core& core, Bytes bytes) {
   require(core.id() == app_core_, "send() must run on the app core");
   require(bytes > 0, "send of zero bytes");
+  if (dead()) return 0;
   core.charge(CpuCategory::etc, core.cost().syscall_overhead);
   lock(core);
 
@@ -241,12 +314,24 @@ void TcpSocket::arm_rto() {
 }
 
 void TcpSocket::on_rto_fired() {
+  if (dead()) return;
   if (snd_una_ >= snd_buf_end_) return;  // everything acked meanwhile
   rto_backoff_ = std::min<Nanos>(rto_backoff_ * 2, 64);
+  ++consecutive_rtos_;
   rto_task_pending_ = true;
   stack_->core(app_core_).post(timer_ctx_, [this](Core& core) {
     rto_task_pending_ = false;
+    if (dead()) return;
     if (snd_una_ >= snd_buf_end_) return;
+    // Connection-failure threshold: this many RTO expirations with no
+    // forward progress (each already at exponentially backed-off, capped
+    // spacing) declares the peer unreachable — ETIMEDOUT, like Linux's
+    // tcp_retries2 — instead of probing a dark host forever.
+    const int threshold = stack_->options().max_consecutive_rtos;
+    if (threshold > 0 && consecutive_rtos_ >= threshold) {
+      abort(core, SocketError::etimedout);
+      return;
+    }
     if (snd_una_ == snd_nxt_) {
       // Persist mode: nothing in flight but data buffered, so the peer's
       // advertised window (or a link outage that ate every ACK) is
@@ -333,6 +418,7 @@ void TcpSocket::collect_held_pages(
 }
 
 void TcpSocket::process_ack(Core& core, const Frame& frame) {
+  if (dead()) return;
   const CostModel& cost = core.cost();
   core.charge(CpuCategory::tcpip, cost.tcpip_ack_rx);
   lock(core);
@@ -366,6 +452,7 @@ void TcpSocket::process_ack(Core& core, const Frame& frame) {
     if (snd_nxt_ < snd_una_) snd_nxt_ = snd_una_;
     free_acked_chunks(core, snd_una_);
     rto_backoff_ = 1;
+    consecutive_rtos_ = 0;
     rto_timer_.cancel();
     if (snd_una_ < snd_nxt_) arm_rto();
   }
@@ -536,6 +623,12 @@ void TcpSocket::send_ack(Core& core, Nanos echo_ts, bool ecn_echo) {
 }
 
 void TcpSocket::rx_deliver(Core& core, Skb skb) {
+  if (dead()) {
+    for (const Fragment& fragment : skb.fragments) {
+      stack_->allocator().release(core, fragment.page);
+    }
+    return;
+  }
   const CostModel& cost = core.cost();
   core.charge(CpuCategory::tcpip,
               cost.tcpip_rx_per_skb +
@@ -644,6 +737,7 @@ void TcpSocket::rx_deliver(Core& core, Skb skb) {
 
 Bytes TcpSocket::recv(Core& core, Bytes max_bytes) {
   require(core.id() == app_core_, "recv() must run on the app core");
+  if (dead()) return 0;
   const CostModel& cost = core.cost();
   core.charge(CpuCategory::etc, cost.syscall_overhead);
   lock(core);

@@ -12,7 +12,9 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
+#include <string_view>
 #include <unordered_set>
 
 #include "cpu/scheduler.h"
@@ -25,6 +27,16 @@
 #include "net/stack.h"
 
 namespace hostsim {
+
+/// Terminal socket error, surfaced to the application through the error
+/// callback instead of a hang.
+enum class SocketError : std::uint8_t {
+  none,
+  econnreset,  ///< peer sent RST / fault killed the connection
+  etimedout,   ///< too many consecutive RTOs, connection declared dead
+};
+
+std::string_view to_string(SocketError error);
 
 class TcpSocket {
  public:
@@ -56,6 +68,38 @@ class TcpSocket {
   void set_rx_waiter(Thread* waiter) { rx_waiter_ = waiter; }
   /// Thread notified when send-buffer space frees after a full buffer.
   void set_tx_waiter(Thread* waiter) { tx_waiter_ = waiter; }
+
+  // --- Failure surface ----------------------------------------------------
+
+  /// Invoked exactly once when the connection dies (ECONNRESET on
+  /// RST/crash, ETIMEDOUT after the consecutive-RTO threshold).  Apps
+  /// that register one observe the failure instead of hanging; both
+  /// waiters are notified as well so blocked send()/recv() return 0.
+  void set_error_callback(std::function<void(SocketError)> on_error) {
+    on_error_ = std::move(on_error);
+  }
+
+  /// Tears the connection down: cancels every timer, releases all held
+  /// pages (in-flight receive bytes are accounted as destroyed), fails
+  /// pending I/O, and fires the error callback.  Idempotent.  Must run
+  /// in a task on a core of the owning host (page release charges there).
+  /// `killed_by_fault` records the disposition for the invariant sweep:
+  /// true for crash/fault kills, false for peer RSTs, timeouts, and
+  /// app-initiated aborts.
+  void abort(Core& core, SocketError reason, bool killed_by_fault = false);
+
+  /// True once the connection has terminally failed.
+  bool dead() const { return error_ != SocketError::none; }
+  SocketError error() const { return error_; }
+  /// Fault-disposition introspection for the invariant sweep: a dead
+  /// socket must be either fault-killed or have reported its error.
+  bool killed_by_fault() const { return killed_by_fault_; }
+  bool error_reported() const { return error_reported_; }
+  /// Receive-side bytes (rcv_nxt-covered, not yet app-delivered) that
+  /// abort() destroyed; the byte-conservation invariant credits these.
+  Bytes destroyed_rx_bytes() const { return destroyed_rx_bytes_; }
+  /// Consecutive RTO expirations with no forward progress.
+  int consecutive_rtos() const { return consecutive_rtos_; }
 
   // --- Receiver-driven mode (paper §3.3/§4) ----------------------------
 
@@ -109,6 +153,10 @@ class TcpSocket {
 
   /// Processes an incoming ACK on the send side.
   void process_ack(Core& core, const Frame& frame);
+
+  /// Handles an incoming RST: the peer has no (live) socket for this
+  /// flow, so the connection dies with ECONNRESET.
+  void on_rst(Core& core);
 
  private:
   struct TxChunk {
@@ -166,6 +214,14 @@ class TcpSocket {
   bool rto_task_pending_ = false;  ///< timer fired, softirq task queued
   bool tx_was_full_ = false;
   std::uint64_t retransmits_ = 0;
+  int consecutive_rtos_ = 0;  ///< RTO fires since the last new ACK
+
+  // --- Failure state ---
+  SocketError error_ = SocketError::none;
+  bool killed_by_fault_ = false;
+  bool error_reported_ = false;
+  Bytes destroyed_rx_bytes_ = 0;
+  std::function<void(SocketError)> on_error_;
 
   // pacing (BBR)
   std::deque<Frame> paced_;

@@ -83,6 +83,38 @@ FaultInjector::FaultInjector(EventLoop& loop, FaultPlan plan)
       }
     });
   }
+  for (const HostCrash& crash : plan_.host_crashes) {
+    require(crash.at >= loop.now() && crash.down_for > 0,
+            "host crash window must be in the future and nonempty");
+    require(crash.host >= 0, "host crash must target a host");
+    const int host = crash.host;
+    loop_->schedule_at(crash.at, [this, host] {
+      if (std::find(down_hosts_.begin(), down_hosts_.end(), host) ==
+          down_hosts_.end()) {
+        ++counters_.host_crashes;
+      }
+      down_hosts_.push_back(host);
+      if (crash_handler_) crash_handler_(host, /*up=*/false);
+    });
+    loop_->schedule_at(crash.at + crash.down_for, [this, host] {
+      auto it = std::find(down_hosts_.begin(), down_hosts_.end(), host);
+      if (it != down_hosts_.end()) down_hosts_.erase(it);
+      if (crash_handler_) crash_handler_(host, /*up=*/true);
+    });
+  }
+  for (const PortBlackhole& hole : plan_.port_blackholes) {
+    require(hole.at >= loop.now() && hole.duration > 0,
+            "port blackhole window must be in the future and nonempty");
+    require(hole.port >= 0, "port blackhole must target a port");
+    const int port = hole.port;
+    loop_->schedule_at(hole.at,
+                       [this, port] { blackholed_ports_.push_back(port); });
+    loop_->schedule_at(hole.at + hole.duration, [this, port] {
+      auto it = std::find(blackholed_ports_.begin(), blackholed_ports_.end(),
+                          port);
+      if (it != blackholed_ports_.end()) blackholed_ports_.erase(it);
+    });
+  }
   for (const PoolPressure& pressure : plan_.pool_pressure) {
     require(pressure.at >= loop.now() && pressure.duration > 0,
             "pool pressure window must be in the future and nonempty");
@@ -143,6 +175,16 @@ bool FaultInjector::ring_stalled(int host, int queue) const {
     if ((h < 0 || h == host) && (q < 0 || q == queue)) return true;
   }
   return false;
+}
+
+bool FaultInjector::host_up(int host) const {
+  return std::find(down_hosts_.begin(), down_hosts_.end(), host) ==
+         down_hosts_.end();
+}
+
+bool FaultInjector::port_blackholed(int port) const {
+  return std::find(blackholed_ports_.begin(), blackholed_ports_.end(), port) !=
+         blackholed_ports_.end();
 }
 
 bool FaultInjector::pool_alloc_allowed() {

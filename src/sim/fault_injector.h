@@ -17,6 +17,7 @@
 
 #include <array>
 #include <cstdint>
+#include <functional>
 #include <utility>
 #include <vector>
 
@@ -74,6 +75,25 @@ struct PoolPressure {
   double deny_prob = 1.0;
 };
 
+/// One host crash: at `at` the host's NIC goes dark and every socket on
+/// it dies (their in-flight pages are accounted as explicitly
+/// destroyed); at `at + down_for` the host restarts — applications must
+/// reconnect through fresh sockets to resume.
+struct HostCrash {
+  Nanos at = 0;
+  Nanos down_for = 0;
+  int host = 0;
+};
+
+/// One switch-port blackhole: egress toward `port` is silently dropped
+/// in [at, at + duration) — no RST, no link-down signal, nothing the
+/// sender can observe except missing ACKs.  Retries must mask it.
+struct PortBlackhole {
+  Nanos at = 0;
+  Nanos duration = 0;
+  int port = 0;
+};
+
 /// The complete fault schedule for one run.
 struct FaultPlan {
   GilbertElliottConfig gilbert_elliott;
@@ -81,12 +101,15 @@ struct FaultPlan {
   std::vector<LinkFlap> link_flaps;
   std::vector<RingStall> ring_stalls;
   std::vector<PoolPressure> pool_pressure;
+  std::vector<HostCrash> host_crashes;
+  std::vector<PortBlackhole> port_blackholes;
 
   /// True when any fault is configured (an empty plan costs nothing).
   bool any() const {
     return gilbert_elliott.enabled || corrupt_rate > 0.0 ||
            !link_flaps.empty() || !ring_stalls.empty() ||
-           !pool_pressure.empty();
+           !pool_pressure.empty() || !host_crashes.empty() ||
+           !port_blackholes.empty();
   }
 };
 
@@ -101,6 +124,9 @@ struct FaultCounters {
   std::uint64_t ring_stall_drops = 0; ///< frames dropped by stalled rings
   std::uint64_t pool_denials = 0;     ///< rx page allocations denied
   std::uint64_t watchdog_trips = 0;   ///< stall-watchdog activations
+  std::uint64_t host_crashes = 0;     ///< host-crash windows entered
+  std::uint64_t crash_drops = 0;      ///< frames dropped at a dark NIC
+  std::uint64_t blackhole_drops = 0;  ///< frames swallowed by a blackholed port
 
   std::uint64_t wire_faults() const {
     return random_drops + bursty_drops + flap_drops + corrupt_frames;
@@ -155,6 +181,29 @@ class FaultInjector {
   /// Counts one frame dropped because of a ring stall.
   void note_ring_stall_drop() { ++counters_.ring_stall_drops; }
 
+  // --- Crash / blackhole hooks --------------------------------------------
+
+  /// False while `host` is inside a crash window (its NIC is dark).
+  bool host_up(int host) const;
+
+  /// True while switch egress toward `port` is being silently dropped.
+  bool port_blackholed(int port) const;
+
+  /// Counts one frame dropped at a crashed host's dark NIC.
+  void note_crash_drop() { ++counters_.crash_drops; }
+
+  /// Counts one frame silently swallowed by a blackholed switch port.
+  void note_blackhole_drop() { ++counters_.blackhole_drops; }
+
+  /// Invoked at each crash-window edge: `up == false` when the host goes
+  /// dark (the owner should kill its sockets) and `up == true` when it
+  /// restarts.  Registered by the topology layer before the first window
+  /// fires; windows with no handler only darken the NIC.
+  using CrashHandler = std::function<void(int host, bool up)>;
+  void set_crash_handler(CrashHandler handler) {
+    crash_handler_ = std::move(handler);
+  }
+
   /// Counts one frame lost to a down link somewhere other than the
   /// link's own transmit path (the switch drops on egress when the
   /// destination port's downlink is flapped).
@@ -187,6 +236,9 @@ class FaultInjector {
   std::vector<std::pair<int, int>> stalled_;  // open (host, queue) stalls
   int pressure_depth_ = 0;      // >0 while any pressure window is open
   double pressure_deny_ = 0.0;  // deny probability of the innermost window
+  std::vector<int> down_hosts_;        // hosts in an open crash window (multiset)
+  std::vector<int> blackholed_ports_;  // ports in an open blackhole window
+  CrashHandler crash_handler_;
 };
 
 }  // namespace hostsim

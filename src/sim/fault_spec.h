@@ -1,0 +1,39 @@
+// Strict parsing for the CLI fault-spec flags (--ge=, --flap=, --stall=,
+// --pressure=, --crash=, --blackhole=).
+//
+// Each parser consumes one flag value ("AT,DUR[,..]"-style field lists),
+// appends to / fills in the FaultPlan on success, and returns a one-line
+// actionable error on failure.  Malformed specs — wrong field counts,
+// empty fields, non-numeric text, trailing garbage after a number — are
+// rejected instead of silently truncated (strtol("12x") used to accept
+// the 12 and ignore the x).
+#ifndef HOSTSIM_SIM_FAULT_SPEC_H
+#define HOSTSIM_SIM_FAULT_SPEC_H
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/fault_injector.h"
+
+namespace hostsim {
+
+/// Each returns std::nullopt on success (the plan was updated) or a
+/// one-line error message naming the expected format and the offending
+/// field.  The plan is untouched on failure.
+std::optional<std::string> parse_ge_spec(std::string_view value,
+                                         FaultPlan& plan);
+std::optional<std::string> parse_flap_spec(std::string_view value,
+                                           FaultPlan& plan);
+std::optional<std::string> parse_stall_spec(std::string_view value,
+                                            FaultPlan& plan);
+std::optional<std::string> parse_pressure_spec(std::string_view value,
+                                               FaultPlan& plan);
+std::optional<std::string> parse_crash_spec(std::string_view value,
+                                            FaultPlan& plan);
+std::optional<std::string> parse_blackhole_spec(std::string_view value,
+                                                FaultPlan& plan);
+
+}  // namespace hostsim
+
+#endif  // HOSTSIM_SIM_FAULT_SPEC_H

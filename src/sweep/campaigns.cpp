@@ -106,6 +106,54 @@ Campaign chaos_faults() {
   return campaign;
 }
 
+Campaign chaos_recovery() {
+  Campaign campaign;
+  campaign.name = "chaos_recovery";
+  campaign.description =
+      "crash/blackhole recovery: 8->1 RPC incast through a switch, "
+      "mid-run host crash or port blackhole, retries on vs off";
+  campaign.base.traffic.pattern = Pattern::rpc_incast;
+  campaign.base.traffic.flows = 8;
+  campaign.base.traffic.rpc_size = 16 * kKiB;
+  campaign.base.topology.num_hosts = 9;
+  campaign.base.topology.use_switch = true;
+  campaign.base.topology.switch_buffer = 256 * kKiB;
+  campaign.base.topology.switch_ecn_bytes = 64 * kKiB;
+  campaign.base.warmup = 10 * kMillisecond;
+  campaign.base.duration = 40 * kMillisecond;
+  // Fail fast enough that a 5ms outage resolves within the run: ~2ms
+  // deadlines, short capped backoff, and a low RTO threshold.
+  campaign.base.stack.max_consecutive_rtos = 4;
+  campaign.base.traffic.resilience.enabled = true;
+  campaign.base.traffic.resilience.deadline = 2 * kMillisecond;
+  campaign.base.traffic.resilience.backoff_base = 500 * kMicrosecond;
+  campaign.base.traffic.resilience.backoff_cap = 4 * kMillisecond;
+  campaign.base.traffic.resilience.breaker_threshold = 4;
+  campaign.base.traffic.resilience.breaker_cooldown = 4 * kMillisecond;
+
+  // Both faults open a 5ms window at t=20ms: the crash kills sender
+  // host 0 outright; the blackhole silently swallows everything the
+  // switch forwards toward it.
+  FaultPlan crash;
+  crash.host_crashes.push_back({20 * kMillisecond, 5 * kMillisecond, 0});
+  FaultPlan blackhole;
+  blackhole.port_blackholes.push_back(
+      {20 * kMillisecond, 5 * kMillisecond, 0});
+  campaign.axes.push_back(
+      Axis::fault_plans({{"crash", crash}, {"blackhole", blackhole}}));
+
+  Axis retries;
+  retries.name = "retries";
+  retries.values.push_back({"retries_on", [](ExperimentConfig& c) {
+                              c.traffic.resilience.max_retries = 8;
+                            }});
+  retries.values.push_back({"retries_off", [](ExperimentConfig& c) {
+                              c.traffic.resilience.max_retries = 0;
+                            }});
+  campaign.axes.push_back(std::move(retries));
+  return campaign;
+}
+
 Campaign cluster_incast() {
   Campaign campaign;
   campaign.name = "cluster_incast";
@@ -144,6 +192,7 @@ std::vector<Campaign> builtin_campaigns() {
       fig10_rpc(),
       mtu_ladder(),
       chaos_faults(),
+      chaos_recovery(),
       cluster_incast(),
   };
 }

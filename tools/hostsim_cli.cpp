@@ -17,6 +17,7 @@
 
 #include "core/experiment.h"
 #include "core/report.h"
+#include "sim/fault_spec.h"
 
 namespace {
 
@@ -65,8 +66,18 @@ faults (all deterministic for a given --seed):
                       (repeatable)
   --pressure=AT,DUR[,DENY]  page-pool pressure window; rx page
                       allocations fail with prob DENY (default 1)
+  --crash=H,AT,DOWN   host H's NIC goes dark and its sockets die at
+                      AT ms; it restarts after DOWN ms    (repeatable)
+  --blackhole=P,AT,DUR  switch egress toward port P silently dropped
+                      at AT ms for DUR ms                 (repeatable)
   --watchdog-ms=N     trip the run after ~3 silent windows of N ms
   --no-invariants     skip the end-of-run invariant sweep
+
+resilience (rpc / mixed patterns):
+  --retries=N         resilient clients: per-request deadline, retry
+                      budget N, jittered backoff, circuit breaker
+  --rpc-deadline-ms=N per-request deadline (default: 5, implies
+                      --retries=3 when not given)
 
 run:
   --warmup-ms=N       (default: 10)    --duration-ms=N    (default: 25)
@@ -116,16 +127,13 @@ double parse_double(std::string_view value, const char* what) {
   return parsed;
 }
 
-/// Splits "a,b,c" into its comma-separated fields.
-std::vector<std::string_view> split_fields(std::string_view value) {
-  std::vector<std::string_view> fields;
-  while (true) {
-    const std::size_t comma = value.find(',');
-    fields.push_back(value.substr(0, comma));
-    if (comma == std::string_view::npos) break;
-    value.remove_prefix(comma + 1);
+/// Applies one fault-spec parse result; malformed specs exit with the
+/// parser's one-line actionable message instead of the generic usage.
+void fault_spec(const std::optional<std::string>& error) {
+  if (error) {
+    std::fprintf(stderr, "%s\n", error->c_str());
+    std::exit(2);
   }
-  return fields;
 }
 
 Pattern parse_pattern(std::string_view name) {
@@ -209,53 +217,27 @@ int main(int argc, char** argv) {
       config.topology.port_gbps = parse_double(*v, "--port-gbps");
       config.topology.use_switch = true;
     } else if (auto v = flag_value(arg, "--ge")) {
-      const auto fields = split_fields(*v);
-      if (fields.empty() || fields.size() > 3) usage(2);
-      const double avg = parse_double(fields[0], "--ge average loss");
-      const double burst =
-          fields.size() > 1 ? parse_double(fields[1], "--ge burst frames")
-                            : 10.0;
-      const double bad =
-          fields.size() > 2 ? parse_double(fields[2], "--ge bad-state loss")
-                            : 0.5;
-      config.faults.gilbert_elliott =
-          GilbertElliottConfig::for_average_loss(avg, burst, bad);
+      fault_spec(parse_ge_spec(*v, config.faults));
     } else if (auto v = flag_value(arg, "--flap")) {
-      const auto fields = split_fields(*v);
-      if (fields.size() < 2 || fields.size() > 3) usage(2);
-      LinkFlap flap;
-      flap.at = parse_long(fields[0], "--flap at") * kMillisecond;
-      flap.duration = parse_long(fields[1], "--flap duration") * kMillisecond;
-      if (fields.size() > 2) {
-        flap.link = static_cast<int>(parse_long(fields[2], "--flap link"));
-      }
-      config.faults.link_flaps.push_back(flap);
+      fault_spec(parse_flap_spec(*v, config.faults));
     } else if (auto v = flag_value(arg, "--corrupt")) {
       config.faults.corrupt_rate = parse_double(*v, "--corrupt");
     } else if (auto v = flag_value(arg, "--stall")) {
-      const auto fields = split_fields(*v);
-      if (fields.size() < 2 || fields.size() > 4) usage(2);
-      RingStall stall;
-      stall.at = parse_long(fields[0], "--stall at") * kMillisecond;
-      stall.duration = parse_long(fields[1], "--stall duration") * kMillisecond;
-      if (fields.size() > 2) {
-        stall.queue = static_cast<int>(parse_long(fields[2], "--stall queue"));
-      }
-      if (fields.size() > 3) {
-        stall.host = static_cast<int>(parse_long(fields[3], "--stall host"));
-      }
-      config.faults.ring_stalls.push_back(stall);
+      fault_spec(parse_stall_spec(*v, config.faults));
     } else if (auto v = flag_value(arg, "--pressure")) {
-      const auto fields = split_fields(*v);
-      if (fields.size() < 2 || fields.size() > 3) usage(2);
-      PoolPressure pressure;
-      pressure.at = parse_long(fields[0], "--pressure at") * kMillisecond;
-      pressure.duration =
-          parse_long(fields[1], "--pressure duration") * kMillisecond;
-      if (fields.size() > 2) {
-        pressure.deny_prob = parse_double(fields[2], "--pressure deny");
-      }
-      config.faults.pool_pressure.push_back(pressure);
+      fault_spec(parse_pressure_spec(*v, config.faults));
+    } else if (auto v = flag_value(arg, "--crash")) {
+      fault_spec(parse_crash_spec(*v, config.faults));
+    } else if (auto v = flag_value(arg, "--blackhole")) {
+      fault_spec(parse_blackhole_spec(*v, config.faults));
+    } else if (auto v = flag_value(arg, "--retries")) {
+      config.traffic.resilience.enabled = true;
+      config.traffic.resilience.max_retries =
+          static_cast<int>(parse_long(*v, "--retries"));
+    } else if (auto v = flag_value(arg, "--rpc-deadline-ms")) {
+      config.traffic.resilience.enabled = true;
+      config.traffic.resilience.deadline =
+          parse_long(*v, "--rpc-deadline-ms") * kMillisecond;
     } else if (auto v = flag_value(arg, "--watchdog-ms")) {
       config.watchdog.period = parse_long(*v, "--watchdog-ms") * kMillisecond;
     } else if (arg == "--no-invariants") {
@@ -318,6 +300,7 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(metrics.retransmits));
   }
   print_fault_summary(metrics);
+  print_recovery_summary(metrics);
   print_cluster_summary(metrics);
   print_obs_summary(metrics);
   if (!config.obs.out_dir.empty()) {
