@@ -1,0 +1,250 @@
+// Extension (workload): closed-loop vs open-loop tail latency.
+//
+// A closed-loop client (ping-pong RpcClient) only offers the next
+// request after the previous response returns, so when the host
+// saturates the *offered load* silently drops and measured latency
+// stays flat — the coordinated-omission blind spot.  An open-loop
+// generator keeps injecting at scheduled arrival times; approaching
+// saturation the per-connection backlogs grow and the p99 measured from
+// arrival (not issue) explodes.
+//
+// The bench first measures the closed-loop capacity R (transactions/s)
+// and p99 of an 8-connection RPC echo between two hosts, then replays
+// the identical topology open-loop at fractions of R and reports the
+// latency ladder at each offered load.
+//
+//   $ ext_open_loop [--quick] [--gate] [--out=FILE.json] [--jsonl=FILE]
+//
+// --gate enforces the divergence for CI: at 95% of the closed-loop
+// capacity the open-loop p99 (arrival -> completion) must be at least
+// 3x the closed-loop p99.  --jsonl dumps the per-request lifecycle
+// records of the highest-load open-loop run.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+
+namespace {
+
+using namespace hostsim;
+
+struct LoadPoint {
+  std::string name;
+  double fraction = 0;  ///< of closed-loop capacity (0 = the closed run)
+  double wall_seconds = 0;
+  Metrics metrics;
+};
+
+ExperimentConfig base_config(bool quick) {
+  ExperimentConfig config;
+  config.traffic.flows = 8;
+  config.traffic.rpc_size = 4 * kKiB;
+  config.warmup = quick ? 2 * kMillisecond : 5 * kMillisecond;
+  config.duration = quick ? 8 * kMillisecond : 20 * kMillisecond;
+  return config;
+}
+
+ExperimentConfig closed_config(bool quick) {
+  ExperimentConfig config = base_config(quick);
+  config.traffic.pattern = Pattern::rpc_incast;
+  return config;
+}
+
+ExperimentConfig open_config(bool quick, double rate_rps) {
+  ExperimentConfig config = base_config(quick);
+  config.traffic.pattern = Pattern::open_loop;
+  config.traffic.workload.enabled = true;
+  config.traffic.workload.rate_rps = rate_rps;
+  return config;
+}
+
+std::string to_json(const std::vector<LoadPoint>& points, bool quick) {
+  JsonWriter json;
+  json.begin_object();
+  json.key("schema").value("hostsim-bench-engine/v1");
+  json.key("quick").value(quick);
+  json.key("benches").begin_array();
+  for (const LoadPoint& point : points) {
+    json.begin_object();
+    json.key("name").value("open_loop_" + point.name);
+    json.key("unit").value("transactions");
+    json.key("count").value(
+        static_cast<double>(point.metrics.rpc_transactions));
+    json.key("seconds").value(point.wall_seconds);
+    json.key("rate").value(
+        static_cast<double>(point.metrics.rpc_transactions) /
+        point.wall_seconds);
+    json.key("extra").begin_object();
+    json.key("load_fraction").value(point.fraction);
+    if (point.metrics.has_workload) {
+      const Metrics::WorkloadMetrics& w = point.metrics.workload;
+      json.key("offered_rps").value(w.offered_rps);
+      json.key("completed_rps").value(w.completed_rps);
+      json.key("incomplete").value(static_cast<double>(w.incomplete));
+      json.key("latency_p50_ns").value(static_cast<double>(w.latency_p50));
+      json.key("latency_p99_ns").value(static_cast<double>(w.latency_p99));
+      json.key("latency_p999_ns").value(
+          static_cast<double>(w.latency_p999));
+      json.key("queue_p99_ns").value(static_cast<double>(w.queue_p99));
+    } else {
+      json.key("rps").value(point.metrics.rpc_transactions_per_sec);
+      json.key("latency_p50_ns").value(
+          static_cast<double>(point.metrics.rpc_latency_p50));
+      json.key("latency_p99_ns").value(
+          static_cast<double>(point.metrics.rpc_latency_p99));
+    }
+    json.end_object();
+    json.end_object();
+  }
+  json.end_array();
+  json.end_object();
+  return json.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  bool gate = false;
+  std::string out;
+  std::string jsonl;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      quick = true;
+    } else if (arg == "--gate") {
+      gate = true;
+    } else if (arg.rfind("--out=", 0) == 0) {
+      out = arg.substr(6);
+    } else if (arg.rfind("--jsonl=", 0) == 0) {
+      jsonl = arg.substr(8);
+    } else {
+      std::fprintf(stderr,
+                   "usage: ext_open_loop [--quick] [--gate] "
+                   "[--out=FILE.json] [--jsonl=FILE]\n");
+      return 1;
+    }
+  }
+
+  print_section("closed-loop vs open-loop: 8-connection 4KiB RPC echo");
+  std::vector<LoadPoint> points;
+
+  // Closed-loop baseline: capacity R and the latency it *claims*.
+  LoadPoint closed;
+  closed.name = "closed";
+  {
+    const auto wall_start = std::chrono::steady_clock::now();
+    closed.metrics = run_experiment(closed_config(quick));
+    closed.wall_seconds = std::chrono::duration<double>(
+                              std::chrono::steady_clock::now() - wall_start)
+                              .count();
+  }
+  const double capacity = closed.metrics.rpc_transactions_per_sec;
+  const Nanos closed_p99 = closed.metrics.rpc_latency_p99;
+  points.push_back(closed);
+  std::printf("closed-loop capacity: %.0f transactions/s, p99 %.1f us\n",
+              capacity, static_cast<double>(closed_p99) / 1000.0);
+
+  // Open-loop replays at fractions of that capacity.
+  const std::vector<double> fractions =
+      quick ? std::vector<double>{0.6, 0.95}
+            : std::vector<double>{0.6, 0.8, 0.95};
+  Table table({"offered", "offered_rps", "completed_rps", "p50_us", "p99_us",
+               "p999_us", "queue_p99_us", "incomplete"});
+  table.add_row({"closed", Table::num(capacity, 0), Table::num(capacity, 0),
+                 Table::num(static_cast<double>(
+                                closed.metrics.rpc_latency_p50) /
+                                1000.0,
+                            1),
+                 Table::num(static_cast<double>(closed_p99) / 1000.0, 1),
+                 "-", "-", "0"});
+  for (const double fraction : fractions) {
+    LoadPoint point;
+    char name[32];
+    std::snprintf(name, sizeof name, "%.0f_pct", fraction * 100);
+    point.name = name;
+    point.fraction = fraction;
+    const auto wall_start = std::chrono::steady_clock::now();
+    point.metrics = run_experiment(open_config(quick, fraction * capacity));
+    point.wall_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - wall_start)
+                             .count();
+    const Metrics::WorkloadMetrics& w = point.metrics.workload;
+    table.add_row(
+        {name, Table::num(w.offered_rps, 0), Table::num(w.completed_rps, 0),
+         Table::num(static_cast<double>(w.latency_p50) / 1000.0, 1),
+         Table::num(static_cast<double>(w.latency_p99) / 1000.0, 1),
+         Table::num(static_cast<double>(w.latency_p999) / 1000.0, 1),
+         Table::num(static_cast<double>(w.queue_p99) / 1000.0, 1),
+         std::to_string(w.incomplete)});
+    points.push_back(std::move(point));
+  }
+  table.print();
+  std::printf(
+      "  (closed-loop latency stays flat because a slow host throttles the\n"
+      "   offered load itself; the open-loop generator keeps injecting, so\n"
+      "   approaching capacity the backlog — and the p99 measured from\n"
+      "   arrival — explodes)\n");
+
+  if (!jsonl.empty()) {
+    const LoadPoint& heaviest = points.back();
+    std::ofstream file(jsonl, std::ios::binary);
+    workload::write_records_jsonl(heaviest.metrics.workload_records, file);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", jsonl.c_str());
+      return 1;
+    }
+    std::printf("  wrote %zu request records to %s\n",
+                heaviest.metrics.workload_records.size(), jsonl.c_str());
+  }
+
+  if (!out.empty()) {
+    std::ofstream file(out, std::ios::binary);
+    file << to_json(points, quick) << "\n";
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", out.c_str());
+      return 1;
+    }
+    std::printf("  wrote %s\n", out.c_str());
+  }
+
+  if (gate) {
+    int violations = 0;
+    if (closed_p99 <= 0 || capacity <= 0) {
+      std::fprintf(stderr, "GATE: closed-loop baseline measured nothing\n");
+      ++violations;
+    }
+    for (const LoadPoint& point : points) {
+      if (point.fraction == 0) continue;
+      if (!point.metrics.has_workload ||
+          point.metrics.workload.completed == 0) {
+        std::fprintf(stderr, "GATE: %s completed no requests\n",
+                     point.name.c_str());
+        ++violations;
+        continue;
+      }
+      if (point.metrics.invariant_violations != 0) {
+        std::fprintf(stderr, "GATE: %s tripped invariant checks\n",
+                     point.name.c_str());
+        ++violations;
+      }
+      if (point.fraction >= 0.9 &&
+          point.metrics.workload.latency_p99 < 3 * closed_p99) {
+        std::fprintf(
+            stderr,
+            "GATE: open-loop p99 at %.0f%% load is %.1f us, want >= 3x the "
+            "closed-loop p99 (%.1f us) — open-loop queueing is invisible\n",
+            point.fraction * 100,
+            static_cast<double>(point.metrics.workload.latency_p99) / 1000.0,
+            static_cast<double>(closed_p99) / 1000.0);
+        ++violations;
+      }
+    }
+    if (violations > 0) return 1;
+    std::printf("  gate: open-loop tail divergence holds\n");
+  }
+  return 0;
+}

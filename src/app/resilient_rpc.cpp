@@ -30,6 +30,23 @@ ResilientRpcClient::ResilientRpcClient(Core& core, TcpSocket& socket,
       [this](Core& c, Thread& thread) { run_quantum(c, thread); });
 }
 
+void ResilientRpcClient::enable_driver_mode(
+    std::function<void(bool ok)> on_complete) {
+  require(attempt_ == 0 && response_pending_ == 0 &&
+              counters_.completed == 0,
+          "enable driver mode before the first request issues");
+  driver_mode_ = true;
+  on_complete_ = std::move(on_complete);
+}
+
+void ResilientRpcClient::submit() {
+  require(driver_mode_,
+          "submit() needs driver mode: the closed-loop client issues its "
+          "own requests and a second writer would desync the echo framing");
+  ++pending_submissions_;
+  thread_.notify();
+}
+
 void ResilientRpcClient::bind_socket() {
   socket_->set_rx_waiter(&thread_);
   socket_->set_tx_waiter(&thread_);
@@ -66,8 +83,16 @@ void ResilientRpcClient::run_quantum(Core& c, Thread& thread) {
     return;
   }
   if (response_pending_ == 0) {
+    if (driver_mode_ && attempt_ == 0 && pending_submissions_ == 0) {
+      // Open loop: nothing queued, wait for the next submit().
+      thread.finish_quantum(/*more_work=*/false);
+      return;
+    }
     // Issue the next attempt (a fresh request when attempt_ is 0).
-    if (attempt_ == 0) first_issued_at_ = c.loop().now();
+    if (attempt_ == 0) {
+      first_issued_at_ = c.loop().now();
+      if (driver_mode_) --pending_submissions_;
+    }
     ++attempt_;
     response_pending_ = rpc_size_;
     request_pending_ = rpc_size_ - socket_->send(c, rpc_size_);
@@ -83,6 +108,11 @@ void ResilientRpcClient::run_quantum(Core& c, Thread& thread) {
     latency_.record(c.loop().now() - first_issued_at_);
     attempt_ = 0;
     consecutive_failures_ = 0;  // closes a half-open breaker
+    if (driver_mode_) {
+      if (on_complete_) on_complete_(/*ok=*/true);
+      thread.finish_quantum(/*more_work=*/pending_submissions_ > 0);
+      return;
+    }
     // Ping-pong: immediately send the next request.
     thread.finish_quantum(/*more_work=*/true);
   } else {
@@ -116,6 +146,8 @@ bool ResilientRpcClient::handle_failure(Core& c) {
   if (budget_spent) {
     ++counters_.failed;
     attempt_ = 0;  // give up; the next quantum issues a fresh request
+    // In driver mode the spent submission is consumed: report it.
+    if (driver_mode_ && on_complete_) on_complete_(/*ok=*/false);
   } else {
     ++counters_.retries;
   }

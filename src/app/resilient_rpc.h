@@ -49,6 +49,26 @@ class ResilientRpcClient {
   /// Issues the first request.
   void start() { thread_.notify(); }
 
+  /// Switches the client from its built-in closed loop (ping-pong: the
+  /// next request issues the instant a response completes) to *driver
+  /// mode*: requests are queued by an external generator via submit()
+  /// and served serially over the single byte stream.  The closed-loop
+  /// state machine silently assumed one outstanding request; driver
+  /// mode makes multiple outstanding submissions safe by queueing them
+  /// — the connection never carries two interleaved requests, so the
+  /// echo framing (and the retry/backoff machinery, which replays the
+  /// *current* request only) is preserved.  `on_complete(ok)` fires once
+  /// per submission: ok=false when the retry budget was spent.
+  /// Must be called before the first request is issued.
+  void enable_driver_mode(std::function<void(bool ok)> on_complete);
+
+  /// Queues one request (driver mode only — asserts otherwise).  Safe to
+  /// call with any number of requests already outstanding.
+  void submit();
+
+  /// Submissions accepted but not yet issued (driver mode).
+  std::uint64_t queued() const { return pending_submissions_; }
+
   Thread& thread() { return thread_; }
   const Counters& counters() const { return counters_; }
   std::uint64_t completed() const { return counters_.completed; }
@@ -85,6 +105,10 @@ class ResilientRpcClient {
   bool waiting_backoff_ = false;   ///< blocked until the backoff timer
   bool handling_failure_ = false;  ///< suppress self-inflicted errors
   SocketError conn_error_ = SocketError::none;
+
+  bool driver_mode_ = false;
+  std::uint64_t pending_submissions_ = 0;
+  std::function<void(bool ok)> on_complete_;
 
   Counters counters_;
   Histogram latency_;

@@ -443,6 +443,34 @@ Cluster::FlowEndpoints Cluster::make_flow(FlowEndpoint src, FlowEndpoint dst,
   return endpoints;
 }
 
+int Cluster::open_flow(FlowEndpoint src, FlowEndpoint dst, Nanos syn_retry,
+                       int max_syn_retries, Stack::ConnectFn on_done) {
+  require(src.host >= 0 && src.host < num_hosts() && dst.host >= 0 &&
+              dst.host < num_hosts(),
+          "flow endpoint host out of range");
+  require(src.host != dst.host, "flow endpoints must be on distinct hosts");
+  require(!config_.stack.receiver_driven,
+          "handshaking flows unsupported in receiver-driven mode");
+  const int flow = next_flow_++;
+  Host& src_host = host(src.host);
+  Host& dst_host = host(dst.host);
+  routes_.push_back(FlowRoute{src.host, dst.host, src.core, dst.core});
+
+  src_host.stack().create_socket(flow, src.core);
+  src_host.nic().set_flow_dst(flow, dst.host);
+  dst_host.nic().set_flow_dst(flow, src.host);
+  if (config_.stack.arfs) {
+    src_host.nic().steer_flow(flow, src.core);
+    dst_host.nic().steer_flow(flow, dst.core);
+  }
+  // No explicit-RSS slot: ephemeral churn flows would exhaust the
+  // remote-core mapping; they take the hash fallback instead.
+
+  src_host.stack().connect(flow, syn_retry, max_syn_retries,
+                           std::move(on_done));
+  return flow;
+}
+
 Cluster::FlowEndpoints Cluster::reconnect_flow(Core& core, int flow) {
   require(!config_.stack.receiver_driven,
           "reconnect unsupported in receiver-driven mode");

@@ -134,6 +134,18 @@ class Cluster {
     return routes_.at(static_cast<std::size_t>(flow));
   }
 
+  /// Opens a *handshaking* flow (open-loop workload engine): allocates a
+  /// fresh flow id and route, creates only the client-side socket, and
+  /// starts the SYN handshake against `dst.host`'s listener (which
+  /// creates the server socket on accept — see Stack::listen).  Unlike
+  /// make_flow, the connection is not usable until `on_done(true)` runs;
+  /// on SYN-retry exhaustion `on_done(false)` fires and the caller must
+  /// abort + destroy the orphaned client socket.  Churn flows steer via
+  /// aRFS when enabled and the hash fallback otherwise (they never claim
+  /// explicit-RSS slots), and register no per-flow gauges.
+  int open_flow(FlowEndpoint src, FlowEndpoint dst, Nanos syn_retry,
+                int max_syn_retries, Stack::ConnectFn on_done);
+
   /// Replaces a dead connection with a fresh one between the same
   /// endpoints, under a *new* flow id — stale in-flight frames for the
   /// old id must not corrupt the new connection's sequence space (they

@@ -40,6 +40,7 @@ std::string_view to_string(Pattern pattern) {
     case Pattern::all_to_all: return "all-to-all";
     case Pattern::rpc_incast: return "rpc-incast";
     case Pattern::mixed: return "mixed";
+    case Pattern::open_loop: return "open-loop";
   }
   return "?";
 }

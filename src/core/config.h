@@ -18,6 +18,7 @@
 #include "sim/fault_injector.h"
 #include "sim/invariant_checker.h"
 #include "sim/units.h"
+#include "workload/workload_config.h"
 
 namespace hostsim {
 
@@ -108,6 +109,7 @@ enum class Pattern : std::uint8_t {
   all_to_all,   ///< n x n flows between n cores on each side
   rpc_incast,   ///< n RPC clients -> one single-core RPC server
   mixed,        ///< 1 long flow + n 4KB RPCs sharing one core per side
+  open_loop,    ///< open-loop generator over a connection pool (workload::)
 };
 
 std::string_view to_string(Pattern pattern);
@@ -132,6 +134,11 @@ struct TrafficConfig {
   /// circuit breaker).  Disabled by default; serialized only when
   /// enabled, so legacy config hashes hold.
   RpcResilienceConfig resilience;
+  /// Open-loop engine parameters (Pattern::open_loop: arrival process,
+  /// size mix, churn, fan-out).  Disabled by default; serialized only
+  /// when enabled, so legacy config hashes hold.  `flows` above is the
+  /// connection-pool size.
+  WorkloadConfig workload;
 };
 
 /// Cluster topology.  The default (2 hosts, no switch) is the paper's

@@ -388,6 +388,11 @@ Metrics Experiment::run() {
     }
   }
 
+  if (workload.open_loop != nullptr) {
+    workload.open_loop->harvest(config_.warmup,
+                                config_.warmup + config_.duration, metrics);
+  }
+
   if (obs::Observer* o = testbed.observer()) {
     // In-memory breakdown (never serialized — see metrics_to_json), then
     // the on-disk artifacts.  Exported before the invariant sweep so a

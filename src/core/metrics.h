@@ -13,6 +13,7 @@
 #include "sim/fault_injector.h"
 #include "sim/trace.h"
 #include "sim/units.h"
+#include "workload/request_record.h"
 
 namespace hostsim {
 
@@ -140,6 +141,51 @@ struct Metrics {
   };
   bool has_recovery = false;
   RecoveryMetrics recovery;
+
+  // Open-loop workload rollup; `has_workload` is set only for
+  // Pattern::open_loop runs, so every legacy configuration keeps its
+  // metrics JSON byte-for-byte.
+  struct WorkloadMetrics {
+    std::uint64_t offered = 0;    ///< requests arriving in the window
+    std::uint64_t completed = 0;  ///< of those, completed before run end
+    std::uint64_t incomplete = 0;
+    double offered_rps = 0.0;
+    double completed_rps = 0.0;
+    // End-to-end request latency (arrival -> last leaf completion).
+    Nanos latency_p50 = 0;
+    Nanos latency_p95 = 0;
+    Nanos latency_p99 = 0;
+    Nanos latency_p999 = 0;
+    // Queueing delay (arrival -> first leaf dispatched).
+    Nanos queue_p50 = 0;
+    Nanos queue_p99 = 0;
+    Nanos first_byte_p99 = 0;  ///< arrival -> first response byte
+    Nanos connect_p99 = 0;     ///< handshake latency (measurement window)
+    Nanos leaf_p99 = 0;        ///< per-leaf RPC latency
+    std::uint64_t fanout_leaves = 0;  ///< leaves completed in the window
+    std::uint64_t slo_violations = 0; ///< completed past traffic SLO (if set)
+    std::uint64_t conns_opened = 0;   ///< whole-run connection opens
+    std::uint64_t conns_closed = 0;   ///< whole-run graceful closes
+    std::uint64_t redispatches = 0;   ///< leaves replayed on a fresh conn
+    // Whole-run churn counters summed (peaks: maxed) across host stacks.
+    std::uint64_t syns_sent = 0;
+    std::uint64_t syn_retries = 0;
+    std::uint64_t syns_received = 0;
+    std::uint64_t listen_overflows = 0;
+    std::uint64_t accepts = 0;
+    std::uint64_t connect_failures = 0;
+    std::uint64_t time_wait_entered = 0;
+    std::uint64_t time_wait_reaped = 0;
+    std::uint64_t time_wait_peak = 0;
+    std::uint64_t socket_table_peak = 0;
+  };
+  bool has_workload = false;
+  WorkloadMetrics workload;
+
+  /// Whole-run per-request lifecycle records (open-loop runs only).
+  /// In memory only, like `trace`: metrics_to_json() skips them; the
+  /// JSONL export path (write_records_jsonl) is the on-disk format.
+  std::vector<workload::RequestRecord> workload_records;
 
   /// Merged flight-recorder trace from both hosts (empty unless
   /// StackConfig::trace_capacity was set), time-ordered.

@@ -139,6 +139,11 @@ Workload build_cluster_workload(Cluster& cluster,
       }
       break;
     }
+    case Pattern::open_loop: {
+      workload.open_loop = std::make_unique<workload::OpenLoopEngine>(
+          cluster, traffic, receiver_app_core(cluster, traffic));
+      break;
+    }
     case Pattern::mixed: {
       // One long flow from host 0 plus n short RPC flows, core placement
       // as in the two-host form (paper fig. 11 / §4 segregation).
@@ -170,12 +175,14 @@ void Workload::start() {
   for (auto& sender : long_senders) sender->start();
   for (auto& client : rpc_clients) client->start();
   for (auto& client : resilient_clients) client->start();
+  if (open_loop != nullptr) open_loop->start();
 }
 
 std::uint64_t Workload::rpc_transactions() const {
   std::uint64_t total = 0;
   for (const auto& client : rpc_clients) total += client->completed();
   for (const auto& client : resilient_clients) total += client->completed();
+  if (open_loop != nullptr) total += open_loop->completed();
   return total;
 }
 
@@ -185,12 +192,14 @@ Histogram Workload::rpc_latency() const {
   for (const auto& client : resilient_clients) {
     merged.merge(client->latency());
   }
+  if (open_loop != nullptr) merged.merge(open_loop->latency());
   return merged;
 }
 
 void Workload::reset_rpc_latency() {
   for (auto& client : rpc_clients) client->reset_latency();
   for (auto& client : resilient_clients) client->reset_latency();
+  if (open_loop != nullptr) open_loop->reset_window();
 }
 
 ResilientRpcClient::Counters Workload::rpc_recovery_totals() const {
@@ -270,6 +279,11 @@ Workload build_workload(Testbed& testbed, const TrafficConfig& traffic) {
         add_rpc_client(testbed, workload, traffic, testbed.sender().core(i),
                        *endpoints.at_sender, workload.rpc_servers.back().get());
       }
+      break;
+    }
+    case Pattern::open_loop: {
+      workload.open_loop = std::make_unique<workload::OpenLoopEngine>(
+          testbed, traffic, receiver_app_core(testbed, traffic));
       break;
     }
     case Pattern::mixed: {

@@ -10,6 +10,7 @@
 #include "app/resilient_rpc.h"
 #include "app/rpc_app.h"
 #include "core/testbed.h"
+#include "workload/open_loop.h"
 
 namespace hostsim {
 
@@ -22,6 +23,8 @@ struct Workload {
   /// Deadline/retry/breaker clients (traffic.resilience.enabled); these
   /// replace rpc_clients for the rpc patterns when resilience is on.
   std::vector<std::unique_ptr<ResilientRpcClient>> resilient_clients;
+  /// Open-loop traffic engine (Pattern::open_loop only).
+  std::unique_ptr<workload::OpenLoopEngine> open_loop;
 
   /// Kicks off every application.
   void start();

@@ -235,6 +235,52 @@ void print_cluster_summary(const Metrics& metrics) {
   }
 }
 
+void print_workload_summary(const Metrics& metrics) {
+  if (!metrics.has_workload) return;
+  const Metrics::WorkloadMetrics& w = metrics.workload;
+  print_section("open-loop workload");
+  std::printf("offered %llu req (%.0f rps), completed %llu (%.0f rps), "
+              "%llu incomplete at run end\n",
+              static_cast<unsigned long long>(w.offered), w.offered_rps,
+              static_cast<unsigned long long>(w.completed), w.completed_rps,
+              static_cast<unsigned long long>(w.incomplete));
+  Table table({"metric", "p50_us", "p95_us", "p99_us", "p999_us"});
+  const auto us = [](Nanos n) {
+    return Table::num(static_cast<double>(n) / 1'000.0, 1);
+  };
+  table.add_row({"request latency", us(w.latency_p50), us(w.latency_p95),
+                 us(w.latency_p99), us(w.latency_p999)});
+  table.add_row({"queueing delay", us(w.queue_p50), "-", us(w.queue_p99),
+                 "-"});
+  table.add_row({"first byte", "-", "-", us(w.first_byte_p99), "-"});
+  table.add_row({"leaf rpc", "-", "-", us(w.leaf_p99), "-"});
+  table.add_row({"connect", "-", "-", us(w.connect_p99), "-"});
+  table.print();
+  if (w.slo_violations > 0) {
+    std::printf("SLO: %llu completed request(s) exceeded the objective\n",
+                static_cast<unsigned long long>(w.slo_violations));
+  }
+  std::printf("connections: %llu opened, %llu closed, %llu redispatched "
+              "leaf(s); handshake: %llu SYN (%llu retries), %llu accepts, "
+              "%llu backlog overflows, %llu connect failure(s)\n",
+              static_cast<unsigned long long>(w.conns_opened),
+              static_cast<unsigned long long>(w.conns_closed),
+              static_cast<unsigned long long>(w.redispatches),
+              static_cast<unsigned long long>(w.syns_sent),
+              static_cast<unsigned long long>(w.syn_retries),
+              static_cast<unsigned long long>(w.accepts),
+              static_cast<unsigned long long>(w.listen_overflows),
+              static_cast<unsigned long long>(w.connect_failures));
+  if (w.time_wait_entered > 0) {
+    std::printf("TIME_WAIT: %llu entered, %llu reaped, peak %llu "
+                "(socket table peak %llu)\n",
+                static_cast<unsigned long long>(w.time_wait_entered),
+                static_cast<unsigned long long>(w.time_wait_reaped),
+                static_cast<unsigned long long>(w.time_wait_peak),
+                static_cast<unsigned long long>(w.socket_table_peak));
+  }
+}
+
 void print_obs_summary(const Metrics& metrics) {
   if (metrics.obs_stages.empty()) return;
   print_section("pipeline latency (sampled spans)");

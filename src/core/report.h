@@ -75,6 +75,11 @@ void print_cluster_summary(const Metrics& metrics);
 /// p50/p99) from span tracing (a no-op when spans were off).
 void print_obs_summary(const Metrics& metrics);
 
+/// Prints the open-loop workload rollup — offered/completed load, the
+/// latency percentile ladder, and churn/handshake counters (a no-op for
+/// closed-loop runs, whose metrics carry no workload section).
+void print_workload_summary(const Metrics& metrics);
+
 }  // namespace hostsim
 
 #endif  // HOSTSIM_CORE_REPORT_H

@@ -386,6 +386,34 @@ void write_traffic(JsonWriter& w, const TrafficConfig& t) {
     w.key("breaker_cooldown").value(r.breaker_cooldown);
     w.end_object();
   }
+  // The open-loop workload section is new; only enabled configurations
+  // emit it, so every legacy traffic block keeps its canonical form and
+  // hash (and therefore its sweep cache key).
+  if (t.workload.enabled) {
+    const WorkloadConfig& wl = t.workload;
+    w.key("workload").begin_object();
+    w.key("enabled").value(wl.enabled);
+    w.key("arrivals").value(to_string(wl.arrivals));
+    w.key("rate_rps").value(wl.rate_rps);
+    w.key("burst_factor").value(wl.burst_factor);
+    w.key("burst_on_mean").value(wl.burst_on_mean);
+    w.key("burst_off_mean").value(wl.burst_off_mean);
+    w.key("diurnal_amplitude").value(wl.diurnal_amplitude);
+    w.key("diurnal_period").value(wl.diurnal_period);
+    w.key("sizes").value(to_string(wl.sizes));
+    w.key("lognormal_sigma").value(wl.lognormal_sigma);
+    w.key("pareto_alpha").value(wl.pareto_alpha);
+    w.key("size_min").value(wl.size_min);
+    w.key("size_max").value(wl.size_max);
+    w.key("churn_prob").value(wl.churn_prob);
+    w.key("time_wait").value(wl.time_wait);
+    w.key("listen_backlog").value(wl.listen_backlog);
+    w.key("syn_retry").value(wl.syn_retry);
+    w.key("max_syn_retries").value(wl.max_syn_retries);
+    w.key("fan_out").value(wl.fan_out);
+    w.key("slo").value(wl.slo);
+    w.end_object();
+  }
   w.end_object();
 }
 
@@ -706,6 +734,44 @@ std::string metrics_to_json(const Metrics& m) {
     w.key("bytes_destroyed").value(m.recovery.bytes_destroyed);
     w.end_object();
   }
+  // Optional open-loop workload section (Pattern::open_loop runs only),
+  // so legacy documents stay byte-identical.  Per-request lifecycle
+  // records are deliberately NOT serialized here — like the trace, they
+  // are in-memory only, exported separately as JSONL.
+  if (m.has_workload) {
+    const Metrics::WorkloadMetrics& wl = m.workload;
+    w.key("workload").begin_object();
+    w.key("offered").value(wl.offered);
+    w.key("completed").value(wl.completed);
+    w.key("incomplete").value(wl.incomplete);
+    w.key("offered_rps").value(wl.offered_rps);
+    w.key("completed_rps").value(wl.completed_rps);
+    w.key("latency_p50").value(wl.latency_p50);
+    w.key("latency_p95").value(wl.latency_p95);
+    w.key("latency_p99").value(wl.latency_p99);
+    w.key("latency_p999").value(wl.latency_p999);
+    w.key("queue_p50").value(wl.queue_p50);
+    w.key("queue_p99").value(wl.queue_p99);
+    w.key("first_byte_p99").value(wl.first_byte_p99);
+    w.key("connect_p99").value(wl.connect_p99);
+    w.key("leaf_p99").value(wl.leaf_p99);
+    w.key("fanout_leaves").value(wl.fanout_leaves);
+    w.key("slo_violations").value(wl.slo_violations);
+    w.key("conns_opened").value(wl.conns_opened);
+    w.key("conns_closed").value(wl.conns_closed);
+    w.key("redispatches").value(wl.redispatches);
+    w.key("syns_sent").value(wl.syns_sent);
+    w.key("syn_retries").value(wl.syn_retries);
+    w.key("syns_received").value(wl.syns_received);
+    w.key("listen_overflows").value(wl.listen_overflows);
+    w.key("accepts").value(wl.accepts);
+    w.key("connect_failures").value(wl.connect_failures);
+    w.key("time_wait_entered").value(wl.time_wait_entered);
+    w.key("time_wait_reaped").value(wl.time_wait_reaped);
+    w.key("time_wait_peak").value(wl.time_wait_peak);
+    w.key("socket_table_peak").value(wl.socket_table_peak);
+    w.end_object();
+  }
   w.end_object();
   return w.str();
 }
@@ -877,6 +943,60 @@ std::optional<Metrics> metrics_from_json(const JsonValue& v) {
     ok &= rec_u64("reconnects", &m.recovery.reconnects);
     ok &= rec_u64("sockets_killed", &m.recovery.sockets_killed);
   }
+  // Optional workload section (absent in legacy / closed-loop documents).
+  const JsonValue* workload = v.find("workload");
+  if (workload != nullptr && workload->is_object()) {
+    m.has_workload = true;
+    const auto wl_u64 = [&workload](std::string_view name,
+                                    std::uint64_t* out) {
+      const JsonValue* cell = workload->find(name);
+      if (cell == nullptr || !cell->is_number()) return false;
+      *out = cell->as_u64();
+      return true;
+    };
+    const auto wl_i64 = [&workload](std::string_view name, Nanos* out) {
+      const JsonValue* cell = workload->find(name);
+      if (cell == nullptr || !cell->is_number()) return false;
+      *out = cell->as_i64();
+      return true;
+    };
+    const auto wl_dbl = [&workload](std::string_view name, double* out) {
+      const JsonValue* cell = workload->find(name);
+      if (cell == nullptr || !cell->is_number()) return false;
+      *out = cell->as_double();
+      return true;
+    };
+    Metrics::WorkloadMetrics& wl = m.workload;
+    ok &= wl_u64("offered", &wl.offered);
+    ok &= wl_u64("completed", &wl.completed);
+    ok &= wl_u64("incomplete", &wl.incomplete);
+    ok &= wl_dbl("offered_rps", &wl.offered_rps);
+    ok &= wl_dbl("completed_rps", &wl.completed_rps);
+    ok &= wl_i64("latency_p50", &wl.latency_p50);
+    ok &= wl_i64("latency_p95", &wl.latency_p95);
+    ok &= wl_i64("latency_p99", &wl.latency_p99);
+    ok &= wl_i64("latency_p999", &wl.latency_p999);
+    ok &= wl_i64("queue_p50", &wl.queue_p50);
+    ok &= wl_i64("queue_p99", &wl.queue_p99);
+    ok &= wl_i64("first_byte_p99", &wl.first_byte_p99);
+    ok &= wl_i64("connect_p99", &wl.connect_p99);
+    ok &= wl_i64("leaf_p99", &wl.leaf_p99);
+    ok &= wl_u64("fanout_leaves", &wl.fanout_leaves);
+    ok &= wl_u64("slo_violations", &wl.slo_violations);
+    ok &= wl_u64("conns_opened", &wl.conns_opened);
+    ok &= wl_u64("conns_closed", &wl.conns_closed);
+    ok &= wl_u64("redispatches", &wl.redispatches);
+    ok &= wl_u64("syns_sent", &wl.syns_sent);
+    ok &= wl_u64("syn_retries", &wl.syn_retries);
+    ok &= wl_u64("syns_received", &wl.syns_received);
+    ok &= wl_u64("listen_overflows", &wl.listen_overflows);
+    ok &= wl_u64("accepts", &wl.accepts);
+    ok &= wl_u64("connect_failures", &wl.connect_failures);
+    ok &= wl_u64("time_wait_entered", &wl.time_wait_entered);
+    ok &= wl_u64("time_wait_reaped", &wl.time_wait_reaped);
+    ok &= wl_u64("time_wait_peak", &wl.time_wait_peak);
+    ok &= wl_u64("socket_table_peak", &wl.socket_table_peak);
+  }
   if (!ok) return std::nullopt;
   return m;
 }
@@ -972,6 +1092,46 @@ std::vector<std::pair<std::string, double>> scalar_metrics(const Metrics& m) {
         static_cast<double>(m.recovery.sockets_killed));
     add("recovery.bytes_destroyed",
         static_cast<double>(m.recovery.bytes_destroyed));
+  }
+  // Workload rollups, appended only for open-loop runs so legacy
+  // artifacts keep their column set.  These are the names SLO percentile
+  // gates address, e.g. "workload.latency_p99".
+  if (m.has_workload) {
+    const Metrics::WorkloadMetrics& wl = m.workload;
+    add("workload.offered", static_cast<double>(wl.offered));
+    add("workload.completed", static_cast<double>(wl.completed));
+    add("workload.incomplete", static_cast<double>(wl.incomplete));
+    add("workload.offered_rps", wl.offered_rps);
+    add("workload.completed_rps", wl.completed_rps);
+    add("workload.latency_p50", static_cast<double>(wl.latency_p50));
+    add("workload.latency_p95", static_cast<double>(wl.latency_p95));
+    add("workload.latency_p99", static_cast<double>(wl.latency_p99));
+    add("workload.latency_p999", static_cast<double>(wl.latency_p999));
+    add("workload.queue_p50", static_cast<double>(wl.queue_p50));
+    add("workload.queue_p99", static_cast<double>(wl.queue_p99));
+    add("workload.first_byte_p99", static_cast<double>(wl.first_byte_p99));
+    add("workload.connect_p99", static_cast<double>(wl.connect_p99));
+    add("workload.leaf_p99", static_cast<double>(wl.leaf_p99));
+    add("workload.fanout_leaves", static_cast<double>(wl.fanout_leaves));
+    add("workload.slo_violations", static_cast<double>(wl.slo_violations));
+    add("workload.conns_opened", static_cast<double>(wl.conns_opened));
+    add("workload.conns_closed", static_cast<double>(wl.conns_closed));
+    add("workload.redispatches", static_cast<double>(wl.redispatches));
+    add("workload.syns_sent", static_cast<double>(wl.syns_sent));
+    add("workload.syn_retries", static_cast<double>(wl.syn_retries));
+    add("workload.syns_received", static_cast<double>(wl.syns_received));
+    add("workload.listen_overflows",
+        static_cast<double>(wl.listen_overflows));
+    add("workload.accepts", static_cast<double>(wl.accepts));
+    add("workload.connect_failures",
+        static_cast<double>(wl.connect_failures));
+    add("workload.time_wait_entered",
+        static_cast<double>(wl.time_wait_entered));
+    add("workload.time_wait_reaped",
+        static_cast<double>(wl.time_wait_reaped));
+    add("workload.time_wait_peak", static_cast<double>(wl.time_wait_peak));
+    add("workload.socket_table_peak",
+        static_cast<double>(wl.socket_table_peak));
   }
   return out;
 }

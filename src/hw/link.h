@@ -45,6 +45,8 @@ struct Frame {
   bool corrupt = false;  ///< delivered, but the receiver's checksum fails
   bool is_rst = false;   ///< connection reset (header-only; is_ack set too
                          ///< so it rides the NIC's copybreak path)
+  bool is_syn = false;   ///< handshake: SYN (alone) or SYN-ACK (with is_ack)
+  bool is_fin = false;   ///< active close (header-only; is_ack set too)
   Nanos echo_ts = -1;    ///< echoed send timestamp, for RTT estimation
   Nanos sent_at = 0;
 

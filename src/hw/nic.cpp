@@ -190,10 +190,11 @@ std::optional<Nic::PolledFrame> Nic::poll_one(Core& core, int index) {
 
   // Hardware receive coalescing: merge a contiguous same-flow train into
   // one delivered unit at zero CPU cost.
-  if (config_.lro && !frame.is_ack) {
+  if (config_.lro && !frame.is_ack && !frame.is_syn) {
     while (!queue.backlog.empty() && frame.payload < config_.lro_max_bytes) {
       BacklogEntry& next = queue.backlog.front();
-      if (next.frame.is_ack || next.frame.flow != frame.flow ||
+      if (next.frame.is_ack || next.frame.is_syn ||
+          next.frame.flow != frame.flow ||
           next.frame.seq != frame.seq + frame.payload ||
           frame.payload + next.frame.payload > config_.lro_max_bytes) {
         break;

@@ -83,6 +83,217 @@ void Stack::send_rst(int flow) {
   nic_->transmit(rst);
 }
 
+void Stack::send_syn(int flow) {
+  Frame syn;
+  syn.flow = flow;
+  syn.is_syn = true;
+  nic_->transmit(syn);
+  ++churn_.syns_sent;
+}
+
+void Stack::send_syn_ack(int flow) {
+  Frame syn_ack;
+  syn_ack.flow = flow;
+  syn_ack.is_syn = true;
+  syn_ack.is_ack = true;  // header-only: rides the driver copybreak path
+  nic_->transmit(syn_ack);
+}
+
+void Stack::note_socket_table() {
+  const std::uint64_t occupancy =
+      static_cast<std::uint64_t>(sockets_.size() + time_wait_.size());
+  if (occupancy > churn_.socket_table_peak) {
+    churn_.socket_table_peak = occupancy;
+  }
+}
+
+void Stack::listen(int app_core, int backlog, AcceptFn on_accept) {
+  require(!listener_.has_value(), "host already has a listener");
+  require(app_core >= 0 && app_core < num_cores(), "app core out of range");
+  require(backlog > 0, "listen backlog must be positive");
+  listener_ = Listener{app_core, backlog, 0, std::move(on_accept)};
+}
+
+void Stack::connect(int flow, Nanos retry_after, int max_retries,
+                    ConnectFn done) {
+  require(retry_after > 0, "SYN retry timeout must be positive");
+  require(max_retries >= 0, "SYN retry budget must be >= 0");
+  TcpSocket& client = socket(flow);  // created by the caller beforehand
+  require(connects_.find(flow) == connects_.end(),
+          "flow already has a pending connect");
+  PendingConnect& pending = connects_[flow];
+  pending.retry = std::make_unique<Timer>(
+      *loop_, [this, flow] { retry_connect(flow); });
+  pending.retry_after = retry_after;
+  pending.max_retries = max_retries;
+  pending.done = std::move(done);
+  // The connect syscall runs on the client's core; registration above
+  // is synchronous so a SYN-ACK can never race it.
+  cores_[static_cast<std::size_t>(client.app_core())]->post(
+      connect_ctx_, [this, flow](Core& core) {
+        auto it = connects_.find(flow);
+        if (it == connects_.end()) return;
+        core.charge(CpuCategory::etc, core.cost().syscall_overhead);
+        core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_tx);
+        ++it->second.tries;
+        send_syn(flow);
+        it->second.retry->arm_after(it->second.retry_after);
+      });
+}
+
+void Stack::retry_connect(int flow) {
+  // Timer context: re-enter task context on the client's core so the
+  // retransmit (or the failure callback) charges and runs there.
+  TcpSocket* client = find_socket(flow);
+  if (client == nullptr) {
+    connects_.erase(flow);
+    return;
+  }
+  cores_[static_cast<std::size_t>(client->app_core())]->post(
+      connect_ctx_, [this, flow](Core& core) {
+        auto it = connects_.find(flow);
+        if (it == connects_.end()) return;  // SYN-ACK won the race
+        PendingConnect& pending = it->second;
+        if (pending.tries > pending.max_retries) {
+          ++churn_.connect_failures;
+          ConnectFn done = std::move(pending.done);
+          connects_.erase(it);
+          if (done) done(false);
+          return;
+        }
+        core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_tx);
+        ++pending.tries;
+        ++churn_.syn_retries;
+        send_syn(flow);
+        // Exponential backoff, Linux-style doubling per retry.
+        const int shift = pending.tries - 1 < 6 ? pending.tries - 1 : 6;
+        pending.retry->arm_after(pending.retry_after << shift);
+      });
+}
+
+void Stack::handle_syn(Core& core, const Frame& frame) {
+  ++churn_.syns_received;
+  core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_rx);
+  if (!listener_.has_value()) {
+    send_rst(frame.flow);  // no listener: connection refused
+    return;
+  }
+  if (has_socket(frame.flow)) {
+    // Duplicate SYN (our SYN-ACK or the SYN retry crossed): idempotent
+    // resend, the connection state is unchanged.
+    send_syn_ack(frame.flow);
+    return;
+  }
+  Listener& listener = *listener_;
+  if (listener.pending >= listener.backlog) {
+    // Accept-queue overflow: the SYN is silently dropped, exactly like
+    // a full listen backlog without syncookies — the client's SYN
+    // retry timer is the recovery path.
+    ++churn_.listen_overflows;
+    return;
+  }
+  create_socket(frame.flow, listener.app_core);
+  note_socket_table();
+  ++listener.pending;
+  core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_tx);
+  send_syn_ack(frame.flow);
+  // Accept runs as a task on the listener core: the app pays the
+  // syscall there and binds its handler.  Data arriving before the
+  // accept task queues in the socket's receive queue, as in Linux.
+  cores_[static_cast<std::size_t>(listener.app_core)]->post(
+      connect_ctx_, [this, flow = frame.flow](Core& accept_core) {
+        require(listener_.has_value(), "listener vanished before accept");
+        --listener_->pending;
+        TcpSocket* accepted = find_socket(flow);
+        if (accepted == nullptr || accepted->dead()) return;
+        accept_core.charge(CpuCategory::etc,
+                           accept_core.cost().syscall_overhead);
+        ++churn_.accepts;
+        if (listener_->on_accept) listener_->on_accept(accept_core, *accepted);
+      });
+}
+
+void Stack::handle_syn_ack(Core& core, const Frame& frame) {
+  auto it = connects_.find(frame.flow);
+  if (it == connects_.end()) return;  // duplicate SYN-ACK; established
+  core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_rx);
+  ConnectFn done = std::move(it->second.done);
+  connects_.erase(it);  // destroys the retry timer (auto-cancel)
+  ++churn_.connects_established;
+  if (done) done(true);
+}
+
+void Stack::close(Core& core, int flow, Nanos time_wait) {
+  require(time_wait >= 0, "TIME_WAIT duration must be >= 0");
+  auto it = sockets_.find(flow);
+  require(it != sockets_.end(), "closing a flow with no socket");
+  TcpSocket& closing = *it->second;
+  require(!closing.dead(), "closing a dead socket (destroy it instead)");
+  require(closing.send_queue_empty() && closing.readable() == 0 &&
+              closing.ofo_bytes() == 0,
+          "close requires a quiescent connection");
+  core.charge(CpuCategory::etc, core.cost().syscall_overhead);
+  core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_tx);
+  Frame fin;
+  fin.flow = flow;
+  fin.is_fin = true;
+  fin.is_ack = true;  // header-only: rides the driver copybreak path
+  nic_->transmit(fin);
+  ++churn_.fins_sent;
+  // The quiescent socket holds no pages and no wire state: retire it
+  // into TIME_WAIT (an accounting residence — flow ids are never
+  // reused, so only table pressure and straggler RSTs remain).
+  sockets_.erase(it);
+  time_wait_.emplace_back(flow, loop_->now() + time_wait);
+  time_wait_flows_.insert(flow);
+  ++churn_.time_wait_entered;
+  if (time_wait_.size() > churn_.time_wait_peak) {
+    churn_.time_wait_peak = time_wait_.size();
+  }
+  note_socket_table();
+  if (time_wait_reaper_ == nullptr) {
+    time_wait_reaper_ =
+        std::make_unique<Timer>(*loop_, [this] { reap_time_wait(); });
+  }
+  if (!time_wait_reaper_->armed()) {
+    time_wait_reaper_->arm_at(time_wait_.front().second);
+  }
+}
+
+void Stack::reap_time_wait() {
+  const Nanos now = loop_->now();
+  while (!time_wait_.empty() && time_wait_.front().second <= now) {
+    time_wait_flows_.erase(time_wait_.front().first);
+    time_wait_.pop_front();
+    ++churn_.time_wait_reaped;
+  }
+  if (!time_wait_.empty()) {
+    time_wait_reaper_->arm_at(time_wait_.front().second);
+  }
+}
+
+void Stack::handle_fin(Core& core, int flow) {
+  ++churn_.fins_received;
+  auto it = sockets_.find(flow);
+  if (it == sockets_.end()) return;  // already gone (aborted + destroyed)
+  core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_rx);
+  TcpSocket& closing = *it->second;
+  if (closing.dead()) return;  // disposition already settled by abort()
+  if (!closing.send_queue_empty() || closing.readable() > 0 ||
+      closing.ofo_bytes() > 0) {
+    // FIN against in-flight state (e.g. our last data's ACK was lost):
+    // reset, like close() with unread data — abort() releases the
+    // pages and reports the error to the app.
+    closing.abort(core, SocketError::econnreset);
+    return;
+  }
+  // Graceful passive close: let the app unbind, then retire the socket
+  // (no TIME_WAIT on the passive side).
+  auto owned = std::move(it->second);
+  sockets_.erase(it);
+  owned->on_peer_fin(core);
+}
+
 void Stack::begin_measurement() { stats_.clear(); }
 
 int Stack::steer_target(const TcpSocket& socket, const Core& irq_core) const {
@@ -194,6 +405,11 @@ void Stack::napi_poll(Core& core, int queue) {
     });
   };
 
+  // FINs observed this poll; processed only after the GRO flush so the
+  // connection's final data (possibly still merging in GRO) is delivered
+  // before the passive close runs.
+  std::vector<int> fin_flows;
+
   int budget = options_.napi_budget;
   while (budget > 0) {
     auto polled = nic_->poll_one(core, queue);
@@ -214,10 +430,33 @@ void Stack::napi_poll(Core& core, int queue) {
       continue;
     }
 
+    if (polled->frame.is_syn) {
+      // Handshake frames: header-only, like the copybreak path.  Handled
+      // before ACK processing — a SYN-ACK must not reach the client
+      // socket's ACK machinery.
+      core.charge(CpuCategory::skb_mgmt, cost.skb_alloc / 3);
+      if (polled->frame.is_ack) {
+        handle_syn_ack(core, polled->frame);
+      } else {
+        handle_syn(core, polled->frame);
+      }
+      for (const Fragment& fragment : polled->fragments) {
+        allocator_->release(core, fragment.page);
+      }
+      continue;
+    }
+
     if (polled->frame.is_ack) {
       // Copybreak fast path: header-only skb built inline and freed on
       // the spot, no page-backed fragments.  RSTs ride this path too.
       core.charge(CpuCategory::skb_mgmt, cost.skb_alloc / 3);
+      if (polled->frame.is_fin) {
+        fin_flows.push_back(polled->frame.flow);
+        for (const Fragment& fragment : polled->fragments) {
+          allocator_->release(core, fragment.page);
+        }
+        continue;
+      }
       auto it = sockets_.find(polled->frame.flow);
       if (it != sockets_.end()) {
         TcpSocket* socket = it->second.get();
@@ -279,6 +518,9 @@ void Stack::napi_poll(Core& core, int queue) {
 
   for (Skb& merged : gro.flush()) {
     deliver(std::move(merged));
+  }
+  for (int flow : fin_flows) {
+    handle_fin(core, flow);
   }
   nic_->napi_complete(core, queue);
 }

@@ -9,10 +9,14 @@
 #define HOSTSIM_NET_STACK_H
 
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <unordered_map>
 #include <unordered_set>
+#include <utility>
 #include <vector>
 
 #include "cpu/core.h"
@@ -28,6 +32,7 @@
 #include "net/gso.h"
 #include "net/skb.h"
 #include "sim/stats.h"
+#include "sim/timer.h"
 #include "sim/trace.h"
 
 namespace hostsim {
@@ -95,6 +100,25 @@ struct HostStats {
   }
 };
 
+/// Whole-run connection-churn counters.  Deliberately NOT cleared at
+/// begin_measurement(): like sockets_aborted(), churn accounting spans
+/// the run (connection setup mostly happens during warmup).
+struct ChurnStats {
+  std::uint64_t syns_sent = 0;     ///< client SYNs, including retries
+  std::uint64_t syn_retries = 0;   ///< client SYN retransmissions
+  std::uint64_t syns_received = 0;
+  std::uint64_t listen_overflows = 0;  ///< SYN dropped: accept backlog full
+  std::uint64_t accepts = 0;           ///< connections handed to the app
+  std::uint64_t connects_established = 0;
+  std::uint64_t connect_failures = 0;  ///< SYN retry budget exhausted
+  std::uint64_t fins_sent = 0;
+  std::uint64_t fins_received = 0;
+  std::uint64_t time_wait_entered = 0;
+  std::uint64_t time_wait_reaped = 0;
+  std::uint64_t time_wait_peak = 0;
+  std::uint64_t socket_table_peak = 0;  ///< live sockets + TIME_WAIT entries
+};
+
 class Stack {
  public:
   Stack(EventLoop& loop, const StackOptions& options,
@@ -122,6 +146,48 @@ class Stack {
   /// live connection still owns wire state.  Not supported in
   /// receiver-driven mode (the grant scheduler keeps socket references).
   void destroy_socket(int flow);
+
+  // --- Handshake / churn (open-loop workload engine) ----------------------
+  //
+  // The simplified three-frame lifecycle: the client sends a SYN; the
+  // listener creates the server socket, sends a SYN-ACK, and posts an
+  // accept task to the listener core (the final handshake ACK is not
+  // modeled — acceptance happens on SYN, as with syncookie-less Linux
+  // once the third ACK is implied).  The active closer sends a FIN and
+  // its socket enters TIME_WAIT; the passive closer retires on FIN.
+  // Flow ids are never reused, so TIME_WAIT here models socket-table
+  // pressure and straggler-RST semantics rather than id-collision
+  // protection.
+
+  /// Invoked (in a listener-core task, after the accept syscall cost)
+  /// for every connection the listener accepts.
+  using AcceptFn = std::function<void(Core&, TcpSocket&)>;
+
+  /// Registers this host's listener: incoming SYNs create server
+  /// sockets pinned to `app_core`.  SYNs arriving while `backlog`
+  /// connections await their accept task are dropped (counted in
+  /// churn().listen_overflows); the client's SYN-retry timer recovers.
+  void listen(int app_core, int backlog, AcceptFn on_accept);
+
+  /// Invoked once per connect(): `established` is false when the SYN
+  /// retry budget was exhausted.  Runs in softirq (success) or
+  /// client-core task (failure) context; do app work via Thread::notify.
+  using ConnectFn = std::function<void(bool established)>;
+
+  /// Client-side handshake for a freshly created socket: posts the
+  /// connect syscall to the socket's app core, sends the SYN, and
+  /// retries on an exponential `retry_after` backoff up to
+  /// `max_retries` times before reporting failure.
+  void connect(int flow, Nanos retry_after, int max_retries, ConnectFn done);
+
+  /// Client-side graceful close (active closer).  The connection must
+  /// be quiescent (everything sent was acked, nothing left to read);
+  /// sends a FIN and moves the socket into TIME_WAIT for `time_wait`
+  /// nanoseconds.  Data arriving for a TIME_WAIT flow draws an RST.
+  void close(Core& core, int flow, Nanos time_wait);
+
+  const ChurnStats& churn() const { return churn_; }
+  std::size_t time_wait_count() const { return time_wait_.size(); }
 
   /// Called by TcpSocket::abort() to account a connection teardown;
   /// `destroyed_rx` is receive-queue bytes destroyed before delivery.
@@ -175,6 +241,16 @@ class Stack {
   /// so the peer observes ECONNRESET instead of retransmitting forever.
   void send_rst(int flow);
 
+  // Handshake/churn internals (see the public section above).
+  void handle_syn(Core& core, const Frame& frame);      // listener side
+  void handle_syn_ack(Core& core, const Frame& frame);  // client side
+  void handle_fin(Core& core, int flow);  // passive close, post-GRO-flush
+  void send_syn(int flow);
+  void send_syn_ack(int flow);
+  void retry_connect(int flow);
+  void reap_time_wait();
+  void note_socket_table();  ///< updates the socket-table peak counter
+
   /// Core that should run protocol processing for `socket`'s frames
   /// arriving on `irq_core` (identity for arfs/rss, cross-core for the
   /// software steering modes).
@@ -204,6 +280,32 @@ class Stack {
   bool leak_next_skb_ = false;
   std::uint64_t sockets_aborted_ = 0;
   Bytes bytes_destroyed_ = 0;  ///< rx bytes destroyed by socket aborts
+
+  // Handshake/churn state.  All empty/idle unless the workload engine
+  // (or a test) uses listen()/connect()/close(); legacy runs never
+  // touch it.
+  struct Listener {
+    int app_core = 0;
+    int backlog = 0;
+    int pending = 0;  ///< accepted connections awaiting their accept task
+    AcceptFn on_accept;
+  };
+  struct PendingConnect {
+    std::unique_ptr<Timer> retry;
+    Nanos retry_after = 0;
+    int tries = 0;  ///< SYNs sent so far
+    int max_retries = 0;
+    ConnectFn done;
+  };
+  std::optional<Listener> listener_;
+  std::map<int, PendingConnect> connects_;
+  /// TIME_WAIT residents, FIFO by expiry (uniform residence time keeps
+  /// expiries monotone in insertion order).
+  std::deque<std::pair<int, Nanos>> time_wait_;
+  std::unordered_set<int> time_wait_flows_;
+  std::unique_ptr<Timer> time_wait_reaper_;
+  Context connect_ctx_{"tcp-connect", /*kernel=*/true};
+  ChurnStats churn_;
 };
 
 }  // namespace hostsim

@@ -79,6 +79,19 @@ class TcpSocket {
     on_error_ = std::move(on_error);
   }
 
+  /// Invoked when the peer gracefully closes (FIN) while this socket is
+  /// quiescent: the app must drop its pointer — the stack retires the
+  /// socket immediately after the callback returns (passive close, no
+  /// TIME_WAIT).  A non-quiescent FIN arrival aborts with ECONNRESET
+  /// through the error callback instead, like close() with unread data.
+  void set_fin_callback(std::function<void(Core&)> on_fin) {
+    on_peer_fin_ = std::move(on_fin);
+  }
+  /// Stack-internal: fires the fin callback (if any) on passive close.
+  void on_peer_fin(Core& core) {
+    if (on_peer_fin_) on_peer_fin_(core);
+  }
+
   /// Tears the connection down: cancels every timer, releases all held
   /// pages (in-flight receive bytes are accounted as destroyed), fails
   /// pending I/O, and fires the error callback.  Idempotent.  Must run
@@ -222,6 +235,7 @@ class TcpSocket {
   bool error_reported_ = false;
   Bytes destroyed_rx_bytes_ = 0;
   std::function<void(SocketError)> on_error_;
+  std::function<void(Core&)> on_peer_fin_;  ///< graceful passive close
 
   // pacing (BBR)
   std::deque<Frame> paced_;

@@ -171,6 +171,59 @@ Campaign cluster_incast() {
   return campaign;
 }
 
+Campaign workload_matrix() {
+  Campaign campaign;
+  campaign.name = "workload_matrix";
+  campaign.description =
+      "open-loop SLO matrix: Poisson front-end on host 0 fanning out to "
+      "4 backends through a switch, arrival rate x size mix x fan-out";
+  campaign.base.traffic.pattern = Pattern::open_loop;
+  campaign.base.traffic.flows = 8;
+  campaign.base.traffic.rpc_size = 4 * kKiB;
+  campaign.base.topology.num_hosts = 5;
+  campaign.base.topology.use_switch = true;
+  campaign.base.topology.switch_buffer = 256 * kKiB;
+  campaign.base.topology.switch_ecn_bytes = 64 * kKiB;
+  campaign.base.warmup = 10 * kMillisecond;
+  campaign.base.duration = 25 * kMillisecond;
+  campaign.base.traffic.workload.enabled = true;
+  campaign.base.traffic.workload.churn_prob = 0.02;
+  campaign.base.traffic.workload.slo = 500 * kMicrosecond;
+
+  Axis rate;
+  rate.name = "rate";
+  rate.values.push_back({"20k", [](ExperimentConfig& c) {
+                           c.traffic.workload.rate_rps = 20'000;
+                         }});
+  rate.values.push_back({"60k", [](ExperimentConfig& c) {
+                           c.traffic.workload.rate_rps = 60'000;
+                         }});
+  campaign.axes.push_back(rate);
+
+  Axis sizes;
+  sizes.name = "sizes";
+  sizes.values.push_back({"fixed4k", [](ExperimentConfig& c) {
+                            c.traffic.workload.sizes = SizeDist::fixed;
+                          }});
+  sizes.values.push_back({"lognormal", [](ExperimentConfig& c) {
+                            c.traffic.workload.sizes = SizeDist::lognormal;
+                          }});
+  sizes.values.push_back({"pareto", [](ExperimentConfig& c) {
+                            c.traffic.workload.sizes =
+                                SizeDist::bounded_pareto;
+                          }});
+  campaign.axes.push_back(sizes);
+
+  Axis fan_out;
+  fan_out.name = "fanout";
+  fan_out.values.push_back(
+      {"1", [](ExperimentConfig& c) { c.traffic.workload.fan_out = 1; }});
+  fan_out.values.push_back(
+      {"4", [](ExperimentConfig& c) { c.traffic.workload.fan_out = 4; }});
+  campaign.axes.push_back(fan_out);
+  return campaign;
+}
+
 }  // namespace
 
 std::vector<Campaign> builtin_campaigns() {
@@ -194,6 +247,7 @@ std::vector<Campaign> builtin_campaigns() {
       chaos_faults(),
       chaos_recovery(),
       cluster_incast(),
+      workload_matrix(),
   };
 }
 

@@ -1,0 +1,149 @@
+// Open-loop traffic engine (Pattern::open_loop).
+//
+// A closed-loop client (RpcClient) only issues a request after the
+// previous response returns, so host slowdowns throttle the offered load
+// and hide queueing: measured latency stays flat as the host saturates.
+// An *open-loop* generator injects requests at externally scheduled
+// arrival times regardless of completions — when the host falls behind,
+// requests queue and tail latency explodes, which is what production SLO
+// curves actually look like (and what the coordinated-omission critique
+// of closed-loop benchmarking is about).
+//
+// Topology: the front-end client lives on host 0, backends on hosts
+// 1..H-1.  The engine maintains a pool of `traffic.flows` connection
+// slots (slot i -> backend 1 + i % (H-1), client core i % cores); each
+// front-end request fans out into `fan_out` leaf RPCs round-robined over
+// the pool, and completes when its slowest leaf completes.  Slots are
+// serial per connection (ping-pong), so queueing shows up as per-slot
+// backlogs — the open-loop queue.
+//
+// Connections are opened through the full SYN handshake (Cluster::
+// open_flow / Stack::listen) and optionally churned: after a completed
+// request, with probability `churn_prob`, the quiescent connection is
+// closed (FIN -> TIME_WAIT) and re-opened under a fresh flow id, paying
+// the handshake again.
+//
+// Determinism: the engine forks exactly three RNG streams from the
+// loop's root generator, in a fixed order (arrivals, sizes, churn), and
+// only when constructed — legacy patterns never touch it, so their event
+// sequences replay bit-identically.
+#ifndef HOSTSIM_WORKLOAD_OPEN_LOOP_H
+#define HOSTSIM_WORKLOAD_OPEN_LOOP_H
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/cluster.h"
+#include "core/metrics.h"
+#include "cpu/scheduler.h"
+#include "sim/stats.h"
+#include "workload/distributions.h"
+#include "workload/request_record.h"
+
+namespace hostsim::workload {
+
+class OpenLoopEngine {
+ public:
+  /// `rx_core`: the server application core on each backend host.
+  OpenLoopEngine(Cluster& cluster, const TrafficConfig& traffic, int rx_core);
+
+  /// Registers backend listeners, opens the connection pool, and
+  /// schedules the first arrival.
+  void start();
+
+  /// Completed front-end requests, whole run (monotone — the harness
+  /// takes a delta across the measurement window, like RpcClient).
+  std::uint64_t completed() const { return completed_requests_; }
+  /// Request latency (arrival -> completion) since the last reset.
+  const Histogram& latency() const { return latency_; }
+  /// Clears window-scoped histograms (start of the measurement window).
+  void reset_window();
+
+  /// Fills metrics.workload / has_workload / workload_records from the
+  /// measurement window [measure_start, measure_end).
+  void harvest(Nanos measure_start, Nanos measure_end, Metrics& metrics);
+
+  const std::vector<RequestRecord>& records() const { return records_; }
+
+ private:
+  /// One leaf RPC: `request` indexes records_, `size` is the echo size.
+  struct Leaf {
+    std::uint64_t request = 0;
+    Bytes size = 0;
+  };
+
+  /// One front-end connection slot on host 0.
+  struct ClientSlot {
+    int core = 0;     ///< host-0 application core
+    int backend = 1;  ///< backend host index
+    int flow = -1;
+    TcpSocket* sock = nullptr;
+    bool up = false;      ///< handshake completed
+    bool failed = false;  ///< connection died; thread quantum recovers
+    std::uint64_t generation = 0;  ///< bumped per open; guards callbacks
+    Nanos opened_at = 0;
+    std::uint64_t serves = 0;  ///< leaves served on the current connection
+    std::deque<Leaf> queue;    ///< the open-loop backlog
+    bool active = false;       ///< a leaf is being served
+    Leaf leaf;                 ///< the active leaf
+    Nanos issued_at = 0;
+    Bytes request_pending = 0;
+    Bytes response_pending = 0;
+    bool first_byte_seen = false;
+    std::unique_ptr<Thread> thread;
+  };
+
+  /// The backend echo server bound to one slot's current connection.
+  /// Expected request sizes arrive out-of-band (pushed by the client at
+  /// issue time) — the same oracle abstraction as RpcServer's fixed
+  /// rpc_size, generalized to per-request sizes.
+  struct EchoSlot {
+    int flow = -1;
+    TcpSocket* sock = nullptr;
+    std::deque<Bytes> expected;
+    Bytes request_received = 0;
+    Bytes response_pending = 0;
+    std::unique_ptr<Thread> thread;
+  };
+
+  Stack& client_stack();
+  void open_slot(std::size_t i);
+  void on_established(std::size_t i, std::uint64_t generation,
+                      bool established);
+  void on_accept(TcpSocket& sock);
+  void on_arrival();
+  void schedule_next_arrival();
+  void client_quantum(Core& core, Thread& thread, std::size_t i);
+  void complete_leaf(Core& core, std::size_t i);
+  void recover_slot(Core& core, Thread& thread, std::size_t i);
+  void echo_quantum(Core& core, Thread& thread, std::size_t i);
+
+  Cluster* cluster_;
+  WorkloadConfig wl_;
+  int rx_core_;
+  ArrivalSampler arrivals_;
+  SizeSampler sizes_;
+  Rng churn_rng_;
+
+  std::vector<ClientSlot> slots_;
+  std::vector<EchoSlot> echoes_;
+  std::unordered_map<int, std::size_t> flow_to_slot_;
+  std::size_t cursor_ = 0;  ///< round-robin leaf placement
+
+  std::vector<RequestRecord> records_;
+  std::vector<int> outstanding_;  ///< per-request leaves not yet completed
+
+  std::uint64_t completed_requests_ = 0;
+  std::uint64_t conns_opened_ = 0;
+  std::uint64_t conns_closed_ = 0;
+  Histogram latency_;          ///< request latency (window-scoped)
+  Histogram leaf_latency_;     ///< per-leaf latency (window-scoped)
+  Histogram connect_latency_;  ///< handshake latency (window-scoped)
+};
+
+}  // namespace hostsim::workload
+
+#endif  // HOSTSIM_WORKLOAD_OPEN_LOOP_H

@@ -1,0 +1,39 @@
+// Per-request lifecycle record of the open-loop engine.  Kept
+// dependency-free (units only) so core/metrics.h can embed a vector of
+// these without pulling the engine in.
+#ifndef HOSTSIM_WORKLOAD_REQUEST_RECORD_H
+#define HOSTSIM_WORKLOAD_REQUEST_RECORD_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace hostsim::workload {
+
+/// Lifecycle of one front-end request (arrival -> dispatch -> first byte
+/// -> completion).  Timestamps are absolute simulated nanoseconds; -1
+/// marks a stage the request never reached before the run ended.  With
+/// fan-out > 1, `dispatch`/`first_byte` are the earliest over the leaves
+/// and `completion` is the latest (response gated on the slowest leaf).
+struct RequestRecord {
+  std::uint64_t id = 0;
+  Nanos arrival = 0;
+  Nanos dispatch = -1;
+  Nanos first_byte = -1;
+  Nanos completion = -1;
+  Bytes bytes = 0;  ///< total request bytes across all leaves
+  int fan_out = 1;
+  int redispatches = 0;  ///< leaves reissued after a connection died
+  bool fresh_conn = false;  ///< some leaf paid a handshake first
+};
+
+/// Writes one JSON object per line (JSONL) for every record, in id
+/// order — the input of the EXPERIMENTS.md percentile pipeline.
+void write_records_jsonl(const std::vector<RequestRecord>& records,
+                         std::ostream& out);
+
+}  // namespace hostsim::workload
+
+#endif  // HOSTSIM_WORKLOAD_REQUEST_RECORD_H

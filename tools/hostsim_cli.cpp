@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -28,11 +29,22 @@ using namespace hostsim;
 
 workload:
   --pattern=NAME      single | one-to-one | incast | outcast | all-to-all
-                      | rpc | mixed            (default: single)
+                      | rpc | mixed | open-loop  (default: single)
   --flows=N           flows / clients / n-by-n scale      (default: 1)
   --rpc-kb=N          RPC request=response size in KB     (default: 4)
   --remote-numa       pin the receiver app to a NIC-remote NUMA node
   --segregate         mixed pattern: short flows on their own core
+
+open-loop generator (--pattern=open-loop; host 0 drives the backends):
+  --open-loop-rate=RPS  mean request arrival rate     (default: 50000)
+  --arrivals=PROC     poisson | mmpp (bursty)         (default: poisson)
+  --size-dist=DIST    fixed | lognormal | pareto      (default: fixed;
+                      mean is --rpc-kb)
+  --fan-out=K         leaf RPCs per request, gated on the slowest
+  --churn=P           close + re-handshake a connection with prob P
+                      after a completed request
+  --slo-us=N          count completions slower than N us as violations
+  --workload-jsonl=FILE  write per-request lifecycle records as JSONL
 
 stack:
   --no-tso --no-gso --no-gro --no-jumbo --no-arfs --no-dca
@@ -144,6 +156,7 @@ Pattern parse_pattern(std::string_view name) {
   if (name == "all-to-all") return Pattern::all_to_all;
   if (name == "rpc" || name == "rpc-incast") return Pattern::rpc_incast;
   if (name == "mixed") return Pattern::mixed;
+  if (name == "open-loop") return Pattern::open_loop;
   std::fprintf(stderr, "unknown pattern '%.*s'\n",
                static_cast<int>(name.size()), name.data());
   std::exit(2);
@@ -156,6 +169,7 @@ int main(int argc, char** argv) {
   bool csv = false;
   bool csv_header = false;
   bool breakdown = false;
+  std::string workload_jsonl;
 
   for (int i = 1; i < argc; ++i) {
     const std::string_view arg = argv[i];
@@ -182,6 +196,32 @@ int main(int argc, char** argv) {
       config.traffic.flows = static_cast<int>(parse_long(*v, "--flows"));
     } else if (auto v = flag_value(arg, "--rpc-kb")) {
       config.traffic.rpc_size = parse_long(*v, "--rpc-kb") * kKiB;
+    } else if (auto v = flag_value(arg, "--open-loop-rate")) {
+      config.traffic.workload.enabled = true;
+      config.traffic.workload.rate_rps = parse_double(*v, "--open-loop-rate");
+    } else if (auto v = flag_value(arg, "--arrivals")) {
+      config.traffic.workload.enabled = true;
+      if (*v == "poisson") config.traffic.workload.arrivals = ArrivalProcess::poisson;
+      else if (*v == "mmpp") config.traffic.workload.arrivals = ArrivalProcess::mmpp;
+      else usage(2);
+    } else if (auto v = flag_value(arg, "--size-dist")) {
+      config.traffic.workload.enabled = true;
+      if (*v == "fixed") config.traffic.workload.sizes = SizeDist::fixed;
+      else if (*v == "lognormal") config.traffic.workload.sizes = SizeDist::lognormal;
+      else if (*v == "pareto") config.traffic.workload.sizes = SizeDist::bounded_pareto;
+      else usage(2);
+    } else if (auto v = flag_value(arg, "--fan-out")) {
+      config.traffic.workload.enabled = true;
+      config.traffic.workload.fan_out =
+          static_cast<int>(parse_long(*v, "--fan-out"));
+    } else if (auto v = flag_value(arg, "--churn")) {
+      config.traffic.workload.enabled = true;
+      config.traffic.workload.churn_prob = parse_double(*v, "--churn");
+    } else if (auto v = flag_value(arg, "--slo-us")) {
+      config.traffic.workload.enabled = true;
+      config.traffic.workload.slo = parse_long(*v, "--slo-us") * kMicrosecond;
+    } else if (auto v = flag_value(arg, "--workload-jsonl")) {
+      workload_jsonl = std::string(*v);
     } else if (auto v = flag_value(arg, "--steering")) {
       if (*v == "rss") config.stack.fallback_steering = SteeringMode::rss;
       else if (*v == "rps") config.stack.fallback_steering = SteeringMode::rps;
@@ -268,6 +308,15 @@ int main(int argc, char** argv) {
 
   const Metrics metrics = run_experiment(config);
 
+  if (!workload_jsonl.empty()) {
+    std::ofstream file(workload_jsonl, std::ios::binary);
+    workload::write_records_jsonl(metrics.workload_records, file);
+    if (!file) {
+      std::fprintf(stderr, "cannot write %s\n", workload_jsonl.c_str());
+      return 1;
+    }
+  }
+
   if (csv) {
     if (csv_header) {
       std::printf("%s\n", metrics_csv_comment(config).c_str());
@@ -301,6 +350,7 @@ int main(int argc, char** argv) {
   }
   print_fault_summary(metrics);
   print_recovery_summary(metrics);
+  print_workload_summary(metrics);
   print_cluster_summary(metrics);
   print_obs_summary(metrics);
   if (!config.obs.out_dir.empty()) {

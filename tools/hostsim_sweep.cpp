@@ -24,6 +24,7 @@
 
 #include "core/report.h"
 #include "core/serialize.h"
+#include "workload/request_record.h"
 #include "sweep/artifact.h"
 #include "sweep/baseline.h"
 #include "sweep/campaigns.h"
@@ -45,6 +46,8 @@ subcommands:
 run options:
   --jobs=N            worker threads (default: all hardware threads)
   --serial            shorthand for --jobs=1
+  --quick             smoke timing: cap warmup at 2ms, 5ms measurement
+                      (changes config hashes; use a dedicated cache dir)
   --no-cache          always simulate; do not read or write the cache
   --cache-dir=DIR     result cache location (default: .hostsim-cache)
   --out=DIR           artifact output directory (default: artifacts)
@@ -56,6 +59,9 @@ run options:
   --obs-out=DIR       per-point Perfetto JSON + time-series CSV under
                       DIR/<campaign>/<config-hash>.* (cache-served
                       points write nothing; obs never enters cache keys)
+  --workload-out=DIR  per-point open-loop request records as JSONL under
+                      DIR/<campaign>/<config-hash>.jsonl (simulated
+                      points only: records live in memory, not the cache)
 
 gate options (also apply to run --baseline):
   --rel=R             default relative tolerance (default: 0 — exact,
@@ -129,7 +135,9 @@ struct RunArgs {
   std::string out_dir = "artifacts";
   std::string baseline_path;
   std::string write_baseline_path;
-  std::string obs_out;  ///< base dir for per-point obs artifacts
+  std::string obs_out;       ///< base dir for per-point obs artifacts
+  std::string workload_out;  ///< base dir for per-point request JSONL
+  bool quick = false;
   bool quiet = false;
 };
 
@@ -162,6 +170,7 @@ int cmd_run(const std::vector<std::string_view>& args) {
   for (std::string_view arg : args) {
     if (arg == "--no-cache") run.runner.use_cache = false;
     else if (arg == "--serial") run.runner.jobs = 1;
+    else if (arg == "--quick") run.quick = true;
     else if (arg == "--quiet") run.quiet = true;
     else if (auto v = flag_value(arg, "--jobs")) {
       run.runner.jobs = static_cast<int>(parse_double(*v, "--jobs"));
@@ -181,6 +190,8 @@ int cmd_run(const std::vector<std::string_view>& args) {
           kMicrosecond;
     } else if (auto v = flag_value(arg, "--obs-out")) {
       run.obs_out = std::string(*v);
+    } else if (auto v = flag_value(arg, "--workload-out")) {
+      run.workload_out = std::string(*v);
     } else if (parse_gate_flag(arg, &run.gate)) {
       // handled
     } else if (!arg.empty() && arg[0] == '-') {
@@ -206,6 +217,18 @@ int cmd_run(const std::vector<std::string_view>& args) {
         return 2;
       }
       selected.push_back(std::move(*campaign));
+    }
+  }
+
+  // Smoke timing is a *config* change (shared with the bench binaries'
+  // --quick), applied to the base before expansion so every point — and
+  // its cache key — reflects the shortened run.
+  if (run.quick) {
+    for (sweep::Campaign& campaign : selected) {
+      if (campaign.base.warmup > 2 * kMillisecond) {
+        campaign.base.warmup = 2 * kMillisecond;
+      }
+      campaign.base.duration = 5 * kMillisecond;
     }
   }
 
@@ -238,6 +261,34 @@ int cmd_run(const std::vector<std::string_view>& args) {
         sweep::write_campaign_artifacts(result, run.out_dir);
     std::printf("  artifacts: %s, %s\n", paths.json.c_str(),
                 paths.csv.c_str());
+
+    if (!run.workload_out.empty()) {
+      const std::filesystem::path dir =
+          std::filesystem::path(run.workload_out) / campaign.name;
+      std::error_code ec;
+      std::filesystem::create_directories(dir, ec);
+      if (ec) {
+        std::fprintf(stderr, "cannot create workload directory '%s'\n",
+                     dir.string().c_str());
+        return 2;
+      }
+      std::size_t written = 0;
+      for (const sweep::PointResult& point : result.points) {
+        if (point.metrics.workload_records.empty()) continue;
+        const std::string target =
+            (dir / (hash_hex(point.config_hash) + ".jsonl")).string();
+        std::ofstream records(target, std::ios::binary);
+        workload::write_records_jsonl(point.metrics.workload_records,
+                                      records);
+        if (!records.good()) {
+          std::fprintf(stderr, "cannot write '%s'\n", target.c_str());
+          return 2;
+        }
+        ++written;
+      }
+      std::printf("  workload records: %zu point file(s) under %s\n",
+                  written, dir.string().c_str());
+    }
 
     if (!run.write_baseline_path.empty()) {
       std::error_code ec;
