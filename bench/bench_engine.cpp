@@ -49,7 +49,7 @@ struct BenchResult {
 
 /// One link of a zero-delay event chain: executes, then schedules its
 /// successor at the same timestamp.  The capture (16 bytes) matches the
-/// small closures the Nic/Stack/Wire hot path schedules.
+/// small closures the Nic/Stack/Link hot path schedules.
 struct StormTask {
   EventLoop* loop;
   std::uint64_t* remaining;
@@ -97,9 +97,10 @@ BenchResult bench_churn(std::uint64_t ops, int window, int reps) {
   constexpr Nanos kFarFuture = 200 * kMillisecond;
   for (int rep = 0; rep < reps; ++rep) {
     EventLoop loop;
-    std::vector<EventId> armed(static_cast<std::size_t>(window));
+    std::vector<TimerHandle> armed(static_cast<std::size_t>(window));
     for (std::size_t i = 0; i < armed.size(); ++i) {
-      armed[i] = loop.schedule_at(kFarFuture + static_cast<Nanos>(i), [] {});
+      armed[i] = TimerHandle(
+          loop, loop.schedule_at(kFarFuture + static_cast<Nanos>(i), [] {}));
     }
     // Deterministic splitmix64 pick of which armed timer each op replaces.
     std::uint64_t state = 0x9E3779B97F4A7C15ull;
@@ -111,9 +112,10 @@ BenchResult bench_churn(std::uint64_t ops, int window, int reps) {
       x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
       const auto index =
           static_cast<std::size_t>((x ^ (x >> 31)) % armed.size());
-      loop.cancel(armed[index]);
-      armed[index] =
-          loop.schedule_at(kFarFuture + static_cast<Nanos>(op), [] {});
+      // Move-assignment cancels the displaced event: same cancel+schedule
+      // pair per op as the raw-EventId formulation this bench predates.
+      armed[index] = TimerHandle(
+          loop, loop.schedule_at(kFarFuture + static_cast<Nanos>(op), [] {}));
     }
     result.seconds = std::min(result.seconds, seconds_since(start));
     if (rep == 0) {

@@ -69,7 +69,7 @@ IncastResult run_incast(CcAlgo cc, int num_hosts, Bytes target,
   Cluster cluster(config);
   const int rx_host = cluster.num_hosts() - 1;
   const int rx_core = config.topo.core_on_node(config.topo.nic_node, 0);
-  std::vector<TcpSocket*> rx_sockets;
+  std::vector<TransportSocket*> rx_sockets;
   std::vector<std::unique_ptr<LongFlowSender>> senders;
   std::vector<std::unique_ptr<LongFlowReceiver>> receivers;
   for (int s = 0; s < result.senders; ++s) {
@@ -114,7 +114,7 @@ IncastResult run_incast(CcAlgo cc, int num_hosts, Bytes target,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
-  for (TcpSocket* socket : rx_sockets) {
+  for (TransportSocket* socket : rx_sockets) {
     result.delivered += socket->delivered_to_app();
   }
   for (int h = 0; h < cluster.num_hosts(); ++h) {

@@ -2,7 +2,7 @@
 
 namespace hostsim {
 
-LongFlowSender::LongFlowSender(Core& core, TcpSocket& socket, Bytes chunk)
+LongFlowSender::LongFlowSender(Core& core, TransportSocket& socket, Bytes chunk)
     : socket_(&socket), chunk_(chunk), thread_(core, "iperf-tx") {
   socket_->set_tx_waiter(&thread_);
   thread_.set_body([this](Core& c, Thread& thread) {
@@ -13,7 +13,7 @@ LongFlowSender::LongFlowSender(Core& core, TcpSocket& socket, Bytes chunk)
   });
 }
 
-LongFlowReceiver::LongFlowReceiver(Core& core, TcpSocket& socket, Bytes chunk)
+LongFlowReceiver::LongFlowReceiver(Core& core, TransportSocket& socket, Bytes chunk)
     : socket_(&socket), chunk_(chunk), thread_(core, "iperf-rx") {
   socket_->set_rx_waiter(&thread_);
   thread_.set_body([this](Core& c, Thread& thread) {

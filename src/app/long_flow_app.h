@@ -8,13 +8,13 @@
 #define HOSTSIM_APP_LONG_FLOW_APP_H
 
 #include "cpu/scheduler.h"
-#include "net/tcp_socket.h"
+#include "net/transport.h"
 
 namespace hostsim {
 
 class LongFlowSender {
  public:
-  LongFlowSender(Core& core, TcpSocket& socket, Bytes chunk = 128 * kKiB);
+  LongFlowSender(Core& core, TransportSocket& socket, Bytes chunk = 128 * kKiB);
 
   /// Begins streaming (schedules the first quantum).
   void start() { thread_.notify(); }
@@ -22,20 +22,20 @@ class LongFlowSender {
   Thread& thread() { return thread_; }
 
  private:
-  TcpSocket* socket_;
+  TransportSocket* socket_;
   Bytes chunk_;
   Thread thread_;
 };
 
 class LongFlowReceiver {
  public:
-  LongFlowReceiver(Core& core, TcpSocket& socket, Bytes chunk = 32 * kKiB);
+  LongFlowReceiver(Core& core, TransportSocket& socket, Bytes chunk = 32 * kKiB);
 
   Thread& thread() { return thread_; }
   Bytes received() const { return socket_->delivered_to_app(); }
 
  private:
-  TcpSocket* socket_;
+  TransportSocket* socket_;
   Bytes chunk_;
   Thread thread_;
 };

@@ -7,7 +7,7 @@
 
 namespace hostsim {
 
-ResilientRpcClient::ResilientRpcClient(Core& core, TcpSocket& socket,
+ResilientRpcClient::ResilientRpcClient(Core& core, TransportSocket& socket,
                                        Bytes rpc_size,
                                        const RpcResilienceConfig& policy,
                                        Rng rng, ReconnectFn reconnect)

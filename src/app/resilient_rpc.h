@@ -16,7 +16,7 @@
 
 #include "app/rpc_resilience.h"
 #include "cpu/scheduler.h"
-#include "net/tcp_socket.h"
+#include "net/transport.h"
 #include "sim/rng.h"
 #include "sim/timer.h"
 
@@ -37,12 +37,12 @@ class ResilientRpcClient {
   /// Replaces the dead connection with a fresh one between the same
   /// endpoints and returns the new local socket.  The workload builder
   /// wraps Cluster::reconnect_flow here and rebinds the peer RpcServer.
-  using ReconnectFn = std::function<TcpSocket*(Core&, int old_flow)>;
+  using ReconnectFn = std::function<TransportSocket*(Core&, int old_flow)>;
 
   /// `rng` should be forked from the loop's root generator at build time
   /// (after cluster construction, so fault/wire streams are untouched);
   /// it only feeds backoff jitter, keeping runs seed-deterministic.
-  ResilientRpcClient(Core& core, TcpSocket& socket, Bytes rpc_size,
+  ResilientRpcClient(Core& core, TransportSocket& socket, Bytes rpc_size,
                      const RpcResilienceConfig& policy, Rng rng,
                      ReconnectFn reconnect);
 
@@ -87,7 +87,7 @@ class ResilientRpcClient {
   bool handle_failure(Core& core);
   void on_deadline();
 
-  TcpSocket* socket_;
+  TransportSocket* socket_;
   Bytes rpc_size_;
   RpcResilienceConfig policy_;
   Rng rng_;

@@ -4,7 +4,7 @@
 
 namespace hostsim {
 
-RpcClient::RpcClient(Core& core, TcpSocket& socket, Bytes rpc_size)
+RpcClient::RpcClient(Core& core, TransportSocket& socket, Bytes rpc_size)
     : socket_(&socket), rpc_size_(rpc_size), thread_(core, "rpc-client") {
   socket_->set_rx_waiter(&thread_);
   socket_->set_tx_waiter(&thread_);
@@ -36,7 +36,7 @@ RpcClient::RpcClient(Core& core, TcpSocket& socket, Bytes rpc_size)
   });
 }
 
-void RpcServer::rebind(TcpSocket& socket) {
+void RpcServer::rebind(TransportSocket& socket) {
   socket_ = &socket;
   socket_->set_rx_waiter(&thread_);
   socket_->set_tx_waiter(&thread_);
@@ -44,7 +44,7 @@ void RpcServer::rebind(TcpSocket& socket) {
   response_pending_ = 0;
 }
 
-RpcServer::RpcServer(Core& core, TcpSocket& socket, Bytes rpc_size)
+RpcServer::RpcServer(Core& core, TransportSocket& socket, Bytes rpc_size)
     : socket_(&socket), rpc_size_(rpc_size), thread_(core, "rpc-server") {
   socket_->set_rx_waiter(&thread_);
   socket_->set_tx_waiter(&thread_);

@@ -15,13 +15,13 @@
 #include <vector>
 
 #include "cpu/scheduler.h"
-#include "net/tcp_socket.h"
+#include "net/transport.h"
 
 namespace hostsim {
 
 class RpcClient {
  public:
-  RpcClient(Core& core, TcpSocket& socket, Bytes rpc_size);
+  RpcClient(Core& core, TransportSocket& socket, Bytes rpc_size);
 
   /// Issues the first request.
   void start() { thread_.notify(); }
@@ -34,7 +34,7 @@ class RpcClient {
   void reset_latency() { latency_.clear(); }
 
  private:
-  TcpSocket* socket_;
+  TransportSocket* socket_;
   Bytes rpc_size_;
   Bytes response_pending_ = 0;  ///< response bytes still expected
   Bytes request_pending_ = 0;   ///< request bytes not yet accepted
@@ -48,7 +48,7 @@ class RpcClient {
 /// complete request with an equally sized response.
 class RpcServer {
  public:
-  RpcServer(Core& core, TcpSocket& socket, Bytes rpc_size);
+  RpcServer(Core& core, TransportSocket& socket, Bytes rpc_size);
 
   Thread& thread() { return thread_; }
   std::uint64_t served() const { return served_; }
@@ -56,10 +56,10 @@ class RpcServer {
   /// Rebinds the server to a fresh connection after a client reconnect:
   /// the old socket is gone, and any partially received request or
   /// partially sent response died with it.
-  void rebind(TcpSocket& socket);
+  void rebind(TransportSocket& socket);
 
  private:
-  TcpSocket* socket_;
+  TransportSocket* socket_;
   Bytes rpc_size_;
   Bytes request_received_ = 0;
   Bytes response_pending_ = 0;  ///< response bytes not yet accepted

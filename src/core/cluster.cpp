@@ -9,29 +9,31 @@
 namespace hostsim {
 namespace {
 
-/// One direction of a flow: S sends, R receives.
+/// One direction of a flow: S sends, R receives.  Stated in the
+/// protocol-neutral TransportSocket ledger (TCP: sequence space; Homa:
+/// cumulative message-byte counters).
 std::optional<std::string> check_flow_bytes(const std::string& label,
-                                            const TcpSocket& s,
-                                            const TcpSocket& r) {
-  // rcv_nxt-covered bytes are delivered, still queued, or — when a fault
+                                            const TransportSocket& s,
+                                            const TransportSocket& r) {
+  // rx_covered bytes are delivered, still queued, or — when a fault
   // or RST tore the socket down — accounted as destroyed by abort().
   const std::int64_t accounted = static_cast<std::int64_t>(
       r.delivered_to_app() + r.rq_bytes() + r.destroyed_rx_bytes());
-  if (accounted != r.rcv_nxt()) {
+  if (accounted != r.rx_covered()) {
     return label + ": delivered_to_app (" +
            std::to_string(r.delivered_to_app()) + ") + rq_bytes (" +
            std::to_string(r.rq_bytes()) + ") + destroyed_rx (" +
-           std::to_string(r.destroyed_rx_bytes()) + ") != rcv_nxt (" +
-           std::to_string(r.rcv_nxt()) + ") — bytes created or destroyed";
+           std::to_string(r.destroyed_rx_bytes()) + ") != rx_covered (" +
+           std::to_string(r.rx_covered()) + ") — bytes created or destroyed";
   }
-  if (s.snd_una() > r.rcv_nxt()) {
-    return label + ": snd_una (" + std::to_string(s.snd_una()) +
-           ") > receiver rcv_nxt (" + std::to_string(r.rcv_nxt()) +
+  if (s.tx_acked() > r.rx_covered()) {
+    return label + ": tx_acked (" + std::to_string(s.tx_acked()) +
+           ") > receiver rx_covered (" + std::to_string(r.rx_covered()) +
            ") — data acknowledged that was never received";
   }
-  if (r.rcv_nxt() > s.snd_buf_end()) {
-    return label + ": receiver rcv_nxt (" + std::to_string(r.rcv_nxt()) +
-           ") > sender snd_buf_end (" + std::to_string(s.snd_buf_end()) +
+  if (r.rx_covered() > s.tx_written()) {
+    return label + ": receiver rx_covered (" + std::to_string(r.rx_covered()) +
+           ") > sender tx_written (" + std::to_string(s.tx_written()) +
            ") — receiver holds bytes the application never wrote";
   }
   return std::nullopt;
@@ -77,7 +79,7 @@ std::optional<std::string> check_host_pages(Host& host) {
 /// that died unreported is a hang the app could never have noticed.
 std::optional<std::string> check_host_disposition(Host& host) {
   for (int flow : host.stack().flow_ids()) {
-    const TcpSocket& socket = host.stack().socket(flow);
+    const TransportSocket& socket = host.stack().socket(flow);
     if (!socket.dead()) continue;
     if (socket.killed_by_fault() || socket.error_reported()) continue;
     return host.name() + " flow " + std::to_string(flow) + ": socket died (" +
@@ -90,18 +92,14 @@ std::optional<std::string> check_host_disposition(Host& host) {
 
 std::optional<std::string> check_host_rto(Host& host) {
   for (int flow : host.stack().flow_ids()) {
-    const TcpSocket& socket = host.stack().socket(flow);
+    const TransportSocket& socket = host.stack().socket(flow);
     if (socket.dead()) continue;  // terminally failed, never progresses
-    if (socket.snd_una() >= socket.snd_buf_end()) continue;  // all acked
-    if (socket.rto_armed() || socket.rto_task_pending() ||
-        socket.pacer_armed()) {
-      continue;
-    }
+    if (socket.tx_acked() >= socket.tx_written()) continue;  // all acked
+    if (socket.loss_timer_armed()) continue;
     return host.name() + " flow " + std::to_string(flow) +
-           ": outstanding data [snd_una " + std::to_string(socket.snd_una()) +
-           ", snd_buf_end " + std::to_string(socket.snd_buf_end()) +
-           ") with no RTO timer armed" +
-           (socket.in_recovery() ? " (stuck in recovery)" : "") +
+           ": outstanding data [tx_acked " + std::to_string(socket.tx_acked()) +
+           ", tx_written " + std::to_string(socket.tx_written()) +
+           ") with no loss-recovery timer armed" +
            " — the connection can never make progress again";
   }
   return std::nullopt;
@@ -226,13 +224,13 @@ void Cluster::register_crash_handler() {
     Host& victim = host(crashed);
     Stack& stack = victim.stack();
     for (int flow : stack.flow_ids()) {
-      TcpSocket& socket = stack.socket(flow);
+      TransportSocket& socket = stack.socket(flow);
       if (socket.dead()) continue;
       // Teardown runs as a task on the socket's app core: page releases
       // must charge in proper task context on the owning host.
       victim.core(socket.app_core())
           .post(fault_ctx_, [&stack, flow](Core& core) {
-            if (TcpSocket* live = stack.find_socket(flow)) {
+            if (TransportSocket* live = stack.find_socket(flow)) {
               live->abort(core, SocketError::econnreset,
                           /*killed_by_fault=*/true);
             }
@@ -305,9 +303,9 @@ std::uint64_t Cluster::app_progress() const {
 bool Cluster::transfers_outstanding() const {
   for (const auto& host : hosts_) {
     for (int flow : host->stack().flow_ids()) {
-      const TcpSocket& socket = host->stack().socket(flow);
+      const TransportSocket& socket = host->stack().socket(flow);
       if (socket.dead()) continue;  // buffered bytes died with the socket
-      if (socket.snd_una() < socket.snd_buf_end()) return true;
+      if (socket.tx_acked() < socket.tx_written()) return true;
     }
   }
   return false;
@@ -324,9 +322,9 @@ void Cluster::register_invariants(InvariantChecker& checker) {
   checker.add_check("byte-conservation", [this]() -> std::optional<std::string> {
     for (int flow = 0; flow < next_flow_; ++flow) {
       const FlowRoute& route = routes_[static_cast<std::size_t>(flow)];
-      const TcpSocket* at_sender =
+      const TransportSocket* at_sender =
           host(route.src_host).stack().find_socket(flow);
-      const TcpSocket* at_receiver =
+      const TransportSocket* at_receiver =
           host(route.dst_host).stack().find_socket(flow);
       if (at_sender == nullptr || at_receiver == nullptr) {
         // A reconnect destroyed at least one endpoint; the destroyed
@@ -428,15 +426,15 @@ Cluster::FlowEndpoints Cluster::make_flow(FlowEndpoint src, FlowEndpoint dst,
     // reconnect, after which the gauge reads 0 instead of dangling.
     Stack* src_stack = &src_host.stack();
     registry.gauge(prefix + ".cwnd_bytes", [src_stack, flow] {
-      const TcpSocket* s = src_stack->find_socket(flow);
-      return s != nullptr ? static_cast<double>(s->congestion().cwnd()) : 0.0;
+      const TransportSocket* s = src_stack->find_socket(flow);
+      return s != nullptr ? static_cast<double>(s->cwnd_bytes()) : 0.0;
     });
     registry.gauge(prefix + ".srtt_ns", [src_stack, flow] {
-      const TcpSocket* s = src_stack->find_socket(flow);
+      const TransportSocket* s = src_stack->find_socket(flow);
       return s != nullptr ? static_cast<double>(s->srtt()) : 0.0;
     });
     registry.gauge(prefix + ".inflight_bytes", [src_stack, flow] {
-      const TcpSocket* s = src_stack->find_socket(flow);
+      const TransportSocket* s = src_stack->find_socket(flow);
       return s != nullptr ? static_cast<double>(s->inflight()) : 0.0;
     });
   }
@@ -480,7 +478,7 @@ Cluster::FlowEndpoints Cluster::reconnect_flow(Core& core, int flow) {
   // Local end: the caller runs in a task on the source app core, so the
   // teardown's page releases charge right here.
   Stack& src_stack = host(route.src_host).stack();
-  if (TcpSocket* old_src = src_stack.find_socket(flow)) {
+  if (TransportSocket* old_src = src_stack.find_socket(flow)) {
     old_src->abort(core, SocketError::econnreset);
     src_stack.destroy_socket(flow);
   }
@@ -491,7 +489,7 @@ Cluster::FlowEndpoints Cluster::reconnect_flow(Core& core, int flow) {
   host(route.dst_host)
       .core(route.dst_core)
       .post(fault_ctx_, [&dst_stack, flow](Core& remote) {
-        if (TcpSocket* old_dst = dst_stack.find_socket(flow)) {
+        if (TransportSocket* old_dst = dst_stack.find_socket(flow)) {
           old_dst->abort(remote, SocketError::econnreset);
           dst_stack.destroy_socket(flow);
         }

@@ -29,7 +29,7 @@
 #include "core/host.h"
 #include "hw/link.h"
 #include "hw/switch.h"
-#include "net/tcp_socket.h"
+#include "net/transport.h"
 #include "obs/observer.h"
 #include "sim/event_loop.h"
 #include "sim/fault_injector.h"
@@ -61,7 +61,7 @@ class Cluster {
   int num_links() const { return static_cast<int>(links_.size()); }
 
   /// Legacy name for the degenerate topology's single back-to-back wire.
-  Wire& wire() { return link(0); }
+  Link& wire() { return link(0); }
 
   /// The switch fabric; nullptr in the degenerate back-to-back topology.
   Switch* fabric() { return fabric_.get(); }
@@ -98,8 +98,8 @@ class Cluster {
 
   /// Endpoints of one established flow.
   struct FlowEndpoints {
-    TcpSocket* at_sender;
-    TcpSocket* at_receiver;
+    TransportSocket* at_sender;
+    TransportSocket* at_receiver;
   };
 
   /// Which hosts a flow connects (src sends data toward dst), and the

@@ -14,6 +14,7 @@
 #include "net/cc/congestion_control.h"
 #include "net/grant_scheduler.h"
 #include "net/gso.h"
+#include "net/transport.h"
 #include "obs/obs_config.h"
 #include "sim/fault_injector.h"
 #include "sim/invariant_checker.h"
@@ -71,6 +72,11 @@ struct StackConfig {
   /// with ETIMEDOUT (Linux tcp_retries2 analogue); 0 probes forever.
   /// Serialized only when non-default, so legacy config hashes hold.
   int max_consecutive_rtos = 8;
+
+  /// Protocol behind the net::Transport seam: classic TCP (default) or
+  /// the Homa-style receiver-driven message transport.  Serialized only
+  /// when non-default, so legacy config hashes hold.
+  TransportConfig transport;
 
   Bytes mtu_payload() const { return jumbo ? 9000 : 1500; }
 

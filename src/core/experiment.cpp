@@ -251,13 +251,13 @@ Metrics Experiment::run() {
     const Bytes rcv_before =
         before_it != dst_before.per_flow_delivered.end() ? before_it->second
                                                          : 0;
-    if (const TcpSocket* rx_socket =
+    if (const TransportSocket* rx_socket =
             testbed.host(route.dst_host).stack().find_socket(flow)) {
       fm.delivered = rx_socket->delivered_to_app() - rcv_before;
     }
     auto snd_it = src_before.per_flow_delivered.find(flow);
     if (snd_it != src_before.per_flow_delivered.end()) {
-      if (const TcpSocket* tx_socket =
+      if (const TransportSocket* tx_socket =
               testbed.host(route.src_host).stack().find_socket(flow)) {
         fm.delivered += tx_socket->delivered_to_app() - snd_it->second;
       }

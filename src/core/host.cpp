@@ -24,6 +24,7 @@ StackOptions stack_options(const ExperimentConfig& config, int host_id) {
   options.snd_buf = config.stack.tcp_tx_buf;
   options.cc = config.stack.cc;
   options.max_consecutive_rtos = config.stack.max_consecutive_rtos;
+  options.transport = config.stack.transport;
   return options;
 }
 

@@ -11,7 +11,7 @@
 #include "cpu/core.h"
 #include "hw/llc_model.h"
 #include "hw/nic.h"
-#include "hw/wire.h"
+#include "hw/link.h"
 #include "mem/iommu.h"
 #include "mem/page_allocator.h"
 #include "net/stack.h"

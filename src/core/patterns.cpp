@@ -45,7 +45,7 @@ void add_cluster_flow(Cluster& cluster, Workload& workload,
 /// fork at all happens for non-resilient workloads).
 void add_rpc_client(Cluster& cluster, Workload& workload,
                     const TrafficConfig& traffic, Core& client_core,
-                    TcpSocket& at_sender, RpcServer* server) {
+                    TransportSocket& at_sender, RpcServer* server) {
   if (!traffic.resilience.enabled) {
     workload.rpc_clients.push_back(std::make_unique<RpcClient>(
         client_core, at_sender, traffic.rpc_size));

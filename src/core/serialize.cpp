@@ -359,6 +359,22 @@ void write_stack(JsonWriter& w, const StackConfig& s) {
   if (s.max_consecutive_rtos != 8) {
     w.key("max_consecutive_rtos").value(s.max_consecutive_rtos);
   }
+  // The transport seam is new; only non-TCP configurations emit it, so
+  // every legacy (default-transport) config keeps its canonical form
+  // and hash.
+  if (s.transport.kind != TransportKind::tcp) {
+    const TransportConfig& t = s.transport;
+    w.key("transport").begin_object();
+    w.key("kind").value(to_string(t.kind));
+    w.key("homa_max_active").value(t.homa.max_active);
+    w.key("homa_grant_bytes").value(t.homa.grant_bytes);
+    w.key("homa_unscheduled_bytes").value(t.homa.unscheduled_bytes);
+    w.key("homa_rcv_buf").value(t.homa_rcv_buf);
+    w.key("homa_max_tx_msgs").value(t.homa_max_tx_msgs);
+    w.key("homa_resend_interval").value(t.homa_resend_interval);
+    w.key("homa_max_resends").value(t.homa_max_resends);
+    w.end_object();
+  }
   w.end_object();
 }
 

@@ -59,6 +59,12 @@ struct Frame {
   /// sampled).  Pure telemetry — never affects forwarding or protocol.
   std::int32_t obs_span = -1;
 
+  // --- Message-transport extensions (HomaTransport; TCP ignores them) ---
+  std::int64_t msg_id = -1;  ///< message identifier within the flow
+  Bytes msg_len = 0;         ///< total message length (Homa data frames)
+  bool is_grant = false;     ///< receiver grant: ack_seq = granted offset edge
+  bool is_resend = false;    ///< resend request: seq = lowest missing offset
+
   Bytes wire_bytes() const { return payload + kFrameHeaderBytes; }
 };
 
@@ -119,8 +125,6 @@ class Link {
   Bytes bytes_delivered_ = 0;
 };
 
-/// Transitional alias: the back-to-back testbed's "wire" is a Link.
-using Wire = Link;
 
 }  // namespace hostsim
 

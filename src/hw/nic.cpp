@@ -20,7 +20,7 @@ std::uint64_t mix_flow(int flow) {
 
 Nic::Nic(EventLoop& loop, const Config& config, const NumaTopology& topo,
          std::vector<Core*> cores, std::vector<LlcModel*> llcs,
-         PageAllocator& allocator, Iommu& iommu, Wire& wire, Wire::Side side,
+         PageAllocator& allocator, Iommu& iommu, Link& wire, Link::Side side,
          int host_id)
     : loop_(&loop),
       config_(config),

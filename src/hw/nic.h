@@ -28,7 +28,7 @@
 #include "cpu/core.h"
 #include "hw/llc_model.h"
 #include "hw/numa_topology.h"
-#include "hw/wire.h"
+#include "hw/link.h"
 #include "mem/iommu.h"
 #include "mem/page_allocator.h"
 #include "mem/page_pool.h"
@@ -72,7 +72,7 @@ class Nic {
   /// into every transmitted frame so a Switch can forward by destination.
   Nic(EventLoop& loop, const Config& config, const NumaTopology& topo,
       std::vector<Core*> cores, std::vector<LlcModel*> llcs,
-      PageAllocator& allocator, Iommu& iommu, Wire& wire, Wire::Side side,
+      PageAllocator& allocator, Iommu& iommu, Link& wire, Link::Side side,
       int host_id = 0);
 
   Nic(const Nic&) = delete;
@@ -129,7 +129,7 @@ class Nic {
 
   // --- RX ----------------------------------------------------------------
 
-  /// Wire delivery entry point: consumes the next posted descriptor
+  /// Link delivery entry point: consumes the next posted descriptor
   /// (DMAing into its pages, with DDIO insertion) or drops the frame.
   void receive(Frame frame);
 
@@ -195,8 +195,8 @@ class Nic {
   std::vector<LlcModel*> llcs_;
   PageAllocator* allocator_;
   Iommu* iommu_;
-  Wire* wire_;
-  Wire::Side side_;
+  Link* wire_;
+  Link::Side side_;
   int host_id_ = 0;
   FaultInjector* faults_ = nullptr;
   obs::Observer* obs_ = nullptr;

@@ -1,0 +1,909 @@
+#include "net/homa_transport.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "net/gso.h"
+#include "net/stack.h"
+#include "obs/observer.h"
+#include "sim/contract.h"
+
+namespace hostsim {
+namespace {
+
+/// Sender restart interval: deliberately behind the receiver's RESEND
+/// scan so receiver-driven repair wins whenever the receiver knows the
+/// message exists; the restart only covers total-blackout loss.
+Nanos restart_interval(const TransportConfig& config) {
+  return 2 * config.homa_resend_interval;
+}
+
+}  // namespace
+
+// ==========================================================================
+// HomaSocket
+// ==========================================================================
+
+HomaSocket::HomaSocket(Stack& stack, HomaTransport& transport, int flow,
+                       int app_core)
+    : stack_(&stack),
+      transport_(&transport),
+      flow_(flow),
+      app_core_(app_core),
+      restart_timer_(stack.loop(), [this] { on_restart_fired(); }),
+      resend_timer_(stack.loop(), [this] { on_resend_scan_fired(); }) {}
+
+HomaSocket::~HomaSocket() = default;
+
+void HomaSocket::lock(Core& core) {
+  // Same socket-spinlock model as TCP: contended when softirq and
+  // application alternate cores (§3.1).
+  const bool contended = last_lock_core_ >= 0 && last_lock_core_ != core.id();
+  core.charge(CpuCategory::lock, contended ? core.cost().lock_contended
+                                           : core.cost().lock_uncontended);
+  last_lock_core_ = core.id();
+}
+
+void HomaSocket::sample_rtt(Nanos echo_ts) {
+  if (echo_ts < 0) return;
+  const Nanos rtt = stack_->loop().now() - echo_ts;
+  srtt_ = srtt_ == 0 ? rtt : (7 * srtt_ + rtt) / 8;
+}
+
+void HomaSocket::note_tx_activity() {
+  last_tx_activity_ = stack_->loop().now();
+  consecutive_restarts_ = 0;
+}
+
+// --------------------------------------------------------------------------
+// Failure surface
+// --------------------------------------------------------------------------
+
+void HomaSocket::abort(Core& core, SocketError reason, bool killed_by_fault) {
+  require(reason != SocketError::none, "abort needs a terminal error");
+  if (dead()) {
+    killed_by_fault_ = killed_by_fault_ || killed_by_fault;
+    return;
+  }
+  error_ = reason;
+  killed_by_fault_ = killed_by_fault;
+
+  restart_timer_.cancel();
+  restart_task_pending_ = false;
+  resend_timer_.cancel();
+
+  for (TxMessage& msg : tx_messages_) {
+    for (Page* page : msg.pages) stack_->allocator().release(core, page);
+  }
+  tx_messages_.clear();
+  tx_buffered_ = 0;
+
+  // Completed-but-unread message bytes are rx_covered (the peer saw the
+  // MSG_ACK) but never reached the application: conservation credits
+  // them as destroyed.  Reassembly bytes were never covered, so their
+  // pages release without a ledger entry.
+  destroyed_rx_bytes_ += rq_bytes_;
+  for (const Skb& skb : rq_) {
+    for (const Fragment& fragment : skb.fragments) {
+      stack_->allocator().release(core, fragment.page);
+    }
+  }
+  rq_.clear();
+  rq_bytes_ = 0;
+  for (auto& [id, msg] : rx_messages_) {
+    for (auto& [offset, skb] : msg.frags) {
+      for (const Fragment& fragment : skb.fragments) {
+        stack_->allocator().release(core, fragment.page);
+      }
+    }
+  }
+  rx_messages_.clear();
+  reassembly_bytes_ = 0;
+  transport_->sched_purge(core, *this);
+  stack_->note_socket_abort(destroyed_rx_bytes_);
+
+  if (on_error_) {
+    error_reported_ = true;
+    on_error_(reason);
+  }
+  if (rx_waiter_ != nullptr) rx_waiter_->notify();
+  if (tx_waiter_ != nullptr) tx_waiter_->notify();
+}
+
+void HomaSocket::on_rst(Core& core) {
+  if (dead()) return;
+  abort(core, SocketError::econnreset);
+}
+
+// --------------------------------------------------------------------------
+// Application send path (message framing: one send() = one message)
+// --------------------------------------------------------------------------
+
+Bytes HomaSocket::send_space() const {
+  return stack_->options().snd_buf - tx_buffered_;
+}
+
+Bytes HomaSocket::send(Core& core, Bytes bytes) {
+  require(core.id() == app_core_, "send() must run on the app core");
+  require(bytes > 0, "send of zero bytes");
+  if (dead()) return 0;
+  core.charge(CpuCategory::etc, core.cost().syscall_overhead);
+  lock(core);
+
+  const Bytes accept = std::min(bytes, send_space());
+  if (accept < bytes) tx_was_full_ = true;
+  if (accept == 0) return 0;
+
+  const TransportConfig& config = stack_->options().transport;
+  TxMessage msg;
+  msg.id = next_tx_msg_id_++;
+  msg.len = accept;
+  msg.granted = std::min<Bytes>(accept, config.homa.unscheduled_bytes);
+
+  // User->kernel copy into kernel pages (or MSG_ZEROCOPY pinning) —
+  // identical cost model to the TCP send path.
+  const CostModel& cost = core.cost();
+  LlcModel& llc = stack_->llc(core.numa_node());
+  HostStats& stats = stack_->stats();
+  if (stack_->options().tx_zerocopy) {
+    const auto pinned =
+        static_cast<Cycles>((accept + kPageBytes - 1) / kPageBytes);
+    core.charge(CpuCategory::memory, pinned * cost.zc_tx_pin_per_page);
+    core.charge(CpuCategory::etc, cost.zc_tx_completion);
+  } else {
+    const int pages = static_cast<int>((accept + kPageBytes - 1) / kPageBytes);
+    double copy_cycles = 0.0;
+    for (int i = 0; i < pages; ++i) {
+      Page* page = stack_->allocator().alloc(core);
+      page->refs = 1;
+      const Bytes page_bytes =
+          std::min<Bytes>(kPageBytes, accept - i * kPageBytes);
+      const bool resident = llc.contains(page->id);
+      if (resident) {
+        stats.sender_copy.hit();
+      } else {
+        stats.sender_copy.miss();
+      }
+      copy_cycles += static_cast<double>(page_bytes) *
+                     (cost.copy_cyc_per_byte_hit +
+                      (resident ? 0.0 : cost.copy_write_miss_extra));
+      llc.insert(page->id);
+      msg.pages.push_back(page);
+    }
+    core.charge(CpuCategory::data_copy, static_cast<Cycles>(copy_cycles));
+  }
+
+  tx_messages_.push_back(std::move(msg));
+  tx_buffered_ += accept;
+  tx_written_ += accept;
+  accepted_from_app_ += accept;
+  // Ack clock: only the oldest `homa_max_tx_msgs` messages transmit;
+  // younger ones wait buffered until MSG_ACKs retire their elders.
+  if (tx_messages_.size() <= tx_window()) {
+    transmit_pending(core, tx_messages_.back());
+  }
+  note_tx_activity();
+  arm_restart();
+  return accept;
+}
+
+std::size_t HomaSocket::tx_window() const {
+  return static_cast<std::size_t>(
+      std::max(1, stack_->options().transport.homa_max_tx_msgs));
+}
+
+void HomaSocket::transmit_pending(Core& core, TxMessage& msg) {
+  const Bytes limit = std::min(msg.granted, msg.len);
+  while (msg.sent < limit) {
+    const Bytes chunk =
+        std::min<Bytes>(stack_->options().max_skb_bytes, limit - msg.sent);
+    emit_range(core, msg, msg.sent, msg.sent + chunk, /*retransmit=*/false);
+    msg.sent += chunk;
+    tx_sent_ += chunk;
+  }
+}
+
+void HomaSocket::emit_range(Core& core, const TxMessage& msg, Bytes from,
+                            Bytes to, bool retransmit) {
+  const StackOptions& options = stack_->options();
+  const CostModel& cost = core.cost();
+  const Bytes len = to - from;
+  const int frames = Gso::segment_count(len, options.mss);
+
+  if (retransmit) {
+    stack_->tracer().record(stack_->loop().now(), TraceKind::retransmit,
+                            flow_, from, len);
+    core.charge(CpuCategory::tcpip, cost.tcpip_retransmit * frames);
+    retransmits_ += static_cast<std::uint64_t>(frames);
+    stack_->stats().retransmits += static_cast<std::uint64_t>(frames);
+  } else {
+    core.charge(CpuCategory::skb_mgmt, cost.skb_alloc);
+    core.charge(CpuCategory::tcpip,
+                cost.tcpip_tx_per_skb +
+                    static_cast<Cycles>(cost.tcpip_cyc_per_byte *
+                                        static_cast<double>(len)));
+    core.charge(CpuCategory::netdev, cost.netdev_tx_per_skb);
+    Gso::charge(core, options.segmentation, frames);
+    stack_->iommu().charge_map(core, static_cast<double>(len) / kPageBytes);
+  }
+  core.charge(CpuCategory::netdev, cost.driver_tx_per_skb);
+
+  const Nanos now = stack_->loop().now();
+  Bytes offset = from;
+  while (offset < to) {
+    Frame frame;
+    frame.flow = flow_;
+    frame.seq = offset;
+    frame.payload = std::min<Bytes>(to - offset, options.mss);
+    frame.msg_id = msg.id;
+    frame.msg_len = msg.len;
+    frame.sent_at = now;
+    frame.echo_ts = now;
+    offset += frame.payload;
+    stack_->nic().transmit(frame);
+  }
+}
+
+void HomaSocket::arm_restart() {
+  if (restart_timer_.armed() || tx_messages_.empty()) return;
+  restart_timer_.arm_after(restart_interval(stack_->options().transport));
+}
+
+void HomaSocket::on_restart_fired() {
+  if (dead() || tx_messages_.empty()) return;
+  restart_task_pending_ = true;
+  stack_->core(app_core_).post(timer_ctx_, [this](Core& core) {
+    restart_task_pending_ = false;
+    if (dead() || tx_messages_.empty()) return;
+    const TransportConfig& config = stack_->options().transport;
+    const Nanos interval = restart_interval(config);
+    if (stack_->loop().now() - last_tx_activity_ < interval) {
+      arm_restart();
+      return;
+    }
+    // A whole interval of silence: either every unscheduled frame of the
+    // oldest message was lost (the receiver cannot RESEND what it never
+    // saw) or the peer is gone.
+    if (config.homa_max_resends > 0 &&
+        ++consecutive_restarts_ > config.homa_max_resends) {
+      abort(core, SocketError::etimedout);
+      return;
+    }
+    TxMessage& msg = tx_messages_.front();
+    const Bytes window =
+        std::min({msg.sent, msg.len,
+                  static_cast<Bytes>(config.homa.unscheduled_bytes)});
+    Bytes offset = 0;
+    while (offset < window) {
+      const Bytes chunk =
+          std::min<Bytes>(stack_->options().max_skb_bytes, window - offset);
+      emit_range(core, msg, offset, offset + chunk, /*retransmit=*/true);
+      offset += chunk;
+    }
+    arm_restart();
+  });
+}
+
+// --------------------------------------------------------------------------
+// Sender-side control frames
+// --------------------------------------------------------------------------
+
+void HomaSocket::handle_grant(Core& core, const Frame& frame) {
+  core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_rx);
+  lock(core);
+  ++stack_->stats().acks_received;
+  sample_rtt(frame.echo_ts);
+  for (TxMessage& msg : tx_messages_) {
+    if (msg.id != frame.msg_id) continue;
+    const Bytes edge = std::min<Bytes>(msg.len, frame.ack_seq);
+    if (edge > msg.granted) {
+      msg.granted = edge;
+      transmit_pending(core, msg);
+    }
+    note_tx_activity();
+    return;
+  }
+  // Unknown message: already acked (stale grant crossed the MSG_ACK).
+}
+
+void HomaSocket::handle_resend(Core& core, const Frame& frame) {
+  core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_rx);
+  lock(core);
+  for (TxMessage& msg : tx_messages_) {
+    if (msg.id != frame.msg_id) continue;
+    // The receiver exists and is asking: repair from its lowest missing
+    // offset up to everything we were allowed to send.
+    const Bytes to = std::min(msg.granted, msg.len);
+    Bytes offset = std::min<Bytes>(frame.seq, to);
+    while (offset < to) {
+      const Bytes chunk =
+          std::min<Bytes>(stack_->options().max_skb_bytes, to - offset);
+      emit_range(core, msg, offset, offset + chunk, /*retransmit=*/true);
+      offset += chunk;
+    }
+    note_tx_activity();
+    return;
+  }
+}
+
+void HomaSocket::handle_msg_ack(Core& core, const Frame& frame) {
+  core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_rx);
+  lock(core);
+  ++stack_->stats().acks_received;
+  sample_rtt(frame.echo_ts);
+  for (auto it = tx_messages_.begin(); it != tx_messages_.end(); ++it) {
+    if (it->id != frame.msg_id) continue;
+    core.charge(CpuCategory::skb_mgmt, core.cost().skb_free);
+    stack_->iommu().charge_unmap(
+        core, static_cast<double>(it->len) / kPageBytes);
+    for (Page* page : it->pages) stack_->allocator().release(core, page);
+    tx_acked_ += it->len;
+    tx_buffered_ -= it->len;
+    tx_messages_.erase(it);
+    note_tx_activity();
+    if (tx_messages_.empty()) {
+      restart_timer_.cancel();
+    }
+    // The ack clock advanced: start any message that just slid into the
+    // transmit window (its unscheduled bytes have been waiting).
+    const std::size_t window = std::min(tx_window(), tx_messages_.size());
+    for (std::size_t i = 0; i < window; ++i) {
+      TxMessage& waiting = tx_messages_[i];
+      if (waiting.sent < std::min(waiting.granted, waiting.len)) {
+        transmit_pending(core, waiting);
+      }
+    }
+    if (tx_was_full_ && tx_waiter_ != nullptr &&
+        send_space() >= std::min<Bytes>(stack_->options().snd_buf / 4,
+                                        256 * kKiB)) {
+      tx_was_full_ = false;
+      tx_waiter_->notify();
+    }
+    return;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Receiver side
+// --------------------------------------------------------------------------
+
+void HomaSocket::send_control(Core& core, Frame frame) {
+  frame.flow = flow_;
+  frame.is_ack = true;  // header-only control: copybreak-class frame
+  core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_tx);
+  ++stack_->stats().acks_sent;
+  stack_->nic().transmit(frame);
+}
+
+Bytes HomaSocket::rx_remaining(std::int64_t msg_id) const {
+  auto it = rx_messages_.find(msg_id);
+  if (it == rx_messages_.end()) return 0;
+  return it->second.len - it->second.received;
+}
+
+void HomaSocket::push_grant(Core& core, std::int64_t msg_id) {
+  auto it = rx_messages_.find(msg_id);
+  if (it == rx_messages_.end()) return;
+  RxMessage& msg = it->second;
+  const TransportConfig& config = stack_->options().transport;
+  if (config.homa_rcv_buf > 0 && rq_bytes_ >= config.homa_rcv_buf) {
+    // The application is not keeping up: stop feeding it.  Stalled
+    // senders stay alive off the receiver's periodic RESENDs (each one
+    // counts as peer activity for the sender's restart detector), and
+    // recv() pumps the scheduler once the backlog drains.
+    rx_backpressured_ = true;
+    return;
+  }
+  const GrantPolicy& policy = config.homa;
+  const Bytes target = std::min<Bytes>(
+      msg.len, msg.received + static_cast<Bytes>(policy.grant_bytes));
+  if (target <= msg.granted_edge) return;
+  msg.granted_edge = target;
+  transport_->note_grant();
+  stack_->tracer().record(stack_->loop().now(), TraceKind::grant, flow_,
+                          target, msg.granted_edge - msg.received);
+  Frame grant;
+  grant.is_grant = true;
+  grant.msg_id = msg_id;
+  grant.ack_seq = target;
+  send_control(core, grant);
+}
+
+void HomaSocket::rx_data(Core& core, std::int64_t msg_id, Bytes msg_len,
+                         Skb skb) {
+  const CostModel& cost = core.cost();
+  // Per-batch protocol processing, mirroring the TCP post-GRO charge:
+  // the transport coalesced contiguous frames of one message within the
+  // NAPI poll round.
+  core.charge(CpuCategory::tcpip,
+              cost.tcpip_rx_per_skb +
+                  static_cast<Cycles>(cost.tcpip_cyc_per_byte *
+                                      static_cast<double>(skb.len)));
+  lock(core);
+  stack_->tracer().record(stack_->loop().now(), TraceKind::skb_deliver,
+                          flow_, skb.seq, skb.len);
+  if (obs::Observer* o = stack_->observer(); o != nullptr &&
+                                             skb.obs_span >= 0) {
+    o->span_stamp(skb.obs_span, obs::Stage::tcpip, stack_->loop().now());
+  }
+  stack_->stats().skb_sizes.record(skb);
+
+  if (rx_completed_.find(msg_id) != rx_completed_.end()) {
+    // Late retransmit of a finished message: our MSG_ACK was lost.
+    for (const Fragment& fragment : skb.fragments) {
+      stack_->allocator().release(core, fragment.page);
+    }
+    Frame ack;
+    ack.msg_id = msg_id;
+    ack.ack_seq = msg_len;
+    ack.echo_ts = skb.sent_at;
+    send_control(core, ack);
+    return;
+  }
+
+  auto [it, fresh] = rx_messages_.try_emplace(msg_id);
+  RxMessage& msg = it->second;
+  if (fresh) {
+    msg.id = msg_id;
+    msg.len = msg_len;
+    msg.granted_edge = std::min<Bytes>(
+        msg.len, stack_->options().transport.homa.unscheduled_bytes);
+  }
+  msg.last_arrival = stack_->loop().now();
+
+  // Trim against already-held spans (retransmissions overlap arbitrary
+  // prefixes; frames are atomic so surviving spans never split a frame).
+  std::int64_t seq = skb.seq;
+  Bytes len = skb.len;
+  auto next = msg.frags.upper_bound(seq);
+  if (next != msg.frags.begin()) {
+    auto prev = std::prev(next);
+    const std::int64_t prev_end = prev->second.end_seq();
+    if (prev_end > seq) {
+      const Bytes dup = std::min<Bytes>(prev_end - seq, len);
+      seq += dup;
+      len -= dup;
+    }
+  }
+  if (len > 0 && next != msg.frags.end() && next->first < seq + len) {
+    len = next->first - seq;  // tail overlap; later bytes are already held
+  }
+  if (len <= 0) {
+    for (const Fragment& fragment : skb.fragments) {
+      stack_->allocator().release(core, fragment.page);
+    }
+    return;
+  }
+
+  skb.flow = flow_;
+  skb.seq = seq;
+  skb.len = len;
+  skb.napi_at = stack_->loop().now();
+  msg.frags.emplace(seq, std::move(skb));
+  msg.received += len;
+  reassembly_bytes_ += len;
+
+  if (msg.received == msg.len) {
+    complete_rx(core, msg);
+    rx_messages_.erase(it);
+    return;
+  }
+  // Incomplete: keep the grant machinery moving and the stall detector
+  // armed.
+  if (msg.len >
+      static_cast<Bytes>(stack_->options().transport.homa.unscheduled_bytes)) {
+    if (!msg.enrolled) {
+      msg.enrolled = true;
+      transport_->sched_enroll(core, *this, msg.id);
+    } else {
+      transport_->sched_progress(core, *this, msg.id);
+    }
+  }
+  if (!resend_timer_.armed()) {
+    resend_timer_.arm_after(stack_->options().transport.homa_resend_interval);
+  }
+}
+
+void HomaSocket::complete_rx(Core& core, RxMessage& msg) {
+  const Nanos last_sent_at =
+      msg.frags.empty() ? -1 : msg.frags.rbegin()->second.sent_at;
+  std::int32_t wake_span = -1;
+  for (auto& [offset, skb] : msg.frags) {
+    if (wake_span < 0 && skb.obs_span >= 0) wake_span = skb.obs_span;
+    rq_bytes_ += skb.len;
+    rq_.push_back(std::move(skb));
+  }
+  msg.frags.clear();
+  reassembly_bytes_ -= msg.received;
+  rx_covered_ += msg.len;
+  rx_completed_.insert(msg.id);
+  if (msg.enrolled) {
+    transport_->sched_retire(core, *this, msg.id);
+  }
+  Frame ack;
+  ack.msg_id = msg.id;
+  ack.ack_seq = msg.len;
+  ack.echo_ts = last_sent_at;
+  send_control(core, ack);
+  if (rx_waiter_ != nullptr) {
+    if (wake_span >= 0) {
+      if (obs::Observer* o = stack_->observer()) {
+        o->span_stamp(wake_span, obs::Stage::wakeup, stack_->loop().now());
+      }
+    }
+    rx_waiter_->notify();
+  }
+}
+
+void HomaSocket::on_resend_scan_fired() {
+  if (dead() || rx_messages_.empty()) return;
+  stack_->core(app_core_).post(timer_ctx_, [this](Core& core) {
+    if (dead() || rx_messages_.empty()) return;
+    const Nanos interval = stack_->options().transport.homa_resend_interval;
+    const Nanos now = stack_->loop().now();
+    for (auto& [id, msg] : rx_messages_) {
+      if (now - msg.last_arrival < interval) continue;
+      // Lowest missing offset: the first gap in the held spans.
+      std::int64_t edge = 0;
+      for (const auto& [offset, skb] : msg.frags) {
+        if (offset > edge) break;
+        edge = skb.end_seq();
+      }
+      Frame resend;
+      resend.is_resend = true;
+      resend.msg_id = id;
+      resend.seq = edge;
+      send_control(core, resend);
+      // Re-offer the current credit edge as well: a lost GRANT leaves
+      // the sender's allowance stale, and a RESEND alone cannot move
+      // bytes the sender believes it may not transmit (the sender
+      // ignores re-offers at or below its edge, so this is idempotent).
+      if (msg.granted_edge > 0) {
+        Frame grant;
+        grant.is_grant = true;
+        grant.msg_id = id;
+        grant.ack_seq = msg.granted_edge;
+        send_control(core, grant);
+      }
+      msg.last_arrival = now;  // back off until the repair had a chance
+    }
+    if (!rx_messages_.empty()) {
+      resend_timer_.arm_after(interval);
+    }
+  });
+}
+
+// --------------------------------------------------------------------------
+// Application receive path
+// --------------------------------------------------------------------------
+
+Bytes HomaSocket::recv(Core& core, Bytes max_bytes) {
+  require(core.id() == app_core_, "recv() must run on the app core");
+  if (dead()) return 0;
+  const CostModel& cost = core.cost();
+  core.charge(CpuCategory::etc, cost.syscall_overhead);
+  lock(core);
+
+  // Same kernel->user copy cost model as the TCP receive path; the
+  // difference is upstream (whole messages arrive in SRPT completion
+  // order, not stream order).
+  HostStats& stats = stack_->stats();
+  Bytes copied = 0;
+  while (copied < max_bytes && !rq_.empty()) {
+    Skb skb = std::move(rq_.front());
+    rq_.pop_front();
+    rq_bytes_ -= skb.len;
+
+    stats.napi_to_copy.record(stack_->loop().now() - skb.napi_at);
+    stack_->tracer().record(stack_->loop().now(), TraceKind::data_copy,
+                            flow_, skb.seq, skb.len);
+    if (skb.obs_span >= 0) {
+      if (obs::Observer* o = stack_->observer()) {
+        o->span_stamp(skb.obs_span, obs::Stage::copy, stack_->loop().now());
+        o->span_complete(skb.obs_span);
+      }
+    }
+
+    bool any_remote = false;
+    if (stack_->options().rx_zerocopy) {
+      const auto pages =
+          static_cast<Cycles>((skb.len + kPageBytes - 1) / kPageBytes);
+      core.charge(CpuCategory::memory, pages * cost.zc_rx_remap_per_page);
+      for (const Fragment& fragment : skb.fragments) {
+        any_remote =
+            any_remote || fragment.page->numa_node != core.numa_node();
+      }
+    } else {
+      Bytes frag_total = 0;
+      for (const Fragment& fragment : skb.fragments) {
+        frag_total += fragment.bytes;
+      }
+      const double payload_scale =
+          frag_total > 0
+              ? static_cast<double>(skb.len) / static_cast<double>(frag_total)
+              : 0.0;
+      double copy_cycles = 0.0;
+      for (const Fragment& fragment : skb.fragments) {
+        const double bytes =
+            static_cast<double>(fragment.bytes) * payload_scale;
+        Page* page = fragment.page;
+        if (page->numa_node == core.numa_node()) {
+          const bool hit = stack_->llc(core.numa_node()).touch_read(page->id);
+          if (hit) {
+            stats.copy_reads.hit();
+          } else {
+            stats.copy_reads.miss();
+          }
+          copy_cycles += bytes * (hit ? cost.copy_cyc_per_byte_hit
+                                      : cost.copy_cyc_per_byte_miss);
+        } else {
+          any_remote = true;
+          stats.copy_reads.miss();
+          copy_cycles += bytes * cost.copy_cyc_per_byte_miss *
+                         cost.copy_remote_numa_factor;
+        }
+      }
+      core.charge(CpuCategory::data_copy, static_cast<Cycles>(copy_cycles));
+    }
+
+    core.charge(CpuCategory::skb_mgmt,
+                cost.skb_free + (any_remote ? cost.skb_free_remote_extra : 0));
+    for (const Fragment& fragment : skb.fragments) {
+      stack_->allocator().release(core, fragment.page);
+    }
+    copied += skb.len;
+  }
+  delivered_to_app_ += copied;
+  const Bytes rcv_buf = stack_->options().transport.homa_rcv_buf;
+  if (rx_backpressured_ && (rcv_buf == 0 || rq_bytes_ < rcv_buf)) {
+    rx_backpressured_ = false;
+    transport_->sched_pump(core, app_core_);
+  }
+  return copied;
+}
+
+// --------------------------------------------------------------------------
+// Gauges / sweeps
+// --------------------------------------------------------------------------
+
+Bytes HomaSocket::cwnd_bytes() const {
+  Bytes allowance = 0;
+  for (const TxMessage& msg : tx_messages_) {
+    allowance += std::min(msg.granted, msg.len);
+  }
+  return allowance;
+}
+
+void HomaSocket::collect_held_pages(
+    std::unordered_set<const Page*>& held) const {
+  for (const TxMessage& msg : tx_messages_) {
+    for (const Page* page : msg.pages) held.insert(page);
+  }
+  for (const Skb& skb : rq_) {
+    for (const Fragment& fragment : skb.fragments) held.insert(fragment.page);
+  }
+  for (const auto& [id, msg] : rx_messages_) {
+    for (const auto& [offset, skb] : msg.frags) {
+      for (const Fragment& fragment : skb.fragments) {
+        held.insert(fragment.page);
+      }
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Frame dispatch
+// --------------------------------------------------------------------------
+
+void HomaSocket::rx_control(Core& core, const Frame& frame) {
+  if (frame.is_rst) {
+    on_rst(core);
+  } else if (frame.is_grant) {
+    handle_grant(core, frame);
+  } else if (frame.is_resend) {
+    handle_resend(core, frame);
+  } else {
+    handle_msg_ack(core, frame);
+  }
+}
+
+// ==========================================================================
+// HomaTransport
+// ==========================================================================
+
+HomaTransport::HomaTransport(Stack& stack) : stack_(&stack) {
+  pending_.resize(stack_->cores_.size());
+}
+
+HomaTransport::~HomaTransport() = default;
+
+std::unique_ptr<TransportSocket> HomaTransport::make_socket(int flow,
+                                                            int app_core) {
+  return std::make_unique<HomaSocket>(*stack_, *this, flow, app_core);
+}
+
+void HomaTransport::deliver(Core& core, int flow, PendingBatch&& batch) {
+  auto* socket = static_cast<HomaSocket*>(stack_->find_socket(flow));
+  if (socket == nullptr || socket->dead()) {
+    // Unknown or terminally failed flow: drop the data and answer with
+    // an RST so the sender learns the connection is gone.
+    for (const Fragment& fragment : batch.skb.fragments) {
+      stack_->allocator_->release(core, fragment.page);
+    }
+    stack_->send_rst(flow);
+    return;
+  }
+  socket->rx_data(core, batch.msg_id, batch.msg_len, std::move(batch.skb));
+}
+
+void HomaTransport::rx_frame(Core& core, int queue, Nic::PolledFrame polled) {
+  const Frame& frame = polled.frame;
+  const CostModel& cost = core.cost();
+
+  if (frame.is_ack || frame.is_grant || frame.is_resend || frame.is_rst) {
+    // Header-only control: copybreak-class skb, dispatched inline.
+    core.charge(CpuCategory::skb_mgmt, cost.skb_alloc / 3);
+    for (const Fragment& fragment : polled.fragments) {
+      stack_->allocator_->release(core, fragment.page);
+    }
+    auto* socket = static_cast<HomaSocket*>(stack_->find_socket(frame.flow));
+    if (socket == nullptr || socket->dead()) {
+      if (!frame.is_rst) stack_->send_rst(frame.flow);
+      return;
+    }
+    socket->rx_control(core, frame);
+    return;
+  }
+
+  core.charge(CpuCategory::skb_mgmt, cost.skb_alloc);
+  Skb skb;
+  skb.flow = frame.flow;
+  skb.seq = frame.seq;
+  skb.len = frame.payload;
+  skb.fragments = std::move(polled.fragments);
+  skb.segments = polled.segments;
+  skb.napi_at = stack_->loop_->now();
+  skb.sent_at = frame.sent_at;
+  skb.ecn = frame.ecn;
+  skb.obs_span = frame.obs_span;
+  if (stack_->obs_ != nullptr && skb.obs_span >= 0) {
+    stack_->obs_->span_stamp(skb.obs_span, obs::Stage::gro,
+                             stack_->loop_->now());
+  }
+  if (stack_->options_.gro) {
+    core.charge(CpuCategory::netdev, cost.gro_per_segment);
+  }
+
+  // Merge contiguous same-message frames within this poll round; a
+  // non-mergeable input flushes the flow's batch in progress.
+  auto& pending = pending_.at(static_cast<std::size_t>(queue));
+  auto it = pending.find(frame.flow);
+  if (it != pending.end()) {
+    PendingBatch& batch = it->second;
+    if (stack_->options_.gro && batch.msg_id == frame.msg_id &&
+        batch.skb.end_seq() == skb.seq &&
+        batch.skb.len + skb.len <= stack_->options_.max_skb_bytes) {
+      batch.skb.len += skb.len;
+      batch.skb.segments += skb.segments;
+      batch.skb.sent_at = skb.sent_at;
+      batch.skb.ecn = batch.skb.ecn || skb.ecn;
+      if (batch.skb.obs_span < 0) batch.skb.obs_span = skb.obs_span;
+      batch.skb.fragments.append_from(std::move(skb.fragments));
+      return;
+    }
+    PendingBatch done = std::move(batch);
+    pending.erase(it);
+    deliver(core, frame.flow, std::move(done));
+  }
+  if (!stack_->options_.gro) {
+    deliver(core, frame.flow,
+            PendingBatch{frame.msg_id, frame.msg_len, std::move(skb)});
+    return;
+  }
+  pending.emplace(frame.flow,
+                  PendingBatch{frame.msg_id, frame.msg_len, std::move(skb)});
+}
+
+void HomaTransport::rx_flush(Core& core, int queue) {
+  auto& pending = pending_.at(static_cast<std::size_t>(queue));
+  while (!pending.empty()) {
+    auto it = pending.begin();
+    const int flow = it->first;
+    PendingBatch batch = std::move(it->second);
+    pending.erase(it);
+    deliver(core, flow, std::move(batch));
+  }
+}
+
+void HomaTransport::collect_held_pages(
+    std::unordered_set<const Page*>& held) const {
+  for (const auto& queue : pending_) {
+    for (const auto& [flow, batch] : queue) {
+      for (const Fragment& fragment : batch.skb.fragments) {
+        held.insert(fragment.page);
+      }
+    }
+  }
+}
+
+void HomaTransport::on_socket_destroyed(int /*flow*/) {
+  // Scheduler references were already purged by abort() — destroying a
+  // live socket is rejected by the Stack.
+}
+
+void HomaTransport::sched_enroll(Core& core, HomaSocket& socket,
+                                 std::int64_t msg_id) {
+  CoreSched& sched = sched_[socket.app_core()];
+  const int max_active = stack_->options_.transport.homa.max_active;
+  if (static_cast<int>(sched.active.size()) < max_active) {
+    sched.active.push_back({&socket, msg_id});
+    socket.push_grant(core, msg_id);
+  } else {
+    sched.waiting.push_back({&socket, msg_id});
+  }
+}
+
+void HomaTransport::sched_progress(Core& core, HomaSocket& socket,
+                                   std::int64_t msg_id) {
+  CoreSched& sched = sched_[socket.app_core()];
+  for (const Entry& entry : sched.active) {
+    if (entry.socket == &socket && entry.msg_id == msg_id) {
+      socket.push_grant(core, msg_id);
+      return;
+    }
+  }
+}
+
+void HomaTransport::sched_retire(Core& core, HomaSocket& socket,
+                                 std::int64_t msg_id) {
+  CoreSched& sched = sched_[socket.app_core()];
+  auto matches = [&](const Entry& entry) {
+    return entry.socket == &socket && entry.msg_id == msg_id;
+  };
+  std::erase_if(sched.active, matches);
+  std::erase_if(sched.waiting, matches);
+  promote(core, sched);
+}
+
+void HomaTransport::sched_pump(Core& core, int app_core) {
+  auto it = sched_.find(app_core);
+  if (it == sched_.end()) return;
+  // push_grant is idempotent (no-op when the credit target is already
+  // granted) and re-checks each socket's own backlog.
+  for (const Entry& entry : it->second.active) {
+    entry.socket->push_grant(core, entry.msg_id);
+  }
+}
+
+void HomaTransport::sched_purge(Core& core, HomaSocket& socket) {
+  auto it = sched_.find(socket.app_core());
+  if (it == sched_.end()) return;
+  auto matches = [&](const Entry& entry) { return entry.socket == &socket; };
+  std::erase_if(it->second.active, matches);
+  std::erase_if(it->second.waiting, matches);
+  promote(core, it->second);
+}
+
+void HomaTransport::promote(Core& core, CoreSched& sched) {
+  const int max_active = stack_->options_.transport.homa.max_active;
+  while (static_cast<int>(sched.active.size()) < max_active &&
+         !sched.waiting.empty()) {
+    // SRPT: the waiting message with the fewest remaining bytes wins.
+    auto best = sched.waiting.begin();
+    Bytes best_remaining = best->socket->rx_remaining(best->msg_id);
+    for (auto it = std::next(sched.waiting.begin());
+         it != sched.waiting.end(); ++it) {
+      const Bytes remaining = it->socket->rx_remaining(it->msg_id);
+      if (remaining < best_remaining) {
+        best = it;
+        best_remaining = remaining;
+      }
+    }
+    const Entry entry = *best;
+    sched.waiting.erase(best);
+    sched.active.push_back(entry);
+    entry.socket->push_grant(core, entry.msg_id);
+  }
+}
+
+}  // namespace hostsim

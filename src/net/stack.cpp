@@ -2,7 +2,9 @@
 
 #include <utility>
 
+#include "net/homa_transport.h"
 #include "net/tcp_socket.h"
+#include "net/tcp_transport.h"
 #include "obs/observer.h"
 #include "sim/contract.h"
 
@@ -22,9 +24,13 @@ Stack::Stack(EventLoop& loop, const StackOptions& options,
       nic_(&nic),
       tracer_(options.trace_capacity, options.host_id) {
   require(options.mss > 0, "mss must be positive");
-  gros_.reserve(cores_.size());
-  for (std::size_t i = 0; i < cores_.size(); ++i) {
-    gros_.emplace_back(options_.gro, options_.max_skb_bytes);
+  switch (options_.transport.kind) {
+    case TransportKind::tcp:
+      transport_ = std::make_unique<TcpTransport>(*this);
+      break;
+    case TransportKind::homa:
+      transport_ = std::make_unique<HomaTransport>(*this);
+      break;
   }
   nic_->set_rx_handler(
       [this](Core& core, int queue) { napi_poll(core, queue); });
@@ -32,32 +38,32 @@ Stack::Stack(EventLoop& loop, const StackOptions& options,
 
 Stack::~Stack() = default;
 
-TcpSocket& Stack::create_socket(int flow, int app_core) {
+TransportSocket& Stack::create_socket(int flow, int app_core) {
   require(sockets_.find(flow) == sockets_.end(), "flow already has a socket");
   require(app_core >= 0 && app_core < num_cores(), "app core out of range");
-  auto [it, inserted] = sockets_.emplace(
-      flow, std::make_unique<TcpSocket>(*this, flow, app_core));
-  if (options_.receiver_driven) {
-    if (grants_ == nullptr) {
-      grants_ = std::make_unique<GrantScheduler>(options_.grant_policy);
-    }
-    it->second->set_receiver_driven(*grants_);
-  }
+  auto [it, inserted] =
+      sockets_.emplace(flow, transport_->make_socket(flow, app_core));
   return *it->second;
 }
 
-TcpSocket& Stack::socket(int flow) {
+TransportSocket& Stack::socket(int flow) {
   auto it = sockets_.find(flow);
   require(it != sockets_.end(), "no socket for flow");
   return *it->second;
 }
 
-TcpSocket* Stack::find_socket(int flow) {
+TcpSocket& Stack::tcp_socket(int flow) {
+  require(options_.transport.kind == TransportKind::tcp,
+          "tcp_socket() requires the TCP transport");
+  return static_cast<TcpSocket&>(socket(flow));
+}
+
+TransportSocket* Stack::find_socket(int flow) {
   auto it = sockets_.find(flow);
   return it == sockets_.end() ? nullptr : it->second.get();
 }
 
-const TcpSocket* Stack::find_socket(int flow) const {
+const TransportSocket* Stack::find_socket(int flow) const {
   auto it = sockets_.find(flow);
   return it == sockets_.end() ? nullptr : it->second.get();
 }
@@ -73,6 +79,7 @@ void Stack::destroy_socket(int flow) {
   require(!options_.receiver_driven,
           "socket destruction unsupported in receiver-driven mode");
   sockets_.erase(it);
+  transport_->on_socket_destroyed(flow);
 }
 
 void Stack::send_rst(int flow) {
@@ -118,7 +125,7 @@ void Stack::connect(int flow, Nanos retry_after, int max_retries,
                     ConnectFn done) {
   require(retry_after > 0, "SYN retry timeout must be positive");
   require(max_retries >= 0, "SYN retry budget must be >= 0");
-  TcpSocket& client = socket(flow);  // created by the caller beforehand
+  TransportSocket& client = socket(flow);  // created by the caller beforehand
   require(connects_.find(flow) == connects_.end(),
           "flow already has a pending connect");
   PendingConnect& pending = connects_[flow];
@@ -144,7 +151,7 @@ void Stack::connect(int flow, Nanos retry_after, int max_retries,
 void Stack::retry_connect(int flow) {
   // Timer context: re-enter task context on the client's core so the
   // retransmit (or the failure callback) charges and runs there.
-  TcpSocket* client = find_socket(flow);
+  TransportSocket* client = find_socket(flow);
   if (client == nullptr) {
     connects_.erase(flow);
     return;
@@ -204,7 +211,7 @@ void Stack::handle_syn(Core& core, const Frame& frame) {
       connect_ctx_, [this, flow = frame.flow](Core& accept_core) {
         require(listener_.has_value(), "listener vanished before accept");
         --listener_->pending;
-        TcpSocket* accepted = find_socket(flow);
+        TransportSocket* accepted = find_socket(flow);
         if (accepted == nullptr || accepted->dead()) return;
         accept_core.charge(CpuCategory::etc,
                            accept_core.cost().syscall_overhead);
@@ -227,7 +234,7 @@ void Stack::close(Core& core, int flow, Nanos time_wait) {
   require(time_wait >= 0, "TIME_WAIT duration must be >= 0");
   auto it = sockets_.find(flow);
   require(it != sockets_.end(), "closing a flow with no socket");
-  TcpSocket& closing = *it->second;
+  TransportSocket& closing = *it->second;
   require(!closing.dead(), "closing a dead socket (destroy it instead)");
   require(closing.send_queue_empty() && closing.readable() == 0 &&
               closing.ofo_bytes() == 0,
@@ -277,7 +284,7 @@ void Stack::handle_fin(Core& core, int flow) {
   auto it = sockets_.find(flow);
   if (it == sockets_.end()) return;  // already gone (aborted + destroyed)
   core.charge(CpuCategory::tcpip, core.cost().tcpip_ack_rx);
-  TcpSocket& closing = *it->second;
+  TransportSocket& closing = *it->second;
   if (closing.dead()) return;  // disposition already settled by abort()
   if (!closing.send_queue_empty() || closing.readable() > 0 ||
       closing.ofo_bytes() > 0) {
@@ -296,7 +303,8 @@ void Stack::handle_fin(Core& core, int flow) {
 
 void Stack::begin_measurement() { stats_.clear(); }
 
-int Stack::steer_target(const TcpSocket& socket, const Core& irq_core) const {
+int Stack::steer_target(const TransportSocket& socket,
+                        const Core& irq_core) const {
   switch (options_.steering) {
     case SteeringMode::arfs:
     case SteeringMode::rss:
@@ -343,71 +351,16 @@ void Stack::collect_held_pages(std::unordered_set<const Page*>& held) const {
   for (const auto& [flow, socket] : sockets_) {
     socket->collect_held_pages(held);
   }
-  requeue_park_.for_each([&held](const Skb& skb) {
-    for (const Fragment& fragment : skb.fragments) held.insert(fragment.page);
-  });
+  transport_->collect_held_pages(held);
 }
 
 void Stack::napi_poll(Core& core, int queue) {
   const CostModel& cost = core.cost();
   core.charge(CpuCategory::netdev, cost.napi_poll_overhead);
-  Gro& gro = gros_.at(static_cast<std::size_t>(queue));
 
-  auto deliver = [this, &core](Skb&& skb) {
-    if (leak_next_skb_ && !skb.fragments.empty()) {
-      // Deliberate leak (test hook): forget the skb without releasing
-      // its page references, so the leak sweep has something to find.
-      leak_next_skb_ = false;
-      return;
-    }
-    stats_.skb_sizes.record(skb);
-    auto it = sockets_.find(skb.flow);
-    if (it == sockets_.end() || it->second->dead()) {
-      // Unknown or terminally failed flow (torn down by a fault or a
-      // reconnect): drop the data and answer with an RST so the sender
-      // learns the connection is gone instead of retransmitting into a
-      // void until its own timeout fires.
-      const int flow = skb.flow;
-      for (const Fragment& fragment : skb.fragments) {
-        allocator_->release(core, fragment.page);
-      }
-      send_rst(flow);
-      return;
-    }
-    TcpSocket* socket = it->second.get();
-    const int target = steer_target(*socket, core);
-    if (target == core.id()) {
-      socket->rx_deliver(core, std::move(skb));
-      return;
-    }
-    // RPS/RFS: protocol processing is requeued to the target core's
-    // backlog via an inter-processor kick; the cycles of TCP processing
-    // land there, not on the IRQ core.  The skb is parked in a stack-
-    // visible table while it crosses cores (rather than captured in the
-    // closure) so in-flight requeues stay accountable to the leak sweep.
-    // The requeued task re-resolves the flow: the socket can be aborted
-    // and destroyed while the skb is crossing cores.
-    core.charge(CpuCategory::etc, core.cost().rps_ipi);
-    const SlotPool<Skb>::Slot slot = requeue_park_.acquire(std::move(skb));
-    core.defer([this, target, slot] {
-      cores_[static_cast<std::size_t>(target)]->post(
-          softirq_requeue_, [this, slot](Core& remote) {
-            Skb queued = std::move(requeue_park_[slot]);
-            requeue_park_.release(slot);
-            if (TcpSocket* live = find_socket(queued.flow)) {
-              live->rx_deliver(remote, std::move(queued));
-              return;
-            }
-            for (const Fragment& fragment : queued.fragments) {
-              allocator_->release(remote, fragment.page);
-            }
-          });
-    });
-  };
-
-  // FINs observed this poll; processed only after the GRO flush so the
-  // connection's final data (possibly still merging in GRO) is delivered
-  // before the passive close runs.
+  // FINs observed this poll; processed only after the transport's flush
+  // (GRO may still be merging the connection's final data) so that data
+  // is delivered before the passive close runs.
   std::vector<int> fin_flows;
 
   int budget = options_.napi_budget;
@@ -419,9 +372,9 @@ void Stack::napi_poll(Core& core, int queue) {
 
     if (polled->frame.corrupt) {
       // Checksum validation failed: the frame burned a descriptor, DMA
-      // bandwidth, and driver cycles, but TCP never sees it — it will
-      // be repaired like any other loss.  Distinct from wire loss in
-      // that the receiver pays for the frame before discarding it.
+      // bandwidth, and driver cycles, but the protocol never sees it —
+      // it will be repaired like any other loss.  Distinct from wire
+      // loss in that the receiver pays for the frame before discarding.
       core.charge(CpuCategory::skb_mgmt, cost.skb_alloc + cost.skb_free);
       for (const Fragment& fragment : polled->fragments) {
         allocator_->release(core, fragment.page);
@@ -432,6 +385,7 @@ void Stack::napi_poll(Core& core, int queue) {
 
     if (polled->frame.is_syn) {
       // Handshake frames: header-only, like the copybreak path.  Handled
+      // in the stack (connection lifecycle is transport-independent) and
       // before ACK processing — a SYN-ACK must not reach the client
       // socket's ACK machinery.
       core.charge(CpuCategory::skb_mgmt, cost.skb_alloc / 3);
@@ -446,79 +400,23 @@ void Stack::napi_poll(Core& core, int queue) {
       continue;
     }
 
-    if (polled->frame.is_ack) {
-      // Copybreak fast path: header-only skb built inline and freed on
-      // the spot, no page-backed fragments.  RSTs ride this path too.
+    if (polled->frame.is_ack && polled->frame.is_fin) {
+      // FINs are stack-owned too; header-only, same copybreak charge the
+      // ACK path would have paid.
       core.charge(CpuCategory::skb_mgmt, cost.skb_alloc / 3);
-      if (polled->frame.is_fin) {
-        fin_flows.push_back(polled->frame.flow);
-        for (const Fragment& fragment : polled->fragments) {
-          allocator_->release(core, fragment.page);
-        }
-        continue;
-      }
-      auto it = sockets_.find(polled->frame.flow);
-      if (it != sockets_.end()) {
-        TcpSocket* socket = it->second.get();
-        const int target = steer_target(*socket, core);
-        const bool is_rst = polled->frame.is_rst;
-        if (target == core.id()) {
-          if (is_rst) {
-            socket->on_rst(core);
-          } else {
-            socket->process_ack(core, polled->frame);
-          }
-        } else {
-          // Re-resolve the flow on the target core: the socket can be
-          // aborted and destroyed while the frame crosses cores.
-          core.charge(CpuCategory::etc, cost.rps_ipi);
-          const Frame frame = polled->frame;
-          core.defer([this, target, frame, is_rst] {
-            cores_[static_cast<std::size_t>(target)]->post(
-                softirq_requeue_, [this, frame, is_rst](Core& remote) {
-                  TcpSocket* live = find_socket(frame.flow);
-                  if (live == nullptr) return;
-                  if (is_rst) {
-                    live->on_rst(remote);
-                  } else {
-                    live->process_ack(remote, frame);
-                  }
-                });
-          });
-        }
-      }
+      fin_flows.push_back(polled->frame.flow);
       for (const Fragment& fragment : polled->fragments) {
         allocator_->release(core, fragment.page);
       }
       continue;
     }
-    core.charge(CpuCategory::skb_mgmt, cost.skb_alloc);
 
-    Skb skb;
-    skb.flow = polled->frame.flow;
-    skb.seq = polled->frame.seq;
-    skb.len = polled->frame.payload;
-    skb.fragments = std::move(polled->fragments);
-    skb.segments = polled->segments;
-    skb.napi_at = loop_->now();
-    skb.sent_at = polled->frame.sent_at;
-    skb.ecn = polled->frame.ecn;
-    skb.obs_span = polled->frame.obs_span;
-    if (obs_ != nullptr && skb.obs_span >= 0) {
-      obs_->span_stamp(skb.obs_span, obs::Stage::gro, loop_->now());
-    }
-
-    if (options_.gro) {
-      core.charge(CpuCategory::netdev, cost.gro_per_segment);
-    }
-    if (std::optional<Skb> merged = gro.feed(std::move(skb))) {
-      deliver(std::move(*merged));
-    }
+    // Everything else — data, ACK/RST, transport control frames — is the
+    // protocol implementation's to consume.
+    transport_->rx_frame(core, queue, std::move(*polled));
   }
 
-  for (Skb& merged : gro.flush()) {
-    deliver(std::move(merged));
-  }
+  transport_->rx_flush(core, queue);
   for (int flow : fin_flows) {
     handle_fin(core, flow);
   }

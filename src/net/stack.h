@@ -31,6 +31,7 @@
 #include "net/gro.h"
 #include "net/gso.h"
 #include "net/skb.h"
+#include "net/transport.h"
 #include "sim/stats.h"
 #include "sim/timer.h"
 #include "sim/trace.h"
@@ -38,6 +39,8 @@
 namespace hostsim {
 
 class TcpSocket;
+class TcpTransport;
+class HomaTransport;
 
 namespace obs {
 class Observer;
@@ -73,6 +76,9 @@ struct StackOptions {
   /// before the connection is declared dead with ETIMEDOUT, like Linux's
   /// tcp_retries2.  0 disables the threshold (probe forever).
   int max_consecutive_rtos = 8;
+  /// Which protocol implementation runs behind the net::Transport seam
+  /// (and its Homa parameters).  Defaults to the legacy TCP stack.
+  TransportConfig transport;
 };
 
 /// Host-level measurement state, reset at the start of the measurement
@@ -131,15 +137,23 @@ class Stack {
   Stack& operator=(const Stack&) = delete;
 
   /// Creates the local endpoint of `flow`, with its application pinned
-  /// to `app_core`.
-  TcpSocket& create_socket(int flow, int app_core);
-  TcpSocket& socket(int flow);
+  /// to `app_core`.  The concrete socket type is the active transport's.
+  TransportSocket& create_socket(int flow, int app_core);
+  TransportSocket& socket(int flow);
+
+  /// Checked downcast for TCP-specific introspection (tests, legacy
+  /// receiver-driven credit); dies if the active transport is not TCP.
+  TcpSocket& tcp_socket(int flow);
 
   /// Looks a socket up without requiring it to exist (flows can be torn
   /// down mid-run by faults or reconnects); null when absent.
-  TcpSocket* find_socket(int flow);
-  const TcpSocket* find_socket(int flow) const;
+  TransportSocket* find_socket(int flow);
+  const TransportSocket* find_socket(int flow) const;
   bool has_socket(int flow) const;
+
+  /// The protocol implementation behind the seam.
+  Transport& transport() { return *transport_; }
+  const Transport& transport() const { return *transport_; }
 
   /// Removes a terminally failed socket from the table (reconnect
   /// replaces it with a fresh flow id).  The socket must be dead() — a
@@ -161,7 +175,7 @@ class Stack {
 
   /// Invoked (in a listener-core task, after the accept syscall cost)
   /// for every connection the listener accepts.
-  using AcceptFn = std::function<void(Core&, TcpSocket&)>;
+  using AcceptFn = std::function<void(Core&, TransportSocket&)>;
 
   /// Registers this host's listener: incoming SYNs create server
   /// sockets pinned to `app_core`.  SYNs arriving while `backlog`
@@ -189,7 +203,7 @@ class Stack {
   const ChurnStats& churn() const { return churn_; }
   std::size_t time_wait_count() const { return time_wait_.size(); }
 
-  /// Called by TcpSocket::abort() to account a connection teardown;
+  /// Called by a socket's abort() to account a connection teardown;
   /// `destroyed_rx` is receive-queue bytes destroyed before delivery.
   void note_socket_abort(Bytes destroyed_rx) {
     ++sockets_aborted_;
@@ -235,6 +249,12 @@ class Stack {
   int num_cores() const { return static_cast<int>(cores_.size()); }
 
  private:
+  // Transports are the other half of this class: they consume the rx
+  // frames napi_poll routes to them and reach back for the socket table,
+  // steering, stats, and the RST answer path.
+  friend class TcpTransport;
+  friend class HomaTransport;
+
   void napi_poll(Core& core, int queue);
 
   /// Answers a frame for an unknown or dead flow with a header-only RST
@@ -254,7 +274,7 @@ class Stack {
   /// Core that should run protocol processing for `socket`'s frames
   /// arriving on `irq_core` (identity for arfs/rss, cross-core for the
   /// software steering modes).
-  int steer_target(const TcpSocket& socket, const Core& irq_core) const;
+  int steer_target(const TransportSocket& socket, const Core& irq_core) const;
 
   EventLoop* loop_;
   StackOptions options_;
@@ -266,17 +286,13 @@ class Stack {
   Nic* nic_;
   obs::Observer* obs_ = nullptr;
 
-  std::vector<Gro> gros_;  // one per rx queue
-  std::map<int, std::unique_ptr<TcpSocket>> sockets_;
-  std::unique_ptr<GrantScheduler> grants_;  // receiver-driven mode only
+  /// The protocol implementation (TcpTransport unless configured
+  /// otherwise).  Owns all protocol-specific machinery: GRO state, the
+  /// legacy grant scheduler, cross-core requeue parking, Homa grants.
+  std::unique_ptr<Transport> transport_;
+  std::map<int, std::unique_ptr<TransportSocket>> sockets_;
   HostStats stats_;
   Tracer tracer_;
-  Context softirq_requeue_{"softirq-rps", /*kernel=*/true};
-  /// Skbs in flight between the IRQ core and an RPS/RFS target core.
-  /// Parked here (instead of captured in the task closure) so the leak
-  /// sweep can account for their page references, and so the requeue
-  /// task's capture stays small (a 4-byte slot instead of a whole Skb).
-  SlotPool<Skb> requeue_park_;
   bool leak_next_skb_ = false;
   std::uint64_t sockets_aborted_ = 0;
   Bytes bytes_destroyed_ = 0;  ///< rx bytes destroyed by socket aborts

@@ -20,54 +20,45 @@
 #include "cpu/scheduler.h"
 #include "mem/small_vec.h"
 #include "sim/timer.h"
-#include "hw/wire.h"
+#include "hw/link.h"
 #include "net/cc/congestion_control.h"
 #include "net/grant_scheduler.h"
 #include "net/skb.h"
 #include "net/stack.h"
+#include "net/transport.h"
 
 namespace hostsim {
 
-/// Terminal socket error, surfaced to the application through the error
-/// callback instead of a hang.
-enum class SocketError : std::uint8_t {
-  none,
-  econnreset,  ///< peer sent RST / fault killed the connection
-  etimedout,   ///< too many consecutive RTOs, connection declared dead
-};
-
-std::string_view to_string(SocketError error);
-
-class TcpSocket {
+class TcpSocket : public TransportSocket {
  public:
   TcpSocket(Stack& stack, int flow, int app_core);
-  ~TcpSocket();
+  ~TcpSocket() override;
 
   TcpSocket(const TcpSocket&) = delete;
   TcpSocket& operator=(const TcpSocket&) = delete;
 
-  int flow() const { return flow_; }
-  int app_core() const { return app_core_; }
+  int flow() const override { return flow_; }
+  int app_core() const override { return app_core_; }
 
   // --- Application API (call from a task on the app core) ---------------
 
   /// Writes up to `bytes` into the send buffer (user->kernel data copy),
   /// returning the bytes accepted (possibly 0 when the buffer is full).
-  Bytes send(Core& core, Bytes bytes);
+  Bytes send(Core& core, Bytes bytes) override;
 
   /// Copies received data to user space, whole skbs at a time, until at
   /// least `max_bytes` were copied or the queue drained.  Returns the
   /// bytes copied.
-  Bytes recv(Core& core, Bytes max_bytes);
+  Bytes recv(Core& core, Bytes max_bytes) override;
 
-  Bytes readable() const { return rq_bytes_; }
-  Bytes send_space() const;
-  bool send_queue_empty() const { return snd_una_ == snd_buf_end_; }
+  Bytes readable() const override { return rq_bytes_; }
+  Bytes send_space() const override;
+  bool send_queue_empty() const override { return snd_una_ == snd_buf_end_; }
 
   /// Thread notified when data becomes readable.
-  void set_rx_waiter(Thread* waiter) { rx_waiter_ = waiter; }
+  void set_rx_waiter(Thread* waiter) override { rx_waiter_ = waiter; }
   /// Thread notified when send-buffer space frees after a full buffer.
-  void set_tx_waiter(Thread* waiter) { tx_waiter_ = waiter; }
+  void set_tx_waiter(Thread* waiter) override { tx_waiter_ = waiter; }
 
   // --- Failure surface ----------------------------------------------------
 
@@ -75,7 +66,7 @@ class TcpSocket {
   /// RST/crash, ETIMEDOUT after the consecutive-RTO threshold).  Apps
   /// that register one observe the failure instead of hanging; both
   /// waiters are notified as well so blocked send()/recv() return 0.
-  void set_error_callback(std::function<void(SocketError)> on_error) {
+  void set_error_callback(std::function<void(SocketError)> on_error) override {
     on_error_ = std::move(on_error);
   }
 
@@ -84,11 +75,11 @@ class TcpSocket {
   /// socket immediately after the callback returns (passive close, no
   /// TIME_WAIT).  A non-quiescent FIN arrival aborts with ECONNRESET
   /// through the error callback instead, like close() with unread data.
-  void set_fin_callback(std::function<void(Core&)> on_fin) {
+  void set_fin_callback(std::function<void(Core&)> on_fin) override {
     on_peer_fin_ = std::move(on_fin);
   }
   /// Stack-internal: fires the fin callback (if any) on passive close.
-  void on_peer_fin(Core& core) {
+  void on_peer_fin(Core& core) override {
     if (on_peer_fin_) on_peer_fin_(core);
   }
 
@@ -99,18 +90,19 @@ class TcpSocket {
   /// `killed_by_fault` records the disposition for the invariant sweep:
   /// true for crash/fault kills, false for peer RSTs, timeouts, and
   /// app-initiated aborts.
-  void abort(Core& core, SocketError reason, bool killed_by_fault = false);
+  void abort(Core& core, SocketError reason,
+             bool killed_by_fault = false) override;
 
   /// True once the connection has terminally failed.
-  bool dead() const { return error_ != SocketError::none; }
-  SocketError error() const { return error_; }
+  bool dead() const override { return error_ != SocketError::none; }
+  SocketError error() const override { return error_; }
   /// Fault-disposition introspection for the invariant sweep: a dead
   /// socket must be either fault-killed or have reported its error.
-  bool killed_by_fault() const { return killed_by_fault_; }
-  bool error_reported() const { return error_reported_; }
+  bool killed_by_fault() const override { return killed_by_fault_; }
+  bool error_reported() const override { return error_reported_; }
   /// Receive-side bytes (rcv_nxt-covered, not yet app-delivered) that
   /// abort() destroyed; the byte-conservation invariant credits these.
-  Bytes destroyed_rx_bytes() const { return destroyed_rx_bytes_; }
+  Bytes destroyed_rx_bytes() const override { return destroyed_rx_bytes_; }
   /// Consecutive RTO expirations with no forward progress.
   int consecutive_rtos() const { return consecutive_rtos_; }
 
@@ -128,9 +120,9 @@ class TcpSocket {
   Bytes credit_outstanding() const { return rcv_wnd_edge_ - rcv_nxt_; }
 
   /// Total bytes delivered to the application (throughput metric).
-  Bytes delivered_to_app() const { return delivered_to_app_; }
+  Bytes delivered_to_app() const override { return delivered_to_app_; }
   /// Total bytes accepted from the application.
-  Bytes accepted_from_app() const { return accepted_from_app_; }
+  Bytes accepted_from_app() const override { return accepted_from_app_; }
 
   std::uint64_t retransmits() const { return retransmits_; }
   const CongestionControl& congestion() const { return *cc_; }
@@ -140,13 +132,13 @@ class TcpSocket {
   std::int64_t snd_una() const { return snd_una_; }
   std::int64_t snd_nxt() const { return snd_nxt_; }
   /// Smoothed RTT estimate (0 until the first sample).
-  Nanos srtt() const { return srtt_; }
+  Nanos srtt() const override { return srtt_; }
   /// Bytes in flight (sent, not yet cumulatively acked).
-  Bytes inflight() const { return snd_nxt_ - snd_una_; }
+  Bytes inflight() const override { return snd_nxt_ - snd_una_; }
   std::int64_t snd_buf_end() const { return snd_buf_end_; }
   std::int64_t rcv_nxt() const { return rcv_nxt_; }
-  Bytes rq_bytes() const { return rq_bytes_; }
-  Bytes ofo_bytes() const { return ofo_bytes_; }
+  Bytes rq_bytes() const override { return rq_bytes_; }
+  Bytes ofo_bytes() const override { return ofo_bytes_; }
   bool in_recovery() const { return in_recovery_; }
   /// True while the retransmission timer is armed in the event loop.
   bool rto_armed() const { return rto_timer_.armed(); }
@@ -155,9 +147,20 @@ class TcpSocket {
   /// True while the pacing qdisc has a release timer outstanding.
   bool pacer_armed() const { return pacer_timer_.armed(); }
 
+  // Protocol-neutral ledger (TransportSocket): TCP's sequence-number
+  // edges are exactly the conserved quantities.
+  std::int64_t tx_acked() const override { return snd_una_; }
+  std::int64_t tx_written() const override { return snd_buf_end_; }
+  std::int64_t rx_covered() const override { return rcv_nxt_; }
+  bool loss_timer_armed() const override {
+    return rto_armed() || rto_task_pending() || pacer_armed();
+  }
+  Bytes cwnd_bytes() const override { return cc_->cwnd(); }
+
   /// Adds every page this socket holds a reference to (tx queue, receive
   /// queue, out-of-order queue) to `held`; used by the leak sweep.
-  void collect_held_pages(std::unordered_set<const Page*>& held) const;
+  void collect_held_pages(
+      std::unordered_set<const Page*>& held) const override;
 
   // --- Stack API (softirq context) ---------------------------------------
 
@@ -169,7 +172,7 @@ class TcpSocket {
 
   /// Handles an incoming RST: the peer has no (live) socket for this
   /// flow, so the connection dies with ECONNRESET.
-  void on_rst(Core& core);
+  void on_rst(Core& core) override;
 
  private:
   struct TxChunk {

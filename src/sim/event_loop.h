@@ -55,16 +55,6 @@ class EventLoop {
   /// Schedules `action` after a relative delay (>= 0). Returns its id.
   EventId schedule_after(Nanos delay, Action action);
 
-  /// Cancels a previously scheduled event: an O(log n) removal from the
-  /// queue.  Cancelling an event that has already fired (or was already
-  /// cancelled) is a harmless no-op.
-  ///
-  /// Deprecated for new timer-style call sites: prefer owning a
-  /// sim/timer.h Timer (auto-cancel on destruction, rearm()) over
-  /// carrying raw EventIds around.  Raw cancel remains the primitive
-  /// the handle types are built on.
-  void cancel(EventId id);
-
   /// Runs a single event; returns false when the queue is empty.
   bool step();
 
@@ -96,6 +86,17 @@ class EventLoop {
   Rng& rng() { return rng_; }
 
  private:
+  // Cancellation is the RAII handles' primitive, not a public API:
+  // component code owns a sim/timer.h Timer (auto-cancel on destruction,
+  // rearm()) or TimerHandle instead of carrying raw EventIds around.
+  friend class Timer;
+  friend class TimerHandle;
+
+  /// Cancels a previously scheduled event: an O(log n) removal from the
+  /// queue.  Cancelling an event that has already fired (or was already
+  /// cancelled) is a harmless no-op.
+  void cancel(EventId id);
+
   using Slot = SlotPool<Action>::Slot;
 
   /// One heap element.  Deliberately small and trivially copyable —

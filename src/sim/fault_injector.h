@@ -10,7 +10,7 @@
 // (configuration, seed) and tier-1 runs stay byte-for-byte reproducible.
 //
 // Layering: this is a sim-level component; hw/mem components consult it
-// through narrow hooks (Wire per frame, Nic per receive, PagePool per
+// through narrow hooks (Link per frame, Nic per receive, PagePool per
 // allocation) and never the other way around.
 #ifndef HOSTSIM_SIM_FAULT_INJECTOR_H
 #define HOSTSIM_SIM_FAULT_INJECTOR_H

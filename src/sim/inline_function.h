@@ -5,7 +5,7 @@
 // std::function, whose moves run through an indirect "manager" call and
 // whose larger captures heap-allocate.  InlineFunction stores the
 // callable in a fixed inline buffer (48 bytes by default — enough for
-// every capture shape the Nic/Stack/Wire hot path schedules: a couple of
+// every capture shape the Nic/Stack/Link hot path schedules: a couple of
 // pointers and a few integers) and dispatches through a single static
 // vtable pointer.  Oversized or over-aligned callables transparently
 // fall back to one heap allocation, so cold paths keep working; keeping

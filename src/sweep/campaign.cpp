@@ -131,6 +131,18 @@ Axis Axis::cc_algos(std::vector<CcAlgo> algos) {
   return axis;
 }
 
+Axis Axis::transports(std::vector<TransportKind> kinds) {
+  Axis axis;
+  axis.name = "transport";
+  for (TransportKind kind : kinds) {
+    axis.values.push_back({std::string(to_string(kind)),
+                           [kind](ExperimentConfig& c) {
+                             c.stack.transport.kind = kind;
+                           }});
+  }
+  return axis;
+}
+
 std::string CampaignPoint::label() const {
   if (coordinates.empty()) return "base";
   std::string label;

@@ -46,6 +46,7 @@ struct Axis {
   /// hosts through a switch (use_switch = true).
   static Axis num_hosts(std::vector<int> counts);
   static Axis cc_algos(std::vector<CcAlgo> algos);
+  static Axis transports(std::vector<TransportKind> kinds);
 };
 
 /// One resolved grid point.

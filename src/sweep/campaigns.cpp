@@ -171,6 +171,20 @@ Campaign cluster_incast() {
   return campaign;
 }
 
+Campaign transport_incast() {
+  Campaign campaign;
+  campaign.name = "transport_incast";
+  campaign.description =
+      "§3.3 receiver-driven claim: short-message incast under TCP vs the "
+      "Homa-style message transport, sweeping fan-in";
+  campaign.base.traffic.pattern = Pattern::rpc_incast;
+  campaign.base.traffic.rpc_size = 16 * kKiB;
+  campaign.axes.push_back(Axis::flows({4, 8, 16}));
+  campaign.axes.push_back(
+      Axis::transports({TransportKind::tcp, TransportKind::homa}));
+  return campaign;
+}
+
 Campaign workload_matrix() {
   Campaign campaign;
   campaign.name = "workload_matrix";
@@ -247,6 +261,7 @@ std::vector<Campaign> builtin_campaigns() {
       chaos_faults(),
       chaos_recovery(),
       cluster_incast(),
+      transport_incast(),
       workload_matrix(),
   };
 }

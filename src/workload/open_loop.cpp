@@ -63,7 +63,7 @@ void OpenLoopEngine::start() {
   for (int h = 1; h < cluster_->num_hosts(); ++h) {
     cluster_->host(h).stack().listen(
         rx_core_, wl_.listen_backlog,
-        [this](Core&, TcpSocket& sock) { on_accept(sock); });
+        [this](Core&, TransportSocket& sock) { on_accept(sock); });
   }
   for (std::size_t i = 0; i < slots_.size(); ++i) open_slot(i);
   schedule_next_arrival();
@@ -84,7 +84,7 @@ void OpenLoopEngine::open_slot(std::size_t i) {
   slot.flow = flow;
   flow_to_slot_[flow] = i;
   ++conns_opened_;
-  TcpSocket& sock = client_stack().socket(flow);
+  TransportSocket& sock = client_stack().socket(flow);
   slot.sock = &sock;
   sock.set_rx_waiter(slot.thread.get());
   sock.set_tx_waiter(slot.thread.get());
@@ -113,7 +113,7 @@ void OpenLoopEngine::on_established(std::size_t i, std::uint64_t generation,
   slot.thread->notify();
 }
 
-void OpenLoopEngine::on_accept(TcpSocket& sock) {
+void OpenLoopEngine::on_accept(TransportSocket& sock) {
   auto it = flow_to_slot_.find(sock.flow());
   require(it != flow_to_slot_.end(), "accepted a flow the engine never opened");
   const std::size_t i = it->second;
@@ -212,7 +212,7 @@ void OpenLoopEngine::client_quantum(Core& core, Thread& thread,
     thread.finish_quantum(/*more_work=*/false);
     return;
   }
-  TcpSocket& sock = *slot.sock;
+  TransportSocket& sock = *slot.sock;
   if (!slot.active) {
     if (slot.queue.empty()) {
       thread.finish_quantum(/*more_work=*/false);
@@ -269,7 +269,7 @@ void OpenLoopEngine::complete_leaf(Core& core, std::size_t i) {
     latency_.record(now - r.arrival);
   }
   if (wl_.churn_prob > 0 && churn_rng_.chance(wl_.churn_prob)) {
-    TcpSocket& sock = *slot.sock;
+    TransportSocket& sock = *slot.sock;
     // close() needs a quiescent connection; an unacked tail (the
     // request's last ACK can trail the response) just skips this
     // churn opportunity.
@@ -291,7 +291,7 @@ void OpenLoopEngine::echo_quantum(Core& core, Thread& thread, std::size_t i) {
     thread.finish_quantum(/*more_work=*/false);
     return;
   }
-  TcpSocket& sock = *echo.sock;
+  TransportSocket& sock = *echo.sock;
   // Flush a response blocked on send-buffer space.
   if (echo.response_pending > 0) {
     echo.response_pending -= sock.send(core, echo.response_pending);

@@ -80,7 +80,7 @@ class OpenLoopEngine {
     int core = 0;     ///< host-0 application core
     int backend = 1;  ///< backend host index
     int flow = -1;
-    TcpSocket* sock = nullptr;
+    TransportSocket* sock = nullptr;
     bool up = false;      ///< handshake completed
     bool failed = false;  ///< connection died; thread quantum recovers
     std::uint64_t generation = 0;  ///< bumped per open; guards callbacks
@@ -102,7 +102,7 @@ class OpenLoopEngine {
   /// rpc_size, generalized to per-request sizes.
   struct EchoSlot {
     int flow = -1;
-    TcpSocket* sock = nullptr;
+    TransportSocket* sock = nullptr;
     std::deque<Bytes> expected;
     Bytes request_received = 0;
     Bytes response_pending = 0;
@@ -113,7 +113,7 @@ class OpenLoopEngine {
   void open_slot(std::size_t i);
   void on_established(std::size_t i, std::uint64_t generation,
                       bool established);
-  void on_accept(TcpSocket& sock);
+  void on_accept(TransportSocket& sock);
   void on_arrival();
   void schedule_next_arrival();
   void client_quantum(Core& core, Thread& thread, std::size_t i);

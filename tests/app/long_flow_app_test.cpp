@@ -25,8 +25,8 @@ struct LongFlowFixture : ::testing::Test {
   std::unique_ptr<Testbed> testbed;
   std::unique_ptr<LongFlowSender> sender;
   std::unique_ptr<LongFlowReceiver> receiver;
-  TcpSocket* rx_socket = nullptr;
-  TcpSocket* tx_socket = nullptr;
+  TransportSocket* rx_socket = nullptr;
+  TransportSocket* tx_socket = nullptr;
 };
 
 TEST_F(LongFlowFixture, StreamsContinuously) {

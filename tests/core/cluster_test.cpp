@@ -71,7 +71,7 @@ TEST(ClusterTest, PatternsExpandAtHostCoreGranularity) {
     const Cluster::FlowRoute& route = cluster.flow_route(flow);
     EXPECT_EQ(route.src_host, flow % 3) << "flow " << flow;
     EXPECT_EQ(route.dst_host, 3) << "flow " << flow;
-    const TcpSocket& at_sender =
+    const TransportSocket& at_sender =
         cluster.host(route.src_host).stack().socket(flow);
     EXPECT_EQ(at_sender.app_core(), flow / 3) << "flow " << flow;
   }

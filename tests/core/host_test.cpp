@@ -69,8 +69,8 @@ TEST(TestbedTest, WirePropagationAndRateFromConfig) {
   Frame frame;
   frame.flow = 99;
   frame.payload = 1250 - kFrameHeaderBytes;
-  testbed.wire().transmit(Wire::Side::a, frame);
-  EXPECT_EQ(testbed.wire().egress_delay(Wire::Side::a), 400);
+  testbed.wire().transmit(Link::Side::a, frame);
+  EXPECT_EQ(testbed.wire().egress_delay(Link::Side::a), 400);
 }
 
 }  // namespace

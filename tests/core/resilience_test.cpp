@@ -221,7 +221,7 @@ TEST(ResilienceTest, DriverModeServesQueuedSubmissionsSerially) {
   policy.max_retries = 2;
   ResilientRpcClient client(
       testbed.sender().core(0), *endpoints.at_sender, 16 * kKiB, policy,
-      Rng(42), [](Core&, int) -> TcpSocket* { return nullptr; });
+      Rng(42), [](Core&, int) -> TransportSocket* { return nullptr; });
   int ok = 0;
   int failed = 0;
   client.enable_driver_mode([&](bool success) {
@@ -258,7 +258,7 @@ TEST(ResilienceTest, SubmitWithoutDriverModeAsserts) {
   policy.deadline = 20 * kMillisecond;
   ResilientRpcClient client(
       testbed.sender().core(0), *endpoints.at_sender, 16 * kKiB, policy,
-      Rng(42), [](Core&, int) -> TcpSocket* { return nullptr; });
+      Rng(42), [](Core&, int) -> TransportSocket* { return nullptr; });
   ScopedContractMode mode(ContractMode::throwing);
   EXPECT_THROW(client.submit(), ContractViolation);
 }

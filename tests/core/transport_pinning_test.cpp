@@ -1,0 +1,89 @@
+// Legacy pinning for the transport seam: introducing net::Transport and
+// TransportConfig must not move a single bit of any default-transport
+// artifact.  Pins (captured on the pre-seam tree):
+//  * the default ExperimentConfig hash (the `transport` JSON key is
+//    serialized only when non-default, so legacy hashes are unchanged),
+//  * every fig03e / fig05 campaign point hash (cache keys: a shift here
+//    silently invalidates .hostsim-cache and every saved baseline),
+//  * full metrics-JSON fingerprints of two short deterministic runs
+//    (single-flow and 8:1 incast), which pin the simulation itself.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/experiment.h"
+#include "core/serialize.h"
+#include "sweep/campaigns.h"
+
+namespace hostsim {
+namespace {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 14695981039346656037ull;
+  for (char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+TEST(TransportPinning, DefaultConfigHashUnchanged) {
+  ExperimentConfig config;
+  EXPECT_EQ(hash_hex(config_hash(config)), "0x622b3fa71f982112");
+  // A non-default transport must hash differently (the gated key).
+  config.stack.transport.kind = TransportKind::homa;
+  EXPECT_NE(hash_hex(config_hash(config)), "0x622b3fa71f982112");
+}
+
+TEST(TransportPinning, Fig03eCampaignPointHashes) {
+  auto campaign = sweep::find_campaign("fig03e_cache_miss");
+  ASSERT_TRUE(campaign.has_value());
+  const auto points = campaign->expand();
+  ASSERT_EQ(points.size(), 28u);
+  // Pin the corners and the legacy default point (ring=1024 autotune,
+  // which coincides with the default config hash).
+  EXPECT_EQ(hash_hex(config_hash(points.front().config)),
+            "0x985c6daa9ad14856");
+  EXPECT_EQ(hash_hex(config_hash(points[15].config)),
+            "0x622b3fa71f982112");
+  EXPECT_EQ(hash_hex(config_hash(points.back().config)),
+            "0x8bbe9c50cdca9d37");
+}
+
+TEST(TransportPinning, Fig05CampaignPointHashes) {
+  auto campaign = sweep::find_campaign("fig05_one_to_one");
+  ASSERT_TRUE(campaign.has_value());
+  const auto points = campaign->expand();
+  ASSERT_EQ(points.size(), 4u);
+  const char* expected[] = {"0x8d0b53d250c5d02e", "0xc0a050d53c8d7f75",
+                            "0x8a958bd634ad2592", "0x58a395721d48d923"};
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_EQ(hash_hex(config_hash(points[i].config)), expected[i])
+        << points[i].label();
+  }
+}
+
+TEST(TransportPinning, SingleFlowShortRunBitIdentical) {
+  ExperimentConfig config;
+  config.warmup = 2 * kMillisecond;
+  config.duration = 3 * kMillisecond;
+  const Metrics metrics = run_experiment(config);
+  EXPECT_DOUBLE_EQ(metrics.total_gbps, 44.240383999999999);
+  EXPECT_EQ(metrics.app_bytes, 16590144);
+  EXPECT_EQ(fnv1a(metrics_to_json(metrics)), 0x3d2080b19ba7ba26ull);
+}
+
+TEST(TransportPinning, Incast8ShortRunBitIdentical) {
+  ExperimentConfig config;
+  config.traffic.pattern = Pattern::incast;
+  config.traffic.flows = 8;
+  config.warmup = 2 * kMillisecond;
+  config.duration = 3 * kMillisecond;
+  const Metrics metrics = run_experiment(config);
+  EXPECT_DOUBLE_EQ(metrics.total_gbps, 25.246976);
+  EXPECT_EQ(metrics.app_bytes, 9467616);
+  EXPECT_EQ(fnv1a(metrics_to_json(metrics)), 0xcd8035ea951d07bdull);
+}
+
+}  // namespace
+}  // namespace hostsim

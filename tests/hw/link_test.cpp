@@ -1,4 +1,4 @@
-#include "hw/wire.h"
+#include "hw/link.h"
 
 #include <gtest/gtest.h>
 
@@ -14,106 +14,106 @@ Frame data_frame(int flow, Bytes payload) {
   return frame;
 }
 
-TEST(WireTest, DeliversAfterSerializationAndPropagation) {
+TEST(LinkTest, DeliversAfterSerializationAndPropagation) {
   EventLoop loop;
-  Wire::Config config;
+  Link::Config config;
   config.gbps = 100.0;
   config.propagation = 1000;
-  Wire wire(loop, config);
+  Link wire(loop, config);
   std::vector<Nanos> arrivals;
-  wire.attach(Wire::Side::b, [&](Frame) { arrivals.push_back(loop.now()); });
-  wire.transmit(Wire::Side::a, data_frame(0, 10000 - kFrameHeaderBytes));
+  wire.attach(Link::Side::b, [&](Frame) { arrivals.push_back(loop.now()); });
+  wire.transmit(Link::Side::a, data_frame(0, 10000 - kFrameHeaderBytes));
   loop.run_to_completion();
   ASSERT_EQ(arrivals.size(), 1u);
   // 10000B at 100Gbps = 800ns serialization + 1000ns propagation.
   EXPECT_EQ(arrivals[0], 1800);
 }
 
-TEST(WireTest, BackToBackFramesSerializeSequentially) {
+TEST(LinkTest, BackToBackFramesSerializeSequentially) {
   EventLoop loop;
-  Wire wire(loop, {});
+  Link wire(loop, {});
   std::vector<Nanos> arrivals;
-  wire.attach(Wire::Side::b, [&](Frame) { arrivals.push_back(loop.now()); });
+  wire.attach(Link::Side::b, [&](Frame) { arrivals.push_back(loop.now()); });
   const Bytes payload = 10000 - kFrameHeaderBytes;
-  wire.transmit(Wire::Side::a, data_frame(0, payload));
-  wire.transmit(Wire::Side::a, data_frame(0, payload));
+  wire.transmit(Link::Side::a, data_frame(0, payload));
+  wire.transmit(Link::Side::a, data_frame(0, payload));
   loop.run_to_completion();
   ASSERT_EQ(arrivals.size(), 2u);
   EXPECT_EQ(arrivals[1] - arrivals[0], 800);  // one serialization apart
 }
 
-TEST(WireTest, DirectionsDoNotShareTheSerializer) {
+TEST(LinkTest, DirectionsDoNotShareTheSerializer) {
   EventLoop loop;
-  Wire wire(loop, {});
+  Link wire(loop, {});
   std::vector<Nanos> a_arrivals;
   std::vector<Nanos> b_arrivals;
-  wire.attach(Wire::Side::b, [&](Frame) { b_arrivals.push_back(loop.now()); });
-  wire.attach(Wire::Side::a, [&](Frame) { a_arrivals.push_back(loop.now()); });
+  wire.attach(Link::Side::b, [&](Frame) { b_arrivals.push_back(loop.now()); });
+  wire.attach(Link::Side::a, [&](Frame) { a_arrivals.push_back(loop.now()); });
   const Bytes payload = 10000 - kFrameHeaderBytes;
-  wire.transmit(Wire::Side::a, data_frame(0, payload));
-  wire.transmit(Wire::Side::b, data_frame(1, payload));
+  wire.transmit(Link::Side::a, data_frame(0, payload));
+  wire.transmit(Link::Side::b, data_frame(1, payload));
   loop.run_to_completion();
   ASSERT_EQ(a_arrivals.size(), 1u);
   ASSERT_EQ(b_arrivals.size(), 1u);
   EXPECT_EQ(a_arrivals[0], b_arrivals[0]);  // full duplex
 }
 
-TEST(WireTest, FramesArriveInOrder) {
+TEST(LinkTest, FramesArriveInOrder) {
   EventLoop loop;
-  Wire wire(loop, {});
+  Link wire(loop, {});
   std::vector<std::int64_t> seqs;
-  wire.attach(Wire::Side::b, [&](Frame f) { seqs.push_back(f.seq); });
+  wire.attach(Link::Side::b, [&](Frame f) { seqs.push_back(f.seq); });
   for (int i = 0; i < 50; ++i) {
     Frame frame = data_frame(0, 1500);
     frame.seq = i;
-    wire.transmit(Wire::Side::a, frame);
+    wire.transmit(Link::Side::a, frame);
   }
   loop.run_to_completion();
   ASSERT_EQ(seqs.size(), 50u);
   for (int i = 0; i < 50; ++i) EXPECT_EQ(seqs[static_cast<std::size_t>(i)], i);
 }
 
-TEST(WireTest, LossRateDropsApproximatelyThatFraction) {
+TEST(LinkTest, LossRateDropsApproximatelyThatFraction) {
   EventLoop loop(/*seed=*/7);
-  Wire::Config config;
+  Link::Config config;
   config.loss_rate = 0.1;
-  Wire wire(loop, config);
+  Link wire(loop, config);
   int delivered = 0;
-  wire.attach(Wire::Side::b, [&](Frame) { ++delivered; });
+  wire.attach(Link::Side::b, [&](Frame) { ++delivered; });
   const int sent = 20000;
   for (int i = 0; i < sent; ++i) {
-    wire.transmit(Wire::Side::a, data_frame(0, 1500));
+    wire.transmit(Link::Side::a, data_frame(0, 1500));
     loop.run_to_completion();  // avoid unbounded queue growth
   }
   EXPECT_NEAR(static_cast<double>(sent - delivered) / sent, 0.1, 0.01);
   EXPECT_EQ(wire.dropped() + wire.delivered(), static_cast<std::uint64_t>(sent));
 }
 
-TEST(WireTest, ZeroLossDeliversEverything) {
+TEST(LinkTest, ZeroLossDeliversEverything) {
   EventLoop loop;
-  Wire wire(loop, {});
+  Link wire(loop, {});
   int delivered = 0;
-  wire.attach(Wire::Side::b, [&](Frame) { ++delivered; });
-  for (int i = 0; i < 1000; ++i) wire.transmit(Wire::Side::a, data_frame(0, 9000));
+  wire.attach(Link::Side::b, [&](Frame) { ++delivered; });
+  for (int i = 0; i < 1000; ++i) wire.transmit(Link::Side::a, data_frame(0, 9000));
   loop.run_to_completion();
   EXPECT_EQ(delivered, 1000);
   EXPECT_EQ(wire.dropped(), 0u);
 }
 
-TEST(WireTest, EcnMarksWhenEgressQueueExceedsThreshold) {
+TEST(LinkTest, EcnMarksWhenEgressQueueExceedsThreshold) {
   EventLoop loop;
-  Wire::Config config;
+  Link::Config config;
   config.ecn_threshold = 2000;  // 2us of queueing
-  Wire wire(loop, config);
+  Link wire(loop, config);
   int marked = 0;
   int total = 0;
-  wire.attach(Wire::Side::b, [&](Frame f) {
+  wire.attach(Link::Side::b, [&](Frame f) {
     ++total;
     marked += f.ecn;
   });
   // Burst of 100 frames: later ones queue behind >2us of serialization.
   for (int i = 0; i < 100; ++i) {
-    wire.transmit(Wire::Side::a, data_frame(0, 9000 - kFrameHeaderBytes));
+    wire.transmit(Link::Side::a, data_frame(0, 9000 - kFrameHeaderBytes));
   }
   loop.run_to_completion();
   EXPECT_EQ(total, 100);
@@ -122,15 +122,15 @@ TEST(WireTest, EcnMarksWhenEgressQueueExceedsThreshold) {
   EXPECT_EQ(wire.ecn_marked(), static_cast<std::uint64_t>(marked));
 }
 
-TEST(WireTest, EgressDelayReflectsQueuedBytes) {
+TEST(LinkTest, EgressDelayReflectsQueuedBytes) {
   EventLoop loop;
-  Wire wire(loop, {});
-  wire.attach(Wire::Side::b, [](Frame) {});
-  EXPECT_EQ(wire.egress_delay(Wire::Side::a), 0);
+  Link wire(loop, {});
+  wire.attach(Link::Side::b, [](Frame) {});
+  EXPECT_EQ(wire.egress_delay(Link::Side::a), 0);
   for (int i = 0; i < 10; ++i) {
-    wire.transmit(Wire::Side::a, data_frame(0, 10000 - kFrameHeaderBytes));
+    wire.transmit(Link::Side::a, data_frame(0, 10000 - kFrameHeaderBytes));
   }
-  EXPECT_EQ(wire.egress_delay(Wire::Side::a), 8000);  // 10 x 800ns
+  EXPECT_EQ(wire.egress_delay(Link::Side::a), 8000);  // 10 x 800ns
 }
 
 }  // namespace

@@ -31,9 +31,9 @@ struct NicFixture : ::testing::Test {
     allocator = std::make_unique<PageAllocator>(topo.num_cores(),
                                                 topo.num_nodes);
     iommu = std::make_unique<Iommu>(false);
-    wire = std::make_unique<Wire>(*loop, Wire::Config{});
+    wire = std::make_unique<Link>(*loop, Link::Config{});
     nic = std::make_unique<Nic>(*loop, config, topo, core_ptrs, llc_ptrs,
-                                *allocator, *iommu, *wire, Wire::Side::b);
+                                *allocator, *iommu, *wire, Link::Side::b);
     nic->set_rx_handler([this](Core& core, int queue) {
       ++polls;
       while (auto polled = nic->poll_one(core, queue)) {
@@ -50,7 +50,7 @@ struct NicFixture : ::testing::Test {
     frame.seq = seq;
     frame.payload = ack ? 0 : payload;
     frame.is_ack = ack;
-    wire->transmit(Wire::Side::a, frame);
+    wire->transmit(Link::Side::a, frame);
   }
 
   NumaTopology topo;
@@ -62,7 +62,7 @@ struct NicFixture : ::testing::Test {
   std::vector<LlcModel*> llc_ptrs;
   std::unique_ptr<PageAllocator> allocator;
   std::unique_ptr<Iommu> iommu;
-  std::unique_ptr<Wire> wire;
+  std::unique_ptr<Link> wire;
   std::unique_ptr<Nic> nic;
   std::vector<Nic::PolledFrame> frames;
   int polls = 0;

@@ -1,5 +1,6 @@
 // Receiver-driven credit scheduling tests.
 #include "net/grant_scheduler.h"
+#include "net/tcp_socket.h"
 
 #include <gtest/gtest.h>
 
@@ -48,7 +49,7 @@ TEST(GrantSchedulerTest, CreditBoundsPerFlowInflight) {
   // quantum plus the unscheduled allowance.
   const GrantPolicy& policy = config.stack.grant_policy;
   for (int flow = 0; flow < 8; ++flow) {
-    EXPECT_LE(testbed.receiver().stack().socket(flow).credit_outstanding(),
+    EXPECT_LE(testbed.receiver().stack().tcp_socket(flow).credit_outstanding(),
               policy.grant_bytes + policy.unscheduled_bytes);
   }
 }
@@ -72,7 +73,7 @@ TEST(GrantSchedulerTest, GrantOnSenderDrivenSocketIsAContractError) {
   auto endpoints = testbed.make_flow(0, 0);
   Context ctx{"driver", false};
   testbed.receiver().core(0).post(ctx, [&](Core& c) {
-    EXPECT_DEATH(endpoints.at_receiver->grant_credit(c, 1000),
+    EXPECT_DEATH(static_cast<TcpSocket*>(endpoints.at_receiver)->grant_credit(c, 1000),
                  "sender-driven");
   });
   testbed.loop().run_to_completion();

@@ -33,8 +33,8 @@ TEST_P(SocketProperty, ByteConservationUnderRandomDriving) {
   config.seed = param.seed;
   Testbed testbed(config);
   auto endpoints = testbed.make_flow(0, 0);
-  TcpSocket* tx = endpoints.at_sender;
-  TcpSocket* rx = endpoints.at_receiver;
+  TransportSocket* tx = endpoints.at_sender;
+  TransportSocket* rx = endpoints.at_receiver;
 
   Rng rng(param.seed * 7919 + 13);
   Context ctx{"driver", false};

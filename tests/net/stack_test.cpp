@@ -27,8 +27,8 @@ struct StackFixture : ::testing::Test {
   }
 
   std::unique_ptr<Testbed> testbed;
-  TcpSocket* tx = nullptr;
-  TcpSocket* rx = nullptr;
+  TransportSocket* tx = nullptr;
+  TransportSocket* rx = nullptr;
 };
 
 TEST_F(StackFixture, SocketTableRoutesByFlow) {

@@ -19,8 +19,8 @@ struct SocketFixture : ::testing::Test {
     config.stack = stack;
     testbed = std::make_unique<Testbed>(config);
     auto endpoints = testbed->make_flow(/*sender_core=*/0, /*receiver_core=*/0);
-    tx = endpoints.at_sender;
-    rx = endpoints.at_receiver;
+    tx = static_cast<TcpSocket*>(endpoints.at_sender);
+    rx = static_cast<TcpSocket*>(endpoints.at_receiver);
   }
 
   /// Runs `fn` in a user task on `core` of `host`.
@@ -120,8 +120,8 @@ TEST_F(SocketFixture, LostFramesAreRetransmitted) {
   config.seed = 3;
   testbed = std::make_unique<Testbed>(config);
   auto endpoints = testbed->make_flow(0, 0);
-  tx = endpoints.at_sender;
-  rx = endpoints.at_receiver;
+  tx = static_cast<TcpSocket*>(endpoints.at_sender);
+  rx = static_cast<TcpSocket*>(endpoints.at_receiver);
 
   Bytes sent = 0;
   for (int round = 0; round < 40; ++round) {
@@ -146,8 +146,8 @@ TEST_F(SocketFixture, DupAcksTriggerFastRetransmitNotRto) {
   config.seed = 11;
   testbed = std::make_unique<Testbed>(config);
   auto endpoints = testbed->make_flow(0, 0);
-  tx = endpoints.at_sender;
-  rx = endpoints.at_receiver;
+  tx = static_cast<TcpSocket*>(endpoints.at_sender);
+  rx = static_cast<TcpSocket*>(endpoints.at_receiver);
   for (int round = 0; round < 30; ++round) {
     on_core(testbed->sender(), 0, [this](Core& c) { tx->send(c, 512 * kKiB); });
     on_core(testbed->receiver(), 0, [this](Core& c) { rx->recv(c, 10 * kMiB); });
@@ -193,8 +193,8 @@ TEST_F(SocketFixture, RetransmitTimeoutRecoversTailLoss) {
   config.seed = 5;
   testbed = std::make_unique<Testbed>(config);
   auto endpoints = testbed->make_flow(0, 0);
-  tx = endpoints.at_sender;
-  rx = endpoints.at_receiver;
+  tx = static_cast<TcpSocket*>(endpoints.at_sender);
+  rx = static_cast<TcpSocket*>(endpoints.at_receiver);
   on_core(testbed->sender(), 0, [this](Core& c) { tx->send(c, 64 * kKiB); });
   // RTO backoff doubles; give it time (min_rto=10ms).
   for (int i = 0; i < 100; ++i) {

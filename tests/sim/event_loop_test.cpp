@@ -1,5 +1,7 @@
 #include "sim/event_loop.h"
 
+#include "sim/timer.h"
+
 #include <gtest/gtest.h>
 
 #include <vector>
@@ -68,7 +70,7 @@ TEST(EventLoopTest, CancelPreventsExecution) {
   int fired = 0;
   const EventId id = loop.schedule_at(10, [&] { ++fired; });
   loop.schedule_at(5, [&] { ++fired; });
-  loop.cancel(id);
+  TimerHandle(loop, id).cancel();
   loop.run_to_completion();
   EXPECT_EQ(fired, 1);
 }
@@ -80,7 +82,7 @@ TEST(EventLoopTest, CancelledHeadDoesNotLeakPastDeadline) {
   int fired = 0;
   const EventId id = loop.schedule_at(10, [&] { ++fired; });
   loop.schedule_at(50, [&] { ++fired; });
-  loop.cancel(id);
+  TimerHandle(loop, id).cancel();
   loop.run_until(20);
   EXPECT_EQ(fired, 0);
   loop.run_until(60);
@@ -92,8 +94,8 @@ TEST(EventLoopTest, CancelIsIdempotentAndSafeForFiredEvents) {
   int fired = 0;
   const EventId id = loop.schedule_at(1, [&] { ++fired; });
   loop.run_to_completion();
-  loop.cancel(id);  // already fired: harmless
-  loop.cancel(id);
+  TimerHandle(loop, id).cancel();  // already fired: harmless
+  TimerHandle(loop, id).cancel();
   loop.schedule_at(loop.now() + 1, [&] { ++fired; });
   loop.run_to_completion();
   EXPECT_EQ(fired, 2);
@@ -118,9 +120,9 @@ TEST(EventLoopTest, CancelRemovesFromPendingImmediately) {
     ids.push_back(loop.schedule_at(10 + i, [] {}));
   }
   EXPECT_EQ(loop.pending(), 8u);
-  loop.cancel(ids[3]);
-  loop.cancel(ids[0]);  // heap front
-  loop.cancel(ids[7]);
+  TimerHandle(loop, ids[3]).cancel();
+  TimerHandle(loop, ids[0]).cancel();  // heap front
+  TimerHandle(loop, ids[7]).cancel();
   EXPECT_EQ(loop.pending(), 5u);
   loop.run_to_completion();
   EXPECT_EQ(loop.executed(), 5u);
@@ -134,8 +136,8 @@ TEST(EventLoopTest, CancelFrontThenMiddleKeepsOrder) {
   const EventId mid = loop.schedule_at(3, [&] { order.push_back(3); });
   loop.schedule_at(4, [&] { order.push_back(4); });
   loop.schedule_at(5, [&] { order.push_back(5); });
-  loop.cancel(front);
-  loop.cancel(mid);
+  TimerHandle(loop, front).cancel();
+  TimerHandle(loop, mid).cancel();
   loop.run_to_completion();
   EXPECT_EQ(order, (std::vector<int>{2, 4, 5}));
 }
@@ -149,7 +151,7 @@ TEST(EventLoopTest, CancelImmediateEvent) {
     const EventId doomed = loop.schedule_at(loop.now(), [&] { ++fired; });
     loop.schedule_at(loop.now(), [&] { ++fired; });
     EXPECT_EQ(loop.pending(), 2u);
-    loop.cancel(doomed);
+    TimerHandle(loop, doomed).cancel();
     EXPECT_EQ(loop.pending(), 1u);
   });
   loop.run_to_completion();
@@ -164,7 +166,7 @@ TEST(EventLoopTest, SelfCancelDuringFireIsHarmless) {
   EventId self = 0;
   self = loop.schedule_at(10, [&] {
     ++fired;
-    loop.cancel(self);
+    TimerHandle(loop, self).cancel();
   });
   loop.schedule_at(10, [&] { ++fired; });
   loop.run_to_completion();
@@ -204,7 +206,7 @@ TEST(EventLoopTest, DeterministicUnderScheduleCancelChurn) {
       ids.push_back(loop.schedule_at(at, [&order, i] { order.push_back(i); }));
     }
     for (int i = 0; i < 200; i += 3) {
-      loop.cancel(ids[static_cast<std::size_t>(i)]);
+      TimerHandle(loop, ids[static_cast<std::size_t>(i)]).cancel();
     }
     for (int i = 0; i < 100; ++i) {
       const Nanos at = 120 + (i * 11) % 40;
@@ -227,7 +229,7 @@ TEST(EventLoopTest, SlotReuseAfterFireKeepsCancelSafe) {
   const EventId old_id = loop.schedule_at(1, [&] { ++fired; });
   loop.run_to_completion();
   loop.schedule_at(loop.now() + 1, [&] { ++fired; });  // likely reuses slot
-  loop.cancel(old_id);                                 // stale: must be no-op
+  TimerHandle(loop, old_id).cancel();                                 // stale: must be no-op
   loop.run_to_completion();
   EXPECT_EQ(fired, 2);
 }

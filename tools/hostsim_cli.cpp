@@ -50,6 +50,7 @@ stack:
   --no-tso --no-gso --no-gro --no-jumbo --no-arfs --no-dca
   --iommu --lro --tx-zerocopy --rx-zerocopy --delayed-ack
   --steering=MODE     rss | rps | rfs  (fallback when aRFS is off)
+  --transport=KIND    tcp | homa (receiver-driven messages; default: tcp)
   --cc=ALGO           cubic | dctcp | bbr                 (default: cubic)
   --ring=N            NIC rx descriptors per queue        (default: 1024)
   --rxbuf-kb=N        fixed TCP rx buffer; 0 = autotune   (default: 0)
@@ -226,6 +227,10 @@ int main(int argc, char** argv) {
       if (*v == "rss") config.stack.fallback_steering = SteeringMode::rss;
       else if (*v == "rps") config.stack.fallback_steering = SteeringMode::rps;
       else if (*v == "rfs") config.stack.fallback_steering = SteeringMode::rfs;
+      else usage(2);
+    } else if (auto v = flag_value(arg, "--transport")) {
+      if (*v == "tcp") config.stack.transport.kind = TransportKind::tcp;
+      else if (*v == "homa") config.stack.transport.kind = TransportKind::homa;
       else usage(2);
     } else if (auto v = flag_value(arg, "--cc")) {
       if (*v == "cubic") config.stack.cc = CcAlgo::cubic;
