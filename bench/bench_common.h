@@ -2,9 +2,11 @@
 //
 // The sweeps here are thin wrappers over the sweep:: campaign subsystem:
 // points run in parallel on a thread pool (bit-identical to serial
-// execution — see tests/sweep/runner_test.cpp) and honour two env knobs:
-//   HOSTSIM_JOBS=N   worker threads (default: all hardware threads)
-//   HOSTSIM_CACHE=1  reuse .hostsim-cache/ results across invocations
+// execution — see tests/sweep/runner_test.cpp) and honour three env knobs:
+//   HOSTSIM_JOBS=N    worker threads (default: all hardware threads)
+//   HOSTSIM_SHARDS=N  event-loop shards per point (default: 1 = serial;
+//                     artifacts are bit-identical at any value)
+//   HOSTSIM_CACHE=1   reuse .hostsim-cache/ results across invocations
 #ifndef HOSTSIM_BENCH_BENCH_COMMON_H
 #define HOSTSIM_BENCH_BENCH_COMMON_H
 
@@ -43,6 +45,9 @@ inline sweep::RunnerOptions env_runner_options() {
   sweep::RunnerOptions options;
   if (const char* jobs = std::getenv("HOSTSIM_JOBS")) {
     options.jobs = std::atoi(jobs);
+  }
+  if (const char* shards = std::getenv("HOSTSIM_SHARDS")) {
+    options.shards = std::atoi(shards);
   }
   const char* cache = std::getenv("HOSTSIM_CACHE");
   options.use_cache = cache != nullptr && cache[0] != '\0' &&

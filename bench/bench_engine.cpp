@@ -12,18 +12,28 @@
 //                          almost every armed timer is cancelled)
 //   fig05_end_to_end       a fig. 5 one-to-one point (8 flows), measuring
 //                          simulated events per wall-clock second
+//   cluster_scaling_*      one 64-host neighbor-exchange cluster run at
+//                          1/2/4/8 event-loop shards (core/cluster.h),
+//                          measuring how much wall-clock parallelism the
+//                          conservative link-latency sync extracts
 //
 // Wall-clock timing is the point here, so runs are only comparable on the
 // same machine and build type; use Release.  The JSON is validated (and
 // diffed against a baseline) by tools/bench_json.
 //
-//   $ bench_engine [--quick] [--out=BENCH_engine.json]
+// --gate-scaling asserts >= 1.7x event throughput at 4 shards vs serial;
+// on hosts with fewer than 4 hardware threads the gate is skipped (the
+// parallelism simply isn't available), never failed.
+//
+//   $ bench_engine [--quick] [--gate-scaling] [--out=BENCH_engine.json]
 #include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <fstream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "hostsim.h"
@@ -176,12 +186,12 @@ std::vector<BenchResult> bench_fig05_family(bool quick) {
       const auto start = Clock::now();
       workload.start();
       if (testbed.observer() != nullptr) testbed.observer()->start_sampler();
-      testbed.loop().run_until(run_config.warmup + run_config.duration);
+      testbed.run_until(run_config.warmup + run_config.duration);
       BenchResult& result = results[v];
       result.seconds = std::min(result.seconds, seconds_since(start));
 
       if (rep > 0) continue;
-      result.count = static_cast<double>(testbed.loop().executed());
+      result.count = static_cast<double>(testbed.events_executed());
       const Bytes delivered =
           testbed.receiver().stack().total_delivered_to_app();
       result.extra.emplace_back(
@@ -202,6 +212,119 @@ std::vector<BenchResult> bench_fig05_family(bool quick) {
     result.rate = result.count / result.seconds;
   }
   return results;
+}
+
+/// Sharded-cluster scaling: the same 64-host cluster workload run at
+/// 1, 2, 4 and 8 shards.  The workload is a neighbor exchange — host i
+/// streams long flows to hosts (i+1) and (i+2) mod H — chosen over the
+/// built-in all_to_all pattern (which fans every flow into one receiver
+/// host and caps flows at the core count) because it loads every host
+/// symmetrically, so a shard partition has real parallelism to mine.
+///
+/// Artifacts are bit-identical across shard counts (pinned by
+/// tests/core/shard_pinning_test); here the executed-event count doubles
+/// as a cheap determinism check, and the rate quotient
+/// cluster_scaling_shards_K / cluster_scaling_shards_1 is the scaling
+/// figure --gate-scaling (and CI's shard-smoke job) asserts on.
+std::vector<BenchResult> bench_cluster_scaling(bool quick) {
+  ExperimentConfig config;
+  config.topology.num_hosts = 64;
+  config.warmup = quick ? kMillisecond / 2 : 2 * kMillisecond;
+  config.duration = quick ? kMillisecond : 6 * kMillisecond;
+
+  const int shard_counts[] = {1, 2, 4, 8};
+  std::vector<BenchResult> results(std::size(shard_counts));
+  for (std::size_t v = 0; v < results.size(); ++v) {
+    results[v].name =
+        "cluster_scaling_shards_" + std::to_string(shard_counts[v]);
+    results[v].unit = "events/sec";
+    results[v].seconds = 1e100;
+  }
+
+  std::uint64_t serial_events = 0;
+  const int reps = quick ? 1 : 3;
+  for (int rep = 0; rep < reps; ++rep) {
+    for (std::size_t v = 0; v < results.size(); ++v) {
+      ExperimentConfig run_config = config;
+      run_config.shards = shard_counts[v];
+      Testbed testbed(run_config);
+      const int hosts = testbed.num_hosts();
+      Workload workload;
+      for (int i = 0; i < hosts; ++i) {
+        for (int hop = 1; hop <= 2; ++hop) {
+          const int dst = (i + hop) % hosts;
+          const int core = hop - 1;
+          auto endpoints = testbed.make_flow(
+              Cluster::FlowEndpoint{i, core}, Cluster::FlowEndpoint{dst, core},
+              /*explicit_irq_mapping=*/false);
+          workload.long_senders.push_back(std::make_unique<LongFlowSender>(
+              testbed.host(i).core(core), *endpoints.at_sender,
+              run_config.traffic.sender_chunk));
+          workload.long_receivers.push_back(std::make_unique<LongFlowReceiver>(
+              testbed.host(dst).core(core), *endpoints.at_receiver,
+              run_config.traffic.app_chunk));
+        }
+      }
+      const auto start = Clock::now();
+      workload.start();
+      testbed.run_until(run_config.warmup + run_config.duration);
+      BenchResult& result = results[v];
+      result.seconds = std::min(result.seconds, seconds_since(start));
+      const std::uint64_t events = testbed.events_executed();
+      if (shard_counts[v] == 1) serial_events = events;
+      if (events != serial_events) {
+        std::fprintf(stderr,
+                     "cluster_scaling: %d shards executed %llu events, "
+                     "serial executed %llu — sharded run diverged\n",
+                     shard_counts[v], static_cast<unsigned long long>(events),
+                     static_cast<unsigned long long>(serial_events));
+        std::exit(1);
+      }
+      if (rep > 0) continue;
+      result.count = static_cast<double>(events);
+      result.extra.emplace_back("shards", shard_counts[v]);
+      result.extra.emplace_back("hosts", hosts);
+      result.extra.emplace_back("flows",
+                                static_cast<double>(workload.long_senders.size()));
+    }
+  }
+  for (BenchResult& result : results) {
+    result.rate = result.count / result.seconds;
+  }
+  return results;
+}
+
+/// The --gate-scaling assertion (see file header).  Returns the process
+/// exit code: 0 on pass or skip, 1 when a >= 4-thread machine fails to
+/// reach `min_speedup` at 4 shards.
+int gate_scaling(const std::vector<BenchResult>& results, double min_speedup) {
+  const unsigned threads = std::thread::hardware_concurrency();
+  if (threads < 4) {
+    std::printf(
+        "  scaling gate SKIPPED: %u hardware thread(s) < 4 — the shards "
+        "cannot run in parallel here\n",
+        threads);
+    return 0;
+  }
+  double serial_rate = 0;
+  double sharded_rate = 0;
+  for (const BenchResult& result : results) {
+    if (result.name == "cluster_scaling_shards_1") serial_rate = result.rate;
+    if (result.name == "cluster_scaling_shards_4") sharded_rate = result.rate;
+  }
+  if (serial_rate <= 0 || sharded_rate <= 0) {
+    std::fprintf(stderr, "scaling gate: missing cluster_scaling results\n");
+    return 1;
+  }
+  const double speedup = sharded_rate / serial_rate;
+  std::printf("  scaling gate: 4 shards at %.2fx serial (need %.2fx)\n",
+              speedup, min_speedup);
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "scaling gate FAILED: %.2fx < %.2fx\n", speedup,
+                 min_speedup);
+    return 1;
+  }
+  return 0;
 }
 
 std::string to_json(const std::vector<BenchResult>& results, bool quick) {
@@ -233,15 +356,20 @@ std::string to_json(const std::vector<BenchResult>& results, bool quick) {
 
 int main(int argc, char** argv) {
   bool quick = false;
+  bool gate = false;
   std::string out = "BENCH_engine.json";
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--quick") {
       quick = true;
+    } else if (arg == "--gate-scaling") {
+      gate = true;
     } else if (arg.rfind("--out=", 0) == 0) {
       out = arg.substr(6);
     } else {
-      std::fprintf(stderr, "usage: bench_engine [--quick] [--out=FILE]\n");
+      std::fprintf(stderr,
+                   "usage: bench_engine [--quick] [--gate-scaling] "
+                   "[--out=FILE]\n");
       return 1;
     }
   }
@@ -261,6 +389,10 @@ int main(int argc, char** argv) {
   for (BenchResult& fig05 : bench_fig05_family(quick)) {
     results.push_back(std::move(fig05));
   }
+  // Sharded-cluster scaling family; --gate-scaling asserts on the
+  // shards_4/shards_1 quotient after the table prints.
+  std::vector<BenchResult> scaling = bench_cluster_scaling(quick);
+  for (const BenchResult& result : scaling) results.push_back(result);
 
   print_section("Engine micro-benchmarks");
   Table table({"bench", "work items", "best wall (s)", "rate"});
@@ -278,5 +410,6 @@ int main(int argc, char** argv) {
   }
   file << to_json(results, quick) << "\n";
   std::printf("  wrote %s\n", out.c_str());
+  if (gate) return gate_scaling(scaling, /*min_speedup=*/1.7);
   return 0;
 }

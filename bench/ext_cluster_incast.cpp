@@ -96,7 +96,7 @@ IncastResult run_incast(CcAlgo cc, int num_hosts, Bytes target,
   while (now < deadline &&
          result.completed < static_cast<int>(rx_sockets.size())) {
     now += kSlice;
-    cluster.loop().run_until(now);
+    cluster.run_until(now);
     if (now >= kRamp && cluster.fabric() != nullptr) {
       result.steady_queue =
           std::max(result.steady_queue, cluster.fabric()->queued_bytes());

@@ -50,20 +50,20 @@ ChaosResult run_chaos(std::uint64_t seed, bool leak) {
   workload.start();
   if (leak) testbed.receiver().stack().leak_next_skb();
 
-  Watchdog watchdog(testbed.loop(), WatchdogConfig::for_duration(kRunEnd));
+  Watchdog watchdog(testbed.shard_loop(0), WatchdogConfig::for_duration(kRunEnd));
   watchdog.set_progress_probe([&testbed] { return testbed.app_progress(); });
   watchdog.set_activity_probe(
       [&testbed] { return testbed.transfers_outstanding(); });
   watchdog.arm(kRunEnd);
 
   Stack& rx = testbed.receiver().stack();
-  testbed.loop().run_until(kPreStart);
+  testbed.run_until(kPreStart);
   const Bytes at_pre_start = rx.total_delivered_to_app();
-  testbed.loop().run_until(kFlapAt);
+  testbed.run_until(kFlapAt);
   const Bytes at_flap = rx.total_delivered_to_app();
-  testbed.loop().run_until(kGraceEnd);
+  testbed.run_until(kGraceEnd);
   const Bytes at_grace_end = rx.total_delivered_to_app();
-  testbed.loop().run_until(kRunEnd);
+  testbed.run_until(kRunEnd);
   const Bytes at_end = rx.total_delivered_to_app();
 
   ChaosResult result;

@@ -114,24 +114,103 @@ Link::Config link_config(const ExperimentConfig& config) {
   return link;
 }
 
+/// Can this configuration run sharded?  `shards` is an execution
+/// strategy, not an experiment parameter, and the artifacts are
+/// bit-identical either way — so unsupported combinations quietly fall
+/// back to the serial path instead of failing the run (a sweep may set
+/// HOSTSIM_SHARDS for a whole campaign, degenerate points included).
+/// Unsupported:
+///   - the degenerate back-to-back topology (nothing to partition);
+///   - zero wire propagation (conservative sync needs lookahead);
+///   - probabilistic faults (GE loss, corruption, pool pressure): they
+///     draw from one injector RNG stream in cross-host arrival order,
+///     which shard-local injectors cannot replay (window faults —
+///     flaps, stalls, crashes, blackholes — are RNG-free and fine; the
+///     per-link Bernoulli loss_rate draws from per-link streams and is
+///     also fine);
+///   - observability (the sampler runs on one loop but its gauges read
+///     every host) and the open-loop / resilient-RPC workloads (their
+///     engines post tasks across hosts mid-run).
+bool shardable(const ExperimentConfig& config) {
+  if (config.topology.degenerate()) return false;
+  if (config.wire_propagation <= 0) return false;
+  const FaultPlan& plan = config.faults;
+  if (plan.gilbert_elliott.enabled || plan.corrupt_rate > 0.0 ||
+      !plan.pool_pressure.empty()) {
+    return false;
+  }
+  if (config.obs.enabled()) return false;
+  if (config.traffic.pattern == Pattern::open_loop) return false;
+  if (config.traffic.resilience.enabled) return false;
+  return true;
+}
+
 }  // namespace
 
 Cluster::Cluster(const ExperimentConfig& config) : config_(config) {
   require(config.topology.num_hosts >= 2, "a cluster needs at least 2 hosts");
   require(config.topology.num_hosts == 2 || !config.topology.degenerate(),
           "more than 2 hosts requires the switch topology");
-  loop_ = std::make_unique<EventLoop>(config.seed);
+  require(config.shards >= 1, "config.shards must be >= 1");
+  plan_shards();
+  if (!config.topology.degenerate()) {
+    // Sized before construction: the links' forward closures capture
+    // references into these containers.  The delivery band is used at
+    // every shard count (serial included — see build_cluster), so these
+    // exist whenever the switch topology does.
+    shard_frames_.reserve(loops_.size());
+    for (std::size_t s = 0; s < loops_.size(); ++s) {
+      shard_frames_.push_back(std::make_unique<SlotPool<Frame>>());
+    }
+    channels_.resize(loops_.size() * loops_.size());
+    link_delivery_seq_.assign(
+        static_cast<std::size_t>(config.topology.num_hosts), 0);
+  }
   if (config.topology.degenerate()) {
     build_degenerate();
   } else {
     build_cluster();
   }
+  if (num_shards() > 1) {
+    std::vector<EventLoop*> loop_ptrs;
+    loop_ptrs.reserve(loops_.size());
+    for (auto& loop : loops_) loop_ptrs.push_back(loop.get());
+    executor_ = std::make_unique<ShardedExecutor>(std::move(loop_ptrs),
+                                                  config_.wire_propagation);
+    executor_->set_barrier_hook([this] { drain_channels(); });
+  }
   if (config_.obs.enabled()) {
     // Built last: the observer forks no RNG and schedules nothing until
     // start_sampler(), so the datapath above is bit-identical with or
     // without it.
-    obs_ = std::make_unique<obs::Observer>(*loop_, config_.obs, config_.seed);
+    obs_ = std::make_unique<obs::Observer>(*loops_[0], config_.obs,
+                                           config_.seed);
     wire_observer();
+  }
+}
+
+void Cluster::plan_shards() {
+  const int num_hosts = config_.topology.num_hosts;
+  int shards = config_.shards;
+  if (shards > num_hosts) shards = num_hosts;  // extra shards buy nothing
+  if (shards > 1 && !shardable(config_)) shards = 1;
+
+  shard_of_host_.resize(static_cast<std::size_t>(num_hosts));
+  shard_hosts_.assign(static_cast<std::size_t>(shards), {});
+  for (int h = 0; h < num_hosts; ++h) {
+    // Contiguous near-equal ranges: host h on shard h*K/H.
+    const int s = static_cast<int>((static_cast<std::int64_t>(h) * shards) /
+                                   num_hosts);
+    shard_of_host_[static_cast<std::size_t>(h)] = s;
+    shard_hosts_[static_cast<std::size_t>(s)].push_back(h);
+  }
+
+  // Every shard loop is seeded with the run seed, but only shard 0's
+  // stream is ever forked from (it is the serial run's root stream; all
+  // construction-order forks are pulled from it — see build_cluster).
+  loops_.reserve(static_cast<std::size_t>(shards));
+  for (int s = 0; s < shards; ++s) {
+    loops_.push_back(std::make_unique<EventLoop>(config_.seed));
   }
 }
 
@@ -197,30 +276,36 @@ void Cluster::wire_observer() {
 void Cluster::build_degenerate() {
   // The legacy two-server path, preserved verbatim: construction order
   // (wire, sender, receiver, then faults iff configured) fixes the RNG
-  // fork sequence, so historical runs replay bit-for-bit.
-  links_.push_back(std::make_unique<Link>(*loop_, link_config(config_)));
-  hosts_.push_back(std::make_unique<Host>(*loop_, config_, *links_[0],
+  // fork sequence, so historical runs replay bit-for-bit.  Always
+  // serial (plan_shards degrades shards > 1 to 1 here).
+  EventLoop& loop = *loops_[0];
+  links_.push_back(std::make_unique<Link>(loop, link_config(config_)));
+  hosts_.push_back(std::make_unique<Host>(loop, config_, *links_[0],
                                           Link::Side::a, "sender"));
-  hosts_.push_back(std::make_unique<Host>(*loop_, config_, *links_[0],
+  hosts_.push_back(std::make_unique<Host>(loop, config_, *links_[0],
                                           Link::Side::b, "receiver"));
   if (config_.faults.any()) {
     // Constructed after the wire and hosts so the injector's RNG fork
     // leaves their stream assignments — and therefore every fault-free
     // run — untouched.
-    faults_ = std::make_unique<FaultInjector>(*loop_, config_.faults);
-    links_[0]->set_fault_injector(faults_.get());
-    hosts_[0]->nic().set_fault_injector(faults_.get());
-    hosts_[1]->nic().set_fault_injector(faults_.get());
-    register_crash_handler();
+    shard_faults_.push_back(
+        std::make_unique<FaultInjector>(loop, config_.faults));
+    FaultInjector* faults = shard_faults_[0].get();
+    links_[0]->set_fault_injector(faults);
+    hosts_[0]->nic().set_fault_injector(faults);
+    hosts_[1]->nic().set_fault_injector(faults);
+    register_crash_handler(*faults);
   }
 }
 
-void Cluster::register_crash_handler() {
-  if (config_.faults.host_crashes.empty()) return;
-  faults_->set_crash_handler([this](int crashed, bool up) {
+void Cluster::register_crash_handler(FaultInjector& injector) {
+  if (injector.plan().host_crashes.empty()) return;
+  injector.set_crash_handler([this](int crashed, bool up) {
     if (up) return;  // restart: fresh sockets arrive via app reconnects
     require(crashed >= 0 && crashed < num_hosts(),
             "crash fault names a host outside the cluster");
+    // Sharded runs filter crash windows to the victim's own shard, so
+    // this handler runs on — and only touches — that shard's state.
     Host& victim = host(crashed);
     Stack& stack = victim.stack();
     for (int flow : stack.flow_ids()) {
@@ -239,15 +324,49 @@ void Cluster::register_crash_handler() {
   });
 }
 
+FaultPlan Cluster::shard_fault_plan(int shard) const {
+  // Window faults only (shardable() rejected the probabilistic ones):
+  // each window lands on the shard owning its link/host/port; global
+  // windows (link < 0 flaps, host < 0 stalls) replicate everywhere so
+  // every consulting component sees them locally.
+  FaultPlan plan;
+  for (const LinkFlap& flap : config_.faults.link_flaps) {
+    if (flap.link < 0 || shard_of_host(flap.link) == shard) {
+      plan.link_flaps.push_back(flap);
+    }
+  }
+  for (const RingStall& stall : config_.faults.ring_stalls) {
+    if (stall.host < 0 || shard_of_host(stall.host) == shard) {
+      plan.ring_stalls.push_back(stall);
+    }
+  }
+  for (const HostCrash& crash : config_.faults.host_crashes) {
+    if (shard_of_host(crash.host) == shard) plan.host_crashes.push_back(crash);
+  }
+  for (const PortBlackhole& hole : config_.faults.port_blackholes) {
+    if (shard_of_host(hole.port) == shard) plan.port_blackholes.push_back(hole);
+  }
+  return plan;
+}
+
 void Cluster::build_cluster() {
   const TopologyConfig& topo = config_.topology;
   const int num_hosts = topo.num_hosts;
+  const bool sharded = num_shards() > 1;
+  EventLoop& root = *loops_[0];
 
   // One uplink Link per host (Side::a = the host, Side::b = the switch
   // ingress), then the fabric, then the hosts.  Link i carries id i, so
   // FaultPlan entries address link/port i == host i's cable.
   for (int i = 0; i < num_hosts; ++i) {
-    links_.push_back(std::make_unique<Link>(*loop_, link_config(config_)));
+    const std::size_t shard = static_cast<std::size_t>(shard_of_host_[i]);
+    // The per-link loss stream is forked from the root in construction
+    // order (link 0, 1, ...), then the link itself lives on its host's
+    // shard loop — stream assignments are identical at any shard count
+    // (serially this matches the legacy ctor, which forks from its own
+    // loop's rng, i.e. the root).
+    links_.push_back(std::make_unique<Link>(
+        *loops_[shard], link_config(config_), root.rng().fork()));
     links_.back()->set_id(i);
   }
 
@@ -258,17 +377,19 @@ void Cluster::build_cluster() {
   fabric_config.propagation = config_.wire_propagation;
   fabric_config.buffer_bytes = topo.switch_buffer;
   fabric_config.ecn_threshold_bytes = topo.switch_ecn_bytes;
-  fabric_ = std::make_unique<Switch>(*loop_, fabric_config);
+  fabric_ = std::make_unique<Switch>(root, fabric_config);
   if (config_.stack.trace_capacity > 0) {
     fabric_->enable_trace(config_.stack.trace_capacity);
   }
 
   for (int i = 0; i < num_hosts; ++i) {
+    const std::size_t shard = static_cast<std::size_t>(shard_of_host_[i]);
     const std::string name =
         num_hosts == 2 ? (i == 0 ? "sender" : "receiver")
                        : "host" + std::to_string(i);
-    hosts_.push_back(std::make_unique<Host>(*loop_, config_, *links_[i],
-                                            Link::Side::a, name, i));
+    hosts_.push_back(std::make_unique<Host>(*loops_[shard], config_,
+                                            *links_[i], Link::Side::a, name,
+                                            i));
     // Uplink tail feeds the switch; switch egress delivers straight into
     // the destination NIC (the buffered fabric models the downlink's
     // serialization + propagation itself; pass-through adds nothing, by
@@ -280,15 +401,160 @@ void Cluster::build_cluster() {
       hosts_[static_cast<std::size_t>(i)]->nic().receive(std::move(frame));
     });
     fabric_->set_route(i, i);
+
+    // Every cross-host frame takes the deterministic delivery band —
+    // in serial mode too: the uplink hands (delivery time, send time,
+    // frame) here instead of scheduling locally, and ingress runs on
+    // the shard owning the destination host — via its own loop for a
+    // same-shard hop (always, serially), or parked in a channel until
+    // the round barrier otherwise.  Keying serial deliveries with the
+    // same (sent, link id, count) ranks makes serial and sharded event
+    // order coincide *by construction*: a plain schedule_at would break
+    // simultaneous arrivals from different links by global scheduling
+    // sequence — history a shard partition cannot observe.
+    const int src_shard = static_cast<int>(shard);
+    links_[i]->set_remote_forward(
+        Link::Side::b,
+        [this, i, src_shard](Nanos at, Nanos sent, Frame frame) {
+          require(frame.dst_host >= 0 && frame.dst_host < this->num_hosts(),
+                  "forwarded frame carries no destination host");
+          // (link id, per-link count): unique, single-writer (link i
+          // transmits only on its own shard), and reproducible — the
+          // count only advances in the link's own deterministic
+          // transmit order.
+          const std::uint64_t sub =
+              (static_cast<std::uint64_t>(static_cast<std::uint32_t>(i))
+               << 40) |
+              link_delivery_seq_[static_cast<std::size_t>(i)]++;
+          const int dst_shard = shard_of_host(frame.dst_host);
+          if (dst_shard == src_shard) {
+            schedule_ingress(dst_shard, at, sent, sub, std::move(frame));
+          } else {
+            require(at > executor_->round_deadline(),
+                    "cross-shard frame lands inside the open round window "
+                    "— lookahead violated");
+            channel(src_shard, dst_shard)
+                .push(at, sent, sub, std::move(frame));
+          }
+        });
   }
 
   if (config_.faults.any()) {
-    faults_ = std::make_unique<FaultInjector>(*loop_, config_.faults);
-    for (auto& link : links_) link->set_fault_injector(faults_.get());
-    fabric_->set_fault_injector(faults_.get());
-    for (auto& host : hosts_) host->nic().set_fault_injector(faults_.get());
-    register_crash_handler();
+    if (!sharded) {
+      shard_faults_.push_back(
+          std::make_unique<FaultInjector>(root, config_.faults));
+      FaultInjector* faults = shard_faults_[0].get();
+      for (auto& link : links_) link->set_fault_injector(faults);
+      fabric_->set_fault_injector(faults);
+      for (auto& host : hosts_) host->nic().set_fault_injector(faults);
+      register_crash_handler(*faults);
+    } else {
+      // One injector per shard over the shard-filtered plan.  The fault
+      // fork consumes the root stream exactly once (as in serial), and
+      // the per-shard streams are sub-forks — their values are unused,
+      // since shardable() banned every RNG-drawing fault.
+      Rng fault_root = root.rng().fork();
+      for (int s = 0; s < num_shards(); ++s) {
+        shard_faults_.push_back(std::make_unique<FaultInjector>(
+            *loops_[static_cast<std::size_t>(s)], shard_fault_plan(s),
+            fault_root.fork(), /*count_global_windows=*/s == 0));
+        register_crash_handler(*shard_faults_.back());
+      }
+      for (int i = 0; i < num_hosts; ++i) {
+        FaultInjector* faults = shard_faults(shard_of_host_[i]);
+        links_[static_cast<std::size_t>(i)]->set_fault_injector(faults);
+        hosts_[static_cast<std::size_t>(i)]->nic().set_fault_injector(faults);
+      }
+    }
   }
+
+  // Partition the switch by egress port: port i's mutable state moves
+  // to host i's shard (its fault consults included).  Serially every
+  // port lands on the single loop; the partitioned form (per-port trace
+  // rings merged by rank, aggregate counters derived per port) is used
+  // at every shard count so the artifacts cannot depend on K.
+  for (int i = 0; i < num_hosts; ++i) {
+    fabric_->shard_port(i,
+                        *loops_[static_cast<std::size_t>(shard_of_host_[i])],
+                        shard_faults(shard_of_host_[i]));
+  }
+}
+
+void Cluster::schedule_ingress(int dst_shard, Nanos at, Nanos sent,
+                               std::uint64_t sub, Frame frame) {
+  // Fabric ingress port for host h's uplink is h, and the NIC stamped
+  // src_host — so the channel need not carry the port separately.
+  const int in_port = frame.src_host;
+  SlotPool<Frame>& pool = *shard_frames_[static_cast<std::size_t>(dst_shard)];
+  const SlotPool<Frame>::Slot slot = pool.acquire(std::move(frame));
+  loops_[static_cast<std::size_t>(dst_shard)]->schedule_delivery(
+      at, sent, sub, [this, dst_shard, in_port, slot, sent, sub] {
+        SlotPool<Frame>& frames =
+            *shard_frames_[static_cast<std::size_t>(dst_shard)];
+        Frame frame = std::move(frames[slot]);
+        frames.release(slot);
+        fabric_->ingress_ranked(in_port, std::move(frame), sent, sub);
+      });
+}
+
+void Cluster::drain_channels() {
+  const int shards = num_shards();
+  for (int src = 0; src < shards; ++src) {
+    for (int dst = 0; dst < shards; ++dst) {
+      if (src == dst) continue;
+      channel(src, dst).drain([this, dst](ShardChannel<Frame>::Item& item) {
+        schedule_ingress(dst, item.at, item.sent, item.sub,
+                         std::move(item.payload));
+      });
+    }
+  }
+}
+
+void Cluster::run_until(Nanos deadline) {
+  if (executor_ != nullptr) {
+    executor_->run_until(deadline);
+  } else {
+    loops_[0]->run_until(deadline);
+  }
+}
+
+void Cluster::run_to_completion() {
+  if (executor_ != nullptr) {
+    executor_->run_to_completion();
+  } else {
+    loops_[0]->run_to_completion();
+  }
+}
+
+std::uint64_t Cluster::events_executed() const {
+  std::uint64_t executed = 0;
+  for (const auto& loop : loops_) executed += loop->executed();
+  return executed;
+}
+
+std::size_t Cluster::events_pending() const {
+  std::size_t pending = 0;
+  for (const auto& loop : loops_) pending += loop->pending();
+  return pending;
+}
+
+FaultCounters Cluster::merged_fault_counters() const {
+  FaultCounters merged;
+  for (const auto& injector : shard_faults_) {
+    const FaultCounters& c = injector->counters();
+    merged.random_drops += c.random_drops;
+    merged.bursty_drops += c.bursty_drops;
+    merged.flap_drops += c.flap_drops;
+    merged.corrupt_frames += c.corrupt_frames;
+    merged.flaps += c.flaps;
+    merged.ring_stall_drops += c.ring_stall_drops;
+    merged.pool_denials += c.pool_denials;
+    merged.watchdog_trips += c.watchdog_trips;
+    merged.host_crashes += c.host_crashes;
+    merged.crash_drops += c.crash_drops;
+    merged.blackhole_drops += c.blackhole_drops;
+  }
+  return merged;
 }
 
 std::uint64_t Cluster::app_progress() const {
@@ -296,6 +562,15 @@ std::uint64_t Cluster::app_progress() const {
   for (const auto& host : hosts_) {
     progress +=
         static_cast<std::uint64_t>(host->stack().total_delivered_to_app());
+  }
+  return progress;
+}
+
+std::uint64_t Cluster::app_progress(int shard) const {
+  std::uint64_t progress = 0;
+  for (int h : shard_hosts_.at(static_cast<std::size_t>(shard))) {
+    progress += static_cast<std::uint64_t>(
+        hosts_[static_cast<std::size_t>(h)]->stack().total_delivered_to_app());
   }
   return progress;
 }
@@ -374,9 +649,9 @@ void Cluster::register_invariants(InvariantChecker& checker) {
     // state (armed timers, in-flight frames), which scales with the
     // workload's flow count, not its duration.
     const std::size_t cap = 100'000;
-    if (loop_->pending() > cap) {
-      return "event queue holds " + std::to_string(loop_->pending()) +
-             " events after " + std::to_string(loop_->executed()) +
+    if (events_pending() > cap) {
+      return "event queue holds " + std::to_string(events_pending()) +
+             " events after " + std::to_string(events_executed()) +
              " executed — something schedules without bound";
     }
     return std::nullopt;
@@ -449,6 +724,9 @@ int Cluster::open_flow(FlowEndpoint src, FlowEndpoint dst, Nanos syn_retry,
   require(src.host != dst.host, "flow endpoints must be on distinct hosts");
   require(!config_.stack.receiver_driven,
           "handshaking flows unsupported in receiver-driven mode");
+  require(num_shards() == 1,
+          "handshaking flows unsupported in sharded runs (accept-side "
+          "socket creation crosses shards)");
   const int flow = next_flow_++;
   Host& src_host = host(src.host);
   Host& dst_host = host(dst.host);
@@ -472,6 +750,9 @@ int Cluster::open_flow(FlowEndpoint src, FlowEndpoint dst, Nanos syn_retry,
 Cluster::FlowEndpoints Cluster::reconnect_flow(Core& core, int flow) {
   require(!config_.stack.receiver_driven,
           "reconnect unsupported in receiver-driven mode");
+  require(num_shards() == 1,
+          "reconnect unsupported in sharded runs (remote teardown posts "
+          "across shards mid-round)");
   require(flow >= 0 && flow < next_flow_, "reconnecting an unknown flow");
   const FlowRoute route = routes_[static_cast<std::size_t>(flow)];
 

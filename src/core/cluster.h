@@ -17,6 +17,20 @@
 // serialization + propagation), in buffered mode after FIFO queueing,
 // egress serialization at the port rate, and the downlink propagation.
 //
+// Sharded execution (config.shards > 1): the hosts are partitioned over
+// K event loops — host h on shard h*K/H — each advanced by its own
+// worker thread under conservative link-latency synchronization
+// (sim/sharded_executor.h).  Everything a host touches (its cores, NIC,
+// stack, uplink Link, and the switch egress port toward it) lives on its
+// shard's loop; the only cross-shard traffic is frames leaving a Link's
+// switch side, which travel through per-(src,dst)-shard channels
+// carrying a (send time, per-link sequence) ordering key, so the merged
+// execution order — and therefore every artifact — is bit-identical to
+// the serial run (pinned by tests/core/shard_pinning_test).  There is
+// deliberately no cluster-wide loop() accessor: host-side code schedules
+// through the owning shard's loop (host(i).loop()), and run control goes
+// through run_until()/run_to_completion() below.
+//
 // Convention: host H-1 is the receiver/server host, hosts 0..H-2 send
 // toward it (matching the legacy sender=0 / receiver=1 layout).
 #ifndef HOSTSIM_CORE_CLUSTER_H
@@ -34,6 +48,7 @@
 #include "sim/event_loop.h"
 #include "sim/fault_injector.h"
 #include "sim/invariant_checker.h"
+#include "sim/sharded_executor.h"
 
 namespace hostsim {
 
@@ -44,11 +59,54 @@ class Cluster {
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
 
-  EventLoop& loop() { return *loop_; }
   const ExperimentConfig& config() const { return config_; }
 
   int num_hosts() const { return static_cast<int>(hosts_.size()); }
   Host& host(int index) { return *hosts_.at(static_cast<std::size_t>(index)); }
+
+  // --- Execution ----------------------------------------------------------
+
+  /// Number of execution shards (1 = serial).
+  int num_shards() const { return static_cast<int>(loops_.size()); }
+
+  /// The shard owning `host` and its loop.
+  int shard_of_host(int host) const {
+    return shard_of_host_.at(static_cast<std::size_t>(host));
+  }
+  EventLoop& shard_loop(int shard) {
+    return *loops_.at(static_cast<std::size_t>(shard));
+  }
+  /// Host indices owned by `shard` (ascending).
+  const std::vector<int>& shard_hosts(int shard) const {
+    return shard_hosts_.at(static_cast<std::size_t>(shard));
+  }
+
+  /// Runs every host's events with timestamp <= `deadline` and advances
+  /// all clocks to it (serial: plain EventLoop::run_until; sharded:
+  /// conservative parallel rounds).
+  void run_until(Nanos deadline);
+
+  /// Drains every loop (and every cross-shard channel) completely.
+  void run_to_completion();
+
+  /// Current simulated time (identical across shards between runs).
+  Nanos now() const { return loops_[0]->now(); }
+
+  /// Events executed / still pending, summed over the shards.
+  std::uint64_t events_executed() const;
+  std::size_t events_pending() const;
+
+  /// Forks a stream from the run's root RNG in construction order —
+  /// identical to the serial fork sequence regardless of shard count.
+  /// Workload builders must use this instead of reaching for a loop.
+  Rng fork_rng() { return loops_[0]->rng().fork(); }
+
+  /// The parallel orchestrator; nullptr in serial mode.  The experiment
+  /// harness hooks its heartbeat (manual watchdog polls) and per-shard
+  /// storm budget here.
+  ShardedExecutor* executor() { return executor_.get(); }
+
+  // --- Topology -----------------------------------------------------------
 
   /// Legacy two-server view: host 0 sends, the last host receives.
   Host& sender() { return host(0); }
@@ -69,7 +127,21 @@ class Cluster {
   /// The run's fault injector; nullptr when the plan is empty (the
   /// injector is only constructed — and its RNG stream only forked —
   /// when faults are configured, preserving fault-free determinism).
-  FaultInjector* faults() { return faults_.get(); }
+  /// Sharded runs hold one injector per shard; this returns shard 0's —
+  /// use merged_fault_counters() for run-wide accounting.
+  FaultInjector* faults() {
+    return shard_faults_.empty() ? nullptr : shard_faults_[0].get();
+  }
+  FaultInjector* shard_faults(int shard) {
+    return shard_faults_.empty()
+               ? nullptr
+               : shard_faults_.at(static_cast<std::size_t>(shard)).get();
+  }
+  bool has_faults() const { return !shard_faults_.empty(); }
+
+  /// Field-wise sum of every shard's fault counters; equals the single
+  /// injector's counters in serial mode.
+  FaultCounters merged_fault_counters() const;
 
   /// The run's observability hub; nullptr unless config.obs enables it.
   /// Constructed after the datapath (it forks no RNG and schedules
@@ -85,6 +157,10 @@ class Cluster {
   /// Monotone application-progress counter (bytes delivered to apps on
   /// every host); the natural Watchdog progress probe.
   std::uint64_t app_progress() const;
+
+  /// Shard-local slice of the progress counter (hosts on `shard` only);
+  /// safe to read from that shard's own events mid-round.
+  std::uint64_t app_progress(int shard) const;
 
   /// True when any socket still has unacknowledged or unsent buffered
   /// data; the natural Watchdog activity probe.
@@ -163,20 +239,49 @@ class Cluster {
  private:
   void build_degenerate();
   void build_cluster();
-  /// Hooks the fault injector's crash notifications: when a host goes
-  /// dark, every live socket on it is aborted (killed_by_fault) in a
-  /// task on its app core, so page releases charge in proper context.
-  void register_crash_handler();
+  /// Validates the sharded-mode restrictions (see cluster.cpp) and
+  /// computes the host -> shard partition.
+  void plan_shards();
+  /// Filters the run's FaultPlan down to `shard`'s hosts/links; global
+  /// windows (link < 0 flaps, host-less stalls) replicate everywhere.
+  FaultPlan shard_fault_plan(int shard) const;
+  /// Hooks one injector's crash notifications: when a host goes dark,
+  /// every live socket on it is aborted (killed_by_fault) in a task on
+  /// its app core, so page releases charge in proper context.
+  void register_crash_handler(FaultInjector& injector);
+  /// Schedules one cross-host frame's fabric ingress on the destination
+  /// shard's loop under the deterministic delivery key.
+  void schedule_ingress(int dst_shard, Nanos at, Nanos sent,
+                        std::uint64_t sub, Frame frame);
+  /// Barrier hook: moves parked channel frames into destination loops.
+  void drain_channels();
+  ShardChannel<Frame>& channel(int src_shard, int dst_shard) {
+    return channels_[static_cast<std::size_t>(src_shard) *
+                         loops_.size() +
+                     static_cast<std::size_t>(dst_shard)];
+  }
   /// Attaches the observer to every host's NIC/stack and registers the
   /// per-host and fabric gauges (per-flow gauges join in make_flow()).
   void wire_observer();
 
   ExperimentConfig config_;
-  std::unique_ptr<EventLoop> loop_;
+  std::vector<std::unique_ptr<EventLoop>> loops_;  ///< one per shard
+  std::vector<int> shard_of_host_;
+  std::vector<std::vector<int>> shard_hosts_;
+  std::unique_ptr<ShardedExecutor> executor_;      ///< shards > 1 only
+  std::vector<ShardChannel<Frame>> channels_;      ///< src*K + dst
+  /// Frames parked while a delivery event is pending, one pool per
+  /// destination shard (the event captures a 4-byte slot handle).
+  std::vector<std::unique_ptr<SlotPool<Frame>>> shard_frames_;
+  /// Per-link delivery sequence numbers (single writer: the shard that
+  /// owns the link), composing the low bits of the delivery subkey.
+  std::vector<std::uint64_t> link_delivery_seq_;
   std::vector<std::unique_ptr<Link>> links_;
   std::unique_ptr<Switch> fabric_;
   std::vector<std::unique_ptr<Host>> hosts_;
-  std::unique_ptr<FaultInjector> faults_;
+  /// One injector per shard (serial: exactly one); empty when the plan
+  /// is empty.
+  std::vector<std::unique_ptr<FaultInjector>> shard_faults_;
   std::unique_ptr<obs::Observer> obs_;
   std::vector<FlowRoute> routes_;
   int next_flow_ = 0;

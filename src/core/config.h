@@ -179,6 +179,16 @@ struct ExperimentConfig {
   Nanos duration = 25 * kMillisecond;
   std::uint64_t seed = 1;
 
+  /// Execution shards: 1 (default) runs the whole cluster on one event
+  /// loop; N > 1 partitions the hosts over N loops advanced in parallel
+  /// under conservative link-latency synchronization (see
+  /// sim/sharded_executor.h).  An execution strategy like sweep --jobs,
+  /// NOT an experiment parameter: deliberately excluded from
+  /// config_to_json()/config_hash() (same convention as `obs`), and the
+  /// artifacts are bit-identical across shard counts — pinned by
+  /// tests/core/shard_pinning_test.
+  int shards = 1;
+
   /// Fault-injection schedule (bursty loss, flaps, corruption, ring
   /// stalls, pool pressure).  An empty plan changes nothing: the
   /// injector is only constructed when `faults.any()`, so fault-free

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <vector>
 
 #include "core/patterns.h"
@@ -93,26 +94,57 @@ Metrics Experiment::run() {
     Nanos end = 0;
     std::uint64_t delivered = 0;  ///< cumulative app bytes at slice end
   };
-  std::vector<GoodputSlice> slices;
+  // Sampled per shard (each shard's slice event reads only its own
+  // hosts, so it is race-free mid-round) and summed at harvest; with one
+  // shard this is exactly the legacy whole-cluster sample.
+  const int num_shards = testbed.num_shards();
+  std::vector<Nanos> slice_ends;
+  std::vector<std::vector<std::uint64_t>> shard_slices;
   if (wants_recovery) {
     const Nanos end_time = config_.warmup + config_.duration;
-    slices.reserve(static_cast<std::size_t>(end_time / kGoodputSlice) + 1);
     for (Nanos t = kGoodputSlice; t <= end_time; t += kGoodputSlice) {
-      testbed.loop().schedule_at(t, [&testbed, &slices, t] {
-        slices.push_back({t, testbed.app_progress()});
-      });
+      slice_ends.push_back(t);
+    }
+    shard_slices.assign(
+        static_cast<std::size_t>(num_shards),
+        std::vector<std::uint64_t>(slice_ends.size(), 0));
+    for (int s = 0; s < num_shards; ++s) {
+      std::vector<std::uint64_t>* samples =
+          &shard_slices[static_cast<std::size_t>(s)];
+      for (std::size_t i = 0; i < slice_ends.size(); ++i) {
+        testbed.shard_loop(s).schedule_at(
+            slice_ends[i], [&testbed, samples, s, i] {
+              (*samples)[i] = testbed.app_progress(s);
+            });
+      }
     }
   }
 
-  Watchdog watchdog(testbed.loop(), config_.watchdog);
+  // Serial runs schedule watchdog ticks on the loop; sharded runs use
+  // the manual-polling form driven by the executor heartbeat (event-storm
+  // detection then runs per shard via the executor's own hooks).
+  std::optional<Watchdog> watchdog;
+  if (num_shards == 1) {
+    watchdog.emplace(testbed.shard_loop(0), config_.watchdog);
+  } else {
+    watchdog.emplace(config_.watchdog);
+  }
   if (config_.watchdog.enabled()) {
-    watchdog.set_progress_probe([&testbed] { return testbed.app_progress(); });
-    watchdog.set_activity_probe(
+    watchdog->set_progress_probe([&testbed] { return testbed.app_progress(); });
+    watchdog->set_activity_probe(
         [&testbed] { return testbed.transfers_outstanding(); });
-    watchdog.arm(config_.warmup + config_.duration);
+    watchdog->arm(config_.warmup + config_.duration);
+    if (ShardedExecutor* executor = testbed.executor()) {
+      Watchdog* dog = &*watchdog;
+      executor->set_heartbeat(config_.watchdog.period,
+                              [dog](Nanos now) { dog->poll(now); });
+      if (config_.watchdog.event_storm_budget > 0) {
+        executor->set_storm_budget(config_.watchdog.event_storm_budget);
+      }
+    }
   }
 
-  testbed.loop().run_until(config_.warmup);
+  testbed.run_until(config_.warmup);
   // Hosts 0..H-2 are the sending side, host H-1 the receiving side
   // (degenerate testbed: host 0 = "sender", host 1 = "receiver").
   const int num_hosts = testbed.num_hosts();
@@ -129,7 +161,7 @@ Metrics Experiment::run() {
     testbed.host(h).stack().begin_measurement();
   }
 
-  testbed.loop().run_until(config_.warmup + config_.duration);
+  testbed.run_until(config_.warmup + config_.duration);
 
   Metrics metrics;
   metrics.window = config_.duration;
@@ -273,7 +305,10 @@ Metrics Experiment::run() {
                            host_trace.end());
     }
     if (testbed.fabric() != nullptr) {
-      const auto fabric_trace = testbed.fabric()->tracer().snapshot();
+      // Serial recording order in both modes: the single ring when
+      // serial, the per-port rings merged on the delivery key when
+      // sharded (see Switch::trace_snapshot).
+      const auto fabric_trace = testbed.fabric()->trace_snapshot();
       metrics.trace.insert(metrics.trace.end(), fabric_trace.begin(),
                            fabric_trace.end());
     }
@@ -310,10 +345,10 @@ Metrics Experiment::run() {
     metrics.fabric.peak_queue_bytes = testbed.fabric()->peak_queue_bytes();
   }
 
-  if (testbed.faults() != nullptr) {
-    metrics.faults = testbed.faults()->counters();
+  if (testbed.has_faults()) {
+    metrics.faults = testbed.merged_fault_counters();
   }
-  metrics.faults.watchdog_trips += watchdog.trips();
+  metrics.faults.watchdog_trips += watchdog->trips();
   metrics.rx_csum_drops = 0;
   for (int h = 0; h < num_hosts; ++h) {
     metrics.rx_csum_drops += testbed.host(h).stack().stats().rx_csum_drops;
@@ -321,6 +356,16 @@ Metrics Experiment::run() {
 
   if (wants_recovery) {
     metrics.has_recovery = true;
+    // Whole-cluster goodput slices: the per-shard samples summed.
+    std::vector<GoodputSlice> slices;
+    slices.reserve(slice_ends.size());
+    for (std::size_t i = 0; i < slice_ends.size(); ++i) {
+      std::uint64_t delivered = 0;
+      for (int s = 0; s < num_shards; ++s) {
+        delivered += shard_slices[static_cast<std::size_t>(s)][i];
+      }
+      slices.push_back({slice_ends[i], delivered});
+    }
     // Fault window bounds: recovery is measured from the instant the
     // last crash/blackhole window closes.
     Nanos first_fault = -1;

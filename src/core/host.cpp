@@ -41,7 +41,8 @@ Nic::Config nic_config(const ExperimentConfig& config) {
 
 Host::Host(EventLoop& loop, const ExperimentConfig& config, Link& link,
            Link::Side side, std::string name, int host_id)
-    : name_(std::move(name)),
+    : loop_(&loop),
+      name_(std::move(name)),
       host_id_(host_id >= 0 ? host_id : (side == Link::Side::a ? 0 : 1)),
       cost_(config.cost),
       topo_(config.topo) {

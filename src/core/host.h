@@ -30,6 +30,10 @@ class Host {
 
   const std::string& name() const { return name_; }
   int host_id() const { return host_id_; }
+  /// The event loop this host schedules on — its shard's loop in a
+  /// sharded cluster.  Host-side code must use this (or Cluster's
+  /// host_loop()) rather than assuming one ambient cluster-wide loop.
+  EventLoop& loop() { return *loop_; }
   Core& core(int id) { return *cores_.at(static_cast<std::size_t>(id)); }
   int num_cores() const { return static_cast<int>(cores_.size()); }
   LlcModel& llc(int node) { return *llcs_.at(static_cast<std::size_t>(node)); }
@@ -39,6 +43,7 @@ class Host {
   const NumaTopology& topo() const { return topo_; }
 
  private:
+  EventLoop* loop_ = nullptr;
   std::string name_;
   int host_id_ = 0;
   CostModel cost_;

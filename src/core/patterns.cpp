@@ -59,7 +59,7 @@ void add_rpc_client(Cluster& cluster, Workload& workload,
   };
   workload.resilient_clients.push_back(std::make_unique<ResilientRpcClient>(
       client_core, at_sender, traffic.rpc_size, traffic.resilience,
-      cluster.loop().rng().fork(), std::move(reconnect)));
+      cluster.fork_rng(), std::move(reconnect)));
 }
 
 /// Expands the paper's patterns across a >2-host cluster: hosts 0..H-2

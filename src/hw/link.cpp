@@ -8,7 +8,10 @@
 namespace hostsim {
 
 Link::Link(EventLoop& loop, const Config& config)
-    : loop_(&loop), config_(config), rng_(loop.rng().fork()) {
+    : Link(loop, config, loop.rng().fork()) {}
+
+Link::Link(EventLoop& loop, const Config& config, Rng rng)
+    : loop_(&loop), config_(config), rng_(rng) {
   require(config.gbps > 0, "link rate must be positive");
   require(config.loss_rate >= 0 && config.loss_rate <= 1,
           "loss rate must be a probability");
@@ -59,6 +62,11 @@ void Link::transmit(Side from, Frame frame) {
 
   ++delivered_;
   bytes_delivered_ += frame.payload;
+  if (forwards_[to]) {
+    forwards_[to](tx_end + config_.propagation, loop_->now(),
+                  std::move(frame));
+    return;
+  }
   const SlotPool<Frame>::Slot slot = in_flight_.acquire(frame);
   loop_->schedule_at(tx_end + config_.propagation, [this, to, slot] {
     Frame delivered = in_flight_[slot];

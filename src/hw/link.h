@@ -82,9 +82,26 @@ class Link {
 
   Link(EventLoop& loop, const Config& config);
 
+  /// Sharded-cluster form: the loss stream is provided explicitly
+  /// (pulled from the root RNG in serial construction order) instead of
+  /// forked from `loop`, so shard-local loops replay the serial run's
+  /// stream assignments exactly.
+  Link(EventLoop& loop, const Config& config, Rng rng);
+
   /// Registers the frame sink for one side (its NIC's receive path, or
   /// a switch port's ingress).
   void attach(Side side, std::function<void(Frame)> deliver);
+
+  /// Sharded-cluster hook: when set for `side`, every frame toward it
+  /// is handed to `forward(at, sent, frame)` instead of being scheduled
+  /// locally — `at` is the computed delivery time (tx_end + propagation)
+  /// and `sent` the transmit timestamp, which seeds the deterministic
+  /// cross-shard ordering key (EventLoop::schedule_delivery).  The
+  /// forwarder routes by Frame::dst_host to the owning shard's loop.
+  using RemoteForward = std::function<void(Nanos at, Nanos sent, Frame)>;
+  void set_remote_forward(Side side, RemoteForward forward) {
+    forwards_[static_cast<std::size_t>(side)] = std::move(forward);
+  }
 
   /// Attaches the run's fault injector (bursty loss, flaps, corruption).
   /// The baseline Bernoulli `loss_rate` stays active independently.
@@ -111,6 +128,7 @@ class Link {
   Config config_;
   int id_ = 0;
   std::array<std::function<void(Frame)>, 2> sinks_{};
+  std::array<RemoteForward, 2> forwards_{};
   std::array<Nanos, 2> busy_until_{};
   // Frames propagating toward a sink are parked here so the delivery
   // event captures only a 4-byte slot handle — a Frame (~72 bytes)

@@ -15,6 +15,7 @@ Switch::Switch(EventLoop& loop, const Config& config)
   require(config.ecn_threshold_bytes >= 0,
           "switch ECN threshold must be non-negative");
   ports_.resize(static_cast<std::size_t>(config.num_ports));
+  for (Port& port : ports_) port.loop = loop_;
   route_.assign(static_cast<std::size_t>(config.num_ports), -1);
 }
 
@@ -32,13 +33,100 @@ void Switch::set_route(int host, int port) {
   route_[static_cast<std::size_t>(host)] = port;
 }
 
+void Switch::set_fault_injector(FaultInjector* faults) {
+  for (Port& port : ports_) port.faults = faults;
+}
+
+void Switch::shard_port(int port, EventLoop& loop, FaultInjector* faults) {
+  require(port >= 0 && port < num_ports(), "switch port out of range");
+  Port& p = ports_[static_cast<std::size_t>(port)];
+  p.loop = &loop;
+  p.faults = faults;
+  sharded_ = true;
+}
+
 void Switch::enable_trace(std::size_t capacity) {
+  trace_capacity_ = capacity;
   tracer_ = Tracer(capacity, kFabricTraceHost);
+  for (Port& port : ports_) port.trace.capacity = capacity;
+}
+
+void Switch::PortRing::record(RankedRecord entry) {
+  if (capacity == 0) return;
+  if (ring.size() < capacity) {
+    ring.push_back(entry);
+    return;
+  }
+  ring[next] = entry;
+  next = (next + 1) % capacity;
+}
+
+void Switch::PortRing::append_to(std::vector<RankedRecord>& out) const {
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    out.push_back(ring[(next + i) % ring.size()]);
+  }
+}
+
+std::vector<TraceRecord> Switch::trace_snapshot() const {
+  if (!sharded_) return tracer_.snapshot();
+  std::vector<RankedRecord> merged;
+  for (const Port& port : ports_) port.trace.append_to(merged);
+  std::sort(merged.begin(), merged.end(),
+            [](const RankedRecord& a, const RankedRecord& b) {
+              if (a.record.at != b.record.at) return a.record.at < b.record.at;
+              if (a.rank.sent != b.rank.sent) return a.rank.sent < b.rank.sent;
+              if (a.rank.sub != b.rank.sub) return a.rank.sub < b.rank.sub;
+              return a.idx < b.idx;
+            });
+  // Per-port rings each keep their newest `capacity` records, a
+  // superset of the serial global ring's newest `capacity` — trimming
+  // the merged sequence to the newest `capacity` therefore reproduces
+  // the serial keep-newest contents exactly.
+  if (merged.size() > trace_capacity_) {
+    merged.erase(merged.begin(),
+                 merged.end() - static_cast<std::ptrdiff_t>(trace_capacity_));
+  }
+  std::vector<TraceRecord> records;
+  records.reserve(merged.size());
+  for (const RankedRecord& entry : merged) records.push_back(entry.record);
+  return records;
 }
 
 const Switch::PortStats& Switch::port_stats(int port) const {
   require(port >= 0 && port < num_ports(), "switch port out of range");
   return ports_[static_cast<std::size_t>(port)].stats;
+}
+
+std::uint64_t Switch::forwarded() const {
+  std::uint64_t total = 0;
+  for (const Port& port : ports_) total += port.stats.forwarded;
+  return total;
+}
+
+std::uint64_t Switch::dropped() const {
+  std::uint64_t total = 0;
+  for (const Port& port : ports_) total += port.stats.drops;
+  return total;
+}
+
+std::uint64_t Switch::ecn_marked() const {
+  std::uint64_t total = 0;
+  for (const Port& port : ports_) total += port.stats.ecn_marks;
+  return total;
+}
+
+std::uint64_t Switch::flap_drops() const {
+  std::uint64_t total = 0;
+  for (const Port& port : ports_) total += port.stats.flap_drops;
+  return total;
+}
+
+Bytes Switch::peak_queue_bytes() const {
+  Bytes peak = 0;
+  for (const Port& port : ports_) {
+    peak = std::max(peak, port.stats.peak_queue_bytes);
+  }
+  return peak;
 }
 
 Bytes Switch::queued_bytes() const {
@@ -47,7 +135,32 @@ Bytes Switch::queued_bytes() const {
   return total;
 }
 
+void Switch::record_trace(Port& egress_port, const Rank* rank, int* idx,
+                          Nanos at, TraceKind kind, int flow, std::int64_t a,
+                          std::int64_t b) {
+  if (rank == nullptr) {
+    tracer_.record(at, kind, flow, a, b);
+    return;
+  }
+  if (egress_port.trace.capacity == 0) return;
+  RankedRecord entry;
+  entry.record = TraceRecord{at, kind, kFabricTraceHost, flow, a, b};
+  entry.rank = *rank;
+  entry.idx = (*idx)++;
+  egress_port.trace.record(entry);
+}
+
 void Switch::ingress(int port, Frame frame) {
+  route_and_queue(port, std::move(frame), nullptr);
+}
+
+void Switch::ingress_ranked(int port, Frame frame, Nanos sent,
+                            std::uint64_t sub) {
+  const Rank rank{sent, sub};
+  route_and_queue(port, std::move(frame), &rank);
+}
+
+void Switch::route_and_queue(int port, Frame frame, const Rank* rank) {
   require(port >= 0 && port < num_ports(), "switch port out of range");
   const int dst = frame.dst_host;
   require(dst >= 0 && dst < static_cast<int>(route_.size()),
@@ -56,21 +169,23 @@ void Switch::ingress(int port, Frame frame) {
   require(out >= 0, "no route installed for destination host");
   Port& egress_port = ports_[static_cast<std::size_t>(out)];
   require(static_cast<bool>(egress_port.sink), "egress port not attached");
+  EventLoop* loop = egress_port.loop;
+  int trace_idx = 0;
 
   // Egress-side flap: the downlink cable (port `out` / host `dst`'s
   // uplink) is down, so the frame is lost leaving the switch.  The
   // ingress-side window was already applied by the uplink Link itself.
-  if (faults_ != nullptr && !faults_->link_up(out)) {
+  if (egress_port.faults != nullptr && !egress_port.faults->link_up(out)) {
     ++egress_port.stats.flap_drops;
-    ++flap_drops_;
-    faults_->note_flap_drop();
+    egress_port.faults->note_flap_drop();
     return;
   }
 
   // Blackholed egress: the frame is silently swallowed — no link-down
   // signal, no counter visible to the endpoints.  Only retries mask it.
-  if (faults_ != nullptr && faults_->port_blackholed(out)) {
-    faults_->note_blackhole_drop();
+  if (egress_port.faults != nullptr &&
+      egress_port.faults->port_blackholed(out)) {
+    egress_port.faults->note_blackhole_drop();
     return;
   }
 
@@ -80,7 +195,6 @@ void Switch::ingress(int port, Frame frame) {
     // and propagation, so a 2-host pass-through cluster reproduces the
     // back-to-back wire timing exactly.
     ++egress_port.stats.forwarded;
-    ++forwarded_;
     egress_port.sink(frame);
     return;
   }
@@ -88,9 +202,9 @@ void Switch::ingress(int port, Frame frame) {
   const Bytes wire_bytes = frame.wire_bytes();
   if (egress_port.stats.queued_bytes + wire_bytes > config_.buffer_bytes) {
     ++egress_port.stats.drops;
-    ++dropped_;
-    tracer_.record(loop_->now(), TraceKind::fabric_drop, frame.flow, out,
-                   egress_port.stats.queued_bytes);
+    record_trace(egress_port, rank, &trace_idx, loop->now(),
+                 TraceKind::fabric_drop, frame.flow, out,
+                 egress_port.stats.queued_bytes);
     return;
   }
 
@@ -98,37 +212,39 @@ void Switch::ingress(int port, Frame frame) {
       egress_port.stats.queued_bytes >= config_.ecn_threshold_bytes) {
     frame.ecn = true;
     ++egress_port.stats.ecn_marks;
-    ++ecn_marked_;
-    tracer_.record(loop_->now(), TraceKind::ecn_mark, frame.flow, out,
-                   egress_port.stats.queued_bytes);
+    record_trace(egress_port, rank, &trace_idx, loop->now(),
+                 TraceKind::ecn_mark, frame.flow, out,
+                 egress_port.stats.queued_bytes);
   }
 
   egress_port.stats.queued_bytes += wire_bytes;
   egress_port.stats.peak_queue_bytes =
       std::max(egress_port.stats.peak_queue_bytes,
                egress_port.stats.queued_bytes);
-  peak_queue_bytes_ = std::max(peak_queue_bytes_,
-                               egress_port.stats.queued_bytes);
   ++egress_port.stats.forwarded;
-  ++forwarded_;
-  tracer_.record(loop_->now(), TraceKind::fabric_enqueue, frame.flow, out,
-                 egress_port.stats.queued_bytes);
+  record_trace(egress_port, rank, &trace_idx, loop->now(),
+               TraceKind::fabric_enqueue, frame.flow, out,
+               egress_port.stats.queued_bytes);
 
   // Output-queued store-and-forward: serialize behind whatever is
   // already queued on the egress port, then propagate down the link.
-  const Nanos start = std::max(loop_->now(), egress_port.busy_until);
+  // Everything below runs on the egress port's own loop, which in a
+  // sharded cluster is the destination host's shard.
+  const Nanos start = std::max(loop->now(), egress_port.busy_until);
   const Nanos tx_end = start + serialization_delay(wire_bytes, config_.port_gbps);
   egress_port.busy_until = tx_end;
   // The frame occupies the FIFO until its serialization completes at
   // tx_end; the downlink propagation happens outside the buffer.
-  const SlotPool<Frame>::Slot slot = in_flight_.acquire(frame);
-  loop_->schedule_at(tx_end, [this, out, slot] {
+  const SlotPool<Frame>::Slot slot = egress_port.in_flight.acquire(frame);
+  loop->schedule_at(tx_end, [this, out, slot] {
     Port& p = ports_[static_cast<std::size_t>(out)];
-    p.stats.queued_bytes -= in_flight_[slot].wire_bytes();
-    loop_->schedule_at(loop_->now() + config_.propagation, [this, out, slot] {
-      Frame delivered = in_flight_[slot];
-      in_flight_.release(slot);
-      ports_[static_cast<std::size_t>(out)].sink(delivered);
+    p.stats.queued_bytes -= p.in_flight[slot].wire_bytes();
+    p.loop->schedule_at(p.loop->now() + config_.propagation,
+                        [this, out, slot] {
+      Port& q = ports_[static_cast<std::size_t>(out)];
+      Frame delivered = q.in_flight[slot];
+      q.in_flight.release(slot);
+      q.sink(delivered);
     });
   });
 }

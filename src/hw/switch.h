@@ -22,6 +22,16 @@
 // marks are pure threshold comparisons.  Per-port flap faults are
 // consulted through the FaultInjector using the port index as the link
 // id (port i and host i's uplink are one "cable").
+//
+// Sharding: all mutable per-frame state (busy_until, FIFO occupancy,
+// stats, in-flight slots, trace ring) already lives per egress port, so
+// a sharded cluster partitions the switch by port — shard_port() rebinds
+// each port to the loop and fault injector of the shard owning its
+// destination host, and ingress executes there (frames reach it through
+// the cross-shard delivery band carrying a (sent, sub) ordering key —
+// see sim/sharded_executor.h).  Aggregate counters are derived from the
+// per-port stats, and the fabric trace is merged from per-port rings
+// sorted by the delivery key, reproducing the serial recording order.
 #ifndef HOSTSIM_HW_SWITCH_H
 #define HOSTSIM_HW_SWITCH_H
 
@@ -73,49 +83,91 @@ class Switch {
   void set_route(int host, int port);
 
   /// Per-port flap faults; pass-through/egress consults link_up(port).
-  void set_fault_injector(FaultInjector* faults) { faults_ = faults; }
+  /// Serial form: every port consults the same injector.
+  void set_fault_injector(FaultInjector* faults);
+
+  /// Sharded form: rebinds `port` to the owning shard's loop and fault
+  /// injector.  Ingress for frames bound to this port must then execute
+  /// on that shard (the cluster's delivery routing guarantees it), and
+  /// trace records go to the port's own ranked ring.
+  void shard_port(int port, EventLoop& loop, FaultInjector* faults);
 
   /// Fabric flight recorder (fabric_enqueue / fabric_drop / ecn_mark);
   /// capacity 0 disables, host field is kFabricTraceHost.
   void enable_trace(std::size_t capacity);
   const Tracer& tracer() const { return tracer_; }
 
+  /// Fabric trace in serial recording order: the single ring when
+  /// serial, the per-port rings merged on the (at, sent, sub, idx)
+  /// delivery key when sharded.
+  std::vector<TraceRecord> trace_snapshot() const;
+
   /// Ingress entry point: one frame arriving from `port`'s uplink.
   void ingress(int port, Frame frame);
 
-  // --- Stats --------------------------------------------------------------
+  /// Sharded ingress: executes on the egress port's shard; (sent, sub)
+  /// is the frame's cross-shard delivery key, which ranks its trace
+  /// records deterministically in the merged fabric trace.
+  void ingress_ranked(int port, Frame frame, Nanos sent, std::uint64_t sub);
+
+  // --- Stats (aggregates derived from the per-port counters) --------------
 
   const PortStats& port_stats(int port) const;
-  std::uint64_t forwarded() const { return forwarded_; }
-  std::uint64_t dropped() const { return dropped_; }
-  std::uint64_t ecn_marked() const { return ecn_marked_; }
-  std::uint64_t flap_drops() const { return flap_drops_; }
-  Bytes peak_queue_bytes() const { return peak_queue_bytes_; }
+  std::uint64_t forwarded() const;
+  std::uint64_t dropped() const;
+  std::uint64_t ecn_marked() const;
+  std::uint64_t flap_drops() const;
+  Bytes peak_queue_bytes() const;
   /// Instantaneous occupancy across all ports.
   Bytes queued_bytes() const;
 
  private:
+  /// Frame delivery key; orders trace records from concurrent shards.
+  struct Rank {
+    Nanos sent = 0;
+    std::uint64_t sub = 0;
+  };
+
+  /// One fabric trace record plus its merge key.
+  struct RankedRecord {
+    TraceRecord record;
+    Rank rank;
+    std::int32_t idx = 0;  ///< record index within one ingress call
+  };
+
+  /// Keep-newest ring of ranked records (per port, sharded mode only).
+  struct PortRing {
+    std::size_t capacity = 0;
+    std::vector<RankedRecord> ring;
+    std::size_t next = 0;
+
+    void record(RankedRecord entry);
+    void append_to(std::vector<RankedRecord>& out) const;
+  };
+
   struct Port {
     std::function<void(Frame)> sink;
     Nanos busy_until = 0;
     PortStats stats;
+    EventLoop* loop = nullptr;       ///< owning shard's loop (serial: global)
+    FaultInjector* faults = nullptr;
+    // Frames serializing/propagating toward this port's host; per-port
+    // so concurrent shards never share a slab.
+    SlotPool<Frame> in_flight;
+    PortRing trace;
   };
 
-  void egress(int port, Frame frame);
+  void route_and_queue(int port, Frame frame, const Rank* rank);
+  void record_trace(Port& egress_port, const Rank* rank, int* idx, Nanos at,
+                    TraceKind kind, int flow, std::int64_t a, std::int64_t b);
 
   EventLoop* loop_;
   Config config_;
+  bool sharded_ = false;
+  std::size_t trace_capacity_ = 0;
   std::vector<Port> ports_;
   std::vector<int> route_;  ///< host index -> egress port
-  SlotPool<Frame> in_flight_;
-  FaultInjector* faults_ = nullptr;
   Tracer tracer_;
-
-  std::uint64_t forwarded_ = 0;
-  std::uint64_t dropped_ = 0;
-  std::uint64_t ecn_marked_ = 0;
-  std::uint64_t flap_drops_ = 0;
-  Bytes peak_queue_bytes_ = 0;
 };
 
 /// TraceRecord::host value used by fabric-side events.

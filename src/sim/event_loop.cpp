@@ -20,21 +20,36 @@ EventId EventLoop::schedule_at(Nanos at, Action action) {
     ++immediate_live_;
     return kImmediateBit | imm_next_seq_++;
   }
+  return push_heap(at, static_cast<std::uint64_t>(now_), next_seq_++,
+                   std::move(action));
+}
+
+EventId EventLoop::schedule_after(Nanos delay, Action action) {
+  require(delay >= 0, "event delay must be nonnegative");
+  return schedule_at(now_ + delay, std::move(action));
+}
+
+EventId EventLoop::schedule_delivery(Nanos at, Nanos sent, std::uint64_t sub,
+                                     Action action) {
+  require(at > now_, "deliveries must land strictly in the future");
+  require(static_cast<bool>(action), "event action must be callable");
+  require((sub & kDeliveryBit) == 0, "delivery subkey overflows tag bit");
+  return push_heap(at, static_cast<std::uint64_t>(sent), kDeliveryBit | sub,
+                   std::move(action));
+}
+
+EventId EventLoop::push_heap(Nanos at, std::uint64_t key_hi,
+                             std::uint64_t key_lo, Action action) {
   const Slot slot = actions_.acquire(std::move(action));
   if (slot >= gen_.size()) {
     gen_.resize(slot + 1, 0);
     heap_pos_.resize(slot + 1, 0);
   }
   const auto pos = static_cast<std::uint32_t>(heap_.size());
-  heap_.push_back(HeapEntry{at, next_seq_++, slot});
+  heap_.push_back(HeapEntry{at, key_hi, key_lo, slot});
   heap_pos_[slot] = pos;
   sift_up(pos);
   return make_id(slot);
-}
-
-EventId EventLoop::schedule_after(Nanos delay, Action action) {
-  require(delay >= 0, "event delay must be nonnegative");
-  return schedule_at(now_ + delay, std::move(action));
 }
 
 void EventLoop::cancel(EventId id) {

@@ -5,7 +5,7 @@
 // given (configuration, seed) pair.
 //
 // Internals (see DESIGN.md, "Engine internals & performance"): the queue
-// is an indexed 4-ary heap of 24-byte POD entries.  Actions live in a
+// is an indexed 4-ary heap of 32-byte POD entries.  Actions live in a
 // slot pool off to the side, so sift operations never move a callable;
 // each slot keeps a back-pointer into the heap, which makes cancel() a
 // true O(log n) removal and pending() an exact live count.  Events
@@ -55,6 +55,15 @@ class EventLoop {
   /// Schedules `action` after a relative delay (>= 0). Returns its id.
   EventId schedule_after(Nanos delay, Action action);
 
+  /// Schedules a cross-shard delivery at strictly-future time `at`.
+  /// Ordering among concurrent events is keyed by (`sent`, `sub`) — the
+  /// sending shard's timestamp plus a stable per-channel subkey — rather
+  /// than by local insertion order, which depends on thread interleaving.
+  /// At equal (at, sent) a delivery ranks after every locally scheduled
+  /// event, giving one canonical order regardless of shard count.
+  EventId schedule_delivery(Nanos at, Nanos sent, std::uint64_t sub,
+                            Action action);
+
   /// Runs a single event; returns false when the queue is empty.
   bool step();
 
@@ -68,6 +77,14 @@ class EventLoop {
   /// Exact number of live queued events.  Cancelled events are removed
   /// eagerly and never counted.
   std::size_t pending() const { return heap_.size() + immediate_live_; }
+
+  /// Timestamp of the earliest pending event, or kNoEvent when idle.
+  /// Used by the sharded executor's conservative horizon computation.
+  static constexpr Nanos kNoEvent = ~(Nanos{1} << 63);  // max int64
+  Nanos next_event_at() const {
+    if (immediate_live_ > 0) return now_;
+    return heap_.empty() ? kNoEvent : heap_[0].at;
+  }
 
   /// Total number of events executed so far.
   std::uint64_t executed() const { return executed_; }
@@ -101,19 +118,32 @@ class EventLoop {
 
   /// One heap element.  Deliberately small and trivially copyable —
   /// sift operations shuffle these, never the actions themselves.
+  /// Ties within `at` break on a composite (key_hi, key_lo) key.  For
+  /// locally scheduled events key_hi is the scheduling time and key_lo
+  /// the insertion sequence; since the sequence is monotone with the
+  /// clock, (at, sched_time, seq) orders exactly like the historical
+  /// (at, seq) — serial runs are bit-identical to the old engine.  For
+  /// cross-shard deliveries key_hi is the *sender's* timestamp and
+  /// key_lo a tagged per-channel subkey, making the tie-break a pure
+  /// function of simulated history instead of thread interleaving.
   struct HeapEntry {
     Nanos at;
-    std::uint64_t seq;  // insertion order; total tie-break within `at`
+    std::uint64_t key_hi;
+    std::uint64_t key_lo;
     Slot slot;
   };
 
   static constexpr std::uint32_t kArity = 4;
   /// Tag bit distinguishing immediate-event ids from heap-event ids.
   static constexpr EventId kImmediateBit = EventId{1} << 63;
+  /// key_lo tag marking cross-shard deliveries (ranks after local
+  /// events with the same (at, key_hi)).
+  static constexpr std::uint64_t kDeliveryBit = std::uint64_t{1} << 63;
 
   static bool before(const HeapEntry& a, const HeapEntry& b) {
     if (a.at != b.at) return a.at < b.at;
-    return a.seq < b.seq;
+    if (a.key_hi != b.key_hi) return a.key_hi < b.key_hi;
+    return a.key_lo < b.key_lo;
   }
 
   EventId make_id(Slot slot) const {
@@ -124,6 +154,9 @@ class EventLoop {
            (static_cast<EventId>(slot) + 1);
   }
 
+  /// Inserts a heap entry with an explicit tie-break key.
+  EventId push_heap(Nanos at, std::uint64_t key_hi, std::uint64_t key_lo,
+                    Action action);
   /// Executes the heap event in `slot` at simulated time `at`.
   void fire(Slot slot, Nanos at);
   void cancel_immediate(std::uint64_t seq);

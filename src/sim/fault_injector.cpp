@@ -26,7 +26,15 @@ GilbertElliottConfig GilbertElliottConfig::for_average_loss(
 }
 
 FaultInjector::FaultInjector(EventLoop& loop, FaultPlan plan)
-    : loop_(&loop), plan_(std::move(plan)), rng_(loop.rng().fork()) {
+    : FaultInjector(loop, std::move(plan), loop.rng().fork(),
+                    /*count_global_windows=*/true) {}
+
+FaultInjector::FaultInjector(EventLoop& loop, FaultPlan plan, Rng rng,
+                             bool count_global_windows)
+    : loop_(&loop),
+      plan_(std::move(plan)),
+      rng_(rng),
+      count_global_windows_(count_global_windows) {
   const GilbertElliottConfig& ge = plan_.gilbert_elliott;
   require(ge.p_enter_bad >= 0 && ge.p_enter_bad <= 1 && ge.p_exit_bad >= 0 &&
               ge.p_exit_bad <= 1,
@@ -43,7 +51,12 @@ FaultInjector::FaultInjector(EventLoop& loop, FaultPlan plan)
     const int link = flap.link;
     loop_->schedule_at(flap.at, [this, link] {
       if (link < 0) {
-        if (link_down_depth_++ == 0) ++counters_.flaps;
+        // A global flap is replicated into every shard's injector; only
+        // one of them owns the entry count, so the merged total matches
+        // the serial run's.
+        if (link_down_depth_++ == 0 && count_global_windows_) {
+          ++counters_.flaps;
+        }
       } else {
         if (std::find(down_links_.begin(), down_links_.end(), link) ==
             down_links_.end()) {

@@ -148,6 +148,15 @@ class FaultInjector {
   /// RNG stream for the probabilistic ones.
   FaultInjector(EventLoop& loop, FaultPlan plan);
 
+  /// Sharded-cluster form: one injector per shard, scheduling a plan
+  /// pre-filtered to the shard's hosts/links on the shard's own loop,
+  /// drawing from an explicitly provided (seed-deterministic) stream.
+  /// Global windows (LinkFlap::link < 0, host-less ring stalls) are
+  /// replicated into every shard's plan; `count_global_windows` is true
+  /// on exactly one shard so the merged `flaps` counter matches serial.
+  FaultInjector(EventLoop& loop, FaultPlan plan, Rng rng,
+                bool count_global_windows);
+
   FaultInjector(const FaultInjector&) = delete;
   FaultInjector& operator=(const FaultInjector&) = delete;
 
@@ -227,6 +236,7 @@ class FaultInjector {
   EventLoop* loop_;
   FaultPlan plan_;
   Rng rng_;
+  bool count_global_windows_ = true;
   FaultCounters counters_;
 
   std::array<GeState, 2> ge_;   // one chain per link direction

@@ -46,11 +46,19 @@ Watchdog::Watchdog(EventLoop& loop, WatchdogConfig config)
           "watchdog needs at least one stalled period");
 }
 
+Watchdog::Watchdog(WatchdogConfig config) : loop_(nullptr), config_(config) {
+  require(config.period >= 0, "watchdog period must be nonnegative");
+  require(config.max_stalled_periods > 0,
+          "watchdog needs at least one stalled period");
+}
+
 Watchdog::~Watchdog() {
   // Detach the event-storm hook; pending tick events are harmless only
   // while this object lives, so the owner must outlive the loop's run —
   // detaching here keeps the hook from dangling either way.
-  if (armed_ && config_.event_storm_budget > 0) loop_->set_watchdog(0, {});
+  if (loop_ != nullptr && armed_ && config_.event_storm_budget > 0) {
+    loop_->set_watchdog(0, {});
+  }
 }
 
 void Watchdog::arm(Nanos until) {
@@ -59,6 +67,7 @@ void Watchdog::arm(Nanos until) {
   armed_ = true;
   until_ = until;
   last_progress_ = progress_probe_ ? progress_probe_() : 0;
+  if (loop_ == nullptr) return;  // manual form: the owner polls
   if (config_.event_storm_budget > 0) {
     // Sample twice per budget so a frozen clock is flagged within at
     // most one budget of extra events.
@@ -71,6 +80,17 @@ void Watchdog::arm(Nanos until) {
 
 void Watchdog::tick() {
   if (trips_ > 0 || loop_->now() >= until_) return;
+  check_progress();
+  if (trips_ > 0) return;
+  loop_->schedule_after(config_.period, [this] { tick(); });
+}
+
+void Watchdog::poll(Nanos now) {
+  if (!armed_ || trips_ > 0 || now >= until_) return;
+  check_progress();
+}
+
+void Watchdog::check_progress() {
   const std::uint64_t progress = progress_probe_ ? progress_probe_() : 0;
   const bool active = activity_probe_ ? activity_probe_() : true;
   if (active && progress == last_progress_) {
@@ -86,7 +106,6 @@ void Watchdog::tick() {
     stalled_periods_ = 0;
   }
   last_progress_ = progress;
-  loop_->schedule_after(config_.period, [this] { tick(); });
 }
 
 void Watchdog::on_events_executed() {

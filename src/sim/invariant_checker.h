@@ -84,6 +84,13 @@ class Watchdog {
   /// transactions completed); `active` reports whether zero progress is
   /// legitimate (idle) or a stall (work outstanding).
   Watchdog(EventLoop& loop, WatchdogConfig config);
+
+  /// Manual-polling form for sharded runs: there is no single loop to
+  /// schedule ticks on, so the orchestrator drives the progress check
+  /// via poll() at its heartbeat (event-storm detection is per shard —
+  /// ShardedExecutor::set_storm_budget).
+  explicit Watchdog(WatchdogConfig config);
+
   ~Watchdog();
 
   Watchdog(const Watchdog&) = delete;
@@ -104,10 +111,15 @@ class Watchdog {
   /// Starts periodic checks, ending at `until` (simulated time).
   void arm(Nanos until);
 
+  /// One progress check at simulated time `now` (manual-polling form);
+  /// the caller invokes this once per config period.
+  void poll(Nanos now);
+
   std::uint64_t trips() const { return trips_; }
 
  private:
   void tick();
+  void check_progress();
   void trip(const std::string& diagnostic);
   void on_events_executed();
 

@@ -59,6 +59,7 @@ CampaignResult run_campaign(const Campaign& campaign,
     // Each call builds a private EventLoop/RNG/testbed from the resolved
     // config, so concurrent points share no mutable state.
     ExperimentConfig config = slot.point.config;
+    if (options.shards > 0) config.shards = options.shards;
     if (options.obs.enabled()) {
       config.obs = options.obs;
       // Artifact names keyed by config hash: stable across schedules,

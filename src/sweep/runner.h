@@ -23,6 +23,11 @@ namespace hostsim::sweep {
 struct RunnerOptions {
   /// Worker threads; <= 0 selects std::thread::hardware_concurrency().
   int jobs = 0;
+  /// Execution shards per simulated point (ExperimentConfig::shards);
+  /// <= 0 keeps each point's own setting.  Like `jobs` and `obs`, this
+  /// is an execution strategy: shards never enters config_hash, so the
+  /// cache keys — and the artifacts — are identical at any value.
+  int shards = 0;
   bool use_cache = true;
   std::string cache_dir = ".hostsim-cache";
   /// Progress callback, invoked under a lock as each point completes

@@ -26,9 +26,9 @@ OpenLoopEngine::OpenLoopEngine(Cluster& cluster, const TrafficConfig& traffic,
       wl_(traffic.workload),
       rx_core_(rx_core),
       // Exactly three forks, fixed order — see the header comment.
-      arrivals_(wl_, cluster.loop().rng().fork()),
-      sizes_(wl_, traffic.rpc_size, cluster.loop().rng().fork()),
-      churn_rng_(cluster.loop().rng().fork()) {
+      arrivals_(wl_, cluster.fork_rng()),
+      sizes_(wl_, traffic.rpc_size, cluster.fork_rng()),
+      churn_rng_(cluster.fork_rng()) {
   require(wl_.enabled, "open-loop pattern requires traffic.workload.enabled");
   require(cluster.num_hosts() >= 2, "open-loop needs a client and a backend");
   require(traffic.flows >= 1, "open-loop needs at least one connection slot");
@@ -74,7 +74,7 @@ void OpenLoopEngine::open_slot(std::size_t i) {
   slot.up = false;
   slot.failed = false;
   slot.serves = 0;
-  slot.opened_at = cluster_->loop().now();
+  slot.opened_at = cluster_->shard_loop(0).now();
   const std::uint64_t generation = ++slot.generation;
   const int flow = cluster_->open_flow(
       {0, slot.core}, {slot.backend, rx_core_}, wl_.syn_retry,
@@ -103,7 +103,7 @@ void OpenLoopEngine::on_established(std::size_t i, std::uint64_t generation,
   if (slot.generation != generation) return;  // the slot moved on
   if (established) {
     slot.up = true;
-    connect_latency_.record(cluster_->loop().now() - slot.opened_at);
+    connect_latency_.record(cluster_->shard_loop(0).now() - slot.opened_at);
     slot.thread->notify();
     return;
   }
@@ -149,13 +149,13 @@ void OpenLoopEngine::on_accept(TransportSocket& sock) {
 }
 
 void OpenLoopEngine::schedule_next_arrival() {
-  cluster_->loop().schedule_at(arrivals_.next(), [this] { on_arrival(); });
+  cluster_->shard_loop(0).schedule_at(arrivals_.next(), [this] { on_arrival(); });
 }
 
 void OpenLoopEngine::on_arrival() {
   // Loop context, no CPU cost: the arrival comes from an external load
   // generator, not from the hosts under test.
-  const Nanos now = cluster_->loop().now();
+  const Nanos now = cluster_->shard_loop(0).now();
   const std::uint64_t id = records_.size();
   RequestRecord record;
   record.id = id;

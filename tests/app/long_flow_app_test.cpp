@@ -31,14 +31,14 @@ struct LongFlowFixture : ::testing::Test {
 
 TEST_F(LongFlowFixture, StreamsContinuously) {
   sender->start();
-  testbed->loop().run_until(10 * kMillisecond);
+  testbed->run_until(10 * kMillisecond);
   // ~42Gbps for 10ms is ~52MB; expect at least half that.
   EXPECT_GT(receiver->received(), 25 * kMiB);
 }
 
 TEST_F(LongFlowFixture, SenderBlocksOnFullBufferAndResumes) {
   sender->start();
-  testbed->loop().run_until(20 * kMillisecond);
+  testbed->run_until(20 * kMillisecond);
   // The sender must have blocked (buffer full) and been woken at least
   // once: wakeups > 1 proves the block/resume cycle works.
   EXPECT_GE(sender->thread().wakeups(), 1u);
@@ -47,7 +47,7 @@ TEST_F(LongFlowFixture, SenderBlocksOnFullBufferAndResumes) {
 
 TEST_F(LongFlowFixture, ReceiverKeepsQueueBounded) {
   sender->start();
-  testbed->loop().run_until(20 * kMillisecond);
+  testbed->run_until(20 * kMillisecond);
   // The application drains; the queue is bounded by the rcv buffer.
   EXPECT_LE(rx_socket->readable(),
             testbed->receiver().stack().options().rcv_buf_max);
@@ -55,7 +55,7 @@ TEST_F(LongFlowFixture, ReceiverKeepsQueueBounded) {
 
 TEST_F(LongFlowFixture, DeliveredMatchesAcceptedMinusInFlight) {
   sender->start();
-  testbed->loop().run_until(15 * kMillisecond);
+  testbed->run_until(15 * kMillisecond);
   const Bytes accepted = tx_socket->accepted_from_app();
   const Bytes delivered = rx_socket->delivered_to_app();
   EXPECT_LE(delivered, accepted);

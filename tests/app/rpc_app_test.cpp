@@ -26,7 +26,7 @@ struct RpcFixture : ::testing::Test {
 
   void start_and_run(Nanos duration) {
     for (auto& client : clients) client->start();
-    testbed->loop().run_until(duration);
+    testbed->run_until(duration);
   }
 
   std::unique_ptr<Testbed> testbed;

@@ -162,7 +162,7 @@ TEST(ClusterTest, SingleLinkFlapPerturbsOnlyThatLinksFlows) {
   Cluster cluster(config);
   Workload workload = build_workload(cluster, config.traffic);
   workload.start();
-  cluster.loop().run_until(20 * kMillisecond);
+  cluster.run_until(20 * kMillisecond);
 
   ASSERT_NE(cluster.faults(), nullptr);
   EXPECT_EQ(cluster.faults()->counters().flaps, 1u);

@@ -236,7 +236,7 @@ TEST(ResilienceTest, DriverModeServesQueuedSubmissionsSerially) {
   client.submit();
   client.submit();
   EXPECT_EQ(client.queued(), 3u);
-  testbed.loop().run_until(10 * kMillisecond);
+  testbed.run_until(10 * kMillisecond);
   // Exactly the three submissions completed — the closed loop did not
   // self-issue a fourth.
   EXPECT_EQ(client.completed(), 3u);

@@ -21,14 +21,14 @@ TEST(FaultRecoveryTest, ThroughputRecoversAfterLinkFlap) {
   workload.start();
 
   Stack& rx = testbed.receiver().stack();
-  testbed.loop().run_until(5 * kMillisecond);
+  testbed.run_until(5 * kMillisecond);
   const Bytes at_5ms = rx.total_delivered_to_app();
-  testbed.loop().run_until(15 * kMillisecond);
+  testbed.run_until(15 * kMillisecond);
   const Bytes at_flap = rx.total_delivered_to_app();
   // Grace period for slow start to re-open the window, then measure.
-  testbed.loop().run_until(30 * kMillisecond);
+  testbed.run_until(30 * kMillisecond);
   const Bytes at_30ms = rx.total_delivered_to_app();
-  testbed.loop().run_until(45 * kMillisecond);
+  testbed.run_until(45 * kMillisecond);
   const Bytes at_end = rx.total_delivered_to_app();
 
   const double pre = static_cast<double>(at_flap - at_5ms);
@@ -103,7 +103,7 @@ TEST(FaultRecoveryTest, LeakedSkbFailsThePageLeakInvariant) {
 
   // Drop one delivered skb on the floor without releasing its pages.
   testbed.receiver().stack().leak_next_skb();
-  testbed.loop().run_until(10 * kMillisecond);
+  testbed.run_until(10 * kMillisecond);
 
   InvariantChecker checker;
   testbed.register_invariants(checker);
@@ -121,7 +121,7 @@ TEST(FaultRecoveryTest, CleanRunPassesAllInvariants) {
   Testbed testbed(config);
   Workload workload = build_workload(testbed, config.traffic);
   workload.start();
-  testbed.loop().run_until(10 * kMillisecond);
+  testbed.run_until(10 * kMillisecond);
 
   InvariantChecker checker;
   testbed.register_invariants(checker);

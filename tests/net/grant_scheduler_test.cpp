@@ -31,7 +31,7 @@ TEST(GrantSchedulerTest, AllIncastFlowsMakeProgress) {
   Testbed testbed(config);
   Workload workload = build_workload(testbed, config.traffic);
   workload.start();
-  testbed.loop().run_until(30 * kMillisecond);
+  testbed.run_until(30 * kMillisecond);
   for (int flow = 0; flow < 8; ++flow) {
     EXPECT_GT(testbed.receiver().stack().socket(flow).delivered_to_app(),
               kMiB)
@@ -44,7 +44,7 @@ TEST(GrantSchedulerTest, CreditBoundsPerFlowInflight) {
   Testbed testbed(config);
   Workload workload = build_workload(testbed, config.traffic);
   workload.start();
-  testbed.loop().run_until(20 * kMillisecond);
+  testbed.run_until(20 * kMillisecond);
   // No socket may ever hold more un-received credit than one grant
   // quantum plus the unscheduled allowance.
   const GrantPolicy& policy = config.stack.grant_policy;
@@ -76,7 +76,7 @@ TEST(GrantSchedulerTest, GrantOnSenderDrivenSocketIsAContractError) {
     EXPECT_DEATH(static_cast<TcpSocket*>(endpoints.at_receiver)->grant_credit(c, 1000),
                  "sender-driven");
   });
-  testbed.loop().run_to_completion();
+  testbed.run_to_completion();
 }
 
 }  // namespace

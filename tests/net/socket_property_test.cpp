@@ -57,7 +57,7 @@ TEST_P(SocketProperty, ByteConservationUnderRandomDriving) {
       case 2:
         break;  // idle
     }
-    testbed.loop().run_until(testbed.loop().now() +
+    testbed.run_until(testbed.now() +
                              static_cast<Nanos>(rng.next_below(300'000)));
   }
   // Drain: no new sends; keep receiving until everything arrived (give
@@ -65,7 +65,7 @@ TEST_P(SocketProperty, ByteConservationUnderRandomDriving) {
   for (int i = 0; i < 300 && rx->delivered_to_app() < sent; ++i) {
     testbed.receiver().core(0).post(
         ctx, [rx](Core& c) { rx->recv(c, 10 * kMiB); });
-    testbed.loop().run_until(testbed.loop().now() + 5 * kMillisecond);
+    testbed.run_until(testbed.now() + 5 * kMillisecond);
   }
 
   // Invariants: exactly the accepted bytes arrive (reliability), in

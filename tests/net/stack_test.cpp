@@ -44,18 +44,18 @@ TEST_F(StackFixture, CreateSocketRejectsDuplicateFlow) {
 TEST_F(StackFixture, TotalDeliveredAggregatesSockets) {
   auto more = testbed->make_flow(1, 1);
   on_sender([this](Core& c) { tx->send(c, 64 * kKiB); });
-  testbed->loop().run_until(2 * kMillisecond);
+  testbed->run_until(2 * kMillisecond);
   Context ctx{"driver", false};
   testbed->receiver().core(0).post(
       ctx, [this](Core& c) { rx->recv(c, kMiB); });
-  testbed->loop().run_until(3 * kMillisecond);
+  testbed->run_until(3 * kMillisecond);
   EXPECT_EQ(testbed->receiver().stack().total_delivered_to_app(),
             rx->delivered_to_app() + more.at_receiver->delivered_to_app());
 }
 
 TEST_F(StackFixture, SkbSizeStatsRecordDeliveredSkbs) {
   on_sender([this](Core& c) { tx->send(c, 256 * kKiB); });
-  testbed->loop().run_until(3 * kMillisecond);
+  testbed->run_until(3 * kMillisecond);
   EXPECT_GT(testbed->receiver().stack().stats().skb_sizes.histogram().count(),
             0u);
   // With one saturating flow GRO merges deeply: mean well above one MTU.
@@ -64,7 +64,7 @@ TEST_F(StackFixture, SkbSizeStatsRecordDeliveredSkbs) {
 
 TEST_F(StackFixture, BeginMeasurementClearsHostStats) {
   on_sender([this](Core& c) { tx->send(c, 256 * kKiB); });
-  testbed->loop().run_until(3 * kMillisecond);
+  testbed->run_until(3 * kMillisecond);
   auto& stats = testbed->receiver().stack().stats();
   EXPECT_GT(stats.acks_sent, 0u);
   testbed->receiver().stack().begin_measurement();
@@ -74,11 +74,11 @@ TEST_F(StackFixture, BeginMeasurementClearsHostStats) {
 
 TEST_F(StackFixture, AcksReachTheSenderAndFreeTheBuffer) {
   on_sender([this](Core& c) { tx->send(c, 128 * kKiB); });
-  testbed->loop().run_until(2 * kMillisecond);
+  testbed->run_until(2 * kMillisecond);
   Context ctx{"driver", false};
   testbed->receiver().core(0).post(
       ctx, [this](Core& c) { rx->recv(c, kMiB); });
-  testbed->loop().run_until(4 * kMillisecond);
+  testbed->run_until(4 * kMillisecond);
   EXPECT_GT(testbed->sender().stack().stats().acks_received, 0u);
   EXPECT_TRUE(tx->send_queue_empty());
 }
@@ -92,7 +92,7 @@ TEST_F(StackFixture, NapiBudgetBoundsPerPollWork) {
     Context ctx{"driver", false};
     testbed->receiver().core(0).post(
         ctx, [this](Core& c) { rx->recv(c, 10 * kMiB); });
-    testbed->loop().run_until((i + 1) * kMillisecond);
+    testbed->run_until((i + 1) * kMillisecond);
   }
   EXPECT_EQ(rx->delivered_to_app(), bytes);
 }

@@ -31,7 +31,7 @@ struct SocketFixture : ::testing::Test {
   }
 
   void run_for(Nanos duration) {
-    testbed->loop().run_until(testbed->loop().now() + duration);
+    testbed->run_until(testbed->now() + duration);
   }
 
   std::unique_ptr<Testbed> testbed;

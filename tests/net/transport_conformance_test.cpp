@@ -54,7 +54,7 @@ TEST_P(TransportConformance, ConnectAcceptAndTransfer) {
       {0, 0}, {testbed.num_hosts() - 1, 0},
       /*syn_retry=*/2 * kMillisecond, /*max_syn_retries=*/6,
       [&connected](bool established) { connected = established; });
-  testbed.loop().run_until(testbed.loop().now() + 20 * kMillisecond);
+  testbed.run_until(testbed.now() + 20 * kMillisecond);
   ASSERT_TRUE(connected) << param.name;
 
   TransportSocket* tx = testbed.sender().stack().find_socket(flow);
@@ -70,7 +70,7 @@ TEST_P(TransportConformance, ConnectAcceptAndTransfer) {
   for (int i = 0; i < 100 && rx->delivered_to_app() < 64 * kKiB; ++i) {
     testbed.receiver().core(0).post(
         ctx, [rx](Core& c) { rx->recv(c, 1 * kMiB); });
-    testbed.loop().run_until(testbed.loop().now() + 5 * kMillisecond);
+    testbed.run_until(testbed.now() + 5 * kMillisecond);
   }
   EXPECT_EQ(sent, 64 * kKiB) << param.name;
   EXPECT_EQ(rx->delivered_to_app(), sent) << param.name;
@@ -108,7 +108,7 @@ TEST_P(TransportConformance, ByteConservationUnderRandomDriving) {
       case 2:
         break;  // idle
     }
-    testbed.loop().run_until(testbed.loop().now() +
+    testbed.run_until(testbed.now() +
                              static_cast<Nanos>(rng.next_below(300'000)));
   }
   // Drain: loss recovery (fast retransmit / RTO / RESEND + restart)
@@ -116,7 +116,7 @@ TEST_P(TransportConformance, ByteConservationUnderRandomDriving) {
   for (int i = 0; i < 300 && rx->delivered_to_app() < sent; ++i) {
     testbed.receiver().core(0).post(
         ctx, [rx](Core& c) { rx->recv(c, 10 * kMiB); });
-    testbed.loop().run_until(testbed.loop().now() + 5 * kMillisecond);
+    testbed.run_until(testbed.now() + 5 * kMillisecond);
   }
 
   EXPECT_EQ(rx->delivered_to_app(), sent) << param.name;
@@ -145,7 +145,7 @@ TEST_P(TransportConformance, AbortMidFlightStaysConservative) {
     testbed.sender().core(0).post(ctx, [tx](Core& c) {
       tx->send(c, 256 * kKiB);
     });
-    testbed.loop().run_until(testbed.loop().now() + 200 * kMicrosecond);
+    testbed.run_until(testbed.now() + 200 * kMicrosecond);
   }
   // Kill the receiver first (data in reassembly and unread queues),
   // then the sender (pinned tx pages, armed timers).
@@ -155,7 +155,7 @@ TEST_P(TransportConformance, AbortMidFlightStaysConservative) {
   testbed.sender().core(0).post(ctx, [tx](Core& c) {
     tx->abort(c, SocketError::econnreset);
   });
-  testbed.loop().run_until(testbed.loop().now() + 20 * kMillisecond);
+  testbed.run_until(testbed.now() + 20 * kMillisecond);
 
   // Note: no send_queue_empty() assertion — TCP's legacy abort keeps
   // the (page-released) queue structure; the page-leak and conservation
@@ -197,7 +197,7 @@ TEST(HomaTransport, SrptShortMessageOvertakesLong) {
   });
   // Run until the first completion lands, then look at what completed.
   for (int i = 0; i < 100 && rx->rx_covered() == 0; ++i) {
-    testbed.loop().run_until(testbed.loop().now() + 10 * kMicrosecond);
+    testbed.run_until(testbed.now() + 10 * kMicrosecond);
   }
   ASSERT_GT(rx->rx_covered(), 0);
   EXPECT_EQ(rx->rx_covered(), 32 * kKiB);  // the short message, whole

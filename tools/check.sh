@@ -1,14 +1,25 @@
 #!/bin/sh
-# Builds the tree with AddressSanitizer + UBSan and runs the full test
-# suite under them.  Slower than the normal build; use before merging
-# anything that touches memory management or the fault-injection paths.
+# Builds the tree under a sanitizer and runs the full test suite.
+# Default: AddressSanitizer + UBSan (memory bugs).  --tsan selects
+# ThreadSanitizer instead — use it for anything touching the sharded
+# executor's barrier/channel handoff or other cross-thread code (the two
+# sanitizers cannot share a build, hence separate build directories).
+# Slower than the normal build; use before merging anything that touches
+# memory management, the fault-injection paths, or sharded execution.
 #
-#   $ tools/check.sh [extra ctest args...]
+#   $ tools/check.sh [--tsan] [extra ctest args...]
 set -eu
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
+sanitizer="address,undefined"
 build="$root/build-asan"
+if [ "${1:-}" = "--tsan" ]; then
+  shift
+  sanitizer="thread"
+  build="$root/build-tsan"
+fi
 
-cmake -B "$build" -S "$root" -DHOSTSIM_SANITIZE=ON
+cmake -B "$build" -S "$root" -DHOSTSIM_SANITIZE=ON \
+  -DHOSTSIM_SANITIZER="$sanitizer"
 cmake --build "$build" -j "$(nproc)"
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)" "$@"

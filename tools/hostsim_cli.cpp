@@ -95,6 +95,9 @@ resilience (rpc / mixed patterns):
 run:
   --warmup-ms=N       (default: 10)    --duration-ms=N    (default: 25)
   --seed=N            (default: 1)
+  --shards=N          parallel event-loop shards over the cluster's
+                      hosts (default: 1 = serial; output bit-identical
+                      at any value — sharding is an execution strategy)
   --csv               print one CSV row (+ header with --csv-header)
   --breakdown         also print the Table-1 CPU breakdowns
   --trace=N           dump the last N flight-recorder events as CSV
@@ -293,6 +296,8 @@ int main(int argc, char** argv) {
       config.duration = parse_long(*v, "--duration-ms") * kMillisecond;
     } else if (auto v = flag_value(arg, "--seed")) {
       config.seed = static_cast<std::uint64_t>(parse_long(*v, "--seed"));
+    } else if (auto v = flag_value(arg, "--shards")) {
+      config.shards = static_cast<int>(parse_long(*v, "--shards"));
     } else if (auto v = flag_value(arg, "--trace")) {
       config.stack.trace_capacity =
           static_cast<std::size_t>(parse_long(*v, "--trace"));

@@ -46,6 +46,9 @@ subcommands:
 run options:
   --jobs=N            worker threads (default: all hardware threads)
   --serial            shorthand for --jobs=1
+  --shards=N          event-loop shards per simulated point (default:
+                      HOSTSIM_SHARDS, else 1 = serial).  Artifacts and
+                      cache keys are bit-identical at any value
   --quick             smoke timing: cap warmup at 2ms, 5ms measurement
                       (changes config hashes; use a dedicated cache dir)
   --no-cache          always simulate; do not read or write the cache
@@ -167,6 +170,13 @@ bool parse_gate_flag(std::string_view arg, sweep::GateOptions* gate) {
 
 int cmd_run(const std::vector<std::string_view>& args) {
   RunArgs run;
+  // Env default, consistent with the bench harness's HOSTSIM_JOBS: the
+  // flag below overrides it.  Shards are an execution strategy — they
+  // never enter config hashes, so the cache and artifacts are identical
+  // at any value.
+  if (const char* shards = std::getenv("HOSTSIM_SHARDS")) {
+    run.runner.shards = std::atoi(shards);
+  }
   for (std::string_view arg : args) {
     if (arg == "--no-cache") run.runner.use_cache = false;
     else if (arg == "--serial") run.runner.jobs = 1;
@@ -174,6 +184,8 @@ int cmd_run(const std::vector<std::string_view>& args) {
     else if (arg == "--quiet") run.quiet = true;
     else if (auto v = flag_value(arg, "--jobs")) {
       run.runner.jobs = static_cast<int>(parse_double(*v, "--jobs"));
+    } else if (auto v = flag_value(arg, "--shards")) {
+      run.runner.shards = static_cast<int>(parse_double(*v, "--shards"));
     } else if (auto v = flag_value(arg, "--cache-dir")) {
       run.runner.cache_dir = std::string(*v);
     } else if (auto v = flag_value(arg, "--out")) {
