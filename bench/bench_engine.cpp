@@ -200,11 +200,11 @@ std::vector<BenchResult> bench_fig05_family(bool quick) {
           "sim_nanos",
           static_cast<double>(run_config.warmup + run_config.duration));
       if (testbed.observer() != nullptr) {
-        const obs::SpanTracer& spans = testbed.observer()->spans();
+        const obs::Observer& obs = *testbed.observer();
         result.extra.emplace_back("spans_started",
-                                  static_cast<double>(spans.started()));
-        result.extra.emplace_back("spans_completed",
-                                  static_cast<double>(spans.completed()));
+                                  static_cast<double>(obs.spans_started()));
+        result.extra.emplace_back(
+            "spans_completed", static_cast<double>(obs.spans_completed()));
       }
     }
   }

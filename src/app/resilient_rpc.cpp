@@ -20,8 +20,13 @@ ResilientRpcClient::ResilientRpcClient(Core& core, TransportSocket& socket,
       deadline_timer_(core.loop(), [this] { on_deadline(); }),
       backoff_timer_(core.loop(), [this] {
         waiting_backoff_ = false;
+        if (backoff_span_ >= 0) {
+          obs_->requests(host_).finish(backoff_span_, loop_->now());
+          backoff_span_ = -1;
+        }
         thread_.notify();
-      }) {
+      }),
+      loop_(&core.loop()) {
   require(policy_.deadline > 0, "resilient client needs a deadline");
   require(policy_.max_retries >= 0, "retry budget must be non-negative");
   require(static_cast<bool>(reconnect_), "resilient client needs reconnect");
@@ -95,6 +100,7 @@ void ResilientRpcClient::run_quantum(Core& c, Thread& thread) {
     }
     ++attempt_;
     response_pending_ = rpc_size_;
+    trace_attempt(c.loop().now());
     request_pending_ = rpc_size_ - socket_->send(c, rpc_size_);
     deadline_timer_.arm_after(policy_.deadline);
     thread.finish_quantum(/*more_work=*/false);
@@ -105,7 +111,19 @@ void ResilientRpcClient::run_quantum(Core& c, Thread& thread) {
   if (response_pending_ == 0) {
     deadline_timer_.cancel();
     ++counters_.completed;
-    latency_.record(c.loop().now() - first_issued_at_);
+    const Nanos done_at = c.loop().now();
+    latency_.record(done_at - first_issued_at_);
+    if (obs_ != nullptr) {
+      obs_->request_latency(host_, "rpc_resilient", done_at - first_issued_at_,
+                            done_at);
+      if (obs_->tracing()) {
+        obs::RequestTracer& tracer = obs_->requests(host_);
+        tracer.finish(attempt_span_, done_at);
+        tracer.finish(root_span_, done_at);
+        attempt_span_ = root_span_ = -1;
+        trace_id_ = 0;
+      }
+    }
     attempt_ = 0;
     consecutive_failures_ = 0;  // closes a half-open breaker
     if (driver_mode_) {
@@ -130,9 +148,23 @@ bool ResilientRpcClient::handle_failure(Core& c) {
   conn_error_ = SocketError::none;
   ++consecutive_failures_;
 
+  const bool traced = obs_ != nullptr && obs_->tracing();
+  if (traced) {
+    obs_->requests(host_).finish(attempt_span_, c.loop().now(), /*ok=*/false);
+    attempt_span_ = -1;
+  }
+
   // The outstanding request cannot be salvaged: retrying over the same
   // byte stream would desynchronize the echo framing, so every failed
   // attempt reconnects (fresh flow id, server rebound by the hook).
+  std::int32_t connect_span = -1;
+  if (traced && trace_id_ != 0) {
+    obs::RequestTracer& tracer = obs_->requests(host_);
+    connect_span = tracer.start(obs::ReqKind::connect, trace_id_,
+                                tracer.span_id_of(root_span_),
+                                socket_->flow(), "rpc_resilient", attempt_,
+                                /*key=*/-1, /*bytes=*/0, c.loop().now());
+  }
   handling_failure_ = true;
   socket_ = reconnect_(c, socket_->flow());
   handling_failure_ = false;
@@ -141,11 +173,20 @@ bool ResilientRpcClient::handle_failure(Core& c) {
   bind_socket();
   response_pending_ = 0;
   request_pending_ = 0;
+  conn_ordinal_ = 0;  // serve ordinals restart with the fresh flow
+  if (connect_span >= 0) {
+    obs_->requests(host_).finish(connect_span, c.loop().now());
+  }
 
   const bool budget_spent = attempt_ > policy_.max_retries;
   if (budget_spent) {
     ++counters_.failed;
     attempt_ = 0;  // give up; the next quantum issues a fresh request
+    if (traced) {
+      obs_->requests(host_).finish(root_span_, c.loop().now(), /*ok=*/false);
+      root_span_ = -1;
+      trace_id_ = 0;
+    }
     // In driver mode the spent submission is consumed: report it.
     if (driver_mode_ && on_complete_) on_complete_(/*ok=*/false);
   } else {
@@ -168,11 +209,49 @@ bool ResilientRpcClient::handle_failure(Core& c) {
                                rng_.next_double());
   }
   if (delay > 0) {
+    if (traced && trace_id_ != 0) {
+      obs::RequestTracer& tracer = obs_->requests(host_);
+      backoff_span_ = tracer.start(obs::ReqKind::backoff, trace_id_,
+                                   tracer.span_id_of(root_span_),
+                                   socket_->flow(), "rpc_resilient", attempt_,
+                                   /*key=*/-1, /*bytes=*/0, c.loop().now());
+    }
     waiting_backoff_ = true;
     backoff_timer_.arm_after(delay);
     return false;
   }
   return true;
+}
+
+void ResilientRpcClient::trace_attempt(Nanos now) {
+  if (obs_ == nullptr || !obs_->tracing()) return;
+  obs::RequestTracer& tracer = obs_->requests(host_);
+  const int flow = socket_->flow();
+  const std::int64_t ordinal = conn_ordinal_++;
+  if (attempt_ == 1) {
+    // First attempt of a fresh request: the sampling decision and trace
+    // id are pure hashes of (flow, ordinal) at first issue.
+    root_span_ = -1;
+    trace_id_ = 0;
+    if (!tracer.sampled(flow, ordinal)) return;
+    trace_id_ = tracer.make_trace_id(flow, ordinal);
+    root_span_ =
+        tracer.start(obs::ReqKind::request, trace_id_, 0, flow,
+                     "rpc_resilient", /*attempt=*/0, ordinal, rpc_size_, now);
+  }
+  if (trace_id_ == 0) return;
+  attempt_span_ = tracer.start(obs::ReqKind::attempt, trace_id_,
+                               tracer.span_id_of(root_span_), flow,
+                               "rpc_resilient", attempt_ - 1, ordinal,
+                               rpc_size_, now);
+  const std::int32_t xmit = tracer.start(
+      obs::ReqKind::xmit, trace_id_, tracer.span_id_of(attempt_span_), flow,
+      "rpc_resilient", attempt_ - 1, ordinal, rpc_size_, now);
+  if (xmit >= 0) {
+    obs::RequestTracer* rt = &tracer;
+    socket_->arm_tx_watch(rpc_size_,
+                          [rt, xmit](Nanos at) { rt->finish(xmit, at); });
+  }
 }
 
 }  // namespace hostsim

@@ -17,6 +17,7 @@
 #include "app/rpc_resilience.h"
 #include "cpu/scheduler.h"
 #include "net/transport.h"
+#include "obs/observer.h"
 #include "sim/rng.h"
 #include "sim/timer.h"
 
@@ -48,6 +49,15 @@ class ResilientRpcClient {
 
   /// Issues the first request.
   void start() { thread_.notify(); }
+
+  /// Attaches request tracing / latency monitoring (class
+  /// "rpc_resilient"): the root span covers first issue -> completion or
+  /// permanent failure; retries, backoffs, reconnects, and transmits are
+  /// child spans under it.
+  void set_observer(obs::Observer* obs, int host) {
+    obs_ = obs;
+    host_ = host;
+  }
 
   /// Switches the client from its built-in closed loop (ping-pong: the
   /// next request issues the instant a response completes) to *driver
@@ -86,6 +96,9 @@ class ResilientRpcClient {
   /// (no backoff), false when the backoff timer will wake it.
   bool handle_failure(Core& core);
   void on_deadline();
+  /// Opens the root (first attempt only), attempt, and xmit spans for
+  /// the attempt being issued at `now`.
+  void trace_attempt(Nanos now);
 
   TransportSocket* socket_;
   Bytes rpc_size_;
@@ -112,6 +125,15 @@ class ResilientRpcClient {
 
   Counters counters_;
   Histogram latency_;
+
+  obs::Observer* obs_ = nullptr;
+  int host_ = 0;
+  EventLoop* loop_ = nullptr;
+  std::uint64_t trace_id_ = 0;      ///< current request's trace (0 = off)
+  std::int64_t conn_ordinal_ = 0;   ///< requests issued on this connection
+  std::int32_t root_span_ = -1;
+  std::int32_t attempt_span_ = -1;
+  std::int32_t backoff_span_ = -1;
 };
 
 }  // namespace hostsim

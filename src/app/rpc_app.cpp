@@ -19,6 +19,7 @@ RpcClient::RpcClient(Core& core, TransportSocket& socket, Bytes rpc_size)
       // Issue the next request.
       response_pending_ = rpc_size_;
       issued_at_ = c.loop().now();
+      trace_issue(issued_at_);
       request_pending_ = rpc_size_ - socket_->send(c, rpc_size_);
       thread.finish_quantum(/*more_work=*/false);
       return;
@@ -27,7 +28,17 @@ RpcClient::RpcClient(Core& core, TransportSocket& socket, Bytes rpc_size)
     response_pending_ -= std::min(copied, response_pending_);
     if (response_pending_ == 0) {
       ++completed_;
-      latency_.record(c.loop().now() - issued_at_);
+      const Nanos now = c.loop().now();
+      latency_.record(now - issued_at_);
+      if (obs_ != nullptr) {
+        obs_->request_latency(host_, "rpc", now - issued_at_, now);
+        if (obs_->tracing()) {
+          obs::RequestTracer& tracer = obs_->requests(host_);
+          tracer.finish(attempt_span_, now);
+          tracer.finish(req_span_, now);
+          attempt_span_ = req_span_ = -1;
+        }
+      }
       // Ping-pong: immediately send the next request.
       thread.finish_quantum(/*more_work=*/true);
     } else {
@@ -36,12 +47,44 @@ RpcClient::RpcClient(Core& core, TransportSocket& socket, Bytes rpc_size)
   });
 }
 
+void RpcClient::trace_issue(Nanos now) {
+  req_span_ = attempt_span_ = -1;
+  if (obs_ == nullptr || !obs_->tracing()) return;
+  obs::RequestTracer& tracer = obs_->requests(host_);
+  const int flow = socket_->flow();
+  const std::int64_t ordinal = issue_ordinal_++;
+  if (!tracer.sampled(flow, ordinal)) return;
+  const std::uint64_t tid = tracer.make_trace_id(flow, ordinal);
+  req_span_ = tracer.start(obs::ReqKind::request, tid, 0, flow, "rpc",
+                           /*attempt=*/0, ordinal, rpc_size_, now);
+  attempt_span_ =
+      tracer.start(obs::ReqKind::attempt, tid, tracer.span_id_of(req_span_),
+                   flow, "rpc", /*attempt=*/0, ordinal, rpc_size_, now);
+  const std::int32_t xmit =
+      tracer.start(obs::ReqKind::xmit, tid, tracer.span_id_of(attempt_span_),
+                   flow, "rpc", /*attempt=*/0, ordinal, rpc_size_, now);
+  if (xmit >= 0) {
+    obs::RequestTracer* rt = &tracer;
+    socket_->arm_tx_watch(rpc_size_, [rt, xmit](Nanos at) {
+      rt->finish(xmit, at);
+    });
+  }
+}
+
 void RpcServer::rebind(TransportSocket& socket) {
   socket_ = &socket;
   socket_->set_rx_waiter(&thread_);
   socket_->set_tx_waiter(&thread_);
   request_received_ = 0;
   response_pending_ = 0;
+  serve_ordinal_ = 0;
+  service_span_ = -1;  // the half-served request died with the old socket
+}
+
+void RpcServer::finish_service(Nanos now) {
+  if (service_span_ < 0) return;
+  obs_->requests(host_).finish(service_span_, now);
+  service_span_ = -1;
 }
 
 RpcServer::RpcServer(Core& core, TransportSocket& socket, Bytes rpc_size)
@@ -56,6 +99,7 @@ RpcServer::RpcServer(Core& core, TransportSocket& socket, Bytes rpc_size)
         thread.finish_quantum(/*more_work=*/false);
         return;
       }
+      finish_service(c.loop().now());
     }
     if (socket_->readable() > 0) {
       request_received_ += socket_->recv(c, rpc_size_);
@@ -64,7 +108,19 @@ RpcServer::RpcServer(Core& core, TransportSocket& socket, Bytes rpc_size)
     if (request_received_ >= rpc_size_) {
       request_received_ -= rpc_size_;
       ++served_;
+      if (obs_ != nullptr && obs_->tracing()) {
+        obs::RequestTracer& tracer = obs_->requests(host_);
+        const std::int64_t ordinal = serve_ordinal_++;
+        // Same pure-hash decision the client made for this (flow,
+        // ordinal): trace context propagates without any in-band bytes.
+        if (tracer.sampled(socket_->flow(), ordinal)) {
+          service_span_ = tracer.start(obs::ReqKind::service, 0, 0,
+                                       socket_->flow(), {}, /*attempt=*/0,
+                                       ordinal, rpc_size_, c.loop().now());
+        }
+      }
       response_pending_ = rpc_size_ - socket_->send(c, rpc_size_);
+      if (response_pending_ == 0) finish_service(c.loop().now());
       more = request_received_ >= rpc_size_ || socket_->readable() > 0;
     }
     thread.finish_quantum(more);

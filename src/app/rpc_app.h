@@ -16,6 +16,7 @@
 
 #include "cpu/scheduler.h"
 #include "net/transport.h"
+#include "obs/observer.h"
 
 namespace hostsim {
 
@@ -26,6 +27,12 @@ class RpcClient {
   /// Issues the first request.
   void start() { thread_.notify(); }
 
+  /// Attaches request tracing / latency monitoring (class "rpc").
+  void set_observer(obs::Observer* obs, int host) {
+    obs_ = obs;
+    host_ = host;
+  }
+
   Thread& thread() { return thread_; }
   std::uint64_t completed() const { return completed_; }
 
@@ -34,6 +41,9 @@ class RpcClient {
   void reset_latency() { latency_.clear(); }
 
  private:
+  /// Opens the request/attempt/xmit spans for one sampled issue.
+  void trace_issue(Nanos now);
+
   TransportSocket* socket_;
   Bytes rpc_size_;
   Bytes response_pending_ = 0;  ///< response bytes still expected
@@ -42,6 +52,11 @@ class RpcClient {
   Thread thread_;
   std::uint64_t completed_ = 0;
   Histogram latency_;
+  obs::Observer* obs_ = nullptr;
+  int host_ = 0;
+  std::int64_t issue_ordinal_ = 0;  ///< requests issued on this connection
+  std::int32_t req_span_ = -1;
+  std::int32_t attempt_span_ = -1;
 };
 
 /// One server process (thread) bound to one connection, echoing each
@@ -53,18 +68,33 @@ class RpcServer {
   Thread& thread() { return thread_; }
   std::uint64_t served() const { return served_; }
 
+  /// Attaches request tracing: serve ordinals key the harvest-time join
+  /// against the client's attempt spans on the same flow.
+  void set_observer(obs::Observer* obs, int host) {
+    obs_ = obs;
+    host_ = host;
+  }
+
   /// Rebinds the server to a fresh connection after a client reconnect:
   /// the old socket is gone, and any partially received request or
-  /// partially sent response died with it.
+  /// partially sent response died with it.  Serve ordinals restart with
+  /// the fresh flow id, mirroring the client's per-connection counter.
   void rebind(TransportSocket& socket);
 
  private:
+  /// Closes the open service span at response-fully-sent.
+  void finish_service(Nanos now);
+
   TransportSocket* socket_;
   Bytes rpc_size_;
   Bytes request_received_ = 0;
   Bytes response_pending_ = 0;  ///< response bytes not yet accepted
   Thread thread_;
   std::uint64_t served_ = 0;
+  obs::Observer* obs_ = nullptr;
+  int host_ = 0;
+  std::int64_t serve_ordinal_ = 0;  ///< requests served on this connection
+  std::int32_t service_span_ = -1;
 };
 
 }  // namespace hostsim

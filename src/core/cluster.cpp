@@ -128,9 +128,11 @@ Link::Config link_config(const ExperimentConfig& config) {
 ///     flaps, stalls, crashes, blackholes — are RNG-free and fine; the
 ///     per-link Bernoulli loss_rate draws from per-link streams and is
 ///     also fine);
-///   - observability (the sampler runs on one loop but its gauges read
-///     every host) and the open-loop / resilient-RPC workloads (their
-///     engines post tasks across hosts mid-run).
+///   - the open-loop / resilient-RPC workloads (their engines post
+///     tasks across hosts mid-run).  Observability shards cleanly:
+///     tracers and monitors are per host (single writer), samplers run
+///     per shard over shard-owned gauges, and the harvest views merge
+///     on deterministic keys (see obs/observer.h).
 bool shardable(const ExperimentConfig& config) {
   if (config.topology.degenerate()) return false;
   if (config.wire_propagation <= 0) return false;
@@ -139,7 +141,6 @@ bool shardable(const ExperimentConfig& config) {
       !plan.pool_pressure.empty()) {
     return false;
   }
-  if (config.obs.enabled()) return false;
   if (config.traffic.pattern == Pattern::open_loop) return false;
   if (config.traffic.resilience.enabled) return false;
   return true;
@@ -185,6 +186,13 @@ Cluster::Cluster(const ExperimentConfig& config) : config_(config) {
     // without it.
     obs_ = std::make_unique<obs::Observer>(*loops_[0], config_.obs,
                                            config_.seed);
+    std::vector<EventLoop*> loop_ptrs;
+    loop_ptrs.reserve(loops_.size());
+    for (auto& loop : loops_) loop_ptrs.push_back(loop.get());
+    obs_->attach_topology(loop_ptrs, shard_of_host_);
+    if (obs_->tracing() && fabric_ != nullptr) {
+      fabric_->enable_hop_trace(config_.obs.max_spans);
+    }
     wire_observer();
   }
 }
@@ -221,6 +229,10 @@ void Cluster::wire_observer() {
     host->nic().set_observer(obs_.get());
     host->stack().set_observer(obs_.get());
 
+    // Every gauge below reads only host h's state, so it is owned by
+    // h's shard: that shard's sampler reads it at the tick, with no
+    // cross-shard access.
+    const int owner = static_cast<int>(h);
     const std::string prefix = "host" + std::to_string(h);
     // Table 1 cycle-category shares, aggregated over the host's cores.
     for (std::size_t c = 0; c < kNumCpuCategories; ++c) {
@@ -237,39 +249,48 @@ void Cluster::wire_observer() {
                        return total != 0 ? static_cast<double>(in_category) /
                                                static_cast<double>(total)
                                          : 0.0;
-                     });
+                     },
+                     owner);
     }
     // DDIO-relevant cache state: the NIC-local LLC (fig. 3e mechanisms).
     LlcModel* nic_llc = &host->llc(host->topo().nic_node);
     registry.gauge(prefix + ".llc.occupancy_pages", [nic_llc] {
       return static_cast<double>(nic_llc->occupancy());
-    });
+    }, owner);
     registry.gauge(prefix + ".llc.miss_rate", [nic_llc] {
       return nic_llc->read_stats().miss_rate();
-    });
+    }, owner);
     registry.gauge(prefix + ".pages_live", [host] {
       return static_cast<double>(host->allocator().live_pages());
-    });
+    }, owner);
     registry.gauge(prefix + ".nic.posted_desc", [host] {
       double posted = 0;
       for (int q = 0; q < host->num_cores(); ++q) {
         posted += host->nic().posted_descriptors(q);
       }
       return posted;
-    });
+    }, owner);
     registry.gauge(prefix + ".nic.backlog", [host] {
       double backlog = 0;
       for (int q = 0; q < host->num_cores(); ++q) {
         backlog += static_cast<double>(host->nic().backlog(q));
       }
       return backlog;
-    });
+    }, owner);
   }
   if (fabric_ != nullptr) {
+    // Per-port gauges (port i is owned by host i's shard — the switch
+    // is partitioned by egress port), folded back into the single
+    // "switch.queued_bytes" artifact column at export.
     Switch* fabric = fabric_.get();
-    registry.gauge("switch.queued_bytes", [fabric] {
-      return static_cast<double>(fabric->queued_bytes());
-    });
+    for (int i = 0; i < fabric->num_ports(); ++i) {
+      registry.gauge("switch.port" + std::to_string(i) + ".queued_bytes",
+                     [fabric, i] {
+                       return static_cast<double>(
+                           fabric->port_stats(i).queued_bytes);
+                     },
+                     /*owner_host=*/i, /*fold=*/"switch.queued_bytes");
+    }
   }
 }
 
@@ -703,15 +724,15 @@ Cluster::FlowEndpoints Cluster::make_flow(FlowEndpoint src, FlowEndpoint dst,
     registry.gauge(prefix + ".cwnd_bytes", [src_stack, flow] {
       const TransportSocket* s = src_stack->find_socket(flow);
       return s != nullptr ? static_cast<double>(s->cwnd_bytes()) : 0.0;
-    });
+    }, src.host);
     registry.gauge(prefix + ".srtt_ns", [src_stack, flow] {
       const TransportSocket* s = src_stack->find_socket(flow);
       return s != nullptr ? static_cast<double>(s->srtt()) : 0.0;
-    });
+    }, src.host);
     registry.gauge(prefix + ".inflight_bytes", [src_stack, flow] {
       const TransportSocket* s = src_stack->find_socket(flow);
       return s != nullptr ? static_cast<double>(s->inflight()) : 0.0;
-    });
+    }, src.host);
   }
   return endpoints;
 }

@@ -8,7 +8,9 @@
 
 #include "core/patterns.h"
 #include "core/testbed.h"
+#include "hw/switch.h"
 #include "obs/export.h"
+#include "obs/hash.h"
 #include "sim/contract.h"
 #include "sim/invariant_checker.h"
 
@@ -439,12 +441,40 @@ Metrics Experiment::run() {
   }
 
   if (obs::Observer* o = testbed.observer()) {
-    // In-memory breakdown (never serialized — see metrics_to_json), then
+    // In-memory breakdowns (never serialized — see metrics_to_json), then
     // the on-disk artifacts.  Exported before the invariant sweep so a
     // failing run still leaves its trace behind for debugging.
-    metrics.obs_stages = o->spans().summary();
+    metrics.obs_stages = o->stage_summary();
+    std::vector<obs::RequestSpan> requests;
+    if (o->tracing()) {
+      requests = o->merged_requests();
+      if (testbed.fabric() != nullptr) {
+        // Switch hops ride along as fabric-host spans.  The snapshot
+        // order is canonical ((enqueue, port)), so index-derived span
+        // ids are stable across runs and shard counts.
+        std::uint64_t hop_seq = 0;
+        for (const Switch::HopRecord& hop : testbed.fabric()->hop_snapshot()) {
+          obs::RequestSpan span;
+          span.span_id = obs::mix64(0x686f70ULL ^ hop_seq++);  // "hop"
+          if (span.span_id == 0) span.span_id = 1;
+          span.kind = obs::ReqKind::hop;
+          span.host = kFabricTraceHost;
+          span.flow = hop.flow;
+          span.key = hop.port;
+          span.start = hop.enqueue;
+          span.end = hop.deliver;
+          span.bytes = hop.bytes;
+          requests.push_back(std::move(span));
+        }
+      }
+      obs::join_request_spans(requests);
+      metrics.obs_classes = obs::summarize_request_classes(requests);
+    }
+    if (config_.obs.slo_p99 > 0) {
+      metrics.obs_slo = o->merged_latency().episodes(config_.obs.slo_p99);
+    }
     if (!config_.obs.out_dir.empty()) {
-      obs::write_obs_artifacts(*o, metrics.trace, config_.obs);
+      obs::write_obs_artifacts(*o, metrics.trace, requests, config_.obs);
     }
   }
 

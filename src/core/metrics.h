@@ -9,6 +9,8 @@
 #include <vector>
 
 #include "cpu/cycle_account.h"
+#include "obs/latency_monitor.h"
+#include "obs/request_trace.h"
 #include "obs/span.h"
 #include "sim/fault_injector.h"
 #include "sim/trace.h"
@@ -196,6 +198,14 @@ struct Metrics {
   /// so obs-enabled runs serialize identically to disabled ones and can
   /// never poison the sweep cache.
   std::vector<obs::StageSummary> obs_stages;
+
+  /// Per-request-class rollup from the joined request spans (empty
+  /// unless request tracing was on).  In memory only, like obs_stages.
+  std::vector<obs::RequestClassSummary> obs_classes;
+
+  /// SLO-breach episodes from the continuous latency monitor (empty
+  /// unless ObsConfig::slo_p99 was set).  In memory only.
+  std::vector<obs::LatencyMonitor::SloEpisode> obs_slo;
 
   double sender_fraction(CpuCategory category) const {
     return sender_cycles.fraction(category);

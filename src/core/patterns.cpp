@@ -45,10 +45,13 @@ void add_cluster_flow(Cluster& cluster, Workload& workload,
 /// fork at all happens for non-resilient workloads).
 void add_rpc_client(Cluster& cluster, Workload& workload,
                     const TrafficConfig& traffic, Core& client_core,
-                    TransportSocket& at_sender, RpcServer* server) {
+                    int client_host, TransportSocket& at_sender,
+                    RpcServer* server) {
   if (!traffic.resilience.enabled) {
     workload.rpc_clients.push_back(std::make_unique<RpcClient>(
         client_core, at_sender, traffic.rpc_size));
+    workload.rpc_clients.back()->set_observer(cluster.observer(),
+                                              client_host);
     return;
   }
   Cluster* cl = &cluster;
@@ -60,6 +63,8 @@ void add_rpc_client(Cluster& cluster, Workload& workload,
   workload.resilient_clients.push_back(std::make_unique<ResilientRpcClient>(
       client_core, at_sender, traffic.rpc_size, traffic.resilience,
       cluster.fork_rng(), std::move(reconnect)));
+  workload.resilient_clients.back()->set_observer(cluster.observer(),
+                                                  client_host);
 }
 
 /// Expands the paper's patterns across a >2-host cluster: hosts 0..H-2
@@ -132,8 +137,10 @@ Workload build_cluster_workload(Cluster& cluster,
         workload.rpc_servers.push_back(std::make_unique<RpcServer>(
             cluster.host(rx_host).core(rx), *endpoints.at_receiver,
             traffic.rpc_size));
+        workload.rpc_servers.back()->set_observer(cluster.observer(),
+                                                  rx_host);
         add_rpc_client(cluster, workload, traffic,
-                       cluster.host(src.host).core(src.core),
+                       cluster.host(src.host).core(src.core), src.host,
                        *endpoints.at_sender,
                        workload.rpc_servers.back().get());
       }
@@ -159,8 +166,11 @@ Workload build_cluster_workload(Cluster& cluster,
         workload.rpc_servers.push_back(std::make_unique<RpcServer>(
             cluster.host(rx_host).core(short_rx), *endpoints.at_receiver,
             traffic.rpc_size));
+        workload.rpc_servers.back()->set_observer(cluster.observer(),
+                                                  rx_host);
         add_rpc_client(cluster, workload, traffic,
-                       cluster.host(0).core(short_tx), *endpoints.at_sender,
+                       cluster.host(0).core(short_tx), /*client_host=*/0,
+                       *endpoints.at_sender,
                        workload.rpc_servers.back().get());
       }
       break;
@@ -276,8 +286,11 @@ Workload build_workload(Testbed& testbed, const TrafficConfig& traffic) {
         workload.rpc_servers.push_back(std::make_unique<RpcServer>(
             testbed.receiver().core(rx), *endpoints.at_receiver,
             traffic.rpc_size));
+        workload.rpc_servers.back()->set_observer(testbed.observer(),
+                                                  testbed.num_hosts() - 1);
         add_rpc_client(testbed, workload, traffic, testbed.sender().core(i),
-                       *endpoints.at_sender, workload.rpc_servers.back().get());
+                       /*client_host=*/0, *endpoints.at_sender,
+                       workload.rpc_servers.back().get());
       }
       break;
     }
@@ -304,8 +317,11 @@ Workload build_workload(Testbed& testbed, const TrafficConfig& traffic) {
         workload.rpc_servers.push_back(std::make_unique<RpcServer>(
             testbed.receiver().core(short_rx), *endpoints.at_receiver,
             traffic.rpc_size));
+        workload.rpc_servers.back()->set_observer(testbed.observer(),
+                                                  testbed.num_hosts() - 1);
         add_rpc_client(testbed, workload, traffic,
-                       testbed.sender().core(short_tx), *endpoints.at_sender,
+                       testbed.sender().core(short_tx), /*client_host=*/0,
+                       *endpoints.at_sender,
                        workload.rpc_servers.back().get());
       }
       break;

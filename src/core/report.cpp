@@ -282,15 +282,44 @@ void print_workload_summary(const Metrics& metrics) {
 }
 
 void print_obs_summary(const Metrics& metrics) {
-  if (metrics.obs_stages.empty()) return;
-  print_section("pipeline latency (sampled spans)");
-  Table table({"stage", "spans", "p50_us", "p99_us"});
-  for (const obs::StageSummary& stage : metrics.obs_stages) {
-    table.add_row({stage.stage, std::to_string(stage.count),
-                   Table::num(static_cast<double>(stage.p50) / 1'000.0, 2),
-                   Table::num(static_cast<double>(stage.p99) / 1'000.0, 2)});
+  if (!metrics.obs_stages.empty()) {
+    print_section("pipeline latency (sampled spans)");
+    Table table({"stage", "spans", "p50_us", "p99_us"});
+    for (const obs::StageSummary& stage : metrics.obs_stages) {
+      table.add_row({stage.stage, std::to_string(stage.count),
+                     Table::num(static_cast<double>(stage.p50) / 1'000.0, 2),
+                     Table::num(static_cast<double>(stage.p99) / 1'000.0, 2)});
+    }
+    table.print();
   }
-  table.print();
+  if (!metrics.obs_classes.empty()) {
+    print_section("request tracing (sampled requests)");
+    Table table({"class", "requests", "p50_us", "p99_us", "retries",
+                 "slowest_hop_us"});
+    for (const obs::RequestClassSummary& cls : metrics.obs_classes) {
+      table.add_row(
+          {cls.cls, std::to_string(cls.requests),
+           Table::num(static_cast<double>(cls.p50) / 1'000.0, 2),
+           Table::num(static_cast<double>(cls.p99) / 1'000.0, 2),
+           std::to_string(cls.retries),
+           Table::num(static_cast<double>(cls.slowest_hop) / 1'000.0, 2)});
+    }
+    table.print();
+  }
+  for (const obs::LatencyMonitor::SloEpisode& ep : metrics.obs_slo) {
+    if (ep.recover >= 0) {
+      std::printf("SLO breach: %s p99 exceeded the objective from %.1f us "
+                  "to %.1f us (worst windowed p99 %.1f us)\n",
+                  ep.series.c_str(), static_cast<double>(ep.onset) / 1'000.0,
+                  static_cast<double>(ep.recover) / 1'000.0,
+                  static_cast<double>(ep.worst_p99) / 1'000.0);
+    } else {
+      std::printf("SLO breach: %s p99 exceeded the objective from %.1f us "
+                  "through run end (worst windowed p99 %.1f us)\n",
+                  ep.series.c_str(), static_cast<double>(ep.onset) / 1'000.0,
+                  static_cast<double>(ep.worst_p99) / 1'000.0);
+    }
+  }
 }
 
 }  // namespace hostsim

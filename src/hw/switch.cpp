@@ -51,6 +51,37 @@ void Switch::enable_trace(std::size_t capacity) {
   for (Port& port : ports_) port.trace.capacity = capacity;
 }
 
+void Switch::enable_hop_trace(std::size_t capacity) {
+  for (Port& port : ports_) port.hops.capacity = capacity;
+}
+
+void Switch::HopRing::record(const HopRecord& entry) {
+  if (capacity == 0) return;
+  if (ring.size() < capacity) {
+    ring.push_back(entry);
+    return;
+  }
+  ring[next] = entry;
+  next = (next + 1) % capacity;
+}
+
+void Switch::HopRing::append_to(std::vector<HopRecord>& out) const {
+  for (std::size_t i = 0; i < ring.size(); ++i) {
+    out.push_back(ring[(next + i) % ring.size()]);
+  }
+}
+
+std::vector<Switch::HopRecord> Switch::hop_snapshot() const {
+  std::vector<HopRecord> merged;
+  for (const Port& port : ports_) port.hops.append_to(merged);
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const HopRecord& a, const HopRecord& b) {
+                     if (a.enqueue != b.enqueue) return a.enqueue < b.enqueue;
+                     return a.port < b.port;
+                   });
+  return merged;
+}
+
 void Switch::PortRing::record(RankedRecord entry) {
   if (capacity == 0) return;
   if (ring.size() < capacity) {
@@ -233,6 +264,11 @@ void Switch::route_and_queue(int port, Frame frame, const Rank* rank) {
   const Nanos start = std::max(loop->now(), egress_port.busy_until);
   const Nanos tx_end = start + serialization_delay(wire_bytes, config_.port_gbps);
   egress_port.busy_until = tx_end;
+  if (egress_port.hops.capacity != 0) {
+    egress_port.hops.record(HopRecord{out, frame.flow, loop->now(),
+                                      tx_end + config_.propagation,
+                                      wire_bytes});
+  }
   // The frame occupies the FIFO until its serialization completes at
   // tx_end; the downlink propagation happens outside the buffer.
   const SlotPool<Frame>::Slot slot = egress_port.in_flight.acquire(frame);

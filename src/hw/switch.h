@@ -57,6 +57,18 @@ class Switch {
     Bytes ecn_threshold_bytes = 0; ///< CE-mark at/above this occupancy; 0 = off
   };
 
+  /// One egress hop observed by the request tracer: a frame's dwell in
+  /// this switch, from FIFO enqueue to delivery at the host NIC.  Both
+  /// instants are computed at enqueue time (the egress schedule is
+  /// deterministic), so the record is complete when written.
+  struct HopRecord {
+    int port = 0;
+    int flow = -1;
+    Nanos enqueue = 0;
+    Nanos deliver = 0;  ///< tx_end + propagation
+    Bytes bytes = 0;
+  };
+
   /// Per-port counters, exposed for metrics and fault tests.
   struct PortStats {
     std::uint64_t forwarded = 0;   ///< frames enqueued toward this port
@@ -102,6 +114,16 @@ class Switch {
   /// delivery key when sharded.
   std::vector<TraceRecord> trace_snapshot() const;
 
+  /// Hop recorder for request tracing: keeps the newest `capacity`
+  /// records per egress port; 0 disables.  Each port's stream is
+  /// written only by the shard owning it and (by the delivery-band
+  /// ordering contract) has identical contents at every shard count.
+  void enable_hop_trace(std::size_t capacity);
+
+  /// All retained hops, canonically ordered by (enqueue, port) with
+  /// per-port insertion order preserved.
+  std::vector<HopRecord> hop_snapshot() const;
+
   /// Ingress entry point: one frame arriving from `port`'s uplink.
   void ingress(int port, Frame frame);
 
@@ -145,6 +167,16 @@ class Switch {
     void append_to(std::vector<RankedRecord>& out) const;
   };
 
+  /// Keep-newest ring of hop records (per port).
+  struct HopRing {
+    std::size_t capacity = 0;
+    std::vector<HopRecord> ring;
+    std::size_t next = 0;
+
+    void record(const HopRecord& entry);
+    void append_to(std::vector<HopRecord>& out) const;
+  };
+
   struct Port {
     std::function<void(Frame)> sink;
     Nanos busy_until = 0;
@@ -155,6 +187,7 @@ class Switch {
     // so concurrent shards never share a slab.
     SlotPool<Frame> in_flight;
     PortRing trace;
+    HopRing hops;
   };
 
   void route_and_queue(int port, Frame frame, const Rank* rank);

@@ -339,6 +339,7 @@ void HomaSocket::handle_msg_ack(Core& core, const Frame& frame) {
     for (Page* page : it->pages) stack_->allocator().release(core, page);
     tx_acked_ += it->len;
     tx_buffered_ -= it->len;
+    notify_tx_progress(it->len, stack_->loop().now());
     tx_messages_.erase(it);
     note_tx_activity();
     if (tx_messages_.empty()) {

@@ -455,6 +455,7 @@ void TcpSocket::process_ack(Core& core, const Frame& frame) {
     consecutive_rtos_ = 0;
     rto_timer_.cancel();
     if (snd_una_ < snd_nxt_) arm_rto();
+    notify_tx_progress(newly, stack_->loop().now());
   }
 
   // Windowed delivery-rate estimation (for BBR's bandwidth filter).

@@ -38,6 +38,7 @@
 #include "cpu/scheduler.h"
 #include "hw/nic.h"
 #include "net/grant_scheduler.h"
+#include "sim/inline_function.h"
 #include "sim/units.h"
 
 namespace hostsim {
@@ -94,9 +95,9 @@ struct TransportConfig {
 };
 
 /// One endpoint of a flow, as seen by applications and by the invariant
-/// checker.  Implementations own all protocol state; this base is
-/// stateless so TcpSocket's layout (and therefore its behaviour) is
-/// untouched by the seam.
+/// checker.  Implementations own all protocol state; the base carries
+/// only the passive observability tx-watch below — nothing protocol
+/// behaviour can depend on.
 class TransportSocket {
  public:
   virtual ~TransportSocket() = default;
@@ -188,6 +189,39 @@ class TransportSocket {
   /// Handles an incoming RST: the peer has no (live) socket for this
   /// flow, so the connection dies with ECONNRESET.
   virtual void on_rst(Core& core) = 0;
+
+  // --- Observability tx-watch (request tracing) ---------------------------
+
+  /// Arms a one-shot watch that fires `done(now)` once `bytes` further
+  /// bytes are acknowledged end-to-end — how the request tracer closes a
+  /// transmit span at the instant the payload is fully acked.  Purely
+  /// observational: the callback must not touch protocol state.  Arming
+  /// replaces any previous watch; a watch on a dying socket simply never
+  /// fires (the attempt span is closed by the failure path instead).
+  void arm_tx_watch(Bytes bytes, InlineFunction<void(Nanos)> done) {
+    tx_watch_remaining_ = bytes;
+    tx_watch_done_ = std::move(done);
+  }
+
+ protected:
+  /// Implementations call this as the acked ledger advances;
+  /// `newly_acked` is the delta since the previous call.  The disarmed
+  /// path is a single compare.
+  void notify_tx_progress(Bytes newly_acked, Nanos now) {
+    if (tx_watch_remaining_ <= 0) return;
+    tx_watch_remaining_ -= newly_acked;
+    if (tx_watch_remaining_ > 0) return;
+    tx_watch_remaining_ = 0;
+    if (tx_watch_done_) {
+      InlineFunction<void(Nanos)> done = std::move(tx_watch_done_);
+      tx_watch_done_ = nullptr;
+      done(now);
+    }
+  }
+
+ private:
+  Bytes tx_watch_remaining_ = 0;
+  InlineFunction<void(Nanos)> tx_watch_done_;
 };
 
 /// A protocol implementation: builds sockets and consumes the rx frames

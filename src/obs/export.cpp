@@ -4,10 +4,10 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <ostream>
 #include <set>
 
-#include "obs/observer.h"
 #include "sim/contract.h"
 
 namespace hostsim::obs {
@@ -65,17 +65,36 @@ void CsvWriter::end_row() {
 // ---------------------------------------------------------------------------
 // Time-series CSV
 
-void write_timeseries_csv(std::ostream& out,
-                          const TimeSeriesSampler& sampler) {
+void write_timeseries_csv(std::ostream& out, const Observer::Series& series) {
   CsvWriter csv(out);
   csv.field(std::string_view("time_ns"));
-  for (const std::string& column : sampler.columns()) csv.field(column);
+  for (const std::string& column : series.columns) csv.field(column);
   csv.end_row();
-  const auto& times = sampler.times();
-  const auto& rows = sampler.rows();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    csv.field(times[i]);
-    for (double value : rows[i]) csv.field(value);
+  for (std::size_t i = 0; i < series.rows.size(); ++i) {
+    csv.field(series.times[i]);
+    for (double value : series.rows[i]) csv.field(value);
+    csv.end_row();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Latency-window CSV
+
+void write_latency_csv(std::ostream& out,
+                       const std::vector<LatencyMonitor::WindowStats>& rows) {
+  CsvWriter csv(out);
+  csv.field(std::string_view("window_start_ns"));
+  csv.field(std::string_view("series"));
+  csv.field(std::string_view("count"));
+  csv.field(std::string_view("p50_ns"));
+  csv.field(std::string_view("p99_ns"));
+  csv.end_row();
+  for (const LatencyMonitor::WindowStats& row : rows) {
+    csv.field(row.window_start);
+    csv.field(row.series);
+    csv.field(row.count);
+    csv.field(row.p50);
+    csv.field(row.p99);
     csv.end_row();
   }
 }
@@ -116,6 +135,12 @@ void json_micros(std::ostream& out, Nanos ns) {
   out << buffer;
 }
 
+std::string hex_id(std::uint64_t id) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "0x%016" PRIx64, id);
+  return std::string(buffer);
+}
+
 class EventArray {
  public:
   explicit EventArray(std::ostream& out) : out_(&out) {}
@@ -137,17 +162,33 @@ class EventArray {
   bool first_ = true;
 };
 
+/// One "s" (flow start) / "f" (flow finish, binding enclosing slice)
+/// arrow endpoint.
+void flow_event(EventArray& array, char phase, std::string_view id, int pid,
+                int tid, Nanos ts) {
+  std::ostream& o = array.begin_event("rpc");
+  o << ",\"ph\":\"" << phase << "\",\"cat\":\"rpc\",\"id\":";
+  json_string(o, id);
+  if (phase == 'f') o << ",\"bp\":\"e\"";
+  o << ",\"pid\":" << pid << ",\"tid\":" << tid << ",\"ts\":";
+  json_micros(o, ts);
+  array.close_event();
+}
+
 }  // namespace
 
-void write_perfetto_json(std::ostream& out, const SpanTracer& spans,
-                         const TimeSeriesSampler& sampler,
+void write_perfetto_json(std::ostream& out, const std::vector<Span>& spans,
+                         const Observer::Series& series,
+                         const std::vector<RequestSpan>& requests,
                          const std::vector<TraceRecord>& events) {
   out << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n ";
   EventArray array(out);
 
-  // Process-name metadata: one per host seen in spans or events.
+  // Process-name metadata: one per host seen in spans, requests, or
+  // events (pid < 0 renders the switch fabric).
   std::set<int> hosts;
-  for (const Span& span : spans.spans()) hosts.insert(span.host);
+  for (const Span& span : spans) hosts.insert(span.host);
+  for (const RequestSpan& span : requests) hosts.insert(span.host);
   for (const TraceRecord& record : events) hosts.insert(record.host);
   for (int host : hosts) {
     std::ostream& o = array.begin_event("process_name");
@@ -164,7 +205,7 @@ void write_perfetto_json(std::ostream& out, const SpanTracer& spans,
   // Pipeline spans as duration slices: stage i runs from its stamp to
   // the next present stamp (the copy stage renders as a zero-width
   // slice marking completion).
-  for (const Span& span : spans.spans()) {
+  for (const Span& span : spans) {
     for (std::size_t i = 0; i < kNumStages; ++i) {
       if (span.at[i] == kUnstamped) continue;
       Nanos end = span.at[i];
@@ -188,18 +229,59 @@ void write_perfetto_json(std::ostream& out, const SpanTracer& spans,
     }
   }
 
+  // Request spans as duration slices, linked by span/parent ids, with
+  // cross-host flow arrows attempt -> service (request direction) and
+  // service -> attempt (response direction).
+  std::map<std::uint64_t, const RequestSpan*> by_span_id;
+  for (const RequestSpan& span : requests) {
+    by_span_id.emplace(span.span_id, &span);
+  }
+  for (const RequestSpan& span : requests) {
+    if (!span.closed()) continue;
+    std::string name = span.kind == ReqKind::request
+                           ? "req:" + span.cls
+                           : std::string(to_string(span.kind));
+    std::ostream& o = array.begin_event(name);
+    o << ",\"ph\":\"X\",\"ts\":";
+    json_micros(o, span.start);
+    o << ",\"dur\":";
+    json_micros(o, span.end - span.start);
+    o << ",\"pid\":" << span.host << ",\"tid\":" << span.flow
+      << ",\"args\":{\"trace\":";
+    json_string(o, hex_id(span.trace_id));
+    o << ",\"span\":";
+    json_string(o, hex_id(span.span_id));
+    o << ",\"parent\":";
+    json_string(o, hex_id(span.parent_id));
+    o << ",\"attempt\":" << span.attempt << ",\"bytes\":" << span.bytes
+      << ",\"ok\":" << (span.ok ? "true" : "false") << "}";
+    array.close_event();
+  }
+  for (const RequestSpan& span : requests) {
+    if (span.kind != ReqKind::service || !span.closed()) continue;
+    const auto it = by_span_id.find(span.parent_id);
+    if (it == by_span_id.end()) continue;
+    const RequestSpan& attempt = *it->second;
+    if (!attempt.closed()) continue;
+    flow_event(array, 's', hex_id(span.span_id) + "-req", attempt.host,
+               attempt.flow, attempt.start);
+    flow_event(array, 'f', hex_id(span.span_id) + "-req", span.host,
+               span.flow, span.start);
+    flow_event(array, 's', hex_id(span.span_id) + "-rsp", span.host,
+               span.flow, span.end);
+    flow_event(array, 'f', hex_id(span.span_id) + "-rsp", attempt.host,
+               attempt.flow, attempt.end);
+  }
+
   // Sampler rows as counter tracks.
-  const auto& columns = sampler.columns();
-  const auto& times = sampler.times();
-  const auto& rows = sampler.rows();
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    for (std::size_t c = 0; c < columns.size(); ++c) {
-      std::ostream& o = array.begin_event(columns[c]);
+  for (std::size_t i = 0; i < series.rows.size(); ++i) {
+    for (std::size_t c = 0; c < series.columns.size(); ++c) {
+      std::ostream& o = array.begin_event(series.columns[c]);
       o << ",\"ph\":\"C\",\"ts\":";
-      json_micros(o, times[i]);
+      json_micros(o, series.times[i]);
       o << ",\"pid\":0,\"args\":{\"value\":";
       char buffer[64];
-      std::snprintf(buffer, sizeof(buffer), "%.17g", rows[i][c]);
+      std::snprintf(buffer, sizeof(buffer), "%.17g", series.rows[i][c]);
       o << buffer << "}";
       array.close_event();
     }
@@ -218,24 +300,65 @@ void write_perfetto_json(std::ostream& out, const SpanTracer& spans,
   out << "\n]}\n";
 }
 
+// ---------------------------------------------------------------------------
+// Request-span JSONL
+
+void write_spans_jsonl(std::ostream& out,
+                       const std::vector<RequestSpan>& requests) {
+  for (const RequestSpan& span : requests) {
+    out << "{\"trace\":";
+    json_string(out, hex_id(span.trace_id));
+    out << ",\"span\":";
+    json_string(out, hex_id(span.span_id));
+    out << ",\"parent\":";
+    json_string(out, hex_id(span.parent_id));
+    out << ",\"kind\":";
+    json_string(out, to_string(span.kind));
+    out << ",\"cls\":";
+    json_string(out, span.cls);
+    out << ",\"host\":" << span.host << ",\"flow\":" << span.flow
+        << ",\"attempt\":" << span.attempt << ",\"start_ns\":" << span.start
+        << ",\"end_ns\":" << span.end << ",\"bytes\":" << span.bytes
+        << ",\"ok\":" << (span.ok ? "true" : "false") << "}\n";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Artifact bundle
+
 void write_obs_artifacts(const Observer& observer,
                          const std::vector<TraceRecord>& events,
+                         const std::vector<RequestSpan>& requests,
                          const ObsConfig& config) {
   namespace fs = std::filesystem;
   require(!config.out_dir.empty(), "obs out_dir not set");
   fs::create_directories(config.out_dir);
   const fs::path base = fs::path(config.out_dir) / config.out_stem;
+  const Observer::Series series = observer.merged_series();
   {
     std::ofstream trace(base.string() + ".trace.json",
                         std::ios::binary | std::ios::trunc);
     require(trace.good(), "cannot open obs trace output");
-    write_perfetto_json(trace, observer.spans(), observer.sampler(), events);
+    write_perfetto_json(trace, observer.merged_spans(), series, requests,
+                        events);
   }
   {
-    std::ofstream series(base.string() + ".timeseries.csv",
-                         std::ios::binary | std::ios::trunc);
-    require(series.good(), "cannot open obs time-series output");
-    write_timeseries_csv(series, observer.sampler());
+    std::ofstream out(base.string() + ".timeseries.csv",
+                      std::ios::binary | std::ios::trunc);
+    require(out.good(), "cannot open obs time-series output");
+    write_timeseries_csv(out, series);
+  }
+  if (config.tracing_enabled()) {
+    std::ofstream out(base.string() + ".spans.jsonl",
+                      std::ios::binary | std::ios::trunc);
+    require(out.good(), "cannot open obs span log output");
+    write_spans_jsonl(out, requests);
+  }
+  if (config.monitor_enabled()) {
+    std::ofstream out(base.string() + ".latency.csv",
+                      std::ios::binary | std::ios::trunc);
+    require(out.good(), "cannot open obs latency output");
+    write_latency_csv(out, observer.merged_latency().readout());
   }
 }
 

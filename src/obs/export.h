@@ -1,12 +1,18 @@
-// Artifact exporters: RFC-4180 CSV and Chrome trace-event ("Perfetto")
-// JSON.
+// Artifact exporters: RFC-4180 CSV, Chrome trace-event ("Perfetto")
+// JSON, and the request-span JSONL log.
 //
 // The trace-event output loads directly in ui.perfetto.dev (or
 // chrome://tracing): pipeline spans become "X" duration slices grouped
-// by pid=host / tid=flow, sampler rows become "C" counter tracks, and
-// legacy Tracer records become "i" instant events.  Timestamps are
-// microseconds (the trace-event unit), printed with fixed precision so
-// equal runs produce byte-identical files.
+// by pid=host / tid=flow, request spans become causally-linked slices
+// with "s"/"f" flow arrows across hosts, sampler rows become "C"
+// counter tracks, and legacy Tracer records become "i" instant events.
+// Timestamps are microseconds (the trace-event unit), printed with
+// fixed precision so equal runs produce byte-identical files.
+//
+// Every exporter consumes the Observer's *merged* harvest views, which
+// are already canonical (host order, fold-collapsed columns, joined and
+// sorted request spans) — so the bytes written are identical at every
+// shard count.
 #ifndef HOSTSIM_OBS_EXPORT_H
 #define HOSTSIM_OBS_EXPORT_H
 
@@ -16,8 +22,10 @@
 #include <vector>
 
 #include "obs/event_trace.h"
+#include "obs/latency_monitor.h"
 #include "obs/obs_config.h"
-#include "obs/sampler.h"
+#include "obs/observer.h"
+#include "obs/request_trace.h"
 #include "obs/span.h"
 
 namespace hostsim::obs {
@@ -42,20 +50,32 @@ class CsvWriter {
 };
 
 /// Time-series CSV: header "time_ns,<col>,..." then one row per tick.
-void write_timeseries_csv(std::ostream& out, const TimeSeriesSampler& sampler);
+void write_timeseries_csv(std::ostream& out, const Observer::Series& series);
 
-/// Chrome trace-event JSON.  `events` is the merged legacy trace (may be
-/// empty); pass the run's spans and sampler for slices + counter tracks.
-void write_perfetto_json(std::ostream& out, const SpanTracer& spans,
-                         const TimeSeriesSampler& sampler,
+/// Chrome trace-event JSON.  `events` is the merged legacy trace (may
+/// be empty); `requests` must already be joined (join_request_spans).
+void write_perfetto_json(std::ostream& out, const std::vector<Span>& spans,
+                         const Observer::Series& series,
+                         const std::vector<RequestSpan>& requests,
                          const std::vector<TraceRecord>& events);
 
-class Observer;
+/// Request-span log: one JSON object per line, canonical order.
+void write_spans_jsonl(std::ostream& out,
+                       const std::vector<RequestSpan>& requests);
 
-/// Writes a run's artifacts — <out_dir>/<out_stem>.trace.json and
-/// <out_dir>/<out_stem>.timeseries.csv — creating out_dir if needed.
+/// Continuous-latency windows: window_start_ns,series,count,p50_ns,p99_ns.
+void write_latency_csv(std::ostream& out,
+                       const std::vector<LatencyMonitor::WindowStats>& rows);
+
+/// Writes a run's artifacts under <out_dir>/<out_stem>:
+///   .trace.json       always
+///   .timeseries.csv   always
+///   .spans.jsonl      when request tracing is enabled
+///   .latency.csv      when the latency monitor is enabled
+/// creating out_dir if needed.  `requests` must already be joined.
 void write_obs_artifacts(const Observer& observer,
                          const std::vector<TraceRecord>& events,
+                         const std::vector<RequestSpan>& requests,
                          const ObsConfig& config);
 
 }  // namespace hostsim::obs

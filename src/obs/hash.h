@@ -1,0 +1,36 @@
+// Deterministic sampling/identity hashes shared by the obs layer.
+//
+// Everything observability samples or names (pipeline spans, request
+// traces, span ids) must be a pure function of (seed, simulated
+// identifiers) — never of the run's RNG streams or of wall-clock
+// iteration order — so attaching an observer cannot perturb a run and
+// sharded runs reproduce serial artifacts byte-for-byte.
+#ifndef HOSTSIM_OBS_HASH_H
+#define HOSTSIM_OBS_HASH_H
+
+#include <cmath>
+#include <cstdint>
+
+namespace hostsim::obs {
+
+/// splitmix64 finalizer: the standard cheap 64-bit mixer.
+inline std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// Maps a sampling rate in [0,1] to a 64-bit threshold: sample iff
+/// hash < threshold.  0 disables, >= 1 samples everything.
+inline std::uint64_t rate_to_threshold(double rate) {
+  if (rate <= 0.0) return 0;
+  if (rate >= 1.0) return ~std::uint64_t{0};
+  const double scaled = std::ldexp(rate, 64);  // rate * 2^64
+  if (scaled >= std::ldexp(1.0, 64)) return ~std::uint64_t{0};
+  return static_cast<std::uint64_t>(scaled);
+}
+
+}  // namespace hostsim::obs
+
+#endif  // HOSTSIM_OBS_HASH_H

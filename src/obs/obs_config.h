@@ -23,6 +23,19 @@ struct ObsConfig {
   /// Time-series sampling period; 0 disables the sampler.
   Nanos sample_period = 0;
 
+  /// Fraction of requests that mint a distributed trace ([0,1]).  Like
+  /// span sampling, the decision is a pure hash of (seed, flow,
+  /// ordinal): deterministic, RNG-free, shard-count independent.
+  double trace_rate = 0.0;
+
+  /// Window length for the continuous latency monitor; 0 disables it.
+  /// The monitor is otherwise always on while an Observer is attached.
+  Nanos latency_window = 500 * kMicrosecond;
+
+  /// Windowed-p99 SLO threshold for the breach flagger; 0 disables
+  /// flagging (the monitor still records).
+  Nanos slo_p99 = 0;
+
   /// Directory for exported artifacts ("" = keep in memory only).
   std::string out_dir;
 
@@ -39,8 +52,11 @@ struct ObsConfig {
 
   bool spans_enabled() const { return span_rate > 0.0; }
   bool sampler_enabled() const { return sample_period > 0; }
+  bool tracing_enabled() const { return trace_rate > 0.0; }
+  bool monitor_enabled() const { return enabled() && latency_window > 0; }
   bool enabled() const {
-    return spans_enabled() || sampler_enabled() || force_attach;
+    return spans_enabled() || sampler_enabled() || tracing_enabled() ||
+           force_attach;
   }
 };
 

@@ -1,10 +1,19 @@
 // Observer: the per-run observability hub.
 //
-// Owns the span tracer, counter/gauge registry, and time-series sampler
-// for one simulation.  Datapath components hold a nullable `Observer*`
-// (null when observability is off — the disabled path is a single
-// pointer compare) and stamp pipeline stages through the inline helpers
-// below.
+// Owns the counter/gauge registry plus — per host — pipeline span
+// tracers, request tracers, and latency monitors, and — per shard —
+// time-series samplers.  Datapath components hold a nullable
+// `Observer*` (null when observability is off — the disabled path is a
+// single pointer compare) and stamp through the inline helpers below.
+//
+// Shard-awareness: every collection structure is partitioned by the
+// same ownership the sharded engine uses (host -> shard), so each shard
+// only ever writes its own slices; the cross-shard views (merged
+// time-series, merged spans, joined request traces, merged latency
+// windows) are computed at harvest from deterministic keys, never from
+// collection order.  A serial run uses the identical single-shard code
+// path, which is what makes obs artifacts byte-identical at every
+// `--shards=N` (pinned by tests/obs/).
 //
 // Invariant: nothing reachable from an Observer mutates simulation
 // state.  Hooks charge no cycles, consume no RNG, and the sampler's
@@ -14,9 +23,14 @@
 #define HOSTSIM_OBS_OBSERVER_H
 
 #include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
 
+#include "obs/latency_monitor.h"
 #include "obs/obs_config.h"
 #include "obs/registry.h"
+#include "obs/request_trace.h"
 #include "obs/sampler.h"
 #include "obs/span.h"
 #include "sim/event_loop.h"
@@ -25,44 +39,106 @@ namespace hostsim::obs {
 
 class Observer {
  public:
-  Observer(EventLoop& loop, const ObsConfig& config, std::uint64_t seed)
-      : config_(config),
-        spans_(seed, config.span_rate, config.max_spans),
-        sampler_(loop, registry_, config.sample_period) {}
+  Observer(EventLoop& loop, const ObsConfig& config, std::uint64_t seed);
 
   const ObsConfig& config() const { return config_; }
 
-  SpanTracer& spans() { return spans_; }
-  const SpanTracer& spans() const { return spans_; }
+  /// Declares the shard topology: `loops[s]` is shard s's event loop,
+  /// `shard_of_host[h]` the shard owning host h.  Must run before any
+  /// instrument registers or sampling starts.  Without it the Observer
+  /// behaves as a single shard on its construction loop (standalone /
+  /// unit-test use).
+  void attach_topology(const std::vector<EventLoop*>& loops,
+                       std::vector<int> shard_of_host);
 
   Registry& registry() { return registry_; }
   const Registry& registry() const { return registry_; }
 
-  TimeSeriesSampler& sampler() { return sampler_; }
-  const TimeSeriesSampler& sampler() const { return sampler_; }
-
-  /// Schedules the sampler (no-op when the period is 0).  Call after
-  /// every gauge is registered — i.e. once the testbed is fully built.
-  void start_sampler() { sampler_.start(); }
+  /// Schedules the samplers (no-op when the period is 0): one per
+  /// shard, each restricted to the instruments its shard owns.  Call
+  /// after every gauge is registered — i.e. once the testbed is built.
+  void start_sampler();
 
   // -- hot-path span helpers (callers already null-checked `this`) --
 
   std::int32_t span_start(int host, int flow, std::int64_t seq, Bytes len,
-                          Nanos now) {
-    return spans_.maybe_start(host, flow, seq, len, now);
-  }
+                          Nanos now);
 
   void span_stamp(std::int32_t id, Stage stage, Nanos now) {
-    spans_.stamp(id, stage, now);
+    if (id < 0) return;
+    tracer_of(id).stamp(index_of(id), stage, now);
   }
 
-  void span_complete(std::int32_t id) { spans_.complete(id); }
+  void span_complete(std::int32_t id);
+
+  // -- request tracing --
+
+  bool tracing() const { return config_.tracing_enabled(); }
+
+  /// Host h's request tracer (single writer: h's shard).
+  RequestTracer& requests(int host);
+
+  /// Latency-monitor feed for one completed request — called for every
+  /// completion (traced or not) so class percentiles are unsampled.
+  void request_latency(int host, std::string_view cls, Nanos value,
+                       Nanos now);
+
+  // -- harvest views (post-run, single thread) --
+
+  /// Merged time-series: global registration-order columns with fold
+  /// groups collapsed into summed aggregate columns.
+  struct Series {
+    std::vector<std::string> columns;
+    std::vector<Nanos> times;
+    std::vector<std::vector<double>> rows;
+  };
+  Series merged_series() const;
+
+  /// All pipeline spans, in (host, per-host start order) — the order a
+  /// serial single-tracer run would have recorded per host.
+  std::vector<Span> merged_spans() const;
+
+  /// All request spans (unjoined), host order; the caller appends
+  /// switch hop spans and runs join_request_spans().
+  std::vector<RequestSpan> merged_requests() const;
+
+  /// Cluster-wide per-stage breakdown (order-independent merge of the
+  /// per-host aggregates).
+  std::vector<StageSummary> stage_summary() const;
+
+  /// Merged continuous-latency monitor (windowed histograms of every
+  /// host folded together).
+  LatencyMonitor merged_latency() const;
+
+  std::uint64_t spans_started() const;
+  std::uint64_t spans_completed() const;
 
  private:
+  /// Span ids pack (host, per-host index) so stamp/complete calls route
+  /// without the callers carrying the host around.
+  static constexpr int kSpanIdxBits = 20;
+  static constexpr std::int32_t kSpanIdxMask = (1 << kSpanIdxBits) - 1;
+
+  SpanTracer& tracer_of(std::int32_t id) {
+    return span_tracers_[static_cast<std::size_t>(id >> kSpanIdxBits)];
+  }
+  static std::int32_t index_of(std::int32_t id) { return id & kSpanIdxMask; }
+
+  /// Grows the per-host structures through `host` (pre-attach only; an
+  /// attached Observer has them fixed at the host count).
+  void ensure_host(int host);
+
   ObsConfig config_;
+  std::uint64_t seed_;
+  EventLoop* default_loop_;
   Registry registry_;
-  SpanTracer spans_;
-  TimeSeriesSampler sampler_;
+  bool attached_ = false;
+  std::vector<EventLoop*> loops_;
+  std::vector<int> shard_of_host_;
+  std::vector<SpanTracer> span_tracers_;        // per host
+  std::vector<RequestTracer> request_tracers_;  // per host
+  std::vector<LatencyMonitor> monitors_;        // per host
+  std::vector<std::unique_ptr<TimeSeriesSampler>> samplers_;  // per shard
 };
 
 }  // namespace hostsim::obs

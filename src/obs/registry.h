@@ -55,15 +55,40 @@ class Registry {
 
   /// Registers a read-only gauge.  `read` must not mutate simulation
   /// state (it runs mid-simulation from the sampler).
-  void gauge(std::string name, std::function<double()> read) {
+  ///
+  /// `owner_host` declares which host's state the gauge reads: under a
+  /// sharded run only the owning shard's sampler ever calls `read`, so
+  /// a gauge must never touch state outside its owner (host -1 = global
+  /// instruments owned by shard 0 — only legal when they read state
+  /// that shard 0 owns at every shard count).
+  ///
+  /// A non-empty `fold` names a fold group: at export, consecutive
+  /// entries sharing a fold name collapse into one summed column with
+  /// that name.  This is how cross-shard aggregates (e.g. total switch
+  /// queue depth) stay in the artifacts without any gauge reading
+  /// another shard's state.
+  void gauge(std::string name, std::function<double()> read,
+             int owner_host = -1, std::string fold = {}) {
     require(static_cast<bool>(read), "gauge needs a read callback");
     Entry entry;
     entry.name = std::move(name);
     entry.read = std::move(read);
+    entry.owner_host = owner_host;
+    entry.fold = std::move(fold);
     entries_.push_back(std::move(entry));
   }
 
   std::size_t size() const { return entries_.size(); }
+
+  /// Owning host of instrument `index` (-1 = global / shard 0).
+  int owner_host(std::size_t index) const {
+    return entries_[index].owner_host;
+  }
+
+  /// Fold-group name of instrument `index` ("" = exported as-is).
+  const std::string& fold(std::size_t index) const {
+    return entries_[index].fold;
+  }
 
   /// Instrument names in registration order.
   std::vector<std::string> names() const {
@@ -87,6 +112,8 @@ class Registry {
     std::string name;
     std::unique_ptr<Counter> counter;  ///< set for counters
     std::function<double()> read;      ///< set for gauges
+    int owner_host = -1;               ///< host whose state this reads
+    std::string fold;                  ///< fold-group name ("" = none)
   };
 
   std::vector<Entry> entries_;

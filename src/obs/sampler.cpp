@@ -4,25 +4,54 @@
 
 namespace hostsim::obs {
 
+namespace {
+
+/// Delivery-band subkey for sampler ticks.  Real deliveries carry
+/// (link << 40 | seq) subkeys far below this, and their `sent` time is
+/// strictly before arrival (positive propagation), so a tick keyed
+/// (at, sent = at, kSamplerSub) ranks after every datapath event at the
+/// same instant — one canonical position at every shard count.
+constexpr std::uint64_t kSamplerSub = std::uint64_t{1} << 62;
+
+}  // namespace
+
+void TimeSeriesSampler::restrict_to(std::vector<std::size_t> indices) {
+  require(columns_.empty(), "restrict_to must precede the first tick");
+  indices_ = std::move(indices);
+  restricted_ = true;
+}
+
 void TimeSeriesSampler::start() {
   if (period_ <= 0) return;
-  loop_->schedule_after(period_, [this] { tick(); });
+  const Nanos at = loop_->now() + period_;
+  loop_->schedule_delivery(at, at, kSamplerSub, [this] { tick(); });
 }
 
 void TimeSeriesSampler::tick() {
   if (columns_.empty()) {
-    columns_ = registry_->names();
+    if (!restricted_) {
+      indices_.resize(registry_->size());
+      for (std::size_t i = 0; i < indices_.size(); ++i) indices_[i] = i;
+    }
+    frozen_size_ = registry_->size();
+    columns_.reserve(indices_.size());
+    const std::vector<std::string> names = registry_->names();
+    for (std::size_t index : indices_) {
+      require(index < names.size(), "sampler index out of range");
+      columns_.push_back(names[index]);
+    }
   }
-  require(columns_.size() == registry_->size(),
+  require(frozen_size_ == registry_->size(),
           "instruments must be registered before the sampler starts");
   std::vector<double> row;
-  row.reserve(columns_.size());
-  for (std::size_t i = 0; i < columns_.size(); ++i) {
-    row.push_back(registry_->read(i));
+  row.reserve(indices_.size());
+  for (std::size_t index : indices_) {
+    row.push_back(registry_->read(index));
   }
   times_.push_back(loop_->now());
   rows_.push_back(std::move(row));
-  loop_->schedule_after(period_, [this] { tick(); });
+  const Nanos at = loop_->now() + period_;
+  loop_->schedule_delivery(at, at, kSamplerSub, [this] { tick(); });
 }
 
 }  // namespace hostsim::obs

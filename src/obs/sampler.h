@@ -1,10 +1,19 @@
 // Periodic time-series sampler.
 //
-// Rides the event loop: every `period` it reads all Registry instruments
+// Rides the event loop: every `period` it reads its Registry instruments
 // (in registration order) into one row.  Sampling events are read-only —
 // they charge no cycles, consume no RNG, and never reorder existing
 // events — so an instrumented run produces bit-identical Metrics to an
 // uninstrumented one.
+//
+// Shard-awareness: a sampler may be restricted to a subset of registry
+// entries (the ones whose owner hosts live on its shard), and its ticks
+// are scheduled through the cross-shard delivery band with a canonical
+// key (`sent` = the tick time, subkey above every real delivery).  That
+// key ranks the tick after *every* other event at the same instant
+// regardless of shard count or local insertion sequences, so the values
+// a tick observes — and therefore every exported artifact — are
+// byte-identical serial vs `--shards=N`.
 //
 // All instruments must be registered before start(); the column set is
 // frozen at the first tick so exported CSV/JSON stay rectangular.
@@ -28,9 +37,17 @@ class TimeSeriesSampler {
 
   bool enabled() const { return period_ > 0; }
 
+  /// Restricts this sampler to the given registry entries (global
+  /// registration indices, ascending).  Call before start(); without a
+  /// restriction the sampler covers every entry.
+  void restrict_to(std::vector<std::size_t> indices);
+
   /// Schedules the first tick at now + period.  Call once, after all
   /// instruments are registered.
   void start();
+
+  /// Global registry indices this sampler reads (registration order).
+  const std::vector<std::size_t>& indices() const { return indices_; }
 
   /// Column names, frozen at the first tick (empty before it).
   const std::vector<std::string>& columns() const { return columns_; }
@@ -46,6 +63,9 @@ class TimeSeriesSampler {
   EventLoop* loop_;
   Registry* registry_;
   Nanos period_;
+  bool restricted_ = false;
+  std::size_t frozen_size_ = 0;  ///< registry size at the first tick
+  std::vector<std::size_t> indices_;
   std::vector<std::string> columns_;
   std::vector<Nanos> times_;
   std::vector<std::vector<double>> rows_;

@@ -1,7 +1,6 @@
 #include "obs/span.h"
 
-#include <cmath>
-
+#include "obs/hash.h"
 #include "sim/contract.h"
 
 namespace hostsim::obs {
@@ -18,26 +17,6 @@ std::string_view to_string(Stage stage) {
   return "?";
 }
 
-namespace {
-
-// splitmix64 finalizer: the standard cheap 64-bit mixer.
-std::uint64_t mix(std::uint64_t x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
-  return x ^ (x >> 31);
-}
-
-std::uint64_t rate_to_threshold(double rate) {
-  if (rate <= 0.0) return 0;
-  if (rate >= 1.0) return ~std::uint64_t{0};
-  const double scaled = std::ldexp(rate, 64);  // rate * 2^64
-  if (scaled >= std::ldexp(1.0, 64)) return ~std::uint64_t{0};
-  return static_cast<std::uint64_t>(scaled);
-}
-
-}  // namespace
-
 SpanTracer::SpanTracer(std::uint64_t seed, double sample_rate,
                        std::size_t max_spans)
     : seed_(seed),
@@ -52,7 +31,7 @@ std::int32_t SpanTracer::maybe_start(int host, int flow, std::int64_t seq,
         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(host)) << 32) |
         static_cast<std::uint32_t>(flow);
     const std::uint64_t h =
-        mix(mix(seed_ ^ key) ^ static_cast<std::uint64_t>(seq));
+        mix64(mix64(seed_ ^ key) ^ static_cast<std::uint64_t>(seq));
     if (h >= threshold_) return -1;
   }
   if (spans_.size() >= max_spans_) {
@@ -78,15 +57,28 @@ void SpanTracer::stamp(std::int32_t id, Stage stage, Nanos now) {
   if (slot == kUnstamped) slot = now;
 }
 
-void SpanTracer::complete(std::int32_t id) {
-  if (id < 0) return;
+const Span* SpanTracer::complete(std::int32_t id) {
+  if (id < 0) return nullptr;
   require(static_cast<std::size_t>(id) < spans_.size(), "bad span id");
   Span& span = spans_[static_cast<std::size_t>(id)];
-  if (span.completed) return;
+  if (span.completed) return nullptr;
   span.completed = true;
   ++completed_;
   fold(span, aggregate_);
   fold(span, per_flow_[span.flow]);
+  return &span;
+}
+
+void SpanTracer::merge_summary_into(StageHistograms& into) const {
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    into.stage[i].merge(aggregate_.stage[i]);
+  }
+  into.total.merge(aggregate_.total);
+}
+
+std::vector<StageSummary> SpanTracer::summarize_merged(
+    const StageHistograms& merged) {
+  return summarize(merged);
 }
 
 void SpanTracer::fold(const Span& span, StageHistograms& into) const {

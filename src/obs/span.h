@@ -79,8 +79,10 @@ class SpanTracer {
   void stamp(std::int32_t id, Stage stage, Nanos now);
 
   /// Marks the span finished and folds its stage durations into the
-  /// aggregate and per-flow histograms.  Stamp `copy` first.
-  void complete(std::int32_t id);
+  /// aggregate and per-flow histograms.  Stamp `copy` first.  Returns
+  /// the completed span (or nullptr for a no-op call) so callers can
+  /// feed downstream consumers like the latency monitor.
+  const Span* complete(std::int32_t id);
 
   const std::vector<Span>& spans() const { return spans_; }
 
@@ -99,12 +101,23 @@ class SpanTracer {
   /// Flows with at least one completed span, ascending.
   std::vector<int> flows() const;
 
- private:
+  /// Per-stage + end-to-end histogram bundle; public so the Observer
+  /// can merge per-host tracers into one cluster-wide breakdown
+  /// (Histogram::merge is order-independent, so the merged summary is
+  /// identical at every shard count).
   struct StageHistograms {
     std::array<Histogram, kNumStages> stage;
     Histogram total;
   };
 
+  /// Folds this tracer's aggregate histograms into `into`.
+  void merge_summary_into(StageHistograms& into) const;
+
+  /// Renders a merged bundle the same way summary() renders one tracer.
+  static std::vector<StageSummary> summarize_merged(
+      const StageHistograms& merged);
+
+ private:
   static std::vector<StageSummary> summarize(const StageHistograms& h);
   void fold(const Span& span, StageHistograms& into) const;
 

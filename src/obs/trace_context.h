@@ -1,0 +1,27 @@
+// Trace context: the tuple that rides a request across hosts.
+//
+// A request-scoped trace is identified by a 64-bit trace id minted at
+// the request's root (client issue / open-loop arrival) from the same
+// splitmix64 hash discipline as span sampling — a pure function of
+// (seed, flow, ordinal), never a run-RNG draw.  The context carries the
+// trace id plus the parent span id so downstream legs (retry attempts,
+// fan-out children, server service) attach as children of the right
+// span.  An invalid context (trace_id == 0) means "not sampled": every
+// downstream hook is then a single integer compare.
+#ifndef HOSTSIM_OBS_TRACE_CONTEXT_H
+#define HOSTSIM_OBS_TRACE_CONTEXT_H
+
+#include <cstdint>
+
+namespace hostsim::obs {
+
+struct TraceContext {
+  std::uint64_t trace_id = 0;     ///< 0 = unsampled / no trace
+  std::uint64_t parent_span = 0;  ///< span to attach children under
+
+  bool valid() const { return trace_id != 0; }
+};
+
+}  // namespace hostsim::obs
+
+#endif  // HOSTSIM_OBS_TRACE_CONTEXT_H

@@ -28,7 +28,8 @@ OpenLoopEngine::OpenLoopEngine(Cluster& cluster, const TrafficConfig& traffic,
       // Exactly three forks, fixed order — see the header comment.
       arrivals_(wl_, cluster.fork_rng()),
       sizes_(wl_, traffic.rpc_size, cluster.fork_rng()),
-      churn_rng_(cluster.fork_rng()) {
+      churn_rng_(cluster.fork_rng()),
+      obs_(cluster.observer()) {
   require(wl_.enabled, "open-loop pattern requires traffic.workload.enabled");
   require(cluster.num_hosts() >= 2, "open-loop needs a client and a backend");
   require(traffic.flows >= 1, "open-loop needs at least one connection slot");
@@ -49,6 +50,7 @@ OpenLoopEngine::OpenLoopEngine(Cluster& cluster, const TrafficConfig& traffic,
       client_quantum(core, thread, i);
     });
     EchoSlot& echo = echoes_[i];
+    echo.host = slot.backend;
     echo.thread = std::make_unique<Thread>(
         cluster.host(slot.backend).core(rx_core_), "open-loop-echo");
     echo.thread->set_body([this, i](Core& core, Thread& thread) {
@@ -104,6 +106,11 @@ void OpenLoopEngine::on_established(std::size_t i, std::uint64_t generation,
   if (established) {
     slot.up = true;
     connect_latency_.record(cluster_->shard_loop(0).now() - slot.opened_at);
+    if (slot.connect_span >= 0) {
+      obs_->requests(0).finish(slot.connect_span,
+                               cluster_->shard_loop(0).now());
+      slot.connect_span = -1;
+    }
     slot.thread->notify();
     return;
   }
@@ -121,6 +128,8 @@ void OpenLoopEngine::on_accept(TransportSocket& sock) {
   EchoSlot& echo = echoes_[i];
   echo.sock = &sock;
   echo.flow = flow;
+  echo.serves = 0;       // serve ordinals restart with the fresh flow
+  echo.service_span = -1;
   sock.set_rx_waiter(echo.thread.get());
   sock.set_tx_waiter(echo.thread.get());
   // Note: `expected` is deliberately NOT cleared here — the client may
@@ -133,6 +142,7 @@ void OpenLoopEngine::on_accept(TransportSocket& sock) {
     e.request_received = 0;
     e.response_pending = 0;
     e.expected.clear();
+    e.service_span = -1;  // the half-served request died with the flow
   });
   sock.set_fin_callback([this, i, flow](Core&) {
     // Graceful churn close: the stack retires the socket right after
@@ -163,6 +173,21 @@ void OpenLoopEngine::on_arrival() {
   record.fan_out = wl_.fan_out;
   records_.push_back(record);
   outstanding_.push_back(wl_.fan_out);
+  // Root span for the whole fan-out tree, sampled on the request id (the
+  // leaves issue later, from client quanta, and parent under it).
+  std::uint64_t tid = 0;
+  std::int32_t root = -1;
+  if (obs_ != nullptr && obs_->tracing()) {
+    obs::RequestTracer& tracer = obs_->requests(0);
+    if (tracer.sampled(/*flow=*/-1, static_cast<std::int64_t>(id))) {
+      tid = tracer.make_trace_id(-1, static_cast<std::int64_t>(id));
+      root = tracer.start(obs::ReqKind::request, tid, 0, /*flow=*/-1,
+                          "open_loop", /*attempt=*/0,
+                          static_cast<std::int64_t>(id), /*bytes=*/0, now);
+    }
+  }
+  trace_ids_.push_back(tid);
+  root_spans_.push_back(root);
   for (int k = 0; k < wl_.fan_out; ++k) {
     const Bytes size = sizes_.next();
     records_[id].bytes += size;
@@ -178,6 +203,15 @@ void OpenLoopEngine::on_arrival() {
 
 void OpenLoopEngine::recover_slot(Core& core, Thread& thread, std::size_t i) {
   ClientSlot& slot = slots_[i];
+  const Nanos now = core.loop().now();
+  if (slot.attempt_span >= 0) {
+    obs_->requests(0).finish(slot.attempt_span, now, /*ok=*/false);
+    slot.attempt_span = -1;
+  }
+  if (slot.connect_span >= 0) {
+    obs_->requests(0).finish(slot.connect_span, now, /*ok=*/false);
+    slot.connect_span = -1;
+  }
   if (slot.sock != nullptr) {
     if (!slot.sock->dead()) {
       // Connect failure: nothing was ever established, tear down the
@@ -198,6 +232,18 @@ void OpenLoopEngine::recover_slot(Core& core, Thread& thread, std::size_t i) {
     slot.first_byte_seen = false;
   }
   open_slot(i);
+  // The redial is causally part of the requeued leaf's request: trace
+  // the connect leg under that leaf's root.
+  if (obs_ != nullptr && obs_->tracing() && !slot.queue.empty()) {
+    const std::uint64_t id = slot.queue.front().request;
+    if (trace_ids_[id] != 0) {
+      obs::RequestTracer& tracer = obs_->requests(0);
+      slot.connect_span = tracer.start(
+          obs::ReqKind::connect, trace_ids_[id],
+          tracer.span_id_of(root_spans_[id]), slot.flow, "open_loop",
+          records_[id].redispatches, /*key=*/-1, /*bytes=*/0, now);
+    }
+  }
   thread.finish_quantum(/*more_work=*/false);
 }
 
@@ -228,6 +274,7 @@ void OpenLoopEngine::client_quantum(Core& core, Thread& thread,
     if (slot.serves == 0) r.fresh_conn = true;
     echoes_[i].expected.push_back(slot.leaf.size);
     slot.response_pending = slot.leaf.size;
+    trace_leaf_issue(i, slot.issued_at);
     slot.request_pending = slot.leaf.size - sock.send(core, slot.leaf.size);
     thread.finish_quantum(/*more_work=*/false);
     return;
@@ -255,10 +302,37 @@ void OpenLoopEngine::client_quantum(Core& core, Thread& thread,
       (slot.sock != nullptr && slot.sock->readable() > 0));
 }
 
+void OpenLoopEngine::trace_leaf_issue(std::size_t i, Nanos now) {
+  ClientSlot& slot = slots_[i];
+  slot.attempt_span = -1;
+  if (obs_ == nullptr || !obs_->tracing()) return;
+  const std::uint64_t tid = trace_ids_[slot.leaf.request];
+  if (tid == 0) return;
+  obs::RequestTracer& tracer = obs_->requests(0);
+  const std::int32_t attempt = records_[slot.leaf.request].redispatches;
+  const std::int64_t key = static_cast<std::int64_t>(slot.serves);
+  slot.attempt_span = tracer.start(
+      obs::ReqKind::attempt, tid,
+      tracer.span_id_of(root_spans_[slot.leaf.request]), slot.flow,
+      "open_loop", attempt, key, slot.leaf.size, now);
+  const std::int32_t xmit = tracer.start(
+      obs::ReqKind::xmit, tid, tracer.span_id_of(slot.attempt_span),
+      slot.flow, "open_loop", attempt, key, slot.leaf.size, now);
+  if (xmit >= 0) {
+    obs::RequestTracer* rt = &tracer;
+    slot.sock->arm_tx_watch(slot.leaf.size,
+                            [rt, xmit](Nanos at) { rt->finish(xmit, at); });
+  }
+}
+
 void OpenLoopEngine::complete_leaf(Core& core, std::size_t i) {
   ClientSlot& slot = slots_[i];
   const Nanos now = core.loop().now();
   leaf_latency_.record(now - slot.issued_at);
+  if (slot.attempt_span >= 0) {
+    obs_->requests(0).finish(slot.attempt_span, now);
+    slot.attempt_span = -1;
+  }
   ++slot.serves;
   slot.active = false;
   const std::uint64_t id = slot.leaf.request;
@@ -267,6 +341,13 @@ void OpenLoopEngine::complete_leaf(Core& core, std::size_t i) {
     r.completion = now;
     ++completed_requests_;
     latency_.record(now - r.arrival);
+    if (obs_ != nullptr) {
+      obs_->request_latency(0, "open_loop", now - r.arrival, now);
+      if (obs_->tracing() && root_spans_[id] >= 0) {
+        obs_->requests(0).finish(root_spans_[id], now);
+        root_spans_[id] = -1;
+      }
+    }
   }
   if (wl_.churn_prob > 0 && churn_rng_.chance(wl_.churn_prob)) {
     TransportSocket& sock = *slot.sock;
@@ -299,6 +380,10 @@ void OpenLoopEngine::echo_quantum(Core& core, Thread& thread, std::size_t i) {
       thread.finish_quantum(/*more_work=*/false);
       return;
     }
+    if (echo.service_span >= 0) {
+      obs_->requests(echo.host).finish(echo.service_span, core.loop().now());
+      echo.service_span = -1;
+    }
   }
   bool more = false;
   if (!echo.expected.empty()) {
@@ -310,7 +395,19 @@ void OpenLoopEngine::echo_quantum(Core& core, Thread& thread, std::size_t i) {
       const Bytes size = echo.expected.front();
       echo.expected.pop_front();
       echo.request_received -= size;
+      if (obs_ != nullptr && obs_->tracing()) {
+        // Recorded unconditionally (the root's sampling decision lives
+        // on the client); unsampled service spans drop at the join.
+        echo.service_span = obs_->requests(echo.host).start(
+            obs::ReqKind::service, 0, 0, echo.flow, {}, /*attempt=*/0,
+            echo.serves, size, core.loop().now());
+      }
+      ++echo.serves;
       echo.response_pending = size - sock.send(core, size);
+      if (echo.response_pending == 0 && echo.service_span >= 0) {
+        obs_->requests(echo.host).finish(echo.service_span, core.loop().now());
+        echo.service_span = -1;
+      }
       more = sock.readable() > 0;
     }
   }

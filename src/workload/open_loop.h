@@ -93,6 +93,8 @@ class OpenLoopEngine {
     Bytes request_pending = 0;
     Bytes response_pending = 0;
     bool first_byte_seen = false;
+    std::int32_t attempt_span = -1;  ///< open leaf-attempt request span
+    std::int32_t connect_span = -1;  ///< open reconnect span (traced leg)
     std::unique_ptr<Thread> thread;
   };
 
@@ -101,11 +103,14 @@ class OpenLoopEngine {
   /// issue time) — the same oracle abstraction as RpcServer's fixed
   /// rpc_size, generalized to per-request sizes.
   struct EchoSlot {
+    int host = 0;  ///< backend host index (owns the service spans)
     int flow = -1;
     TransportSocket* sock = nullptr;
     std::deque<Bytes> expected;
     Bytes request_received = 0;
     Bytes response_pending = 0;
+    std::int64_t serves = 0;  ///< requests served on this connection
+    std::int32_t service_span = -1;
     std::unique_ptr<Thread> thread;
   };
 
@@ -120,6 +125,8 @@ class OpenLoopEngine {
   void complete_leaf(Core& core, std::size_t i);
   void recover_slot(Core& core, Thread& thread, std::size_t i);
   void echo_quantum(Core& core, Thread& thread, std::size_t i);
+  /// Opens the attempt + xmit spans for the leaf slot `i` is issuing.
+  void trace_leaf_issue(std::size_t i, Nanos now);
 
   Cluster* cluster_;
   WorkloadConfig wl_;
@@ -135,6 +142,9 @@ class OpenLoopEngine {
 
   std::vector<RequestRecord> records_;
   std::vector<int> outstanding_;  ///< per-request leaves not yet completed
+  obs::Observer* obs_ = nullptr;  ///< the cluster's hub (may be null)
+  std::vector<std::uint64_t> trace_ids_;   ///< per request; 0 = unsampled
+  std::vector<std::int32_t> root_spans_;   ///< per request; -1 = none
 
   std::uint64_t completed_requests_ = 0;
   std::uint64_t conns_opened_ = 0;

@@ -102,7 +102,9 @@ TEST(ObsDeterminismTest, ArtifactsAreByteIdenticalAcrossRuns) {
 
   const auto first = dir_contents(a);
   const auto second = dir_contents(b);
-  ASSERT_EQ(first.size(), 2u);  // trace.json + timeseries.csv
+  // trace.json + timeseries.csv + latency.csv (monitor is on by default
+  // whenever obs is attached).
+  ASSERT_EQ(first.size(), 3u);
   EXPECT_EQ(first, second);
 
   fs::remove_all(a);
@@ -139,10 +141,11 @@ TEST(ObsSweepTest, ParallelSweepArtifactsMatchSerialByteForByte) {
   const sweep::CampaignResult from_parallel =
       run_campaign(campaign, parallel);
 
-  // One pair of artifacts per point, named by the point's config hash.
+  // Three artifacts per point (trace.json, timeseries.csv, latency.csv),
+  // named by the point's config hash.
   const auto serial_files = dir_contents(serial_dir);
   const auto parallel_files = dir_contents(parallel_dir);
-  ASSERT_EQ(serial_files.size(), 2 * campaign.num_points());
+  ASSERT_EQ(serial_files.size(), 3 * campaign.num_points());
   EXPECT_EQ(serial_files, parallel_files);
   for (const sweep::PointResult& point : from_serial.points) {
     EXPECT_TRUE(

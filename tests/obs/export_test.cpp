@@ -50,12 +50,9 @@ TEST(PerfettoExportTest, UnitsAreTraceEventMicroseconds) {
   ASSERT_GE(id, 0);
   spans.stamp(id, Stage::copy, 4'750);
   spans.complete(id);
-  EventLoop loop;
-  Registry registry;
-  TimeSeriesSampler sampler(loop, registry, 0);
 
   std::ostringstream out;
-  write_perfetto_json(out, spans, sampler, {});
+  write_perfetto_json(out, spans.spans(), Observer::Series{}, {}, {});
   const std::string text = out.str();
   // 1500 ns -> ts 1.500 us; 3250 ns -> dur 3.250 us (fixed 3 decimals).
   EXPECT_NE(text.find("\"ts\":1.500"), std::string::npos) << text;

@@ -106,9 +106,14 @@ run:
 observability:
   --obs-spans=RATE    sample RATE of payload frames into pipeline spans
                       (0..1; deterministic in the seed)
+  --obs-trace=RATE    sample RATE of requests into distributed request
+                      traces (0..1; deterministic in the seed)
   --obs-sample-us=N   time-series sampler period in microseconds
-  --obs-out=DIR       write DIR/obs.trace.json (Perfetto / chrome://tracing)
-                      and DIR/obs.timeseries.csv
+  --obs-window-us=N   continuous-latency monitor window (0 disables)
+  --obs-slo-us=N      flag windows whose p99 exceeds N microseconds
+  --obs-out=DIR       write DIR/obs.trace.json (Perfetto / chrome://tracing),
+                      DIR/obs.timeseries.csv, DIR/obs.latency.csv, and —
+                      with --obs-trace — DIR/obs.spans.jsonl
 )");
   std::exit(exit_code);
 }
@@ -303,9 +308,16 @@ int main(int argc, char** argv) {
           static_cast<std::size_t>(parse_long(*v, "--trace"));
     } else if (auto v = flag_value(arg, "--obs-spans")) {
       config.obs.span_rate = parse_double(*v, "--obs-spans");
+    } else if (auto v = flag_value(arg, "--obs-trace")) {
+      config.obs.trace_rate = parse_double(*v, "--obs-trace");
     } else if (auto v = flag_value(arg, "--obs-sample-us")) {
       config.obs.sample_period =
           parse_long(*v, "--obs-sample-us") * kMicrosecond;
+    } else if (auto v = flag_value(arg, "--obs-window-us")) {
+      config.obs.latency_window =
+          parse_long(*v, "--obs-window-us") * kMicrosecond;
+    } else if (auto v = flag_value(arg, "--obs-slo-us")) {
+      config.obs.slo_p99 = parse_long(*v, "--obs-slo-us") * kMicrosecond;
     } else if (auto v = flag_value(arg, "--obs-out")) {
       config.obs.out_dir = std::string(*v);
     } else {
@@ -364,9 +376,18 @@ int main(int argc, char** argv) {
   print_cluster_summary(metrics);
   print_obs_summary(metrics);
   if (!config.obs.out_dir.empty()) {
-    std::printf("obs artifacts: %s/%s.trace.json, %s/%s.timeseries.csv\n",
-                config.obs.out_dir.c_str(), config.obs.out_stem.c_str(),
-                config.obs.out_dir.c_str(), config.obs.out_stem.c_str());
+    std::string artifacts = config.obs.out_dir + "/" + config.obs.out_stem +
+                            ".trace.json, " + config.obs.out_dir + "/" +
+                            config.obs.out_stem + ".timeseries.csv";
+    if (config.obs.tracing_enabled()) {
+      artifacts += ", " + config.obs.out_dir + "/" + config.obs.out_stem +
+                   ".spans.jsonl";
+    }
+    if (config.obs.monitor_enabled()) {
+      artifacts += ", " + config.obs.out_dir + "/" + config.obs.out_stem +
+                   ".latency.csv";
+    }
+    std::printf("obs artifacts: %s\n", artifacts.c_str());
   }
   if (!metrics.trace.empty()) {
     print_section("flight recorder (newest events)");
